@@ -1,0 +1,319 @@
+//! Ablation studies for the design choices called out in DESIGN.md §5
+//! and the paper's future-work directions.
+//!
+//! 1. **Eager buffer capacity** — shrinking the buffer makes nominally
+//!    eager communication behave like rendezvous: the wave starts
+//!    travelling backwards.
+//! 2. **Noise placement** — noise on execution only (the paper's Eq. 3)
+//!    vs. also on message transfers: comm-side noise strengthens decay.
+//! 3. **Noise distribution shape** — exponential vs. constant vs.
+//!    heavy-tailed Pareto at the same mean: damping depends on the
+//!    distribution, not only its mean.
+//! 4. **Edge behaviour** — leading- vs. trailing-edge speed vs. noise
+//!    level (paper Sec. IV-C's claim, quantified).
+//! 5. **Collective schedules** — contamination time of a delay under a
+//!    ring vs. a hypercube allreduce (linear vs. logarithmic spread).
+
+use idlewave::collectives::{contamination, hypercube_experiment};
+use idlewave::decay::measure_decay;
+use idlewave::edges::edge_speeds;
+use idlewave::wavefront::{survival_distance, Walk};
+use idlewave::{WaveExperiment, WaveTrace};
+use mpisim::NoisePlacement;
+use noise_model::DelayDistribution;
+use simdes::stats::Summary;
+use simdes::SimDuration;
+use workload::{Boundary, Direction};
+
+use crate::{table, Scale};
+
+const MS: SimDuration = SimDuration::from_millis(1);
+
+// ------------------------------------------------------------------
+// 1. Eager buffer capacity
+// ------------------------------------------------------------------
+
+/// Backward wave reach as a function of eager buffer capacity (in
+/// messages of the configured size).
+pub fn eager_buffer_sweep(scale: Scale) -> Vec<(String, u32)> {
+    let ranks = scale.pick(18, 12);
+    let caps: Vec<Option<u64>> = vec![
+        Some(0),
+        Some(8_192),     // one message
+        Some(3 * 8_192), // three messages
+        None,            // unbounded (pure eager)
+    ];
+    caps.into_iter()
+        .map(|cap| {
+            let mut cfg = WaveExperiment::flat_chain(ranks)
+                .texec(MS.times(3))
+                .steps(14)
+                .inject(8, 0, MS.times(12))
+                .eager()
+                .into_config();
+            cfg.eager_buffer_bytes = cap;
+            let wt = WaveTrace::from_config(cfg);
+            let th = wt.default_threshold();
+            let down = survival_distance(&wt, 8, Walk::Down, th);
+            let label = match cap {
+                None => "unbounded".to_string(),
+                Some(b) => format!("{} msgs", b / 8_192),
+            };
+            (label, down)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------
+// 2 & 3. Noise placement and distribution shape
+// ------------------------------------------------------------------
+
+/// Decay-rate summary for a given noise distribution and placement.
+pub fn decay_under(
+    noise: DelayDistribution,
+    placement: NoisePlacement,
+    seeds: &[u64],
+    ranks: u32,
+) -> Summary {
+    let rates: Vec<f64> = seeds
+        .iter()
+        .map(|&seed| {
+            let mut cfg = WaveExperiment::flat_chain(ranks)
+                .boundary(Boundary::Periodic)
+                .texec(MS.times(3))
+                .steps(ranks + 20)
+                .inject(2, 0, MS.times(30))
+                .seed(seed)
+                .into_config();
+            cfg.noise = noise.clone();
+            cfg.noise_placement = placement;
+            let wt = WaveTrace::from_config(cfg);
+            let th = wt.default_threshold();
+            match measure_decay(&wt, 2, Walk::Up, th) {
+                Some(m) => m.rate_us_per_rank.max(0.0),
+                None => wt.cfg.injections.max_duration().as_micros_f64() / 3.0,
+            }
+        })
+        .collect();
+    Summary::of(&rates).expect("finite decay rates")
+}
+
+/// Rows: decay under exec-only vs. exec+comm noise at the same level.
+pub fn noise_placement_rows(scale: Scale) -> Vec<(String, Summary)> {
+    let seeds: Vec<u64> = (0..scale.pick(10, 4)).collect();
+    let ranks = scale.pick(40, 20);
+    let noise = DelayDistribution::Exponential { mean: MS.mul_f64(0.18) }; // E = 6 %
+    vec![
+        (
+            "exec only (paper)".into(),
+            decay_under(noise.clone(), NoisePlacement::ExecOnly, &seeds, ranks),
+        ),
+        (
+            "exec + comm".into(),
+            decay_under(noise, NoisePlacement::ExecAndComm, &seeds, ranks),
+        ),
+    ]
+}
+
+/// Rows: decay for different distribution shapes at identical mean.
+pub fn noise_shape_rows(scale: Scale) -> Vec<(String, Summary)> {
+    let seeds: Vec<u64> = (0..scale.pick(10, 4)).collect();
+    let ranks = scale.pick(40, 20);
+    let mean = MS.mul_f64(0.18); // E = 6 % of 3 ms
+    let exp = DelayDistribution::Exponential { mean };
+    let constant = DelayDistribution::Constant(mean);
+    let pareto = DelayDistribution::Pareto {
+        scale: mean.mul_f64(0.2),
+        alpha: 1.25,
+        max: MS.times(30),
+    };
+    vec![
+        ("exponential".into(), decay_under(exp, NoisePlacement::ExecOnly, &seeds, ranks)),
+        ("constant".into(), decay_under(constant, NoisePlacement::ExecOnly, &seeds, ranks)),
+        (
+            format!("pareto (mean {:.0} us)", pareto.mean().as_micros_f64()),
+            decay_under(pareto, NoisePlacement::ExecOnly, &seeds, ranks),
+        ),
+    ]
+}
+
+// ------------------------------------------------------------------
+// 4. Edge speeds vs. noise
+// ------------------------------------------------------------------
+
+/// Rows: (E %, mean leading ratio, mean trailing ratio) relative to the
+/// noisy baseline pace.
+pub fn edge_rows(scale: Scale) -> Vec<(f64, f64, f64)> {
+    let seeds: Vec<u64> = (0..scale.pick(8, 3)).collect();
+    let levels: Vec<f64> = scale.pick(vec![2.0, 5.0, 8.0], vec![5.0, 8.0]);
+    let ranks = scale.pick(40, 30);
+    levels
+        .into_iter()
+        .map(|e| {
+            let (mut lead, mut trail) = (0.0, 0.0);
+            for &seed in &seeds {
+                let wt = WaveExperiment::flat_chain(ranks)
+                    .boundary(Boundary::Periodic)
+                    .texec(MS.times(3))
+                    .steps(ranks + 10)
+                    .inject(2, 0, MS.times(45))
+                    .noise_percent(e)
+                    .seed(seed)
+                    .run();
+                let th = wt.default_threshold();
+                let es = edge_speeds(&wt, 2, Walk::Up, th).expect("wave long enough");
+                // Reference: pace of the identical noisy system sans wave.
+                let mut quiet = wt.cfg.clone();
+                quiet.injections = noise_model::InjectionPlan::none();
+                let q = WaveTrace::from_config(quiet);
+                let v_noisy =
+                    f64::from(q.trace.steps()) / q.total_runtime().as_secs_f64();
+                lead += es.leading / v_noisy;
+                trail += es.trailing / v_noisy;
+            }
+            let n = seeds.len() as f64;
+            (e, lead / n, trail / n)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------
+// 5. Ring vs. collective contamination
+// ------------------------------------------------------------------
+
+/// `(topology label, steps until every rank has idled)`.
+pub fn contamination_rows(scale: Scale) -> Vec<(String, Option<u32>)> {
+    let ranks = scale.pick(32u32, 16);
+    let delay = MS.times(60);
+    let steps = ranks + 4;
+
+    let ring = WaveExperiment::flat_chain(ranks)
+        .direction(Direction::Bidirectional)
+        .boundary(Boundary::Periodic)
+        .eager()
+        .texec(MS.times(3))
+        .steps(steps)
+        .inject(5, 0, delay)
+        .run();
+    let ring_c = contamination(&ring, 5, ring.default_threshold());
+
+    let hyper_cfg = hypercube_experiment(ranks, MS.times(3), steps, 5, delay);
+    let hyper = WaveTrace::from_config(hyper_cfg);
+    let hyper_c = contamination(&hyper, 5, hyper.default_threshold());
+
+    vec![
+        (format!("ring (bidirectional, {ranks} ranks)"), ring_c.global_impact_step),
+        (format!("hypercube allreduce ({ranks} ranks)"), hyper_c.global_impact_step),
+    ]
+}
+
+/// Render all ablations.
+pub fn render(scale: Scale) -> String {
+    let mut out = String::from("Ablation 1: eager buffer capacity vs. backward wave reach\n");
+    out.push_str(&table(
+        &["buffer", "backward reach [ranks]"],
+        &eager_buffer_sweep(scale)
+            .into_iter()
+            .map(|(l, d)| vec![l, d.to_string()])
+            .collect::<Vec<_>>(),
+    ));
+
+    out.push_str("\nAblation 2: noise placement vs. decay rate (E = 6 %)\n");
+    out.push_str(&summary_table(&noise_placement_rows(scale)));
+
+    out.push_str("\nAblation 3: noise distribution shape vs. decay rate (same mean)\n");
+    out.push_str(&summary_table(&noise_shape_rows(scale)));
+
+    out.push_str("\nAblation 4: edge speeds vs. noise (relative to noisy pace)\n");
+    out.push_str(&table(
+        &["E [%]", "leading", "trailing"],
+        &edge_rows(scale)
+            .into_iter()
+            .map(|(e, l, t)| vec![format!("{e:.0}"), format!("{l:.3}"), format!("{t:.3}")])
+            .collect::<Vec<_>>(),
+    ));
+
+    out.push_str("\nAblation 5: delay contamination time, ring vs. collective\n");
+    out.push_str(&table(
+        &["topology", "steps to full contamination"],
+        &contamination_rows(scale)
+            .into_iter()
+            .map(|(l, s)| {
+                vec![l, s.map(|v| v.to_string()).unwrap_or_else(|| "> run".into())]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+fn summary_table(rows: &[(String, Summary)]) -> String {
+    table(
+        &["variant", "median [us/rank]", "min", "max"],
+        &rows
+            .iter()
+            .map(|(l, s)| {
+                vec![
+                    l.clone(),
+                    format!("{:.0}", s.median),
+                    format!("{:.0}", s.min),
+                    format!("{:.0}", s.max),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_buffer_ablation_shows_the_transition() {
+        let rows = eager_buffer_sweep(Scale::Quick);
+        assert_eq!(rows.len(), 4);
+        // Zero capacity: full rendezvous behaviour, wave travels down.
+        assert!(rows[0].1 >= 4, "zero-cap backward reach {}", rows[0].1);
+        // Unbounded: pure eager, no backward wave.
+        assert_eq!(rows[3].1, 0);
+    }
+
+    #[test]
+    fn comm_noise_strengthens_decay() {
+        let rows = noise_placement_rows(Scale::Quick);
+        assert!(
+            rows[1].1.median >= rows[0].1.median,
+            "comm noise should not weaken decay: {} vs {}",
+            rows[1].1.median,
+            rows[0].1.median
+        );
+    }
+
+    #[test]
+    fn distribution_shape_matters_at_fixed_mean() {
+        let rows = noise_shape_rows(Scale::Quick);
+        let exp = rows[0].1.median;
+        let constant = rows[1].1.median;
+        // Deterministic noise shifts every rank equally: no differential
+        // lateness, (almost) no decay.
+        assert!(
+            constant < exp * 0.5,
+            "constant noise should barely damp: {constant} vs exponential {exp}"
+        );
+    }
+
+    #[test]
+    fn collective_contaminates_faster_than_ring() {
+        let rows = contamination_rows(Scale::Quick);
+        let ring = rows[0].1.expect("ring reaches everyone");
+        let hyper = rows[1].1.expect("hypercube reaches everyone");
+        assert!(hyper < ring, "hypercube {hyper} !< ring {ring}");
+    }
+
+    #[test]
+    fn render_is_total() {
+        let txt = render(Scale::Quick);
+        for needle in ["Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4", "Ablation 5"] {
+            assert!(txt.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerate every figure of the paper and print its data series.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin figures            # paper scale
+//!   cargo run --release -p bench --bin figures -- --quick # shrunken
+//!   cargo run --release -p bench --bin figures -- fig5 fig8  # subset
+//!   cargo run --release -p bench --bin figures -- --out target/figures
+//!                                  # additionally write `<name>.txt` files
+//!
+//! Each section prints the same rows/series the corresponding figure in
+//! the paper plots; EXPERIMENTS.md records the comparison against the
+//! published results.
+
+use bench::{ablations, eq2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let out_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    let mut skip_next = false;
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
+
+    println!(
+        "idle-waves figure harness ({} scale)\n",
+        match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    );
+
+    type Section = (&'static str, Box<dyn Fn(Scale) -> String>);
+    let sections: Vec<Section> = vec![
+        ("fig1", Box::new(|s| fig1::render(&fig1::generate(s)))),
+        ("fig2", Box::new(|s| fig2::render(&fig2::generate(s)))),
+        ("fig3", Box::new(|s| fig3::render(&fig3::generate(s)))),
+        ("fig4", Box::new(|s| fig4::render(&fig4::generate(s)))),
+        ("fig5", Box::new(|s| fig5::render(&fig5::generate(s)))),
+        ("fig6", Box::new(|s| fig6::render(&fig6::generate(s)))),
+        ("fig7", Box::new(|s| fig7::render(&fig7::generate(s)))),
+        ("eq2", Box::new(|s| eq2::render(&eq2::generate(s)))),
+        ("fig8", Box::new(|s| fig8::render(&fig8::generate(s)))),
+        ("fig9", Box::new(|s| fig9::render(&fig9::generate(s)))),
+        ("ablations", Box::new(ablations::render)),
+    ];
+
+    for (name, gen) in sections {
+        if !run(name) {
+            continue;
+        }
+        let start = Instant::now();
+        let text = gen(scale);
+        println!("================================================================");
+        println!("{text}");
+        println!("[{name} generated in {:.2?}]\n", start.elapsed());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{name}.txt"));
+            std::fs::write(&path, &text)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        }
+    }
+}

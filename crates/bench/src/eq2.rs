@@ -1,0 +1,138 @@
+//! Eq. (2) — validation of the propagation-speed model across the full
+//! parameter grid: σ ∈ {1, 2} (via direction × protocol), d ∈ {1, 2, 3},
+//! and several T_exec / message-size (T_comm) combinations.
+
+use idlewave::{speed, WaveExperiment};
+use simdes::SimDuration;
+use workload::{Boundary, Direction};
+
+use crate::{table, Scale};
+
+/// One grid point of the validation.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Direction of the pattern.
+    pub direction: Direction,
+    /// Protocol ("eager"/"rendezvous").
+    pub protocol: &'static str,
+    /// Neighbour distance d.
+    pub distance: u32,
+    /// Execution-phase length.
+    pub texec: SimDuration,
+    /// Message size (controls T_comm).
+    pub msg_bytes: u64,
+    /// Measured speed (ranks/s).
+    pub measured: f64,
+    /// Eq. 2 prediction (ranks/s).
+    pub predicted: f64,
+    /// measured / predicted.
+    pub ratio: f64,
+}
+
+/// Run the grid.
+pub fn generate(scale: Scale) -> Vec<GridPoint> {
+    let distances: Vec<u32> = scale.pick(vec![1, 2, 3], vec![1, 2]);
+    let texecs: Vec<u64> = scale.pick(vec![1, 3, 9], vec![3]);
+    let sizes: Vec<u64> = scale.pick(vec![8_192, 262_144, 2_097_152], vec![8_192]);
+    let mut out = Vec::new();
+    for &d in &distances {
+        for &texec_ms in &texecs {
+            for &msg in &sizes {
+                for (protocol, rdv) in [("eager", false), ("rendezvous", true)] {
+                    for direction in [Direction::Unidirectional, Direction::Bidirectional] {
+                        let texec = SimDuration::from_millis(texec_ms);
+                        let source = 2 * d + 1;
+                        let ranks = 16 + 8 * d;
+                        let mut e = WaveExperiment::flat_chain(ranks)
+                            .direction(direction)
+                            .boundary(Boundary::Open)
+                            .distance(d)
+                            .msg_bytes(msg)
+                            .texec(texec)
+                            .steps(26)
+                            .inject(source, 0, texec.times(5));
+                        e = if rdv { e.rendezvous() } else { e.eager() };
+                        let wt = e.run();
+                        let th = wt.default_threshold();
+                        let Some(cmp) = speed::compare_with_model(&wt, source, th) else {
+                            continue;
+                        };
+                        out.push(GridPoint {
+                            direction,
+                            protocol,
+                            distance: d,
+                            texec,
+                            msg_bytes: msg,
+                            measured: cmp.measured,
+                            predicted: cmp.predicted,
+                            ratio: cmp.ratio,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Print the validation table and the worst-case deviation.
+pub fn render(points: &[GridPoint]) -> String {
+    let mut out = String::from("Eq. (2): v_silent = sigma*d/(T_exec+T_comm) — grid validation\n");
+    out.push_str(&table(
+        &["direction", "protocol", "d", "T_exec", "msg [B]", "v meas", "v model", "ratio"],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:?}", p.direction),
+                    p.protocol.to_string(),
+                    p.distance.to_string(),
+                    p.texec.to_string(),
+                    p.msg_bytes.to_string(),
+                    format!("{:.0}", p.measured),
+                    format!("{:.0}", p.predicted),
+                    format!("{:.3}", p.ratio),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    let worst = points
+        .iter()
+        .map(|p| (p.ratio - 1.0).abs())
+        .fold(0.0, f64::max);
+    out.push_str(&format!("\nworst |ratio - 1| over the grid: {worst:.4}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_validates_the_model() {
+        let pts = generate(Scale::Quick);
+        assert!(pts.len() >= 6, "grid too small: {}", pts.len());
+        for p in &pts {
+            assert!(
+                (p.ratio - 1.0).abs() < 0.1,
+                "{:?}/{}/d{}: ratio {}",
+                p.direction,
+                p.protocol,
+                p.distance,
+                p.ratio
+            );
+        }
+        // sigma = 2 visible: bidirectional rendezvous beats bidirectional
+        // eager at same d / T_exec.
+        let find = |dir: Direction, proto: &str| {
+            pts.iter()
+                .find(|p| p.direction == dir && p.protocol == proto && p.distance == 1)
+                .expect("grid point")
+                .measured
+        };
+        let ratio = find(Direction::Bidirectional, "rendezvous")
+            / find(Direction::Bidirectional, "eager");
+        assert!((ratio - 2.0).abs() < 0.2, "sigma doubling {ratio}");
+        assert!(render(&pts).contains("worst |ratio - 1|"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 1 — STREAM triad strong scaling: model (Eq. 1) vs. simulated
+//! measurement, PPN = 20 (panels a/b) and PPN = 1 (panel c).
+
+use idlewave::scenarios::{stream_scaling_sweep, StreamScalingConfig, StreamScalingPoint};
+
+use crate::{table, Scale};
+
+/// Both panels' data.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// PPN = 20 sweep over sockets.
+    pub ppn20: Vec<StreamScalingPoint>,
+    /// PPN = 1 sweep over nodes.
+    pub ppn1: Vec<StreamScalingPoint>,
+}
+
+/// Generate the figure's data.
+pub fn generate(scale: Scale) -> Fig1 {
+    let mut c20 = StreamScalingConfig::paper_ppn20();
+    c20.steps = scale.pick(300, 60);
+    c20.warmup_steps = scale.pick(100, 20);
+    let sockets: Vec<u32> = scale.pick(vec![1, 2, 3, 4, 5, 6, 7, 8, 9], vec![1, 2, 4]);
+
+    let mut c1 = StreamScalingConfig::paper_ppn1();
+    c1.steps = scale.pick(300, 60);
+    c1.warmup_steps = scale.pick(100, 20);
+    let nodes: Vec<u32> = scale.pick(vec![2, 4, 6, 8, 10, 12, 15], vec![2, 4]);
+
+    Fig1 {
+        ppn20: stream_scaling_sweep(&c20, &sockets),
+        ppn1: stream_scaling_sweep(&c1, &nodes),
+    }
+}
+
+/// Print the paper's series.
+pub fn render(f: &Fig1) -> String {
+    let mut out = String::from("Fig. 1(a,b): strong scaling, PPN = 20\n");
+    out.push_str(&table(
+        &[
+            "sockets",
+            "model total GF",
+            "meas total GF",
+            "model exec GF",
+            "exec med GF",
+            "exec min",
+            "exec max",
+        ],
+        &f.ppn20
+            .iter()
+            .map(|p| {
+                vec![
+                    p.domains.to_string(),
+                    format!("{:.2}", p.model_total_gflops),
+                    format!("{:.2}", p.measured_total_gflops),
+                    format!("{:.2}", p.model_exec_gflops),
+                    format!("{:.2}", p.measured_exec_gflops_median),
+                    format!("{:.2}", p.measured_exec_gflops_min),
+                    format!("{:.2}", p.measured_exec_gflops_max),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str("\nFig. 1(c): strong scaling, PPN = 1\n");
+    out.push_str(&table(
+        &["nodes", "model total GF", "meas total GF", "ratio"],
+        &f.ppn1
+            .iter()
+            .map(|p| {
+                vec![
+                    p.domains.to_string(),
+                    format!("{:.2}", p.model_total_gflops),
+                    format!("{:.2}", p.measured_total_gflops),
+                    format!("{:.3}", p.measured_total_gflops / p.model_total_gflops),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_generation_has_paper_shape() {
+        let f = generate(Scale::Quick);
+        assert_eq!(f.ppn20.len(), 3);
+        assert_eq!(f.ppn1.len(), 2);
+        // PPN = 1 matches the model.
+        for p in &f.ppn1 {
+            let ratio = p.measured_total_gflops / p.model_total_gflops;
+            assert!((0.85..1.15).contains(&ratio), "ratio {ratio}");
+        }
+        // The multi-socket PPN = 20 points trail the optimistic model.
+        let last = f.ppn20.last().unwrap();
+        assert!(last.measured_total_gflops < last.model_total_gflops * 1.05);
+        let txt = render(&f);
+        assert!(txt.contains("PPN = 20") && txt.contains("PPN = 1"));
+    }
+}

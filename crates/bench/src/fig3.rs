@@ -1,0 +1,112 @@
+//! Fig. 3 — natural system-noise histograms on both clusters, with and
+//! without SMT (3.3 × 10⁵ samples, 640 ns bins for SMT-on, 7.2 µs bins
+//! for SMT-off).
+
+use idlewave::scenarios::noise_histogram;
+use noise_model::presets::SystemPreset;
+use noise_model::Histogram;
+use simdes::SimDuration;
+
+use crate::{table, Scale};
+
+/// One histogram panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Which system/SMT configuration.
+    pub preset: SystemPreset,
+    /// The sampled histogram.
+    pub histogram: Histogram,
+}
+
+/// All four panels (the paper shows IB/OPA × SMT on/off).
+pub fn generate(scale: Scale) -> Vec<Panel> {
+    let samples = scale.pick(330_000, 30_000);
+    let cfgs = [
+        (SystemPreset::EmmySmtOn, SimDuration::from_nanos(640), 64usize),
+        (SystemPreset::MeggieSmtOn, SimDuration::from_nanos(640), 64),
+        (SystemPreset::EmmySmtOff, SimDuration::from_micros_f64(7.2), 120),
+        (SystemPreset::MeggieSmtOff, SimDuration::from_micros_f64(7.2), 120),
+    ];
+    cfgs.iter()
+        .map(|&(preset, bin, bins)| Panel {
+            preset,
+            histogram: noise_histogram(preset, samples, bin, bins, 0xF163),
+        })
+        .collect()
+}
+
+/// Print summary statistics plus a coarse sparkline per panel.
+pub fn render(panels: &[Panel]) -> String {
+    let mut out = String::from("Fig. 3: system-noise histograms\n");
+    out.push_str(&table(
+        &["system", "samples", "mean [us]", "max [us]", "2nd peak [us]"],
+        &panels
+            .iter()
+            .map(|p| {
+                let h = &p.histogram;
+                // A genuine second mode is separated from the bulk by a
+                // run of empty bins: search only beyond the first gap.
+                let gap = h.counts().iter().position(|&c| c == 0);
+                let second = gap
+                    .and_then(|g| h.peak_bin_from(g))
+                    .filter(|&b| h.count(b) > h.total() / 10_000)
+                    .map(|b| format!("{:.0}", h.bin_start(b).as_micros_f64()))
+                    .unwrap_or_else(|| "-".into());
+                vec![
+                    p.preset.label().to_string(),
+                    h.total().to_string(),
+                    format!("{:.2}", h.mean().as_micros_f64()),
+                    format!("{:.1}", h.max().as_micros_f64()),
+                    second,
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    for p in panels {
+        out.push_str(&format!("\n{}:\n", p.preset.label()));
+        out.push_str(&sparkline(&p.histogram));
+    }
+    out
+}
+
+/// A log-scaled text sparkline of the histogram's bins.
+fn sparkline(h: &Histogram) -> String {
+    const GLYPHS: [char; 7] = [' ', '.', ':', '-', '=', '#', '@'];
+    let mut line = String::from("  [");
+    for &c in h.counts() {
+        let level = if c == 0 {
+            0
+        } else {
+            (((c as f64).ln() / (h.total().max(2) as f64).ln()) * 6.0).ceil() as usize
+        };
+        line.push(GLYPHS[level.min(6)]);
+    }
+    line.push_str("]\n");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panels_reproduce_key_features() {
+        let panels = generate(Scale::Quick);
+        assert_eq!(panels.len(), 4);
+        // SMT-on means ~2.4 / 2.8 us.
+        let emmy = &panels[0].histogram;
+        assert!((2.0..2.8).contains(&emmy.mean().as_micros_f64()));
+        let meggie = &panels[1].histogram;
+        assert!((2.4..3.2).contains(&meggie.mean().as_micros_f64()));
+        // Omni-Path without SMT is bimodal near 660 us.
+        let opa_off = &panels[3].histogram;
+        let peak = opa_off.peak_bin_from(40).expect("second mode");
+        let us = opa_off.bin_start(peak).as_micros_f64();
+        assert!((600.0..720.0).contains(&us), "{us}");
+        // Render runs and mentions every panel.
+        let txt = render(&panels);
+        for p in &panels {
+            assert!(txt.contains(p.preset.label()));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 4 — the basic delay-propagation mechanism: eager unidirectional
+//! open chain, one injected delay, the idle wave advancing one rank per
+//! execution + communication period.
+
+use idlewave::wavefront::{arrivals_from, Arrival, Walk};
+use idlewave::{speed, WaveExperiment, WaveTrace};
+use simdes::SimDuration;
+use tracefmt::{ascii_timeline, AsciiOptions};
+
+use crate::{table, Scale};
+
+/// The figure's data: the run itself plus the extracted wave front.
+pub struct Fig4 {
+    /// The simulated run.
+    pub wt: WaveTrace,
+    /// Wave arrivals above the injection rank.
+    pub arrivals: Vec<Arrival>,
+    /// Measured speed vs. Eq. 2 (ratio should be 1.000).
+    pub speed_ratio: f64,
+}
+
+/// Injection rank used throughout (the paper delays rank 5).
+pub const SOURCE: u32 = 5;
+
+/// Generate the figure's data.
+pub fn generate(scale: Scale) -> Fig4 {
+    let texec = SimDuration::from_millis(3);
+    let ranks = scale.pick(18, 10);
+    let steps = scale.pick(16, 8);
+    let wt = WaveExperiment::flat_chain(ranks)
+        .texec(texec)
+        .steps(steps)
+        .inject(SOURCE, 0, texec.mul_f64(4.5))
+        .run();
+    let th = wt.default_threshold();
+    let arrivals = arrivals_from(&wt, SOURCE, Walk::Up, th);
+    let speed_ratio = speed::compare_with_model(&wt, SOURCE, th)
+        .map(|c| c.ratio)
+        .unwrap_or(f64::NAN);
+    Fig4 { wt, arrivals, speed_ratio }
+}
+
+/// Print the timeline and wave-front table.
+pub fn render(f: &Fig4) -> String {
+    let mut out = String::from(
+        "Fig. 4: basic propagation (eager, unidirectional, open; delay 4.5 T_exec at rank 5)\n",
+    );
+    out.push_str(&ascii_timeline(
+        &f.wt.trace,
+        &AsciiOptions { width: 90, ..Default::default() },
+    ));
+    out.push('\n');
+    out.push_str(&table(
+        &["rank", "front step", "arrival [ms]", "idle [ms]"],
+        &f.arrivals
+            .iter()
+            .map(|a| {
+                vec![
+                    a.rank.to_string(),
+                    a.step.to_string(),
+                    format!("{:.2}", a.time.as_millis_f64()),
+                    format!("{:.2}", a.amplitude.as_millis_f64()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out.push_str(&format!(
+        "\nmeasured/Eq.2 speed ratio: {:.4} (paper: exactly one rank per T_exec + T_comm)\n",
+        f.speed_ratio
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_wave_is_one_rank_per_step() {
+        let f = generate(Scale::Quick);
+        assert!(!f.arrivals.is_empty());
+        for (i, a) in f.arrivals.iter().enumerate() {
+            assert_eq!(a.rank, SOURCE + 1 + i as u32);
+            assert_eq!(a.step, i as u32);
+        }
+        assert!((f.speed_ratio - 1.0).abs() < 0.02, "{}", f.speed_ratio);
+        let txt = render(&f);
+        assert!(txt.contains('D') && txt.contains('#'));
+    }
+}

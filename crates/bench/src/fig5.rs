@@ -1,0 +1,145 @@
+//! Fig. 5 — the eight basic flavors of delay propagation: {eager,
+//! rendezvous} × {uni, bidirectional} × {open, periodic}, 18 ranks, delay
+//! at rank 5.
+
+use idlewave::wavefront::{survival_distance, Walk};
+use idlewave::{model, speed, WaveExperiment, WaveTrace};
+use simdes::SimDuration;
+use workload::{Boundary, Direction};
+
+use crate::{table, Scale};
+
+/// One of the eight panels.
+pub struct Panel {
+    /// Panel letter a–h in the paper's order.
+    pub letter: char,
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Direction.
+    pub direction: Direction,
+    /// Boundary.
+    pub boundary: Boundary,
+    /// The run.
+    pub wt: WaveTrace,
+    /// Ranks reached upward / downward.
+    pub reach_up: u32,
+    /// Ranks reached walking down.
+    pub reach_down: u32,
+    /// Measured wave speed in ranks/s (None if too short to fit).
+    pub measured_speed: Option<f64>,
+    /// Eq. 2 prediction.
+    pub predicted_speed: f64,
+}
+
+/// Injection rank (paper: 5).
+pub const SOURCE: u32 = 5;
+
+/// Generate all eight panels in the paper's order (a–d eager, e–h
+/// rendezvous; within each: uni-open, uni-periodic, bi-open, bi-periodic).
+pub fn generate(scale: Scale) -> Vec<Panel> {
+    let texec = SimDuration::from_millis(3);
+    let ranks = scale.pick(18, 12);
+    let steps = scale.pick(20, 12);
+    let mut panels = Vec::new();
+    let mut letters = 'a'..='h';
+    for (protocol, rdv) in [("eager", false), ("rendezvous", true)] {
+        for (direction, boundary) in [
+            (Direction::Unidirectional, Boundary::Open),
+            (Direction::Unidirectional, Boundary::Periodic),
+            (Direction::Bidirectional, Boundary::Open),
+            (Direction::Bidirectional, Boundary::Periodic),
+        ] {
+            let mut e = WaveExperiment::flat_chain(ranks)
+                .direction(direction)
+                .boundary(boundary)
+                // Paper message sizes: 16384 B (eager), 31080 doubles
+                // (rendezvous); the simulator picks the protocol per size
+                // via the paper's 131072 B eager limit.
+                .msg_bytes(if rdv { 248_640 } else { 16_384 })
+                .texec(texec)
+                .steps(steps)
+                .inject(SOURCE, 0, texec.mul_f64(4.5));
+            e = if rdv { e.rendezvous() } else { e.eager() };
+            let wt = e.run();
+            let th = wt.default_threshold();
+            let reach_up = survival_distance(&wt, SOURCE, Walk::Up, th);
+            let reach_down = survival_distance(&wt, SOURCE, Walk::Down, th);
+            let measured_speed = speed::measure_speed(&wt, SOURCE, Walk::Up, th)
+                .map(|s| s.ranks_per_sec);
+            let predicted_speed = model::predicted_speed(&wt.cfg);
+            panels.push(Panel {
+                letter: letters.next().expect("eight panels"),
+                protocol,
+                direction,
+                boundary,
+                wt,
+                reach_up,
+                reach_down,
+                measured_speed,
+                predicted_speed,
+            });
+        }
+    }
+    panels
+}
+
+/// Print the panel summary table (the paper's qualitative grid, made
+/// quantitative).
+pub fn render(panels: &[Panel]) -> String {
+    let mut out = String::from("Fig. 5: the eight propagation flavors (delay at rank 5)\n");
+    out.push_str(&table(
+        &[
+            "panel",
+            "protocol",
+            "direction",
+            "boundary",
+            "reach up",
+            "reach down",
+            "v meas [r/s]",
+            "v_silent [r/s]",
+        ],
+        &panels
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("({})", p.letter),
+                    p.protocol.to_string(),
+                    format!("{:?}", p.direction),
+                    format!("{:?}", p.boundary),
+                    p.reach_up.to_string(),
+                    p.reach_down.to_string(),
+                    p.measured_speed
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "-".into()),
+                    format!("{:.0}", p.predicted_speed),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panels_reproduce_the_grid() {
+        let panels = generate(Scale::Quick);
+        assert_eq!(panels.len(), 8);
+        // (a) eager uni open: downstream only.
+        assert_eq!(panels[0].reach_down, 0);
+        assert!(panels[0].reach_up >= 5);
+        // (c) eager bi open: both ways.
+        assert!(panels[2].reach_down >= 4);
+        // (e) rendezvous uni open: both ways too.
+        assert!(panels[4].reach_down >= 4);
+        // (g/h) bidirectional rendezvous is the only sigma = 2 case.
+        assert!(panels[6].predicted_speed > 1.8 * panels[2].predicted_speed);
+        if let (Some(vg), Some(vc)) = (panels[6].measured_speed, panels[2].measured_speed) {
+            assert!(vg > 1.6 * vc, "sigma=2 not visible: {vg} vs {vc}");
+        }
+        let txt = render(&panels);
+        assert!(txt.contains("(a)") && txt.contains("(h)"));
+    }
+}

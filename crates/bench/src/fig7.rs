@@ -1,0 +1,98 @@
+//! Fig. 7 — next-to-next-neighbour communication (d = 2) with the
+//! rendezvous protocol: unidirectional vs. bidirectional, the latter
+//! doubling the propagation speed (σ = 2).
+
+use idlewave::wavefront::Walk;
+use idlewave::{model, speed, WaveExperiment, WaveTrace};
+use simdes::SimDuration;
+use workload::{Boundary, Direction};
+
+use crate::{table, Scale};
+
+/// One of the two panels.
+pub struct Panel {
+    /// Panel label.
+    pub label: &'static str,
+    /// The run.
+    pub wt: WaveTrace,
+    /// Measured speed (ranks/s).
+    pub measured: f64,
+    /// Eq. 2 prediction (ranks/s).
+    pub predicted: f64,
+}
+
+/// Injection rank.
+pub const SOURCE: u32 = 5;
+
+/// Generate both panels.
+pub fn generate(scale: Scale) -> Vec<Panel> {
+    let texec = SimDuration::from_millis(3);
+    let ranks = scale.pick(26, 18);
+    let steps = scale.pick(20, 12);
+    [
+        ("(a) unidirectional d=2", Direction::Unidirectional),
+        ("(b) bidirectional d=2", Direction::Bidirectional),
+    ]
+    .into_iter()
+    .map(|(label, dir)| {
+        let wt = WaveExperiment::flat_chain(ranks)
+            .direction(dir)
+            .boundary(Boundary::Open)
+            .distance(2)
+            .rendezvous()
+            .texec(texec)
+            .steps(steps)
+            .inject(SOURCE, 0, texec.mul_f64(4.5))
+            .run();
+        let th = wt.default_threshold();
+        let measured = speed::measure_speed(&wt, SOURCE, Walk::Up, th)
+            .expect("wave long enough")
+            .ranks_per_sec;
+        let predicted = model::predicted_speed(&wt.cfg);
+        Panel { label, wt, measured, predicted }
+    })
+    .collect()
+}
+
+/// Print the speed comparison.
+pub fn render(panels: &[Panel]) -> String {
+    let mut out = String::from("Fig. 7: d = 2 rendezvous propagation speeds\n");
+    out.push_str(&table(
+        &["panel", "v measured [r/s]", "v_silent [r/s]", "ratio"],
+        &panels
+            .iter()
+            .map(|p| {
+                vec![
+                    p.label.to_string(),
+                    format!("{:.0}", p.measured),
+                    format!("{:.0}", p.predicted),
+                    format!("{:.3}", p.measured / p.predicted),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    ));
+    if panels.len() == 2 {
+        out.push_str(&format!(
+            "\nbidirectional / unidirectional speed: {:.2} (paper: 2.0)\n",
+            panels[1].measured / panels[0].measured
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bidirectional_doubles_d2_speed() {
+        let ps = generate(Scale::Quick);
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert!((p.measured / p.predicted - 1.0).abs() < 0.1, "{}", p.label);
+        }
+        let doubling = ps[1].measured / ps[0].measured;
+        assert!((doubling - 2.0).abs() < 0.2, "doubling {doubling}");
+        assert!(render(&ps).contains("bidirectional / unidirectional"));
+    }
+}

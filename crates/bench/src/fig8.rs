@@ -1,0 +1,119 @@
+//! Fig. 8 — average decay rate β̄ of an idle wave vs. the injected noise
+//! level E, on three systems (InfiniBand-like, Omni-Path-like, and the
+//! LogGOPS "simulated system"), with median/min/max over repeated runs.
+
+use idlewave::decay::{decay_at_level, DecayRow};
+use idlewave::WaveExperiment;
+use netmodel::{presets, ClusterNetwork};
+use simdes::SimDuration;
+use workload::{Boundary, Direction};
+
+use crate::{table, Scale};
+
+/// One system's scan over noise levels.
+pub struct SystemScan {
+    /// Display name.
+    pub system: &'static str,
+    /// Rows, one per noise level.
+    pub rows: Vec<DecayRow>,
+}
+
+/// The paper's standard parameters: T_exec = 3 ms, 8192 B eager messages,
+/// 90 ms injected delay.
+fn base_on(net: ClusterNetwork) -> WaveExperiment {
+    WaveExperiment::on_network(net)
+        .direction(Direction::Unidirectional)
+        .boundary(Boundary::Periodic)
+        .msg_bytes(8192)
+        .texec(SimDuration::from_millis(3))
+        .inject(2, 0, SimDuration::from_millis(90))
+}
+
+/// Generate the three scans.
+pub fn generate(scale: Scale) -> Vec<SystemScan> {
+    let ranks = scale.pick(60, 24);
+    let steps = scale.pick(80, 40);
+    let n_seeds = scale.pick(15, 4);
+    let levels: Vec<f64> = scale.pick(
+        vec![0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0],
+        vec![2.0, 6.0, 10.0],
+    );
+    let seeds: Vec<u64> = (1..=n_seeds).collect();
+
+    let systems: Vec<(&'static str, ClusterNetwork)> = vec![
+        (
+            "InfiniBand system",
+            ClusterNetwork::flat(ranks, presets::emmy_models().network),
+        ),
+        (
+            "Omni-Path system",
+            ClusterNetwork::flat(ranks, presets::meggie_models().network),
+        ),
+        ("Simulated system", presets::loggopsim_like(ranks)),
+    ];
+
+    systems
+        .into_iter()
+        .map(|(system, net)| {
+            let base = base_on(net).steps(steps);
+            let rows = levels
+                .iter()
+                .map(|&e| decay_at_level(&base, e, &seeds))
+                .collect();
+            SystemScan { system, rows }
+        })
+        .collect()
+}
+
+/// Print the Fig. 8 series (median with min/max whiskers).
+pub fn render(scans: &[SystemScan]) -> String {
+    let mut out = String::from("Fig. 8: idle-wave decay rate vs. noise level\n");
+    let mut rows = Vec::new();
+    for scan in scans {
+        for r in &scan.rows {
+            rows.push(vec![
+                scan.system.to_string(),
+                format!("{:.1}", r.e_percent),
+                format!("{:.0}", r.summary.median),
+                format!("{:.0}", r.summary.min),
+                format!("{:.0}", r.summary.max),
+                r.rates.len().to_string(),
+            ]);
+        }
+    }
+    out.push_str(&table(
+        &["system", "E [%]", "median [us/rank]", "min", "max", "runs"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scan_shows_positive_correlation_on_all_systems() {
+        let scans = generate(Scale::Quick);
+        assert_eq!(scans.len(), 3);
+        for scan in &scans {
+            let first = scan.rows.first().unwrap().summary.median;
+            let last = scan.rows.last().unwrap().summary.median;
+            assert!(
+                last > first,
+                "{}: decay not increasing ({first} -> {last})",
+                scan.system
+            );
+            for r in &scan.rows {
+                assert!(r.summary.min <= r.summary.median);
+                assert!(r.summary.median <= r.summary.max);
+            }
+        }
+        // Platform independence: same noise level, same order of magnitude.
+        let at_max: Vec<f64> = scans.iter().map(|s| s.rows.last().unwrap().summary.median).collect();
+        let hi = at_max.iter().cloned().fold(f64::MIN, f64::max);
+        let lo = at_max.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(hi / lo < 5.0, "systems disagree: {at_max:?}");
+        assert!(render(&scans).contains("Simulated system"));
+    }
+}

@@ -1,0 +1,100 @@
+//! # bench — figure-regeneration harness
+//!
+//! One module per paper artefact. Each module exposes a `generate()`
+//! returning structured rows plus a `render()` that prints the same
+//! series the paper plots. The `figures` binary drives all of them; the
+//! Criterion benches (in `benches/`) time the underlying simulations and
+//! print the rows once per run.
+//!
+//! Scale knobs: every generator takes a [`Scale`] so tests can run the
+//! same code in milliseconds while `cargo bench` / `figures --full`
+//! reproduces the paper-scale sweep.
+
+pub mod ablations;
+pub mod eq2;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+/// How big to run a figure's experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long: full rank counts, full repetition counts.
+    Paper,
+    /// Sub-second: shrunken sweeps for tests and quick looks.
+    Quick,
+}
+
+impl Scale {
+    /// Pick `paper` or `quick` by scale.
+    pub fn pick<T>(self, paper: T, quick: T) -> T {
+        match self {
+            Scale::Paper => paper,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Render a simple aligned table: a header and rows of equal length.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "x".into()]],
+        );
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Paper.pick(10, 1), 10);
+        assert_eq!(Scale::Quick.pick(10, 1), 1);
+    }
+}

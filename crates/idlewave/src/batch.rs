@@ -1,0 +1,125 @@
+//! Parallel batch execution of independent simulations.
+//!
+//! The statistical experiments (Fig. 8's 15 repetitions × 7 noise levels
+//! × 3 systems, the elimination averages of Fig. 9) run many fully
+//! independent simulations. Each simulation is single-threaded and
+//! deterministic, so fanning them out over OS threads with crossbeam
+//! scales embarrassingly — and, because every run's seed is part of its
+//! config, the results are identical to sequential execution in any
+//! thread count.
+
+use mpisim::SimConfig;
+
+use crate::experiment::WaveTrace;
+
+/// Run every configuration, in parallel over up to `threads` OS threads,
+/// returning results in input order.
+///
+/// # Panics
+/// Propagates panics from individual simulations (a poisoned experiment
+/// should fail loudly, not produce a hole in the statistics).
+pub fn run_batch(configs: Vec<SimConfig>, threads: usize) -> Vec<WaveTrace> {
+    assert!(threads >= 1, "need at least one thread");
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(n);
+    if threads == 1 {
+        return configs.into_iter().map(WaveTrace::from_config).collect();
+    }
+
+    let mut slots: Vec<Option<WaveTrace>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
+    let chunk = n.div_ceil(threads);
+
+    crossbeam::scope(|scope| {
+        // Split the output slots so each worker owns a disjoint range.
+        let mut rest: &mut [Option<WaveTrace>] = &mut slots;
+        for work in jobs.chunks(chunk) {
+            let (mine, tail) = rest.split_at_mut(work.len());
+            rest = tail;
+            scope.spawn(move |_| {
+                for ((_, cfg), slot) in work.iter().zip(mine.iter_mut()) {
+                    *slot = Some(WaveTrace::from_config(cfg.clone()));
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Convenience: run the same experiment under each seed, in parallel.
+pub fn run_seeds(base: &SimConfig, seeds: &[u64], threads: usize) -> Vec<WaveTrace> {
+    let configs = seeds
+        .iter()
+        .map(|&seed| {
+            let mut cfg = base.clone();
+            cfg.seed = seed;
+            cfg
+        })
+        .collect();
+    run_batch(configs, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use simdes::SimDuration;
+
+    fn base() -> SimConfig {
+        WaveExperiment::flat_chain(10)
+            .texec(SimDuration::from_millis(1))
+            .steps(6)
+            .inject(3, 0, SimDuration::from_millis(4))
+            .noise_percent(5.0)
+            .into_config()
+    }
+
+    #[test]
+    fn parallel_equals_sequential_in_any_thread_count() {
+        let seeds: Vec<u64> = (0..9).collect();
+        let seq = run_seeds(&base(), &seeds, 1);
+        for threads in [2, 3, 8, 16] {
+            let par = run_seeds(&base(), &seeds, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.trace, b.trace, "threads = {threads}");
+                assert_eq!(a.cfg.seed, b.cfg.seed);
+            }
+        }
+    }
+
+    #[test]
+    fn results_preserve_input_order() {
+        let seeds: Vec<u64> = vec![42, 7, 99, 1];
+        let out = run_seeds(&base(), &seeds, 4);
+        let got: Vec<u64> = out.iter().map(|wt| wt.cfg.seed).collect();
+        assert_eq!(got, seeds);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_batch(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn single_config_runs() {
+        let out = run_batch(vec![base()], 8);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].trace.ranks(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        run_batch(vec![base()], 0);
+    }
+}

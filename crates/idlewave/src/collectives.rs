@@ -1,0 +1,180 @@
+//! Idle waves under collective-style communication schedules.
+//!
+//! The paper's outlook (Sec. VII) asks how collective communication
+//! patterns influence the idle-wave phenomenon; its Eq. (2) model
+//! explicitly "makes a starting point for the investigation of collective
+//! communication primitives". This module follows that thread: with an
+//! explicit per-round schedule (`workload::CommSchedule`) the simulator
+//! runs collectives such as recursive-doubling allreduce, and the
+//! analysis measures how fast an injected delay contaminates the job.
+//!
+//! The headline result (covered by tests and the `ablations` bench): on a
+//! next-neighbour ring a delay spreads *linearly* (σ·d ranks per step,
+//! Eq. 2), while under a hypercube allreduce it spreads *exponentially* —
+//! every rank of a 2^k job idles within k rounds, because the delayed
+//! rank's dependency cone is the whole hypercube.
+
+use mpisim::SimConfig;
+use simdes::SimDuration;
+use workload::CommSchedule;
+
+use crate::experiment::{WaveExperiment, WaveTrace};
+
+/// Per-step contamination profile of an injected delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contamination {
+    /// Number of ranks idling beyond the threshold at each step.
+    pub affected_per_step: Vec<u32>,
+    /// First step by which *every* rank other than the source has idled
+    /// at least once, if that happens within the run.
+    pub global_impact_step: Option<u32>,
+}
+
+/// Build a hypercube-allreduce experiment: `ranks` (power of two) ranks,
+/// compute phases of `texec`, one message per partner per round, and a
+/// delay of `delay` injected at `source` in step 0.
+pub fn hypercube_experiment(
+    ranks: u32,
+    texec: SimDuration,
+    steps: u32,
+    source: u32,
+    delay: SimDuration,
+) -> SimConfig {
+    let mut cfg = WaveExperiment::flat_chain(ranks)
+        .texec(texec)
+        .steps(steps)
+        .inject(source, 0, delay)
+        .into_config();
+    cfg.schedule = Some(CommSchedule::hypercube_allreduce(ranks));
+    cfg
+}
+
+/// Measure the contamination profile of a run: which ranks have idled by
+/// when.
+pub fn contamination(wt: &WaveTrace, source: u32, threshold: SimDuration) -> Contamination {
+    let ranks = wt.trace.ranks();
+    let steps = wt.trace.steps();
+    let mut touched = vec![false; ranks as usize];
+    let mut affected_per_step = Vec::with_capacity(steps as usize);
+    let mut global_impact_step = None;
+    for s in 0..steps {
+        let mut affected = 0;
+        for r in 0..ranks {
+            if wt.idle(r, s) > threshold {
+                affected += 1;
+                touched[r as usize] = true;
+            }
+        }
+        affected_per_step.push(affected);
+        let all_touched = (0..ranks).all(|r| r == source || touched[r as usize]);
+        if global_impact_step.is_none() && all_touched {
+            global_impact_step = Some(s);
+        }
+    }
+    Contamination { affected_per_step, global_impact_step }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn hypercube_delay_contaminates_all_ranks_in_log_rounds() {
+        // 16 ranks => log2 = 4 rounds.
+        let cfg = hypercube_experiment(16, MS.times(3), 12, 5, MS.times(30));
+        let wt = WaveTrace::from_config(cfg);
+        let th = wt.default_threshold();
+        let c = contamination(&wt, 5, th);
+        let step = c.global_impact_step.expect("delay must reach everyone");
+        assert!(
+            step <= 4,
+            "hypercube contamination should complete within log2(16)=4 rounds, took {step}"
+        );
+        // Exponential growth: affected count at least doubles early on.
+        assert!(c.affected_per_step[0] >= 1);
+        assert!(c.affected_per_step[1] > c.affected_per_step[0]);
+    }
+
+    #[test]
+    fn ring_contamination_is_linear_by_comparison() {
+        // Same job on a bidirectional eager ring: 2 ranks per step, so
+        // full contamination of 16 ranks takes ~8 steps, not 4.
+        let wt = WaveExperiment::flat_chain(16)
+            .direction(Direction::Bidirectional)
+            .boundary(Boundary::Periodic)
+            .eager()
+            .texec(MS.times(3))
+            .steps(14)
+            .inject(5, 0, MS.times(30))
+            .run();
+        let th = wt.default_threshold();
+        let ring = contamination(&wt, 5, th);
+        let ring_step = ring.global_impact_step.expect("ring reaches everyone too");
+        assert!(
+            ring_step >= 6,
+            "ring contamination should take ~N/2 steps, took {ring_step}"
+        );
+
+        let cfg = hypercube_experiment(16, MS.times(3), 14, 5, MS.times(30));
+        let hyper = WaveTrace::from_config(cfg);
+        let hc = contamination(&hyper, 5, hyper.default_threshold());
+        assert!(
+            hc.global_impact_step.unwrap() < ring_step,
+            "collective must spread the delay faster than the ring"
+        );
+    }
+
+    #[test]
+    fn silent_schedule_runs_have_no_contamination() {
+        let mut cfg = hypercube_experiment(8, MS, 6, 0, SimDuration::ZERO);
+        cfg.injections = noise_model::InjectionPlan::none();
+        let wt = WaveTrace::from_config(cfg);
+        let c = contamination(&wt, 0, wt.default_threshold());
+        assert_eq!(c.affected_per_step, vec![0; 6]);
+        assert_eq!(c.global_impact_step, None);
+    }
+
+    #[test]
+    fn schedule_runs_are_deterministic() {
+        let cfg = hypercube_experiment(8, MS, 8, 2, MS.times(5));
+        let a = WaveTrace::from_config(cfg.clone());
+        let b = WaveTrace::from_config(cfg);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn binomial_gather_blocks_only_the_ancestor_chain() {
+        // A one-shot binomial gather towards rank 0: a delay on a leaf
+        // only stalls its ancestors, not unrelated subtrees.
+        let ranks = 8u32;
+        let rounds = (0..3)
+            .map(|k| workload::CommGraph::binomial_gather_round(ranks, k))
+            .collect();
+        let mut cfg = WaveExperiment::flat_chain(ranks)
+            .texec(MS.times(3))
+            .steps(3)
+            .inject(5, 0, MS.times(30))
+            .into_config();
+        cfg.schedule = Some(workload::CommSchedule::cyclic(rounds));
+        let wt = WaveTrace::from_config(cfg);
+        let th = wt.default_threshold();
+        // Rank 5's gather path: round 0 it sends to 4; round 1, 4 has
+        // nothing to do with 5's data... the tree: 5->4 (round 0),
+        // 4->... round 1 sends 6->4? no: round 1 sends ranks with low
+        // bits 10 -> clear: 2->0, 6->4; round 2: 4->0. So the delay at 5
+        // stalls 4 (round 0), then 0 via round 2. Rank 3, 7 subtrees are
+        // untouched, ranks 1, 2, 6 finish without waiting on 5.
+        assert!(wt.total_idle(4) > th, "parent must wait for the delayed leaf");
+        assert!(wt.total_idle(0) > th, "root must wait transitively");
+        for unaffected in [1u32, 3, 7] {
+            assert!(
+                wt.total_idle(unaffected) <= th,
+                "rank {unaffected} is outside the ancestor chain but idled {}",
+                wt.total_idle(unaffected)
+            );
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! A phenomenological continuum model of idle waves.
+//!
+//! The paper closes with: "our long-term goal is to establish a nonlinear
+//! continuum model of message-passing programs that describes collective
+//! phenomena like long-distance correlations and structure formation."
+//! This module takes the first step the paper's own results license: a
+//! front-tracking continuum description with three ingredients, each
+//! measured in this reproduction —
+//!
+//! 1. **ballistic fronts**: a wave front moves at `v_silent` (Eq. 2);
+//!    under noise the front rides the noisy collective pace instead
+//!    (`edges` module);
+//! 2. **linear amplitude decay**: the idle amplitude shrinks by β̄ per
+//!    rank travelled (Fig. 8);
+//! 3. **annihilating collisions**: two colliding fronts cancel the
+//!    overlapping amplitude; the larger one survives with the amplitude
+//!    difference (Fig. 6) — the explicitly *nonlinear* term.
+//!
+//! The model is deliberately minimal: closed-form, no simulation, and
+//! the tests check its predictions against the discrete-event simulator.
+
+use simdes::{SimDuration, SimTime};
+
+/// Continuum parameters of one system/workload combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuumModel {
+    /// Front speed in ranks per second.
+    pub speed_ranks_per_sec: f64,
+    /// Amplitude decay in µs per rank travelled (0 on a silent system).
+    pub decay_us_per_rank: f64,
+}
+
+/// Outcome of two counter-propagating fronts colliding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Collision {
+    /// Hops each front travels before meeting (equal speeds assumed).
+    pub hops_to_meet: f64,
+    /// Amplitude surviving the collision (zero = full annihilation).
+    pub surviving_amplitude: SimDuration,
+    /// `true` if the wave launched with the larger amplitude survives.
+    pub first_survives: bool,
+}
+
+impl ContinuumModel {
+    /// A silent-system model for a configuration: Eq. 2 speed, no decay.
+    pub fn silent(cfg: &mpisim::SimConfig) -> Self {
+        ContinuumModel {
+            speed_ranks_per_sec: crate::model::predicted_speed(cfg),
+            decay_us_per_rank: 0.0,
+        }
+    }
+
+    /// Construct from an Eq. 2 speed and a measured decay rate (e.g. the
+    /// median of a `decay::decay_at_level` row).
+    pub fn with_decay(cfg: &mpisim::SimConfig, decay_us_per_rank: f64) -> Self {
+        assert!(decay_us_per_rank >= 0.0, "decay cannot be negative");
+        ContinuumModel {
+            speed_ranks_per_sec: crate::model::predicted_speed(cfg),
+            decay_us_per_rank,
+        }
+    }
+
+    /// Predicted amplitude after travelling `hops` ranks from an initial
+    /// amplitude (linear decay, clamped at zero).
+    pub fn amplitude_after(&self, initial: SimDuration, hops: f64) -> SimDuration {
+        assert!(hops >= 0.0, "hops cannot be negative");
+        let lost = SimDuration::from_micros_f64(self.decay_us_per_rank * hops);
+        initial.saturating_sub(lost)
+    }
+
+    /// Predicted number of ranks a wave of `initial` amplitude survives.
+    /// `u32::MAX` on a decay-free system.
+    pub fn survival_hops(&self, initial: SimDuration) -> u32 {
+        if self.decay_us_per_rank <= 0.0 {
+            return u32::MAX;
+        }
+        (initial.as_micros_f64() / self.decay_us_per_rank).floor() as u32
+    }
+
+    /// Predicted arrival time of the front at hop distance `hops`, for a
+    /// wave launched at `injected_at`.
+    pub fn arrival(&self, injected_at: SimTime, hops: f64) -> SimTime {
+        assert!(self.speed_ranks_per_sec > 0.0, "front must move");
+        injected_at + SimDuration::from_secs_f64(hops / self.speed_ranks_per_sec)
+    }
+
+    /// Two fronts launched simultaneously `gap` ranks apart, travelling
+    /// toward each other at equal speed: where they meet and what
+    /// survives. The nonlinearity: amplitudes subtract, they do not
+    /// superpose.
+    pub fn collide(
+        &self,
+        amplitude_a: SimDuration,
+        amplitude_b: SimDuration,
+        gap_ranks: u32,
+    ) -> Collision {
+        let hops = f64::from(gap_ranks) / 2.0;
+        let a = self.amplitude_after(amplitude_a, hops);
+        let b = self.amplitude_after(amplitude_b, hops);
+        let surviving = if a >= b { a - b } else { b - a };
+        Collision {
+            hops_to_meet: hops,
+            surviving_amplitude: surviving,
+            first_survives: a >= b,
+        }
+    }
+
+    /// Predicted extinction step of the Fig. 6 "equal injections" setup:
+    /// waves from adjacent sources meet after half the source gap; the
+    /// front advances `sigma·d` ranks per step.
+    pub fn extinction_step_equal_sources(&self, gap_ranks: u32, ranks_per_step: u32) -> u32 {
+        assert!(ranks_per_step >= 1);
+        (gap_ranks / 2).div_ceil(ranks_per_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use crate::interaction::activity_profile;
+    use crate::wavefront::{arrivals_from, Walk};
+    use noise_model::InjectionPlan;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn silent_model_predicts_arrival_times_exactly() {
+        let wt = WaveExperiment::flat_chain(16)
+            .texec(MS.times(3))
+            .steps(14)
+            .inject(3, 0, MS.times(12))
+            .run();
+        let model = ContinuumModel::silent(&wt.cfg);
+        let th = wt.default_threshold();
+        let arrivals = arrivals_from(&wt, 3, Walk::Up, th);
+        // The front sits at hop k at time k x (T_exec + T_comm) from the
+        // start: rank 4 begins waiting the moment its own first exec
+        // phase ends.
+        let launch = SimTime::ZERO;
+        for (i, a) in arrivals.iter().enumerate() {
+            let predicted = model.arrival(launch, (i + 1) as f64);
+            let err = predicted.as_secs_f64() - a.time.as_secs_f64();
+            assert!(
+                err.abs() < 0.2e-3,
+                "hop {}: predicted {predicted}, measured {}",
+                i + 1,
+                a.time
+            );
+            // Amplitude constant on a silent system.
+            assert_eq!(model.amplitude_after(MS.times(12), (i + 1) as f64), MS.times(12));
+        }
+        assert_eq!(model.survival_hops(MS.times(12)), u32::MAX);
+    }
+
+    #[test]
+    fn decay_model_predicts_survival_distance_on_fresh_seeds() {
+        // Calibrate beta on a handful of seeds...
+        let base = WaveExperiment::flat_chain(30)
+            .boundary(Boundary::Periodic)
+            .texec(MS.times(3))
+            .steps(46)
+            .inject(2, 0, MS.times(24));
+        let cal_seeds: Vec<u64> = (0..4).collect();
+        let row = crate::decay::decay_at_level(&base, 8.0, &cal_seeds);
+        let model = ContinuumModel::with_decay(base.config(), row.summary.median);
+        let predicted = model.survival_hops(MS.times(24));
+
+        // ...then predict the survival distance on unseen seeds.
+        let mut measured = Vec::new();
+        for seed in 20..26 {
+            let wt = base.clone().noise_percent(8.0).seed(seed).run();
+            let th = wt.default_threshold();
+            measured.push(f64::from(crate::wavefront::survival_distance(
+                &wt,
+                2,
+                Walk::Up,
+                th,
+            )));
+        }
+        let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+        let rel = (mean - f64::from(predicted)).abs() / mean;
+        assert!(
+            rel < 0.45,
+            "continuum survival {predicted} vs measured mean {mean} ({rel:.2})"
+        );
+    }
+
+    #[test]
+    fn collision_of_equal_waves_annihilates_at_half_gap() {
+        let sockets = 4u32;
+        let per_socket = 8u32;
+        let wt = WaveExperiment::flat_chain(sockets * per_socket)
+            .direction(Direction::Bidirectional)
+            .boundary(Boundary::Periodic)
+            .eager()
+            .texec(MS.times(3))
+            .steps(20)
+            .injections(InjectionPlan::per_socket_equal(
+                sockets, per_socket, 2, 0, MS.times(12),
+            ))
+            .run();
+        let model = ContinuumModel::silent(&wt.cfg);
+        let c = model.collide(MS.times(12), MS.times(12), per_socket);
+        assert_eq!(c.surviving_amplitude, SimDuration::ZERO);
+        assert_eq!(c.hops_to_meet, 4.0);
+        // Model extinction step vs simulated.
+        let predicted = model.extinction_step_equal_sources(per_socket, 1);
+        let measured = activity_profile(&wt, wt.default_threshold())
+            .extinction_step
+            .expect("equal waves cancel");
+        assert!(
+            (i64::from(measured) - i64::from(predicted)).abs() <= 2,
+            "extinction: continuum {predicted} vs sim {measured}"
+        );
+    }
+
+    #[test]
+    fn unequal_collision_leaves_the_difference() {
+        let model = ContinuumModel { speed_ranks_per_sec: 333.0, decay_us_per_rank: 0.0 };
+        let c = model.collide(MS.times(12), MS.times(6), 8);
+        assert_eq!(c.surviving_amplitude, MS.times(6));
+        assert!(c.first_survives);
+        let c2 = model.collide(MS.times(6), MS.times(12), 8);
+        assert!(!c2.first_survives);
+    }
+
+    #[test]
+    fn decay_shrinks_colliding_waves_before_they_meet() {
+        let model = ContinuumModel { speed_ranks_per_sec: 333.0, decay_us_per_rank: 1000.0 };
+        // 12 ms waves, 10 hops apart: each loses 5 ms before meeting.
+        let c = model.collide(MS.times(12), MS.times(8), 10);
+        // a: 12 - 5 = 7 ms; b: 8 - 5 = 3 ms; survivor 4 ms.
+        assert_eq!(c.surviving_amplitude, MS.times(4));
+        assert_eq!(model.survival_hops(MS.times(12)), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay cannot be negative")]
+    fn negative_decay_is_rejected() {
+        let cfg = WaveExperiment::flat_chain(4).into_config();
+        ContinuumModel::with_decay(&cfg, -1.0);
+    }
+}

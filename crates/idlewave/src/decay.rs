@@ -1,0 +1,180 @@
+//! Idle-period decay under noise (paper Sec. V-A, Fig. 8).
+//!
+//! Under fine-grained noise the trailing edge of an idle wave is eroded:
+//! the wave's amplitude (the idle time it causes at each rank it passes)
+//! shrinks as it travels. The paper quantifies this with the *average
+//! decay rate* β̄ in µs per rank: the mean amplitude loss per hop.
+//!
+//! Our estimator walks the wave from its source, collects the amplitude at
+//! each reached rank, and fits a straight line amplitude-vs-hop; β̄ is the
+//! negated slope. Statistics over independent seeds reproduce the
+//! median/min/max presentation of Fig. 8.
+
+use simdes::stats::{linear_fit, Summary};
+use simdes::SimDuration;
+
+use crate::experiment::{WaveExperiment, WaveTrace};
+use crate::wavefront::{arrivals_from, Walk};
+
+/// Decay measurement from a single run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayMeasurement {
+    /// Average decay rate β̄ in µs per rank (positive = wave shrinks).
+    pub rate_us_per_rank: f64,
+    /// Ranks the wave visibly reached before extinction.
+    pub survival_ranks: u32,
+    /// Amplitude at the first hop, µs (for reporting).
+    pub initial_amplitude_us: f64,
+    /// Fit quality of the linear amplitude model.
+    pub r2: f64,
+}
+
+/// Measure the decay of the wave emanating up-chain from `source`.
+///
+/// Returns `None` when fewer than three arrivals are detected (nothing to
+/// fit) — e.g. when the noise is strong enough to absorb the wave almost
+/// immediately, or the wave never formed.
+pub fn measure_decay(
+    wt: &WaveTrace,
+    source: u32,
+    walk: Walk,
+    threshold: SimDuration,
+) -> Option<DecayMeasurement> {
+    let arrivals = arrivals_from(wt, source, walk, threshold);
+    if arrivals.len() < 3 {
+        return None;
+    }
+    let points: Vec<(f64, f64)> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| ((i + 1) as f64, a.amplitude.as_micros_f64()))
+        .collect();
+    let fit = linear_fit(&points)?;
+    Some(DecayMeasurement {
+        rate_us_per_rank: -fit.slope,
+        survival_ranks: arrivals.len() as u32,
+        initial_amplitude_us: arrivals[0].amplitude.as_micros_f64(),
+        r2: fit.r2,
+    })
+}
+
+/// One row of the Fig. 8 scan: decay-rate statistics at a noise level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecayRow {
+    /// Mean relative delay E in percent (x-axis of Fig. 8).
+    pub e_percent: f64,
+    /// Per-seed decay rates (µs/rank).
+    pub rates: Vec<f64>,
+    /// Median/min/max summary of the rates.
+    pub summary: Summary,
+}
+
+/// Run the decay experiment at one noise level over `seeds.len()`
+/// independent runs (the paper uses 15) and summarise.
+///
+/// `base` must contain the injected delay; the noise level is overridden
+/// per the scan. Runs whose wave is absorbed before three hops are
+/// counted as a decay rate equal to the initial amplitude per hop — the
+/// wave died "immediately", the strongest decay observable.
+pub fn decay_at_level(base: &WaveExperiment, e_percent: f64, seeds: &[u64]) -> DecayRow {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let source = wave_source(base);
+    let mut rates = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let wt = base
+            .clone()
+            .noise_percent(e_percent)
+            .seed(seed)
+            .run();
+        let threshold = wt.default_threshold();
+        match measure_decay(&wt, source, Walk::Up, threshold) {
+            Some(m) => rates.push(m.rate_us_per_rank.max(0.0)),
+            None => {
+                // Wave absorbed within <3 hops: decay ≥ injected/3 per rank.
+                let injected = wt.cfg.injections.max_duration().as_micros_f64();
+                rates.push(injected / 3.0);
+            }
+        }
+    }
+    let summary = Summary::of(&rates).expect("rates are finite and non-empty");
+    DecayRow { e_percent, rates, summary }
+}
+
+/// The rank carrying the (largest) injected delay of an experiment.
+fn wave_source(base: &WaveExperiment) -> u32 {
+    base.config()
+        .injections
+        .injections()
+        .iter()
+        .max_by_key(|i| i.duration)
+        .expect("decay experiments need an injected delay")
+        .rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    /// A periodic chain long enough for a wave to decay in.
+    fn base(ranks: u32, steps: u32) -> WaveExperiment {
+        WaveExperiment::flat_chain(ranks)
+            .direction(Direction::Unidirectional)
+            .boundary(Boundary::Periodic)
+            .texec(MS.times(3))
+            .steps(steps)
+            .inject(2, 0, MS.times(30))
+    }
+
+    #[test]
+    fn silent_system_has_no_decay() {
+        let wt = base(20, 30).run();
+        let m = measure_decay(&wt, 2, Walk::Up, wt.default_threshold()).expect("wave exists");
+        // Noise-free: amplitude is constant, slope ~0.
+        assert!(m.rate_us_per_rank.abs() < 1.0, "rate {}", m.rate_us_per_rank);
+        assert!(m.survival_ranks >= 18);
+        assert!((m.initial_amplitude_us - 30_000.0).abs() < 1_500.0);
+    }
+
+    #[test]
+    fn noise_erodes_the_wave() {
+        let wt = base(20, 30).noise_percent(8.0).seed(11).run();
+        let m = measure_decay(&wt, 2, Walk::Up, wt.default_threshold()).expect("wave exists");
+        assert!(
+            m.rate_us_per_rank > 50.0,
+            "expected visible decay, got {} us/rank",
+            m.rate_us_per_rank
+        );
+    }
+
+    #[test]
+    fn decay_rate_increases_with_noise_level() {
+        let seeds: Vec<u64> = (0..6).collect();
+        let b = base(24, 36);
+        let low = decay_at_level(&b, 2.0, &seeds);
+        let high = decay_at_level(&b, 10.0, &seeds);
+        assert!(
+            high.summary.median > low.summary.median,
+            "decay must grow with E: low {} high {}",
+            low.summary.median,
+            high.summary.median
+        );
+        assert_eq!(low.rates.len(), 6);
+    }
+
+    #[test]
+    fn quiet_wave_gives_none_without_injection_reach() {
+        // No injection at all: nothing to measure.
+        let wt = WaveExperiment::flat_chain(10).texec(MS).steps(5).run();
+        assert!(measure_decay(&wt, 4, Walk::Up, wt.default_threshold()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "need an injected delay")]
+    fn decay_scan_requires_an_injection() {
+        let b = WaveExperiment::flat_chain(10).texec(MS).steps(5);
+        decay_at_level(&b, 5.0, &[1]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Leading- vs. trailing-edge behaviour of idle waves under noise.
+//!
+//! Paper Sec. IV-C: "even in a noisy system the propagation speed along
+//! the 'forward', i.e., the leading slope of an idle wave is hardly
+//! changed from v_silent, while the trailing slope is strongly
+//! influenced by it" — noise and accumulated past delays interact with
+//! the trailing edge (the idle period acts as a buffer), while the
+//! leading edge's exposure to noise is bounded by one chain traversal.
+//!
+//! The leading edge at a rank is the moment waiting begins; the trailing
+//! edge is the moment waiting ends (the rank resumes execution). On a
+//! silent system both move at `v_silent`; under noise the trailing edge
+//! moves faster (the wave shrinks), and we quantify both.
+
+use simdes::stats::linear_fit;
+use simdes::SimDuration;
+
+use crate::experiment::WaveTrace;
+use crate::wavefront::{arrivals_from, Walk};
+
+/// Fitted speeds of both wave edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeSpeeds {
+    /// Leading-edge (waiting begins) speed, ranks/s.
+    pub leading: f64,
+    /// Trailing-edge (waiting ends) speed, ranks/s.
+    pub trailing: f64,
+    /// Fit quality of the leading edge.
+    pub leading_r2: f64,
+    /// Fit quality of the trailing edge.
+    pub trailing_r2: f64,
+    /// Hops used.
+    pub hops: usize,
+}
+
+/// Fit both edge speeds walking `walk`-ward from `source`. Returns
+/// `None` with fewer than three detectable arrivals.
+pub fn edge_speeds(
+    wt: &WaveTrace,
+    source: u32,
+    walk: Walk,
+    threshold: SimDuration,
+) -> Option<EdgeSpeeds> {
+    let arrivals = arrivals_from(wt, source, walk, threshold);
+    if arrivals.len() < 3 {
+        return None;
+    }
+    let leading_pts: Vec<(f64, f64)> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.time.as_secs_f64(), (i + 1) as f64))
+        .collect();
+    let trailing_pts: Vec<(f64, f64)> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            let rec = wt.trace.record(a.rank, a.step);
+            (rec.comm_end.as_secs_f64(), (i + 1) as f64)
+        })
+        .collect();
+    let lead = linear_fit(&leading_pts)?;
+    let trail = linear_fit(&trailing_pts)?;
+    Some(EdgeSpeeds {
+        leading: lead.slope,
+        trailing: trail.slope,
+        leading_r2: lead.r2,
+        trailing_r2: trail.r2,
+        hops: arrivals.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use crate::model::predicted_speed;
+    use workload::Boundary;
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    fn run(e_percent: f64, seed: u64) -> WaveTrace {
+        WaveExperiment::flat_chain(40)
+            .boundary(Boundary::Periodic)
+            .texec(MS.times(3))
+            .steps(50)
+            .inject(2, 0, MS.times(45))
+            .noise_percent(e_percent)
+            .seed(seed)
+            .run()
+    }
+
+    #[test]
+    fn silent_system_edges_coincide() {
+        let wt = run(0.0, 1);
+        let th = wt.default_threshold();
+        let e = edge_speeds(&wt, 2, Walk::Up, th).expect("wave present");
+        let v = predicted_speed(&wt.cfg);
+        assert!((e.leading / v - 1.0).abs() < 0.02, "leading {} vs {v}", e.leading);
+        assert!((e.trailing / v - 1.0).abs() < 0.02, "trailing {} vs {v}", e.trailing);
+        assert!(e.leading_r2 > 0.999 && e.trailing_r2 > 0.999);
+    }
+
+    #[test]
+    fn noise_leaves_leading_edge_but_accelerates_trailing_edge() {
+        // The leading edge of a wave in a noisy system rides on the
+        // *noisy* collective pace (every undisturbed rank is equally
+        // slowed), so the reference speed is one rank per measured noisy
+        // step, not the silent v_silent. Average over seeds: single-run
+        // edge fits are noisy.
+        let mut lead_ratio = 0.0;
+        let mut trail_ratio = 0.0;
+        let n = 6;
+        for seed in 0..n {
+            let wt = run(8.0, seed);
+            let th = wt.default_threshold();
+            let e = edge_speeds(&wt, 2, Walk::Up, th).expect("wave survives a while");
+
+            // Noisy baseline pace from the same system without the wave.
+            let mut quiet_cfg = wt.cfg.clone();
+            quiet_cfg.injections = noise_model::InjectionPlan::none();
+            let quiet = WaveTrace::from_config(quiet_cfg);
+            let steps = f64::from(quiet.trace.steps());
+            let noisy_step = quiet.total_runtime().as_secs_f64() / steps;
+            let v_noisy = 1.0 / noisy_step;
+
+            lead_ratio += e.leading / v_noisy;
+            trail_ratio += e.trailing / v_noisy;
+        }
+        lead_ratio /= n as f64;
+        trail_ratio /= n as f64;
+        // Paper: leading edge hardly changed (relative to the system's
+        // own pace).
+        assert!(
+            (lead_ratio - 1.0).abs() < 0.06,
+            "leading edge drifted: ratio {lead_ratio}"
+        );
+        // Trailing edge visibly faster: the wave is being eaten from
+        // behind.
+        assert!(
+            trail_ratio > lead_ratio + 0.01,
+            "trailing ({trail_ratio}) should outrun leading ({lead_ratio})"
+        );
+    }
+
+    #[test]
+    fn too_short_wave_yields_none() {
+        let wt = WaveExperiment::flat_chain(6)
+            .texec(MS)
+            .steps(3)
+            .run(); // no injection at all
+        let th = wt.default_threshold();
+        assert!(edge_speeds(&wt, 2, Walk::Up, th).is_none());
+    }
+}

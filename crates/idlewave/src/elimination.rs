@@ -1,0 +1,158 @@
+//! Idle-period elimination by noise (paper Sec. V-B, Fig. 9).
+//!
+//! The paper's final experiment: a core-bound program with an injected
+//! idle wave runs under increasing exponential noise. The wave-induced
+//! *excess runtime* — total runtime with the wave minus total runtime of
+//! the same noisy system without the wave — shrinks with the noise level
+//! and vanishes around E ≈ 25 %: the wave is completely absorbed, making
+//! the injected delay effectively free.
+
+use simdes::{SimDuration, SimTime};
+
+use crate::experiment::WaveExperiment;
+
+/// Outcome of one elimination measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EliminationResult {
+    /// Noise level E in percent.
+    pub e_percent: f64,
+    /// Total runtime with the injected wave.
+    pub with_wave: SimTime,
+    /// Total runtime of the identical noisy run without the wave.
+    pub without_wave: SimTime,
+    /// Wave-induced excess runtime (saturating at zero).
+    pub excess: SimDuration,
+    /// Excess as a fraction of the injected delay (1 = the full delay is
+    /// visible in the runtime, 0 = completely absorbed).
+    pub absorption_ratio: f64,
+}
+
+/// Run `base` (which must contain an injected delay) at noise level
+/// `e_percent`, with and without the injection, and report the excess.
+pub fn measure_elimination(base: &WaveExperiment, e_percent: f64) -> EliminationResult {
+    let injected = base.config().injections.max_duration();
+    assert!(
+        !injected.is_zero(),
+        "elimination experiments need an injected delay"
+    );
+    let with = base.clone().noise_percent(e_percent).run();
+    let mut quiet_cfg = base.clone().noise_percent(e_percent).into_config();
+    quiet_cfg.injections = noise_model::InjectionPlan::none();
+    let without = crate::experiment::WaveTrace::from_config(quiet_cfg);
+
+    let t_with = with.total_runtime();
+    let t_without = without.total_runtime();
+    let excess = t_with.saturating_since(t_without);
+    EliminationResult {
+        e_percent,
+        with_wave: t_with,
+        without_wave: t_without,
+        excess,
+        absorption_ratio: excess.as_secs_f64() / injected.as_secs_f64(),
+    }
+}
+
+/// Scan several noise levels (the Fig. 9 panels are E = 0, 20, 25 %).
+pub fn elimination_scan(base: &WaveExperiment, levels: &[f64]) -> Vec<EliminationResult> {
+    levels.iter().map(|&e| measure_elimination(base, e)).collect()
+}
+
+/// Like [`measure_elimination`] but averaged over independent seeds: the
+/// single-run excess is a difference of two noisy runtimes and carries
+/// run-to-run variance of the order of the noise itself.
+pub fn average_elimination(
+    base: &WaveExperiment,
+    e_percent: f64,
+    seeds: &[u64],
+) -> EliminationResult {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let injected = base.config().injections.max_duration();
+    let results: Vec<EliminationResult> = seeds
+        .iter()
+        .map(|&s| measure_elimination(&base.clone().seed(s), e_percent))
+        .collect();
+    let n = results.len() as u64;
+    let mean_with = results.iter().map(|r| r.with_wave.nanos()).sum::<u64>() / n;
+    let mean_without = results.iter().map(|r| r.without_wave.nanos()).sum::<u64>() / n;
+    let excess = SimDuration(mean_with.saturating_sub(mean_without));
+    EliminationResult {
+        e_percent,
+        with_wave: SimTime(mean_with),
+        without_wave: SimTime(mean_without),
+        excess,
+        absorption_ratio: excess.as_secs_f64() / injected.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    /// A shrunken Fig. 9: bidirectional periodic ring, wave of four
+    /// execution periods injected at rank 1, step 1.
+    fn fig9_base(ranks: u32, steps: u32) -> WaveExperiment {
+        WaveExperiment::flat_chain(ranks)
+            .direction(Direction::Bidirectional)
+            .boundary(Boundary::Periodic)
+            .texec(MS.mul_f64(1.5))
+            .steps(steps)
+            .inject(1, 1, MS.times(6))
+            .seed(3)
+    }
+
+    #[test]
+    fn silent_system_shows_the_full_delay() {
+        let r = measure_elimination(&fig9_base(36, 30), 0.0);
+        // Excess runtime ~ the injected 6 ms (paper Fig. 9a).
+        let excess_ms = r.excess.as_millis_f64();
+        assert!(
+            (5.4..=6.6).contains(&excess_ms),
+            "noise-free excess should be ~6 ms, got {excess_ms}"
+        );
+        assert!(r.absorption_ratio > 0.9);
+    }
+
+    #[test]
+    fn noise_increases_total_runtime_but_absorbs_the_wave() {
+        let base = fig9_base(36, 30);
+        let seeds: Vec<u64> = (10..16).collect();
+        let quiet = average_elimination(&base, 0.0, &seeds);
+        let noisy = average_elimination(&base, 25.0, &seeds);
+        // Noise makes everything slower...
+        assert!(noisy.without_wave > quiet.without_wave);
+        // ...but eats the wave-induced excess (paper Fig. 9c: no excess).
+        assert!(
+            noisy.excess < quiet.excess,
+            "excess must shrink: quiet {} noisy {}",
+            quiet.excess,
+            noisy.excess
+        );
+        assert!(
+            noisy.absorption_ratio < 0.6,
+            "at E=25% most of the wave should be absorbed, ratio {}",
+            noisy.absorption_ratio
+        );
+        assert!(quiet.absorption_ratio > 0.9);
+    }
+
+    #[test]
+    fn scan_is_monotone_in_the_shrunken_setup() {
+        let base = fig9_base(24, 24);
+        let rows = elimination_scan(&base, &[0.0, 20.0, 25.0]);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].excess >= rows[2].excess);
+        // Runtimes with noise exceed the noise-free runtime (Fig. 9's
+        // t_total ordering: 51.1 < 82.7 ~ 84.6 ms).
+        assert!(rows[1].with_wave > rows[0].with_wave);
+    }
+
+    #[test]
+    #[should_panic(expected = "need an injected delay")]
+    fn elimination_requires_injection() {
+        let base = WaveExperiment::flat_chain(8).texec(MS).steps(4);
+        measure_elimination(&base, 10.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Idle-wave speed across topology-domain boundaries.
+//!
+//! The paper's outlook (Sec. VII): "the propagation speed changes
+//! whenever a domain boundary is crossed", because Eq. (2)'s `T_comm`
+//! differs between intra-socket, inter-socket and inter-node links. This
+//! module measures exactly that: per-hop arrival intervals of a wave
+//! front, grouped by the domain of the link each hop crossed, compared
+//! against the per-domain Eq. (2) prediction
+//! `interval_D = (T_exec + T_comm(D)) / (σ·d)`.
+
+use netmodel::Domain;
+use simdes::stats::Summary;
+use simdes::SimDuration;
+
+use crate::experiment::WaveTrace;
+use crate::wavefront::{arrivals_from, Walk};
+
+/// One hop of the wave front.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// Rank the front came from.
+    pub from: u32,
+    /// Rank the front reached.
+    pub to: u32,
+    /// Domain of the link between the two ranks.
+    pub domain: Domain,
+    /// Time between the two arrivals.
+    pub interval: SimDuration,
+}
+
+/// Extract the per-hop intervals of the wave front walking `walk`-ward
+/// from `source`. The first hop (source → first arrival) is excluded —
+/// its interval is dominated by the injected delay, not by propagation.
+pub fn hop_intervals(
+    wt: &WaveTrace,
+    source: u32,
+    walk: Walk,
+    threshold: SimDuration,
+) -> Vec<Hop> {
+    let arrivals = arrivals_from(wt, source, walk, threshold);
+    arrivals
+        .windows(2)
+        .filter_map(|w| {
+            let (a, b) = (&w[0], &w[1]);
+            // Skip pairs with a detection gap (non-adjacent ranks) and
+            // wrapped pairs with non-monotone times.
+            if b.time < a.time {
+                return None;
+            }
+            let domain = wt.cfg.network.domain_between(a.rank, b.rank)?;
+            Some(Hop {
+                from: a.rank,
+                to: b.rank,
+                domain,
+                interval: b.time.since(a.time),
+            })
+        })
+        .collect()
+}
+
+/// Summary of hop intervals per domain, in microseconds.
+pub fn interval_by_domain(hops: &[Hop]) -> Vec<(Domain, Summary)> {
+    let mut out = Vec::new();
+    for domain in [Domain::Socket, Domain::Node, Domain::Network] {
+        let samples: Vec<f64> = hops
+            .iter()
+            .filter(|h| h.domain == domain)
+            .map(|h| h.interval.as_micros_f64())
+            .collect();
+        if let Some(s) = Summary::of(&samples) {
+            out.push((domain, s));
+        }
+    }
+    out
+}
+
+/// Eq. (2) per-domain hop interval for a next-neighbour wave:
+/// `T_exec + T_comm(domain)` (σ·d = 1 hop per step assumed; scale by
+/// σ·d for other modes).
+pub fn predicted_interval(wt: &WaveTrace, domain: Domain) -> SimDuration {
+    let cfg = &wt.cfg;
+    let mode = cfg.protocol.mode_for(cfg.msg_bytes);
+    let link = cfg.network.models.for_domain(domain);
+    let xfer = link.transfer_time(cfg.msg_bytes);
+    let comm = match mode {
+        mpisim::Mode::Eager => xfer,
+        mpisim::Mode::Rendezvous => link.ctrl_latency() + link.ctrl_latency() + xfer,
+    };
+    mpisim::nominal_exec_duration(cfg) + comm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use netmodel::{ClusterNetwork, DomainModels, Hockney, Machine, PointToPoint};
+    use workload::{Boundary, CommPattern, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    /// Two nodes x two sockets x four cores, strongly heterogeneous link
+    /// speeds so boundary crossings are visible, and a large message so
+    /// T_comm is not negligible against T_exec.
+    fn hier_wave() -> WaveTrace {
+        let models = DomainModels {
+            socket: PointToPoint::Hockney(Hockney::new(
+                SimDuration::from_nanos(300),
+                10e9,
+            )),
+            node: PointToPoint::Hockney(Hockney::new(SimDuration::from_nanos(600), 4e9)),
+            network: PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(2), 1e9)),
+        };
+        let net = ClusterNetwork::new(Machine::new(4, 2, 2), 8, 16, models);
+        let mut cfg = mpisim::SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Unidirectional, Boundary::Open),
+            20,
+        );
+        cfg.msg_bytes = 2_000_000; // 2 MB: 0.2 / 0.5 / 2 ms per domain
+        cfg.protocol = mpisim::Protocol::Eager;
+        cfg.exec = workload::ExecModel::Compute { duration: MS };
+        cfg.injections = noise_model::InjectionPlan::single(0, 0, MS.times(40));
+        WaveTrace::from_config(cfg)
+    }
+
+    #[test]
+    fn hops_cover_all_domains_with_correct_labels() {
+        let wt = hier_wave();
+        let th = wt.default_threshold();
+        let hops = hop_intervals(&wt, 0, Walk::Up, th);
+        assert!(hops.len() >= 13, "wave should cross most of the 16 ranks");
+        // Ranks 0-3 socket 0, 4-7 socket 1, 8-15 node 1.
+        let find = |to: u32| hops.iter().find(|h| h.to == to).expect("hop");
+        assert_eq!(find(2).domain, Domain::Socket);
+        assert_eq!(find(4).domain, Domain::Node);
+        assert_eq!(find(8).domain, Domain::Network);
+    }
+
+    #[test]
+    fn wave_slows_down_at_each_boundary() {
+        let wt = hier_wave();
+        let th = wt.default_threshold();
+        let hops = hop_intervals(&wt, 0, Walk::Up, th);
+        let by_domain = interval_by_domain(&hops);
+        assert_eq!(by_domain.len(), 3, "all three domains crossed");
+        let get = |d: Domain| {
+            by_domain
+                .iter()
+                .find(|(dd, _)| *dd == d)
+                .map(|(_, s)| s.median)
+                .expect("domain present")
+        };
+        let socket = get(Domain::Socket);
+        let node = get(Domain::Node);
+        let network = get(Domain::Network);
+        assert!(socket < node, "socket {socket} !< node {node}");
+        assert!(node < network, "node {node} !< network {network}");
+    }
+
+    #[test]
+    fn per_domain_intervals_match_eq2() {
+        let wt = hier_wave();
+        let th = wt.default_threshold();
+        let hops = hop_intervals(&wt, 0, Walk::Up, th);
+        for domain in [Domain::Socket, Domain::Node, Domain::Network] {
+            let predicted = predicted_interval(&wt, domain).as_micros_f64();
+            let measured: Vec<f64> = hops
+                .iter()
+                .filter(|h| h.domain == domain)
+                .map(|h| h.interval.as_micros_f64())
+                .collect();
+            let s = Summary::of(&measured).expect("samples");
+            let err = (s.median - predicted).abs() / predicted;
+            assert!(
+                err < 0.02,
+                "{domain:?}: measured {} vs predicted {predicted} ({err:.3})",
+                s.median
+            );
+        }
+    }
+
+    #[test]
+    fn flat_networks_have_uniform_intervals() {
+        let wt = WaveExperiment::flat_chain(12)
+            .texec(MS.times(3))
+            .steps(14)
+            .inject(2, 0, MS.times(12))
+            .run();
+        let th = wt.default_threshold();
+        let hops = hop_intervals(&wt, 2, Walk::Up, th);
+        let by_domain = interval_by_domain(&hops);
+        assert_eq!(by_domain.len(), 1);
+        assert_eq!(by_domain[0].0, Domain::Network);
+        let s = by_domain[0].1;
+        assert!(s.max - s.min < 1.0, "intervals should be constant, spread {}", s.max - s.min);
+    }
+}

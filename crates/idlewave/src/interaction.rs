@@ -1,0 +1,167 @@
+//! Interaction of multiple idle waves (paper Sec. IV-B, Fig. 6).
+//!
+//! Idle waves are *not* linear waves: when two fronts meet they partially
+//! or fully cancel instead of passing through each other. The paper
+//! demonstrates this with per-socket injections on a periodic 100-rank
+//! chain: equal delays annihilate pairwise after half the socket gap,
+//! unequal delays leave a surviving remnant that travels on, and random
+//! delays leave only the longest waves alive.
+//!
+//! This module quantifies interaction through the per-step *activity*
+//! profile (how many ranks idle in a step) and each wave's extinction
+//! step.
+
+use simdes::SimDuration;
+
+use crate::experiment::WaveTrace;
+
+/// Aggregate description of wave activity over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityProfile {
+    /// Per step: number of ranks idling beyond the threshold.
+    pub per_step: Vec<u32>,
+    /// First step after which no rank idles again, if the waves die out
+    /// before the run ends.
+    pub extinction_step: Option<u32>,
+    /// Total idle time summed over all ranks and steps.
+    pub total_idle: SimDuration,
+}
+
+/// Compute the activity profile of a run.
+pub fn activity_profile(wt: &WaveTrace, threshold: SimDuration) -> ActivityProfile {
+    let steps = wt.trace.steps();
+    let per_step: Vec<u32> = (0..steps).map(|s| wt.activity(s, threshold)).collect();
+    let last_active = per_step.iter().rposition(|&n| n > 0);
+    let extinction_step = match last_active {
+        None => Some(0),
+        Some(last) if (last as u32) < steps - 1 => Some(last as u32 + 1),
+        Some(_) => None, // still active in the final step
+    };
+    let total_idle = (0..wt.trace.ranks()).map(|r| wt.total_idle(r)).sum();
+    ActivityProfile { per_step, extinction_step, total_idle }
+}
+
+/// Idle time accumulated by each rank over the whole run — the spatial
+/// footprint of the waves (Fig. 6's timelines collapsed over time).
+pub fn idle_footprint(wt: &WaveTrace) -> Vec<SimDuration> {
+    (0..wt.trace.ranks()).map(|r| wt.total_idle(r)).collect()
+}
+
+/// `true` if every injected wave died before the run ended — full
+/// cancellation (Fig. 6a) as opposed to survival to termination (Fig. 6c).
+pub fn fully_cancelled(wt: &WaveTrace, threshold: SimDuration) -> bool {
+    activity_profile(wt, threshold).extinction_step.is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use noise_model::InjectionPlan;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    /// Periodic bidirectional eager ring with `sockets` x `per_socket`
+    /// ranks, delays injected on local rank 2 of each socket (a shrunken
+    /// Fig. 6).
+    fn ring(sockets: u32, per_socket: u32, plan: InjectionPlan, steps: u32) -> WaveTrace {
+        WaveExperiment::flat_chain(sockets * per_socket)
+            .direction(Direction::Bidirectional)
+            .boundary(Boundary::Periodic)
+            .texec(MS.times(3))
+            .steps(steps)
+            .injections(plan)
+            .run()
+    }
+
+    #[test]
+    fn equal_waves_cancel_pairwise_quickly() {
+        // Fig. 6(a): equal delays on every socket cancel after half the
+        // inter-injection gap (here gap 8, so ~4 hops).
+        let plan = InjectionPlan::per_socket_equal(4, 8, 2, 0, MS.times(12));
+        let wt = ring(4, 8, plan, 20);
+        let th = wt.default_threshold();
+        let p = activity_profile(&wt, th);
+        assert!(
+            p.extinction_step.is_some(),
+            "equal waves must fully cancel; profile {:?}",
+            p.per_step
+        );
+        let ext = p.extinction_step.unwrap();
+        assert!(
+            (3..=7).contains(&ext),
+            "expected cancellation after ~4 hops, got step {ext}"
+        );
+        assert!(fully_cancelled(&wt, th));
+    }
+
+    #[test]
+    fn unequal_waves_partially_cancel_and_survive_longer() {
+        // Fig. 6(b): halved delays on odd sockets: the longer waves'
+        // remnants travel further before meeting their symmetric partners.
+        let equal = InjectionPlan::per_socket_equal(4, 8, 2, 0, MS.times(12));
+        let half = InjectionPlan::per_socket_half_on_odd(4, 8, 2, 0, MS.times(12));
+        let we = ring(4, 8, equal, 24);
+        let wh = ring(4, 8, half, 24);
+        let the = we.default_threshold();
+        let thh = wh.default_threshold();
+        let ee = activity_profile(&we, the).extinction_step.expect("equal cancels");
+        let eh = activity_profile(&wh, thh).extinction_step.expect("half cancels");
+        assert!(
+            eh > ee,
+            "surviving remnants must outlive the equal case: equal {ee}, half {eh}"
+        );
+    }
+
+    #[test]
+    fn single_wave_on_a_ring_survives_one_traversal() {
+        // One wave, no partner to cancel with: it dies only at the
+        // injector after a full wrap (bidirectional: the two fronts meet at
+        // the antipode after N/2 hops).
+        let plan = InjectionPlan::single(5, 0, MS.times(12));
+        let wt = ring(4, 8, plan.clone(), 30);
+        let th = wt.default_threshold();
+        let p = activity_profile(&wt, th);
+        let ext = p.extinction_step.expect("wave dies at antipode");
+        assert!(
+            (14..=18).contains(&ext),
+            "expected ~16 hops (half of 32), got {ext}"
+        );
+    }
+
+    #[test]
+    fn footprint_covers_all_ranks_reached() {
+        let plan = InjectionPlan::single(5, 0, MS.times(12));
+        let wt = ring(4, 8, plan, 30);
+        let fp = idle_footprint(&wt);
+        assert_eq!(fp.len(), 32);
+        // Every rank except the injector idles roughly once.
+        let th = wt.default_threshold();
+        let touched = fp.iter().filter(|&&d| d > th).count();
+        assert!(touched >= 30, "only {touched} ranks touched");
+        assert!(fp[5] < MS, "the injector itself should not idle");
+    }
+
+    #[test]
+    fn total_idle_scales_with_cancellation() {
+        // Two opposing equal waves cancel: total idle is bounded by
+        // (hops to meet) x amplitude x 2 rather than ranks x amplitude.
+        let plan = InjectionPlan::per_socket_equal(2, 8, 2, 0, MS.times(12));
+        let wt = ring(2, 8, plan, 20);
+        let p = activity_profile(&wt, wt.default_threshold());
+        // 16 ranks; waves from ranks 2 and 10 meet after ~4 hops each
+        // travelling both directions: ~14 rank-idles of ~12 ms.
+        let upper = MS.times(12).as_secs_f64() * 16.0;
+        assert!(p.total_idle.as_secs_f64() < upper, "total idle {}", p.total_idle);
+    }
+
+    #[test]
+    fn quiet_run_is_extinct_from_step_zero() {
+        let wt = WaveExperiment::flat_chain(8).texec(MS).steps(6).run();
+        let p = activity_profile(&wt, wt.default_threshold());
+        assert_eq!(p.extinction_step, Some(0));
+        assert_eq!(p.per_step, vec![0; 6]);
+        assert!(p.total_idle < SimDuration::from_micros(100));
+    }
+}

@@ -1,0 +1,116 @@
+//! The analytic propagation-speed model — Eq. (2) of the paper.
+//!
+//! On a noise-free homogeneous system with core-bound execution, an idle
+//! wave travels at
+//!
+//! ```text
+//! v_silent = σ · d / (T_exec + T_comm)    [ranks/s]
+//!
+//! σ = 2  for bidirectional rendezvous-mode communication
+//! σ = 1  for any other mode
+//! ```
+//!
+//! where `d` is the largest distance to any communication partner. The
+//! paper stresses that it does not matter what `T_comm` is composed of
+//! (latency, overhead, transfer): communication overhead and execution
+//! time enter on an equal footing.
+
+use mpisim::{nominal_step_duration, Mode, SimConfig};
+use simdes::SimDuration;
+use workload::Direction;
+
+/// The mode/direction factor σ of Eq. (2).
+pub fn sigma(direction: Direction, mode: Mode) -> u32 {
+    match (direction, mode) {
+        (Direction::Bidirectional, Mode::Rendezvous) => 2,
+        _ => 1,
+    }
+}
+
+/// `v_silent` in ranks per second from explicit ingredients.
+pub fn v_silent(sigma: u32, distance: u32, t_exec: SimDuration, t_comm: SimDuration) -> f64 {
+    assert!(sigma == 1 || sigma == 2, "sigma must be 1 or 2");
+    assert!(distance >= 1, "distance must be at least 1");
+    let period = (t_exec + t_comm).as_secs_f64();
+    assert!(period > 0.0, "zero step duration");
+    f64::from(sigma) * f64::from(distance) / period
+}
+
+/// `v_silent` predicted for a complete configuration: σ from the pattern
+/// direction and chosen protocol mode, `d` from the pattern, and
+/// `T_exec + T_comm` from the analytic step baseline.
+pub fn predicted_speed(cfg: &SimConfig) -> f64 {
+    let mode = cfg.protocol.mode_for(cfg.msg_bytes);
+    let s = sigma(cfg.pattern.direction, mode);
+    let period = nominal_step_duration(cfg).as_secs_f64();
+    f64::from(s) * f64::from(cfg.pattern.distance) / period
+}
+
+/// Expected number of steps for the wave front to travel `hops` ranks.
+pub fn steps_to_travel(sigma: u32, distance: u32, hops: u32) -> u32 {
+    let per_step = sigma * distance;
+    hops.div_ceil(per_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use workload::Boundary;
+
+    #[test]
+    fn sigma_is_two_only_for_bidirectional_rendezvous() {
+        assert_eq!(sigma(Direction::Bidirectional, Mode::Rendezvous), 2);
+        assert_eq!(sigma(Direction::Bidirectional, Mode::Eager), 1);
+        assert_eq!(sigma(Direction::Unidirectional, Mode::Rendezvous), 1);
+        assert_eq!(sigma(Direction::Unidirectional, Mode::Eager), 1);
+    }
+
+    #[test]
+    fn v_silent_formula() {
+        // T_exec = 3 ms, T_comm = 0: 1 rank per 3 ms = 333.3 ranks/s.
+        let v = v_silent(1, 1, SimDuration::from_millis(3), SimDuration::ZERO);
+        assert!((v - 1000.0 / 3.0).abs() < 1e-9);
+        // Doubling sigma or distance doubles the speed.
+        let v2 = v_silent(2, 1, SimDuration::from_millis(3), SimDuration::ZERO);
+        let v3 = v_silent(1, 2, SimDuration::from_millis(3), SimDuration::ZERO);
+        assert!((v2 - 2.0 * v).abs() < 1e-9);
+        assert!((v3 - 2.0 * v).abs() < 1e-9);
+        // Communication time slows the wave.
+        let v4 = v_silent(1, 1, SimDuration::from_millis(3), SimDuration::from_millis(1));
+        assert!((v4 - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_speed_reads_the_config() {
+        let cfg = WaveExperiment::flat_chain(18)
+            .direction(Direction::Bidirectional)
+            .boundary(Boundary::Open)
+            .rendezvous()
+            .texec(SimDuration::from_millis(3))
+            .into_config();
+        let step = nominal_step_duration(&cfg).as_secs_f64();
+        let expect = 2.0 / step;
+        assert!((predicted_speed(&cfg) - expect).abs() < 1e-9);
+
+        let eager = WaveExperiment::flat_chain(18)
+            .direction(Direction::Bidirectional)
+            .eager()
+            .into_config();
+        let step_e = nominal_step_duration(&eager).as_secs_f64();
+        assert!((predicted_speed(&eager) - 1.0 / step_e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steps_to_travel_rounds_up() {
+        assert_eq!(steps_to_travel(1, 1, 10), 10);
+        assert_eq!(steps_to_travel(2, 1, 10), 5);
+        assert_eq!(steps_to_travel(2, 2, 10), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn bad_sigma_panics() {
+        v_silent(3, 1, SimDuration::from_millis(1), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,199 @@
+//! Spectral analysis of desynchronisation patterns.
+//!
+//! The papers that motivated this study (Markidis et al. 2015, Peng et
+//! al. 2016) identified idle waves through *Fourier analysis* of
+//! per-rank timing profiles, and Fig. 2 of our paper describes the
+//! emergent LBM structure by its "fundamental wavelength equal to the
+//! size of the system (100 processes)". This module provides that
+//! analysis: a discrete Fourier transform over the rank axis of a
+//! per-rank signal (e.g. the finish-time skew of one step), the dominant
+//! wavelength, and a skew order parameter that tracks structure
+//! formation over time.
+
+use simdes::SimTime;
+
+use crate::experiment::WaveTrace;
+
+/// One spectral component of a rank-axis signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Component {
+    /// Spatial mode number `k` (waves per ring; `k = 1` is the
+    /// system-size wavelength).
+    pub mode: u32,
+    /// Amplitude of the mode (same unit as the input signal).
+    pub amplitude: f64,
+}
+
+/// Real-input DFT over the rank axis: returns amplitudes for modes
+/// `1 ..= n/2` (the mean, mode 0, is removed first). The signal is
+/// treated as periodic in rank — appropriate for ring topologies.
+///
+/// An O(n²) direct transform: rank counts here are in the hundreds, and
+/// determinism and zero dependencies beat asymptotics.
+pub fn rank_spectrum(signal: &[f64]) -> Vec<Component> {
+    let n = signal.len();
+    assert!(n >= 4, "need at least four ranks for a spectrum");
+    let mean = signal.iter().sum::<f64>() / n as f64;
+    let max_mode = n / 2;
+    (1..=max_mode as u32)
+        .map(|mode| {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for (r, &v) in signal.iter().enumerate() {
+                let phase = std::f64::consts::TAU * f64::from(mode) * r as f64 / n as f64;
+                let centred = v - mean;
+                re += centred * phase.cos();
+                im -= centred * phase.sin();
+            }
+            // Amplitude normalisation: a pure sine of amplitude A at
+            // mode k yields amplitude A.
+            let amp = 2.0 * (re * re + im * im).sqrt() / n as f64;
+            Component { mode, amplitude: amp }
+        })
+        .collect()
+}
+
+/// The dominant spatial mode of the signal (largest amplitude).
+pub fn dominant_mode(signal: &[f64]) -> Component {
+    rank_spectrum(signal)
+        .into_iter()
+        .max_by(|a, b| a.amplitude.partial_cmp(&b.amplitude).expect("finite amplitudes"))
+        .expect("non-empty spectrum")
+}
+
+/// Wavelength (in ranks) of the dominant mode.
+pub fn dominant_wavelength(signal: &[f64]) -> f64 {
+    let n = signal.len() as f64;
+    n / f64::from(dominant_mode(signal).mode)
+}
+
+/// Per-rank skew signal of one step: each rank's step-completion time
+/// relative to the fastest rank, in seconds.
+pub fn step_skew_signal(front: &[SimTime]) -> Vec<f64> {
+    let min = front.iter().min().copied().unwrap_or(SimTime::ZERO);
+    front
+        .iter()
+        .map(|&t| t.saturating_since(min).as_secs_f64())
+        .collect()
+}
+
+/// Desynchronisation order parameter of one step: the standard deviation
+/// of the skew signal, in seconds. Zero for a lockstep system; grows as
+/// structure forms (cf. the amplitude growth in Fig. 2).
+pub fn skew_order_parameter(front: &[SimTime]) -> f64 {
+    let skew = step_skew_signal(front);
+    let n = skew.len() as f64;
+    let mean = skew.iter().sum::<f64>() / n;
+    (skew.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n).sqrt()
+}
+
+/// Structure-formation history of a run: the order parameter and the
+/// dominant wavelength of the finish-time profile at each step.
+pub fn structure_history(wt: &WaveTrace) -> Vec<(u32, f64, f64)> {
+    (0..wt.trace.steps())
+        .map(|s| {
+            let front = wt.trace.step_front(s);
+            let skew = step_skew_signal(&front);
+            (s, skew_order_parameter(&front), dominant_wavelength(&skew))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn sine(n: usize, mode: u32, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|r| amp * (TAU * f64::from(mode) * r as f64 / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn pure_sine_recovers_mode_and_amplitude() {
+        for mode in [1u32, 3, 7] {
+            let sig = sine(64, mode, 2.5);
+            let d = dominant_mode(&sig);
+            assert_eq!(d.mode, mode);
+            assert!((d.amplitude - 2.5).abs() < 1e-9, "amp {}", d.amplitude);
+            assert!((dominant_wavelength(&sig) - 64.0 / f64::from(mode)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_offset_does_not_leak_into_the_spectrum() {
+        let mut sig = sine(32, 2, 1.0);
+        for v in &mut sig {
+            *v += 100.0;
+        }
+        let d = dominant_mode(&sig);
+        assert_eq!(d.mode, 2);
+        assert!((d.amplitude - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixture_picks_the_larger_component() {
+        let a = sine(48, 1, 3.0);
+        let b = sine(48, 5, 1.0);
+        let sig: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let d = dominant_mode(&sig);
+        assert_eq!(d.mode, 1);
+        let spec = rank_spectrum(&sig);
+        let m5 = spec.iter().find(|c| c.mode == 5).unwrap();
+        assert!((m5.amplitude - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_signal_has_vanishing_spectrum() {
+        let sig = vec![7.0; 16];
+        for c in rank_spectrum(&sig) {
+            assert!(c.amplitude.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_signal_and_order_parameter() {
+        let front = vec![SimTime(100), SimTime(150), SimTime(100), SimTime(150)];
+        let skew = step_skew_signal(&front);
+        for (got, want) in skew.iter().zip([0.0, 50e-9, 0.0, 50e-9]) {
+            assert!((got - want).abs() < 1e-18, "{got} vs {want}");
+        }
+        let op = skew_order_parameter(&front);
+        assert!((op - 25e-9).abs() < 1e-15);
+        // Lockstep: zero.
+        assert_eq!(skew_order_parameter(&[SimTime(5); 8]), 0.0);
+    }
+
+    #[test]
+    fn idle_wave_shows_up_as_system_size_wavelength() {
+        // A single idle wave on a ring leaves a one-winding phase
+        // profile: dominant mode 1 (wavelength = system size), just as
+        // the paper describes for Fig. 2.
+        use crate::experiment::WaveExperiment;
+        use simdes::SimDuration;
+        use workload::{Boundary, Direction};
+        let wt = WaveExperiment::flat_chain(24)
+            .direction(Direction::Unidirectional)
+            .boundary(Boundary::Periodic)
+            .texec(SimDuration::from_millis(3))
+            .steps(12)
+            .inject(5, 0, SimDuration::from_millis(12))
+            .run();
+        // Mid-run: the wave has passed some ranks (late) but not others.
+        let front = wt.trace.step_front(8);
+        let skew = step_skew_signal(&front);
+        let d = dominant_mode(&skew);
+        assert_eq!(d.mode, 1, "one travelling wave = one winding");
+        // Structure history: order parameter grows from 0 when the wave
+        // launches.
+        let hist = structure_history(&wt);
+        assert!(hist[0].1 < hist[8].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least four")]
+    fn tiny_signals_are_rejected() {
+        rank_spectrum(&[1.0, 2.0]);
+    }
+}

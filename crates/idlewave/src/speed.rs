@@ -1,0 +1,166 @@
+//! Measured propagation speed and its comparison with Eq. (2).
+
+use simdes::stats::{linear_fit, LineFit};
+use simdes::SimDuration;
+
+use crate::experiment::WaveTrace;
+use crate::model::predicted_speed;
+use crate::wavefront::{arrivals_from, Walk};
+
+/// Result of a propagation-speed measurement on one side of the source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedFit {
+    /// Fitted speed in ranks per second.
+    pub ranks_per_sec: f64,
+    /// Quality of the linear fit (1 = perfectly constant speed).
+    pub r2: f64,
+    /// Number of wave arrivals the fit used.
+    pub hops: usize,
+}
+
+/// Fit the wave speed from the arrival times walking `walk`-ward from
+/// `source`. Returns `None` when fewer than three arrivals are available
+/// (no meaningful fit).
+pub fn measure_speed(
+    wt: &WaveTrace,
+    source: u32,
+    walk: Walk,
+    threshold: SimDuration,
+) -> Option<SpeedFit> {
+    let arrivals = arrivals_from(wt, source, walk, threshold);
+    // On a periodic chain with waves travelling both ways, the walk
+    // crosses the antipode where the counter-propagating front arrived
+    // first; beyond it arrival times decrease. Fit only the longest
+    // non-decreasing prefix — the front this walk is actually following.
+    let mut prefix = 0;
+    for (i, a) in arrivals.iter().enumerate() {
+        if i > 0 && a.time < arrivals[i - 1].time {
+            break;
+        }
+        prefix = i + 1;
+    }
+    let arrivals = &arrivals[..prefix];
+    if arrivals.len() < 3 {
+        return None;
+    }
+    // Points: (arrival time [s], hop distance [ranks]); the slope is the
+    // speed in ranks/s.
+    let points: Vec<(f64, f64)> = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.time.as_secs_f64(), (i + 1) as f64))
+        .collect();
+    let fit: LineFit = linear_fit(&points)?;
+    Some(SpeedFit { ranks_per_sec: fit.slope, r2: fit.r2, hops: arrivals.len() })
+}
+
+/// Measured-vs-model comparison for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedComparison {
+    /// Fitted speed (ranks/s).
+    pub measured: f64,
+    /// Eq. (2) prediction (ranks/s).
+    pub predicted: f64,
+    /// `measured / predicted`.
+    pub ratio: f64,
+    /// Fit quality.
+    pub r2: f64,
+}
+
+/// Measure the up-walking wave speed of `wt` and compare with Eq. (2).
+pub fn compare_with_model(
+    wt: &WaveTrace,
+    source: u32,
+    threshold: SimDuration,
+) -> Option<SpeedComparison> {
+    let fit = measure_speed(wt, source, Walk::Up, threshold)?;
+    let predicted = predicted_speed(&wt.cfg);
+    Some(SpeedComparison {
+        measured: fit.ranks_per_sec,
+        predicted,
+        ratio: fit.ranks_per_sec / predicted,
+        r2: fit.r2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    fn measure(dir: Direction, rendezvous: bool, distance: u32, ranks: u32) -> SpeedComparison {
+        let mut e = WaveExperiment::flat_chain(ranks)
+            .direction(dir)
+            .boundary(Boundary::Open)
+            .distance(distance)
+            .texec(MS.times(3))
+            .steps(24)
+            .inject(2 * distance + 1, 0, MS.times(12));
+        e = if rendezvous { e.rendezvous() } else { e.eager() };
+        let wt = e.run();
+        let th = wt.default_threshold();
+        compare_with_model(&wt, 2 * distance + 1, th).expect("fit must exist")
+    }
+
+    #[test]
+    fn eager_unidirectional_speed_matches_eq2_within_2_percent() {
+        let c = measure(Direction::Unidirectional, false, 1, 20);
+        assert!((c.ratio - 1.0).abs() < 0.02, "ratio {}", c.ratio);
+        assert!(c.r2 > 0.999, "r2 {}", c.r2);
+    }
+
+    #[test]
+    fn bidirectional_rendezvous_doubles_speed() {
+        let eager = measure(Direction::Bidirectional, false, 1, 24);
+        let rdv = measure(Direction::Bidirectional, true, 1, 24);
+        // Each matches its own prediction (which already contains sigma)...
+        assert!((eager.ratio - 1.0).abs() < 0.05, "eager ratio {}", eager.ratio);
+        assert!((rdv.ratio - 1.0).abs() < 0.05, "rdv ratio {}", rdv.ratio);
+        // ...and the rendezvous wave is really ~2x faster in ranks/s.
+        let speedup = rdv.measured / eager.measured;
+        assert!((speedup - 2.0).abs() < 0.1, "speedup {speedup}");
+    }
+
+    #[test]
+    fn distance_scales_speed_linearly() {
+        let d1 = measure(Direction::Unidirectional, true, 1, 26);
+        let d2 = measure(Direction::Unidirectional, true, 2, 26);
+        assert!((d1.ratio - 1.0).abs() < 0.05, "d1 ratio {}", d1.ratio);
+        assert!((d2.ratio - 1.0).abs() < 0.08, "d2 ratio {}", d2.ratio);
+        let speedup = d2.measured / d1.measured;
+        assert!((speedup - 2.0).abs() < 0.15, "speedup {speedup}");
+    }
+
+    #[test]
+    fn too_few_arrivals_yield_none() {
+        // Eager unidirectional wave cannot travel downwards: no fit there.
+        let wt = WaveExperiment::flat_chain(12)
+            .texec(MS)
+            .steps(8)
+            .inject(6, 0, MS.times(4))
+            .run();
+        let th = wt.default_threshold();
+        assert!(measure_speed(&wt, 6, Walk::Down, th).is_none());
+    }
+
+    #[test]
+    fn noise_leaves_leading_edge_speed_roughly_unchanged() {
+        // Paper Sec. IV-C: the forward (leading) slope of the wave is
+        // hardly changed by noise.
+        let silent = measure(Direction::Unidirectional, false, 1, 20);
+        let noisy_wt = WaveExperiment::flat_chain(20)
+            .texec(MS.times(3))
+            .steps(24)
+            .inject(3, 0, MS.times(12))
+            .noise_percent(5.0)
+            .seed(7)
+            .run();
+        let th = noisy_wt.default_threshold();
+        let noisy = compare_with_model(&noisy_wt, 3, th).expect("fit");
+        let drift = (noisy.measured - silent.measured).abs() / silent.measured;
+        assert!(drift < 0.10, "leading-edge speed drifted {drift}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Wave-front extraction: where and when the idle wave reaches each rank.
+//!
+//! The front of an idle wave at rank `r` is the first communication phase
+//! in which `r` waits substantially longer than the baseline. The moment
+//! waiting begins (`exec_end` of that step) is the arrival time used for
+//! speed fits; the size of the wait is the local wave amplitude used for
+//! decay fits.
+
+use simdes::{SimDuration, SimTime};
+
+use crate::experiment::WaveTrace;
+
+/// Arrival of a wave at one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Rank the wave reached.
+    pub rank: u32,
+    /// Step in which the rank first idled beyond the threshold.
+    pub step: u32,
+    /// Moment waiting began.
+    pub time: SimTime,
+    /// Length of the idle period at the front step — the local wave
+    /// amplitude.
+    pub amplitude: SimDuration,
+}
+
+/// Direction to walk the chain from the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Walk {
+    /// Toward higher ranks.
+    Up,
+    /// Toward lower ranks.
+    Down,
+}
+
+/// Extract wave arrivals walking from `source` in `walk` direction until
+/// the wave is no longer detectable (`threshold`) or the chain ends.
+///
+/// On a periodic chain the walk wraps around but stops before revisiting
+/// the source. The source itself is excluded (it is delayed, not idle).
+pub fn arrivals_from(
+    wt: &WaveTrace,
+    source: u32,
+    walk: Walk,
+    threshold: SimDuration,
+) -> Vec<Arrival> {
+    let nranks = wt.trace.ranks();
+    assert!(source < nranks, "source rank out of range");
+    let periodic = wt.cfg.pattern.boundary == workload::Boundary::Periodic;
+    let mut out = Vec::new();
+    let mut misses = 0u32;
+    for k in 1..nranks {
+        let rank = match walk {
+            Walk::Up => {
+                let r = i64::from(source) + i64::from(k);
+                if periodic {
+                    (r.rem_euclid(i64::from(nranks))) as u32
+                } else if r < i64::from(nranks) {
+                    r as u32
+                } else {
+                    break;
+                }
+            }
+            Walk::Down => {
+                let r = i64::from(source) - i64::from(k);
+                if periodic {
+                    (r.rem_euclid(i64::from(nranks))) as u32
+                } else if r >= 0 {
+                    r as u32
+                } else {
+                    break;
+                }
+            }
+        };
+        match wt.first_idle_step(rank, threshold) {
+            Some(step) => {
+                misses = 0;
+                let rec = wt.trace.record(rank, step);
+                out.push(Arrival {
+                    rank,
+                    step,
+                    time: rec.exec_end,
+                    amplitude: wt.idle(rank, step),
+                });
+            }
+            None => {
+                // Allow one quiet rank (statistical dropout under noise)
+                // before declaring the wave extinct.
+                misses += 1;
+                if misses >= 2 {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Number of ranks the wave visibly reached walking in `walk` direction —
+/// the survival distance used in decay analyses.
+pub fn survival_distance(
+    wt: &WaveTrace,
+    source: u32,
+    walk: Walk,
+    threshold: SimDuration,
+) -> u32 {
+    arrivals_from(wt, source, walk, threshold).len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use simdes::SimDuration;
+    use workload::{Boundary, Direction};
+
+    const MS: SimDuration = SimDuration::from_millis(1);
+
+    #[test]
+    fn arrivals_walk_up_an_eager_unidirectional_wave() {
+        let wt = WaveExperiment::flat_chain(12)
+            .texec(MS)
+            .steps(10)
+            .inject(3, 0, MS.times(4))
+            .run();
+        let th = wt.default_threshold();
+        let ups = arrivals_from(&wt, 3, Walk::Up, th);
+        assert_eq!(ups.len(), 8, "wave should reach every rank above 3");
+        for (i, a) in ups.iter().enumerate() {
+            assert_eq!(a.rank, 4 + i as u32);
+            assert_eq!(a.step, i as u32);
+            assert!(a.amplitude > MS.times(3));
+        }
+        // Arrival times are strictly increasing: the wave moves forward.
+        for w in ups.windows(2) {
+            assert!(w[1].time > w[0].time);
+        }
+        // Eager unidirectional: nothing travels downwards.
+        assert!(arrivals_from(&wt, 3, Walk::Down, th).is_empty());
+    }
+
+    #[test]
+    fn arrivals_walk_both_ways_for_bidirectional() {
+        let wt = WaveExperiment::flat_chain(12)
+            .direction(Direction::Bidirectional)
+            .texec(MS)
+            .steps(10)
+            .inject(6, 0, MS.times(4))
+            .run();
+        let th = wt.default_threshold();
+        assert_eq!(survival_distance(&wt, 6, Walk::Up, th), 5);
+        assert_eq!(survival_distance(&wt, 6, Walk::Down, th), 6);
+    }
+
+    #[test]
+    fn periodic_walk_wraps_and_stops_before_source() {
+        let wt = WaveExperiment::flat_chain(10)
+            .boundary(Boundary::Periodic)
+            .texec(MS)
+            .steps(14)
+            .inject(4, 0, MS.times(4))
+            .run();
+        let th = wt.default_threshold();
+        let ups = arrivals_from(&wt, 4, Walk::Up, th);
+        // Wave wraps the whole ring: 9 other ranks, dies at the injector.
+        assert_eq!(ups.len(), 9);
+        assert_eq!(ups.last().unwrap().rank, 3);
+    }
+
+    #[test]
+    fn quiet_run_has_no_arrivals() {
+        let wt = WaveExperiment::flat_chain(8).texec(MS).steps(5).run();
+        let th = wt.default_threshold();
+        assert!(arrivals_from(&wt, 3, Walk::Up, th).is_empty());
+        assert_eq!(survival_distance(&wt, 3, Walk::Down, th), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let wt = WaveExperiment::flat_chain(4).steps(2).run();
+        arrivals_from(&wt, 9, Walk::Up, SimDuration::from_micros(10));
+    }
+}

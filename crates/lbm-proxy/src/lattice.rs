@@ -1,0 +1,146 @@
+//! The D3Q19 lattice: 19 discrete velocities and their weights.
+//!
+//! Velocity set: the rest vector, the 6 axis-aligned unit vectors (weight
+//! 1/18) and the 12 face-diagonal vectors (weight 1/36); the rest vector
+//! has weight 1/3. Lattice speed of sound: `c_s² = 1/3`.
+
+/// Number of discrete velocities.
+pub const Q: usize = 19;
+
+/// Discrete velocity vectors `c_q`.
+pub const C: [[i32; 3]; Q] = [
+    [0, 0, 0],
+    [1, 0, 0],
+    [-1, 0, 0],
+    [0, 1, 0],
+    [0, -1, 0],
+    [0, 0, 1],
+    [0, 0, -1],
+    [1, 1, 0],
+    [-1, -1, 0],
+    [1, -1, 0],
+    [-1, 1, 0],
+    [1, 0, 1],
+    [-1, 0, -1],
+    [1, 0, -1],
+    [-1, 0, 1],
+    [0, 1, 1],
+    [0, -1, -1],
+    [0, 1, -1],
+    [0, -1, 1],
+];
+
+/// Quadrature weights `w_q`.
+pub const W: [f64; Q] = [
+    1.0 / 3.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 18.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Index of the velocity opposite to `q` (`c_opp = −c_q`).
+pub const OPPOSITE: [usize; Q] = [
+    0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13, 16, 15, 18, 17,
+];
+
+/// Equilibrium distribution for direction `q` at density `rho` and
+/// velocity `u`:
+/// `f_eq = w_q ρ (1 + 3 c·u + 4.5 (c·u)² − 1.5 u²)`.
+#[inline]
+pub fn equilibrium(q: usize, rho: f64, u: [f64; 3]) -> f64 {
+    let c = C[q];
+    let cu = f64::from(c[0]) * u[0] + f64::from(c[1]) * u[1] + f64::from(c[2]) * u[2];
+    let u2 = u[0] * u[0] + u[1] * u[1] + u[2] * u[2];
+    W[q] * rho * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * u2)
+}
+
+/// Kinematic viscosity (lattice units) of the SRT collision operator at
+/// relaxation rate `omega`: `ν = (1/ω − 1/2)/3`.
+#[inline]
+pub fn viscosity(omega: f64) -> f64 {
+    (1.0 / omega - 0.5) / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s: f64 = W.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn velocity_set_is_symmetric() {
+        // Sum of c_q is zero in every component.
+        for k in 0..3 {
+            let s: i32 = C.iter().map(|c| c[k]).sum();
+            assert_eq!(s, 0, "component {k}");
+        }
+        // Opposite table really negates.
+        for q in 0..Q {
+            for k in 0..3 {
+                assert_eq!(C[OPPOSITE[q]][k], -C[q][k], "q={q}");
+            }
+            assert_eq!(OPPOSITE[OPPOSITE[q]], q);
+        }
+    }
+
+    #[test]
+    fn second_moment_is_isotropic() {
+        // Σ_q w_q c_qi c_qj = c_s² δ_ij with c_s² = 1/3.
+        for i in 0..3 {
+            for j in 0..3 {
+                let s: f64 = (0..Q)
+                    .map(|q| W[q] * f64::from(C[q][i]) * f64::from(C[q][j]))
+                    .sum();
+                let expect = if i == j { 1.0 / 3.0 } else { 0.0 };
+                assert!((s - expect).abs() < 1e-15, "({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_reproduces_moments() {
+        let rho = 1.3;
+        let u = [0.02, -0.01, 0.015];
+        let f: Vec<f64> = (0..Q).map(|q| equilibrium(q, rho, u)).collect();
+        let mass: f64 = f.iter().sum();
+        assert!((mass - rho).abs() < 1e-12);
+        for k in 0..3 {
+            let mom: f64 = (0..Q).map(|q| f[q] * f64::from(C[q][k])).sum();
+            assert!((mom - rho * u[k]).abs() < 1e-12, "component {k}");
+        }
+    }
+
+    #[test]
+    fn equilibrium_at_rest_is_weights_times_rho() {
+        for q in 0..Q {
+            let f = equilibrium(q, 2.0, [0.0; 3]);
+            assert!((f - 2.0 * W[q]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn viscosity_formula() {
+        assert!((viscosity(1.0) - 1.0 / 6.0).abs() < 1e-15);
+        assert!((viscosity(2.0) - 0.0).abs() < 1e-15);
+        assert!(viscosity(0.5) > viscosity(1.0));
+    }
+}

@@ -1,0 +1,25 @@
+//! # lbm-proxy — the lattice-Boltzmann substrate (paper Fig. 2)
+//!
+//! A real D3Q19 single-relaxation-time lattice-Boltzmann solver plus the
+//! 1-D slab decomposition cost model of the paper's Fig. 2 production run
+//! (302³ cells, 100 ranks, halo exchange along the outer dimension).
+//!
+//! * [`D3Q19`] — the solver: periodic box, fused pull-scheme
+//!   stream-collide, serial and multi-threaded stepping, physics
+//!   validated against the analytic shear-wave decay law;
+//! * [`LbmDecomposition`] — per-rank memory traffic and halo volumes fed
+//!   into the cluster simulator for the timeline reproduction;
+//! * [`lattice`] — the D3Q19 velocity set, weights and equilibrium.
+
+#![warn(missing_docs)]
+// The stencil kernels index several parallel constant tables (C, W, the
+// local population array) with one loop variable; iterator rewrites would
+// obscure the numerics without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
+mod decomp;
+pub mod lattice;
+mod solver;
+
+pub use decomp::{LbmDecomposition, BYTES_PER_CELL};
+pub use solver::D3Q19;

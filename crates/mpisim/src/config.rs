@@ -1,0 +1,272 @@
+//! Simulation configuration.
+//!
+//! A [`SimConfig`] fully describes one bulk-synchronous run: the placed
+//! job ([`ClusterNetwork`]), the communication pattern and protocol, the
+//! execution model, the number of steps, the one-off delay injections, the
+//! fine-grained noise, and the master seed. Identical configs produce
+//! identical traces.
+
+use netmodel::ClusterNetwork;
+use noise_model::{DelayDistribution, InjectionPlan};
+use serde::{Deserialize, Serialize};
+use simdes::SimDuration;
+use workload::{CommPattern, CommSchedule, ExecModel};
+
+/// Message-passing protocol selection (paper Sec. II-C1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Force the eager protocol for every message: sends complete
+    /// immediately (internal buffering), no handshake.
+    Eager,
+    /// Force the rendezvous protocol: RTS/CTS handshake, the sender's
+    /// request completes only after the matched transfer.
+    Rendezvous,
+    /// Choose per message size, like a real MPI: eager up to and including
+    /// the limit, rendezvous above it.
+    Auto {
+        /// Eager limit in bytes. The paper's Intel MPI configuration used
+        /// 16384 doubles = 131072 B.
+        eager_limit: u64,
+    },
+}
+
+/// The concrete mode chosen for a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Buffered send, no handshake.
+    Eager,
+    /// Handshake, synchronising send.
+    Rendezvous,
+}
+
+impl Protocol {
+    /// The paper's eager limit: 16384 doubles.
+    pub const PAPER_EAGER_LIMIT: u64 = 131_072;
+
+    /// Decide the mode for a message of `bytes`.
+    pub fn mode_for(&self, bytes: u64) -> Mode {
+        match *self {
+            Protocol::Eager => Mode::Eager,
+            Protocol::Rendezvous => Mode::Rendezvous,
+            Protocol::Auto { eager_limit } => {
+                if bytes <= eager_limit {
+                    Mode::Eager
+                } else {
+                    Mode::Rendezvous
+                }
+            }
+        }
+    }
+}
+
+/// Where sampled noise is applied — an ablation knob (DESIGN.md §5.2). The
+/// paper injects noise into execution phases only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NoisePlacement {
+    /// Lengthen execution phases only (the paper's method, Eq. 3).
+    #[default]
+    ExecOnly,
+    /// Lengthen execution phases and also every message transfer.
+    ExecAndComm,
+}
+
+/// Full description of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The placed job: machine shape, rank count, link models.
+    pub network: ClusterNetwork,
+    /// Who exchanges with whom after each execution phase.
+    pub pattern: CommPattern,
+    /// Optional explicit per-step communication schedule. When set, it
+    /// *overrides* `pattern` for partner lookup (the pattern is still used
+    /// by analyses that need σ/d/boundary semantics — those are undefined
+    /// for arbitrary graphs and should not be consulted). This is the
+    /// paper's future-work hook: collectives decompose into per-round
+    /// graphs (see `workload::CommSchedule`).
+    #[serde(default)]
+    pub schedule: Option<CommSchedule>,
+    /// Message payload size in bytes (identical for all pairs, as in all
+    /// of the paper's experiments).
+    pub msg_bytes: u64,
+    /// Protocol selection.
+    pub protocol: Protocol,
+    /// Execution-phase cost model.
+    pub exec: ExecModel,
+    /// Number of bulk-synchronous steps.
+    pub steps: u32,
+    /// One-off injected delays.
+    pub injections: InjectionPlan,
+    /// Fine-grained per-phase noise distribution.
+    pub noise: DelayDistribution,
+    /// Where the noise applies.
+    pub noise_placement: NoisePlacement,
+    /// Capacity of the per-destination eager buffer in bytes; `None` means
+    /// unbounded (the default). When the outstanding unconsumed eager
+    /// bytes towards one destination would exceed this, further sends fall
+    /// back to rendezvous — the footnote-1 behaviour in the paper.
+    pub eager_buffer_bytes: Option<u64>,
+    /// When `true`, outgoing payload transfers from one rank serialize (a
+    /// single injection port per process, as on a real NIC): a rank
+    /// sending to two neighbours pays both transfer times back to back.
+    /// Off by default — the controlled wave experiments have negligible
+    /// communication volume — but essential for the bandwidth-heavy
+    /// Fig. 1/2 reproductions, where the optimistic Eq. 1 model ignores
+    /// exactly this serialisation.
+    #[serde(default)]
+    pub serialize_sends: bool,
+    /// Per-rank multiplicative load imbalance: the work part of rank
+    /// `r`'s execution phase is scaled by `imbalance[r]` (1.0 = balanced;
+    /// the paper classifies manifest per-phase load imbalance as an
+    /// application-induced delay, Sec. II-A). Empty = perfectly balanced.
+    #[serde(default)]
+    pub imbalance: Vec<f64>,
+    /// Master seed for all random streams.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A minimal valid config for the given network and pattern: 3 ms
+    /// compute phases (the paper's standard), 8192-byte messages (ditto),
+    /// protocol chosen by size, no injections, no noise.
+    pub fn baseline(network: ClusterNetwork, pattern: CommPattern, steps: u32) -> Self {
+        SimConfig {
+            network,
+            pattern,
+            schedule: None,
+            msg_bytes: 8192,
+            protocol: Protocol::Auto { eager_limit: Protocol::PAPER_EAGER_LIMIT },
+            exec: ExecModel::Compute { duration: SimDuration::from_millis(3) },
+            steps,
+            injections: InjectionPlan::none(),
+            noise: DelayDistribution::None,
+            noise_placement: NoisePlacement::ExecOnly,
+            eager_buffer_bytes: None,
+            serialize_sends: false,
+            imbalance: Vec::new(),
+            seed: 0x1D1E_4A7E, // "idle wave"
+        }
+    }
+
+    /// Ranks in the job.
+    pub fn ranks(&self) -> u32 {
+        self.network.ranks
+    }
+
+    /// Validate cross-field invariants, panicking with a clear message on
+    /// violation. Called by the engine before running.
+    pub fn validate(&self) {
+        assert!(self.steps > 0, "need at least one step");
+        assert!(self.msg_bytes > 0, "zero-byte messages carry no dependency");
+        match &self.schedule {
+            Some(sched) => assert_eq!(
+                sched.ranks(),
+                self.ranks(),
+                "schedule rank count does not match the job"
+            ),
+            None => {
+                // Exercise the pattern for every rank so malformed configs
+                // fail fast rather than mid-run.
+                for r in 0..self.ranks() {
+                    let _ = self.pattern.send_partners(r, self.ranks());
+                    let _ = self.pattern.recv_partners(r, self.ranks());
+                }
+            }
+        }
+        if !self.imbalance.is_empty() {
+            assert_eq!(
+                self.imbalance.len(),
+                self.ranks() as usize,
+                "imbalance vector must have one factor per rank"
+            );
+            assert!(
+                self.imbalance.iter().all(|&f| f.is_finite() && f > 0.0),
+                "imbalance factors must be positive and finite"
+            );
+        }
+        for inj in self.injections.injections() {
+            assert!(
+                inj.rank < self.ranks(),
+                "injection at rank {} but job has {} ranks",
+                inj.rank,
+                self.ranks()
+            );
+            assert!(
+                inj.step < self.steps,
+                "injection at step {} but run has {} steps",
+                inj.step,
+                self.steps
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::presets;
+
+    fn cfg() -> SimConfig {
+        let net = presets::loggopsim_like(8);
+        SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(workload::Direction::Unidirectional, workload::Boundary::Open),
+            5,
+        )
+    }
+
+    #[test]
+    fn protocol_auto_switches_at_limit() {
+        let p = Protocol::Auto { eager_limit: 131_072 };
+        assert_eq!(p.mode_for(8_192), Mode::Eager);
+        assert_eq!(p.mode_for(131_072), Mode::Eager);
+        assert_eq!(p.mode_for(131_073), Mode::Rendezvous);
+        // The paper's Fig. 5 sizes: 16384 B is eager, 31080 B *doubles*
+        // (248640 B) is rendezvous.
+        assert_eq!(p.mode_for(16_384), Mode::Eager);
+        assert_eq!(p.mode_for(248_640), Mode::Rendezvous);
+    }
+
+    #[test]
+    fn forced_protocols_ignore_size() {
+        assert_eq!(Protocol::Eager.mode_for(u64::MAX), Mode::Eager);
+        assert_eq!(Protocol::Rendezvous.mode_for(1), Mode::Rendezvous);
+    }
+
+    #[test]
+    fn baseline_is_valid() {
+        cfg().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "injection at rank")]
+    fn injection_out_of_ranks_fails_validation() {
+        let mut c = cfg();
+        c.injections = InjectionPlan::single(99, 0, SimDuration::from_millis(1));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "injection at step")]
+    fn injection_out_of_steps_fails_validation() {
+        let mut c = cfg();
+        c.injections = InjectionPlan::single(1, 99, SimDuration::from_millis(1));
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_fails_validation() {
+        let mut c = cfg();
+        c.steps = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = cfg();
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: SimConfig = serde_json::from_str(&json).unwrap();
+        back.injections.reindex();
+        assert_eq!(c, back);
+    }
+}

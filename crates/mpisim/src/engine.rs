@@ -1,0 +1,667 @@
+//! The discrete-event message-passing engine.
+//!
+//! Each rank is a small state machine cycling through `Computing →
+//! Waiting → Computing → … → Done`:
+//!
+//! 1. **Computing**: the execution phase. Its length is the execution
+//!    model's work time plus any injected one-off delay plus sampled noise.
+//!    For the memory-bound model the work time is dynamic: ranks working
+//!    concurrently on one socket share its memory bandwidth
+//!    (processor-sharing fluid model; rates re-integrate at every
+//!    join/leave).
+//! 2. **Waiting**: at the end of the execution phase the rank posts all
+//!    nonblocking receives and sends for the step (`MPI_Isend`/`MPI_Irecv`)
+//!    and enters `MPI_Waitall`. The step completes when every request
+//!    completes.
+//!
+//! ## Protocol semantics
+//!
+//! * **Eager**: a send completes immediately at post (internal buffering);
+//!   the payload arrives at the receiver one transfer time later and the
+//!   matching receive completes at `max(arrival, post)`. With a finite
+//!   eager-buffer capacity, a send that would overflow the outstanding
+//!   unconsumed bytes towards its destination falls back to rendezvous
+//!   (paper, footnote 1).
+//! * **Rendezvous**: the sender posts an RTS control message. The receiver
+//!   answers with a CTS, *but only once none of its posted receives is
+//!   still unmatched* — the head-of-line CTS gating rule. On CTS the
+//!   payload transfer starts; both requests complete when it ends.
+//!
+//! The CTS gating rule is the one modelling choice that is not literal MPI
+//! standard text, and it is load-bearing: it abstracts the weak-progress /
+//! serialized request servicing of real MPI libraries inside a blocked
+//! `MPI_Waitall`, and it is what reproduces the **2× idle-wave propagation
+//! speed for bidirectional rendezvous communication** that the paper
+//! measures on real hardware (Fig. 5 g/h, Fig. 7, Eq. 2's σ = 2). With
+//! per-request autonomous progress instead, simulation gives σ = 1 in all
+//! modes, contradicting the measurements. See DESIGN.md §5.
+//!
+//! Everything is deterministic: integer-nanosecond timestamps, FIFO tie
+//! breaking, per-rank RNG streams derived from the master seed.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use simdes::{EventQueue, SeedFactory, SimDuration, SimTime};
+use tracefmt::{PhaseRecord, Trace};
+use workload::ExecModel;
+
+use crate::config::{Mode, NoisePlacement, SimConfig};
+
+/// Events of the message-passing simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// A rank's execution phase ends (work + injected delay + noise done).
+    ExecEnd { rank: u32, epoch: u64 },
+    /// A memory-bound rank's injected delay ended; it starts contending
+    /// for socket bandwidth.
+    WorkStart { rank: u32 },
+    /// A memory-bound rank's shared-bandwidth work finished.
+    WorkEnd { rank: u32, epoch: u64 },
+    /// A rendezvous ready-to-send control message reaches the receiver.
+    RtsArrive { src: u32, dst: u32, step: u32 },
+    /// A clear-to-send control message reaches the data sender.
+    CtsArrive { sender: u32, receiver: u32, step: u32 },
+    /// An eager payload reaches the receiver.
+    EagerArrive { src: u32, dst: u32, step: u32 },
+    /// A rendezvous payload transfer completes (both endpoints).
+    XferDone { sender: u32, receiver: u32, step: u32 },
+}
+
+/// Lifecycle of one posted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqState {
+    /// Rendezvous recv without RTS, eager recv without data, rendezvous
+    /// send without CTS: waiting on an external event.
+    Unmatched,
+    /// Rendezvous recv whose RTS arrived but whose CTS is withheld by the
+    /// head-of-line gating rule.
+    MatchedNoCts,
+    /// A transfer with a known completion time is under way.
+    InFlight,
+    /// Done.
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    peer: u32,
+    is_send: bool,
+    mode: Mode,
+    state: ReqState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Computing,
+    Waiting,
+    Done,
+}
+
+struct RankState {
+    phase: Phase,
+    step: u32,
+    reqs: Vec<Request>,
+    exec_start: SimTime,
+    exec_end: SimTime,
+    injected: SimDuration,
+    noise_amt: SimDuration,
+    epoch: u64,
+    /// Memory-bound: bytes of phase traffic still to move.
+    remaining_bytes: f64,
+    /// Memory-bound: last time `remaining_bytes` was integrated.
+    last_update: SimTime,
+    rng: SmallRng,
+    comm_rng: SmallRng,
+}
+
+/// Resource statistics of a completed simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Events delivered by the queue.
+    pub events: u64,
+    /// Largest number of simultaneously pending events.
+    pub peak_queue: usize,
+    /// Messages transferred (eager payloads + rendezvous transfers).
+    pub messages: u64,
+    /// Sends that fell back from eager to rendezvous (finite buffers).
+    pub eager_fallbacks: u64,
+}
+
+/// The simulation engine. Build with [`Engine::new`], run with
+/// [`Engine::run`] (or use the [`crate::run`] convenience function).
+pub struct Engine {
+    cfg: SimConfig,
+    q: EventQueue<Ev>,
+    ranks: Vec<RankState>,
+    /// RTS that arrived before the matching recv was posted.
+    early_rts: HashSet<(u32, u32, u32)>,
+    /// Eager payloads that arrived before the matching recv was posted.
+    early_eager: HashSet<(u32, u32, u32)>,
+    /// Unconsumed eager bytes per (src, dst), for the finite-buffer
+    /// fallback.
+    outstanding_eager: HashMap<(u32, u32), u64>,
+    /// Ranks currently in the shared-bandwidth work segment, per socket.
+    socket_members: Vec<BTreeSet<u32>>,
+    records: Vec<PhaseRecord>,
+    done_count: u32,
+    base_mode: Mode,
+    /// Per-rank time at which the rank's injection port is free again
+    /// (only consulted when `cfg.serialize_sends` is on).
+    nic_free: Vec<SimTime>,
+    stats: RunStats,
+}
+
+impl Engine {
+    /// Set up a simulation for `cfg` (validates the config).
+    pub fn new(cfg: SimConfig) -> Self {
+        cfg.validate();
+        if let ExecModel::MemoryBound { bytes, .. } = cfg.exec {
+            assert!(bytes > 0, "memory-bound phases need nonzero traffic");
+        }
+        let seeds = SeedFactory::new(cfg.seed);
+        let nranks = cfg.ranks();
+        let ranks = (0..nranks)
+            .map(|r| RankState {
+                phase: Phase::Computing,
+                step: 0,
+                reqs: Vec::new(),
+                exec_start: SimTime::ZERO,
+                exec_end: SimTime::ZERO,
+                injected: SimDuration::ZERO,
+                noise_amt: SimDuration::ZERO,
+                epoch: 0,
+                remaining_bytes: 0.0,
+                last_update: SimTime::ZERO,
+                rng: seeds.stream("exec-noise", u64::from(r)),
+                comm_rng: seeds.stream("comm-noise", u64::from(r)),
+            })
+            .collect();
+        let sockets = cfg.network.machine.total_sockets() as usize;
+        let base_mode = cfg.protocol.mode_for(cfg.msg_bytes);
+        Engine {
+            q: EventQueue::with_capacity(4 * nranks as usize),
+            ranks,
+            early_rts: HashSet::new(),
+            early_eager: HashSet::new(),
+            outstanding_eager: HashMap::new(),
+            socket_members: vec![BTreeSet::new(); sockets],
+            records: Vec::with_capacity(nranks as usize * cfg.steps as usize),
+            done_count: 0,
+            base_mode,
+            nic_free: vec![SimTime::ZERO; nranks as usize],
+            stats: RunStats::default(),
+            cfg,
+        }
+    }
+
+    /// Run to completion and return the trace.
+    ///
+    /// # Panics
+    /// Panics on deadlock (event queue drained with unfinished ranks),
+    /// which always indicates an engine or configuration bug.
+    pub fn run(self) -> Trace {
+        self.run_with_stats().0
+    }
+
+    /// Run to completion, returning the trace together with resource
+    /// statistics of the simulation itself.
+    ///
+    /// # Panics
+    /// Panics on deadlock, like [`Engine::run`].
+    pub fn run_with_stats(mut self) -> (Trace, RunStats) {
+        let nranks = self.cfg.ranks();
+        for r in 0..nranks {
+            self.start_exec(r, SimTime::ZERO);
+        }
+        while let Some((now, ev)) = self.q.pop() {
+            self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
+            self.dispatch(now, ev);
+        }
+        self.stats.events = self.q.delivered();
+        if self.done_count != nranks {
+            let stuck: Vec<String> = (0..nranks)
+                .filter(|&r| self.ranks[r as usize].phase != Phase::Done)
+                .map(|r| {
+                    let s = &self.ranks[r as usize];
+                    format!("rank {r}: step {} phase {:?} reqs {:?}", s.step, s.phase, s.reqs)
+                })
+                .collect();
+            panic!(
+                "simulation deadlocked with {}/{} ranks finished:\n{}",
+                self.done_count,
+                nranks,
+                stuck.join("\n")
+            );
+        }
+        (
+            Trace::from_records(nranks, self.cfg.steps, self.records),
+            self.stats,
+        )
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ExecEnd { rank, epoch } => {
+                if self.ranks[rank as usize].epoch == epoch {
+                    self.on_exec_end(rank, now);
+                }
+            }
+            Ev::WorkStart { rank } => self.on_work_start(rank, now),
+            Ev::WorkEnd { rank, epoch } => {
+                if self.ranks[rank as usize].epoch == epoch {
+                    self.on_work_end(rank, now);
+                }
+            }
+            Ev::RtsArrive { src, dst, step } => self.on_rts(src, dst, step, now),
+            Ev::CtsArrive { sender, receiver, step } => self.on_cts(sender, receiver, step, now),
+            Ev::EagerArrive { src, dst, step } => self.on_eager(src, dst, step, now),
+            Ev::XferDone { sender, receiver, step } => self.on_xfer_done(sender, receiver, step, now),
+        }
+    }
+
+    // ---- execution phase ------------------------------------------------
+
+    fn start_exec(&mut self, rank: u32, now: SimTime) {
+        let step = self.ranks[rank as usize].step;
+        let injected = self.cfg.injections.delay_for(rank, step);
+        let noise = self.sample_exec_noise(rank);
+        let st = &mut self.ranks[rank as usize];
+        st.phase = Phase::Computing;
+        st.exec_start = now;
+        st.injected = injected;
+        st.noise_amt = noise;
+        st.epoch += 1;
+        let factor = self
+            .cfg
+            .imbalance
+            .get(rank as usize)
+            .copied()
+            .unwrap_or(1.0);
+        match self.cfg.exec {
+            ExecModel::Compute { duration } => {
+                let total = injected + duration.mul_f64(factor) + noise;
+                let epoch = st.epoch;
+                self.q.schedule_at(now + total, Ev::ExecEnd { rank, epoch });
+            }
+            ExecModel::MemoryBound { bytes, .. } => {
+                st.remaining_bytes = bytes as f64 * factor;
+                // The injected delay stalls the core *before* the memory
+                // work (matches how the paper draws delay bars), and a
+                // stalled core does not contend for bandwidth.
+                self.q.schedule_at(now + injected, Ev::WorkStart { rank });
+            }
+        }
+    }
+
+    fn sample_exec_noise(&mut self, rank: u32) -> SimDuration {
+        let st = &mut self.ranks[rank as usize];
+        self.cfg.noise.sample(&mut st.rng)
+    }
+
+    fn on_work_start(&mut self, rank: u32, now: SimTime) {
+        let socket = self.cfg.network.socket_of(rank) as usize;
+        self.integrate_socket(socket, now);
+        self.ranks[rank as usize].last_update = now;
+        self.socket_members[socket].insert(rank);
+        self.reschedule_socket(socket, now);
+    }
+
+    fn on_work_end(&mut self, rank: u32, now: SimTime) {
+        let socket = self.cfg.network.socket_of(rank) as usize;
+        self.integrate_socket(socket, now);
+        self.socket_members[socket].remove(&rank);
+        self.reschedule_socket(socket, now);
+        // Trailing noise is serial (OS interference, not memory traffic).
+        let st = &mut self.ranks[rank as usize];
+        st.epoch += 1;
+        let epoch = st.epoch;
+        let noise = st.noise_amt;
+        self.q.schedule_at(now + noise, Ev::ExecEnd { rank, epoch });
+    }
+
+    /// Integrate outstanding work for every member of `socket` up to `now`
+    /// at the rate that held since the last membership change.
+    fn integrate_socket(&mut self, socket: usize, now: SimTime) {
+        let n = self.socket_members[socket].len() as u32;
+        if n == 0 {
+            return;
+        }
+        let rate = self.cfg.exec.shared_rate_bps(n);
+        let members: Vec<u32> = self.socket_members[socket].iter().copied().collect();
+        for m in members {
+            let st = &mut self.ranks[m as usize];
+            let dt = now.saturating_since(st.last_update).as_secs_f64();
+            st.remaining_bytes = (st.remaining_bytes - dt * rate).max(0.0);
+            st.last_update = now;
+        }
+    }
+
+    /// After a membership change, recompute each member's completion time.
+    fn reschedule_socket(&mut self, socket: usize, now: SimTime) {
+        let n = self.socket_members[socket].len() as u32;
+        if n == 0 {
+            return;
+        }
+        let rate = self.cfg.exec.shared_rate_bps(n);
+        let members: Vec<u32> = self.socket_members[socket].iter().copied().collect();
+        for m in members {
+            let st = &mut self.ranks[m as usize];
+            st.epoch += 1;
+            let finish = now + SimDuration::from_secs_f64(st.remaining_bytes / rate);
+            self.q.schedule_at(finish, Ev::WorkEnd { rank: m, epoch: st.epoch });
+        }
+    }
+
+    // ---- communication phase --------------------------------------------
+
+    fn on_exec_end(&mut self, rank: u32, now: SimTime) {
+        let nranks = self.cfg.ranks();
+        let step = self.ranks[rank as usize].step;
+        self.ranks[rank as usize].exec_end = now;
+        self.ranks[rank as usize].phase = Phase::Waiting;
+
+        // Post all receives, then all sends (Isend/Irecv then Waitall).
+        let (recv_partners, send_partners) = match &self.cfg.schedule {
+            Some(sched) => {
+                let g = sched.graph_for(step);
+                (g.recv_partners(rank).to_vec(), g.send_partners(rank).to_vec())
+            }
+            None => (
+                self.cfg.pattern.recv_partners(rank, nranks),
+                self.cfg.pattern.send_partners(rank, nranks),
+            ),
+        };
+        let mut reqs = Vec::with_capacity(recv_partners.len() + send_partners.len());
+
+        for src in recv_partners {
+            let mut req = Request {
+                peer: src,
+                is_send: false,
+                mode: self.base_mode,
+                state: ReqState::Unmatched,
+            };
+            let key = (src, rank, step);
+            match self.base_mode {
+                Mode::Eager => {
+                    if self.early_eager.remove(&key) {
+                        self.consume_eager(src, rank);
+                        req.state = ReqState::Complete;
+                    } else if self.early_rts.remove(&key) {
+                        // The sender fell back to rendezvous (full buffer).
+                        req.mode = Mode::Rendezvous;
+                        req.state = ReqState::MatchedNoCts;
+                    }
+                }
+                Mode::Rendezvous => {
+                    if self.early_rts.remove(&key) {
+                        req.state = ReqState::MatchedNoCts;
+                    }
+                }
+            }
+            reqs.push(req);
+        }
+
+        for dst in send_partners {
+            let mode = self.effective_send_mode(rank, dst);
+            if self.base_mode == Mode::Eager && mode == Mode::Rendezvous {
+                self.stats.eager_fallbacks += 1;
+            }
+            let state = match mode {
+                Mode::Eager => {
+                    self.stats.messages += 1;
+                    *self.outstanding_eager.entry((rank, dst)).or_insert(0) +=
+                        self.cfg.msg_bytes;
+                    let arrive = self.launch_transfer(rank, dst, now);
+                    self.q
+                        .schedule_at(arrive, Ev::EagerArrive { src: rank, dst, step });
+                    ReqState::Complete
+                }
+                Mode::Rendezvous => {
+                    let dt = self.cfg.network.ctrl_latency(rank, dst);
+                    self.q
+                        .schedule_at(now + dt, Ev::RtsArrive { src: rank, dst, step });
+                    ReqState::Unmatched
+                }
+            };
+            reqs.push(Request { peer: dst, is_send: true, mode, state });
+        }
+
+        self.ranks[rank as usize].reqs = reqs;
+        self.service(rank, now);
+    }
+
+    /// Eager unless the message would overflow the destination buffer.
+    fn effective_send_mode(&self, src: u32, dst: u32) -> Mode {
+        match self.base_mode {
+            Mode::Rendezvous => Mode::Rendezvous,
+            Mode::Eager => match self.cfg.eager_buffer_bytes {
+                None => Mode::Eager,
+                Some(cap) => {
+                    let used = self
+                        .outstanding_eager
+                        .get(&(src, dst))
+                        .copied()
+                        .unwrap_or(0);
+                    if used + self.cfg.msg_bytes > cap {
+                        Mode::Rendezvous
+                    } else {
+                        Mode::Eager
+                    }
+                }
+            },
+        }
+    }
+
+    fn consume_eager(&mut self, src: u32, dst: u32) {
+        if let Some(v) = self.outstanding_eager.get_mut(&(src, dst)) {
+            *v = v.saturating_sub(self.cfg.msg_bytes);
+        }
+    }
+
+    fn transfer_duration(&mut self, a: u32, b: u32) -> SimDuration {
+        let base = self.cfg.network.transfer_time(a, b, self.cfg.msg_bytes);
+        match self.cfg.noise_placement {
+            NoisePlacement::ExecOnly => base,
+            NoisePlacement::ExecAndComm => {
+                let extra = {
+                    let st = &mut self.ranks[a as usize];
+                    self.cfg.noise.sample(&mut st.comm_rng)
+                };
+                base + extra
+            }
+        }
+    }
+
+    /// Start a payload transfer from `from` to `to` at `now` (or, with
+    /// send serialisation on, when `from`'s injection port frees up) and
+    /// return its completion time. With serialisation, the port stays
+    /// busy for at least the link's LogGOPS injection gap `g`, so
+    /// back-to-back small messages cannot exceed the model's injection
+    /// rate.
+    fn launch_transfer(&mut self, from: u32, to: u32, now: SimTime) -> SimTime {
+        let dt = self.transfer_duration(from, to);
+        if self.cfg.serialize_sends {
+            let start = now.max(self.nic_free[from as usize]);
+            let done = start + dt;
+            let gap = self.cfg.network.link(from, to).injection_gap();
+            self.nic_free[from as usize] = start + dt.max(gap);
+            done
+        } else {
+            now + dt
+        }
+    }
+
+    /// Drive a waiting rank forward: issue gated CTS messages and detect
+    /// Waitall completion.
+    fn service(&mut self, rank: u32, now: SimTime) {
+        if self.ranks[rank as usize].phase != Phase::Waiting {
+            return;
+        }
+        // Head-of-line CTS gating: grant CTS only when no posted receive is
+        // still unmatched (see module docs).
+        let all_recvs_matched = self.ranks[rank as usize]
+            .reqs
+            .iter()
+            .filter(|r| !r.is_send)
+            .all(|r| r.state != ReqState::Unmatched);
+        if all_recvs_matched {
+            let step = self.ranks[rank as usize].step;
+            let to_cts: Vec<u32> = self.ranks[rank as usize]
+                .reqs
+                .iter()
+                .filter(|r| {
+                    !r.is_send && r.mode == Mode::Rendezvous && r.state == ReqState::MatchedNoCts
+                })
+                .map(|r| r.peer)
+                .collect();
+            for sender in to_cts {
+                for r in &mut self.ranks[rank as usize].reqs {
+                    if !r.is_send && r.peer == sender && r.state == ReqState::MatchedNoCts {
+                        r.state = ReqState::InFlight;
+                    }
+                }
+                let dt = self.cfg.network.ctrl_latency(rank, sender);
+                self.q
+                    .schedule_at(now + dt, Ev::CtsArrive { sender, receiver: rank, step });
+            }
+        }
+        let complete = self.ranks[rank as usize]
+            .reqs
+            .iter()
+            .all(|r| r.state == ReqState::Complete);
+        if complete {
+            self.finish_step(rank, now);
+        }
+    }
+
+    fn finish_step(&mut self, rank: u32, now: SimTime) {
+        let st = &mut self.ranks[rank as usize];
+        self.records.push(PhaseRecord {
+            rank,
+            step: st.step,
+            exec_start: st.exec_start,
+            exec_end: st.exec_end,
+            comm_end: now,
+            injected: st.injected,
+            noise: st.noise_amt,
+        });
+        st.reqs.clear();
+        st.step += 1;
+        if st.step == self.cfg.steps {
+            st.phase = Phase::Done;
+            self.done_count += 1;
+        } else {
+            self.start_exec(rank, now);
+        }
+    }
+
+    fn on_rts(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
+        let matched = {
+            let st = &self.ranks[dst as usize];
+            st.phase == Phase::Waiting && st.step == step
+        };
+        if matched {
+            let st = &mut self.ranks[dst as usize];
+            let req = st
+                .reqs
+                .iter_mut()
+                .find(|r| !r.is_send && r.peer == src && r.state == ReqState::Unmatched)
+                .unwrap_or_else(|| {
+                    panic!("rank {dst} step {step}: RTS from {src} has no matching recv")
+                });
+            // An eager-posted recv can be matched by a rendezvous RTS when
+            // the sender's buffer overflowed.
+            req.mode = Mode::Rendezvous;
+            req.state = ReqState::MatchedNoCts;
+            self.service(dst, now);
+        } else {
+            debug_assert!(
+                self.ranks[dst as usize].step <= step,
+                "RTS for a step the receiver already completed"
+            );
+            self.early_rts.insert((src, dst, step));
+        }
+    }
+
+    fn on_cts(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
+        {
+            let st = &mut self.ranks[sender as usize];
+            debug_assert_eq!(st.step, step, "CTS for a foreign step");
+            let req = st
+                .reqs
+                .iter_mut()
+                .find(|r| r.is_send && r.peer == receiver && r.state == ReqState::Unmatched)
+                .unwrap_or_else(|| {
+                    panic!("rank {sender} step {step}: CTS from {receiver} has no pending send")
+                });
+            req.state = ReqState::InFlight;
+        }
+        self.stats.messages += 1;
+        let done = self.launch_transfer(sender, receiver, now);
+        self.q
+            .schedule_at(done, Ev::XferDone { sender, receiver, step });
+    }
+
+    fn on_eager(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
+        let matched = {
+            let st = &self.ranks[dst as usize];
+            st.phase == Phase::Waiting && st.step == step
+        };
+        if matched {
+            {
+                let st = &mut self.ranks[dst as usize];
+                let req = st
+                    .reqs
+                    .iter_mut()
+                    .find(|r| {
+                        !r.is_send
+                            && r.peer == src
+                            && r.mode == Mode::Eager
+                            && r.state == ReqState::Unmatched
+                    })
+                    .unwrap_or_else(|| {
+                        panic!("rank {dst} step {step}: eager data from {src} has no matching recv")
+                    });
+                req.state = ReqState::Complete;
+            }
+            self.consume_eager(src, dst);
+            self.service(dst, now);
+        } else {
+            debug_assert!(
+                self.ranks[dst as usize].step <= step,
+                "eager data for a step the receiver already completed"
+            );
+            self.early_eager.insert((src, dst, step));
+        }
+    }
+
+    fn on_xfer_done(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
+        {
+            let st = &mut self.ranks[sender as usize];
+            let req = st
+                .reqs
+                .iter_mut()
+                .find(|r| r.is_send && r.peer == receiver && r.state == ReqState::InFlight)
+                .expect("transfer completion without in-flight send");
+            req.state = ReqState::Complete;
+        }
+        {
+            let st = &mut self.ranks[receiver as usize];
+            debug_assert_eq!(st.step, step);
+            let req = st
+                .reqs
+                .iter_mut()
+                .find(|r| !r.is_send && r.peer == sender && r.state == ReqState::InFlight)
+                .expect("transfer completion without in-flight recv");
+            req.state = ReqState::Complete;
+        }
+        self.service(sender, now);
+        self.service(receiver, now);
+    }
+}
+
+/// Run a simulation described by `cfg` and return its trace.
+pub fn run(cfg: &SimConfig) -> Trace {
+    Engine::new(cfg.clone()).run()
+}

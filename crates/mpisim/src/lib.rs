@@ -1,0 +1,29 @@
+//! # mpisim — message-passing simulation on a discrete-event engine
+//!
+//! Simulates MPI-parallel bulk-synchronous programs at the level of
+//! abstraction the paper's delay-propagation study needs: ranks alternate
+//! execution phases and nonblocking `Isend`/`Irecv`/`Waitall` communication
+//! phases; messages travel through eager or rendezvous protocols over a
+//! hierarchical cluster network; one-off delays and fine-grained noise
+//! perturb the execution phases.
+//!
+//! Entry point: build a [`SimConfig`], call [`run`], analyse the returned
+//! [`tracefmt::Trace`] (typically through the `idlewave` crate).
+//!
+//! See the `engine` module docs for the protocol semantics, including the
+//! head-of-line CTS gating rule that reproduces the paper's σ = 2
+//! propagation-speed doubling for bidirectional rendezvous communication.
+
+#![warn(missing_docs)]
+
+mod config;
+mod engine;
+mod nominal;
+pub mod reference;
+
+pub use config::{Mode, NoisePlacement, Protocol, SimConfig};
+pub use engine::{run, Engine, RunStats};
+pub use reference::reference_trace;
+pub use nominal::{
+    nominal_comm_duration, nominal_exec_duration, nominal_message_time, nominal_step_duration,
+};

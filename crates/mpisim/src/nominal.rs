@@ -1,0 +1,153 @@
+//! Analytic per-step baselines for a configuration.
+//!
+//! The idle-wave analysis needs to know what a communication phase costs
+//! *without* any waiting: everything beyond that baseline is idle time.
+//! These helpers compute the baseline from the same models the engine uses,
+//! so the baseline is exact on a noise-free, delay-free run.
+
+use simdes::SimDuration;
+
+use crate::config::{Mode, SimConfig};
+
+/// Worst-case (over ranks and partners) cost of one message in the
+/// configured mode:
+///
+/// * eager: one payload transfer time (the payload is launched at post
+///   time and the matching receive completes on arrival);
+/// * rendezvous: RTS latency + CTS latency + payload transfer time.
+///
+/// With send serialisation the baseline sums a rank's transfer times but
+/// not the LogGOPS injection gap `g`; on gap-dominated links the engine's
+/// measured comm phase can therefore exceed this baseline (the excess is
+/// injection-rate pacing, not waiting on partners).
+pub fn nominal_message_time(cfg: &SimConfig) -> SimDuration {
+    let nranks = cfg.ranks();
+    let mode = cfg.protocol.mode_for(cfg.msg_bytes);
+    let mut worst = SimDuration::ZERO;
+    // With an explicit schedule, consider every round of one cycle.
+    let rounds: u32 = cfg.schedule.as_ref().map_or(1, |s| s.rounds_per_cycle());
+    for round in 0..rounds {
+        for r in 0..nranks {
+            let partners: Vec<u32> = match &cfg.schedule {
+                Some(sched) => sched.graph_for(round).send_partners(r).to_vec(),
+                None => cfg.pattern.send_partners(r, nranks),
+            };
+            // With send serialisation the last payload leaving a rank
+            // departs after all earlier ones; a fully synchronised step
+            // therefore costs the *sum* of the rank's transfer times
+            // (exact for the symmetric patterns under study, where some
+            // receiver always depends on the last departure).
+            let serial_total: SimDuration = if cfg.serialize_sends {
+                partners
+                    .iter()
+                    .map(|&p| cfg.network.transfer_time(r, p, cfg.msg_bytes))
+                    .sum()
+            } else {
+                SimDuration::ZERO
+            };
+            for &p in &partners {
+                let xfer = if cfg.serialize_sends {
+                    serial_total
+                } else {
+                    cfg.network.transfer_time(r, p, cfg.msg_bytes)
+                };
+                let total = match mode {
+                    Mode::Eager => xfer,
+                    Mode::Rendezvous => {
+                        cfg.network.ctrl_latency(r, p) + cfg.network.ctrl_latency(p, r) + xfer
+                    }
+                };
+                worst = worst.max(total);
+            }
+        }
+    }
+    worst
+}
+
+/// Baseline communication-phase duration on a fully synchronised run: all
+/// per-partner transfers overlap, so the phase costs one worst-case
+/// message time.
+pub fn nominal_comm_duration(cfg: &SimConfig) -> SimDuration {
+    nominal_message_time(cfg)
+}
+
+/// Baseline execution-phase duration: the work time with every rank of the
+/// most heavily loaded socket computing concurrently (the fully
+/// synchronised steady state), without noise or injections.
+pub fn nominal_exec_duration(cfg: &SimConfig) -> SimDuration {
+    let nranks = cfg.ranks();
+    let sockets = cfg.network.machine.total_sockets();
+    let mut counts = vec![0u32; sockets as usize];
+    for r in 0..nranks {
+        counts[cfg.network.socket_of(r) as usize] += 1;
+    }
+    let max_per_socket = counts.into_iter().max().unwrap_or(1).max(1);
+    cfg.exec.static_duration(max_per_socket)
+}
+
+/// Baseline duration of one full step: `T_exec + T_comm` (the denominator
+/// of the paper's Eq. 2).
+pub fn nominal_step_duration(cfg: &SimConfig) -> SimDuration {
+    nominal_exec_duration(cfg) + nominal_comm_duration(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use netmodel::{ClusterNetwork, Hockney, PointToPoint};
+    use workload::{Boundary, CommPattern, Direction, ExecModel};
+
+    fn flat_cfg(protocol: Protocol) -> SimConfig {
+        let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(1), 1e9));
+        let net = ClusterNetwork::flat(8, link);
+        let mut cfg = SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Unidirectional, Boundary::Open),
+            3,
+        );
+        cfg.protocol = protocol;
+        cfg.msg_bytes = 8192;
+        cfg
+    }
+
+    #[test]
+    fn eager_baseline_is_one_transfer() {
+        let cfg = flat_cfg(Protocol::Eager);
+        // 1 us latency + 8192 ns payload at 1 GB/s.
+        assert_eq!(nominal_comm_duration(&cfg), SimDuration::from_nanos(9_192));
+    }
+
+    #[test]
+    fn rendezvous_baseline_adds_handshake() {
+        let cfg = flat_cfg(Protocol::Rendezvous);
+        // 2 x 1 us control + 9.192 us payload.
+        assert_eq!(nominal_comm_duration(&cfg), SimDuration::from_nanos(11_192));
+    }
+
+    #[test]
+    fn step_duration_sums_exec_and_comm() {
+        let cfg = flat_cfg(Protocol::Eager);
+        assert_eq!(
+            nominal_step_duration(&cfg),
+            SimDuration::from_millis(3) + SimDuration::from_nanos(9_192)
+        );
+    }
+
+    #[test]
+    fn memory_bound_exec_baseline_uses_full_socket() {
+        let net = netmodel::presets::emmy_like(1, 20, 20);
+        let mut cfg = SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Periodic),
+            3,
+        );
+        cfg.exec = ExecModel::MemoryBound {
+            bytes: 40_000_000,
+            core_bw_bps: 10e9,
+            socket_bw_bps: 40e9,
+        };
+        // 10 ranks/socket at 40 GB/s socket => 4 GB/s each => 10 ms.
+        assert_eq!(nominal_exec_duration(&cfg), SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,223 @@
+//! Independent reference implementation: the max-plus recurrence.
+//!
+//! For compute-bound workloads the bulk-synchronous dynamics have a
+//! closed form. Let `E(r, k)` be the end of rank `r`'s execution phase in
+//! step `k` and `W(r, k)` the end of its Waitall. With all requests
+//! posted at `E(r, k)`:
+//!
+//! **Eager** (unbounded buffers): sends complete at post; a receive from
+//! `s` completes at `max(E(r,k), E(s,k) + T(s,r))`, so
+//!
+//! ```text
+//! W(r,k) = max( E(r,k), max_{s ∈ senders(r)} E(s,k) + T(s,r) )
+//! ```
+//!
+//! **Rendezvous** with the head-of-line CTS gating rule (see the engine
+//! docs): receiver `r` grants all its CTS at
+//! `cts(r,k) = max(E(r,k), max_{s ∈ senders(r)} E(s,k) + α(s,r))`
+//! (every receive must be matched first), the payload `s→r` then takes
+//! `α(r,s)` (CTS travel) plus `T(s,r)`, and both endpoints' requests
+//! complete at that moment:
+//!
+//! ```text
+//! done(s→r, k) = cts(r,k) + α(r,s) + T(s,r)
+//! W(r,k) = max( E(r,k),
+//!               max_{s ∈ senders(r)}   done(s→r, k),
+//!               max_{d ∈ receivers(r)} done(r→d, k) )
+//! ```
+//!
+//! In both modes `E(r, k+1) = W(r,k) + T_exec·imbalance(r) + delay(r,k+1)
+//! + noise(r,k+1)`.
+//!
+//! This module evaluates that recurrence directly — no event queue, no
+//! message objects — drawing the identical noise streams as the engine.
+//! The property suite asserts the two implementations agree **exactly**
+//! on their shared domain, which is the strongest internal-consistency
+//! evidence the reproduction has: the wave speeds, interactions and decay
+//! statistics do not depend on the event-driven machinery.
+//!
+//! Domain restrictions (asserted): compute-bound execution, pure eager or
+//! pure rendezvous mode, regular patterns (no custom schedule), unbounded
+//! eager buffers, no send serialisation, noise on execution phases only.
+
+use rand::rngs::SmallRng;
+use simdes::{SeedFactory, SimDuration, SimTime};
+use tracefmt::{PhaseRecord, Trace};
+use workload::ExecModel;
+
+use crate::config::{Mode, NoisePlacement, SimConfig};
+
+/// Evaluate the max-plus recurrence for `cfg` and return the trace.
+///
+/// # Panics
+/// Panics if the config is outside the closed-form domain (see module
+/// docs).
+pub fn reference_trace(cfg: &SimConfig) -> Trace {
+    cfg.validate();
+    let texec = match cfg.exec {
+        ExecModel::Compute { duration } => duration,
+        ExecModel::MemoryBound { .. } => {
+            panic!("reference recurrence covers compute-bound workloads only")
+        }
+    };
+    assert!(cfg.schedule.is_none(), "reference recurrence needs a regular pattern");
+    assert!(
+        cfg.eager_buffer_bytes.is_none(),
+        "reference recurrence assumes unbounded eager buffers"
+    );
+    assert!(!cfg.serialize_sends, "reference recurrence assumes overlapping sends");
+    assert_eq!(
+        cfg.noise_placement,
+        NoisePlacement::ExecOnly,
+        "reference recurrence models execution noise only"
+    );
+    let mode = cfg.protocol.mode_for(cfg.msg_bytes);
+
+    let n = cfg.ranks();
+    let steps = cfg.steps;
+    let seeds = SeedFactory::new(cfg.seed);
+    let mut rngs: Vec<SmallRng> = (0..n)
+        .map(|r| seeds.stream("exec-noise", u64::from(r)))
+        .collect();
+
+    // Partner tables.
+    let senders: Vec<Vec<u32>> = (0..n).map(|r| cfg.pattern.recv_partners(r, n)).collect();
+    let receivers: Vec<Vec<u32>> = (0..n).map(|r| cfg.pattern.send_partners(r, n)).collect();
+
+    let xfer = |a: u32, b: u32| cfg.network.transfer_time(a, b, cfg.msg_bytes);
+    let ctrl = |a: u32, b: u32| cfg.network.ctrl_latency(a, b);
+
+    let mut start: Vec<SimTime> = vec![SimTime::ZERO; n as usize];
+    let mut records = Vec::with_capacity(n as usize * steps as usize);
+
+    for k in 0..steps {
+        // Execution ends.
+        let mut exec_end = vec![SimTime::ZERO; n as usize];
+        let mut injected = vec![SimDuration::ZERO; n as usize];
+        let mut noise = vec![SimDuration::ZERO; n as usize];
+        for r in 0..n {
+            let factor = cfg.imbalance.get(r as usize).copied().unwrap_or(1.0);
+            injected[r as usize] = cfg.injections.delay_for(r, k);
+            noise[r as usize] = cfg.noise.sample(&mut rngs[r as usize]);
+            exec_end[r as usize] = start[r as usize]
+                + injected[r as usize]
+                + texec.mul_f64(factor)
+                + noise[r as usize];
+        }
+
+        // Waitall ends.
+        let mut wait_end = vec![SimTime::ZERO; n as usize];
+        match mode {
+            Mode::Eager => {
+                for r in 0..n {
+                    let mut w = exec_end[r as usize];
+                    for &s in &senders[r as usize] {
+                        w = w.max(exec_end[s as usize] + xfer(s, r));
+                    }
+                    wait_end[r as usize] = w;
+                }
+            }
+            Mode::Rendezvous => {
+                // CTS grant time per receiver.
+                let cts: Vec<SimTime> = (0..n)
+                    .map(|r| {
+                        let mut c = exec_end[r as usize];
+                        for &s in &senders[r as usize] {
+                            c = c.max(exec_end[s as usize] + ctrl(s, r));
+                        }
+                        c
+                    })
+                    .collect();
+                let done = |s: u32, r: u32| cts[r as usize] + ctrl(r, s) + xfer(s, r);
+                for r in 0..n {
+                    let mut w = exec_end[r as usize];
+                    for &s in &senders[r as usize] {
+                        w = w.max(done(s, r));
+                    }
+                    for &d in &receivers[r as usize] {
+                        w = w.max(done(r, d));
+                    }
+                    wait_end[r as usize] = w;
+                }
+            }
+        }
+
+        for r in 0..n {
+            records.push(PhaseRecord {
+                rank: r,
+                step: k,
+                exec_start: start[r as usize],
+                exec_end: exec_end[r as usize],
+                comm_end: wait_end[r as usize],
+                injected: injected[r as usize],
+                noise: noise[r as usize],
+            });
+            start[r as usize] = wait_end[r as usize];
+        }
+    }
+
+    Trace::from_records(n, steps, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Protocol;
+    use crate::engine::run;
+    use netmodel::{ClusterNetwork, Hockney, PointToPoint};
+    use noise_model::{DelayDistribution, InjectionPlan};
+    use workload::{Boundary, CommPattern, Direction};
+
+    fn base(ranks: u32, dir: Direction, boundary: Boundary, protocol: Protocol) -> SimConfig {
+        let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(1), 3e9));
+        let mut cfg = SimConfig::baseline(
+            ClusterNetwork::flat(ranks, link),
+            CommPattern::next_neighbor(dir, boundary),
+            8,
+        );
+        cfg.protocol = protocol;
+        cfg.exec = ExecModel::Compute { duration: SimDuration::from_millis(1) };
+        cfg
+    }
+
+    #[test]
+    fn matches_engine_on_the_fig4_scenario() {
+        let mut cfg = base(12, Direction::Unidirectional, Boundary::Open, Protocol::Eager);
+        cfg.injections = InjectionPlan::single(4, 0, SimDuration::from_millis(5));
+        assert_eq!(run(&cfg), reference_trace(&cfg));
+    }
+
+    #[test]
+    fn matches_engine_for_bidirectional_rendezvous_sigma2() {
+        let mut cfg =
+            base(14, Direction::Bidirectional, Boundary::Open, Protocol::Rendezvous);
+        cfg.injections = InjectionPlan::single(6, 0, SimDuration::from_millis(7));
+        assert_eq!(run(&cfg), reference_trace(&cfg));
+    }
+
+    #[test]
+    fn matches_engine_under_noise_and_imbalance() {
+        let mut cfg =
+            base(10, Direction::Bidirectional, Boundary::Periodic, Protocol::Rendezvous);
+        cfg.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(200) };
+        cfg.imbalance = (0..10).map(|r| 1.0 + 0.02 * f64::from(r)).collect();
+        cfg.injections = InjectionPlan::single(3, 2, SimDuration::from_millis(4));
+        assert_eq!(run(&cfg), reference_trace(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "compute-bound")]
+    fn memory_bound_is_outside_the_domain() {
+        let mut cfg = base(4, Direction::Unidirectional, Boundary::Open, Protocol::Eager);
+        cfg.exec = ExecModel::MemoryBound { bytes: 1, core_bw_bps: 1.0, socket_bw_bps: 1.0 };
+        reference_trace(&cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded eager buffers")]
+    fn finite_buffers_are_outside_the_domain() {
+        let mut cfg = base(4, Direction::Unidirectional, Boundary::Open, Protocol::Eager);
+        cfg.eager_buffer_bytes = Some(1);
+        reference_trace(&cfg);
+    }
+}

@@ -1,0 +1,179 @@
+//! Integration tests for the memory-bound (socket-bandwidth-sharing)
+//! execution model — the substrate for the paper's Fig. 1/2 motivating
+//! experiments, where desynchronisation lets ranks run faster because
+//! fewer of them contend for the socket's memory interface at once.
+
+use mpisim::{run, Protocol, SimConfig};
+use netmodel::{ClusterNetwork, DomainModels, Hockney, Machine, PointToPoint};
+use noise_model::{DelayDistribution, InjectionPlan};
+use simdes::SimDuration;
+use workload::{Boundary, CommPattern, Direction, ExecModel};
+
+/// Two cores on one socket; socket bandwidth equals single-core bandwidth,
+/// so two concurrent ranks each get half.
+fn two_core_socket() -> ClusterNetwork {
+    let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(1), 10e9));
+    ClusterNetwork::new(Machine::new(2, 1, 1), 2, 2, DomainModels::uniform(link))
+}
+
+fn mem_cfg(net: ClusterNetwork, steps: u32) -> SimConfig {
+    let mut c = SimConfig::baseline(
+        net,
+        CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Open),
+        steps,
+    );
+    c.protocol = Protocol::Eager;
+    c.exec = ExecModel::MemoryBound {
+        bytes: 3_000_000,      // 3 MB per phase
+        core_bw_bps: 1e9,      // 3 ms solo
+        socket_bw_bps: 1e9,    // 6 ms when both ranks contend
+    };
+    c
+}
+
+#[test]
+fn synchronized_ranks_share_bandwidth_equally() {
+    let c = mem_cfg(two_core_socket(), 4);
+    let t = run(&c);
+    // Both ranks active for the whole phase: 3 MB at 0.5 GB/s = 6 ms.
+    for r in 0..2 {
+        for s in 0..4 {
+            let d = t.record(r, s).exec_duration();
+            let ms = d.as_millis_f64();
+            assert!((ms - 6.0).abs() < 0.001, "rank {r} step {s}: {ms} ms");
+        }
+    }
+}
+
+#[test]
+fn a_delayed_neighbor_frees_bandwidth() {
+    let mut c = mem_cfg(two_core_socket(), 3);
+    // Rank 1 stalls for 20 ms before touching memory in step 0.
+    c.injections = InjectionPlan::single(1, 0, SimDuration::from_millis(20));
+    let t = run(&c);
+
+    // Rank 0 runs step 0 solo: 3 MB at 1 GB/s = 3 ms, half the contended
+    // time — the automatic overlap mechanism of Fig. 1.
+    let solo = t.record(0, 0).exec_duration().as_millis_f64();
+    assert!((solo - 3.0).abs() < 0.001, "solo exec {solo} ms");
+
+    // Rank 1's phase = 20 ms stall + 3 ms solo work.
+    let delayed = t.record(1, 0).exec_duration().as_millis_f64();
+    assert!((delayed - 23.0).abs() < 0.001, "delayed exec {delayed} ms");
+
+    // Once resynchronised (step 1+) they contend again: ~6 ms each.
+    for s in 1..3 {
+        for r in 0..2 {
+            let ms = t.record(r, s).exec_duration().as_millis_f64();
+            assert!((ms - 6.0).abs() < 0.01, "rank {r} step {s}: {ms} ms");
+        }
+    }
+}
+
+#[test]
+fn partial_overlap_integrates_piecewise_rates() {
+    let mut c = mem_cfg(two_core_socket(), 1);
+    // Rank 1 starts 2 ms late: rank 0 works solo for 2 ms (2 MB done),
+    // then both share for the remaining 1 MB at 0.5 GB/s (2 ms more).
+    c.injections = InjectionPlan::single(1, 0, SimDuration::from_millis(2));
+    let t = run(&c);
+    let r0 = t.record(0, 0).exec_duration().as_millis_f64();
+    assert!((r0 - 4.0).abs() < 0.001, "rank 0 exec {r0} ms");
+    // Rank 1: 2 ms stall, then 2 ms shared (1 MB), then solo for its last
+    // 2 MB at 1 GB/s (2 ms): total 6 ms.
+    let r1 = t.record(1, 0).exec_duration().as_millis_f64();
+    assert!((r1 - 6.0).abs() < 0.001, "rank 1 exec {r1} ms");
+}
+
+#[test]
+fn unsaturated_socket_runs_at_core_speed() {
+    // Socket bandwidth far above the per-core cap: contention never bites.
+    let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(1), 10e9));
+    let net = ClusterNetwork::new(Machine::new(4, 1, 1), 4, 4, DomainModels::uniform(link));
+    let mut c = SimConfig::baseline(
+        net,
+        CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Open),
+        2,
+    );
+    c.protocol = Protocol::Eager;
+    c.exec = ExecModel::MemoryBound {
+        bytes: 1_000_000,
+        core_bw_bps: 1e9,
+        socket_bw_bps: 100e9,
+    };
+    let t = run(&c);
+    for r in 0..4 {
+        let ms = t.record(r, 0).exec_duration().as_millis_f64();
+        assert!((ms - 1.0).abs() < 0.001, "rank {r}: {ms} ms");
+    }
+}
+
+#[test]
+fn separate_sockets_do_not_contend() {
+    // Two sockets with one core each: no sharing despite both ranks active.
+    let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(1), 10e9));
+    let net = ClusterNetwork::new(Machine::new(1, 2, 1), 2, 2, DomainModels::uniform(link));
+    let mut c = SimConfig::baseline(
+        net,
+        CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Open),
+        2,
+    );
+    c.protocol = Protocol::Eager;
+    c.exec = ExecModel::MemoryBound {
+        bytes: 3_000_000,
+        core_bw_bps: 1e9,
+        socket_bw_bps: 1e9,
+    };
+    let t = run(&c);
+    for r in 0..2 {
+        let ms = t.record(r, 0).exec_duration().as_millis_f64();
+        assert!((ms - 3.0).abs() < 0.001, "rank {r}: {ms} ms");
+    }
+}
+
+#[test]
+fn memory_bound_runs_are_deterministic_under_noise() {
+    let mut c = mem_cfg(two_core_socket(), 6);
+    c.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(200) };
+    let a = run(&c);
+    let b = run(&c);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn noise_desynchronises_and_speeds_up_memory_bound_execution() {
+    // The Fig. 1/2 effect in miniature: with noise, mean exec time drops
+    // below the fully-contended baseline because phases slide apart.
+    // Ten ranks on one ten-core socket, strongly saturated.
+    let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(1), 10e9));
+    let net = ClusterNetwork::new(Machine::new(10, 1, 1), 10, 10, DomainModels::uniform(link));
+    let mut c = SimConfig::baseline(
+        net,
+        CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Periodic),
+        40,
+    );
+    c.protocol = Protocol::Eager;
+    c.exec = ExecModel::MemoryBound {
+        bytes: 4_000_000,
+        core_bw_bps: 6.5e9,
+        socket_bw_bps: 40e9, // 10 ranks => 4 GB/s each => 1 ms contended
+    };
+    c.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(100) };
+    let t = run(&c);
+
+    let contended_ms = 1.0;
+    let mut sum = 0.0;
+    let mut n = 0u32;
+    // Skip the first steps (synchronised start) and measure steady state.
+    for r in 0..10 {
+        for s in 20..40 {
+            sum += t.record(r, s).work_duration().as_millis_f64();
+            n += 1;
+        }
+    }
+    let mean = sum / f64::from(n);
+    assert!(
+        mean < contended_ms * 1.02,
+        "mean work time {mean} ms should not exceed the contended baseline"
+    );
+}

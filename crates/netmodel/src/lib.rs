@@ -1,0 +1,22 @@
+//! # netmodel — communication and topology models
+//!
+//! First-principles point-to-point cost models (Hockney, LogGOPS), the
+//! hierarchical cluster topology (core < socket < node < network), and
+//! presets calibrated to the two systems of the paper ("Emmy" InfiniBand,
+//! "Meggie" Omni-Path) plus a LogGOPSim-like configuration.
+//!
+//! The message-passing simulator (`mpisim`) asks a [`ClusterNetwork`] for
+//! the link model between any two ranks; everything else here exists to
+//! answer that question faithfully for the placements used in the paper's
+//! experiments.
+
+#![warn(missing_docs)]
+
+mod model;
+mod network;
+pub mod presets;
+mod topology;
+
+pub use model::{Hockney, LogGops, PointToPoint};
+pub use network::{ClusterNetwork, DomainModels};
+pub use topology::{Domain, Location, Machine};

@@ -1,0 +1,219 @@
+//! Fixed-bin-width histograms for noise characterisation (Fig. 3).
+//!
+//! The paper's system-noise study collects 3.3 × 10⁵ per-phase delay samples
+//! and plots them in histograms with a bin size of 640 ns (SMT on) or 7.2 µs
+//! (SMT off). [`Histogram`] reproduces exactly that: fixed-width bins from
+//! zero, an overflow bin, and the summary moments quoted in the text
+//! (average delay, maximum delay).
+
+use serde::{Deserialize, Serialize};
+use simdes::SimDuration;
+
+/// A histogram of delay durations with fixed-width bins starting at zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: SimDuration,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum_ns: u128,
+    max: SimDuration,
+}
+
+impl Histogram {
+    /// Empty histogram with `bins` bins of width `bin_width`; samples at or
+    /// beyond `bins · bin_width` land in the overflow bin.
+    pub fn new(bin_width: SimDuration, bins: usize) -> Self {
+        assert!(!bin_width.is_zero(), "bin width must be positive");
+        assert!(bins > 0, "need at least one bin");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+            sum_ns: 0,
+            max: SimDuration::ZERO,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let idx = (d.nanos() / self.bin_width.nanos()) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.total += 1;
+        self.sum_ns += u128::from(d.nanos());
+        self.max = self.max.max(d);
+    }
+
+    /// Record many samples.
+    pub fn record_all<I: IntoIterator<Item = SimDuration>>(&mut self, it: I) {
+        for d in it {
+            self.record(d);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Count in bin `i` (bin `i` covers `[i·w, (i+1)·w)`).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// All in-range bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded samples (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.sum_ns / u128::from(self.total)) as u64)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_start(&self, i: usize) -> SimDuration {
+        SimDuration(self.bin_width.nanos() * i as u64)
+    }
+
+    /// Index of the non-empty bin with the largest count, ignoring bins
+    /// below `from` — used to locate the second mode of a bimodal histogram.
+    pub fn peak_bin_from(&self, from: usize) -> Option<usize> {
+        let slice = self.counts.get(from..)?;
+        let (off, &cnt) = slice
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)?;
+        if cnt == 0 {
+            return None;
+        }
+        Some(from + off)
+    }
+
+    /// Fraction of samples in bins `[lo, hi)` (in-range bins only).
+    pub fn mass_between(&self, lo: usize, hi: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let lo = lo.min(self.counts.len());
+        let hi = hi.min(self.counts.len());
+        if lo >= hi {
+            return 0.0;
+        }
+        let sum: u64 = self.counts[lo..hi].iter().sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Render rows of `(bin_start_us, count)` for reporting.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_start(i).as_micros_f64(), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn binning_boundaries() {
+        let mut h = Histogram::new(us(1), 4);
+        h.record(SimDuration::from_nanos(0));
+        h.record(SimDuration::from_nanos(999));
+        h.record(us(1)); // exactly on edge => bin 1
+        h.record(SimDuration::from_nanos(3_999));
+        h.record(us(4)); // beyond last bin => overflow
+        assert_eq!(h.counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn moments() {
+        let mut h = Histogram::new(us(1), 100);
+        h.record_all([us(2), us(4), us(6)]);
+        assert_eq!(h.mean(), us(4));
+        assert_eq!(h.max(), us(6));
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(us(1), 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.peak_bin_from(0), None);
+        assert_eq!(h.mass_between(0, 10), 0.0);
+    }
+
+    #[test]
+    fn peak_detection_finds_second_mode() {
+        let mut h = Histogram::new(us(10), 100);
+        // Bulk at 0-10 us, spike around 660 us (bin 66).
+        for _ in 0..1000 {
+            h.record(us(3));
+        }
+        for _ in 0..50 {
+            h.record(us(662));
+        }
+        assert_eq!(h.peak_bin_from(0), Some(0));
+        assert_eq!(h.peak_bin_from(10), Some(66));
+    }
+
+    #[test]
+    fn mass_between_fractions() {
+        let mut h = Histogram::new(us(1), 10);
+        for i in 0..10u64 {
+            h.record(us(i));
+        }
+        assert!((h.mass_between(0, 5) - 0.5).abs() < 1e-12);
+        assert!((h.mass_between(0, 10) - 1.0).abs() < 1e-12);
+        assert!((h.mass_between(7, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_report_bin_starts_in_us() {
+        let mut h = Histogram::new(SimDuration::from_nanos(640), 3);
+        h.record(SimDuration::from_nanos(700));
+        let rows = h.rows();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[1].0 - 0.64).abs() < 1e-9);
+        assert_eq!(rows[1].1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width")]
+    fn zero_bin_width_panics() {
+        Histogram::new(SimDuration::ZERO, 4);
+    }
+}

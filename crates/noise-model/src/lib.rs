@@ -1,0 +1,23 @@
+//! # noise-model — delay and noise generation
+//!
+//! Everything stochastic in the reproduction lives here:
+//!
+//! * [`DelayDistribution`] — stateless samplable distributions (exponential
+//!   per Eq. 3 of the paper, truncated and bimodal variants for the natural
+//!   system noise of Fig. 3);
+//! * [`InjectionPlan`] — one-off long delays at specific `(rank, step)`
+//!   coordinates, with builders for every injection pattern in the paper;
+//! * [`Histogram`] — fixed-bin-width histograms matching the Fig. 3
+//!   presentation;
+//! * [`presets`] — distributions fitted to the paper's measured noise.
+
+#![warn(missing_docs)]
+
+mod distribution;
+mod histogram;
+mod injection;
+pub mod presets;
+
+pub use distribution::DelayDistribution;
+pub use histogram::Histogram;
+pub use injection::{Injection, InjectionPlan};

@@ -1,0 +1,106 @@
+//! Property-based tests for delay distributions, injections and
+//! histograms: samples must respect their documented bounds for any
+//! parameter combination, and the histogram must account for every sample.
+
+use noise_model::{DelayDistribution, Histogram, Injection, InjectionPlan};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use simdes::SimDuration;
+
+proptest! {
+    /// Truncated exponential samples never exceed the clamp and the
+    /// empirical mean is below the (untruncated) mean parameter.
+    #[test]
+    fn truncated_exponential_respects_clamp(mean_us in 1u64..10_000, max_us in 1u64..10_000,
+                                            seed in any::<u64>()) {
+        let d = DelayDistribution::TruncatedExponential {
+            mean: SimDuration::from_micros(mean_us),
+            max: SimDuration::from_micros(max_us),
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sum = 0.0;
+        for _ in 0..500 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s <= SimDuration::from_micros(max_us));
+            sum += s.as_micros_f64();
+        }
+        prop_assert!(sum / 500.0 <= mean_us as f64 * 1.6 + 1.0, "mean wildly off");
+        // Analytic mean below both parameters.
+        prop_assert!(d.mean() <= SimDuration::from_micros(mean_us));
+        prop_assert!(d.mean() <= SimDuration::from_micros(max_us));
+    }
+
+    /// Uniform samples stay in their bounds, any bounds.
+    #[test]
+    fn uniform_in_bounds(a in 0u64..1_000_000, b in 0u64..1_000_000, seed in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let d = DelayDistribution::Uniform {
+            lo: SimDuration(lo),
+            hi: SimDuration(hi),
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            prop_assert!(s.nanos() >= lo && s.nanos() <= hi);
+        }
+    }
+
+    /// Sampling is a pure function of the RNG state: same seed, same draws.
+    #[test]
+    fn sampling_reproducible(mean_us in 1u64..1000, seed in any::<u64>()) {
+        let d = DelayDistribution::Exponential { mean: SimDuration::from_micros(mean_us) };
+        let mut a = SmallRng::seed_from_u64(seed);
+        let mut b = SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    /// Every recorded sample lands in exactly one bin (or overflow).
+    #[test]
+    fn histogram_accounts_for_all_samples(
+        samples in prop::collection::vec(0u64..10_000_000, 1..500),
+        bin_us in 1u64..100,
+        bins in 1usize..128,
+    ) {
+        let mut h = Histogram::new(SimDuration::from_micros(bin_us), bins);
+        for &s in &samples {
+            h.record(SimDuration(s));
+        }
+        let in_bins: u64 = h.counts().iter().sum();
+        prop_assert_eq!(in_bins + h.overflow(), samples.len() as u64);
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let max = samples.iter().copied().max().unwrap();
+        prop_assert_eq!(h.max().nanos(), max);
+        // Mean within [min, max].
+        let min = samples.iter().copied().min().unwrap();
+        prop_assert!(h.mean().nanos() >= min.saturating_sub(1) && h.mean().nanos() <= max);
+    }
+
+    /// Injection plans answer exactly what was put in, for any plan.
+    #[test]
+    fn injection_plan_lookup_consistent(
+        list in prop::collection::vec((0u32..20, 0u32..10, 1u64..1_000_000), 0..30)
+    ) {
+        let plan = InjectionPlan::from_list(
+            list.iter()
+                .map(|&(rank, step, ns)| Injection { rank, step, duration: SimDuration(ns) })
+                .collect(),
+        );
+        // Sum per coordinate must match.
+        for rank in 0..20 {
+            for step in 0..10 {
+                let expect: u64 = list
+                    .iter()
+                    .filter(|&&(r, s, _)| r == rank && s == step)
+                    .map(|&(_, _, ns)| ns)
+                    .sum();
+                prop_assert_eq!(plan.delay_for(rank, step).nanos(), expect);
+            }
+        }
+        prop_assert_eq!(plan.is_empty(), list.is_empty());
+        let max = list.iter().map(|&(_, _, ns)| ns).max().unwrap_or(0);
+        prop_assert_eq!(plan.max_duration().nanos(), max);
+    }
+}

@@ -1,0 +1,31 @@
+//! # simdes — deterministic discrete-event simulation engine
+//!
+//! The foundation of the idle-wave reproduction: an integer-nanosecond
+//! simulation clock, a stable-priority event queue, reproducible per-entity
+//! RNG streams, and the handful of statistics routines the analysis layers
+//! share.
+//!
+//! Design requirements, all driven by the experiments in the paper
+//! (Afzal, Hager, Wellein, CLUSTER 2019):
+//!
+//! * **Bit-exact determinism.** Runs are seeded; the same seed must produce
+//!   the same trace. Hence integer time ([`SimTime`]), FIFO tie-breaking in
+//!   the queue ([`EventQueue`]), and hash-derived RNG streams
+//!   ([`SeedFactory`]) rather than shared-generator draws.
+//! * **Massive tie volume.** Bulk-synchronous programs schedule hundreds of
+//!   events at identical timestamps every step; ordering among them must be
+//!   stable and documented.
+//! * **No global state.** Everything is a value; simulations can run in
+//!   parallel threads (e.g. the 15-repetition decay statistics of Fig. 8)
+//!   without contention.
+
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::{splitmix64, SeedFactory};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,284 @@
+//! Deterministic event queue.
+//!
+//! A thin wrapper around [`std::collections::BinaryHeap`] that delivers
+//! events in non-decreasing timestamp order and breaks timestamp ties by
+//! insertion order (FIFO). The FIFO tie-break is load-bearing: delay
+//! propagation experiments schedule many events at exactly the same
+//! nanosecond (all ranks finish their first execution phase together), and a
+//! heap without a tie-break would make run-to-run event order depend on heap
+//! internals, destroying reproducibility.
+//!
+//! The queue is generic over the event payload `E`; the simulation layer on
+//! top (e.g. `mpisim`) defines its own event enum and drives the loop:
+//!
+//! ```
+//! use simdes::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32), Stop }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_at(SimTime(50), Ev::Stop);
+//! q.schedule_at(SimTime(10), Ev::Ping(1));
+//! q.schedule_at(SimTime(10), Ev::Ping(2)); // same time: FIFO order
+//!
+//! let mut seen = Vec::new();
+//! while let Some((t, ev)) = q.pop() {
+//!     seen.push((t.nanos(), ev));
+//! }
+//! assert_eq!(seen, vec![(10, Ev::Ping(1)), (10, Ev::Ping(2)), (50, Ev::Stop)]);
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// An event scheduled on the queue. Ordered for a *max*-heap, so the
+/// comparison is reversed: smaller `(time, seq)` pairs compare greater.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: earliest (time, seq) must be the heap maximum.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Tracks the current simulation time: `pop` advances the clock to the
+/// timestamp of the delivered event. Scheduling in the past panics — a
+/// causality violation is always a bug in the model, never recoverable.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Empty queue with pre-allocated capacity for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time (timestamp of the last delivered event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current simulation time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at:?} but now is {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time: at, seq, payload });
+    }
+
+    /// Schedule `payload` after a relative delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, payload);
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.time >= self.now, "heap returned an event from the past");
+        self.now = s.time;
+        self.popped += 1;
+        Some((s.time, s.payload))
+    }
+
+    /// Drop all pending events (the clock is left untouched).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule_at(SimTime(42), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), 0u8);
+        q.pop();
+        q.schedule_in(SimDuration(25), 1u8);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime(125));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), ());
+        q.pop();
+        q.schedule_at(SimTime(50), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), 1);
+        q.pop();
+        q.schedule_at(SimTime(10), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (SimTime(10), 2));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime(5)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delivered_counts_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule_at(SimTime(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 5);
+    }
+
+    #[test]
+    fn clear_drops_pending_but_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(5), ());
+        q.pop();
+        q.schedule_at(SimTime(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime(5));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_global_order() {
+        // Simulates the usual DES pattern: each delivered event schedules
+        // follow-ups; delivery order must stay monotone in time.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 1u64);
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, gen)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            count += 1;
+            if gen < 6 {
+                q.schedule_in(SimDuration(3), gen + 1);
+                q.schedule_in(SimDuration(1), gen + 1);
+            }
+        }
+        assert!(count > 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Small statistics helpers shared by the analysis crates.
+//!
+//! The paper reports medians with min/max whiskers (Fig. 1, Fig. 8) and fits
+//! straight lines to wave fronts (propagation speed) and idle-period lengths
+//! (decay rate). These few routines cover all of that; anything fancier
+//! would be over-engineering for the reproduction.
+
+/// Summary of a sample: count, mean, median, min, max, standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of the two central order statistics for even `n`).
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty slice or if any value
+    /// is non-finite (NaN would silently poison every statistic).
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Some(Summary {
+            n,
+            mean,
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+            stddev: var.sqrt(),
+        })
+    }
+}
+
+/// Result of an ordinary-least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; 0 when the fit
+    /// explains nothing; defined as 1 when the data has zero variance).
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+/// Least-squares straight-line fit through `(x, y)` pairs.
+///
+/// Returns `None` with fewer than two points, with non-finite inputs, or
+/// when all `x` coincide (vertical line: slope undefined).
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LineFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    if points.iter().any(|(x, y)| !x.is_finite() || !y.is_finite()) {
+        return None;
+    }
+    let nf = n as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / nf;
+    let my = sy / nf;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let syy: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+    Some(LineFit { slope, intercept, r2, n })
+}
+
+/// Percentile by linear interpolation between order statistics
+/// (`p` in [0, 100]). Returns `None` for an empty or non-finite sample.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| !v.is_finite()) || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // var = (2.25+0.25+0.25+2.25)/3 = 5/3
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_odd_median_and_single_point() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        let one = Summary::of(&[7.0]).unwrap();
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.stddev, 0.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let pts: Vec<_> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let f = linear_fit(&pts).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_r2_degrades_with_scatter() {
+        let pts = [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.0)];
+        let f = linear_fit(&pts).unwrap();
+        assert!(f.r2 < 1.0);
+        assert!(f.r2 > 0.0);
+        assert!(f.slope > 0.0);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 1.0)]).is_none());
+        assert!(linear_fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+        assert!(linear_fit(&[(0.0, f64::NAN), (1.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn fit_of_constant_y_has_unit_r2() {
+        let pts = [(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)];
+        let f = linear_fit(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 4.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(4.0));
+        assert_eq!(percentile(&v, 50.0), Some(2.5));
+        assert_eq!(percentile(&v, 25.0), Some(1.75));
+    }
+
+    #[test]
+    fn percentile_rejects_bad_input() {
+        assert!(percentile(&[], 50.0).is_none());
+        assert!(percentile(&[1.0], -1.0).is_none());
+        assert!(percentile(&[1.0], 101.0).is_none());
+        assert!(percentile(&[f64::NAN], 50.0).is_none());
+    }
+}

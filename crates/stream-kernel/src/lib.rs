@@ -1,0 +1,24 @@
+//! # stream-kernel — the McCalpin STREAM triad substrate (paper Fig. 1)
+//!
+//! Two halves:
+//!
+//! * [`TriadScalingModel`] — the optimistic non-overlapping
+//!   execution + communication model of the paper's Eq. 1, with the
+//!   published parameters of both Fig. 1 configurations (PPN = 20 and
+//!   PPN = 1);
+//! * [`SaturationCurve`] — host calibration: run the real triad kernel
+//!   (from `workload::kernels`) across thread counts and extract
+//!   single-core and saturated memory bandwidth for use in the model and
+//!   the simulator.
+//!
+//! The simulated counterpart of the Fig. 1 measurement (memory-bound
+//! execution with socket bandwidth sharing + ring exchange under noise)
+//! is assembled in `idlewave::scenarios`.
+
+#![warn(missing_docs)]
+
+mod calibrate;
+mod model;
+
+pub use calibrate::SaturationCurve;
+pub use model::TriadScalingModel;

@@ -1,0 +1,18 @@
+//! # tracefmt — trace records and rendering
+//!
+//! The simulator (`mpisim`) emits one [`PhaseRecord`] per `(rank, step)`
+//! cycle; a [`Trace`] is the dense matrix of them. The analysis crate
+//! (`idlewave`) consumes traces; [`render`] turns them into ASCII timelines
+//! (the textual version of the paper's Figs. 4–7/9) and CSV for plotting.
+
+#![warn(missing_docs)]
+
+mod record;
+pub mod render;
+pub mod svg;
+mod trace;
+
+pub use record::PhaseRecord;
+pub use render::{activity_at, ascii_timeline, idle_csv, to_csv, Activity, AsciiOptions};
+pub use svg::{svg_timeline, SvgOptions};
+pub use trace::Trace;

@@ -1,0 +1,99 @@
+//! Per-phase trace records.
+//!
+//! Every `(rank, step)` of a bulk-synchronous run produces one
+//! [`PhaseRecord`]: when the execution phase started and ended, how much of
+//! the execution phase was an injected one-off delay or sampled noise, and
+//! when the communication phase (post + Waitall) completed. This is the
+//! same information an MPI trace collector (the paper used Intel Trace
+//! Analyzer) provides, reduced to what the idle-wave analysis needs.
+
+use serde::{Deserialize, Serialize};
+use simdes::{SimDuration, SimTime};
+
+/// Timing of one execution + communication cycle on one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseRecord {
+    /// Rank that executed the phase.
+    pub rank: u32,
+    /// Zero-based time step.
+    pub step: u32,
+    /// Start of the execution phase.
+    pub exec_start: SimTime,
+    /// End of the execution phase = start of the communication phase.
+    pub exec_end: SimTime,
+    /// End of the communication phase (Waitall return).
+    pub comm_end: SimTime,
+    /// Portion of the execution phase that was an injected one-off delay.
+    pub injected: SimDuration,
+    /// Portion of the execution phase that was sampled fine-grained noise.
+    pub noise: SimDuration,
+}
+
+impl PhaseRecord {
+    /// Length of the execution phase (work + injected delay + noise).
+    pub fn exec_duration(&self) -> SimDuration {
+        self.exec_end.since(self.exec_start)
+    }
+
+    /// Length of the communication phase, *including* any time spent
+    /// waiting on late partners. The idle-wave signal lives here.
+    pub fn comm_duration(&self) -> SimDuration {
+        self.comm_end.since(self.exec_end)
+    }
+
+    /// Length of the pure-work part of the execution phase.
+    pub fn work_duration(&self) -> SimDuration {
+        self.exec_duration()
+            .saturating_sub(self.injected)
+            .saturating_sub(self.noise)
+    }
+
+    /// Communication time in excess of `baseline`: the per-step idle
+    /// (waiting) time, which is what propagates as an idle wave. Saturates
+    /// at zero — a step can never beat the baseline by definition of
+    /// baseline, but clock granularity can make it appear a hair faster.
+    pub fn idle_beyond(&self, baseline: SimDuration) -> SimDuration {
+        self.comm_duration().saturating_sub(baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> PhaseRecord {
+        PhaseRecord {
+            rank: 3,
+            step: 7,
+            exec_start: SimTime(1_000),
+            exec_end: SimTime(4_000),
+            comm_end: SimTime(4_500),
+            injected: SimDuration(500),
+            noise: SimDuration(100),
+        }
+    }
+
+    #[test]
+    fn durations() {
+        let r = rec();
+        assert_eq!(r.exec_duration(), SimDuration(3_000));
+        assert_eq!(r.comm_duration(), SimDuration(500));
+        assert_eq!(r.work_duration(), SimDuration(2_400));
+    }
+
+    #[test]
+    fn idle_beyond_baseline() {
+        let r = rec();
+        assert_eq!(r.idle_beyond(SimDuration(200)), SimDuration(300));
+        assert_eq!(r.idle_beyond(SimDuration(500)), SimDuration::ZERO);
+        assert_eq!(r.idle_beyond(SimDuration(900)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = rec();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PhaseRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

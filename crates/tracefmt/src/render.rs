@@ -1,0 +1,250 @@
+//! Trace rendering: ASCII timelines (the textual cousin of the paper's
+//! Figs. 4–7 and 9) and CSV export for external plotting.
+//!
+//! The ASCII timeline samples each rank's activity on a fixed grid:
+//!
+//! * `.` executing useful work
+//! * `D` inside an injected one-off delay
+//! * `#` waiting in the communication phase (idle / communication delay)
+//! * `|` socket boundary marker column (optional)
+//! * ` ` after the rank has finished
+//!
+//! Ranks are printed highest-first so rank 0 sits at the bottom, matching
+//! the paper's plots.
+
+use simdes::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+
+/// Activity of one rank at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// Executing the useful part of an execution phase.
+    Work,
+    /// Inside the injected portion of an execution phase.
+    InjectedDelay,
+    /// In the communication phase (includes waiting on late partners).
+    CommOrWait,
+    /// Past the last record.
+    Finished,
+}
+
+/// What `rank` is doing at time `t`.
+///
+/// Within one execution phase the injected delay is accounted at the
+/// *start* of the phase (the injection lengthens the phase before useful
+/// progress resumes), which matches how the paper draws its blue delay
+/// bars.
+pub fn activity_at(trace: &Trace, rank: u32, t: SimTime) -> Activity {
+    let recs = trace.rank_records(rank);
+    // Records are time-ordered per rank; binary search the enclosing one.
+    let idx = recs.partition_point(|r| r.comm_end <= t);
+    let Some(r) = recs.get(idx) else {
+        return Activity::Finished;
+    };
+    if t < r.exec_start {
+        // Before this phase but after the previous one ended: only possible
+        // at t before the very first record; treat as work about to start.
+        return Activity::Work;
+    }
+    if t < r.exec_end {
+        let injected_until = r.exec_start + r.injected;
+        if t < injected_until {
+            Activity::InjectedDelay
+        } else {
+            Activity::Work
+        }
+    } else {
+        Activity::CommOrWait
+    }
+}
+
+/// Options for ASCII rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct AsciiOptions {
+    /// Number of character columns.
+    pub width: usize,
+    /// Render only up to this time (default: full runtime).
+    pub until: Option<SimTime>,
+    /// Print a blank separator line between ranks of different sockets,
+    /// given the number of ranks per socket.
+    pub ranks_per_socket: Option<u32>,
+}
+
+impl Default for AsciiOptions {
+    fn default() -> Self {
+        AsciiOptions { width: 100, until: None, ranks_per_socket: None }
+    }
+}
+
+/// Render the trace as an ASCII timeline.
+pub fn ascii_timeline(trace: &Trace, opts: &AsciiOptions) -> String {
+    let end = opts.until.unwrap_or_else(|| trace.total_runtime());
+    let span = end.nanos().max(1);
+    let width = opts.width.max(10);
+    let mut out = String::new();
+    for rank in (0..trace.ranks()).rev() {
+        if let Some(rps) = opts.ranks_per_socket {
+            if rps > 0 && rank + 1 < trace.ranks() && (rank + 1) % rps == 0 {
+                let _ = writeln!(out, "     {}", "-".repeat(width));
+            }
+        }
+        let _ = write!(out, "{rank:>4} ");
+        for col in 0..width {
+            // Sample at the column's center.
+            let t = SimTime((span as u128 * (2 * col as u128 + 1) / (2 * width as u128)) as u64);
+            let ch = match activity_at(trace, rank, t) {
+                Activity::Work => '.',
+                Activity::InjectedDelay => 'D',
+                Activity::CommOrWait => '#',
+                Activity::Finished => ' ',
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "     0{}{}",
+        " ".repeat(width.saturating_sub(String::len(&format!("{end}")) + 1)),
+        end
+    );
+    out
+}
+
+/// Export the trace as CSV (header + one row per record), times in
+/// nanoseconds.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from(
+        "rank,step,exec_start_ns,exec_end_ns,comm_end_ns,injected_ns,noise_ns,exec_ns,comm_ns\n",
+    );
+    for r in trace.iter() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            r.rank,
+            r.step,
+            r.exec_start.nanos(),
+            r.exec_end.nanos(),
+            r.comm_end.nanos(),
+            r.injected.nanos(),
+            r.noise.nanos(),
+            r.exec_duration().nanos(),
+            r.comm_duration().nanos(),
+        );
+    }
+    out
+}
+
+/// Export per-step idle durations beyond a baseline as CSV
+/// (`rank,step,idle_ns`), the input format for wave plots.
+pub fn idle_csv(trace: &Trace, baseline: SimDuration) -> String {
+    let mut out = String::from("rank,step,idle_ns\n");
+    for r in trace.iter() {
+        let _ = writeln!(out, "{},{},{}", r.rank, r.step, r.idle_beyond(baseline).nanos());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PhaseRecord;
+
+    /// 2 ranks, 2 steps. Rank 1 has an injected delay in step 0 and rank 0
+    /// idles waiting for it in step 0's comm phase.
+    fn trace() -> Trace {
+        let mk = |rank, step, es, ee, ce, inj| PhaseRecord {
+            rank,
+            step,
+            exec_start: SimTime(es),
+            exec_end: SimTime(ee),
+            comm_end: SimTime(ce),
+            injected: SimDuration(inj),
+            noise: SimDuration::ZERO,
+        };
+        Trace::from_records(
+            2,
+            2,
+            vec![
+                mk(0, 0, 0, 100, 300, 0),   // waits until rank 1 sends
+                mk(0, 1, 300, 400, 410, 0),
+                mk(1, 0, 0, 290, 300, 190), // 190 ns injected delay
+                mk(1, 1, 300, 400, 410, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn activity_classification() {
+        let t = trace();
+        // Rank 1 step 0: injected occupies [0, 190), work [190, 290),
+        // comm [290, 300).
+        assert_eq!(activity_at(&t, 1, SimTime(0)), Activity::InjectedDelay);
+        assert_eq!(activity_at(&t, 1, SimTime(189)), Activity::InjectedDelay);
+        assert_eq!(activity_at(&t, 1, SimTime(190)), Activity::Work);
+        assert_eq!(activity_at(&t, 1, SimTime(295)), Activity::CommOrWait);
+        // Rank 0 waits in step 0's comm phase.
+        assert_eq!(activity_at(&t, 0, SimTime(200)), Activity::CommOrWait);
+        assert_eq!(activity_at(&t, 0, SimTime(350)), Activity::Work);
+        assert_eq!(activity_at(&t, 0, SimTime(1_000)), Activity::Finished);
+    }
+
+    #[test]
+    fn ascii_contains_all_markers() {
+        let t = trace();
+        let s = ascii_timeline(&t, &AsciiOptions { width: 41, ..Default::default() });
+        assert!(s.contains('D'), "no injected-delay marker:\n{s}");
+        assert!(s.contains('#'), "no wait marker:\n{s}");
+        assert!(s.contains('.'), "no work marker:\n{s}");
+        // Highest rank first.
+        let first = s.lines().next().unwrap();
+        assert!(first.trim_start().starts_with('1'), "{first}");
+    }
+
+    #[test]
+    fn ascii_socket_separators() {
+        let t = trace();
+        let s = ascii_timeline(
+            &t,
+            &AsciiOptions { width: 20, ranks_per_socket: Some(1), ..Default::default() },
+        );
+        assert!(s.contains("--------------------"), "{s}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let t = trace();
+        let csv = to_csv(&t);
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("rank,step,"));
+        assert!(lines[1].starts_with("0,0,"));
+    }
+
+    #[test]
+    fn idle_csv_reports_waits() {
+        let t = trace();
+        let csv = idle_csv(&t, SimDuration(10));
+        // rank 0 step 0 idled 200 - 10 = 190 ns.
+        assert!(csv.lines().any(|l| l == "0,0,190"), "{csv}");
+        assert!(csv.lines().any(|l| l == "1,1,0"), "{csv}");
+    }
+
+    #[test]
+    fn ascii_respects_until() {
+        let t = trace();
+        let full = ascii_timeline(&t, &AsciiOptions { width: 40, ..Default::default() });
+        let early = ascii_timeline(
+            &t,
+            &AsciiOptions { width: 40, until: Some(SimTime(300)), ..Default::default() },
+        );
+        assert_ne!(full, early);
+        // In the truncated view nothing is Finished, so no trailing spaces
+        // inside rows.
+        for line in early.lines().take(2) {
+            assert!(!line.trim_end().is_empty());
+        }
+    }
+}

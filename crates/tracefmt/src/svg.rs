@@ -1,0 +1,235 @@
+//! SVG timeline rendering — publication-style counterparts of the
+//! paper's timeline figures (Figs. 4–7, 9).
+//!
+//! Layout mirrors the paper: wall-clock time on the x-axis, one
+//! horizontal lane per rank (rank 0 at the bottom), white/grey execution,
+//! blue injected delays, red waiting periods, dotted socket boundaries.
+//! The output is self-contained SVG 1.1 with no external references.
+
+use simdes::SimTime;
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+
+/// Options for SVG rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct SvgOptions {
+    /// Total image width in pixels (plot area scales to fit).
+    pub width: u32,
+    /// Height of one rank lane in pixels.
+    pub lane_height: u32,
+    /// Render only up to this time (default: full runtime).
+    pub until: Option<SimTime>,
+    /// Draw a dashed separator between ranks of different sockets.
+    pub ranks_per_socket: Option<u32>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 900, lane_height: 14, until: None, ranks_per_socket: None }
+    }
+}
+
+const MARGIN_LEFT: u32 = 44;
+const MARGIN_TOP: u32 = 10;
+const MARGIN_BOTTOM: u32 = 28;
+const COLOR_EXEC: &str = "#f4f4f2";
+const COLOR_DELAY: &str = "#3465a4";
+const COLOR_WAIT: &str = "#cc0000";
+const COLOR_GRID: &str = "#999999";
+
+/// Render the trace as a self-contained SVG document.
+pub fn svg_timeline(trace: &Trace, opts: &SvgOptions) -> String {
+    let end = opts.until.unwrap_or_else(|| trace.total_runtime());
+    let span = end.nanos().max(1) as f64;
+    let ranks = trace.ranks();
+    let plot_w = f64::from(opts.width - MARGIN_LEFT - 8);
+    let lane = f64::from(opts.lane_height);
+    let plot_h = lane * f64::from(ranks);
+    let height = MARGIN_TOP + plot_h as u32 + MARGIN_BOTTOM;
+    let x_of = |t: SimTime| f64::from(MARGIN_LEFT) + (t.nanos() as f64 / span) * plot_w;
+    // Rank 0 at the bottom.
+    let y_of = |rank: u32| f64::from(MARGIN_TOP) + lane * f64::from(ranks - 1 - rank);
+
+    let mut out = String::with_capacity(1 << 16);
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" viewBox="0 0 {w} {height}" font-family="sans-serif" font-size="9">"#,
+        w = opts.width
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect x="0" y="0" width="{w}" height="{height}" fill="white"/>"#,
+        w = opts.width
+    );
+
+    // Lanes.
+    for rank in 0..ranks {
+        let y = y_of(rank);
+        for rec in trace.rank_records(rank) {
+            if rec.exec_start >= end {
+                break;
+            }
+            let clip = |t: SimTime| if t > end { end } else { t };
+            // Execution background.
+            let x0 = x_of(rec.exec_start);
+            let x1 = x_of(clip(rec.exec_end));
+            let _ = writeln!(
+                out,
+                r##"<rect x="{x0:.2}" y="{y:.2}" width="{:.2}" height="{:.2}" fill="{COLOR_EXEC}" stroke="#ddd" stroke-width="0.3"/>"##,
+                (x1 - x0).max(0.0),
+                lane - 1.0,
+            );
+            // Injected delay at the start of the phase.
+            if !rec.injected.is_zero() {
+                let xd = x_of(clip(rec.exec_start + rec.injected));
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{x0:.2}" y="{y:.2}" width="{:.2}" height="{:.2}" fill="{COLOR_DELAY}"/>"#,
+                    (xd - x0).max(0.0),
+                    lane - 1.0,
+                );
+            }
+            // Waiting / communication.
+            if rec.exec_end < end {
+                let xw0 = x_of(rec.exec_end);
+                let xw1 = x_of(clip(rec.comm_end));
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{xw0:.2}" y="{y:.2}" width="{:.2}" height="{:.2}" fill="{COLOR_WAIT}"/>"#,
+                    (xw1 - xw0).max(0.0),
+                    lane - 1.0,
+                );
+            }
+        }
+        // Rank label every few lanes.
+        if ranks <= 24 || rank % 5 == 0 {
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.2}" y="{:.2}" text-anchor="end">{rank}</text>"#,
+                f64::from(MARGIN_LEFT) - 4.0,
+                y + lane * 0.75,
+            );
+        }
+    }
+
+    // Socket separators.
+    if let Some(rps) = opts.ranks_per_socket {
+        if rps > 0 {
+            let mut r = rps;
+            while r < ranks {
+                let y = y_of(r) + lane - 0.5;
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{MARGIN_LEFT}" y1="{y:.2}" x2="{:.2}" y2="{y:.2}" stroke="{COLOR_GRID}" stroke-dasharray="3,3" stroke-width="0.8"/>"#,
+                    f64::from(MARGIN_LEFT) + plot_w,
+                );
+                r += rps;
+            }
+        }
+    }
+
+    // Time axis: 6 ticks.
+    let axis_y = f64::from(MARGIN_TOP) + plot_h + 4.0;
+    for i in 0..=6u32 {
+        let t = SimTime((span * f64::from(i) / 6.0) as u64);
+        let x = x_of(t);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{x:.2}" y1="{:.2}" x2="{x:.2}" y2="{axis_y:.2}" stroke="{COLOR_GRID}" stroke-width="0.6"/>"#,
+            axis_y - 4.0,
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{x:.2}" y="{:.2}" text-anchor="middle">{t}</text>"#,
+            axis_y + 10.0,
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PhaseRecord;
+    use simdes::SimDuration;
+
+    fn trace() -> Trace {
+        let mk = |rank, step, es, ee, ce, inj| PhaseRecord {
+            rank,
+            step,
+            exec_start: SimTime(es),
+            exec_end: SimTime(ee),
+            comm_end: SimTime(ce),
+            injected: SimDuration(inj),
+            noise: SimDuration::ZERO,
+        };
+        Trace::from_records(
+            2,
+            2,
+            vec![
+                mk(0, 0, 0, 100, 300, 0),
+                mk(0, 1, 300, 400, 410, 0),
+                mk(1, 0, 0, 290, 300, 190),
+                mk(1, 1, 300, 400, 410, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let svg = svg_timeline(&trace(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // All three phase colors appear.
+        assert!(svg.contains(COLOR_EXEC));
+        assert!(svg.contains(COLOR_DELAY));
+        assert!(svg.contains(COLOR_WAIT));
+        // Balanced rect count: each record draws >= 1 rect.
+        let rects = svg.matches("<rect").count();
+        assert!(rects >= 5, "only {rects} rects");
+        // No unescaped raw text problems: every line of markup closes.
+        for line in svg.lines().filter(|l| l.starts_with('<') && !l.starts_with("</")) {
+            assert!(line.ends_with("/>") || line.ends_with('>'), "unterminated: {line}");
+        }
+    }
+
+    #[test]
+    fn socket_separators_appear_on_request() {
+        let base = svg_timeline(&trace(), &SvgOptions::default());
+        assert!(!base.contains("stroke-dasharray"));
+        let with = svg_timeline(
+            &trace(),
+            &SvgOptions { ranks_per_socket: Some(1), ..Default::default() },
+        );
+        assert!(with.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn until_clips_the_view() {
+        let full = svg_timeline(&trace(), &SvgOptions::default());
+        let clipped = svg_timeline(
+            &trace(),
+            &SvgOptions { until: Some(SimTime(200)), ..Default::default() },
+        );
+        assert_ne!(full, clipped);
+        assert!(clipped.contains("</svg>"));
+    }
+
+    #[test]
+    fn no_injected_delay_means_no_blue() {
+        let mk = |rank: u32, step, es, ee, ce| PhaseRecord {
+            rank,
+            step,
+            exec_start: SimTime(es),
+            exec_end: SimTime(ee),
+            comm_end: SimTime(ce),
+            injected: SimDuration::ZERO,
+            noise: SimDuration::ZERO,
+        };
+        let t = Trace::from_records(1, 1, vec![mk(0, 0, 0, 10, 12)]);
+        let svg = svg_timeline(&t, &SvgOptions::default());
+        assert!(!svg.contains(COLOR_DELAY));
+    }
+}

@@ -1,0 +1,185 @@
+//! Real calibration micro-kernels.
+//!
+//! The simulator's execution models are *calibrated*, not guessed: these
+//! kernels are runnable equivalents of the paper's workloads —
+//!
+//! * [`dependent_divides`]: a chain of data-dependent double-precision
+//!   divides, the compute-bound workload of Sec. III-B (the paper uses
+//!   back-to-back `vdivpd`, whose throughput is exactly known per
+//!   architecture; a dependent scalar divide chain has the same property of
+//!   a fixed, memory-independent cycle count per iteration);
+//! * [`triad`] / [`triad_parallel`]: the McCalpin STREAM triad
+//!   `A(:) = B(:) + s·C(:)` of the Fig. 1 motivating experiment.
+//!
+//! Measured times feed `ExecModel` parameters when the host machine is used
+//! for calibration; all paper-shape experiments also run fine with the
+//! published parameters.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Execute `n` data-dependent double-precision divides and return the
+/// elapsed wall time. The dependency chain defeats out-of-order overlap, so
+/// elapsed time is proportional to `n` on any hardware.
+pub fn dependent_divides(n: u64) -> Duration {
+    let start = Instant::now();
+    let mut x = 1.000_000_1_f64;
+    for _ in 0..n {
+        // A divide whose result feeds the next divide; black_box prevents
+        // the compiler from folding the chain.
+        x = black_box(1.000_000_1 / x);
+    }
+    black_box(x);
+    start.elapsed()
+}
+
+/// One STREAM-triad sweep: `a[i] = b[i] + s·c[i]`.
+pub fn triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) {
+    assert!(a.len() == b.len() && b.len() == c.len(), "triad length mismatch");
+    for ((ai, bi), ci) in a.iter_mut().zip(b).zip(c) {
+        *ai = *bi + s * *ci;
+    }
+}
+
+/// Result of a timed triad run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriadTiming {
+    /// Wall time of the timed sweeps.
+    pub elapsed: Duration,
+    /// Effective memory bandwidth in bytes/s, counting 3 × 8 bytes per
+    /// element per sweep (read b, read c, write a; write-allocate ignored,
+    /// as in the paper's model).
+    pub bandwidth_bps: f64,
+    /// Floating-point performance in flop/s (2 flops per element).
+    pub flops: f64,
+}
+
+/// Run `iters` triad sweeps over `len`-element arrays on one thread and
+/// report timing.
+pub fn triad_timed(len: usize, iters: u32) -> TriadTiming {
+    assert!(len > 0 && iters > 0, "triad_timed needs work");
+    let b = vec![1.5_f64; len];
+    let c = vec![2.5_f64; len];
+    let mut a = vec![0.0_f64; len];
+    // Warm-up sweep to fault in the pages.
+    triad(&mut a, &b, &c, 3.0);
+    let start = Instant::now();
+    for _ in 0..iters {
+        triad(black_box(&mut a), black_box(&b), black_box(&c), 3.0);
+    }
+    let elapsed = start.elapsed();
+    timing_from(len, iters, elapsed)
+}
+
+/// Run `iters` triad sweeps with the arrays split over `threads` threads
+/// (crossbeam scoped threads), and report aggregate timing. This is the
+/// shared-memory analogue of the paper's per-socket saturation experiment:
+/// on a machine with a memory-bandwidth ceiling, `bandwidth_bps` stops
+/// scaling once the ceiling is hit.
+pub fn triad_parallel(len: usize, iters: u32, threads: usize) -> TriadTiming {
+    assert!(threads > 0, "need at least one thread");
+    assert!(len >= threads, "fewer elements than threads");
+    let b = vec![1.5_f64; len];
+    let c = vec![2.5_f64; len];
+    let mut a = vec![0.0_f64; len];
+
+    let chunk = len.div_ceil(threads);
+    let start = Instant::now();
+    crossbeam::scope(|scope| {
+        for ((a_part, b_part), c_part) in a
+            .chunks_mut(chunk)
+            .zip(b.chunks(chunk))
+            .zip(c.chunks(chunk))
+        {
+            scope.spawn(move |_| {
+                for _ in 0..iters {
+                    triad(black_box(a_part), black_box(b_part), black_box(c_part), 3.0);
+                }
+            });
+        }
+    })
+    .expect("triad worker panicked");
+    let elapsed = start.elapsed();
+    timing_from(len, iters, elapsed)
+}
+
+fn timing_from(len: usize, iters: u32, elapsed: Duration) -> TriadTiming {
+    let secs = elapsed.as_secs_f64().max(1e-12);
+    let bytes = 24.0 * len as f64 * f64::from(iters);
+    let flop = 2.0 * len as f64 * f64::from(iters);
+    TriadTiming { elapsed, bandwidth_bps: bytes / secs, flops: flop / secs }
+}
+
+/// Estimate the host's per-divide latency in seconds, for calibrating a
+/// `Compute` execution model to a wanted phase length on *this* machine.
+pub fn calibrate_divide_latency() -> f64 {
+    let n = 2_000_000;
+    let t = dependent_divides(n);
+    t.as_secs_f64() / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_computes_correct_values() {
+        let b = [1.0, 2.0, 3.0];
+        let c = [10.0, 20.0, 30.0];
+        let mut a = [0.0; 3];
+        triad(&mut a, &b, &c, 2.0);
+        assert_eq!(a, [21.0, 42.0, 63.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn triad_rejects_mismatched_lengths() {
+        let mut a = [0.0; 2];
+        triad(&mut a, &[1.0; 3], &[1.0; 3], 1.0);
+    }
+
+    #[test]
+    fn dependent_divides_scale_roughly_linearly() {
+        // Wall-clock assertions must be loose to survive CI jitter: only
+        // check that 8x the work takes clearly more time.
+        let small = dependent_divides(200_000);
+        let large = dependent_divides(1_600_000);
+        assert!(large > small, "large {large:?} <= small {small:?}");
+    }
+
+    #[test]
+    fn triad_timed_reports_positive_rates() {
+        let t = triad_timed(1 << 16, 4);
+        assert!(t.bandwidth_bps > 0.0 && t.bandwidth_bps.is_finite());
+        assert!(t.flops > 0.0 && t.flops.is_finite());
+        assert!(t.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn triad_parallel_matches_serial_result_semantics() {
+        // Correctness: the parallel split must produce the same values.
+        let len = 10_001; // deliberately not divisible by thread count
+        let t = triad_parallel(len, 2, 3);
+        assert!(t.bandwidth_bps > 0.0);
+        // Re-run manually to check values.
+        let b = vec![1.5_f64; len];
+        let c = vec![2.5_f64; len];
+        let mut a = vec![0.0_f64; len];
+        triad(&mut a, &b, &c, 3.0);
+        assert!(a.iter().all(|&v| (v - 9.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn calibration_returns_sane_latency() {
+        let lat = calibrate_divide_latency();
+        // A dependent double divide takes between ~2 and ~200 ns on
+        // anything that can run this test suite.
+        assert!(lat > 1e-10 && lat < 1e-6, "divide latency {lat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer elements")]
+    fn parallel_triad_rejects_tiny_arrays() {
+        triad_parallel(2, 1, 8);
+    }
+}

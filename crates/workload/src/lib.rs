@@ -1,0 +1,28 @@
+//! # workload — what runs between messages
+//!
+//! Bulk-synchronous programs alternate execution phases with communication
+//! phases. This crate describes both sides of that loop for the simulator:
+//!
+//! * [`CommPattern`] — who exchanges with whom (uni/bidirectional, neighbour
+//!   distance `d`, open/periodic boundaries; paper Sec. II-C2);
+//! * [`ExecModel`] — how long an execution phase takes (compute-bound fixed
+//!   cost, or memory-bound with socket-level bandwidth sharing; paper
+//!   Sec. II-A);
+//! * [`kernels`] — real runnable micro-kernels (dependent divides, STREAM
+//!   triad) for calibrating the models on a host machine;
+//! * [`CommGraph`] / [`CommSchedule`] — arbitrary directed communication
+//!   graphs and per-step (collective-style) schedules, the paper's
+//!   future-work generalisation of the regular patterns.
+
+#![warn(missing_docs)]
+
+mod exec;
+mod graph;
+pub mod kernels;
+mod pattern;
+
+pub use exec::{
+    ExecModel, BDW_VDIVPD_CYCLES, IVB_VDIVPD_CYCLES, PAPER_CLOCK_HZ,
+};
+pub use graph::{CommGraph, CommSchedule};
+pub use pattern::{Boundary, CommPattern, Direction};

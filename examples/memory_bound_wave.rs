@@ -1,0 +1,68 @@
+//! Idle waves in memory-bound code (the paper's future-work direction):
+//! with a saturating memory interface, an idle wave not only propagates —
+//! it *speeds up* the ranks that keep computing while their neighbours
+//! wait, so part of the injected delay is recovered even without noise.
+//!
+//! Run with: `cargo run --release --example memory_bound_wave`
+
+use idle_waves::prelude::*;
+use idle_waves::idlewave::WaveTrace;
+
+fn main() {
+    // One ten-core socket, fully saturated: each rank needs 4 MB of
+    // traffic per phase; ten concurrent ranks get 4 GB/s each (1 ms),
+    // a lone rank gets its 6.5 GB/s core cap (0.62 ms).
+    let net = idle_waves::netmodel::presets::emmy_like(1, 20, 10);
+    let delay = SimDuration::from_millis(10);
+    let steps = 30u32;
+
+    let build = |injected: bool| {
+        let mut cfg = SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Periodic),
+            steps,
+        );
+        cfg.protocol = idle_waves::mpisim::Protocol::Eager;
+        cfg.exec = ExecModel::MemoryBound {
+            bytes: 4_000_000,
+            core_bw_bps: 6.5e9,
+            socket_bw_bps: 40e9,
+        };
+        if injected {
+            cfg.injections = InjectionPlan::single(4, 0, delay);
+        }
+        WaveTrace::from_config(cfg)
+    };
+
+    let quiet = build(false);
+    let wave = build(true);
+
+    println!("== idle wave in a memory-bound (saturating) workload ==");
+    println!("10 ranks on one 40 GB/s socket, 4 MB traffic per phase, {steps} steps\n");
+
+    println!("per-rank mean work time (ms) with the wave:");
+    for r in 0..10u32 {
+        let mean: f64 = (0..steps)
+            .map(|s| wave.trace.record(r, s).work_duration().as_millis_f64())
+            .sum::<f64>()
+            / f64::from(steps);
+        let bar = "*".repeat((mean * 40.0) as usize);
+        println!("  rank {r}: {mean:.3} {bar}");
+    }
+
+    let t_quiet = quiet.total_runtime();
+    let t_wave = wave.total_runtime();
+    let excess = t_wave.saturating_since(t_quiet);
+    println!("\ntotal runtime: undisturbed {t_quiet} | with {delay} delay {t_wave}");
+    println!(
+        "wave-induced excess: {excess} = {:.0}% of the injected delay",
+        100.0 * excess.as_secs_f64() / delay.as_secs_f64()
+    );
+    println!(
+        "\nIn a core-bound run the excess would be the full delay (Fig. 4); here the\n\
+         bandwidth freed by waiting neighbours lets the busy ranks run up to\n\
+         {:.1}x faster, absorbing part of the delay with zero noise — the same\n\
+         mechanism behind the Fig. 1/2 desynchronisation speedups.",
+        6.5 / 4.0
+    );
+}

@@ -1,0 +1,54 @@
+//! Quickstart: inject one long delay into a bulk-synchronous program and
+//! watch the idle wave it launches (the paper's Fig. 4 scenario).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use idle_waves::prelude::*;
+
+fn main() {
+    // 18 ranks, one per node, 3 ms compute phases, eager 8 KiB messages,
+    // unidirectional ring neighbours, open chain — and a delay of 4.5
+    // execution phases at rank 5 in the first step.
+    let texec = SimDuration::from_millis(3);
+    let delay = texec.mul_f64(4.5);
+    let wt = WaveExperiment::flat_chain(18)
+        .texec(texec)
+        .steps(16)
+        .inject(5, 0, delay)
+        .run();
+
+    println!("== idle-waves quickstart: one delay, one wave ==\n");
+    println!(
+        "chain: {} ranks | T_exec = {} | T_comm = {} | injected delay = {} at rank 5\n",
+        wt.trace.ranks(),
+        texec,
+        wt.baseline_comm,
+        delay
+    );
+
+    // ASCII timeline: '.' = computing, 'D' = injected delay, '#' = waiting.
+    let timeline = ascii_timeline(&wt.trace, &AsciiOptions { width: 90, ..Default::default() });
+    println!("{timeline}");
+
+    // Where did the wave arrive, and when?
+    let th = wt.default_threshold();
+    println!("wave front (first step each rank waits):");
+    for rank in 6..wt.trace.ranks() {
+        match wt.first_idle_step(rank, th) {
+            Some(step) => {
+                let idle = wt.idle(rank, step);
+                println!("  rank {rank:>2}: step {step:>2}, idle {idle}");
+            }
+            None => println!("  rank {rank:>2}: never reached"),
+        }
+    }
+
+    // Compare the measured speed with the paper's Eq. 2.
+    let cmp = idlewave::speed::compare_with_model(&wt, 5, th)
+        .expect("the wave reaches enough ranks for a fit");
+    println!(
+        "\npropagation speed: measured {:.1} ranks/s vs Eq.(2) v_silent {:.1} ranks/s \
+         (ratio {:.3}, R^2 = {:.4})",
+        cmp.measured, cmp.predicted, cmp.ratio, cmp.r2
+    );
+}

@@ -1,0 +1,67 @@
+//! STREAM-triad strong scaling: the paper's Fig. 1 motivating experiment.
+//!
+//! An MPI-parallel STREAM triad over a fixed 1.2 GB working set, ring
+//! exchange of 2 MB per neighbour per traversal. The optimistic Eq. 1
+//! model (`T = V_mem/(n b_mem) + 2 V_net/b_net`) is compared with the
+//! simulated "measurement" including socket bandwidth contention, NIC
+//! send serialisation and system noise. The headline effects:
+//!
+//! * total measured performance falls below the model at scale;
+//! * execution-only performance rises *above* the perfectly-synchronised
+//!   prediction, because desynchronisation creates automatic
+//!   communication overlap and eases the bandwidth bottleneck;
+//! * with one process per node (PPN = 1) the model fits well.
+//!
+//! Run with: `cargo run --release --example stream_scaling`
+
+use idlewave::scenarios::{stream_scaling_sweep, StreamScalingConfig};
+
+fn main() {
+    let mut cfg = StreamScalingConfig::paper_ppn20();
+    cfg.steps = 150;
+    cfg.warmup_steps = 50;
+
+    println!("== Fig. 1(a): strong scaling, PPN = 20 (full sockets) ==");
+    println!(
+        "{:>8} {:>8} | {:>12} {:>12} | {:>12} {:>24}",
+        "sockets", "ranks", "model total", "meas total", "model exec", "meas exec (med [min,max])"
+    );
+    for p in stream_scaling_sweep(&cfg, &[1, 2, 3, 4, 6, 8, 9]) {
+        println!(
+            "{:>8} {:>8} | {:>10.2} GF {:>10.2} GF | {:>10.2} GF {:>10.2} GF [{:.2}, {:.2}]",
+            p.domains,
+            p.ranks,
+            p.model_total_gflops,
+            p.measured_total_gflops,
+            p.model_exec_gflops,
+            p.measured_exec_gflops_median,
+            p.measured_exec_gflops_min,
+            p.measured_exec_gflops_max
+        );
+    }
+
+    let mut cfg1 = StreamScalingConfig::paper_ppn1();
+    cfg1.steps = 150;
+    cfg1.warmup_steps = 50;
+
+    println!("\n== Fig. 1(c): strong scaling, PPN = 1 (one core per node) ==");
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>8}",
+        "nodes", "model total", "meas total", "ratio"
+    );
+    for p in stream_scaling_sweep(&cfg1, &[2, 4, 8, 12, 15]) {
+        println!(
+            "{:>8} | {:>10.2} GF {:>10.2} GF | {:>8.3}",
+            p.domains,
+            p.model_total_gflops,
+            p.measured_total_gflops,
+            p.measured_total_gflops / p.model_total_gflops
+        );
+    }
+
+    println!(
+        "\nReading: at PPN = 20 the execution-only measurement beats its model\n\
+         (desynchronisation-induced overlap) while total performance trails it;\n\
+         at PPN = 1 the bandwidth bottleneck is gone and the model is accurate."
+    );
+}

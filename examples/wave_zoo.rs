@@ -1,0 +1,50 @@
+//! The wave zoo: all eight combinations of protocol (eager/rendezvous),
+//! direction (uni/bidirectional) and boundary (open/periodic) from the
+//! paper's Fig. 5, each rendered as an ASCII timeline with its measured
+//! propagation speed against Eq. (2).
+//!
+//! Run with: `cargo run --release --example wave_zoo`
+
+use idle_waves::prelude::*;
+use idlewave::wavefront::{survival_distance, Walk};
+
+fn main() {
+    let texec = SimDuration::from_millis(3);
+    let delay = texec.mul_f64(4.5);
+
+    println!("== the Fig. 5 wave zoo: 18 ranks, delay at rank 5, step 1 ==");
+    for protocol in ["eager", "rendezvous"] {
+        for direction in [Direction::Unidirectional, Direction::Bidirectional] {
+            for boundary in [Boundary::Open, Boundary::Periodic] {
+                let mut e = WaveExperiment::flat_chain(18)
+                    .direction(direction)
+                    .boundary(boundary)
+                    .texec(texec)
+                    .steps(20)
+                    .inject(5, 0, delay);
+                e = if protocol == "eager" { e.eager() } else { e.rendezvous() };
+                let wt = e.run();
+                let th = wt.default_threshold();
+
+                let up = survival_distance(&wt, 5, Walk::Up, th);
+                let down = survival_distance(&wt, 5, Walk::Down, th);
+                let speed = idlewave::speed::measure_speed(&wt, 5, Walk::Up, th);
+                let v_model = idlewave::model::predicted_speed(&wt.cfg);
+
+                println!(
+                    "\n-- {protocol} | {direction:?} | {boundary:?} --  reach: +{up}/-{down} ranks, \
+                     v_silent = {v_model:.0} ranks/s{}",
+                    match speed {
+                        Some(s) => format!(", measured {:.0} ranks/s", s.ranks_per_sec),
+                        None => String::new(),
+                    }
+                );
+                let opts = AsciiOptions { width: 76, ..Default::default() };
+                print!("{}", ascii_timeline(&wt.trace, &opts));
+            }
+        }
+    }
+
+    println!("\nLegend: '.' compute, 'D' injected delay, '#' waiting/idle.");
+    println!("Note the doubled front slope for bidirectional rendezvous (sigma = 2).");
+}

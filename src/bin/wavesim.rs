@@ -1,0 +1,255 @@
+//! `wavesim` — run custom idle-wave experiments from the command line.
+//!
+//! ```text
+//! wavesim [OPTIONS]
+//!
+//!   --ranks N               chain length (default 18)
+//!   --steps N               bulk-synchronous steps (default 20)
+//!   --texec-ms F            execution phase length in ms (default 3)
+//!   --msg-bytes N           message size (default 8192)
+//!   --protocol P            eager | rendezvous | auto (default auto)
+//!   --direction D           uni | bi (default uni)
+//!   --boundary B            open | periodic (default open)
+//!   --distance N            neighbour distance d (default 1)
+//!   --inject R:S:MS         delay of MS milliseconds at rank R, step S
+//!                           (repeatable)
+//!   --noise-percent F       exponential noise level E in percent
+//!   --seed N                master seed
+//!   --config FILE.json      load a full SimConfig (overrides the flags)
+//!   --dump-config           print the assembled config as JSON and exit
+//!   --ascii                 print an ASCII timeline (default on a tty)
+//!   --svg FILE              write an SVG timeline
+//!   --csv FILE              write the per-phase trace as CSV
+//!   --quiet                 suppress the summary
+//! ```
+//!
+//! Exit code 2 on usage errors.
+
+use idle_waves::idlewave::{model, speed, WaveExperiment, WaveTrace};
+use idle_waves::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    ranks: u32,
+    steps: u32,
+    texec_ms: f64,
+    msg_bytes: u64,
+    protocol: String,
+    direction: String,
+    boundary: String,
+    distance: u32,
+    injections: Vec<(u32, u32, f64)>,
+    noise_percent: f64,
+    seed: Option<u64>,
+    config_path: Option<String>,
+    dump_config: bool,
+    ascii: bool,
+    svg_path: Option<String>,
+    csv_path: Option<String>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            ranks: 18,
+            steps: 20,
+            texec_ms: 3.0,
+            msg_bytes: 8192,
+            protocol: "auto".into(),
+            direction: "uni".into(),
+            boundary: "open".into(),
+            distance: 1,
+            injections: Vec::new(),
+            noise_percent: 0.0,
+            seed: None,
+            config_path: None,
+            dump_config: false,
+            ascii: false,
+            svg_path: None,
+            csv_path: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--ranks" => args.ranks = parse(&value("--ranks")?)?,
+            "--steps" => args.steps = parse(&value("--steps")?)?,
+            "--texec-ms" => args.texec_ms = parse(&value("--texec-ms")?)?,
+            "--msg-bytes" => args.msg_bytes = parse(&value("--msg-bytes")?)?,
+            "--protocol" => args.protocol = value("--protocol")?,
+            "--direction" => args.direction = value("--direction")?,
+            "--boundary" => args.boundary = value("--boundary")?,
+            "--distance" => args.distance = parse(&value("--distance")?)?,
+            "--inject" => {
+                let spec = value("--inject")?;
+                let parts: Vec<&str> = spec.split(':').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--inject expects R:S:MS, got {spec}"));
+                }
+                args.injections.push((
+                    parse(parts[0])?,
+                    parse(parts[1])?,
+                    parse(parts[2])?,
+                ));
+            }
+            "--noise-percent" => args.noise_percent = parse(&value("--noise-percent")?)?,
+            "--seed" => args.seed = Some(parse(&value("--seed")?)?),
+            "--config" => args.config_path = Some(value("--config")?),
+            "--dump-config" => args.dump_config = true,
+            "--ascii" => args.ascii = true,
+            "--svg" => args.svg_path = Some(value("--svg")?),
+            "--csv" => args.csv_path = Some(value("--csv")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage".into());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("cannot parse '{s}': {e}"))
+}
+
+fn build_config(args: &Args) -> Result<SimConfig, String> {
+    if let Some(path) = &args.config_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        let mut cfg: SimConfig =
+            serde_json::from_str(&text).map_err(|e| format!("bad config: {e}"))?;
+        cfg.injections.reindex();
+        return Ok(cfg);
+    }
+    let direction = match args.direction.as_str() {
+        "uni" => Direction::Unidirectional,
+        "bi" => Direction::Bidirectional,
+        other => return Err(format!("unknown direction {other} (use uni|bi)")),
+    };
+    let boundary = match args.boundary.as_str() {
+        "open" => Boundary::Open,
+        "periodic" => Boundary::Periodic,
+        other => return Err(format!("unknown boundary {other} (use open|periodic)")),
+    };
+    let mut e = WaveExperiment::flat_chain(args.ranks)
+        .direction(direction)
+        .boundary(boundary)
+        .distance(args.distance)
+        .msg_bytes(args.msg_bytes)
+        .texec(SimDuration::from_millis_f64(args.texec_ms))
+        .steps(args.steps);
+    e = match args.protocol.as_str() {
+        "eager" => e.eager(),
+        "rendezvous" => e.rendezvous(),
+        "auto" => e,
+        other => return Err(format!("unknown protocol {other} (use eager|rendezvous|auto)")),
+    };
+    for &(rank, step, ms) in &args.injections {
+        e = e.inject(rank, step, SimDuration::from_millis_f64(ms));
+    }
+    if args.noise_percent > 0.0 {
+        e = e.noise_percent(args.noise_percent);
+    }
+    if let Some(seed) = args.seed {
+        e = e.seed(seed);
+    }
+    Ok(e.into_config())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg == "usage" {
+                eprintln!("{}", USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("wavesim: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match build_config(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("wavesim: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.dump_config {
+        println!("{}", serde_json::to_string_pretty(&cfg).expect("config serialises"));
+        return ExitCode::SUCCESS;
+    }
+
+    let wt = WaveTrace::from_config(cfg);
+
+    if args.ascii {
+        let opts = AsciiOptions { width: 100, ..Default::default() };
+        print!("{}", ascii_timeline(&wt.trace, &opts));
+    }
+    if let Some(path) = &args.svg_path {
+        let svg = idle_waves::tracefmt::svg_timeline(
+            &wt.trace,
+            &idle_waves::tracefmt::SvgOptions::default(),
+        );
+        if let Err(e) = std::fs::write(path, svg) {
+            eprintln!("wavesim: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.csv_path {
+        if let Err(e) = std::fs::write(path, idle_waves::tracefmt::to_csv(&wt.trace)) {
+            eprintln!("wavesim: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if !args.quiet {
+        println!(
+            "ranks {} | steps {} | total runtime {}",
+            wt.trace.ranks(),
+            wt.trace.steps(),
+            wt.total_runtime()
+        );
+        if let Some(source) = wt
+            .cfg
+            .injections
+            .injections()
+            .iter()
+            .max_by_key(|i| i.duration)
+            .map(|i| i.rank)
+        {
+            let th = wt.default_threshold();
+            match speed::compare_with_model(&wt, source, th) {
+                Some(cmp) => println!(
+                    "wave speed: measured {:.1} ranks/s, Eq.2 v_silent {:.1} ranks/s (ratio {:.3})",
+                    cmp.measured, cmp.predicted, cmp.ratio
+                ),
+                None => println!(
+                    "wave too short for a speed fit (v_silent would be {:.1} ranks/s)",
+                    model::predicted_speed(&wt.cfg)
+                ),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: wavesim [--ranks N] [--steps N] [--texec-ms F] [--msg-bytes N]
+               [--protocol eager|rendezvous|auto] [--direction uni|bi]
+               [--boundary open|periodic] [--distance N]
+               [--inject R:S:MS]... [--noise-percent F] [--seed N]
+               [--config FILE.json] [--dump-config]
+               [--ascii] [--svg FILE] [--csv FILE] [--quiet]";

@@ -1,0 +1,58 @@
+//! # idle-waves — reproduction of *Propagation and Decay of Injected
+//! One-Off Delays on Clusters: A Case Study* (Afzal, Hager, Wellein,
+//! IEEE CLUSTER 2019, arXiv:1905.10603)
+//!
+//! This crate is the umbrella over the workspace: it re-exports every
+//! layer so that examples, integration tests and downstream users can
+//! depend on one crate.
+//!
+//! | Layer | Crate | Contents |
+//! |---|---|---|
+//! | engine | [`simdes`] | deterministic discrete-event core |
+//! | network | [`netmodel`] | Hockney/LogGOPS models, hierarchical topology |
+//! | stochastics | [`noise`] (`noise-model`) | delay distributions, injections, histograms |
+//! | workload | [`workload`] | exec-phase models, comm patterns, kernels |
+//! | simulator | [`mpisim`] | eager/rendezvous MPI semantics, BSP driver |
+//! | traces | [`tracefmt`] | phase records, timelines, CSV |
+//! | **analysis** | [`idlewave`] | wave fronts, Eq. 2 speed model, decay, interaction |
+//! | substrates | [`stream`] (`stream-kernel`), [`lbm`] (`lbm-proxy`) | Fig. 1/2 application models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use idle_waves::prelude::*;
+//!
+//! // Inject a 13.5 ms delay at rank 5 of an 18-rank chain (paper Fig. 4)
+//! // and watch the idle wave ripple through.
+//! let wt = WaveExperiment::flat_chain(18)
+//!     .texec(SimDuration::from_millis(3))
+//!     .steps(16)
+//!     .inject(5, 0, SimDuration::from_millis(3).mul_f64(4.5))
+//!     .run();
+//! let th = wt.default_threshold();
+//! assert_eq!(wt.first_idle_step(6, th), Some(0));
+//! assert_eq!(wt.first_idle_step(9, th), Some(3)); // one rank per step
+//! ```
+
+#![warn(missing_docs)]
+
+pub use idlewave;
+pub use lbm_proxy as lbm;
+pub use mpisim;
+pub use netmodel;
+pub use noise_model as noise;
+pub use simdes;
+pub use stream_kernel as stream;
+pub use tracefmt;
+pub use workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use idlewave::{model, scenarios, WaveExperiment, WaveTrace};
+    pub use mpisim::{run, Protocol, SimConfig};
+    pub use netmodel::{presets as machines, ClusterNetwork, Machine};
+    pub use noise_model::{presets as noise_presets, DelayDistribution, InjectionPlan};
+    pub use simdes::{SimDuration, SimTime};
+    pub use tracefmt::{ascii_timeline, AsciiOptions, Trace};
+    pub use workload::{Boundary, CommPattern, Direction, ExecModel};
+}

@@ -1,0 +1,113 @@
+//! Integration tests for the `wavesim` CLI binary.
+
+use std::process::Command;
+
+fn wavesim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wavesim"))
+}
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wavesim-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+    dir
+}
+
+#[test]
+fn runs_a_basic_wave_and_reports_eq2() {
+    let out = wavesim()
+        .args(["--ranks", "10", "--steps", "12", "--inject", "3:0:9", "--seed", "1"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total runtime"), "{text}");
+    assert!(text.contains("ratio 1.000"), "Eq. 2 should hold: {text}");
+}
+
+#[test]
+fn ascii_timeline_shows_the_wave() {
+    let out = wavesim()
+        .args(["--ranks", "8", "--inject", "2:0:9", "--ascii", "--quiet"])
+        .output()
+        .expect("binary runs");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains('D'), "delay marker missing:\n{text}");
+    assert!(text.contains('#'), "wait marker missing:\n{text}");
+}
+
+#[test]
+fn writes_svg_and_csv_outputs() {
+    let dir = tmpdir("outputs");
+    let svg = dir.join("wave.svg");
+    let csv = dir.join("trace.csv");
+    let out = wavesim()
+        .args([
+            "--ranks", "6", "--steps", "5", "--inject", "2:0:5", "--quiet",
+            "--svg", svg.to_str().unwrap(),
+            "--csv", csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let svg_text = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(svg_text.starts_with("<svg") && svg_text.trim_end().ends_with("</svg>"));
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert_eq!(csv_text.lines().count(), 6 * 5 + 1, "header + one row per phase");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn dump_config_round_trips_through_config_flag() {
+    let dir = tmpdir("roundtrip");
+    let cfg_path = dir.join("cfg.json");
+    let dump = wavesim()
+        .args([
+            "--ranks", "7", "--steps", "4", "--texec-ms", "2",
+            "--protocol", "rendezvous", "--direction", "bi",
+            "--boundary", "periodic", "--inject", "3:1:4", "--seed", "9",
+            "--dump-config",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(dump.status.success());
+    std::fs::write(&cfg_path, &dump.stdout).expect("write config");
+
+    // Run from flags and from the dumped config: identical summaries.
+    let from_flags = wavesim()
+        .args([
+            "--ranks", "7", "--steps", "4", "--texec-ms", "2",
+            "--protocol", "rendezvous", "--direction", "bi",
+            "--boundary", "periodic", "--inject", "3:1:4", "--seed", "9",
+        ])
+        .output()
+        .expect("binary runs");
+    let from_config = wavesim()
+        .args(["--config", cfg_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(from_config.status.success());
+    assert_eq!(from_flags.stdout, from_config.stdout, "config round trip must be exact");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bad_flags_exit_with_code_2() {
+    for bad in [
+        vec!["--bogus"],
+        vec!["--ranks"],
+        vec!["--inject", "nonsense"],
+        vec!["--direction", "sideways"],
+        vec!["--protocol", "telepathy"],
+    ] {
+        let out = wavesim().args(&bad).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "args {bad:?} should fail");
+        assert!(!out.stderr.is_empty());
+    }
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = wavesim().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

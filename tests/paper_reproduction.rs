@@ -1,0 +1,248 @@
+//! End-to-end reproduction checks through the public `idle_waves` facade:
+//! one test per paper claim, at test-friendly scale. The full-scale
+//! regeneration lives in the bench harness (`crates/bench`).
+
+use idle_waves::idlewave::{
+    decay, elimination, interaction, model, scenarios, speed,
+    wavefront::{survival_distance, Walk},
+    WaveExperiment,
+};
+use idle_waves::prelude::*;
+
+const MS: SimDuration = SimDuration::from_millis(1);
+
+/// Claim 1 (Fig. 4/5, Eq. 2): on a silent system the wave speed is
+/// σ·d/(T_exec + T_comm) across the whole mode grid.
+#[test]
+fn claim_propagation_speed_model() {
+    for (dir, rdv, d) in [
+        (Direction::Unidirectional, false, 1u32),
+        (Direction::Unidirectional, true, 1),
+        (Direction::Bidirectional, false, 1),
+        (Direction::Bidirectional, true, 1),
+        (Direction::Unidirectional, true, 2),
+        (Direction::Bidirectional, true, 2),
+    ] {
+        let source = 2 * d + 1;
+        let mut e = WaveExperiment::flat_chain(20 + 6 * d)
+            .direction(dir)
+            .distance(d)
+            .texec(MS.times(3))
+            .steps(24)
+            .inject(source, 0, MS.times(12));
+        e = if rdv { e.rendezvous() } else { e.eager() };
+        let wt = e.run();
+        let cmp = speed::compare_with_model(&wt, source, wt.default_threshold())
+            .expect("speed fit");
+        assert!(
+            (cmp.ratio - 1.0).abs() < 0.1,
+            "{dir:?} rdv={rdv} d={d}: ratio {}",
+            cmp.ratio
+        );
+    }
+}
+
+/// Claim 2 (Fig. 5): the direction in which waves travel depends on the
+/// protocol: eager unidirectional waves travel only downstream; all other
+/// combinations travel both ways.
+#[test]
+fn claim_propagation_directions() {
+    let run_reach = |dir: Direction, rdv: bool| {
+        let mut e = WaveExperiment::flat_chain(18)
+            .direction(dir)
+            .texec(MS.times(3))
+            .steps(18)
+            .inject(8, 0, MS.times(12));
+        e = if rdv { e.rendezvous() } else { e.eager() };
+        let wt = e.run();
+        let th = wt.default_threshold();
+        (
+            survival_distance(&wt, 8, Walk::Up, th),
+            survival_distance(&wt, 8, Walk::Down, th),
+        )
+    };
+    let (up, down) = run_reach(Direction::Unidirectional, false);
+    assert!(up >= 8 && down == 0, "eager uni: {up}/{down}");
+    for (dir, rdv) in [
+        (Direction::Unidirectional, true),
+        (Direction::Bidirectional, false),
+        (Direction::Bidirectional, true),
+    ] {
+        let (up, down) = run_reach(dir, rdv);
+        assert!(up >= 8 && down >= 7, "{dir:?} rdv={rdv}: {up}/{down}");
+    }
+}
+
+/// Claim 3 (Fig. 6): idle waves interact non-linearly — equal opposing
+/// waves annihilate, so a linear wave equation cannot describe them.
+#[test]
+fn claim_nonlinear_cancellation() {
+    let plan = InjectionPlan::per_socket_equal(4, 8, 2, 0, MS.times(12));
+    let wt = WaveExperiment::flat_chain(32)
+        .direction(Direction::Bidirectional)
+        .boundary(Boundary::Periodic)
+        .texec(MS.times(3))
+        .steps(24)
+        .injections(plan)
+        .run();
+    let th = wt.default_threshold();
+    let profile = interaction::activity_profile(&wt, th);
+    let ext = profile.extinction_step.expect("equal waves must annihilate");
+    // Linear superposition would keep all four waves alive for the whole
+    // periodic traversal (~16 steps); cancellation kills them after about
+    // half the inter-source gap (~4 steps).
+    assert!(ext <= 8, "waves survived to step {ext}, no cancellation?");
+}
+
+/// Claim 4 (Fig. 8): the decay rate of a wave under exponential noise
+/// grows with the noise level and does not depend on the platform.
+#[test]
+fn claim_decay_grows_with_noise_platform_independently() {
+    let seeds: Vec<u64> = (0..5).collect();
+    // Two "platforms": InfiniBand-like flat Hockney chain and a
+    // LogGOPS-like chain.
+    let mut medians = Vec::new();
+    for net in [
+        idle_waves::netmodel::ClusterNetwork::flat(
+            24,
+            idle_waves::netmodel::presets::emmy_models().network,
+        ),
+        idle_waves::netmodel::presets::loggopsim_like(24),
+    ] {
+        let base = WaveExperiment::on_network(net)
+            .direction(Direction::Unidirectional)
+            .boundary(Boundary::Periodic)
+            .texec(MS.times(3))
+            .steps(34)
+            .inject(2, 0, MS.times(30));
+        let low = decay::decay_at_level(&base, 2.0, &seeds);
+        let high = decay::decay_at_level(&base, 10.0, &seeds);
+        assert!(
+            high.summary.median > low.summary.median,
+            "decay not increasing: {} vs {}",
+            low.summary.median,
+            high.summary.median
+        );
+        medians.push((low.summary.median, high.summary.median));
+    }
+    // Platform independence: same order of magnitude on both systems.
+    let (l0, h0) = medians[0];
+    let (l1, h1) = medians[1];
+    assert!(h0 / h1 < 5.0 && h1 / h0 < 5.0, "high-noise decay differs: {h0} vs {h1}");
+    assert!(l0 / l1 < 8.0 && l1 / l0 < 8.0, "low-noise decay differs: {l0} vs {l1}");
+}
+
+/// Claim 5 (Fig. 9): enough fine-grained noise absorbs the idle wave —
+/// the injected delay stops costing wall-clock time.
+#[test]
+fn claim_noise_eliminates_the_wave() {
+    let texec = MS.mul_f64(1.5);
+    let base = WaveExperiment::flat_chain(36)
+        .direction(Direction::Bidirectional)
+        .boundary(Boundary::Periodic)
+        .texec(texec)
+        .steps(30)
+        .inject(1, 1, texec.times(4));
+    let seeds: Vec<u64> = (100..106).collect();
+    let quiet = elimination::average_elimination(&base, 0.0, &seeds);
+    let noisy = elimination::average_elimination(&base, 25.0, &seeds);
+    assert!(quiet.absorption_ratio > 0.9, "silent system must pay the full delay");
+    assert!(
+        noisy.absorption_ratio < 0.6,
+        "noise must absorb most of the wave (got {})",
+        noisy.absorption_ratio
+    );
+}
+
+/// Claim 6 (Fig. 1): the non-overlapping model is accurate at PPN = 1 but
+/// double-sided wrong at PPN = 20 (total below model, execution above).
+#[test]
+fn claim_stream_model_deviations() {
+    let mut c20 = scenarios::StreamScalingConfig::paper_ppn20();
+    c20.steps = 80;
+    c20.warmup_steps = 30;
+    let p = scenarios::stream_scaling_point(&c20, 6);
+    assert!(
+        p.measured_total_gflops < p.model_total_gflops,
+        "total must trail the optimistic model: {} vs {}",
+        p.measured_total_gflops,
+        p.model_total_gflops
+    );
+    assert!(
+        p.measured_exec_gflops_max > p.model_exec_gflops,
+        "peak execution performance must beat the contended model: {} vs {}",
+        p.measured_exec_gflops_max,
+        p.model_exec_gflops
+    );
+
+    let mut c1 = scenarios::StreamScalingConfig::paper_ppn1();
+    c1.steps = 60;
+    c1.warmup_steps = 20;
+    let q = scenarios::stream_scaling_point(&c1, 6);
+    let ratio = q.measured_total_gflops / q.model_total_gflops;
+    assert!((0.9..1.1).contains(&ratio), "PPN=1 ratio {ratio}");
+}
+
+/// Claim 7 (Fig. 2): the memory-bound production run develops a global
+/// desynchronisation structure while staying close to the model runtime.
+#[test]
+fn claim_lbm_structure_formation() {
+    let cfg = scenarios::LbmTimelineConfig {
+        decomp: idle_waves::lbm::LbmDecomposition { nx: 128, ny: 128, nz: 128, ranks: 20 },
+        nodes: 1,
+        ppn: 20,
+        core_bw_bps: 6.5e9,
+        socket_bw_bps: 40e9,
+        steps: 400,
+        noise: idle_waves::noise::presets::emmy_smt_on(),
+        intranode_bw_bps: 2.5e9,
+        seed: 7,
+    };
+    let tl = scenarios::lbm_timeline(&cfg, &[1, 100, 400]);
+    // Structure grows from nearly nothing.
+    assert!(
+        tl.snapshots[2].amplitude > tl.snapshots[0].amplitude,
+        "no structure: {} -> {}",
+        tl.snapshots[0].amplitude,
+        tl.snapshots[2].amplitude
+    );
+    // Runtime stays within 15 % of the model.
+    assert!(tl.speedup_vs_model.abs() < 0.15, "deviation {}", tl.speedup_vs_model);
+}
+
+/// Claim 8 (Fig. 3): the fitted noise presets reproduce the measured
+/// histograms' key features.
+#[test]
+fn claim_noise_presets_match_measured_features() {
+    use idle_waves::noise::presets::SystemPreset;
+    let ib = scenarios::noise_histogram(
+        SystemPreset::EmmySmtOn,
+        50_000,
+        SimDuration::from_nanos(640),
+        50,
+        1,
+    );
+    assert!((2.0..2.8).contains(&ib.mean().as_micros_f64()));
+    assert!(ib.max() <= SimDuration::from_micros(30));
+
+    let opa = scenarios::noise_histogram(
+        SystemPreset::MeggieSmtOff,
+        50_000,
+        SimDuration::from_micros_f64(7.2),
+        120,
+        1,
+    );
+    let spike = opa.peak_bin_from(40).expect("bimodal");
+    let us = opa.bin_start(spike).as_micros_f64();
+    assert!((600.0..720.0).contains(&us), "spike at {us}");
+}
+
+/// Eq. (2) is exposed directly and matches its documented table.
+#[test]
+fn claim_model_api() {
+    use idle_waves::mpisim::Mode;
+    assert_eq!(model::sigma(Direction::Bidirectional, Mode::Rendezvous), 2);
+    assert_eq!(model::sigma(Direction::Unidirectional, Mode::Rendezvous), 1);
+    let v = model::v_silent(1, 1, MS.times(3), SimDuration::ZERO);
+    assert!((v - 333.33).abs() < 0.1);
+}
