@@ -1,24 +1,19 @@
-//! Criterion bench for the ablation suite (DESIGN.md §5): regenerates
+//! Bench harness for the ablation suite (DESIGN.md §5): regenerates
 //! all five ablations at paper scale once (printing the tables), then
-//! times the quick-scale suite.
+//! times the quick-scale suite. Plain `fn main` harness
+//! (`harness = false`) — no external bench framework.
 
+use bench::harness::time_kernel;
 use bench::{ablations, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     println!("{}", ablations::render(Scale::Paper));
 
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("eager_buffer_sweep_quick", |b| {
-        b.iter(|| black_box(ablations::eager_buffer_sweep(Scale::Quick)))
+    time_kernel("ablations/eager_buffer_sweep_quick", || {
+        black_box(ablations::eager_buffer_sweep(Scale::Quick));
     });
-    g.bench_function("contamination_quick", |b| {
-        b.iter(|| black_box(ablations::contamination_rows(Scale::Quick)))
+    time_kernel("ablations/contamination_quick", || {
+        black_box(ablations::contamination_rows(Scale::Quick));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,23 +1,18 @@
-//! Criterion bench for Eq. 2 (speed-model validation): regenerates the figure's data at paper
-//! scale once (printing the series), then times the quick-scale
-//! generation as the repeatable benchmark kernel.
+//! Bench harness for Eq. 2 (speed-model validation): regenerates the figure's data
+//! at paper scale once (printing the series), then times the quick-scale
+//! generation as the repeatable benchmark kernel. Plain `fn main` harness
+//! (`harness = false`) — no external bench framework.
 
+use bench::harness::time_kernel;
 use bench::{eq2, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_eq2(c: &mut Criterion) {
+fn main() {
     // One paper-scale regeneration, printed for EXPERIMENTS.md.
     let data = eq2::generate(Scale::Paper);
     println!("{}", eq2::render(&data));
 
-    let mut g = c.benchmark_group("eq2");
-    g.sample_size(10);
-    g.bench_function("generate_quick", |b| {
-        b.iter(|| black_box(eq2::generate(Scale::Quick)))
+    time_kernel("eq2/generate_quick", || {
+        black_box(eq2::generate(Scale::Quick));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_eq2);
-criterion_main!(benches);

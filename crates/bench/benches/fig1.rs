@@ -1,23 +1,18 @@
-//! Criterion bench for Fig. 1 (STREAM strong scaling): regenerates the figure's data at paper
-//! scale once (printing the series), then times the quick-scale
-//! generation as the repeatable benchmark kernel.
+//! Bench harness for Fig. 1 (STREAM strong scaling): regenerates the figure's data
+//! at paper scale once (printing the series), then times the quick-scale
+//! generation as the repeatable benchmark kernel. Plain `fn main` harness
+//! (`harness = false`) — no external bench framework.
 
+use bench::harness::time_kernel;
 use bench::{fig1, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     // One paper-scale regeneration, printed for EXPERIMENTS.md.
     let data = fig1::generate(Scale::Paper);
     println!("{}", fig1::render(&data));
 
-    let mut g = c.benchmark_group("fig1");
-    g.sample_size(10);
-    g.bench_function("generate_quick", |b| {
-        b.iter(|| black_box(fig1::generate(Scale::Quick)))
+    time_kernel("fig1/generate_quick", || {
+        black_box(fig1::generate(Scale::Quick));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

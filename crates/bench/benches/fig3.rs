@@ -1,23 +1,18 @@
-//! Criterion bench for Fig. 3 (noise histograms): regenerates the figure's data at paper
-//! scale once (printing the series), then times the quick-scale
-//! generation as the repeatable benchmark kernel.
+//! Bench harness for Fig. 3 (noise histograms): regenerates the figure's data
+//! at paper scale once (printing the series), then times the quick-scale
+//! generation as the repeatable benchmark kernel. Plain `fn main` harness
+//! (`harness = false`) — no external bench framework.
 
+use bench::harness::time_kernel;
 use bench::{fig3, Scale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig3(c: &mut Criterion) {
+fn main() {
     // One paper-scale regeneration, printed for EXPERIMENTS.md.
     let data = fig3::generate(Scale::Paper);
     println!("{}", fig3::render(&data));
 
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
-    g.bench_function("generate_quick", |b| {
-        b.iter(|| black_box(fig3::generate(Scale::Quick)))
+    time_kernel("fig3/generate_quick", || {
+        black_box(fig3::generate(Scale::Quick));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig3);
-criterion_main!(benches);

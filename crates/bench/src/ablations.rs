@@ -102,7 +102,9 @@ pub fn decay_under(
 pub fn noise_placement_rows(scale: Scale) -> Vec<(String, Summary)> {
     let seeds: Vec<u64> = (0..scale.pick(10, 4)).collect();
     let ranks = scale.pick(40, 20);
-    let noise = DelayDistribution::Exponential { mean: MS.mul_f64(0.18) }; // E = 6 %
+    let noise = DelayDistribution::Exponential {
+        mean: MS.mul_f64(0.18),
+    }; // E = 6 %
     vec![
         (
             "exec only (paper)".into(),
@@ -128,8 +130,14 @@ pub fn noise_shape_rows(scale: Scale) -> Vec<(String, Summary)> {
         max: MS.times(30),
     };
     vec![
-        ("exponential".into(), decay_under(exp, NoisePlacement::ExecOnly, &seeds, ranks)),
-        ("constant".into(), decay_under(constant, NoisePlacement::ExecOnly, &seeds, ranks)),
+        (
+            "exponential".into(),
+            decay_under(exp, NoisePlacement::ExecOnly, &seeds, ranks),
+        ),
+        (
+            "constant".into(),
+            decay_under(constant, NoisePlacement::ExecOnly, &seeds, ranks),
+        ),
         (
             format!("pareto (mean {:.0} us)", pareto.mean().as_micros_f64()),
             decay_under(pareto, NoisePlacement::ExecOnly, &seeds, ranks),
@@ -166,8 +174,7 @@ pub fn edge_rows(scale: Scale) -> Vec<(f64, f64, f64)> {
                 let mut quiet = wt.cfg.clone();
                 quiet.injections = noise_model::InjectionPlan::none();
                 let q = WaveTrace::from_config(quiet);
-                let v_noisy =
-                    f64::from(q.trace.steps()) / q.total_runtime().as_secs_f64();
+                let v_noisy = f64::from(q.trace.steps()) / q.total_runtime().as_secs_f64();
                 lead += es.leading / v_noisy;
                 trail += es.trailing / v_noisy;
             }
@@ -202,8 +209,14 @@ pub fn contamination_rows(scale: Scale) -> Vec<(String, Option<u32>)> {
     let hyper_c = contamination(&hyper, 5, hyper.default_threshold());
 
     vec![
-        (format!("ring (bidirectional, {ranks} ranks)"), ring_c.global_impact_step),
-        (format!("hypercube allreduce ({ranks} ranks)"), hyper_c.global_impact_step),
+        (
+            format!("ring (bidirectional, {ranks} ranks)"),
+            ring_c.global_impact_step,
+        ),
+        (
+            format!("hypercube allreduce ({ranks} ranks)"),
+            hyper_c.global_impact_step,
+        ),
     ]
 }
 
@@ -239,7 +252,10 @@ pub fn render(scale: Scale) -> String {
         &contamination_rows(scale)
             .into_iter()
             .map(|(l, s)| {
-                vec![l, s.map(|v| v.to_string()).unwrap_or_else(|| "> run".into())]
+                vec![
+                    l,
+                    s.map(|v| v.to_string()).unwrap_or_else(|| "> run".into()),
+                ]
             })
             .collect::<Vec<_>>(),
     ));
@@ -312,7 +328,13 @@ mod tests {
     #[test]
     fn render_is_total() {
         let txt = render(Scale::Quick);
-        for needle in ["Ablation 1", "Ablation 2", "Ablation 3", "Ablation 4", "Ablation 5"] {
+        for needle in [
+            "Ablation 1",
+            "Ablation 2",
+            "Ablation 3",
+            "Ablation 4",
+            "Ablation 5",
+        ] {
             assert!(txt.contains(needle), "missing {needle}");
         }
     }

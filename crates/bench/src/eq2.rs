@@ -79,7 +79,16 @@ pub fn generate(scale: Scale) -> Vec<GridPoint> {
 pub fn render(points: &[GridPoint]) -> String {
     let mut out = String::from("Eq. (2): v_silent = sigma*d/(T_exec+T_comm) — grid validation\n");
     out.push_str(&table(
-        &["direction", "protocol", "d", "T_exec", "msg [B]", "v meas", "v model", "ratio"],
+        &[
+            "direction",
+            "protocol",
+            "d",
+            "T_exec",
+            "msg [B]",
+            "v meas",
+            "v model",
+            "ratio",
+        ],
         &points
             .iter()
             .map(|p| {
@@ -130,8 +139,8 @@ mod tests {
                 .expect("grid point")
                 .measured
         };
-        let ratio = find(Direction::Bidirectional, "rendezvous")
-            / find(Direction::Bidirectional, "eager");
+        let ratio =
+            find(Direction::Bidirectional, "rendezvous") / find(Direction::Bidirectional, "eager");
         assert!((ratio - 2.0).abs() < 0.2, "sigma doubling {ratio}");
         assert!(render(&pts).contains("worst |ratio - 1|"));
     }

@@ -20,7 +20,14 @@ pub fn generate(scale: Scale) -> LbmTimeline {
 pub fn render(tl: &LbmTimeline) -> String {
     let mut out = String::from("Fig. 2: LBM timeline snapshots (302^3 cells, 100 ranks)\n");
     out.push_str(&table(
-        &["t", "model [s]", "fastest [s]", "slowest [s]", "spread [ms]", "wavelength [ranks]"],
+        &[
+            "t",
+            "model [s]",
+            "fastest [s]",
+            "slowest [s]",
+            "spread [ms]",
+            "wavelength [ranks]",
+        ],
         &tl.snapshots
             .iter()
             .map(|s| {
@@ -56,7 +63,10 @@ mod tests {
         assert!(!tl.snapshots.is_empty());
         let first = &tl.snapshots[0];
         let last = tl.snapshots.last().unwrap();
-        assert!(last.amplitude >= first.amplitude, "structure should not shrink to zero");
+        assert!(
+            last.amplitude >= first.amplitude,
+            "structure should not shrink to zero"
+        );
         let txt = render(&tl);
         assert!(txt.contains("Fig. 2"));
         assert!(txt.lines().count() >= tl.snapshots.len() + 3);

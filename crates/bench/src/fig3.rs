@@ -22,10 +22,22 @@ pub struct Panel {
 pub fn generate(scale: Scale) -> Vec<Panel> {
     let samples = scale.pick(330_000, 30_000);
     let cfgs = [
-        (SystemPreset::EmmySmtOn, SimDuration::from_nanos(640), 64usize),
+        (
+            SystemPreset::EmmySmtOn,
+            SimDuration::from_nanos(640),
+            64usize,
+        ),
         (SystemPreset::MeggieSmtOn, SimDuration::from_nanos(640), 64),
-        (SystemPreset::EmmySmtOff, SimDuration::from_micros_f64(7.2), 120),
-        (SystemPreset::MeggieSmtOff, SimDuration::from_micros_f64(7.2), 120),
+        (
+            SystemPreset::EmmySmtOff,
+            SimDuration::from_micros_f64(7.2),
+            120,
+        ),
+        (
+            SystemPreset::MeggieSmtOff,
+            SimDuration::from_micros_f64(7.2),
+            120,
+        ),
     ];
     cfgs.iter()
         .map(|&(preset, bin, bins)| Panel {
@@ -39,7 +51,13 @@ pub fn generate(scale: Scale) -> Vec<Panel> {
 pub fn render(panels: &[Panel]) -> String {
     let mut out = String::from("Fig. 3: system-noise histograms\n");
     out.push_str(&table(
-        &["system", "samples", "mean [us]", "max [us]", "2nd peak [us]"],
+        &[
+            "system",
+            "samples",
+            "mean [us]",
+            "max [us]",
+            "2nd peak [us]",
+        ],
         &panels
             .iter()
             .map(|p| {

@@ -37,7 +37,11 @@ pub fn generate(scale: Scale) -> Fig4 {
     let speed_ratio = speed::compare_with_model(&wt, SOURCE, th)
         .map(|c| c.ratio)
         .unwrap_or(f64::NAN);
-    Fig4 { wt, arrivals, speed_ratio }
+    Fig4 {
+        wt,
+        arrivals,
+        speed_ratio,
+    }
 }
 
 /// Print the timeline and wave-front table.
@@ -47,7 +51,10 @@ pub fn render(f: &Fig4) -> String {
     );
     out.push_str(&ascii_timeline(
         &f.wt.trace,
-        &AsciiOptions { width: 90, ..Default::default() },
+        &AsciiOptions {
+            width: 90,
+            ..Default::default()
+        },
     ));
     out.push('\n');
     out.push_str(&table(

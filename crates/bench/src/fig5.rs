@@ -64,8 +64,8 @@ pub fn generate(scale: Scale) -> Vec<Panel> {
             let th = wt.default_threshold();
             let reach_up = survival_distance(&wt, SOURCE, Walk::Up, th);
             let reach_down = survival_distance(&wt, SOURCE, Walk::Down, th);
-            let measured_speed = speed::measure_speed(&wt, SOURCE, Walk::Up, th)
-                .map(|s| s.ranks_per_sec);
+            let measured_speed =
+                speed::measure_speed(&wt, SOURCE, Walk::Up, th).map(|s| s.ranks_per_sec);
             let predicted_speed = model::predicted_speed(&wt.cfg);
             panels.push(Panel {
                 letter: letters.next().expect("eight panels"),

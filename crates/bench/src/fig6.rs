@@ -32,7 +32,10 @@ pub fn generate(scale: Scale) -> Vec<Variant> {
     let seeds = SeedFactory::new(0xF166);
 
     let plans = [
-        ("(a) equal", InjectionPlan::per_socket_equal(sockets, per_socket, local, 0, delay)),
+        (
+            "(a) equal",
+            InjectionPlan::per_socket_equal(sockets, per_socket, local, 0, delay),
+        ),
         (
             "(b) half",
             InjectionPlan::per_socket_half_on_odd(sockets, per_socket, local, 0, delay),
@@ -74,7 +77,12 @@ pub fn generate(scale: Scale) -> Vec<Variant> {
 pub fn render(variants: &[Variant]) -> String {
     let mut out = String::from("Fig. 6: interacting idle waves (per-socket injections)\n");
     out.push_str(&table(
-        &["variant", "extinction step", "total idle [ms]", "activity profile"],
+        &[
+            "variant",
+            "extinction step",
+            "total idle [ms]",
+            "activity profile",
+        ],
         &variants
             .iter()
             .map(|v| {
@@ -117,7 +125,11 @@ mod tests {
         );
         // All three start with every injection active.
         for v in &vs {
-            assert!(v.profile.per_step[0] > 0, "{} shows no initial activity", v.label);
+            assert!(
+                v.profile.per_step[0] > 0,
+                "{} shows no initial activity",
+                v.label
+            );
         }
         let txt = render(&vs);
         assert!(txt.contains("(a) equal") && txt.contains("(c) random"));

@@ -49,7 +49,12 @@ pub fn generate(scale: Scale) -> Vec<Panel> {
             .expect("wave long enough")
             .ranks_per_sec;
         let predicted = model::predicted_speed(&wt.cfg);
-        Panel { label, wt, measured, predicted }
+        Panel {
+            label,
+            wt,
+            measured,
+            predicted,
+        }
     })
     .collect()
 }

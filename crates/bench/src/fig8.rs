@@ -110,7 +110,10 @@ mod tests {
             }
         }
         // Platform independence: same noise level, same order of magnitude.
-        let at_max: Vec<f64> = scans.iter().map(|s| s.rows.last().unwrap().summary.median).collect();
+        let at_max: Vec<f64> = scans
+            .iter()
+            .map(|s| s.rows.last().unwrap().summary.median)
+            .collect();
         let hi = at_max.iter().cloned().fold(f64::MIN, f64::max);
         let lo = at_max.iter().cloned().fold(f64::MAX, f64::min);
         assert!(hi / lo < 5.0, "systems disagree: {at_max:?}");

@@ -34,7 +34,13 @@ pub fn render(rows: &[EliminationResult]) -> String {
     let mut out =
         String::from("Fig. 9: idle-period elimination by noise (wave = 4 T_exec = 6 ms)\n");
     out.push_str(&table(
-        &["E [%]", "t_total [ms]", "no-wave t [ms]", "excess [ms]", "wave visible [%]"],
+        &[
+            "E [%]",
+            "t_total [ms]",
+            "no-wave t [ms]",
+            "excess [ms]",
+            "wave visible [%]",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -48,7 +54,9 @@ pub fn render(rows: &[EliminationResult]) -> String {
             })
             .collect::<Vec<_>>(),
     ));
-    out.push_str("\npaper reference: t_total = 51.1 / 82.7 / 84.6 ms; excess 6 ms at E=0, none at E=25%\n");
+    out.push_str(
+        "\npaper reference: t_total = 51.1 / 82.7 / 84.6 ms; excess 6 ms at E=0, none at E=25%\n",
+    );
     out
 }
 

@@ -1,0 +1,88 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! The bench targets (`benches/*.rs`, all `harness = false`) are plain
+//! `fn main` programs; this module gives them a shared timing loop so the
+//! workspace needs no external bench framework. The statistics are
+//! deliberately simple — warm-up, a fixed number of timed iterations,
+//! min / mean / max — because the benches exist to track gross
+//! regressions and print figure data, not to resolve microseconds.
+//!
+//! Knobs (environment):
+//! * `BENCH_ITERS` — timed iterations per kernel (default 10);
+//! * `BENCH_WARMUP` — untimed warm-up iterations (default 1).
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTiming {
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Mean over all timed iterations.
+    pub mean: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Run `kernel` repeatedly, report min/mean/max wall time, and print a
+/// one-line summary labelled `name`.
+pub fn time_kernel(name: &str, mut kernel: impl FnMut()) -> KernelTiming {
+    let iters = env_u32("BENCH_ITERS", 10);
+    let warmup = env_u32("BENCH_WARMUP", 1);
+    for _ in 0..warmup {
+        kernel();
+    }
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    let mut max = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        kernel();
+        let dt = start.elapsed();
+        total += dt;
+        min = min.min(dt);
+        max = max.max(dt);
+    }
+    let timing = KernelTiming {
+        iters,
+        min,
+        mean: total / iters,
+        max,
+    };
+    println!(
+        "bench {name}: {iters} iters, min {:?}, mean {:?}, max {:?}",
+        timing.min, timing.mean, timing.max
+    );
+    timing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_reports_consistent_bounds() {
+        let t = time_kernel("noop", || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(t.min <= t.mean && t.mean <= t.max);
+        assert_eq!(t.iters, 10);
+    }
+
+    #[test]
+    fn kernel_runs_warmup_plus_iters_times() {
+        let mut count = 0u32;
+        time_kernel("counter", || count += 1);
+        assert_eq!(count, 11); // 1 warm-up + 10 timed
+    }
+}

@@ -3,8 +3,8 @@
 //! One module per paper artefact. Each module exposes a `generate()`
 //! returning structured rows plus a `render()` that prints the same
 //! series the paper plots. The `figures` binary drives all of them; the
-//! Criterion benches (in `benches/`) time the underlying simulations and
-//! print the rows once per run.
+//! bench harnesses (in `benches/`, timed by [`harness::time_kernel`])
+//! time the underlying simulations and print the rows once per run.
 //!
 //! Scale knobs: every generator takes a [`Scale`] so tests can run the
 //! same code in milliseconds while `cargo bench` / `figures --full`
@@ -21,6 +21,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod harness;
 
 /// How big to run a figure's experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +60,10 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');

@@ -3,10 +3,13 @@
 //! The statistical experiments (Fig. 8's 15 repetitions × 7 noise levels
 //! × 3 systems, the elimination averages of Fig. 9) run many fully
 //! independent simulations. Each simulation is single-threaded and
-//! deterministic, so fanning them out over OS threads with crossbeam
-//! scales embarrassingly — and, because every run's seed is part of its
-//! config, the results are identical to sequential execution in any
-//! thread count.
+//! deterministic, so fanning them out over OS threads scales
+//! embarrassingly — and, because every run's seed is part of its config
+//! and results are reassembled by input index, the results are identical
+//! to sequential execution in any thread count.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 use mpisim::SimConfig;
 
@@ -14,6 +17,11 @@ use crate::experiment::WaveTrace;
 
 /// Run every configuration, in parallel over up to `threads` OS threads,
 /// returning results in input order.
+///
+/// Work is distributed through a shared queue, so stragglers do not idle
+/// the other workers; each finished trace travels back over a channel
+/// tagged with its input index, and the batch is reassembled in input
+/// order regardless of completion order.
 ///
 /// # Panics
 /// Propagates panics from individual simulations (a poisoned experiment
@@ -29,26 +37,34 @@ pub fn run_batch(configs: Vec<SimConfig>, threads: usize) -> Vec<WaveTrace> {
         return configs.into_iter().map(WaveTrace::from_config).collect();
     }
 
-    let mut slots: Vec<Option<WaveTrace>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
-    let chunk = n.div_ceil(threads);
+    // Shared pull queue: workers grab the next job as they free up.
+    let queue: Mutex<Vec<(usize, SimConfig)>> =
+        Mutex::new(configs.into_iter().enumerate().rev().collect());
+    let (tx, rx) = mpsc::channel::<(usize, WaveTrace)>();
 
-    crossbeam::scope(|scope| {
-        // Split the output slots so each worker owns a disjoint range.
-        let mut rest: &mut [Option<WaveTrace>] = &mut slots;
-        for work in jobs.chunks(chunk) {
-            let (mine, tail) = rest.split_at_mut(work.len());
-            rest = tail;
-            scope.spawn(move |_| {
-                for ((_, cfg), slot) in work.iter().zip(mine.iter_mut()) {
-                    *slot = Some(WaveTrace::from_config(cfg.clone()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                match job {
+                    Some((idx, cfg)) => {
+                        let trace = WaveTrace::from_config(cfg);
+                        tx.send((idx, trace)).expect("result receiver gone");
+                    }
+                    None => break,
                 }
             });
         }
-    })
-    .expect("simulation worker panicked");
+        drop(tx); // scope's copy; workers hold the remaining senders
+    });
 
+    let mut slots: Vec<Option<WaveTrace>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (idx, trace) in rx {
+        assert!(slots[idx].replace(trace).is_none(), "job {idx} ran twice");
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every slot filled"))
@@ -115,6 +131,13 @@ mod tests {
         let out = run_batch(vec![base()], 8);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].trace.ranks(), 10);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let seeds: Vec<u64> = vec![5, 6];
+        let out = run_seeds(&base(), &seeds, 64);
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub fn contamination(wt: &WaveTrace, source: u32, threshold: SimDuration) -> Con
             global_impact_step = Some(s);
         }
     }
-    Contamination { affected_per_step, global_impact_step }
+    Contamination {
+        affected_per_step,
+        global_impact_step,
+    }
 }
 
 #[cfg(test)]
@@ -167,7 +170,10 @@ mod tests {
         // bits 10 -> clear: 2->0, 6->4; round 2: 4->0. So the delay at 5
         // stalls 4 (round 0), then 0 via round 2. Rank 3, 7 subtrees are
         // untouched, ranks 1, 2, 6 finish without waiting on 5.
-        assert!(wt.total_idle(4) > th, "parent must wait for the delayed leaf");
+        assert!(
+            wt.total_idle(4) > th,
+            "parent must wait for the delayed leaf"
+        );
         assert!(wt.total_idle(0) > th, "root must wait transitively");
         for unaffected in [1u32, 3, 7] {
             assert!(

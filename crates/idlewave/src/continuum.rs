@@ -149,7 +149,10 @@ mod tests {
                 a.time
             );
             // Amplitude constant on a silent system.
-            assert_eq!(model.amplitude_after(MS.times(12), (i + 1) as f64), MS.times(12));
+            assert_eq!(
+                model.amplitude_after(MS.times(12), (i + 1) as f64),
+                MS.times(12)
+            );
         }
         assert_eq!(model.survival_hops(MS.times(12)), u32::MAX);
     }
@@ -198,7 +201,11 @@ mod tests {
             .texec(MS.times(3))
             .steps(20)
             .injections(InjectionPlan::per_socket_equal(
-                sockets, per_socket, 2, 0, MS.times(12),
+                sockets,
+                per_socket,
+                2,
+                0,
+                MS.times(12),
             ))
             .run();
         let model = ContinuumModel::silent(&wt.cfg);
@@ -218,7 +225,10 @@ mod tests {
 
     #[test]
     fn unequal_collision_leaves_the_difference() {
-        let model = ContinuumModel { speed_ranks_per_sec: 333.0, decay_us_per_rank: 0.0 };
+        let model = ContinuumModel {
+            speed_ranks_per_sec: 333.0,
+            decay_us_per_rank: 0.0,
+        };
         let c = model.collide(MS.times(12), MS.times(6), 8);
         assert_eq!(c.surviving_amplitude, MS.times(6));
         assert!(c.first_survives);
@@ -228,7 +238,10 @@ mod tests {
 
     #[test]
     fn decay_shrinks_colliding_waves_before_they_meet() {
-        let model = ContinuumModel { speed_ranks_per_sec: 333.0, decay_us_per_rank: 1000.0 };
+        let model = ContinuumModel {
+            speed_ranks_per_sec: 333.0,
+            decay_us_per_rank: 1000.0,
+        };
         // 12 ms waves, 10 hops apart: each loses 5 ms before meeting.
         let c = model.collide(MS.times(12), MS.times(8), 10);
         // a: 12 - 5 = 7 ms; b: 8 - 5 = 3 ms; survivor 4 ms.

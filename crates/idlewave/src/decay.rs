@@ -81,11 +81,7 @@ pub fn decay_at_level(base: &WaveExperiment, e_percent: f64, seeds: &[u64]) -> D
     let source = wave_source(base);
     let mut rates = Vec::with_capacity(seeds.len());
     for &seed in seeds {
-        let wt = base
-            .clone()
-            .noise_percent(e_percent)
-            .seed(seed)
-            .run();
+        let wt = base.clone().noise_percent(e_percent).seed(seed).run();
         let threshold = wt.default_threshold();
         match measure_decay(&wt, source, Walk::Up, threshold) {
             Some(m) => rates.push(m.rate_us_per_rank.max(0.0)),
@@ -97,7 +93,11 @@ pub fn decay_at_level(base: &WaveExperiment, e_percent: f64, seeds: &[u64]) -> D
         }
     }
     let summary = Summary::of(&rates).expect("rates are finite and non-empty");
-    DecayRow { e_percent, rates, summary }
+    DecayRow {
+        e_percent,
+        rates,
+        summary,
+    }
 }
 
 /// The rank carrying the (largest) injected delay of an experiment.
@@ -133,7 +133,11 @@ mod tests {
         let wt = base(20, 30).run();
         let m = measure_decay(&wt, 2, Walk::Up, wt.default_threshold()).expect("wave exists");
         // Noise-free: amplitude is constant, slope ~0.
-        assert!(m.rate_us_per_rank.abs() < 1.0, "rate {}", m.rate_us_per_rank);
+        assert!(
+            m.rate_us_per_rank.abs() < 1.0,
+            "rate {}",
+            m.rate_us_per_rank
+        );
         assert!(m.survival_ranks >= 18);
         assert!((m.initial_amplitude_us - 30_000.0).abs() < 1_500.0);
     }

@@ -95,8 +95,16 @@ mod tests {
         let th = wt.default_threshold();
         let e = edge_speeds(&wt, 2, Walk::Up, th).expect("wave present");
         let v = predicted_speed(&wt.cfg);
-        assert!((e.leading / v - 1.0).abs() < 0.02, "leading {} vs {v}", e.leading);
-        assert!((e.trailing / v - 1.0).abs() < 0.02, "trailing {} vs {v}", e.trailing);
+        assert!(
+            (e.leading / v - 1.0).abs() < 0.02,
+            "leading {} vs {v}",
+            e.leading
+        );
+        assert!(
+            (e.trailing / v - 1.0).abs() < 0.02,
+            "trailing {} vs {v}",
+            e.trailing
+        );
         assert!(e.leading_r2 > 0.999 && e.trailing_r2 > 0.999);
     }
 
@@ -144,10 +152,7 @@ mod tests {
 
     #[test]
     fn too_short_wave_yields_none() {
-        let wt = WaveExperiment::flat_chain(6)
-            .texec(MS)
-            .steps(3)
-            .run(); // no injection at all
+        let wt = WaveExperiment::flat_chain(6).texec(MS).steps(3).run(); // no injection at all
         let th = wt.default_threshold();
         assert!(edge_speeds(&wt, 2, Walk::Up, th).is_none());
     }

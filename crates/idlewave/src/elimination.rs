@@ -54,7 +54,10 @@ pub fn measure_elimination(base: &WaveExperiment, e_percent: f64) -> Elimination
 
 /// Scan several noise levels (the Fig. 9 panels are E = 0, 20, 25 %).
 pub fn elimination_scan(base: &WaveExperiment, levels: &[f64]) -> Vec<EliminationResult> {
-    levels.iter().map(|&e| measure_elimination(base, e)).collect()
+    levels
+        .iter()
+        .map(|&e| measure_elimination(base, e))
+        .collect()
 }
 
 /// Like [`measure_elimination`] but averaged over independent seeds: the

@@ -27,10 +27,7 @@ impl WaveExperiment {
     /// next-neighbour pattern, 3 ms compute phases, 8192-byte messages,
     /// protocol by size, 20 steps, no delays, no noise.
     pub fn flat_chain(ranks: u32) -> Self {
-        let link = PointToPoint::Hockney(Hockney::new(
-            SimDuration::from_micros_f64(1.7),
-            3e9,
-        ));
+        let link = PointToPoint::Hockney(Hockney::new(SimDuration::from_micros_f64(1.7), 3e9));
         let net = ClusterNetwork::flat(ranks, link);
         let cfg = SimConfig::baseline(
             net,
@@ -115,7 +112,11 @@ impl WaveExperiment {
     /// Add one injected delay (accumulates with earlier calls).
     pub fn inject(mut self, rank: u32, step: u32, duration: SimDuration) -> Self {
         let mut list = self.cfg.injections.injections().to_vec();
-        list.push(noise_model::Injection { rank, step, duration });
+        list.push(noise_model::Injection {
+            rank,
+            step,
+            duration,
+        });
         self.cfg.injections = InjectionPlan::from_list(list);
         self
     }
@@ -188,12 +189,19 @@ impl WaveTrace {
         let trace = run(&cfg);
         let baseline_comm = nominal_comm_duration(&cfg);
         let step_duration = nominal_step_duration(&cfg);
-        WaveTrace { cfg, trace, baseline_comm, step_duration }
+        WaveTrace {
+            cfg,
+            trace,
+            baseline_comm,
+            step_duration,
+        }
     }
 
     /// Idle time of `(rank, step)` beyond the communication baseline.
     pub fn idle(&self, rank: u32, step: u32) -> SimDuration {
-        self.trace.record(rank, step).idle_beyond(self.baseline_comm)
+        self.trace
+            .record(rank, step)
+            .idle_beyond(self.baseline_comm)
     }
 
     /// Largest idle of `rank` over all steps, with the step it occurred in.

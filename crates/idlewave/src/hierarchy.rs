@@ -31,12 +31,7 @@ pub struct Hop {
 /// Extract the per-hop intervals of the wave front walking `walk`-ward
 /// from `source`. The first hop (source → first arrival) is excluded —
 /// its interval is dominated by the injected delay, not by propagation.
-pub fn hop_intervals(
-    wt: &WaveTrace,
-    source: u32,
-    walk: Walk,
-    threshold: SimDuration,
-) -> Vec<Hop> {
+pub fn hop_intervals(wt: &WaveTrace, source: u32, walk: Walk, threshold: SimDuration) -> Vec<Hop> {
     let arrivals = arrivals_from(wt, source, walk, threshold);
     arrivals
         .windows(2)
@@ -103,10 +98,7 @@ mod tests {
     /// T_comm is not negligible against T_exec.
     fn hier_wave() -> WaveTrace {
         let models = DomainModels {
-            socket: PointToPoint::Hockney(Hockney::new(
-                SimDuration::from_nanos(300),
-                10e9,
-            )),
+            socket: PointToPoint::Hockney(Hockney::new(SimDuration::from_nanos(300), 10e9)),
             node: PointToPoint::Hockney(Hockney::new(SimDuration::from_nanos(600), 4e9)),
             network: PointToPoint::Hockney(Hockney::new(SimDuration::from_micros(2), 1e9)),
         };
@@ -192,6 +184,10 @@ mod tests {
         assert_eq!(by_domain.len(), 1);
         assert_eq!(by_domain[0].0, Domain::Network);
         let s = by_domain[0].1;
-        assert!(s.max - s.min < 1.0, "intervals should be constant, spread {}", s.max - s.min);
+        assert!(
+            s.max - s.min < 1.0,
+            "intervals should be constant, spread {}",
+            s.max - s.min
+        );
     }
 }

@@ -38,7 +38,11 @@ pub fn activity_profile(wt: &WaveTrace, threshold: SimDuration) -> ActivityProfi
         Some(_) => None, // still active in the final step
     };
     let total_idle = (0..wt.trace.ranks()).map(|r| wt.total_idle(r)).sum();
-    ActivityProfile { per_step, extinction_step, total_idle }
+    ActivityProfile {
+        per_step,
+        extinction_step,
+        total_idle,
+    }
 }
 
 /// Idle time accumulated by each rank over the whole run — the spatial
@@ -106,8 +110,12 @@ mod tests {
         let wh = ring(4, 8, half, 24);
         let the = we.default_threshold();
         let thh = wh.default_threshold();
-        let ee = activity_profile(&we, the).extinction_step.expect("equal cancels");
-        let eh = activity_profile(&wh, thh).extinction_step.expect("half cancels");
+        let ee = activity_profile(&we, the)
+            .extinction_step
+            .expect("equal cancels");
+        let eh = activity_profile(&wh, thh)
+            .extinction_step
+            .expect("half cancels");
         assert!(
             eh > ee,
             "surviving remnants must outlive the equal case: equal {ee}, half {eh}"
@@ -153,7 +161,11 @@ mod tests {
         // 16 ranks; waves from ranks 2 and 10 meet after ~4 hops each
         // travelling both directions: ~14 rank-idles of ~12 ms.
         let upper = MS.times(12).as_secs_f64() * 16.0;
-        assert!(p.total_idle.as_secs_f64() < upper, "total idle {}", p.total_idle);
+        assert!(
+            p.total_idle.as_secs_f64() < upper,
+            "total idle {}",
+            p.total_idle
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ mod tests {
         assert!((v2 - 2.0 * v).abs() < 1e-9);
         assert!((v3 - 2.0 * v).abs() < 1e-9);
         // Communication time slows the wave.
-        let v4 = v_silent(1, 1, SimDuration::from_millis(3), SimDuration::from_millis(1));
+        let v4 = v_silent(
+            1,
+            1,
+            SimDuration::from_millis(3),
+            SimDuration::from_millis(1),
+        );
         assert!((v4 - 250.0).abs() < 1e-9);
     }
 

@@ -9,6 +9,7 @@
 //! * [`noise_histogram`] — Fig. 3: natural system-noise histograms from
 //!   the fitted presets.
 
+use lbm_proxy::LbmDecomposition;
 use mpisim::{Protocol, SimConfig};
 use netmodel::presets::{emmy_models, PAPER_CORES_PER_SOCKET, PAPER_SOCKETS_PER_NODE};
 use netmodel::{ClusterNetwork, DomainModels, Hockney, Machine, PointToPoint};
@@ -17,7 +18,6 @@ use noise_model::{DelayDistribution, Histogram};
 use simdes::stats::Summary;
 use simdes::{SeedFactory, SimDuration, SimTime};
 use stream_kernel::TriadScalingModel;
-use lbm_proxy::LbmDecomposition;
 use workload::{Boundary, CommPattern, Direction, ExecModel};
 
 use crate::experiment::WaveTrace;
@@ -104,7 +104,11 @@ impl StreamScalingConfig {
         // A periodic ring needs more than two ranks for distinct
         // neighbours; the two-rank case (PPN = 1 on two nodes) falls back
         // to an open chain.
-        let boundary = if ranks > 2 { Boundary::Periodic } else { Boundary::Open };
+        let boundary = if ranks > 2 {
+            Boundary::Periodic
+        } else {
+            Boundary::Open
+        };
         let machine = Machine::new(PAPER_CORES_PER_SOCKET, PAPER_SOCKETS_PER_NODE, nodes);
         let models = DomainModels {
             socket: PointToPoint::Hockney(Hockney::new(
@@ -124,7 +128,9 @@ impl StreamScalingConfig {
             self.steps,
         );
         cfg.msg_bytes = self.model.vnet_bytes;
-        cfg.protocol = Protocol::Auto { eager_limit: Protocol::PAPER_EAGER_LIMIT };
+        cfg.protocol = Protocol::Auto {
+            eager_limit: Protocol::PAPER_EAGER_LIMIT,
+        };
         cfg.exec = ExecModel::MemoryBound {
             bytes: self.model.vmem_bytes / u64::from(cfg.ranks()),
             core_bw_bps: self.core_bw_bps,
@@ -204,7 +210,10 @@ pub fn stream_scaling_point(cfg: &StreamScalingConfig, domains: u32) -> StreamSc
 /// Sweep several domain counts (the paper scans 1–9 sockets / up to 15
 /// nodes).
 pub fn stream_scaling_sweep(cfg: &StreamScalingConfig, domains: &[u32]) -> Vec<StreamScalingPoint> {
-    domains.iter().map(|&n| stream_scaling_point(cfg, n)).collect()
+    domains
+        .iter()
+        .map(|&n| stream_scaling_point(cfg, n))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -288,7 +297,9 @@ impl LbmTimelineConfig {
     /// contended execution plus serialized halo exchange.
     pub fn model_step_time(&self) -> SimDuration {
         let ranks_per_socket = self.ppn.div_ceil(PAPER_SOCKETS_PER_NODE);
-        let rate = self.core_bw_bps.min(self.socket_bw_bps / f64::from(ranks_per_socket));
+        let rate = self
+            .core_bw_bps
+            .min(self.socket_bw_bps / f64::from(ranks_per_socket));
         let exec = self.decomp.traffic_bytes_per_rank() as f64 / rate;
         let comm = 2.0 * self.decomp.halo_bytes_per_neighbor() as f64 / 3e9;
         SimDuration::from_secs_f64(exec + comm)
@@ -443,7 +454,12 @@ mod tests {
     fn lbm_timeline_produces_snapshots_and_structure() {
         // Shrunken Fig. 2: 16³ box on 8 ranks over 2 nodes.
         let cfg = LbmTimelineConfig {
-            decomp: LbmDecomposition { nx: 64, ny: 64, nz: 64, ranks: 8 },
+            decomp: LbmDecomposition {
+                nx: 64,
+                ny: 64,
+                nz: 64,
+                ranks: 8,
+            },
             nodes: 2,
             ppn: 4,
             core_bw_bps: 6.5e9,
@@ -454,7 +470,11 @@ mod tests {
             seed: 42,
         };
         let tl = lbm_timeline(&cfg, &[1, 50, 200, 9999]);
-        assert_eq!(tl.snapshots.len(), 3, "out-of-range snapshot must be dropped");
+        assert_eq!(
+            tl.snapshots.len(),
+            3,
+            "out-of-range snapshot must be dropped"
+        );
         assert_eq!(tl.snapshots[0].step, 1);
         assert_eq!(tl.snapshots[0].finish.len(), 8);
         // Later snapshots happen later.
@@ -462,7 +482,11 @@ mod tests {
         // Model prediction is monotone too.
         assert!(tl.snapshots[2].model > tl.snapshots[1].model);
         // The run should not be wildly slower than the model.
-        assert!(tl.speedup_vs_model > -0.5, "speedup {}", tl.speedup_vs_model);
+        assert!(
+            tl.speedup_vs_model > -0.5,
+            "speedup {}",
+            tl.speedup_vs_model
+        );
     }
 
     #[test]

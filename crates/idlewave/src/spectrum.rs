@@ -48,7 +48,10 @@ pub fn rank_spectrum(signal: &[f64]) -> Vec<Component> {
             // Amplitude normalisation: a pure sine of amplitude A at
             // mode k yields amplitude A.
             let amp = 2.0 * (re * re + im * im).sqrt() / n as f64;
-            Component { mode, amplitude: amp }
+            Component {
+                mode,
+                amplitude: amp,
+            }
         })
         .collect()
 }
@@ -57,7 +60,11 @@ pub fn rank_spectrum(signal: &[f64]) -> Vec<Component> {
 pub fn dominant_mode(signal: &[f64]) -> Component {
     rank_spectrum(signal)
         .into_iter()
-        .max_by(|a, b| a.amplitude.partial_cmp(&b.amplitude).expect("finite amplitudes"))
+        .max_by(|a, b| {
+            a.amplitude
+                .partial_cmp(&b.amplitude)
+                .expect("finite amplitudes")
+        })
         .expect("non-empty spectrum")
 }
 

@@ -51,7 +51,11 @@ pub fn measure_speed(
         .map(|(i, a)| (a.time.as_secs_f64(), (i + 1) as f64))
         .collect();
     let fit: LineFit = linear_fit(&points)?;
-    Some(SpeedFit { ranks_per_sec: fit.slope, r2: fit.r2, hops: arrivals.len() })
+    Some(SpeedFit {
+        ranks_per_sec: fit.slope,
+        r2: fit.r2,
+        hops: arrivals.len(),
+    })
 }
 
 /// Measured-vs-model comparison for one configuration.
@@ -99,7 +103,11 @@ mod tests {
             .texec(MS.times(3))
             .steps(24)
             .inject(2 * distance + 1, 0, MS.times(12));
-        e = if rendezvous { e.rendezvous() } else { e.eager() };
+        e = if rendezvous {
+            e.rendezvous()
+        } else {
+            e.eager()
+        };
         let wt = e.run();
         let th = wt.default_threshold();
         compare_with_model(&wt, 2 * distance + 1, th).expect("fit must exist")
@@ -117,7 +125,11 @@ mod tests {
         let eager = measure(Direction::Bidirectional, false, 1, 24);
         let rdv = measure(Direction::Bidirectional, true, 1, 24);
         // Each matches its own prediction (which already contains sigma)...
-        assert!((eager.ratio - 1.0).abs() < 0.05, "eager ratio {}", eager.ratio);
+        assert!(
+            (eager.ratio - 1.0).abs() < 0.05,
+            "eager ratio {}",
+            eager.ratio
+        );
         assert!((rdv.ratio - 1.0).abs() < 0.05, "rdv ratio {}", rdv.ratio);
         // ...and the rendezvous wave is really ~2x faster in ranks/s.
         let speedup = rdv.measured / eager.measured;

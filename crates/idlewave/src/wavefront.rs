@@ -98,12 +98,7 @@ pub fn arrivals_from(
 
 /// Number of ranks the wave visibly reached walking in `walk` direction —
 /// the survival distance used in decay analyses.
-pub fn survival_distance(
-    wt: &WaveTrace,
-    source: u32,
-    walk: Walk,
-    threshold: SimDuration,
-) -> u32 {
+pub fn survival_distance(wt: &WaveTrace, source: u32, walk: Walk, threshold: SimDuration) -> u32 {
     arrivals_from(wt, source, walk, threshold).len() as u32
 }
 

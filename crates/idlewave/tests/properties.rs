@@ -1,60 +1,69 @@
 //! Property-based tests of the analysis layer: Eq. (2) must hold on a
 //! silent system for any configuration in its domain, wave fronts must be
 //! causally ordered, and elimination accounting must balance.
+//!
+//! Driven by the in-tree `simdes::check` harness.
 
 use idlewave::wavefront::{arrivals_from, Walk};
 use idlewave::{model, speed, WaveExperiment};
-use proptest::prelude::*;
+use simdes::check::for_all;
 use simdes::SimDuration;
 use workload::{Boundary, Direction};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Eq. (2) within a few percent on a silent chain, for any
-    /// direction × protocol × distance × T_exec in the supported grid.
-    #[test]
-    fn eq2_holds_on_silent_systems(
-        bidirectional in any::<bool>(),
-        rendezvous in any::<bool>(),
-        distance in 1u32..3,
-        texec_ms in 1u64..6,
-    ) {
+/// Eq. (2) within a few percent on a silent chain, for any
+/// direction × protocol × distance × T_exec in the supported grid.
+#[test]
+fn eq2_holds_on_silent_systems() {
+    for_all("eq2_holds_on_silent_systems", 24, |g| {
+        let bidirectional = g.bool();
+        let rendezvous = g.bool();
+        let distance = g.u32(1, 2);
+        let texec_ms = g.u64(1, 5);
         let ranks = 16 + 8 * distance; // room for a clean fit
         let source = 2 * distance + 1;
         let mut e = WaveExperiment::flat_chain(ranks)
-            .direction(if bidirectional { Direction::Bidirectional } else { Direction::Unidirectional })
+            .direction(if bidirectional {
+                Direction::Bidirectional
+            } else {
+                Direction::Unidirectional
+            })
             .boundary(Boundary::Open)
             .distance(distance)
             .texec(SimDuration::from_millis(texec_ms))
             .steps(26)
             .inject(source, 0, SimDuration::from_millis(texec_ms * 5));
-        e = if rendezvous { e.rendezvous() } else { e.eager() };
+        e = if rendezvous {
+            e.rendezvous()
+        } else {
+            e.eager()
+        };
         let wt = e.run();
         let th = wt.default_threshold();
-        let cmp = speed::compare_with_model(&wt, source, th)
-            .expect("wave must reach enough ranks");
-        prop_assert!(
+        let cmp = speed::compare_with_model(&wt, source, th).expect("wave must reach enough ranks");
+        assert!(
             (cmp.ratio - 1.0).abs() < 0.10,
             "Eq. 2 violated: measured {} predicted {} (ratio {})",
-            cmp.measured, cmp.predicted, cmp.ratio
+            cmp.measured,
+            cmp.predicted,
+            cmp.ratio
         );
         // With sigma*d ranks arriving per step the front is a staircase,
         // which bounds the linear fit's R^2 away from 1; 0.9 still means
         // "constant speed" at these scales.
-        prop_assert!(cmp.r2 > 0.9, "speed not constant: r2 {}", cmp.r2);
-    }
+        assert!(cmp.r2 > 0.9, "speed not constant: r2 {}", cmp.r2);
+    });
+}
 
-    /// On a silent system wave arrivals are strictly ordered in time and
-    /// step along the walk; under noise the detector may fire on noise
-    /// spikes, so there we only require positive amplitudes.
-    #[test]
-    fn arrivals_are_causally_ordered(
-        source in 2u32..10,
-        delay_phases in 2u64..8,
-        noise_pct in 0u32..10,
-        seed in any::<u64>(),
-    ) {
+/// On a silent system wave arrivals are strictly ordered in time and
+/// step along the walk; under noise the detector may fire on noise
+/// spikes, so there we only require positive amplitudes.
+#[test]
+fn arrivals_are_causally_ordered() {
+    for_all("arrivals_are_causally_ordered", 24, |g| {
+        let source = g.u32(2, 9);
+        let delay_phases = g.u64(2, 7);
+        let noise_pct = g.u32(0, 9);
+        let seed = g.any_u64();
         let texec = SimDuration::from_millis(2);
         let wt = WaveExperiment::flat_chain(16)
             .direction(Direction::Bidirectional)
@@ -69,21 +78,24 @@ proptest! {
             let arr = arrivals_from(&wt, source, walk, th);
             if noise_pct == 0 {
                 for w in arr.windows(2) {
-                    prop_assert!(w[1].time >= w[0].time, "{walk:?} arrivals out of order");
-                    prop_assert!(w[1].step >= w[0].step);
+                    assert!(w[1].time >= w[0].time, "{walk:?} arrivals out of order");
+                    assert!(w[1].step >= w[0].step);
                 }
             }
             for a in &arr {
-                prop_assert!(a.amplitude > SimDuration::ZERO);
-                prop_assert!(a.rank != source);
+                assert!(a.amplitude > SimDuration::ZERO);
+                assert!(a.rank != source);
             }
         }
-    }
+    });
+}
 
-    /// sigma is 2 exactly for bidirectional rendezvous, matching the
-    /// measured front on a silent system.
-    #[test]
-    fn sigma_table_is_consistent_with_measurement(texec_ms in 2u64..5) {
+/// sigma is 2 exactly for bidirectional rendezvous, matching the
+/// measured front on a silent system.
+#[test]
+fn sigma_table_is_consistent_with_measurement() {
+    for_all("sigma_table_is_consistent_with_measurement", 3, |g| {
+        let texec_ms = g.u64(2, 4);
         let texec = SimDuration::from_millis(texec_ms);
         let delay = texec.times(5);
         let speed_of = |dir: Direction, rdv: bool| {
@@ -95,7 +107,9 @@ proptest! {
             e = if rdv { e.rendezvous() } else { e.eager() };
             let wt = e.run();
             let th = wt.default_threshold();
-            speed::measure_speed(&wt, 5, Walk::Up, th).unwrap().ranks_per_sec
+            speed::measure_speed(&wt, 5, Walk::Up, th)
+                .unwrap()
+                .ranks_per_sec
         };
         let base = speed_of(Direction::Unidirectional, false);
         for (dir, rdv, sigma) in [
@@ -106,20 +120,32 @@ proptest! {
             let v = speed_of(dir, rdv);
             // Rendezvous adds a little handshake time to the period, so
             // compare loosely.
-            prop_assert!(
+            assert!(
                 (v / base - sigma).abs() < 0.12 * sigma,
-                "{dir:?} rdv={rdv}: speed ratio {} expected ~{sigma}", v / base
+                "{dir:?} rdv={rdv}: speed ratio {} expected ~{sigma}",
+                v / base
             );
         }
-    }
+    });
+}
 
-    /// The analytic model is homogeneous: scaling T_exec + T_comm scales
-    /// the speed inversely.
-    #[test]
-    fn v_silent_scaling(sigma in 1u32..3, d in 1u32..5, t_us in 100u64..100_000, k in 2u64..10) {
+/// The analytic model is homogeneous: scaling T_exec + T_comm scales
+/// the speed inversely.
+#[test]
+fn v_silent_scaling() {
+    for_all("v_silent_scaling", 24, |g| {
+        let sigma = g.u32(1, 2);
+        let d = g.u32(1, 4);
+        let t_us = g.u64(100, 99_999);
+        let k = g.u64(2, 9);
         let t = SimDuration::from_micros(t_us);
         let v1 = model::v_silent(sigma, d, t, SimDuration::ZERO);
-        let vk = model::v_silent(sigma, d, SimDuration::from_micros(t_us * k), SimDuration::ZERO);
-        prop_assert!((v1 / vk - k as f64).abs() < 1e-6);
-    }
+        let vk = model::v_silent(
+            sigma,
+            d,
+            SimDuration::from_micros(t_us * k),
+            SimDuration::ZERO,
+        );
+        assert!((v1 / vk - k as f64).abs() < 1e-6);
+    });
 }

@@ -9,7 +9,7 @@
 //! cluster simulator, while the real solver (`D3Q19`) validates the
 //! physics and per-cell cost structure at small scale.
 
-use serde::{Deserialize, Serialize};
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 use crate::lattice::Q;
 
@@ -19,7 +19,7 @@ use crate::lattice::Q;
 pub const BYTES_PER_CELL: u64 = 2 * Q as u64 * 8;
 
 /// A 1-D slab decomposition of a periodic D3Q19 box.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LbmDecomposition {
     /// Global lattice extent along the (decomposed) outer dimension.
     pub nx: u64,
@@ -34,7 +34,12 @@ pub struct LbmDecomposition {
 impl LbmDecomposition {
     /// The paper's Fig. 2 configuration: 302³ cells on 100 ranks.
     pub fn paper_fig2() -> Self {
-        LbmDecomposition { nx: 302, ny: 302, nz: 302, ranks: 100 }
+        LbmDecomposition {
+            nx: 302,
+            ny: 302,
+            nz: 302,
+            ranks: 100,
+        }
     }
 
     /// Total number of lattice cells.
@@ -71,6 +76,28 @@ impl LbmDecomposition {
     /// ~200 flops between moments, equilibria and relaxation).
     pub fn flops_per_cell() -> u64 {
         200
+    }
+}
+
+impl ToJson for LbmDecomposition {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("nx", self.nx.to_json()),
+            ("ny", self.ny.to_json()),
+            ("nz", self.nz.to_json()),
+            ("ranks", self.ranks.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LbmDecomposition {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(LbmDecomposition {
+            nx: u64::from_json(v.field("nx")?)?,
+            ny: u64::from_json(v.field("ny")?)?,
+            nz: u64::from_json(v.field("nz")?)?,
+            ranks: u32::from_json(v.field("ranks")?)?,
+        })
     }
 }
 
@@ -112,7 +139,12 @@ mod tests {
 
     #[test]
     fn smaller_boxes_scale_down() {
-        let d = LbmDecomposition { nx: 64, ny: 64, nz: 64, ranks: 8 };
+        let d = LbmDecomposition {
+            nx: 64,
+            ny: 64,
+            nz: 64,
+            ranks: 8,
+        };
         assert_eq!(d.cells_per_rank(), 64 * 64 * 64 / 8);
         assert!(d.working_set_bytes() < LbmDecomposition::paper_fig2().working_set_bytes());
     }

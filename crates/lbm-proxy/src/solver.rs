@@ -33,8 +33,14 @@ impl D3Q19 {
     /// A quiescent fluid (ρ = 1, u = 0) in an `nx × ny × nz` periodic box
     /// with relaxation rate `omega` (0 < ω < 2 for stability).
     pub fn new(nx: usize, ny: usize, nz: usize, omega: f64) -> Self {
-        assert!(nx >= 2 && ny >= 2 && nz >= 2, "box too small: {nx}x{ny}x{nz}");
-        assert!(omega > 0.0 && omega < 2.0, "unstable relaxation rate {omega}");
+        assert!(
+            nx >= 2 && ny >= 2 && nz >= 2,
+            "box too small: {nx}x{ny}x{nz}"
+        );
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "unstable relaxation rate {omega}"
+        );
         let ncells = nx * ny * nz;
         let mut f = vec![0.0; ncells * Q];
         for cell in 0..ncells {
@@ -43,7 +49,15 @@ impl D3Q19 {
             }
         }
         let g = f.clone();
-        D3Q19 { nx, ny, nz, omega, f, g, steps_done: 0 }
+        D3Q19 {
+            nx,
+            ny,
+            nz,
+            omega,
+            f,
+            g,
+            steps_done: 0,
+        }
     }
 
     /// Initialise with an explicit velocity field at unit density (each
@@ -113,7 +127,7 @@ impl D3Q19 {
     }
 
     /// One fused stream-collide step with the output lattice split into
-    /// contiguous z-slabs across `threads` crossbeam threads.
+    /// contiguous z-slabs across `threads` scoped threads.
     pub fn step_parallel(&mut self, threads: usize) {
         assert!(threads >= 1, "need at least one thread");
         if threads == 1 || self.nz < threads {
@@ -125,10 +139,10 @@ impl D3Q19 {
         let planes_per = nz.div_ceil(threads);
         let f = &self.f;
         let chunks = self.g.chunks_mut(planes_per * plane);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, chunk) in chunks.enumerate() {
                 let z0 = ci * planes_per;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let zn = z0 + chunk.len() / plane;
                     for z in z0..zn {
                         for y in 0..ny {
@@ -150,8 +164,7 @@ impl D3Q19 {
                     }
                 });
             }
-        })
-        .expect("LBM worker panicked");
+        });
         std::mem::swap(&mut self.f, &mut self.g);
         self.steps_done += 1;
     }
@@ -288,7 +301,12 @@ mod tests {
         assert!((s.total_mass() - m0).abs() / m0 < 1e-12);
         let p1 = s.total_momentum();
         for k in 0..3 {
-            assert!((p1[k] - p0[k]).abs() < 1e-10, "momentum {k}: {} -> {}", p0[k], p1[k]);
+            assert!(
+                (p1[k] - p0[k]).abs() < 1e-10,
+                "momentum {k}: {} -> {}",
+                p0[k],
+                p1[k]
+            );
         }
     }
 
@@ -337,7 +355,10 @@ mod tests {
             serial.step();
             parallel.step_parallel(4);
         }
-        assert_eq!(serial.f, parallel.f, "parallel result must be bit-identical");
+        assert_eq!(
+            serial.f, parallel.f,
+            "parallel result must be bit-identical"
+        );
     }
 
     #[test]

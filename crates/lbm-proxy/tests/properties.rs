@@ -1,22 +1,25 @@
 //! Property-based physics tests: conservation laws must hold for any
 //! (stable) initial condition, box shape and relaxation rate, and the
 //! parallel kernel must agree with the serial one everywhere.
+//!
+//! Driven by the in-tree `simdes::check` harness.
 
-use lbm_proxy::{D3Q19, LbmDecomposition};
-use proptest::prelude::*;
+use lbm_proxy::{LbmDecomposition, D3Q19};
+use simdes::check::{for_all, Gen, DEFAULT_CASES};
 
-fn boxes() -> impl Strategy<Value = (usize, usize, usize, f64)> {
-    (2usize..7, 2usize..7, 2usize..9, 0.5f64..1.9)
+/// Draw a small box: (nx, ny, nz, omega) with omega in the stable range.
+fn small_box(g: &mut Gen) -> (usize, usize, usize, f64) {
+    (g.usize(2, 6), g.usize(2, 6), g.usize(2, 8), g.f64(0.5, 1.9))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Mass and momentum are conserved for arbitrary smooth low-Mach
-    /// initial fields.
-    #[test]
-    fn conservation_laws((nx, ny, nz, omega) in boxes(),
-                         ax in -0.02f64..0.02, az in -0.02f64..0.02) {
+/// Mass and momentum are conserved for arbitrary smooth low-Mach
+/// initial fields.
+#[test]
+fn conservation_laws() {
+    for_all("conservation_laws", 24, |g| {
+        let (nx, ny, nz, omega) = small_box(g);
+        let ax = g.f64(-0.02, 0.02);
+        let az = g.f64(-0.02, 0.02);
         let mut s = D3Q19::with_velocity_field(nx, ny, nz, omega, |x, _, z| {
             [
                 ax * (x as f64 * 0.9).sin(),
@@ -29,17 +32,21 @@ proptest! {
         for _ in 0..8 {
             s.step();
         }
-        prop_assert!((s.total_mass() - m0).abs() / m0 < 1e-12);
+        assert!((s.total_mass() - m0).abs() / m0 < 1e-12);
         let p1 = s.total_momentum();
         for k in 0..3 {
-            prop_assert!((p1[k] - p0[k]).abs() < 1e-9, "momentum {k}");
+            assert!((p1[k] - p0[k]).abs() < 1e-9, "momentum {k}");
         }
-    }
+    });
+}
 
-    /// Parallel stepping is bit-identical to serial stepping for any box
-    /// and thread count.
-    #[test]
-    fn parallel_equals_serial((nx, ny, nz, omega) in boxes(), threads in 1usize..6) {
+/// Parallel stepping is bit-identical to serial stepping for any box
+/// and thread count.
+#[test]
+fn parallel_equals_serial() {
+    for_all("parallel_equals_serial", 24, |g| {
+        let (nx, ny, nz, omega) = small_box(g);
+        let threads = g.usize(1, 5);
         let field = |x: usize, y: usize, z: usize| {
             [
                 0.01 * ((x + 2 * y) as f64 * 0.37).sin(),
@@ -56,17 +63,20 @@ proptest! {
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    prop_assert_eq!(a.velocity(x, y, z), b.velocity(x, y, z));
-                    prop_assert_eq!(a.density(x, y, z), b.density(x, y, z));
+                    assert_eq!(a.velocity(x, y, z), b.velocity(x, y, z));
+                    assert_eq!(a.density(x, y, z), b.density(x, y, z));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Densities stay positive and near unity for low-Mach flows (a
-    /// stability smoke test across the legal omega range).
-    #[test]
-    fn densities_stay_physical((nx, ny, nz, omega) in boxes()) {
+/// Densities stay positive and near unity for low-Mach flows (a
+/// stability smoke test across the legal omega range).
+#[test]
+fn densities_stay_physical() {
+    for_all("densities_stay_physical", 24, |g| {
+        let (nx, ny, nz, omega) = small_box(g);
         let mut s = D3Q19::with_velocity_field(nx, ny, nz, omega, |x, y, z| {
             [
                 0.02 * ((x * y) as f64 * 0.21).sin(),
@@ -81,21 +91,26 @@ proptest! {
             for y in 0..ny {
                 for x in 0..nx {
                     let rho = s.density(x, y, z);
-                    prop_assert!((0.8..1.2).contains(&rho), "rho {rho} at ({x},{y},{z})");
+                    assert!((0.8..1.2).contains(&rho), "rho {rho} at ({x},{y},{z})");
                 }
             }
         }
-    }
+    });
+}
 
-    /// The decomposition arithmetic is exact for any divisible problem.
-    #[test]
-    fn decomposition_arithmetic(nx in 4u64..512, ny in 4u64..512, nz in 4u64..512,
-                                ranks in 1u32..64) {
+/// The decomposition arithmetic is exact for any divisible problem.
+#[test]
+fn decomposition_arithmetic() {
+    for_all("decomposition_arithmetic", DEFAULT_CASES, |g| {
+        let nx = g.u64(4, 511);
+        let ny = g.u64(4, 511);
+        let nz = g.u64(4, 511);
+        let ranks = g.u32(1, 63);
         let d = LbmDecomposition { nx, ny, nz, ranks };
-        prop_assert_eq!(d.total_cells(), nx * ny * nz);
-        prop_assert_eq!(d.cells_per_rank(), nx * ny * nz / u64::from(ranks));
-        prop_assert_eq!(d.traffic_bytes_per_rank(), d.cells_per_rank() * 304);
-        prop_assert_eq!(d.halo_bytes_per_neighbor(), ny * nz * 19 * 8);
-        prop_assert_eq!(d.working_set_bytes(), 2 * d.total_cells() * 19 * 8);
-    }
+        assert_eq!(d.total_cells(), nx * ny * nz);
+        assert_eq!(d.cells_per_rank(), nx * ny * nz / u64::from(ranks));
+        assert_eq!(d.traffic_bytes_per_rank(), d.cells_per_rank() * 304);
+        assert_eq!(d.halo_bytes_per_neighbor(), ny * nz * 19 * 8);
+        assert_eq!(d.working_set_bytes(), 2 * d.total_cells() * 19 * 8);
+    });
 }

@@ -8,12 +8,12 @@
 
 use netmodel::ClusterNetwork;
 use noise_model::{DelayDistribution, InjectionPlan};
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
+use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
 use workload::{CommPattern, CommSchedule, ExecModel};
 
 /// Message-passing protocol selection (paper Sec. II-C1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
     /// Force the eager protocol for every message: sends complete
     /// immediately (internal buffering), no handshake.
@@ -31,7 +31,7 @@ pub enum Protocol {
 }
 
 /// The concrete mode chosen for a message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Buffered send, no handshake.
     Eager,
@@ -61,7 +61,7 @@ impl Protocol {
 
 /// Where sampled noise is applied — an ablation knob (DESIGN.md §5.2). The
 /// paper injects noise into execution phases only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NoisePlacement {
     /// Lengthen execution phases only (the paper's method, Eq. 3).
     #[default]
@@ -71,7 +71,7 @@ pub enum NoisePlacement {
 }
 
 /// Full description of one simulated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// The placed job: machine shape, rank count, link models.
     pub network: ClusterNetwork,
@@ -83,7 +83,6 @@ pub struct SimConfig {
     /// for arbitrary graphs and should not be consulted). This is the
     /// paper's future-work hook: collectives decompose into per-round
     /// graphs (see `workload::CommSchedule`).
-    #[serde(default)]
     pub schedule: Option<CommSchedule>,
     /// Message payload size in bytes (identical for all pairs, as in all
     /// of the paper's experiments).
@@ -112,13 +111,11 @@ pub struct SimConfig {
     /// communication volume — but essential for the bandwidth-heavy
     /// Fig. 1/2 reproductions, where the optimistic Eq. 1 model ignores
     /// exactly this serialisation.
-    #[serde(default)]
     pub serialize_sends: bool,
     /// Per-rank multiplicative load imbalance: the work part of rank
     /// `r`'s execution phase is scaled by `imbalance[r]` (1.0 = balanced;
     /// the paper classifies manifest per-phase load imbalance as an
     /// application-induced delay, Sec. II-A). Empty = perfectly balanced.
-    #[serde(default)]
     pub imbalance: Vec<f64>,
     /// Master seed for all random streams.
     pub seed: u64,
@@ -134,8 +131,12 @@ impl SimConfig {
             pattern,
             schedule: None,
             msg_bytes: 8192,
-            protocol: Protocol::Auto { eager_limit: Protocol::PAPER_EAGER_LIMIT },
-            exec: ExecModel::Compute { duration: SimDuration::from_millis(3) },
+            protocol: Protocol::Auto {
+                eager_limit: Protocol::PAPER_EAGER_LIMIT,
+            },
+            exec: ExecModel::Compute {
+                duration: SimDuration::from_millis(3),
+            },
             steps,
             injections: InjectionPlan::none(),
             noise: DelayDistribution::None,
@@ -200,6 +201,126 @@ impl SimConfig {
     }
 }
 
+impl ToJson for Protocol {
+    fn to_json(&self) -> Json {
+        match *self {
+            Protocol::Eager => Json::Str("Eager".into()),
+            Protocol::Rendezvous => Json::Str("Rendezvous".into()),
+            Protocol::Auto { eager_limit } => Json::obj(vec![(
+                "Auto",
+                Json::obj(vec![("eager_limit", eager_limit.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Protocol {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let (variant, p) = v.expect_variant()?;
+        match variant {
+            "Eager" => Ok(Protocol::Eager),
+            "Rendezvous" => Ok(Protocol::Rendezvous),
+            "Auto" => Ok(Protocol::Auto {
+                eager_limit: u64::from_json(p.field("eager_limit")?)?,
+            }),
+            other => Err(json::JsonError(format!(
+                "unknown Protocol variant '{other}'"
+            ))),
+        }
+    }
+}
+
+impl ToJson for Mode {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Mode::Eager => "Eager",
+                Mode::Rendezvous => "Rendezvous",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Mode {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        match v.expect_variant()?.0 {
+            "Eager" => Ok(Mode::Eager),
+            "Rendezvous" => Ok(Mode::Rendezvous),
+            other => Err(json::JsonError(format!("unknown Mode variant '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for NoisePlacement {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                NoisePlacement::ExecOnly => "ExecOnly",
+                NoisePlacement::ExecAndComm => "ExecAndComm",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for NoisePlacement {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        match v.expect_variant()?.0 {
+            "ExecOnly" => Ok(NoisePlacement::ExecOnly),
+            "ExecAndComm" => Ok(NoisePlacement::ExecAndComm),
+            other => Err(json::JsonError(format!(
+                "unknown NoisePlacement variant '{other}'"
+            ))),
+        }
+    }
+}
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("network", self.network.to_json()),
+            ("pattern", self.pattern.to_json()),
+            ("schedule", self.schedule.to_json()),
+            ("msg_bytes", self.msg_bytes.to_json()),
+            ("protocol", self.protocol.to_json()),
+            ("exec", self.exec.to_json()),
+            ("steps", self.steps.to_json()),
+            ("injections", self.injections.to_json()),
+            ("noise", self.noise.to_json()),
+            ("noise_placement", self.noise_placement.to_json()),
+            ("eager_buffer_bytes", self.eager_buffer_bytes.to_json()),
+            ("serialize_sends", self.serialize_sends.to_json()),
+            ("imbalance", self.imbalance.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimConfig {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        // `schedule`, `serialize_sends`, and `imbalance` were late additions
+        // to the format: configs written before them still parse, with the
+        // neutral default filled in.
+        Ok(SimConfig {
+            network: ClusterNetwork::from_json(v.field("network")?)?,
+            pattern: CommPattern::from_json(v.field("pattern")?)?,
+            schedule: field_or_default(v, "schedule")?,
+            msg_bytes: u64::from_json(v.field("msg_bytes")?)?,
+            protocol: Protocol::from_json(v.field("protocol")?)?,
+            exec: ExecModel::from_json(v.field("exec")?)?,
+            steps: u32::from_json(v.field("steps")?)?,
+            injections: InjectionPlan::from_json(v.field("injections")?)?,
+            noise: DelayDistribution::from_json(v.field("noise")?)?,
+            noise_placement: field_or_default(v, "noise_placement")?,
+            eager_buffer_bytes: field_or_default(v, "eager_buffer_bytes")?,
+            serialize_sends: field_or_default(v, "serialize_sends")?,
+            imbalance: field_or_default(v, "imbalance")?,
+            seed: u64::from_json(v.field("seed")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,14 +330,19 @@ mod tests {
         let net = presets::loggopsim_like(8);
         SimConfig::baseline(
             net,
-            CommPattern::next_neighbor(workload::Direction::Unidirectional, workload::Boundary::Open),
+            CommPattern::next_neighbor(
+                workload::Direction::Unidirectional,
+                workload::Boundary::Open,
+            ),
             5,
         )
     }
 
     #[test]
     fn protocol_auto_switches_at_limit() {
-        let p = Protocol::Auto { eager_limit: 131_072 };
+        let p = Protocol::Auto {
+            eager_limit: 131_072,
+        };
         assert_eq!(p.mode_for(8_192), Mode::Eager);
         assert_eq!(p.mode_for(131_072), Mode::Eager);
         assert_eq!(p.mode_for(131_073), Mode::Rendezvous);
@@ -262,11 +388,37 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let c = cfg();
-        let json = serde_json::to_string(&c).unwrap();
-        let mut back: SimConfig = serde_json::from_str(&json).unwrap();
-        back.injections.reindex();
+        let json = tracefmt::json::to_string(&c);
+        let back: SimConfig = tracefmt::json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn json_defaults_fill_missing_optional_fields() {
+        // A config written before `schedule` / `serialize_sends` /
+        // `imbalance` / `noise_placement` existed must still parse.
+        let c = cfg();
+        let full = c.to_json();
+        let trimmed = Json::Object(
+            full.expect_object()
+                .unwrap()
+                .iter()
+                .filter(|(k, _)| {
+                    !matches!(
+                        k.as_str(),
+                        "schedule"
+                            | "serialize_sends"
+                            | "imbalance"
+                            | "noise_placement"
+                            | "eager_buffer_bytes"
+                    )
+                })
+                .cloned()
+                .collect(),
+        );
+        let back = SimConfig::from_json(&trimmed).unwrap();
         assert_eq!(c, back);
     }
 }

@@ -41,8 +41,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use rand::rngs::SmallRng;
-use simdes::{EventQueue, SeedFactory, SimDuration, SimTime};
+use simdes::{EventQueue, SeedFactory, SimDuration, SimRng, SimTime};
 use tracefmt::{PhaseRecord, Trace};
 use workload::ExecModel;
 
@@ -61,11 +60,19 @@ enum Ev {
     /// A rendezvous ready-to-send control message reaches the receiver.
     RtsArrive { src: u32, dst: u32, step: u32 },
     /// A clear-to-send control message reaches the data sender.
-    CtsArrive { sender: u32, receiver: u32, step: u32 },
+    CtsArrive {
+        sender: u32,
+        receiver: u32,
+        step: u32,
+    },
     /// An eager payload reaches the receiver.
     EagerArrive { src: u32, dst: u32, step: u32 },
     /// A rendezvous payload transfer completes (both endpoints).
-    XferDone { sender: u32, receiver: u32, step: u32 },
+    XferDone {
+        sender: u32,
+        receiver: u32,
+        step: u32,
+    },
 }
 
 /// Lifecycle of one posted request.
@@ -111,8 +118,8 @@ struct RankState {
     remaining_bytes: f64,
     /// Memory-bound: last time `remaining_bytes` was integrated.
     last_update: SimTime,
-    rng: SmallRng,
-    comm_rng: SmallRng,
+    rng: SimRng,
+    comm_rng: SimRng,
 }
 
 /// Resource statistics of a completed simulation.
@@ -224,7 +231,10 @@ impl Engine {
                 .filter(|&r| self.ranks[r as usize].phase != Phase::Done)
                 .map(|r| {
                     let s = &self.ranks[r as usize];
-                    format!("rank {r}: step {} phase {:?} reqs {:?}", s.step, s.phase, s.reqs)
+                    format!(
+                        "rank {r}: step {} phase {:?} reqs {:?}",
+                        s.step, s.phase, s.reqs
+                    )
                 })
                 .collect();
             panic!(
@@ -254,9 +264,17 @@ impl Engine {
                 }
             }
             Ev::RtsArrive { src, dst, step } => self.on_rts(src, dst, step, now),
-            Ev::CtsArrive { sender, receiver, step } => self.on_cts(sender, receiver, step, now),
+            Ev::CtsArrive {
+                sender,
+                receiver,
+                step,
+            } => self.on_cts(sender, receiver, step, now),
             Ev::EagerArrive { src, dst, step } => self.on_eager(src, dst, step, now),
-            Ev::XferDone { sender, receiver, step } => self.on_xfer_done(sender, receiver, step, now),
+            Ev::XferDone {
+                sender,
+                receiver,
+                step,
+            } => self.on_xfer_done(sender, receiver, step, now),
         }
     }
 
@@ -349,7 +367,13 @@ impl Engine {
             let st = &mut self.ranks[m as usize];
             st.epoch += 1;
             let finish = now + SimDuration::from_secs_f64(st.remaining_bytes / rate);
-            self.q.schedule_at(finish, Ev::WorkEnd { rank: m, epoch: st.epoch });
+            self.q.schedule_at(
+                finish,
+                Ev::WorkEnd {
+                    rank: m,
+                    epoch: st.epoch,
+                },
+            );
         }
     }
 
@@ -365,7 +389,10 @@ impl Engine {
         let (recv_partners, send_partners) = match &self.cfg.schedule {
             Some(sched) => {
                 let g = sched.graph_for(step);
-                (g.recv_partners(rank).to_vec(), g.send_partners(rank).to_vec())
+                (
+                    g.recv_partners(rank).to_vec(),
+                    g.send_partners(rank).to_vec(),
+                )
             }
             None => (
                 self.cfg.pattern.recv_partners(rank, nranks),
@@ -410,21 +437,37 @@ impl Engine {
             let state = match mode {
                 Mode::Eager => {
                     self.stats.messages += 1;
-                    *self.outstanding_eager.entry((rank, dst)).or_insert(0) +=
-                        self.cfg.msg_bytes;
+                    *self.outstanding_eager.entry((rank, dst)).or_insert(0) += self.cfg.msg_bytes;
                     let arrive = self.launch_transfer(rank, dst, now);
-                    self.q
-                        .schedule_at(arrive, Ev::EagerArrive { src: rank, dst, step });
+                    self.q.schedule_at(
+                        arrive,
+                        Ev::EagerArrive {
+                            src: rank,
+                            dst,
+                            step,
+                        },
+                    );
                     ReqState::Complete
                 }
                 Mode::Rendezvous => {
                     let dt = self.cfg.network.ctrl_latency(rank, dst);
-                    self.q
-                        .schedule_at(now + dt, Ev::RtsArrive { src: rank, dst, step });
+                    self.q.schedule_at(
+                        now + dt,
+                        Ev::RtsArrive {
+                            src: rank,
+                            dst,
+                            step,
+                        },
+                    );
                     ReqState::Unmatched
                 }
             };
-            reqs.push(Request { peer: dst, is_send: true, mode, state });
+            reqs.push(Request {
+                peer: dst,
+                is_send: true,
+                mode,
+                state,
+            });
         }
 
         self.ranks[rank as usize].reqs = reqs;
@@ -522,8 +565,14 @@ impl Engine {
                     }
                 }
                 let dt = self.cfg.network.ctrl_latency(rank, sender);
-                self.q
-                    .schedule_at(now + dt, Ev::CtsArrive { sender, receiver: rank, step });
+                self.q.schedule_at(
+                    now + dt,
+                    Ev::CtsArrive {
+                        sender,
+                        receiver: rank,
+                        step,
+                    },
+                );
             }
         }
         let complete = self.ranks[rank as usize]
@@ -599,8 +648,14 @@ impl Engine {
         }
         self.stats.messages += 1;
         let done = self.launch_transfer(sender, receiver, now);
-        self.q
-            .schedule_at(done, Ev::XferDone { sender, receiver, step });
+        self.q.schedule_at(
+            done,
+            Ev::XferDone {
+                sender,
+                receiver,
+                step,
+            },
+        );
     }
 
     fn on_eager(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {

@@ -23,7 +23,7 @@ pub mod reference;
 
 pub use config::{Mode, NoisePlacement, Protocol, SimConfig};
 pub use engine::{run, Engine, RunStats};
-pub use reference::reference_trace;
 pub use nominal::{
     nominal_comm_duration, nominal_exec_duration, nominal_message_time, nominal_step_duration,
 };
+pub use reference::reference_trace;

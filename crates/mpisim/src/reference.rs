@@ -40,8 +40,7 @@
 //! pure rendezvous mode, regular patterns (no custom schedule), unbounded
 //! eager buffers, no send serialisation, noise on execution phases only.
 
-use rand::rngs::SmallRng;
-use simdes::{SeedFactory, SimDuration, SimTime};
+use simdes::{SeedFactory, SimDuration, SimRng, SimTime};
 use tracefmt::{PhaseRecord, Trace};
 use workload::ExecModel;
 
@@ -60,12 +59,18 @@ pub fn reference_trace(cfg: &SimConfig) -> Trace {
             panic!("reference recurrence covers compute-bound workloads only")
         }
     };
-    assert!(cfg.schedule.is_none(), "reference recurrence needs a regular pattern");
+    assert!(
+        cfg.schedule.is_none(),
+        "reference recurrence needs a regular pattern"
+    );
     assert!(
         cfg.eager_buffer_bytes.is_none(),
         "reference recurrence assumes unbounded eager buffers"
     );
-    assert!(!cfg.serialize_sends, "reference recurrence assumes overlapping sends");
+    assert!(
+        !cfg.serialize_sends,
+        "reference recurrence assumes overlapping sends"
+    );
     assert_eq!(
         cfg.noise_placement,
         NoisePlacement::ExecOnly,
@@ -76,7 +81,7 @@ pub fn reference_trace(cfg: &SimConfig) -> Trace {
     let n = cfg.ranks();
     let steps = cfg.steps;
     let seeds = SeedFactory::new(cfg.seed);
-    let mut rngs: Vec<SmallRng> = (0..n)
+    let mut rngs: Vec<SimRng> = (0..n)
         .map(|r| seeds.stream("exec-noise", u64::from(r)))
         .collect();
 
@@ -176,30 +181,47 @@ mod tests {
             8,
         );
         cfg.protocol = protocol;
-        cfg.exec = ExecModel::Compute { duration: SimDuration::from_millis(1) };
+        cfg.exec = ExecModel::Compute {
+            duration: SimDuration::from_millis(1),
+        };
         cfg
     }
 
     #[test]
     fn matches_engine_on_the_fig4_scenario() {
-        let mut cfg = base(12, Direction::Unidirectional, Boundary::Open, Protocol::Eager);
+        let mut cfg = base(
+            12,
+            Direction::Unidirectional,
+            Boundary::Open,
+            Protocol::Eager,
+        );
         cfg.injections = InjectionPlan::single(4, 0, SimDuration::from_millis(5));
         assert_eq!(run(&cfg), reference_trace(&cfg));
     }
 
     #[test]
     fn matches_engine_for_bidirectional_rendezvous_sigma2() {
-        let mut cfg =
-            base(14, Direction::Bidirectional, Boundary::Open, Protocol::Rendezvous);
+        let mut cfg = base(
+            14,
+            Direction::Bidirectional,
+            Boundary::Open,
+            Protocol::Rendezvous,
+        );
         cfg.injections = InjectionPlan::single(6, 0, SimDuration::from_millis(7));
         assert_eq!(run(&cfg), reference_trace(&cfg));
     }
 
     #[test]
     fn matches_engine_under_noise_and_imbalance() {
-        let mut cfg =
-            base(10, Direction::Bidirectional, Boundary::Periodic, Protocol::Rendezvous);
-        cfg.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(200) };
+        let mut cfg = base(
+            10,
+            Direction::Bidirectional,
+            Boundary::Periodic,
+            Protocol::Rendezvous,
+        );
+        cfg.noise = DelayDistribution::Exponential {
+            mean: SimDuration::from_micros(200),
+        };
         cfg.imbalance = (0..10).map(|r| 1.0 + 0.02 * f64::from(r)).collect();
         cfg.injections = InjectionPlan::single(3, 2, SimDuration::from_millis(4));
         assert_eq!(run(&cfg), reference_trace(&cfg));
@@ -208,15 +230,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "compute-bound")]
     fn memory_bound_is_outside_the_domain() {
-        let mut cfg = base(4, Direction::Unidirectional, Boundary::Open, Protocol::Eager);
-        cfg.exec = ExecModel::MemoryBound { bytes: 1, core_bw_bps: 1.0, socket_bw_bps: 1.0 };
+        let mut cfg = base(
+            4,
+            Direction::Unidirectional,
+            Boundary::Open,
+            Protocol::Eager,
+        );
+        cfg.exec = ExecModel::MemoryBound {
+            bytes: 1,
+            core_bw_bps: 1.0,
+            socket_bw_bps: 1.0,
+        };
         reference_trace(&cfg);
     }
 
     #[test]
     #[should_panic(expected = "unbounded eager buffers")]
     fn finite_buffers_are_outside_the_domain() {
-        let mut cfg = base(4, Direction::Unidirectional, Boundary::Open, Protocol::Eager);
+        let mut cfg = base(
+            4,
+            Direction::Unidirectional,
+            Boundary::Open,
+            Protocol::Eager,
+        );
         cfg.eager_buffer_bytes = Some(1);
         reference_trace(&cfg);
     }

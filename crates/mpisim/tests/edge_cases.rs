@@ -38,7 +38,10 @@ fn two_rank_open_chain_works() {
     let c = flat(2, Direction::Bidirectional, Boundary::Open, 5);
     let t = run(&c);
     assert_eq!(t.ranks(), 2);
-    assert_eq!(t.record(0, 4).comm_duration(), mpisim::nominal_comm_duration(&c));
+    assert_eq!(
+        t.record(0, 4).comm_duration(),
+        mpisim::nominal_comm_duration(&c)
+    );
 }
 
 #[test]
@@ -54,9 +57,21 @@ fn single_step_run_works() {
 fn repeated_injections_on_one_rank_all_apply() {
     let mut c = flat(10, Direction::Unidirectional, Boundary::Open, 6);
     c.injections = InjectionPlan::from_list(vec![
-        Injection { rank: 3, step: 0, duration: MS.times(2) },
-        Injection { rank: 3, step: 2, duration: MS.times(3) },
-        Injection { rank: 3, step: 4, duration: MS },
+        Injection {
+            rank: 3,
+            step: 0,
+            duration: MS.times(2),
+        },
+        Injection {
+            rank: 3,
+            step: 2,
+            duration: MS.times(3),
+        },
+        Injection {
+            rank: 3,
+            step: 4,
+            duration: MS,
+        },
     ]);
     let t = run(&c);
     assert_eq!(t.record(3, 0).injected, MS.times(2));
@@ -70,7 +85,10 @@ fn repeated_injections_on_one_rank_all_apply() {
     let late5 = t.finish_time(5).since(t.finish_time(0));
     assert!(late5 >= MS.times(6), "rank 5 only {late5} late");
     let late9 = t.finish_time(9).since(t.finish_time(0));
-    assert!(late9 >= MS.times(2) && late9 < MS.times(3), "rank 9: {late9}");
+    assert!(
+        late9 >= MS.times(2) && late9 < MS.times(3),
+        "rank 9: {late9}"
+    );
 }
 
 #[test]
@@ -101,8 +119,16 @@ fn two_opposing_waves_on_one_open_chain() {
     // towards each other and annihilate in the middle.
     let mut c = flat(17, Direction::Bidirectional, Boundary::Open, 16);
     c.injections = InjectionPlan::from_list(vec![
-        Injection { rank: 0, step: 0, duration: MS.times(10) },
-        Injection { rank: 16, step: 0, duration: MS.times(10) },
+        Injection {
+            rank: 0,
+            step: 0,
+            duration: MS.times(10),
+        },
+        Injection {
+            rank: 16,
+            step: 0,
+            duration: MS.times(10),
+        },
     ]);
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
@@ -173,7 +199,10 @@ fn asymmetric_custom_graph_star_topology() {
     c.injections = InjectionPlan::single(3, 0, MS.times(6));
     let t = run(&c);
     let baseline = SimDuration::from_micros(100);
-    assert!(t.record(0, 0).idle_beyond(baseline) > MS.times(5), "hub must wait");
+    assert!(
+        t.record(0, 0).idle_beyond(baseline) > MS.times(5),
+        "hub must wait"
+    );
     for leaf in [1u32, 2, 4, 5] {
         assert!(
             t.record(leaf, 0).idle_beyond(baseline) < MS,
@@ -189,7 +218,9 @@ fn heavy_noise_on_rendezvous_ring_terminates() {
     let mut c = flat(80, Direction::Bidirectional, Boundary::Periodic, 30);
     c.protocol = Protocol::Rendezvous;
     c.serialize_sends = true;
-    c.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(500) };
+    c.noise = DelayDistribution::Exponential {
+        mean: SimDuration::from_micros(500),
+    };
     c.injections = InjectionPlan::single(11, 2, MS.times(40));
     let (t, stats) = Engine::new(c).run_with_stats();
     assert_eq!(t.ranks(), 80);
@@ -264,7 +295,10 @@ fn loggops_injection_gap_paces_serialized_sends() {
 
     let comm_fast = fast.record(2, 0).comm_duration();
     let comm_paced = paced.record(2, 0).comm_duration();
-    assert!(comm_fast < SimDuration::from_micros(50), "fast comm {comm_fast}");
+    assert!(
+        comm_fast < SimDuration::from_micros(50),
+        "fast comm {comm_fast}"
+    );
     // Second send leaves g after the first: the receive depending on it
     // completes ~g later.
     assert!(

@@ -24,9 +24,9 @@ fn mem_cfg(net: ClusterNetwork, steps: u32) -> SimConfig {
     );
     c.protocol = Protocol::Eager;
     c.exec = ExecModel::MemoryBound {
-        bytes: 3_000_000,      // 3 MB per phase
-        core_bw_bps: 1e9,      // 3 ms solo
-        socket_bw_bps: 1e9,    // 6 ms when both ranks contend
+        bytes: 3_000_000,   // 3 MB per phase
+        core_bw_bps: 1e9,   // 3 ms solo
+        socket_bw_bps: 1e9, // 6 ms when both ranks contend
     };
     c
 }
@@ -134,7 +134,9 @@ fn separate_sockets_do_not_contend() {
 #[test]
 fn memory_bound_runs_are_deterministic_under_noise() {
     let mut c = mem_cfg(two_core_socket(), 6);
-    c.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(200) };
+    c.noise = DelayDistribution::Exponential {
+        mean: SimDuration::from_micros(200),
+    };
     let a = run(&c);
     let b = run(&c);
     assert_eq!(a, b);
@@ -158,7 +160,9 @@ fn noise_desynchronises_and_speeds_up_memory_bound_execution() {
         core_bw_bps: 6.5e9,
         socket_bw_bps: 40e9, // 10 ranks => 4 GB/s each => 1 ms contended
     };
-    c.noise = DelayDistribution::Exponential { mean: SimDuration::from_micros(100) };
+    c.noise = DelayDistribution::Exponential {
+        mean: SimDuration::from_micros(100),
+    };
     let t = run(&c);
 
     let contended_ms = 1.0;

@@ -51,7 +51,13 @@ fn first_idle_step(
 
 #[test]
 fn noise_free_run_is_perfectly_regular() {
-    let c = cfg(8, Direction::Bidirectional, Boundary::Periodic, Protocol::Eager, 10);
+    let c = cfg(
+        8,
+        Direction::Bidirectional,
+        Boundary::Periodic,
+        Protocol::Eager,
+        10,
+    );
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
     let step = mpisim::nominal_step_duration(&c);
@@ -59,7 +65,11 @@ fn noise_free_run_is_perfectly_regular() {
         // Everyone finishes at exactly steps x (T_exec + T_comm).
         assert_eq!(t.finish_time(r), SimTime::ZERO + step.times(10));
         for s in 0..10 {
-            assert_eq!(idle(&t, baseline, r, s), SimDuration::ZERO, "rank {r} step {s}");
+            assert_eq!(
+                idle(&t, baseline, r, s),
+                SimDuration::ZERO,
+                "rank {r} step {s}"
+            );
             assert_eq!(t.record(r, s).exec_duration(), TEXEC);
         }
     }
@@ -69,7 +79,13 @@ fn noise_free_run_is_perfectly_regular() {
 fn fig4_eager_unidirectional_wave_moves_one_rank_per_step() {
     // Delay of 4.5 execution phases at rank 5, step 0 (paper Fig. 4).
     let delay = TEXEC.mul_f64(4.5);
-    let mut c = cfg(18, Direction::Unidirectional, Boundary::Open, Protocol::Eager, 14);
+    let mut c = cfg(
+        18,
+        Direction::Unidirectional,
+        Boundary::Open,
+        Protocol::Eager,
+        14,
+    );
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
@@ -103,7 +119,13 @@ fn fig4_eager_unidirectional_wave_moves_one_rank_per_step() {
 fn fig5ab_eager_unidirectional_periodic_wave_dies_at_injector() {
     let delay = TEXEC.mul_f64(4.5);
     let steps = 22;
-    let mut c = cfg(18, Direction::Unidirectional, Boundary::Periodic, Protocol::Eager, steps);
+    let mut c = cfg(
+        18,
+        Direction::Unidirectional,
+        Boundary::Periodic,
+        Protocol::Eager,
+        steps,
+    );
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
@@ -112,11 +134,19 @@ fn fig5ab_eager_unidirectional_periodic_wave_dies_at_injector() {
     // The wave wraps: rank (5 + k) mod 18 idles at step k-1, for k = 1..17.
     for k in 1..=17u32 {
         let r = (5 + k) % 18;
-        assert_eq!(first_idle_step(&t, baseline, r, th), Some(k - 1), "rank {r}");
+        assert_eq!(
+            first_idle_step(&t, baseline, r, th),
+            Some(k - 1),
+            "rank {r}"
+        );
     }
     // After wrapping around (17 hops) it hits the injector and dies: the
     // injector consumes the buffered eager messages without waiting.
-    assert_eq!(first_idle_step(&t, baseline, 5, th), None, "wave should die at injector");
+    assert_eq!(
+        first_idle_step(&t, baseline, 5, th),
+        None,
+        "wave should die at injector"
+    );
     // And no rank idles twice: sum of big idles equals one traversal.
     for r in 0..18 {
         let big_idles = (0..steps)
@@ -129,7 +159,13 @@ fn fig5ab_eager_unidirectional_periodic_wave_dies_at_injector() {
 #[test]
 fn fig5cd_eager_bidirectional_propagates_both_directions() {
     let delay = TEXEC.mul_f64(4.5);
-    let mut c = cfg(18, Direction::Bidirectional, Boundary::Open, Protocol::Eager, 14);
+    let mut c = cfg(
+        18,
+        Direction::Bidirectional,
+        Boundary::Open,
+        Protocol::Eager,
+        14,
+    );
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
@@ -148,7 +184,13 @@ fn fig5cd_eager_bidirectional_propagates_both_directions() {
 #[test]
 fn fig5ef_rendezvous_unidirectional_also_propagates_backwards() {
     let delay = TEXEC.mul_f64(4.5);
-    let mut c = cfg(18, Direction::Unidirectional, Boundary::Open, Protocol::Rendezvous, 14);
+    let mut c = cfg(
+        18,
+        Direction::Unidirectional,
+        Boundary::Open,
+        Protocol::Rendezvous,
+        14,
+    );
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
@@ -158,17 +200,31 @@ fn fig5ef_rendezvous_unidirectional_also_propagates_backwards() {
     // of its message to 5, so the wave also travels downwards, one rank
     // per step in both directions (σ = 1).
     for k in 1..=6u32 {
-        assert_eq!(first_idle_step(&t, baseline, 5 + k, th), Some(k - 1), "up {k}");
+        assert_eq!(
+            first_idle_step(&t, baseline, 5 + k, th),
+            Some(k - 1),
+            "up {k}"
+        );
     }
     for k in 1..=5u32 {
-        assert_eq!(first_idle_step(&t, baseline, 5 - k, th), Some(k - 1), "down {k}");
+        assert_eq!(
+            first_idle_step(&t, baseline, 5 - k, th),
+            Some(k - 1),
+            "down {k}"
+        );
     }
 }
 
 #[test]
 fn fig5gh_bidirectional_rendezvous_doubles_the_speed() {
     let delay = TEXEC.mul_f64(4.5);
-    let mut c = cfg(18, Direction::Bidirectional, Boundary::Open, Protocol::Rendezvous, 14);
+    let mut c = cfg(
+        18,
+        Direction::Bidirectional,
+        Boundary::Open,
+        Protocol::Rendezvous,
+        14,
+    );
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
     let baseline = mpisim::nominal_comm_duration(&c);
@@ -203,7 +259,11 @@ fn fig7_distance_two_scales_speed_and_bidirectional_doubles_it() {
     // d = 2 unidirectional rendezvous: front moves 2 ranks per step.
     let mut c = SimConfig::baseline(
         flat_net(18),
-        CommPattern { direction: Direction::Unidirectional, distance: 2, boundary: Boundary::Open },
+        CommPattern {
+            direction: Direction::Unidirectional,
+            distance: 2,
+            boundary: Boundary::Open,
+        },
         12,
     );
     c.protocol = Protocol::Rendezvous;
@@ -213,13 +273,22 @@ fn fig7_distance_two_scales_speed_and_bidirectional_doubles_it() {
     let th = delay.mul_f64(0.4);
     for k in 1..=8u32 {
         let expect = (k - 1) / 2;
-        assert_eq!(first_idle_step(&t, baseline, 5 + k, th), Some(expect), "uni d=2 rank {}", 5 + k);
+        assert_eq!(
+            first_idle_step(&t, baseline, 5 + k, th),
+            Some(expect),
+            "uni d=2 rank {}",
+            5 + k
+        );
     }
 
     // d = 2 bidirectional rendezvous: front moves 4 ranks per step.
     let mut c2 = SimConfig::baseline(
         flat_net(22),
-        CommPattern { direction: Direction::Bidirectional, distance: 2, boundary: Boundary::Open },
+        CommPattern {
+            direction: Direction::Bidirectional,
+            distance: 2,
+            boundary: Boundary::Open,
+        },
         12,
     );
     c2.protocol = Protocol::Rendezvous;
@@ -257,7 +326,13 @@ fn all_eight_fig5_combinations_run_to_completion() {
 fn open_boundary_wave_runs_out_at_the_last_rank() {
     let delay = TEXEC.mul_f64(4.5);
     let steps = 16;
-    let mut c = cfg(18, Direction::Unidirectional, Boundary::Open, Protocol::Eager, steps);
+    let mut c = cfg(
+        18,
+        Direction::Unidirectional,
+        Boundary::Open,
+        Protocol::Eager,
+        steps,
+    );
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
     let tc = mpisim::nominal_comm_duration(&c);
@@ -287,7 +362,13 @@ fn finite_eager_buffer_falls_back_to_rendezvous_semantics() {
     // effectively becomes rendezvous: the wave must propagate backwards
     // too (cf. fig5ef).
     let delay = TEXEC.mul_f64(4.5);
-    let mut c = cfg(18, Direction::Unidirectional, Boundary::Open, Protocol::Eager, 14);
+    let mut c = cfg(
+        18,
+        Direction::Unidirectional,
+        Boundary::Open,
+        Protocol::Eager,
+        14,
+    );
     c.eager_buffer_bytes = Some(0); // no message fits
     c.injections = InjectionPlan::single(5, 0, delay);
     let t = run(&c);
@@ -295,14 +376,24 @@ fn finite_eager_buffer_falls_back_to_rendezvous_semantics() {
         + c.network.ctrl_latency(0, 1)
         + c.network.ctrl_latency(1, 0);
     let th = delay.mul_f64(0.4);
-    assert_eq!(first_idle_step(&t, baseline, 4, th), Some(0), "no backward wave");
+    assert_eq!(
+        first_idle_step(&t, baseline, 4, th),
+        Some(0),
+        "no backward wave"
+    );
     assert_eq!(first_idle_step(&t, baseline, 3, th), Some(1));
 }
 
 #[test]
 fn generous_eager_buffer_never_falls_back() {
     let delay = TEXEC.mul_f64(4.5);
-    let mut a = cfg(18, Direction::Unidirectional, Boundary::Open, Protocol::Eager, 14);
+    let mut a = cfg(
+        18,
+        Direction::Unidirectional,
+        Boundary::Open,
+        Protocol::Eager,
+        14,
+    );
     a.injections = InjectionPlan::single(5, 0, delay);
     let mut b = a.clone();
     b.eager_buffer_bytes = Some(1 << 30);
@@ -311,7 +402,13 @@ fn generous_eager_buffer_never_falls_back() {
 
 #[test]
 fn runs_are_deterministic() {
-    let mut c = cfg(12, Direction::Bidirectional, Boundary::Periodic, Protocol::Rendezvous, 10);
+    let mut c = cfg(
+        12,
+        Direction::Bidirectional,
+        Boundary::Periodic,
+        Protocol::Rendezvous,
+        10,
+    );
     c.injections = InjectionPlan::single(3, 1, TEXEC.times(2));
     c.noise = noise_model::DelayDistribution::Exponential {
         mean: SimDuration::from_micros(300),
@@ -328,12 +425,22 @@ fn runs_are_deterministic() {
 
 #[test]
 fn rendezvous_baseline_comm_includes_handshake() {
-    let c = cfg(8, Direction::Unidirectional, Boundary::Periodic, Protocol::Rendezvous, 5);
+    let c = cfg(
+        8,
+        Direction::Unidirectional,
+        Boundary::Periodic,
+        Protocol::Rendezvous,
+        5,
+    );
     let t = run(&c);
     let expected = mpisim::nominal_comm_duration(&c);
     for r in 0..8 {
         for s in 0..5 {
-            assert_eq!(t.record(r, s).comm_duration(), expected, "rank {r} step {s}");
+            assert_eq!(
+                t.record(r, s).comm_duration(),
+                expected,
+                "rank {r} step {s}"
+            );
         }
     }
 }
@@ -343,14 +450,23 @@ fn send_serialization_lengthens_the_comm_phase() {
     // Bidirectional eager ring: each rank has two sends. With a single
     // injection port they serialize, so the baseline comm phase doubles
     // (minus the shared latency term).
-    let a = cfg(8, Direction::Bidirectional, Boundary::Periodic, Protocol::Eager, 5);
+    let a = cfg(
+        8,
+        Direction::Bidirectional,
+        Boundary::Periodic,
+        Protocol::Eager,
+        5,
+    );
     let mut b = a.clone();
     b.serialize_sends = true;
     let ta = run(&a);
     let tb = run(&b);
     let ca = ta.record(3, 2).comm_duration();
     let cb = tb.record(3, 2).comm_duration();
-    assert!(cb > ca, "serialized comm {cb} should exceed overlapped {ca}");
+    assert!(
+        cb > ca,
+        "serialized comm {cb} should exceed overlapped {ca}"
+    );
     // The engine's measured comm phase must equal the analytic baseline in
     // both modes.
     assert_eq!(ca, mpisim::nominal_comm_duration(&a));
@@ -362,7 +478,13 @@ fn persistent_imbalance_drags_the_whole_ring() {
     // The classic coupled-chain result: one rank that is persistently 10%
     // slower slows EVERY rank to its pace (in a periodic bidirectional
     // ring nobody can run ahead of the laggard for long).
-    let mut c = cfg(10, Direction::Bidirectional, Boundary::Periodic, Protocol::Eager, 30);
+    let mut c = cfg(
+        10,
+        Direction::Bidirectional,
+        Boundary::Periodic,
+        Protocol::Eager,
+        30,
+    );
     c.imbalance = vec![1.0; 10];
     c.imbalance[4] = 1.1;
     let t = run(&c);
@@ -390,7 +512,13 @@ fn persistent_imbalance_drags_the_whole_ring() {
 
 #[test]
 fn imbalance_vector_is_validated() {
-    let mut c = cfg(4, Direction::Unidirectional, Boundary::Open, Protocol::Eager, 2);
+    let mut c = cfg(
+        4,
+        Direction::Unidirectional,
+        Boundary::Open,
+        Protocol::Eager,
+        2,
+    );
     c.imbalance = vec![1.0, 2.0]; // wrong length
     let result = std::panic::catch_unwind(|| run(&c));
     assert!(result.is_err());
@@ -399,7 +527,13 @@ fn imbalance_vector_is_validated() {
 #[test]
 fn run_stats_account_for_all_traffic() {
     // Periodic uni ring of 8 ranks x 6 steps: exactly 48 messages.
-    let c = cfg(8, Direction::Unidirectional, Boundary::Periodic, Protocol::Eager, 6);
+    let c = cfg(
+        8,
+        Direction::Unidirectional,
+        Boundary::Periodic,
+        Protocol::Eager,
+        6,
+    );
     let (trace, stats) = mpisim::Engine::new(c.clone()).run_with_stats();
     assert_eq!(trace.ranks(), 8);
     assert_eq!(stats.messages, 8 * 6);

@@ -1,11 +1,13 @@
 //! Property-based tests of the engine: for *any* small configuration in
 //! the supported grid, the simulation must terminate without deadlock and
 //! produce a causally consistent, deterministic trace.
+//!
+//! Driven by the in-tree `simdes::check` harness.
 
 use mpisim::{run, Protocol, SimConfig};
 use netmodel::{ClusterNetwork, Hockney, PointToPoint};
 use noise_model::{DelayDistribution, InjectionPlan};
-use proptest::prelude::*;
+use simdes::check::{for_all, Gen, DEFAULT_CASES};
 use simdes::SimDuration;
 use workload::{Boundary, CommPattern, Direction};
 
@@ -24,50 +26,44 @@ struct Params {
     seed: u64,
 }
 
-fn params() -> impl Strategy<Value = Params> {
-    (
-        3u32..12,
-        1u32..6,
-        prop_oneof![Just(Direction::Unidirectional), Just(Direction::Bidirectional)],
-        prop_oneof![Just(Boundary::Open), Just(Boundary::Periodic)],
-        1u32..3,
-        prop_oneof![
-            Just(Protocol::Eager),
-            Just(Protocol::Rendezvous),
-            Just(Protocol::Auto { eager_limit: 10_000 })
-        ],
-        prop::option::of((0u32..12, 0u32..6, 1u64..20_000_000)),
-        0u64..500,
-        any::<bool>(),
-        prop::option::of(0u64..100_000),
-        any::<u64>(),
-    )
-        .prop_filter_map(
-            "invalid combination",
-            |(ranks, steps, direction, boundary, distance, protocol, inject, noise, ser, cap, seed)| {
-                let fits = match boundary {
-                    Boundary::Periodic => ranks > 2 * distance,
-                    Boundary::Open => ranks > distance,
-                };
-                if !fits {
-                    return None;
-                }
-                let inject = inject.filter(|&(r, s, _)| r < ranks && s < steps);
-                Some(Params {
-                    ranks,
-                    steps,
-                    direction,
-                    boundary,
-                    distance,
-                    protocol,
-                    inject,
-                    noise_mean_us: noise,
-                    serialize: ser,
-                    eager_cap: cap,
-                    seed,
-                })
-            },
+/// Draw a valid configuration from the supported grid: the chain is
+/// always big enough for the distance/boundary, and any injection lands
+/// inside the run.
+fn params(g: &mut Gen) -> Params {
+    let distance = g.u32(1, 2);
+    let boundary = g.pick(&[Boundary::Open, Boundary::Periodic]);
+    let min_ranks = match boundary {
+        Boundary::Periodic => 2 * distance + 1,
+        Boundary::Open => distance + 1,
+    };
+    let ranks = g.u32(min_ranks.max(3), 11);
+    let steps = g.u32(1, 5);
+    let inject = g.option(|g| {
+        (
+            g.u32(0, ranks - 1),
+            g.u32(0, steps - 1),
+            g.u64(1, 19_999_999),
         )
+    });
+    Params {
+        ranks,
+        steps,
+        direction: g.pick(&[Direction::Unidirectional, Direction::Bidirectional]),
+        boundary,
+        distance,
+        protocol: g.pick(&[
+            Protocol::Eager,
+            Protocol::Rendezvous,
+            Protocol::Auto {
+                eager_limit: 10_000,
+            },
+        ]),
+        inject,
+        noise_mean_us: g.u64(0, 499),
+        serialize: g.bool(),
+        eager_cap: g.option(|g| g.u64(0, 99_999)),
+        seed: g.any_u64(),
+    }
 }
 
 fn build(p: &Params) -> SimConfig {
@@ -75,11 +71,17 @@ fn build(p: &Params) -> SimConfig {
     let net = ClusterNetwork::flat(p.ranks, link);
     let mut cfg = SimConfig::baseline(
         net,
-        CommPattern { direction: p.direction, distance: p.distance, boundary: p.boundary },
+        CommPattern {
+            direction: p.direction,
+            distance: p.distance,
+            boundary: p.boundary,
+        },
         p.steps,
     );
     cfg.protocol = p.protocol;
-    cfg.exec = workload::ExecModel::Compute { duration: SimDuration::from_millis(1) };
+    cfg.exec = workload::ExecModel::Compute {
+        duration: SimDuration::from_millis(1),
+    };
     if let Some((r, s, ns)) = p.inject {
         cfg.injections = InjectionPlan::single(r, s, SimDuration(ns));
     }
@@ -94,51 +96,60 @@ fn build(p: &Params) -> SimConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every configuration in the grid terminates and yields a causally
-    /// consistent trace: phases are ordered, steps are contiguous, and
-    /// the injected delay really lengthened its phase.
-    #[test]
-    fn any_config_terminates_with_consistent_trace(p in params()) {
-        let cfg = build(&p);
-        let t = run(&cfg);
-        prop_assert_eq!(t.ranks(), p.ranks);
-        prop_assert_eq!(t.steps(), p.steps);
-        for r in 0..p.ranks {
-            let recs = t.rank_records(r);
-            for (i, rec) in recs.iter().enumerate() {
-                prop_assert!(rec.exec_start <= rec.exec_end);
-                prop_assert!(rec.exec_end <= rec.comm_end);
-                prop_assert_eq!(rec.step, i as u32);
-                prop_assert_eq!(rec.rank, r);
-                if i > 0 {
-                    // Steps are back to back: next exec starts exactly when
-                    // the previous Waitall returned.
-                    prop_assert_eq!(rec.exec_start, recs[i - 1].comm_end);
+/// Every configuration in the grid terminates and yields a causally
+/// consistent trace: phases are ordered, steps are contiguous, and
+/// the injected delay really lengthened its phase.
+#[test]
+fn any_config_terminates_with_consistent_trace() {
+    for_all(
+        "any_config_terminates_with_consistent_trace",
+        DEFAULT_CASES,
+        |g| {
+            let p = params(g);
+            let cfg = build(&p);
+            let t = run(&cfg);
+            assert_eq!(t.ranks(), p.ranks);
+            assert_eq!(t.steps(), p.steps);
+            for r in 0..p.ranks {
+                let recs = t.rank_records(r);
+                for (i, rec) in recs.iter().enumerate() {
+                    assert!(rec.exec_start <= rec.exec_end);
+                    assert!(rec.exec_end <= rec.comm_end);
+                    assert_eq!(rec.step, i as u32);
+                    assert_eq!(rec.rank, r);
+                    if i > 0 {
+                        // Steps are back to back: next exec starts exactly when
+                        // the previous Waitall returned.
+                        assert_eq!(rec.exec_start, recs[i - 1].comm_end);
+                    }
+                    // The phase is at least as long as work + delay + noise.
+                    let floor = SimDuration::from_millis(1) + rec.injected + rec.noise;
+                    assert_eq!(rec.exec_duration(), floor);
                 }
-                // The phase is at least as long as work + delay + noise.
-                let floor = SimDuration::from_millis(1) + rec.injected + rec.noise;
-                prop_assert_eq!(rec.exec_duration(), floor);
             }
-        }
-        if let Some((r, s, ns)) = p.inject {
-            prop_assert_eq!(t.record(r, s).injected.nanos(), ns);
-        }
-    }
+            if let Some((r, s, ns)) = p.inject {
+                assert_eq!(t.record(r, s).injected.nanos(), ns);
+            }
+        },
+    );
+}
 
-    /// Bit-exact determinism for any configuration.
-    #[test]
-    fn any_config_is_deterministic(p in params()) {
+/// Bit-exact determinism for any configuration.
+#[test]
+fn any_config_is_deterministic() {
+    for_all("any_config_is_deterministic", DEFAULT_CASES, |g| {
+        let p = params(g);
         let cfg = build(&p);
-        prop_assert_eq!(run(&cfg), run(&cfg));
-    }
+        assert_eq!(run(&cfg), run(&cfg));
+    });
+}
 
-    /// Without noise or injections every rank runs the exact nominal
-    /// schedule, whatever the pattern/protocol combination.
-    #[test]
-    fn silent_runs_match_nominal_schedule(p in params()) {
+/// Without noise or injections every rank runs the exact nominal
+/// schedule, whatever the pattern/protocol combination.
+#[test]
+fn silent_runs_match_nominal_schedule() {
+    for_all("silent_runs_match_nominal_schedule", DEFAULT_CASES, |g| {
+        let p = params(g);
         let mut cfg = build(&p);
         cfg.injections = InjectionPlan::none();
         cfg.noise = DelayDistribution::None;
@@ -153,25 +164,30 @@ proptest! {
         // step due to edge-induced skew, but only by time they saved
         // earlier).
         let bound = simdes::SimTime::ZERO + step.times(u64::from(p.steps));
-        prop_assert!(
+        assert!(
             t.total_runtime() <= bound,
-            "total {} exceeds nominal schedule {}", t.total_runtime(), bound
+            "total {} exceeds nominal schedule {}",
+            t.total_runtime(),
+            bound
         );
         if p.boundary == Boundary::Periodic {
             // Symmetric chains hit the baseline exactly, every step.
             for r in 0..p.ranks {
                 for s in 0..p.steps {
-                    prop_assert_eq!(t.record(r, s).comm_duration(), comm);
+                    assert_eq!(t.record(r, s).comm_duration(), comm);
                 }
             }
         }
-    }
+    });
+}
 
-    /// The total runtime never decreases when a delay is injected, and
-    /// never increases by more than the injected amount on a silent
-    /// system.
-    #[test]
-    fn injection_cost_is_bounded(p in params()) {
+/// The total runtime never decreases when a delay is injected, and
+/// never increases by more than the injected amount on a silent
+/// system.
+#[test]
+fn injection_cost_is_bounded() {
+    for_all("injection_cost_is_bounded", DEFAULT_CASES, |g| {
+        let p = params(g);
         let mut base = build(&p);
         base.noise = DelayDistribution::None;
         base.injections = InjectionPlan::none();
@@ -189,27 +205,34 @@ proptest! {
 
         let quiet_end = quiet.total_runtime();
         let loud_end = t.total_runtime();
-        prop_assert!(loud_end >= quiet_end);
-        prop_assert!(loud_end.since(quiet_end) <= d, "excess beyond the injected delay");
-    }
+        assert!(loud_end >= quiet_end);
+        assert!(
+            loud_end.since(quiet_end) <= d,
+            "excess beyond the injected delay"
+        );
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The event-driven engine and the closed-form max-plus recurrence
-    /// (`mpisim::reference`) are independent implementations of the same
-    /// semantics; on their shared domain they must agree bit-exactly for
-    /// any configuration.
-    #[test]
-    fn engine_matches_maxplus_reference(p in params(), pure_rdv in any::<bool>()) {
+/// The event-driven engine and the closed-form max-plus recurrence
+/// (`mpisim::reference`) are independent implementations of the same
+/// semantics; on their shared domain they must agree bit-exactly for
+/// any configuration.
+#[test]
+fn engine_matches_maxplus_reference() {
+    for_all("engine_matches_maxplus_reference", DEFAULT_CASES, |g| {
+        let p = params(g);
+        let pure_rdv = g.bool();
         let mut cfg = build(&p);
         // Restrict to the recurrence's domain.
         cfg.eager_buffer_bytes = None;
         cfg.serialize_sends = false;
-        cfg.protocol = if pure_rdv { Protocol::Rendezvous } else { Protocol::Eager };
+        cfg.protocol = if pure_rdv {
+            Protocol::Rendezvous
+        } else {
+            Protocol::Eager
+        };
         let engine = run(&cfg);
         let reference = mpisim::reference_trace(&cfg);
-        prop_assert_eq!(engine, reference);
-    }
+        assert_eq!(engine, reference);
+    });
 }

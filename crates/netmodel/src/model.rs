@@ -16,15 +16,15 @@
 //! clusters and the simulator (Fig. 8). We keep both so that "simulated
 //! system" can mean LogGOPS while the machine presets use Hockney.
 
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// A point-to-point message cost model.
 ///
 /// An enum rather than a trait object: the set of models is closed, values
 /// must be `Copy` + serializable for experiment configs, and the simulator
 /// calls this in its innermost loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PointToPoint {
     /// Hockney model: `T(s) = latency + s / bandwidth`.
     Hockney(Hockney),
@@ -33,7 +33,7 @@ pub enum PointToPoint {
 }
 
 /// Hockney model parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hockney {
     /// Startup latency α.
     pub latency: SimDuration,
@@ -44,7 +44,7 @@ pub struct Hockney {
 /// LogGOPS model parameters (the LogGP extension used by LogGOPSim; the
 /// eager/rendezvous synchronisation `S` is handled by the protocol layer in
 /// `mpisim`, not here).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogGops {
     /// Wire latency L.
     pub l: SimDuration,
@@ -108,7 +108,10 @@ impl Hockney {
             bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),
             "Hockney bandwidth must be positive and finite, got {bandwidth_bps}"
         );
-        Hockney { latency, bandwidth_bps }
+        Hockney {
+            latency,
+            bandwidth_bps,
+        }
     }
 
     /// `T(s) = α + s/β`.
@@ -120,15 +123,76 @@ impl Hockney {
 impl LogGops {
     /// `T(s) = L + 2o + s·G`.
     pub fn transfer_time(&self, bytes: u64) -> SimDuration {
-        self.l
-            + self.o
-            + self.o
-            + SimDuration::from_secs_f64(bytes as f64 * self.big_g_per_byte)
+        self.l + self.o + self.o + SimDuration::from_secs_f64(bytes as f64 * self.big_g_per_byte)
     }
 
     /// CPU time consumed at one endpoint for a `bytes` message: `o + s·O`.
     pub fn cpu_overhead(&self, bytes: u64) -> SimDuration {
         self.o + SimDuration::from_secs_f64(bytes as f64 * self.big_o_per_byte)
+    }
+}
+
+impl ToJson for Hockney {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("latency", self.latency.to_json()),
+            ("bandwidth_bps", self.bandwidth_bps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Hockney {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(Hockney {
+            latency: SimDuration::from_json(v.field("latency")?)?,
+            bandwidth_bps: f64::from_json(v.field("bandwidth_bps")?)?,
+        })
+    }
+}
+
+impl ToJson for LogGops {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("l", self.l.to_json()),
+            ("o", self.o.to_json()),
+            ("g", self.g.to_json()),
+            ("big_g_per_byte", self.big_g_per_byte.to_json()),
+            ("big_o_per_byte", self.big_o_per_byte.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LogGops {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(LogGops {
+            l: SimDuration::from_json(v.field("l")?)?,
+            o: SimDuration::from_json(v.field("o")?)?,
+            g: SimDuration::from_json(v.field("g")?)?,
+            big_g_per_byte: f64::from_json(v.field("big_g_per_byte")?)?,
+            big_o_per_byte: f64::from_json(v.field("big_o_per_byte")?)?,
+        })
+    }
+}
+
+impl ToJson for PointToPoint {
+    fn to_json(&self) -> Json {
+        match self {
+            PointToPoint::Hockney(h) => Json::obj(vec![("Hockney", h.to_json())]),
+            PointToPoint::LogGops(l) => Json::obj(vec![("LogGops", l.to_json())]),
+        }
+    }
+}
+
+impl FromJson for PointToPoint {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let (variant, payload) = v.expect_variant()?;
+        match variant {
+            "Hockney" => Ok(PointToPoint::Hockney(Hockney::from_json(payload)?)),
+            "LogGops" => Ok(PointToPoint::LogGops(LogGops::from_json(payload)?)),
+            other => Err(json::JsonError(format!(
+                "unknown PointToPoint variant '{other}'"
+            ))),
+        }
     }
 }
 
@@ -144,13 +208,19 @@ mod tests {
     fn hockney_transfer_time() {
         let m = hockney_1us_1gbs();
         // 1 GB/s => 1 byte per ns; 8192 B => 8.192 us + 1 us latency.
-        assert_eq!(m.transfer_time(8192), SimDuration::from_nanos(1_000 + 8_192));
+        assert_eq!(
+            m.transfer_time(8192),
+            SimDuration::from_nanos(1_000 + 8_192)
+        );
         assert_eq!(m.transfer_time(0), SimDuration::from_micros(1));
     }
 
     #[test]
     fn hockney_ctrl_latency_is_alpha() {
-        assert_eq!(hockney_1us_1gbs().ctrl_latency(), SimDuration::from_micros(1));
+        assert_eq!(
+            hockney_1us_1gbs().ctrl_latency(),
+            SimDuration::from_micros(1)
+        );
         assert_eq!(hockney_1us_1gbs().injection_gap(), SimDuration::ZERO);
     }
 

@@ -6,14 +6,14 @@
 //! (intra-socket shared-memory copy, inter-socket link, or the cluster
 //! interconnect).
 
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 use crate::model::PointToPoint;
 use crate::topology::{Domain, Location, Machine};
 
 /// Link models for each topology domain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DomainModels {
     /// Intra-socket (shared L3) message cost.
     pub socket: PointToPoint,
@@ -29,7 +29,11 @@ impl DomainModels {
     /// network level is ever exercised; a uniform model keeps their
     /// propagation speed exactly constant.
     pub fn uniform(m: PointToPoint) -> Self {
-        DomainModels { socket: m, node: m, network: m }
+        DomainModels {
+            socket: m,
+            node: m,
+            network: m,
+        }
     }
 
     /// Model for a given domain.
@@ -43,7 +47,7 @@ impl DomainModels {
 }
 
 /// A placed job on a machine: rank count, ranks-per-node, link models.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterNetwork {
     /// Machine shape.
     pub machine: Machine,
@@ -64,7 +68,12 @@ impl ClusterNetwork {
         assert!(ranks > 0, "need at least one rank");
         // Validate the last rank's placement eagerly.
         let _ = machine.locate_with_ppn(ranks - 1, ppn);
-        ClusterNetwork { machine, ppn, ranks, models }
+        ClusterNetwork {
+            machine,
+            ppn,
+            ranks,
+            models,
+        }
     }
 
     /// A flat `ranks`-node network with one rank per node and a uniform
@@ -113,6 +122,57 @@ impl ClusterNetwork {
     }
 }
 
+impl ToJson for DomainModels {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("socket", self.socket.to_json()),
+            ("node", self.node.to_json()),
+            ("network", self.network.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DomainModels {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(DomainModels {
+            socket: PointToPoint::from_json(v.field("socket")?)?,
+            node: PointToPoint::from_json(v.field("node")?)?,
+            network: PointToPoint::from_json(v.field("network")?)?,
+        })
+    }
+}
+
+impl ToJson for ClusterNetwork {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("machine", self.machine.to_json()),
+            ("ppn", self.ppn.to_json()),
+            ("ranks", self.ranks.to_json()),
+            ("models", self.models.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ClusterNetwork {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let machine = Machine::from_json(v.field("machine")?)?;
+        let ppn = u32::from_json(v.field("ppn")?)?;
+        let ranks = u32::from_json(v.field("ranks")?)?;
+        let models = DomainModels::from_json(v.field("models")?)?;
+        if ranks == 0
+            || ppn == 0
+            || ppn > machine.cores_per_node()
+            || (ranks - 1) / ppn >= machine.nodes
+        {
+            return Err(json::JsonError(format!(
+                "invalid placement: {ranks} ranks at {ppn} per node on {} nodes",
+                machine.nodes
+            )));
+        }
+        Ok(ClusterNetwork::new(machine, ppn, ranks, models))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,7 +186,11 @@ mod tests {
             Machine::new(10, 2, 5),
             20,
             100,
-            DomainModels { socket: fast, node: mid, network: slow },
+            DomainModels {
+                socket: fast,
+                node: mid,
+                network: slow,
+            },
         )
     }
 

@@ -52,10 +52,7 @@ pub fn meggie_models() -> DomainModels {
         node: PointToPoint::Hockney(Hockney::new(SimDuration::from_nanos(500), 8e9)),
         // Omni-Path: ~1.1 µs MPI latency, 100 Gbit/s ≈ 12.5 GB/s raw; ~10.8
         // GB/s asymptotic MPI bandwidth.
-        network: PointToPoint::Hockney(Hockney::new(
-            SimDuration::from_micros_f64(1.1),
-            10.8e9,
-        )),
+        network: PointToPoint::Hockney(Hockney::new(SimDuration::from_micros_f64(1.1), 10.8e9)),
     }
 }
 

@@ -12,11 +12,11 @@
 //! 0, rank 1 → next core on the same socket, …), matching the process-core
 //! affinity enforcement described in Sec. III-A.
 
-use serde::{Deserialize, Serialize};
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// Shape of a homogeneous cluster: every node has `sockets_per_node` sockets
 /// with `cores_per_socket` cores each.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Machine {
     /// Cores per socket (paper systems: 10).
     pub cores_per_socket: u32,
@@ -27,7 +27,7 @@ pub struct Machine {
 }
 
 /// Physical placement of one rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Location {
     /// Node index within the allocation.
     pub node: u32,
@@ -39,7 +39,7 @@ pub struct Location {
 
 /// The communication domain shared by a pair of distinct ranks: the highest
 /// topology level they have in common.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Domain {
     /// Same socket (shared L3 / memory controller).
     Socket,
@@ -56,7 +56,11 @@ impl Machine {
             cores_per_socket > 0 && sockets_per_node > 0 && nodes > 0,
             "machine dimensions must be positive"
         );
-        Machine { cores_per_socket, sockets_per_node, nodes }
+        Machine {
+            cores_per_socket,
+            sockets_per_node,
+            nodes,
+        }
     }
 
     /// Single-level machine: one core per "node", flat network. Useful for
@@ -144,6 +148,30 @@ impl Machine {
     }
 }
 
+impl ToJson for Machine {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("cores_per_socket", self.cores_per_socket.to_json()),
+            ("sockets_per_node", self.sockets_per_node.to_json()),
+            ("nodes", self.nodes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Machine {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let cores_per_socket = u32::from_json(v.field("cores_per_socket")?)?;
+        let sockets_per_node = u32::from_json(v.field("sockets_per_node")?)?;
+        let nodes = u32::from_json(v.field("nodes")?)?;
+        if cores_per_socket == 0 || sockets_per_node == 0 || nodes == 0 {
+            return Err(json::JsonError(
+                "machine dimensions must be positive".into(),
+            ));
+        }
+        Ok(Machine::new(cores_per_socket, sockets_per_node, nodes))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,12 +183,54 @@ mod tests {
     #[test]
     fn packed_block_placement() {
         let m = emmy_shape();
-        assert_eq!(m.locate(0), Location { node: 0, socket: 0, core: 0 });
-        assert_eq!(m.locate(9), Location { node: 0, socket: 0, core: 9 });
-        assert_eq!(m.locate(10), Location { node: 0, socket: 1, core: 0 });
-        assert_eq!(m.locate(19), Location { node: 0, socket: 1, core: 9 });
-        assert_eq!(m.locate(20), Location { node: 1, socket: 0, core: 0 });
-        assert_eq!(m.locate(99), Location { node: 4, socket: 1, core: 9 });
+        assert_eq!(
+            m.locate(0),
+            Location {
+                node: 0,
+                socket: 0,
+                core: 0
+            }
+        );
+        assert_eq!(
+            m.locate(9),
+            Location {
+                node: 0,
+                socket: 0,
+                core: 9
+            }
+        );
+        assert_eq!(
+            m.locate(10),
+            Location {
+                node: 0,
+                socket: 1,
+                core: 0
+            }
+        );
+        assert_eq!(
+            m.locate(19),
+            Location {
+                node: 0,
+                socket: 1,
+                core: 9
+            }
+        );
+        assert_eq!(
+            m.locate(20),
+            Location {
+                node: 1,
+                socket: 0,
+                core: 0
+            }
+        );
+        assert_eq!(
+            m.locate(99),
+            Location {
+                node: 4,
+                socket: 1,
+                core: 9
+            }
+        );
     }
 
     #[test]
@@ -175,13 +245,41 @@ mod tests {
         let m = Machine::new(10, 2, 3);
         // 12 ranks per node: 6 on socket 0, 6 on socket 1.
         let l5 = m.locate_with_ppn(5, 12);
-        assert_eq!(l5, Location { node: 0, socket: 0, core: 5 });
+        assert_eq!(
+            l5,
+            Location {
+                node: 0,
+                socket: 0,
+                core: 5
+            }
+        );
         let l6 = m.locate_with_ppn(6, 12);
-        assert_eq!(l6, Location { node: 0, socket: 1, core: 0 });
+        assert_eq!(
+            l6,
+            Location {
+                node: 0,
+                socket: 1,
+                core: 0
+            }
+        );
         let l12 = m.locate_with_ppn(12, 12);
-        assert_eq!(l12, Location { node: 1, socket: 0, core: 0 });
+        assert_eq!(
+            l12,
+            Location {
+                node: 1,
+                socket: 0,
+                core: 0
+            }
+        );
         let l35 = m.locate_with_ppn(35, 12);
-        assert_eq!(l35, Location { node: 2, socket: 1, core: 5 });
+        assert_eq!(
+            l35,
+            Location {
+                node: 2,
+                socket: 1,
+                core: 5
+            }
+        );
     }
 
     #[test]
@@ -189,7 +287,14 @@ mod tests {
         let m = Machine::new(10, 2, 4);
         for r in 0..4 {
             let l = m.locate_with_ppn(r, 1);
-            assert_eq!(l, Location { node: r, socket: 0, core: 0 });
+            assert_eq!(
+                l,
+                Location {
+                    node: r,
+                    socket: 0,
+                    core: 0
+                }
+            );
         }
     }
 

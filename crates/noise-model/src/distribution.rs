@@ -16,15 +16,14 @@
 //! near-exponential with a hard upper cutoff (< 30 µs with SMT) and, for
 //! Omni-Path without SMT, bimodal with a second component at ≈ 660 µs.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-use simdes::SimDuration;
+use simdes::{SimDuration, SimRng};
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// A distribution of non-negative delays.
 ///
 /// Cheap to clone for every variant except [`DelayDistribution::Empirical`],
 /// which owns its sample vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DelayDistribution {
     /// No delay, ever. The "silent system" of Sec. IV-C.
     None,
@@ -90,11 +89,14 @@ pub enum DelayDistribution {
 
 impl DelayDistribution {
     /// Draw one delay.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         match *self {
             DelayDistribution::Empirical { ref samples } => {
-                assert!(!samples.is_empty(), "empirical distribution with no samples");
-                let idx = rng.random_range(0..samples.len());
+                assert!(
+                    !samples.is_empty(),
+                    "empirical distribution with no samples"
+                );
+                let idx = rng.index(samples.len());
                 SimDuration(samples[idx])
             }
             DelayDistribution::None => SimDuration::ZERO,
@@ -106,11 +108,11 @@ impl DelayDistribution {
             DelayDistribution::Uniform { lo, hi } => {
                 assert!(lo <= hi, "uniform bounds inverted");
                 let span = hi.nanos() - lo.nanos();
-                SimDuration(lo.nanos() + rng.random_range(0..=span))
+                SimDuration(lo.nanos() + rng.u64_inclusive(0, span))
             }
             DelayDistribution::Pareto { scale, alpha, max } => {
                 assert!(alpha > 1.0, "Pareto alpha must exceed 1 for a finite mean");
-                let u: f64 = rng.random();
+                let u = rng.f64_unit();
                 // 1 − u in (0, 1]: no division by zero.
                 let v = scale.as_secs_f64() * (1.0 - u).powf(-1.0 / alpha);
                 SimDuration::from_secs_f64(v).min(max)
@@ -122,11 +124,11 @@ impl DelayDistribution {
                 second_halfwidth,
                 p_second,
             } => {
-                if rng.random::<f64>() < p_second {
+                if rng.f64_unit() < p_second {
                     let lo = second_center.saturating_sub(second_halfwidth);
                     let hi = second_center + second_halfwidth;
                     let span = hi.nanos() - lo.nanos();
-                    SimDuration(lo.nanos() + rng.random_range(0..=span))
+                    SimDuration(lo.nanos() + rng.u64_inclusive(0, span))
                 } else {
                     sample_exponential(rng, first_mean).min(first_max)
                 }
@@ -139,7 +141,10 @@ impl DelayDistribution {
     pub fn mean(&self) -> SimDuration {
         match *self {
             DelayDistribution::Empirical { ref samples } => {
-                assert!(!samples.is_empty(), "empirical distribution with no samples");
+                assert!(
+                    !samples.is_empty(),
+                    "empirical distribution with no samples"
+                );
                 let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
                 SimDuration((sum / samples.len() as u128) as u64)
             }
@@ -222,8 +227,7 @@ impl DelayDistribution {
         let half_bin = h.bin_width().nanos() / 2;
         for (i, &count) in h.counts().iter().enumerate() {
             // Proportional representation with rounding.
-            let points = ((2 * count as u128 * max_points as u128 + total) / (2 * total))
-                as usize;
+            let points = ((2 * count as u128 * max_points as u128 + total) / (2 * total)) as usize;
             if points == 0 {
                 continue;
             }
@@ -239,24 +243,110 @@ impl DelayDistribution {
     }
 }
 
-/// Inverse-CDF exponential sampling: `−mean · ln(1 − u)` with `u ∈ [0, 1)`.
-fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, mean: SimDuration) -> SimDuration {
+/// Inverse-CDF exponential sampling via [`SimRng::exp`].
+fn sample_exponential(rng: &mut SimRng, mean: SimDuration) -> SimDuration {
     if mean.is_zero() {
         return SimDuration::ZERO;
     }
-    let u: f64 = rng.random();
-    // 1 − u ∈ (0, 1]: ln is finite, result non-negative.
-    SimDuration::from_secs_f64(-mean.as_secs_f64() * (1.0 - u).ln())
+    SimDuration::from_secs_f64(rng.exp(mean.as_secs_f64()))
+}
+
+impl ToJson for DelayDistribution {
+    fn to_json(&self) -> Json {
+        match *self {
+            DelayDistribution::None => Json::Str("None".into()),
+            DelayDistribution::Constant(d) => Json::obj(vec![("Constant", d.to_json())]),
+            DelayDistribution::Exponential { mean } => Json::obj(vec![(
+                "Exponential",
+                Json::obj(vec![("mean", mean.to_json())]),
+            )]),
+            DelayDistribution::TruncatedExponential { mean, max } => Json::obj(vec![(
+                "TruncatedExponential",
+                Json::obj(vec![("mean", mean.to_json()), ("max", max.to_json())]),
+            )]),
+            DelayDistribution::Uniform { lo, hi } => Json::obj(vec![(
+                "Uniform",
+                Json::obj(vec![("lo", lo.to_json()), ("hi", hi.to_json())]),
+            )]),
+            DelayDistribution::Pareto { scale, alpha, max } => Json::obj(vec![(
+                "Pareto",
+                Json::obj(vec![
+                    ("scale", scale.to_json()),
+                    ("alpha", alpha.to_json()),
+                    ("max", max.to_json()),
+                ]),
+            )]),
+            DelayDistribution::Empirical { ref samples } => Json::obj(vec![(
+                "Empirical",
+                Json::obj(vec![("samples", samples.to_json())]),
+            )]),
+            DelayDistribution::Bimodal {
+                first_mean,
+                first_max,
+                second_center,
+                second_halfwidth,
+                p_second,
+            } => Json::obj(vec![(
+                "Bimodal",
+                Json::obj(vec![
+                    ("first_mean", first_mean.to_json()),
+                    ("first_max", first_max.to_json()),
+                    ("second_center", second_center.to_json()),
+                    ("second_halfwidth", second_halfwidth.to_json()),
+                    ("p_second", p_second.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for DelayDistribution {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let (variant, p) = v.expect_variant()?;
+        Ok(match variant {
+            "None" => DelayDistribution::None,
+            "Constant" => DelayDistribution::Constant(SimDuration::from_json(p)?),
+            "Exponential" => DelayDistribution::Exponential {
+                mean: SimDuration::from_json(p.field("mean")?)?,
+            },
+            "TruncatedExponential" => DelayDistribution::TruncatedExponential {
+                mean: SimDuration::from_json(p.field("mean")?)?,
+                max: SimDuration::from_json(p.field("max")?)?,
+            },
+            "Uniform" => DelayDistribution::Uniform {
+                lo: SimDuration::from_json(p.field("lo")?)?,
+                hi: SimDuration::from_json(p.field("hi")?)?,
+            },
+            "Pareto" => DelayDistribution::Pareto {
+                scale: SimDuration::from_json(p.field("scale")?)?,
+                alpha: f64::from_json(p.field("alpha")?)?,
+                max: SimDuration::from_json(p.field("max")?)?,
+            },
+            "Empirical" => DelayDistribution::Empirical {
+                samples: Vec::<u64>::from_json(p.field("samples")?)?,
+            },
+            "Bimodal" => DelayDistribution::Bimodal {
+                first_mean: SimDuration::from_json(p.field("first_mean")?)?,
+                first_max: SimDuration::from_json(p.field("first_max")?)?,
+                second_center: SimDuration::from_json(p.field("second_center")?)?,
+                second_halfwidth: SimDuration::from_json(p.field("second_halfwidth")?)?,
+                p_second: f64::from_json(p.field("p_second")?)?,
+            },
+            other => {
+                return Err(json::JsonError(format!(
+                    "unknown DelayDistribution variant '{other}'"
+                )))
+            }
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(12345)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(12345)
     }
 
     fn empirical_mean(d: &DelayDistribution, n: usize) -> f64 {
@@ -281,13 +371,18 @@ mod tests {
         let d = DelayDistribution::Exponential { mean };
         let m = empirical_mean(&d, 200_000);
         let target = mean.as_secs_f64();
-        assert!((m - target).abs() / target < 0.02, "mean off: {m} vs {target}");
+        assert!(
+            (m - target).abs() / target < 0.02,
+            "mean off: {m} vs {target}"
+        );
         assert_eq!(d.mean(), mean);
     }
 
     #[test]
     fn exponential_samples_are_nonnegative_and_spread() {
-        let d = DelayDistribution::Exponential { mean: SimDuration::from_micros(10) };
+        let d = DelayDistribution::Exponential {
+            mean: SimDuration::from_micros(10),
+        };
         let mut r = rng();
         let mut above = 0;
         for _ in 0..10_000 {
@@ -363,7 +458,9 @@ mod tests {
 
     #[test]
     fn sampling_is_reproducible() {
-        let d = DelayDistribution::Exponential { mean: SimDuration::from_micros(7) };
+        let d = DelayDistribution::Exponential {
+            mean: SimDuration::from_micros(7),
+        };
         let mut a = rng();
         let mut b = rng();
         for _ in 0..100 {
@@ -373,7 +470,9 @@ mod tests {
 
     #[test]
     fn zero_mean_exponential_is_silent_in_practice() {
-        let d = DelayDistribution::Exponential { mean: SimDuration::ZERO };
+        let d = DelayDistribution::Exponential {
+            mean: SimDuration::ZERO,
+        };
         let mut r = rng();
         assert_eq!(d.sample(&mut r), SimDuration::ZERO);
     }
@@ -382,8 +481,6 @@ mod tests {
 #[cfg(test)]
 mod pareto_tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pareto_samples_respect_bounds() {
@@ -392,7 +489,7 @@ mod pareto_tests {
             alpha: 1.5,
             max: SimDuration::from_millis(5),
         };
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         for _ in 0..50_000 {
             let s = d.sample(&mut rng);
             assert!(s >= SimDuration::from_micros(9)); // rounding slack
@@ -412,10 +509,15 @@ mod pareto_tests {
         let mean = d.mean().as_micros_f64();
         assert!((mean - 199.0).abs() < 1.0, "mean {mean}");
         // Empirical check.
-        let mut rng = SmallRng::seed_from_u64(4);
-        let emp: f64 = (0..400_000).map(|_| d.sample(&mut rng).as_micros_f64()).sum::<f64>()
+        let mut rng = SimRng::seed_from_u64(4);
+        let emp: f64 = (0..400_000)
+            .map(|_| d.sample(&mut rng).as_micros_f64())
+            .sum::<f64>()
             / 400_000.0;
-        assert!((emp - mean).abs() / mean < 0.03, "empirical {emp} vs {mean}");
+        assert!(
+            (emp - mean).abs() / mean < 0.03,
+            "empirical {emp} vs {mean}"
+        );
     }
 
     #[test]
@@ -427,9 +529,9 @@ mod pareto_tests {
         };
         let mean = pareto.mean();
         let exp = DelayDistribution::Exponential { mean };
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         let big = SimDuration::from_millis(3);
-        let count = |d: &DelayDistribution, rng: &mut SmallRng| {
+        let count = |d: &DelayDistribution, rng: &mut SimRng| {
             (0..100_000).filter(|_| d.sample(rng) > big).count()
         };
         let p_big = count(&pareto, &mut rng);
@@ -448,7 +550,7 @@ mod pareto_tests {
             alpha: 0.9,
             max: SimDuration::from_millis(1),
         };
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let _ = d.sample(&mut rng);
     }
 }
@@ -457,8 +559,6 @@ mod pareto_tests {
 mod empirical_tests {
     use super::*;
     use crate::Histogram;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn empirical_samples_only_recorded_values() {
@@ -467,7 +567,7 @@ mod empirical_tests {
             SimDuration::from_micros(5),
             SimDuration::from_micros(11),
         ]);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let allowed = [2_000u64, 5_000, 11_000];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..1000 {
@@ -486,8 +586,10 @@ mod empirical_tests {
     fn from_histogram_reproduces_the_shape() {
         // Measure noise -> histogram -> empirical replay: the replayed
         // mean must track the measured one.
-        let source = DelayDistribution::Exponential { mean: SimDuration::from_micros(50) };
-        let mut rng = SmallRng::seed_from_u64(2);
+        let source = DelayDistribution::Exponential {
+            mean: SimDuration::from_micros(50),
+        };
+        let mut rng = SimRng::seed_from_u64(2);
         let mut h = Histogram::new(SimDuration::from_micros(5), 200);
         for _ in 0..100_000 {
             h.record(source.sample(&mut rng));
@@ -500,7 +602,7 @@ mod empirical_tests {
             "replayed mean {m_rep} vs measured {m_src}"
         );
         // Replayed samples respect the histogram's support.
-        let mut rng2 = SmallRng::seed_from_u64(3);
+        let mut rng2 = SimRng::seed_from_u64(3);
         for _ in 0..1000 {
             let s = replay.sample(&mut rng2);
             assert!(s <= SimDuration::from_micros(1000));
@@ -522,13 +624,51 @@ mod empirical_tests {
 
     #[test]
     fn empirical_noise_drives_a_simulation_like_any_other() {
-        // End-to-end smoke: serde round trip preserves the samples.
+        // End-to-end smoke: JSON round trip preserves the samples.
         let d = DelayDistribution::empirical(vec![
             SimDuration::from_micros(1),
             SimDuration::from_micros(2),
         ]);
-        let json = serde_json::to_string(&d).unwrap();
-        let back: DelayDistribution = serde_json::from_str(&json).unwrap();
+        let text = json::to_string(&d);
+        let back: DelayDistribution = json::from_str(&text).unwrap();
         assert_eq!(d, back);
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let us = SimDuration::from_micros;
+        let variants = vec![
+            DelayDistribution::None,
+            DelayDistribution::Constant(us(5)),
+            DelayDistribution::Exponential { mean: us(300) },
+            DelayDistribution::TruncatedExponential {
+                mean: us(10),
+                max: us(30),
+            },
+            DelayDistribution::Uniform {
+                lo: us(2),
+                hi: us(6),
+            },
+            DelayDistribution::Pareto {
+                scale: us(10),
+                alpha: 1.5,
+                max: us(5000),
+            },
+            DelayDistribution::Empirical {
+                samples: vec![1_000, 2_000],
+            },
+            DelayDistribution::Bimodal {
+                first_mean: us(3),
+                first_max: us(30),
+                second_center: us(660),
+                second_halfwidth: us(40),
+                p_second: 0.05,
+            },
+        ];
+        for d in variants {
+            let text = json::to_string(&d);
+            let back: DelayDistribution = json::from_str(&text).unwrap();
+            assert_eq!(d, back, "round trip failed for {text}");
+        }
     }
 }

@@ -6,11 +6,10 @@
 //! zero, an overflow bin, and the summary moments quoted in the text
 //! (average delay, maximum delay).
 
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
 
 /// A histogram of delay durations with fixed-width bins starting at zero.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     bin_width: SimDuration,
     counts: Vec<u64>,
@@ -103,10 +102,7 @@ impl Histogram {
     /// below `from` — used to locate the second mode of a bimodal histogram.
     pub fn peak_bin_from(&self, from: usize) -> Option<usize> {
         let slice = self.counts.get(from..)?;
-        let (off, &cnt) = slice
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)?;
+        let (off, &cnt) = slice.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         if cnt == 0 {
             return None;
         }

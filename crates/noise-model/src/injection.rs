@@ -10,13 +10,12 @@
 //! * one delay on a fixed local rank of every socket, with equal, halved, or
 //!   random durations (Fig. 6 a/b/c).
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use simdes::{SeedFactory, SimDuration};
 use std::collections::HashMap;
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// One planned delay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Injection {
     /// Rank that stalls.
     pub rank: u32,
@@ -27,10 +26,9 @@ pub struct Injection {
 }
 
 /// A set of one-off delays, queryable by `(rank, step)`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InjectionPlan {
     injections: Vec<Injection>,
-    #[serde(skip)]
     index: HashMap<(u32, u32), SimDuration>,
 }
 
@@ -49,12 +47,19 @@ impl InjectionPlan {
                 .entry((inj.rank, inj.step))
                 .or_insert(SimDuration::ZERO) += inj.duration;
         }
-        InjectionPlan { injections: list, index }
+        InjectionPlan {
+            injections: list,
+            index,
+        }
     }
 
     /// A single delay — the canonical idle-wave trigger.
     pub fn single(rank: u32, step: u32, duration: SimDuration) -> Self {
-        Self::from_list(vec![Injection { rank, step, duration }])
+        Self::from_list(vec![Injection {
+            rank,
+            step,
+            duration,
+        }])
     }
 
     /// Fig. 6(a): the same delay on local rank `local` of each of
@@ -68,7 +73,11 @@ impl InjectionPlan {
     ) -> Self {
         assert!(local < per_socket, "local rank outside socket");
         let list = (0..sockets)
-            .map(|s| Injection { rank: s * per_socket + local, step, duration })
+            .map(|s| Injection {
+                rank: s * per_socket + local,
+                step,
+                duration,
+            })
             .collect();
         Self::from_list(list)
     }
@@ -112,7 +121,7 @@ impl InjectionPlan {
             .map(|s| Injection {
                 rank: s * per_socket + local,
                 step,
-                duration: SimDuration(min.nanos() + rng.random_range(0..=span)),
+                duration: SimDuration(min.nanos() + rng.u64_inclusive(0, span)),
             })
             .collect();
         Self::from_list(list)
@@ -120,7 +129,10 @@ impl InjectionPlan {
 
     /// Delay to add to the execution phase of `(rank, step)`, zero if none.
     pub fn delay_for(&self, rank: u32, step: u32) -> SimDuration {
-        self.index.get(&(rank, step)).copied().unwrap_or(SimDuration::ZERO)
+        self.index
+            .get(&(rank, step))
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// All planned injections.
@@ -143,8 +155,9 @@ impl InjectionPlan {
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Rebuild the lookup index (needed after serde deserialization, which
-    /// skips the index field).
+    /// Rebuild the lookup index. JSON parsing goes through
+    /// [`InjectionPlan::from_list`], which indexes eagerly, so this is only
+    /// needed by callers that restored a plan through some other channel.
     pub fn reindex(&mut self) {
         self.index.clear();
         for inj in &self.injections {
@@ -153,6 +166,39 @@ impl InjectionPlan {
                 .entry((inj.rank, inj.step))
                 .or_insert(SimDuration::ZERO) += inj.duration;
         }
+    }
+}
+
+impl ToJson for Injection {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rank", self.rank.to_json()),
+            ("step", self.step.to_json()),
+            ("duration", self.duration.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Injection {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(Injection {
+            rank: u32::from_json(v.field("rank")?)?,
+            step: u32::from_json(v.field("step")?)?,
+            duration: SimDuration::from_json(v.field("duration")?)?,
+        })
+    }
+}
+
+impl ToJson for InjectionPlan {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("injections", self.injections.to_json())])
+    }
+}
+
+impl FromJson for InjectionPlan {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let injections = Vec::<Injection>::from_json(v.field("injections")?)?;
+        Ok(InjectionPlan::from_list(injections))
     }
 }
 
@@ -183,8 +229,16 @@ mod tests {
     #[test]
     fn duplicate_injections_accumulate() {
         let p = InjectionPlan::from_list(vec![
-            Injection { rank: 2, step: 3, duration: MS },
-            Injection { rank: 2, step: 3, duration: MS.times(2) },
+            Injection {
+                rank: 2,
+                step: 3,
+                duration: MS,
+            },
+            Injection {
+                rank: 2,
+                step: 3,
+                duration: MS.times(2),
+            },
         ]);
         assert_eq!(p.delay_for(2, 3), MS.times(3));
     }
@@ -245,5 +299,32 @@ mod tests {
         assert_eq!(p.delay_for(1, 2), SimDuration::ZERO);
         p.reindex();
         assert_eq!(p.delay_for(1, 2), MS);
+    }
+
+    #[test]
+    fn json_round_trip_restores_index() {
+        let p = InjectionPlan::from_list(vec![
+            Injection {
+                rank: 2,
+                step: 3,
+                duration: MS,
+            },
+            Injection {
+                rank: 2,
+                step: 3,
+                duration: MS.times(2),
+            },
+            Injection {
+                rank: 7,
+                step: 0,
+                duration: MS.times(5),
+            },
+        ]);
+        let text = json::to_string(&p);
+        let back: InjectionPlan = json::from_str(&text).unwrap();
+        assert_eq!(p, back);
+        // The lookup index is rebuilt, not just the list.
+        assert_eq!(back.delay_for(2, 3), MS.times(3));
+        assert_eq!(back.delay_for(7, 0), MS.times(5));
     }
 }

@@ -12,7 +12,6 @@
 //! The injected application noise of Sec. V (Eq. 3) is exponential with
 //! mean `E · T_exec` where `E` is the scanned noise level.
 
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
 
 use crate::distribution::DelayDistribution;
@@ -79,7 +78,7 @@ pub fn application_noise(e_percent: f64, t_exec: SimDuration) -> DelayDistributi
 
 /// Named system-noise configurations, for harnesses that scan the paper's
 /// platforms.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SystemPreset {
     /// InfiniBand cluster, SMT on (official configuration).
     EmmySmtOn,
@@ -120,8 +119,7 @@ impl SystemPreset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use simdes::SimRng;
 
     #[test]
     fn smt_on_means_match_paper() {
@@ -135,7 +133,7 @@ mod tests {
 
     #[test]
     fn smt_on_max_below_30us() {
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         for _ in 0..100_000 {
             assert!(emmy_smt_on().sample(&mut rng) <= SimDuration::from_micros(30));
         }
@@ -143,7 +141,7 @@ mod tests {
 
     #[test]
     fn meggie_smt_off_is_bimodal_near_660us() {
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let d = meggie_smt_off();
         let spike = (0..100_000)
             .filter(|_| {

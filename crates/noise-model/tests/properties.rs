@@ -1,91 +1,108 @@
 //! Property-based tests for delay distributions, injections and
 //! histograms: samples must respect their documented bounds for any
 //! parameter combination, and the histogram must account for every sample.
+//!
+//! Driven by the in-tree `simdes::check` harness.
 
 use noise_model::{DelayDistribution, Histogram, Injection, InjectionPlan};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use simdes::SimDuration;
+use simdes::check::{for_all, DEFAULT_CASES};
+use simdes::{SimDuration, SimRng};
 
-proptest! {
-    /// Truncated exponential samples never exceed the clamp and the
-    /// empirical mean is below the (untruncated) mean parameter.
-    #[test]
-    fn truncated_exponential_respects_clamp(mean_us in 1u64..10_000, max_us in 1u64..10_000,
-                                            seed in any::<u64>()) {
+/// Truncated exponential samples never exceed the clamp and the
+/// empirical mean is below the (untruncated) mean parameter.
+#[test]
+fn truncated_exponential_respects_clamp() {
+    for_all("truncated_exponential_respects_clamp", DEFAULT_CASES, |g| {
+        let mean_us = g.u64(1, 9_999);
+        let max_us = g.u64(1, 9_999);
         let d = DelayDistribution::TruncatedExponential {
             mean: SimDuration::from_micros(mean_us),
             max: SimDuration::from_micros(max_us),
         };
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(g.any_u64());
         let mut sum = 0.0;
         for _ in 0..500 {
             let s = d.sample(&mut rng);
-            prop_assert!(s <= SimDuration::from_micros(max_us));
+            assert!(s <= SimDuration::from_micros(max_us));
             sum += s.as_micros_f64();
         }
-        prop_assert!(sum / 500.0 <= mean_us as f64 * 1.6 + 1.0, "mean wildly off");
+        assert!(sum / 500.0 <= mean_us as f64 * 1.6 + 1.0, "mean wildly off");
         // Analytic mean below both parameters.
-        prop_assert!(d.mean() <= SimDuration::from_micros(mean_us));
-        prop_assert!(d.mean() <= SimDuration::from_micros(max_us));
-    }
+        assert!(d.mean() <= SimDuration::from_micros(mean_us));
+        assert!(d.mean() <= SimDuration::from_micros(max_us));
+    });
+}
 
-    /// Uniform samples stay in their bounds, any bounds.
-    #[test]
-    fn uniform_in_bounds(a in 0u64..1_000_000, b in 0u64..1_000_000, seed in any::<u64>()) {
+/// Uniform samples stay in their bounds, any bounds.
+#[test]
+fn uniform_in_bounds() {
+    for_all("uniform_in_bounds", DEFAULT_CASES, |g| {
+        let a = g.u64(0, 999_999);
+        let b = g.u64(0, 999_999);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let d = DelayDistribution::Uniform {
             lo: SimDuration(lo),
             hi: SimDuration(hi),
         };
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(g.any_u64());
         for _ in 0..200 {
             let s = d.sample(&mut rng);
-            prop_assert!(s.nanos() >= lo && s.nanos() <= hi);
+            assert!(s.nanos() >= lo && s.nanos() <= hi);
         }
-    }
+    });
+}
 
-    /// Sampling is a pure function of the RNG state: same seed, same draws.
-    #[test]
-    fn sampling_reproducible(mean_us in 1u64..1000, seed in any::<u64>()) {
-        let d = DelayDistribution::Exponential { mean: SimDuration::from_micros(mean_us) };
-        let mut a = SmallRng::seed_from_u64(seed);
-        let mut b = SmallRng::seed_from_u64(seed);
+/// Sampling is a pure function of the RNG state: same seed, same draws.
+#[test]
+fn sampling_reproducible() {
+    for_all("sampling_reproducible", DEFAULT_CASES, |g| {
+        let mean_us = g.u64(1, 999);
+        let seed = g.any_u64();
+        let d = DelayDistribution::Exponential {
+            mean: SimDuration::from_micros(mean_us),
+        };
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
         for _ in 0..50 {
-            prop_assert_eq!(d.sample(&mut a), d.sample(&mut b));
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
         }
-    }
+    });
+}
 
-    /// Every recorded sample lands in exactly one bin (or overflow).
-    #[test]
-    fn histogram_accounts_for_all_samples(
-        samples in prop::collection::vec(0u64..10_000_000, 1..500),
-        bin_us in 1u64..100,
-        bins in 1usize..128,
-    ) {
+/// Every recorded sample lands in exactly one bin (or overflow).
+#[test]
+fn histogram_accounts_for_all_samples() {
+    for_all("histogram_accounts_for_all_samples", DEFAULT_CASES, |g| {
+        let samples = g.vec(1, 500, |g| g.u64(0, 9_999_999));
+        let bin_us = g.u64(1, 99);
+        let bins = g.usize(1, 127);
         let mut h = Histogram::new(SimDuration::from_micros(bin_us), bins);
         for &s in &samples {
             h.record(SimDuration(s));
         }
         let in_bins: u64 = h.counts().iter().sum();
-        prop_assert_eq!(in_bins + h.overflow(), samples.len() as u64);
-        prop_assert_eq!(h.total(), samples.len() as u64);
+        assert_eq!(in_bins + h.overflow(), samples.len() as u64);
+        assert_eq!(h.total(), samples.len() as u64);
         let max = samples.iter().copied().max().unwrap();
-        prop_assert_eq!(h.max().nanos(), max);
+        assert_eq!(h.max().nanos(), max);
         // Mean within [min, max].
         let min = samples.iter().copied().min().unwrap();
-        prop_assert!(h.mean().nanos() >= min.saturating_sub(1) && h.mean().nanos() <= max);
-    }
+        assert!(h.mean().nanos() >= min.saturating_sub(1) && h.mean().nanos() <= max);
+    });
+}
 
-    /// Injection plans answer exactly what was put in, for any plan.
-    #[test]
-    fn injection_plan_lookup_consistent(
-        list in prop::collection::vec((0u32..20, 0u32..10, 1u64..1_000_000), 0..30)
-    ) {
+/// Injection plans answer exactly what was put in, for any plan.
+#[test]
+fn injection_plan_lookup_consistent() {
+    for_all("injection_plan_lookup_consistent", DEFAULT_CASES, |g| {
+        let list = g.vec(0, 30, |g| (g.u32(0, 19), g.u32(0, 9), g.u64(1, 999_999)));
         let plan = InjectionPlan::from_list(
             list.iter()
-                .map(|&(rank, step, ns)| Injection { rank, step, duration: SimDuration(ns) })
+                .map(|&(rank, step, ns)| Injection {
+                    rank,
+                    step,
+                    duration: SimDuration(ns),
+                })
                 .collect(),
         );
         // Sum per coordinate must match.
@@ -96,11 +113,11 @@ proptest! {
                     .filter(|&&(r, s, _)| r == rank && s == step)
                     .map(|&(_, _, ns)| ns)
                     .sum();
-                prop_assert_eq!(plan.delay_for(rank, step).nanos(), expect);
+                assert_eq!(plan.delay_for(rank, step).nanos(), expect);
             }
         }
-        prop_assert_eq!(plan.is_empty(), list.is_empty());
+        assert_eq!(plan.is_empty(), list.is_empty());
         let max = list.iter().map(|&(_, _, ns)| ns).max().unwrap_or(0);
-        prop_assert_eq!(plan.max_duration().nanos(), max);
-    }
+        assert_eq!(plan.max_duration().nanos(), max);
+    });
 }

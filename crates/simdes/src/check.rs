@@ -1,0 +1,226 @@
+//! A small in-tree property-testing driver (no external crates).
+//!
+//! The workspace's property tests used to ride on `proptest`; for a
+//! hermetic, offline-buildable repo they now use this module instead. The
+//! model is deliberately simple — a seeded case generator plus a
+//! shrink-free `for_all` loop:
+//!
+//! ```
+//! use simdes::check::{for_all, Gen};
+//!
+//! for_all("addition commutes", 100, |g: &mut Gen| {
+//!     let a = g.u64(0, 1_000);
+//!     let b = g.u64(0, 1_000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Each case runs with an RNG stream derived from `(property name, case
+//! index)` via [`SeedFactory`], so:
+//!
+//! * cases are reproducible across runs and machines,
+//! * adding a property never perturbs another property's cases, and
+//! * a failure report names the property, case index and derived seed —
+//!   re-running the binary replays the identical case (there is no
+//!   shrinking; cases are small by construction instead).
+//!
+//! Environment knobs:
+//!
+//! * `SIMDES_CHECK_CASES` — override the case count of every `for_all`
+//!   (e.g. `SIMDES_CHECK_CASES=1000 cargo test` for a deeper soak).
+//! * `SIMDES_CHECK_SEED` — change the master seed (default 0) to explore
+//!   a different region of the case space.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{SeedFactory, SimRng};
+
+/// The generator handed to each property case: a thin layer over
+/// [`SimRng`] with range-oriented drawing helpers.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// A generator over an explicit seed (for standalone use; `for_all`
+    /// builds these itself).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Uniform `u64` in the *inclusive* range `[lo, hi]`.
+    pub fn u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.u64_inclusive(lo, hi)
+    }
+
+    /// Uniform `u32` in the inclusive range `[lo, hi]`.
+    pub fn u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.u64_inclusive(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `usize` in the inclusive range `[lo, hi]`.
+    pub fn usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.u64_inclusive(lo as u64, hi as u64) as usize
+    }
+
+    /// An arbitrary 64-bit word (the whole domain, like `any::<u64>()`).
+    pub fn any_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.f64_in(lo, hi)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.bool()
+    }
+
+    /// `Some(f(self))` half the time, `None` otherwise.
+    pub fn option<T>(&mut self, mut f: impl FnMut(&mut Gen) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// One of the given choices, uniformly.
+    ///
+    /// # Panics
+    /// Panics on an empty choice list.
+    pub fn pick<T: Clone>(&mut self, choices: &[T]) -> T {
+        choices[self.rng.index(choices.len())].clone()
+    }
+
+    /// A vector with uniformly chosen length in `[min_len, max_len]`,
+    /// elements drawn by `f`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize(min_len, max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Default number of cases when a property does not override it and the
+/// environment does not either.
+pub const DEFAULT_CASES: u32 = 64;
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Run `property` against `cases` generated inputs (shrink-free).
+///
+/// The case count is overridden globally by `SIMDES_CHECK_CASES`; the
+/// master seed (default 0) by `SIMDES_CHECK_SEED`. On failure the panic
+/// message names the property, the failing case index, and the derived
+/// case seed, then re-raises.
+pub fn for_all(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
+    let cases = env_u64("SIMDES_CHECK_CASES")
+        .map_or(cases, |c| c as u32)
+        .max(1);
+    let master = env_u64("SIMDES_CHECK_SEED").unwrap_or(0);
+    let seeds = SeedFactory::new(master);
+    for case in 0..cases {
+        let seed = seeds.derive(name, u64::from(case));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen {
+                rng: SimRng::seed_from_u64(seed),
+            };
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property '{name}' failed at case {case}/{cases} \
+                 (master seed {master}, case seed {seed:#x}):\n{msg}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        for_all("counts", 17, |_| counter.set(counter.get() + 1));
+        assert_eq!(counter.get(), 17);
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut first: Vec<u64> = Vec::new();
+        let mut second: Vec<u64> = Vec::new();
+        {
+            let sink = std::cell::RefCell::new(&mut first);
+            for_all("replay", 8, |g| sink.borrow_mut().push(g.u64(0, 1000)));
+        }
+        {
+            let sink = std::cell::RefCell::new(&mut second);
+            for_all("replay", 8, |g| sink.borrow_mut().push(g.u64(0, 1000)));
+        }
+        assert_eq!(first, second);
+        // Distinct property names see distinct cases.
+        let mut other: Vec<u64> = Vec::new();
+        {
+            let sink = std::cell::RefCell::new(&mut other);
+            for_all("replay-2", 8, |g| sink.borrow_mut().push(g.u64(0, 1000)));
+        }
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn failure_report_names_property_and_case() {
+        let result = std::panic::catch_unwind(|| {
+            for_all("doomed", 10, |g| {
+                let v = g.u64(0, 100);
+                assert!(v > 1000, "v was {v}");
+            });
+        });
+        let payload = result.expect_err("property must fail");
+        let msg = payload.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("property 'doomed' failed at case 0"), "{msg}");
+        assert!(msg.contains("case seed"), "{msg}");
+        assert!(msg.contains("v was"), "{msg}");
+    }
+
+    #[test]
+    fn generator_helpers_respect_bounds() {
+        for_all("bounds", 64, |g| {
+            let a = g.u32(3, 9);
+            assert!((3..=9).contains(&a));
+            let b = g.f64(-2.0, 2.0);
+            assert!((-2.0..2.0).contains(&b));
+            let v = g.vec(1, 5, |g| g.bool());
+            assert!((1..=5).contains(&v.len()));
+            let p = g.pick(&[10, 20, 30]);
+            assert!([10, 20, 30].contains(&p));
+            let o = g.option(|g| g.u64(0, 1));
+            if let Some(x) = o {
+                assert!(x <= 1);
+            }
+        });
+    }
+}

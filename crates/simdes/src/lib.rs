@@ -21,11 +21,12 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 mod queue;
 mod rng;
 pub mod stats;
 mod time;
 
 pub use queue::EventQueue;
-pub use rng::{splitmix64, SeedFactory};
+pub use rng::{splitmix64, SeedFactory, SimRng};
 pub use time::{SimDuration, SimTime};

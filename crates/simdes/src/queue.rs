@@ -138,7 +138,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time: at, seq, payload });
+        self.heap.push(Scheduled {
+            time: at,
+            seq,
+            payload,
+        });
     }
 
     /// Schedule `payload` after a relative delay from the current time.

@@ -105,7 +105,12 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LineFit> {
             .sum();
         1.0 - ss_res / syy
     };
-    Some(LineFit { slope, intercept, r2, n })
+    Some(LineFit {
+        slope,
+        intercept,
+        r2,
+        n,
+    })
 }
 
 /// Percentile by linear interpolation between order statistics

@@ -1,16 +1,20 @@
 //! Property-based tests for the engine's core invariants: the event queue
 //! must be a stable priority queue under any schedule, and the statistics
 //! helpers must respect order axioms on any finite sample.
+//!
+//! Driven by the in-tree `simdes::check` harness (seeded case generation,
+//! no external dependencies).
 
-use proptest::prelude::*;
+use simdes::check::{for_all, DEFAULT_CASES};
 use simdes::stats::{linear_fit, percentile, Summary};
 use simdes::{EventQueue, SeedFactory, SimTime};
 
-proptest! {
-    /// Popping returns events in non-decreasing time order, and events with
-    /// equal timestamps come out in insertion order, for any schedule.
-    #[test]
-    fn queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1000, 1..200)) {
+/// Popping returns events in non-decreasing time order, and events with
+/// equal timestamps come out in insertion order, for any schedule.
+#[test]
+fn queue_is_a_stable_priority_queue() {
+    for_all("queue_is_a_stable_priority_queue", DEFAULT_CASES, |g| {
+        let times = g.vec(1, 200, |g| g.u64(0, 999));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule_at(SimTime(t), i);
@@ -19,80 +23,97 @@ proptest! {
         let mut seen = 0;
         while let Some((t, id)) = q.pop() {
             if let Some((lt, lid)) = last {
-                prop_assert!(t >= lt, "time went backwards");
+                assert!(t >= lt, "time went backwards");
                 if t == lt {
-                    prop_assert!(id > lid, "FIFO violated for ties");
+                    assert!(id > lid, "FIFO violated for ties");
                 }
             }
-            prop_assert_eq!(times[id], t.nanos(), "event delivered at wrong time");
+            assert_eq!(times[id], t.nanos(), "event delivered at wrong time");
             last = Some((t, id));
             seen += 1;
         }
-        prop_assert_eq!(seen, times.len());
-    }
+        assert_eq!(seen, times.len());
+    });
+}
 
-    /// Interleaved scheduling respects causality for any delay pattern.
-    #[test]
-    fn queue_interleaved_pops_stay_monotone(delays in prop::collection::vec(0u64..50, 1..100)) {
+/// Interleaved scheduling respects causality for any delay pattern.
+#[test]
+fn queue_interleaved_pops_stay_monotone() {
+    for_all("queue_interleaved_pops_stay_monotone", DEFAULT_CASES, |g| {
+        let delays = g.vec(1, 100, |g| g.u64(0, 49));
         let mut q = EventQueue::new();
         q.schedule_at(SimTime(0), 0usize);
         let mut idx = 0;
         let mut last = SimTime::ZERO;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last);
             last = t;
             if idx < delays.len() {
                 q.schedule_in(simdes::SimDuration(delays[idx]), idx + 1);
                 idx += 1;
             }
         }
-        prop_assert_eq!(q.delivered(), delays.len() as u64 + 1);
-    }
+        assert_eq!(q.delivered(), delays.len() as u64 + 1);
+    });
+}
 
-    /// Summary statistics respect order axioms on any finite sample.
-    #[test]
-    fn summary_order_axioms(values in prop::collection::vec(-1e12f64..1e12, 1..100)) {
+/// Summary statistics respect order axioms on any finite sample.
+#[test]
+fn summary_order_axioms() {
+    for_all("summary_order_axioms", DEFAULT_CASES, |g| {
+        let values = g.vec(1, 100, |g| g.f64(-1e12, 1e12));
         let s = Summary::of(&values).expect("finite sample");
-        prop_assert!(s.min <= s.median && s.median <= s.max);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert!(s.stddev >= 0.0);
-        prop_assert_eq!(s.n, values.len());
-    }
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert!(s.stddev >= 0.0);
+        assert_eq!(s.n, values.len());
+    });
+}
 
-    /// Percentiles are monotone in p and bounded by the extremes.
-    #[test]
-    fn percentile_monotone(values in prop::collection::vec(-1e9f64..1e9, 1..50),
-                           a in 0.0f64..100.0, b in 0.0f64..100.0) {
+/// Percentiles are monotone in p and bounded by the extremes.
+#[test]
+fn percentile_monotone() {
+    for_all("percentile_monotone", DEFAULT_CASES, |g| {
+        let values = g.vec(1, 50, |g| g.f64(-1e9, 1e9));
+        let a = g.f64(0.0, 100.0);
+        let b = g.f64(0.0, 100.0);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let pa = percentile(&values, lo).unwrap();
         let pb = percentile(&values, hi).unwrap();
-        prop_assert!(pa <= pb + 1e-9);
+        assert!(pa <= pb + 1e-9);
         let min = percentile(&values, 0.0).unwrap();
         let max = percentile(&values, 100.0).unwrap();
-        prop_assert!(min <= pa + 1e-9 && pb <= max + 1e-9);
-    }
+        assert!(min <= pa + 1e-9 && pb <= max + 1e-9);
+    });
+}
 
-    /// A line fit on exactly linear data recovers slope and intercept for
-    /// any (non-degenerate) parameters.
-    #[test]
-    fn fit_recovers_any_line(slope in -1e3f64..1e3, intercept in -1e3f64..1e3,
-                             n in 3usize..40) {
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|i| (i as f64, slope * i as f64 + intercept)).collect();
+/// A line fit on exactly linear data recovers slope and intercept for
+/// any (non-degenerate) parameters.
+#[test]
+fn fit_recovers_any_line() {
+    for_all("fit_recovers_any_line", DEFAULT_CASES, |g| {
+        let slope = g.f64(-1e3, 1e3);
+        let intercept = g.f64(-1e3, 1e3);
+        let n = g.usize(3, 39);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| (i as f64, slope * i as f64 + intercept))
+            .collect();
         let f = linear_fit(&pts).unwrap();
-        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
-        prop_assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
-        prop_assert!(f.r2 > 1.0 - 1e-9);
-    }
+        assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        assert!((f.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        assert!(f.r2 > 1.0 - 1e-9);
+    });
+}
 
-    /// Derived RNG streams are reproducible and label/index sensitive.
-    #[test]
-    fn seed_factory_streams_are_stable(master in any::<u64>(), idx in any::<u64>()) {
+/// Derived RNG streams are reproducible and label/index sensitive.
+#[test]
+fn seed_factory_streams_are_stable() {
+    for_all("seed_factory_streams_are_stable", DEFAULT_CASES, |g| {
+        let master = g.any_u64();
+        let idx = g.any_u64();
         let f = SeedFactory::new(master);
-        prop_assert_eq!(f.derive("x", idx), f.derive("x", idx));
-        if idx != idx.wrapping_add(1) {
-            prop_assert_ne!(f.derive("x", idx), f.derive("x", idx.wrapping_add(1)));
-        }
-        prop_assert_ne!(f.derive("x", idx), f.derive("y", idx));
-    }
+        assert_eq!(f.derive("x", idx), f.derive("x", idx));
+        assert_ne!(f.derive("x", idx), f.derive("x", idx.wrapping_add(1)));
+        assert_ne!(f.derive("x", idx), f.derive("y", idx));
+    });
 }

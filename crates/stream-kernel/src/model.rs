@@ -17,11 +17,11 @@
 //! perfectly-synchronised prediction because desynchronisation reduces
 //! instantaneous bandwidth contention.
 
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// Parameters of the Fig. 1 experiment and its Eq. 1 model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TriadScalingModel {
     /// Total working set in bytes (paper: 1.2 GB = 5 × 10⁷ elements × 24 B).
     pub vmem_bytes: u64,
@@ -86,6 +86,28 @@ impl TriadScalingModel {
     /// communication ignored — the red-diamond curve of Fig. 1a).
     pub fn exec_perf_flops(&self, n: u32) -> f64 {
         2.0 * self.elements() as f64 / self.exec_time(n).as_secs_f64()
+    }
+}
+
+impl ToJson for TriadScalingModel {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("vmem_bytes", self.vmem_bytes.to_json()),
+            ("vnet_bytes", self.vnet_bytes.to_json()),
+            ("domain_bw_bps", self.domain_bw_bps.to_json()),
+            ("bnet_bps", self.bnet_bps.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TriadScalingModel {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(TriadScalingModel {
+            vmem_bytes: u64::from_json(v.field("vmem_bytes")?)?,
+            vnet_bytes: u64::from_json(v.field("vnet_bytes")?)?,
+            domain_bw_bps: f64::from_json(v.field("domain_bw_bps")?)?,
+            bnet_bps: f64::from_json(v.field("bnet_bps")?)?,
+        })
     }
 }
 

@@ -7,11 +7,13 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 mod record;
 pub mod render;
 pub mod svg;
 mod trace;
 
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use record::PhaseRecord;
 pub use render::{activity_at, ascii_timeline, idle_csv, to_csv, Activity, AsciiOptions};
 pub use svg::{svg_timeline, SvgOptions};

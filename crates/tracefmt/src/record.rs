@@ -7,11 +7,12 @@
 //! same information an MPI trace collector (the paper used Intel Trace
 //! Analyzer) provides, reduced to what the idle-wave analysis needs.
 
-use serde::{Deserialize, Serialize};
 use simdes::{SimDuration, SimTime};
 
+use crate::json::{self, FromJson, Json, ToJson};
+
 /// Timing of one execution + communication cycle on one rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhaseRecord {
     /// Rank that executed the phase.
     pub rank: u32,
@@ -57,6 +58,34 @@ impl PhaseRecord {
     }
 }
 
+impl ToJson for PhaseRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rank", self.rank.to_json()),
+            ("step", self.step.to_json()),
+            ("exec_start", self.exec_start.to_json()),
+            ("exec_end", self.exec_end.to_json()),
+            ("comm_end", self.comm_end.to_json()),
+            ("injected", self.injected.to_json()),
+            ("noise", self.noise.to_json()),
+        ])
+    }
+}
+
+impl FromJson for PhaseRecord {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(PhaseRecord {
+            rank: u32::from_json(v.field("rank")?)?,
+            step: u32::from_json(v.field("step")?)?,
+            exec_start: SimTime::from_json(v.field("exec_start")?)?,
+            exec_end: SimTime::from_json(v.field("exec_end")?)?,
+            comm_end: SimTime::from_json(v.field("comm_end")?)?,
+            injected: SimDuration::from_json(v.field("injected")?)?,
+            noise: SimDuration::from_json(v.field("noise")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,10 +119,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let r = rec();
-        let json = serde_json::to_string(&r).unwrap();
-        let back: PhaseRecord = serde_json::from_str(&json).unwrap();
+        let json = json::to_string(&r);
+        let back: PhaseRecord = json::from_str(&json).unwrap();
         assert_eq!(r, back);
     }
 }

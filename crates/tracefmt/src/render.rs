@@ -74,7 +74,11 @@ pub struct AsciiOptions {
 
 impl Default for AsciiOptions {
     fn default() -> Self {
-        AsciiOptions { width: 100, until: None, ranks_per_socket: None }
+        AsciiOptions {
+            width: 100,
+            until: None,
+            ranks_per_socket: None,
+        }
     }
 }
 
@@ -142,7 +146,13 @@ pub fn to_csv(trace: &Trace) -> String {
 pub fn idle_csv(trace: &Trace, baseline: SimDuration) -> String {
     let mut out = String::from("rank,step,idle_ns\n");
     for r in trace.iter() {
-        let _ = writeln!(out, "{},{},{}", r.rank, r.step, r.idle_beyond(baseline).nanos());
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            r.rank,
+            r.step,
+            r.idle_beyond(baseline).nanos()
+        );
     }
     out
 }
@@ -168,7 +178,7 @@ mod tests {
             2,
             2,
             vec![
-                mk(0, 0, 0, 100, 300, 0),   // waits until rank 1 sends
+                mk(0, 0, 0, 100, 300, 0), // waits until rank 1 sends
                 mk(0, 1, 300, 400, 410, 0),
                 mk(1, 0, 0, 290, 300, 190), // 190 ns injected delay
                 mk(1, 1, 300, 400, 410, 0),
@@ -194,7 +204,13 @@ mod tests {
     #[test]
     fn ascii_contains_all_markers() {
         let t = trace();
-        let s = ascii_timeline(&t, &AsciiOptions { width: 41, ..Default::default() });
+        let s = ascii_timeline(
+            &t,
+            &AsciiOptions {
+                width: 41,
+                ..Default::default()
+            },
+        );
         assert!(s.contains('D'), "no injected-delay marker:\n{s}");
         assert!(s.contains('#'), "no wait marker:\n{s}");
         assert!(s.contains('.'), "no work marker:\n{s}");
@@ -208,7 +224,11 @@ mod tests {
         let t = trace();
         let s = ascii_timeline(
             &t,
-            &AsciiOptions { width: 20, ranks_per_socket: Some(1), ..Default::default() },
+            &AsciiOptions {
+                width: 20,
+                ranks_per_socket: Some(1),
+                ..Default::default()
+            },
         );
         assert!(s.contains("--------------------"), "{s}");
     }
@@ -235,10 +255,20 @@ mod tests {
     #[test]
     fn ascii_respects_until() {
         let t = trace();
-        let full = ascii_timeline(&t, &AsciiOptions { width: 40, ..Default::default() });
+        let full = ascii_timeline(
+            &t,
+            &AsciiOptions {
+                width: 40,
+                ..Default::default()
+            },
+        );
         let early = ascii_timeline(
             &t,
-            &AsciiOptions { width: 40, until: Some(SimTime(300)), ..Default::default() },
+            &AsciiOptions {
+                width: 40,
+                until: Some(SimTime(300)),
+                ..Default::default()
+            },
         );
         assert_ne!(full, early);
         // In the truncated view nothing is Finished, so no trailing spaces

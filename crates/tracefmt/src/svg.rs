@@ -26,7 +26,12 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 900, lane_height: 14, until: None, ranks_per_socket: None }
+        SvgOptions {
+            width: 900,
+            lane_height: 14,
+            until: None,
+            ranks_per_socket: None,
+        }
     }
 }
 
@@ -190,8 +195,14 @@ mod tests {
         let rects = svg.matches("<rect").count();
         assert!(rects >= 5, "only {rects} rects");
         // No unescaped raw text problems: every line of markup closes.
-        for line in svg.lines().filter(|l| l.starts_with('<') && !l.starts_with("</")) {
-            assert!(line.ends_with("/>") || line.ends_with('>'), "unterminated: {line}");
+        for line in svg
+            .lines()
+            .filter(|l| l.starts_with('<') && !l.starts_with("</"))
+        {
+            assert!(
+                line.ends_with("/>") || line.ends_with('>'),
+                "unterminated: {line}"
+            );
         }
     }
 
@@ -201,7 +212,10 @@ mod tests {
         assert!(!base.contains("stroke-dasharray"));
         let with = svg_timeline(
             &trace(),
-            &SvgOptions { ranks_per_socket: Some(1), ..Default::default() },
+            &SvgOptions {
+                ranks_per_socket: Some(1),
+                ..Default::default()
+            },
         );
         assert!(with.contains("stroke-dasharray"));
     }
@@ -211,7 +225,10 @@ mod tests {
         let full = svg_timeline(&trace(), &SvgOptions::default());
         let clipped = svg_timeline(
             &trace(),
-            &SvgOptions { until: Some(SimTime(200)), ..Default::default() },
+            &SvgOptions {
+                until: Some(SimTime(200)),
+                ..Default::default()
+            },
         );
         assert_ne!(full, clipped);
         assert!(clipped.contains("</svg>"));

@@ -1,13 +1,13 @@
 //! The full trace of a bulk-synchronous run: a dense `(rank, step)` matrix
 //! of [`PhaseRecord`]s plus whole-run accessors.
 
-use serde::{Deserialize, Serialize};
 use simdes::{SimDuration, SimTime};
 
+use crate::json::{self, FromJson, Json, ToJson};
 use crate::record::PhaseRecord;
 
 /// A complete run trace: `ranks × steps` phase records in rank-major order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     ranks: u32,
     steps: u32,
@@ -23,16 +23,36 @@ impl Trace {
     pub fn from_records(ranks: u32, steps: u32, records: Vec<PhaseRecord>) -> Self {
         assert!(ranks > 0 && steps > 0, "empty trace dimensions");
         let n = ranks as usize * steps as usize;
-        assert_eq!(records.len(), n, "expected {n} records, got {}", records.len());
+        assert_eq!(
+            records.len(),
+            n,
+            "expected {n} records, got {}",
+            records.len()
+        );
         let mut slots: Vec<Option<PhaseRecord>> = vec![None; n];
         for r in records {
-            assert!(r.rank < ranks && r.step < steps, "record out of range: {r:?}");
+            assert!(
+                r.rank < ranks && r.step < steps,
+                "record out of range: {r:?}"
+            );
             let idx = r.rank as usize * steps as usize + r.step as usize;
-            assert!(slots[idx].is_none(), "duplicate record for rank {} step {}", r.rank, r.step);
+            assert!(
+                slots[idx].is_none(),
+                "duplicate record for rank {} step {}",
+                r.rank,
+                r.step
+            );
             slots[idx] = Some(r);
         }
-        let records = slots.into_iter().map(|s| s.expect("checked full")).collect();
-        Trace { ranks, steps, records }
+        let records = slots
+            .into_iter()
+            .map(|s| s.expect("checked full"))
+            .collect();
+        Trace {
+            ranks,
+            steps,
+            records,
+        }
     }
 
     /// Number of ranks.
@@ -47,7 +67,10 @@ impl Trace {
 
     /// The record for `(rank, step)`.
     pub fn record(&self, rank: u32, step: u32) -> &PhaseRecord {
-        assert!(rank < self.ranks && step < self.steps, "({rank},{step}) out of range");
+        assert!(
+            rank < self.ranks && step < self.steps,
+            "({rank},{step}) out of range"
+        );
         &self.records[rank as usize * self.steps as usize + step as usize]
     }
 
@@ -70,12 +93,18 @@ impl Trace {
 
     /// Wall-clock time at which the whole run finished (slowest rank).
     pub fn total_runtime(&self) -> SimTime {
-        (0..self.ranks).map(|r| self.finish_time(r)).max().expect("ranks > 0")
+        (0..self.ranks)
+            .map(|r| self.finish_time(r))
+            .max()
+            .expect("ranks > 0")
     }
 
     /// Total time spent in communication phases on `rank`.
     pub fn total_comm(&self, rank: u32) -> SimDuration {
-        self.rank_records(rank).iter().map(|r| r.comm_duration()).sum()
+        self.rank_records(rank)
+            .iter()
+            .map(|r| r.comm_duration())
+            .sum()
     }
 
     /// Total idle time beyond `baseline` per communication phase on `rank`.
@@ -89,7 +118,9 @@ impl Trace {
     /// Per-rank wall-clock time at which step `step` ended — the red
     /// markers of Fig. 2's timeline snapshots.
     pub fn step_front(&self, step: u32) -> Vec<SimTime> {
-        (0..self.ranks).map(|r| self.record(r, step).comm_end).collect()
+        (0..self.ranks)
+            .map(|r| self.record(r, step).comm_end)
+            .collect()
     }
 
     /// The idle matrix: `idle[rank][step] = comm_duration − baseline`,
@@ -113,6 +144,50 @@ impl Trace {
             .map(|r| r.comm_duration())
             .min()
             .expect("non-empty trace")
+    }
+}
+
+impl ToJson for Trace {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("ranks", self.ranks.to_json()),
+            ("steps", self.steps.to_json()),
+            ("records", self.records.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Trace {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let ranks = u32::from_json(v.field("ranks")?)?;
+        let steps = u32::from_json(v.field("steps")?)?;
+        let records = Vec::<PhaseRecord>::from_json(v.field("records")?)?;
+        // Re-validate through the asserting constructor, but surface
+        // malformed input as a parse error instead of a panic.
+        let n = (ranks as usize)
+            .checked_mul(steps as usize)
+            .unwrap_or(usize::MAX);
+        if ranks == 0 || steps == 0 || records.len() != n {
+            return Err(json::JsonError(format!(
+                "trace shape mismatch: {ranks}x{steps} with {} records",
+                records.len()
+            )));
+        }
+        if records.iter().any(|r| r.rank >= ranks || r.step >= steps) {
+            return Err(json::JsonError("trace record out of range".into()));
+        }
+        let mut seen = vec![false; n];
+        for r in &records {
+            let idx = r.rank as usize * steps as usize + r.step as usize;
+            if seen[idx] {
+                return Err(json::JsonError(format!(
+                    "duplicate trace record for rank {} step {}",
+                    r.rank, r.step
+                )));
+            }
+            seen[idx] = true;
+        }
+        Ok(Trace::from_records(ranks, steps, records))
     }
 }
 
@@ -214,10 +289,24 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let t = tiny();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
+        let json = json::to_string(&t);
+        let back: Trace = json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_traces() {
+        let t = tiny();
+        let mut v = t.to_json();
+        if let Json::Object(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "ranks" {
+                    *val = Json::UInt(5); // wrong shape for 4 records
+                }
+            }
+        }
+        assert!(Trace::from_json(&v).is_err());
     }
 }

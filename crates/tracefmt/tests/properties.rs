@@ -1,46 +1,48 @@
 //! Property-based tests for trace assembly and rendering: any valid
-//! record matrix must survive shuffling, serde, and rendering without
-//! losing information.
+//! record matrix must survive shuffling, JSON round trips, and rendering
+//! without losing information.
+//!
+//! Driven by the in-tree `simdes::check` harness.
 
-use proptest::prelude::*;
+use simdes::check::{for_all, Gen, DEFAULT_CASES};
 use simdes::{SimDuration, SimTime};
+use tracefmt::json;
 use tracefmt::{ascii_timeline, idle_csv, to_csv, AsciiOptions, PhaseRecord, Trace};
 
 /// Generate a consistent random trace: per rank, phases are contiguous
 /// and ordered.
-fn traces() -> impl Strategy<Value = Trace> {
-    (1u32..6, 1u32..6).prop_flat_map(|(ranks, steps)| {
-        let n = (ranks * steps) as usize;
-        prop::collection::vec((1u64..1_000_000, 0u64..1_000_000, 0u64..200_000), n).prop_map(
-            move |spans| {
-                let mut records = Vec::with_capacity(n);
-                for r in 0..ranks {
-                    let mut t = 0u64;
-                    for s in 0..steps {
-                        let (exec, comm, inj) = spans[(r * steps + s) as usize];
-                        let exec = exec + inj;
-                        records.push(PhaseRecord {
-                            rank: r,
-                            step: s,
-                            exec_start: SimTime(t),
-                            exec_end: SimTime(t + exec),
-                            comm_end: SimTime(t + exec + comm),
-                            injected: SimDuration(inj),
-                            noise: SimDuration::ZERO,
-                        });
-                        t += exec + comm;
-                    }
-                }
-                Trace::from_records(ranks, steps, records)
-            },
-        )
-    })
+fn trace(g: &mut Gen) -> Trace {
+    let ranks = g.u32(1, 5);
+    let steps = g.u32(1, 5);
+    let mut records = Vec::with_capacity((ranks * steps) as usize);
+    for r in 0..ranks {
+        let mut t = 0u64;
+        for s in 0..steps {
+            let exec = g.u64(1, 999_999);
+            let comm = g.u64(0, 999_999);
+            let inj = g.u64(0, 199_999);
+            let exec = exec + inj;
+            records.push(PhaseRecord {
+                rank: r,
+                step: s,
+                exec_start: SimTime(t),
+                exec_end: SimTime(t + exec),
+                comm_end: SimTime(t + exec + comm),
+                injected: SimDuration(inj),
+                noise: SimDuration::ZERO,
+            });
+            t += exec + comm;
+        }
+    }
+    Trace::from_records(ranks, steps, records)
 }
 
-proptest! {
-    /// Shuffled record order produces the identical trace.
-    #[test]
-    fn record_order_is_irrelevant(t in traces(), seed in any::<u64>()) {
+/// Shuffled record order produces the identical trace.
+#[test]
+fn record_order_is_irrelevant() {
+    for_all("record_order_is_irrelevant", DEFAULT_CASES, |g| {
+        let t = trace(g);
+        let seed = g.any_u64();
         let mut recs: Vec<_> = t.iter().copied().collect();
         // Cheap deterministic shuffle.
         let n = recs.len();
@@ -49,56 +51,75 @@ proptest! {
             recs.swap(i, j);
         }
         let u = Trace::from_records(t.ranks(), t.steps(), recs);
-        prop_assert_eq!(t, u);
-    }
+        assert_eq!(t, u);
+    });
+}
 
-    /// JSON round trip is lossless.
-    #[test]
-    fn serde_round_trip(t in traces()) {
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Trace = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(t, back);
-    }
+/// JSON round trip is lossless.
+#[test]
+fn json_round_trip() {
+    for_all("json_round_trip", DEFAULT_CASES, |g| {
+        let t = trace(g);
+        let text = json::to_string(&t);
+        let back: Trace = json::from_str(&text).unwrap();
+        assert_eq!(t, back);
+    });
+}
 
-    /// Aggregates are consistent with the records.
-    #[test]
-    fn aggregates_match_records(t in traces()) {
+/// Aggregates are consistent with the records.
+#[test]
+fn aggregates_match_records() {
+    for_all("aggregates_match_records", DEFAULT_CASES, |g| {
+        let t = trace(g);
         let total = t.total_runtime();
         for r in 0..t.ranks() {
-            prop_assert!(t.finish_time(r) <= total);
+            assert!(t.finish_time(r) <= total);
             let sum: SimDuration = t.rank_records(r).iter().map(|x| x.comm_duration()).sum();
-            prop_assert_eq!(t.total_comm(r), sum);
+            assert_eq!(t.total_comm(r), sum);
         }
         let front = t.step_front(t.steps() - 1);
-        prop_assert_eq!(front.len() as u32, t.ranks());
-        prop_assert_eq!(front.iter().max().copied().unwrap(), total);
-        prop_assert!(t.min_comm_duration() <= t.record(0, 0).comm_duration());
-    }
+        assert_eq!(front.len() as u32, t.ranks());
+        assert_eq!(front.iter().max().copied().unwrap(), total);
+        assert!(t.min_comm_duration() <= t.record(0, 0).comm_duration());
+    });
+}
 
-    /// The idle matrix is the record-wise saturating subtraction.
-    #[test]
-    fn idle_matrix_matches_pointwise(t in traces(), baseline in 0u64..500_000) {
-        let b = SimDuration(baseline);
+/// The idle matrix is the record-wise saturating subtraction.
+#[test]
+fn idle_matrix_matches_pointwise() {
+    for_all("idle_matrix_matches_pointwise", DEFAULT_CASES, |g| {
+        let t = trace(g);
+        let b = SimDuration(g.u64(0, 499_999));
         let m = t.idle_matrix(b);
         for r in 0..t.ranks() {
             for s in 0..t.steps() {
-                prop_assert_eq!(
+                assert_eq!(
                     m[r as usize][s as usize],
                     t.record(r, s).comm_duration().saturating_sub(b)
                 );
             }
         }
-    }
+    });
+}
 
-    /// Renderers never panic and produce structurally sane output.
-    #[test]
-    fn renderers_are_total(t in traces(), width in 10usize..200) {
-        let s = ascii_timeline(&t, &AsciiOptions { width, ..Default::default() });
+/// Renderers never panic and produce structurally sane output.
+#[test]
+fn renderers_are_total() {
+    for_all("renderers_are_total", DEFAULT_CASES, |g| {
+        let t = trace(g);
+        let width = g.usize(10, 199);
+        let s = ascii_timeline(
+            &t,
+            &AsciiOptions {
+                width,
+                ..Default::default()
+            },
+        );
         // One line per rank plus the axis line.
-        prop_assert_eq!(s.lines().count() as u32, t.ranks() + 1);
+        assert_eq!(s.lines().count() as u32, t.ranks() + 1);
         let csv = to_csv(&t);
-        prop_assert_eq!(csv.lines().count() as u32, t.ranks() * t.steps() + 1);
+        assert_eq!(csv.lines().count() as u32, t.ranks() * t.steps() + 1);
         let icsv = idle_csv(&t, SimDuration(1000));
-        prop_assert_eq!(icsv.lines().count() as u32, t.ranks() * t.steps() + 1);
-    }
+        assert_eq!(icsv.lines().count() as u32, t.ranks() * t.steps() + 1);
+    });
 }

@@ -18,8 +18,8 @@
 //! module only describes the model parameters and the analytic helper
 //! rates.
 
-use serde::{Deserialize, Serialize};
 use simdes::SimDuration;
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// Throughput of one `vdivpd` (4-wide double divide) on Ivy Bridge:
 /// one instruction per 28 clock cycles (paper Sec. III-B, citing Hofmann et
@@ -33,7 +33,7 @@ pub const BDW_VDIVPD_CYCLES: u32 = 16;
 pub const PAPER_CLOCK_HZ: f64 = 2.2e9;
 
 /// How the execution phase of each step is produced.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecModel {
     /// Core-bound workload: a fixed duration per phase regardless of what
     /// other ranks do. The configuration of all controlled wave experiments
@@ -61,7 +61,9 @@ impl ExecModel {
     /// `clock_hz` core.
     pub fn divide_kernel(instructions: u64, cycles_per_instr: u32, clock_hz: f64) -> Self {
         let secs = instructions as f64 * f64::from(cycles_per_instr) / clock_hz;
-        ExecModel::Compute { duration: SimDuration::from_secs_f64(secs) }
+        ExecModel::Compute {
+            duration: SimDuration::from_secs_f64(secs),
+        }
     }
 
     /// Number of `vdivpd` instructions that fill `duration` on the given
@@ -80,7 +82,11 @@ impl ExecModel {
     pub fn shared_rate_bps(&self, active: u32) -> f64 {
         match *self {
             ExecModel::Compute { .. } => f64::INFINITY,
-            ExecModel::MemoryBound { core_bw_bps, socket_bw_bps, .. } => {
+            ExecModel::MemoryBound {
+                core_bw_bps,
+                socket_bw_bps,
+                ..
+            } => {
                 assert!(active > 0, "rate query with zero active ranks");
                 core_bw_bps.min(socket_bw_bps / f64::from(active))
             }
@@ -110,9 +116,53 @@ impl ExecModel {
     pub fn saturation_point(&self) -> Option<u32> {
         match *self {
             ExecModel::Compute { .. } => None,
-            ExecModel::MemoryBound { core_bw_bps, socket_bw_bps, .. } => {
-                Some((socket_bw_bps / core_bw_bps).ceil().max(1.0) as u32)
-            }
+            ExecModel::MemoryBound {
+                core_bw_bps,
+                socket_bw_bps,
+                ..
+            } => Some((socket_bw_bps / core_bw_bps).ceil().max(1.0) as u32),
+        }
+    }
+}
+
+impl ToJson for ExecModel {
+    fn to_json(&self) -> Json {
+        match *self {
+            ExecModel::Compute { duration } => Json::obj(vec![(
+                "Compute",
+                Json::obj(vec![("duration", duration.to_json())]),
+            )]),
+            ExecModel::MemoryBound {
+                bytes,
+                core_bw_bps,
+                socket_bw_bps,
+            } => Json::obj(vec![(
+                "MemoryBound",
+                Json::obj(vec![
+                    ("bytes", bytes.to_json()),
+                    ("core_bw_bps", core_bw_bps.to_json()),
+                    ("socket_bw_bps", socket_bw_bps.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for ExecModel {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let (variant, p) = v.expect_variant()?;
+        match variant {
+            "Compute" => Ok(ExecModel::Compute {
+                duration: SimDuration::from_json(p.field("duration")?)?,
+            }),
+            "MemoryBound" => Ok(ExecModel::MemoryBound {
+                bytes: u64::from_json(p.field("bytes")?)?,
+                core_bw_bps: f64::from_json(p.field("core_bw_bps")?)?,
+                socket_bw_bps: f64::from_json(p.field("socket_bw_bps")?)?,
+            }),
+            other => Err(json::JsonError(format!(
+                "unknown ExecModel variant '{other}'"
+            ))),
         }
     }
 }
@@ -159,7 +209,9 @@ mod tests {
 
     #[test]
     fn compute_model_ignores_contention() {
-        let m = ExecModel::Compute { duration: SimDuration::from_millis(3) };
+        let m = ExecModel::Compute {
+            duration: SimDuration::from_millis(3),
+        };
         assert_eq!(m.static_duration(1), SimDuration::from_millis(3));
         assert_eq!(m.static_duration(10), SimDuration::from_millis(3));
         assert!(!m.is_memory_bound());
@@ -197,7 +249,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero active")]
     fn zero_active_rate_panics() {
-        let m = ExecModel::MemoryBound { bytes: 1, core_bw_bps: 1.0, socket_bw_bps: 1.0 };
+        let m = ExecModel::MemoryBound {
+            bytes: 1,
+            core_bw_bps: 1.0,
+            socket_bw_bps: 1.0,
+        };
         m.shared_rate_bps(0);
     }
 }

@@ -12,10 +12,10 @@
 //!   allreduce is `log₂(n)` rounds of pairwise exchanges at doubling
 //!   distances).
 
-use serde::{Deserialize, Serialize};
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// A directed communication graph for one bulk-synchronous step.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommGraph {
     /// `sends[r]` = ranks that rank `r` sends one message to.
     sends: Vec<Vec<u32>>,
@@ -74,8 +74,14 @@ impl CommGraph {
     /// One recursive-doubling stage: every rank exchanges with
     /// `rank XOR 2^stage`. Requires `ranks` to be a power of two.
     pub fn hypercube_stage(ranks: u32, stage: u32) -> Self {
-        assert!(ranks.is_power_of_two(), "hypercube needs a power-of-two rank count");
-        assert!(1 << stage < ranks, "stage {stage} out of range for {ranks} ranks");
+        assert!(
+            ranks.is_power_of_two(),
+            "hypercube needs a power-of-two rank count"
+        );
+        assert!(
+            1 << stage < ranks,
+            "stage {stage} out of range for {ranks} ranks"
+        );
         let mask = 1u32 << stage;
         let sends = (0..ranks).map(|r| vec![r ^ mask]).collect();
         CommGraph::from_sends(sends)
@@ -85,7 +91,10 @@ impl CommGraph {
     /// `k+1` bits equal `2^k` send to the partner with that bit cleared
     /// (the classic MPI_Reduce tree; root is rank 0).
     pub fn binomial_gather_round(ranks: u32, round: u32) -> Self {
-        assert!(1u32 << round < ranks.next_power_of_two(), "round out of range");
+        assert!(
+            1u32 << round < ranks.next_power_of_two(),
+            "round out of range"
+        );
         let bit = 1u32 << round;
         let mut sends = vec![Vec::new(); ranks as usize];
         for r in 0..ranks {
@@ -101,9 +110,59 @@ impl CommGraph {
 }
 
 /// A cyclic per-step sequence of communication graphs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommSchedule {
     rounds: Vec<CommGraph>,
+}
+
+impl ToJson for CommGraph {
+    fn to_json(&self) -> Json {
+        // The inverse adjacency is derived, so only the send lists travel.
+        Json::obj(vec![("sends", self.sends.to_json())])
+    }
+}
+
+impl FromJson for CommGraph {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let sends = Vec::<Vec<u32>>::from_json(v.field("sends")?)?;
+        let n = sends.len() as u32;
+        if n == 0 {
+            return Err(json::JsonError("empty graph".into()));
+        }
+        for (r, targets) in sends.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &t in targets {
+                if t >= n || t as usize == r || !seen.insert(t) {
+                    return Err(json::JsonError(format!(
+                        "invalid edge {r} -> {t} in comm graph"
+                    )));
+                }
+            }
+        }
+        Ok(CommGraph::from_sends(sends))
+    }
+}
+
+impl ToJson for CommSchedule {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("rounds", self.rounds.to_json())])
+    }
+}
+
+impl FromJson for CommSchedule {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let rounds = Vec::<CommGraph>::from_json(v.field("rounds")?)?;
+        if rounds.is_empty() {
+            return Err(json::JsonError("schedule needs at least one round".into()));
+        }
+        let n = rounds[0].ranks();
+        if rounds.iter().any(|g| g.ranks() != n) {
+            return Err(json::JsonError(
+                "schedule rounds disagree on rank count".into(),
+            ));
+        }
+        Ok(CommSchedule::cyclic(rounds))
+    }
 }
 
 impl CommSchedule {
@@ -129,7 +188,10 @@ impl CommSchedule {
     /// A full recursive-doubling allreduce as a repeating super-step:
     /// `log₂(ranks)` hypercube stages per application iteration.
     pub fn hypercube_allreduce(ranks: u32) -> Self {
-        assert!(ranks.is_power_of_two() && ranks >= 2, "need a power of two >= 2");
+        assert!(
+            ranks.is_power_of_two() && ranks >= 2,
+            "need a power of two >= 2"
+        );
         let stages = (0..ranks.trailing_zeros())
             .map(|s| CommGraph::hypercube_stage(ranks, s))
             .collect();

@@ -35,7 +35,10 @@ pub fn dependent_divides(n: u64) -> Duration {
 
 /// One STREAM-triad sweep: `a[i] = b[i] + s·c[i]`.
 pub fn triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) {
-    assert!(a.len() == b.len() && b.len() == c.len(), "triad length mismatch");
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "triad length mismatch"
+    );
     for ((ai, bi), ci) in a.iter_mut().zip(b).zip(c) {
         *ai = *bi + s * *ci;
     }
@@ -72,7 +75,7 @@ pub fn triad_timed(len: usize, iters: u32) -> TriadTiming {
 }
 
 /// Run `iters` triad sweeps with the arrays split over `threads` threads
-/// (crossbeam scoped threads), and report aggregate timing. This is the
+/// (std scoped threads), and report aggregate timing. This is the
 /// shared-memory analogue of the paper's per-socket saturation experiment:
 /// on a machine with a memory-bandwidth ceiling, `bandwidth_bps` stops
 /// scaling once the ceiling is hit.
@@ -85,20 +88,19 @@ pub fn triad_parallel(len: usize, iters: u32, threads: usize) -> TriadTiming {
 
     let chunk = len.div_ceil(threads);
     let start = Instant::now();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for ((a_part, b_part), c_part) in a
             .chunks_mut(chunk)
             .zip(b.chunks(chunk))
             .zip(c.chunks(chunk))
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for _ in 0..iters {
                     triad(black_box(a_part), black_box(b_part), black_box(c_part), 3.0);
                 }
             });
         }
-    })
-    .expect("triad worker panicked");
+    });
     let elapsed = start.elapsed();
     timing_from(len, iters, elapsed)
 }
@@ -107,7 +109,11 @@ fn timing_from(len: usize, iters: u32, elapsed: Duration) -> TriadTiming {
     let secs = elapsed.as_secs_f64().max(1e-12);
     let bytes = 24.0 * len as f64 * f64::from(iters);
     let flop = 2.0 * len as f64 * f64::from(iters);
-    TriadTiming { elapsed, bandwidth_bps: bytes / secs, flops: flop / secs }
+    TriadTiming {
+        elapsed,
+        bandwidth_bps: bytes / secs,
+        flops: flop / secs,
+    }
 }
 
 /// Estimate the host's per-divide latency in seconds, for calibrating a

@@ -21,8 +21,6 @@ mod graph;
 pub mod kernels;
 mod pattern;
 
-pub use exec::{
-    ExecModel, BDW_VDIVPD_CYCLES, IVB_VDIVPD_CYCLES, PAPER_CLOCK_HZ,
-};
+pub use exec::{ExecModel, BDW_VDIVPD_CYCLES, IVB_VDIVPD_CYCLES, PAPER_CLOCK_HZ};
 pub use graph::{CommGraph, CommSchedule};
 pub use pattern::{Boundary, CommPattern, Direction};

@@ -10,10 +10,10 @@
 //! * **boundary** — open (waves die at the chain ends) or periodic (waves
 //!   wrap around, Fig. 5 b/d/f/h).
 
-use serde::{Deserialize, Serialize};
+use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// Direction of the next-neighbour exchange.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Each rank sends to higher ranks and receives from lower ranks.
     Unidirectional,
@@ -23,7 +23,7 @@ pub enum Direction {
 }
 
 /// Boundary condition of the process chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Boundary {
     /// Non-periodic: ranks at the ends simply have fewer partners.
     Open,
@@ -32,7 +32,7 @@ pub enum Boundary {
 }
 
 /// A complete communication pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CommPattern {
     /// Exchange direction.
     pub direction: Direction,
@@ -45,7 +45,11 @@ pub struct CommPattern {
 impl CommPattern {
     /// Next-neighbour (`d = 1`) pattern.
     pub fn next_neighbor(direction: Direction, boundary: Boundary) -> Self {
-        CommPattern { direction, distance: 1, boundary }
+        CommPattern {
+            direction,
+            distance: 1,
+            boundary,
+        }
     }
 
     /// The σ factor of the paper's Eq. 2 is 2 only for *bidirectional
@@ -112,16 +116,84 @@ impl CommPattern {
                     None
                 }
             }
-            Boundary::Periodic => {
-                Some(target.rem_euclid(i64::from(nranks)) as u32)
-            }
+            Boundary::Periodic => Some(target.rem_euclid(i64::from(nranks)) as u32),
         }
     }
 
     /// Number of messages a full step moves across all ranks (for
     /// reporting / sanity checks).
     pub fn total_messages(&self, nranks: u32) -> usize {
-        (0..nranks).map(|r| self.send_partners(r, nranks).len()).sum()
+        (0..nranks)
+            .map(|r| self.send_partners(r, nranks).len())
+            .sum()
+    }
+}
+
+impl ToJson for Direction {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Direction::Unidirectional => "Unidirectional",
+                Direction::Bidirectional => "Bidirectional",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Direction {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        match v.expect_variant()?.0 {
+            "Unidirectional" => Ok(Direction::Unidirectional),
+            "Bidirectional" => Ok(Direction::Bidirectional),
+            other => Err(json::JsonError(format!(
+                "unknown Direction variant '{other}'"
+            ))),
+        }
+    }
+}
+
+impl ToJson for Boundary {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                Boundary::Open => "Open",
+                Boundary::Periodic => "Periodic",
+            }
+            .into(),
+        )
+    }
+}
+
+impl FromJson for Boundary {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        match v.expect_variant()?.0 {
+            "Open" => Ok(Boundary::Open),
+            "Periodic" => Ok(Boundary::Periodic),
+            other => Err(json::JsonError(format!(
+                "unknown Boundary variant '{other}'"
+            ))),
+        }
+    }
+}
+
+impl ToJson for CommPattern {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("direction", self.direction.to_json()),
+            ("distance", self.distance.to_json()),
+            ("boundary", self.boundary.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CommPattern {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(CommPattern {
+            direction: Direction::from_json(v.field("direction")?)?,
+            distance: u32::from_json(v.field("distance")?)?,
+            boundary: Boundary::from_json(v.field("boundary")?)?,
+        })
     }
 }
 
@@ -200,7 +272,11 @@ mod tests {
             (Direction::Bidirectional, Boundary::Open, 2),
             (Direction::Bidirectional, Boundary::Periodic, 3),
         ] {
-            let p = CommPattern { direction: dir, distance: d, boundary: bound };
+            let p = CommPattern {
+                direction: dir,
+                distance: d,
+                boundary: bound,
+            };
             let n = 18;
             for a in 0..n {
                 for b in p.send_partners(a, n) {

@@ -1,44 +1,55 @@
 //! Property-based tests for the communication pattern algebra: for every
 //! valid (direction, distance, boundary, size) combination, partner lists
 //! must be mutually consistent, self-free, and correctly bounded.
+//!
+//! Driven by the in-tree `simdes::check` harness.
 
-use proptest::prelude::*;
+use simdes::check::{for_all, Gen, DEFAULT_CASES};
 use workload::{Boundary, CommPattern, Direction, ExecModel};
 
-fn patterns() -> impl Strategy<Value = (CommPattern, u32)> {
+/// Draw a valid (pattern, rank count) pair: the chain is always big
+/// enough for the distance and boundary.
+fn pattern(g: &mut Gen) -> (CommPattern, u32) {
+    let direction = g.pick(&[Direction::Unidirectional, Direction::Bidirectional]);
+    let distance = g.u32(1, 3);
+    let boundary = g.pick(&[Boundary::Open, Boundary::Periodic]);
+    let min_n = match boundary {
+        Boundary::Periodic => 2 * distance + 1,
+        Boundary::Open => distance + 1,
+    };
+    let n = g.u32(min_n.max(3), 40);
     (
-        prop_oneof![Just(Direction::Unidirectional), Just(Direction::Bidirectional)],
-        1u32..4,
-        prop_oneof![Just(Boundary::Open), Just(Boundary::Periodic)],
-        3u32..40,
+        CommPattern {
+            direction,
+            distance,
+            boundary,
+        },
+        n,
     )
-        .prop_filter_map("ring too small", |(direction, distance, boundary, n)| {
-            let ok = match boundary {
-                Boundary::Periodic => n > 2 * distance,
-                Boundary::Open => n > distance,
-            };
-            ok.then_some((CommPattern { direction, distance, boundary }, n))
-        })
 }
 
-proptest! {
-    /// If a sends to b then b receives from a, and vice versa.
-    #[test]
-    fn send_recv_duality((p, n) in patterns()) {
+/// If a sends to b then b receives from a, and vice versa.
+#[test]
+fn send_recv_duality() {
+    for_all("send_recv_duality", DEFAULT_CASES, |g| {
+        let (p, n) = pattern(g);
         for a in 0..n {
             for b in p.send_partners(a, n) {
-                prop_assert!(p.recv_partners(b, n).contains(&a), "{p:?} {a}->{b}");
+                assert!(p.recv_partners(b, n).contains(&a), "{p:?} {a}->{b}");
             }
             for b in p.recv_partners(a, n) {
-                prop_assert!(p.send_partners(b, n).contains(&a), "{p:?} {a}<-{b}");
+                assert!(p.send_partners(b, n).contains(&a), "{p:?} {a}<-{b}");
             }
         }
-    }
+    });
+}
 
-    /// Nobody communicates with itself, and partner counts are bounded by
-    /// the pattern's fan-out.
-    #[test]
-    fn no_self_and_bounded_fanout((p, n) in patterns()) {
+/// Nobody communicates with itself, and partner counts are bounded by
+/// the pattern's fan-out.
+#[test]
+fn no_self_and_bounded_fanout() {
+    for_all("no_self_and_bounded_fanout", DEFAULT_CASES, |g| {
+        let (p, n) = pattern(g);
         let max_fanout = match p.direction {
             Direction::Unidirectional => p.distance as usize,
             Direction::Bidirectional => 2 * p.distance as usize,
@@ -46,66 +57,94 @@ proptest! {
         for r in 0..n {
             let s = p.send_partners(r, n);
             let rcv = p.recv_partners(r, n);
-            prop_assert!(!s.contains(&r));
-            prop_assert!(!rcv.contains(&r));
-            prop_assert!(s.len() <= max_fanout);
-            prop_assert!(rcv.len() <= max_fanout);
+            assert!(!s.contains(&r));
+            assert!(!rcv.contains(&r));
+            assert!(s.len() <= max_fanout);
+            assert!(rcv.len() <= max_fanout);
             // Periodic chains always have full fan-out.
             if p.boundary == Boundary::Periodic {
-                prop_assert_eq!(s.len(), max_fanout);
-                prop_assert_eq!(rcv.len(), max_fanout);
+                assert_eq!(s.len(), max_fanout);
+                assert_eq!(rcv.len(), max_fanout);
             }
             // No duplicate partners.
             let mut sd = s.clone();
             sd.sort_unstable();
             sd.dedup();
-            prop_assert_eq!(sd.len(), s.len(), "duplicate send partner");
+            assert_eq!(sd.len(), s.len(), "duplicate send partner");
         }
-    }
+    });
+}
 
-    /// All partners are within distance d (with periodic wrap-around
-    /// distance measured on the ring).
-    #[test]
-    fn partners_within_distance((p, n) in patterns()) {
+/// All partners are within distance d (with periodic wrap-around
+/// distance measured on the ring).
+#[test]
+fn partners_within_distance() {
+    for_all("partners_within_distance", DEFAULT_CASES, |g| {
+        let (p, n) = pattern(g);
         for r in 0..n {
-            for q in p.send_partners(r, n).into_iter().chain(p.recv_partners(r, n)) {
+            for q in p
+                .send_partners(r, n)
+                .into_iter()
+                .chain(p.recv_partners(r, n))
+            {
                 let diff = (i64::from(r) - i64::from(q)).unsigned_abs() as u32;
                 let dist = match p.boundary {
                     Boundary::Open => diff,
                     Boundary::Periodic => diff.min(n - diff),
                 };
-                prop_assert!(dist >= 1 && dist <= p.distance, "{p:?}: {r} ~ {q}");
+                assert!(dist >= 1 && dist <= p.distance, "{p:?}: {r} ~ {q}");
             }
         }
-    }
+    });
+}
 
-    /// Total message count is conserved: sum of sends equals sum of recvs.
-    #[test]
-    fn message_conservation((p, n) in patterns()) {
+/// Total message count is conserved: sum of sends equals sum of recvs.
+#[test]
+fn message_conservation() {
+    for_all("message_conservation", DEFAULT_CASES, |g| {
+        let (p, n) = pattern(g);
         let sends: usize = (0..n).map(|r| p.send_partners(r, n).len()).sum();
         let recvs: usize = (0..n).map(|r| p.recv_partners(r, n).len()).sum();
-        prop_assert_eq!(sends, recvs);
-        prop_assert_eq!(sends, p.total_messages(n));
-    }
+        assert_eq!(sends, recvs);
+        assert_eq!(sends, p.total_messages(n));
+    });
+}
 
-    /// Memory-bound execution rate is monotone non-increasing in the
-    /// number of active ranks and capped by the core bandwidth.
-    #[test]
-    fn shared_rate_monotone(core in 1e8f64..1e11, socket in 1e8f64..1e12, k in 1u32..64) {
-        let m = ExecModel::MemoryBound { bytes: 1 << 20, core_bw_bps: core, socket_bw_bps: socket };
+/// Memory-bound execution rate is monotone non-increasing in the
+/// number of active ranks and capped by the core bandwidth.
+#[test]
+fn shared_rate_monotone() {
+    for_all("shared_rate_monotone", DEFAULT_CASES, |g| {
+        let core = g.f64(1e8, 1e11);
+        let socket = g.f64(1e8, 1e12);
+        let k = g.u32(1, 63);
+        let m = ExecModel::MemoryBound {
+            bytes: 1 << 20,
+            core_bw_bps: core,
+            socket_bw_bps: socket,
+        };
         let r1 = m.shared_rate_bps(k);
         let r2 = m.shared_rate_bps(k + 1);
-        prop_assert!(r2 <= r1 + 1e-9);
-        prop_assert!(r1 <= core + 1e-9);
-        prop_assert!(r1 * f64::from(k) <= socket.max(core * f64::from(k)) + 1.0);
-    }
+        assert!(r2 <= r1 + 1e-9);
+        assert!(r1 <= core + 1e-9);
+        assert!(r1 * f64::from(k) <= socket.max(core * f64::from(k)) + 1.0);
+    });
+}
 
-    /// Static duration scales inversely with the shared rate.
-    #[test]
-    fn static_duration_consistent(bytes in 1u64..(1 << 30), core in 1e8f64..1e11, k in 1u32..32) {
-        let m = ExecModel::MemoryBound { bytes, core_bw_bps: core, socket_bw_bps: core * 4.0 };
+/// Static duration scales inversely with the shared rate.
+#[test]
+fn static_duration_consistent() {
+    for_all("static_duration_consistent", DEFAULT_CASES, |g| {
+        let bytes = g.u64(1, (1 << 30) - 1);
+        let core = g.f64(1e8, 1e11);
+        let k = g.u32(1, 31);
+        let m = ExecModel::MemoryBound {
+            bytes,
+            core_bw_bps: core,
+            socket_bw_bps: core * 4.0,
+        };
         let d = m.static_duration(k).as_secs_f64();
         let expect = bytes as f64 / m.shared_rate_bps(k);
-        prop_assert!((d - expect).abs() <= 1e-9 + expect * 1e-6);
-    }
+        assert!((d - expect).abs() <= 1e-9 + expect * 1e-6);
+    });
 }

@@ -43,8 +43,10 @@ fn main() {
     );
     println!(
         "\nsteps until every rank has idled:  ring {}  vs  hypercube {}",
-        rc.global_impact_step.map_or("never".into(), |s| s.to_string()),
-        hc.global_impact_step.map_or("never".into(), |s| s.to_string()),
+        rc.global_impact_step
+            .map_or("never".into(), |s| s.to_string()),
+        hc.global_impact_step
+            .map_or("never".into(), |s| s.to_string()),
     );
     println!(
         "\nThe ring spreads the wave at sigma*d = 2 ranks per step (Eq. 2); the\n\

@@ -28,7 +28,9 @@ fn main() {
     );
     cfg.msg_bytes = 2_000_000;
     cfg.protocol = idle_waves::mpisim::Protocol::Eager;
-    cfg.exec = ExecModel::Compute { duration: SimDuration::from_millis(1) };
+    cfg.exec = ExecModel::Compute {
+        duration: SimDuration::from_millis(1),
+    };
     cfg.injections = InjectionPlan::single(0, 0, SimDuration::from_millis(40));
     let wt = WaveTrace::from_config(cfg);
 

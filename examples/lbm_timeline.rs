@@ -12,7 +12,7 @@
 //! Run with: `cargo run --release --example lbm_timeline` (add
 //! `-- --full` for the paper's 10 000 steps; default is 2 000).
 
-use idle_waves::lbm::{D3Q19, LbmDecomposition};
+use idle_waves::lbm::{LbmDecomposition, D3Q19};
 use idlewave::scenarios::{lbm_timeline, LbmTimelineConfig};
 use std::f64::consts::TAU;
 
@@ -81,14 +81,21 @@ fn main() {
         tl.total_runtime.as_secs_f64(),
         tl.model_runtime.as_secs_f64(),
         100.0 * tl.speedup_vs_model.abs(),
-        if tl.speedup_vs_model >= 0.0 { "FASTER (automatic overlap)" } else { "slower" }
+        if tl.speedup_vs_model >= 0.0 {
+            "FASTER (automatic overlap)"
+        } else {
+            "slower"
+        }
     );
 
     // Show the per-rank spread at the last snapshot as a poor man's Fig. 2
     // panel: each rank's finish time relative to the fastest.
     if let Some(last) = tl.snapshots.last() {
         let min = *last.finish.iter().min().unwrap();
-        println!("\nper-rank skew at t = {} (ms behind the fastest rank):", last.step);
+        println!(
+            "\nper-rank skew at t = {} (ms behind the fastest rank):",
+            last.step
+        );
         for (r, &f) in last.finish.iter().enumerate() {
             if r % 10 == 0 {
                 print!("\n  ranks {r:>3}+ ");

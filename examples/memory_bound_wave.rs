@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example memory_bound_wave`
 
-use idle_waves::prelude::*;
 use idle_waves::idlewave::WaveTrace;
+use idle_waves::prelude::*;
 
 fn main() {
     // One ten-core socket, fully saturated: each rank needs 4 MB of

@@ -21,7 +21,10 @@ fn main() {
         .seed(20_19);
 
     println!("== Fig. 9: damping of an idle wave by exponential noise ==");
-    println!("36 ranks, 30 steps, T_exec = {texec}, injected wave = {}\n", texec.times(4));
+    println!(
+        "36 ranks, 30 steps, T_exec = {texec}, injected wave = {}\n",
+        texec.times(4)
+    );
 
     for e in [0.0, 20.0, 25.0] {
         let r = measure_elimination(&base, e);
@@ -41,7 +44,10 @@ fn main() {
     // Show the damping visually at E = 20 %.
     let wt = base.clone().noise_percent(20.0).run();
     println!("timeline at E = 20% ('#' = waiting; the wave smears and dies):");
-    let opts = AsciiOptions { width: 100, ..Default::default() };
+    let opts = AsciiOptions {
+        width: 100,
+        ..Default::default()
+    };
     print!("{}", ascii_timeline(&wt.trace, &opts));
 
     println!(

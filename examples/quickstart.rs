@@ -27,7 +27,13 @@ fn main() {
     );
 
     // ASCII timeline: '.' = computing, 'D' = injected delay, '#' = waiting.
-    let timeline = ascii_timeline(&wt.trace, &AsciiOptions { width: 90, ..Default::default() });
+    let timeline = ascii_timeline(
+        &wt.trace,
+        &AsciiOptions {
+            width: 90,
+            ..Default::default()
+        },
+    );
     println!("{timeline}");
 
     // Where did the wave arrive, and when?

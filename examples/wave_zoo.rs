@@ -22,7 +22,11 @@ fn main() {
                     .texec(texec)
                     .steps(20)
                     .inject(5, 0, delay);
-                e = if protocol == "eager" { e.eager() } else { e.rendezvous() };
+                e = if protocol == "eager" {
+                    e.eager()
+                } else {
+                    e.rendezvous()
+                };
                 let wt = e.run();
                 let th = wt.default_threshold();
 
@@ -39,7 +43,10 @@ fn main() {
                         None => String::new(),
                     }
                 );
-                let opts = AsciiOptions { width: 76, ..Default::default() };
+                let opts = AsciiOptions {
+                    width: 76,
+                    ..Default::default()
+                };
                 print!("{}", ascii_timeline(&wt.trace, &opts));
             }
         }

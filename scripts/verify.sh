@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification: format, build, and test the whole workspace —
+# offline. The workspace has zero external dependencies, so this must
+# succeed with an empty cargo registry cache and no network.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo build --release"
+cargo build --release --workspace
+
+echo "== cargo test -q"
+cargo test -q --workspace
+
+echo "verify: OK"

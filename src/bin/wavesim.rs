@@ -77,9 +77,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--ranks" => args.ranks = parse(&value("--ranks")?)?,
             "--steps" => args.steps = parse(&value("--steps")?)?,
@@ -95,11 +93,8 @@ fn parse_args() -> Result<Args, String> {
                 if parts.len() != 3 {
                     return Err(format!("--inject expects R:S:MS, got {spec}"));
                 }
-                args.injections.push((
-                    parse(parts[0])?,
-                    parse(parts[1])?,
-                    parse(parts[2])?,
-                ));
+                args.injections
+                    .push((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?));
             }
             "--noise-percent" => args.noise_percent = parse(&value("--noise-percent")?)?,
             "--seed" => args.seed = Some(parse(&value("--seed")?)?),
@@ -127,11 +122,9 @@ where
 
 fn build_config(args: &Args) -> Result<SimConfig, String> {
     if let Some(path) = &args.config_path {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {path}: {e}"))?;
-        let mut cfg: SimConfig =
-            serde_json::from_str(&text).map_err(|e| format!("bad config: {e}"))?;
-        cfg.injections.reindex();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let cfg: SimConfig =
+            idle_waves::tracefmt::json::from_str(&text).map_err(|e| format!("bad config: {e}"))?;
         return Ok(cfg);
     }
     let direction = match args.direction.as_str() {
@@ -155,7 +148,11 @@ fn build_config(args: &Args) -> Result<SimConfig, String> {
         "eager" => e.eager(),
         "rendezvous" => e.rendezvous(),
         "auto" => e,
-        other => return Err(format!("unknown protocol {other} (use eager|rendezvous|auto)")),
+        other => {
+            return Err(format!(
+                "unknown protocol {other} (use eager|rendezvous|auto)"
+            ))
+        }
     };
     for &(rank, step, ms) in &args.injections {
         e = e.inject(rank, step, SimDuration::from_millis_f64(ms));
@@ -189,14 +186,17 @@ fn main() -> ExitCode {
         }
     };
     if args.dump_config {
-        println!("{}", serde_json::to_string_pretty(&cfg).expect("config serialises"));
+        println!("{}", idle_waves::tracefmt::json::to_string_pretty(&cfg));
         return ExitCode::SUCCESS;
     }
 
     let wt = WaveTrace::from_config(cfg);
 
     if args.ascii {
-        let opts = AsciiOptions { width: 100, ..Default::default() };
+        let opts = AsciiOptions {
+            width: 100,
+            ..Default::default()
+        };
         print!("{}", ascii_timeline(&wt.trace, &opts));
     }
     if let Some(path) = &args.svg_path {

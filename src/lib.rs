@@ -52,7 +52,9 @@ pub mod prelude {
     pub use mpisim::{run, Protocol, SimConfig};
     pub use netmodel::{presets as machines, ClusterNetwork, Machine};
     pub use noise_model::{presets as noise_presets, DelayDistribution, InjectionPlan};
-    pub use simdes::{SimDuration, SimTime};
+    pub use simdes::check::{for_all, Gen};
+    pub use simdes::{SeedFactory, SimDuration, SimRng, SimTime};
+    pub use tracefmt::json::{FromJson, Json, ToJson};
     pub use tracefmt::{ascii_timeline, AsciiOptions, Trace};
     pub use workload::{Boundary, CommPattern, Direction, ExecModel};
 }

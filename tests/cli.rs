@@ -15,10 +15,16 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 #[test]
 fn runs_a_basic_wave_and_reports_eq2() {
     let out = wavesim()
-        .args(["--ranks", "10", "--steps", "12", "--inject", "3:0:9", "--seed", "1"])
+        .args([
+            "--ranks", "10", "--steps", "12", "--inject", "3:0:9", "--seed", "1",
+        ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total runtime"), "{text}");
     assert!(text.contains("ratio 1.000"), "Eq. 2 should hold: {text}");
@@ -42,9 +48,17 @@ fn writes_svg_and_csv_outputs() {
     let csv = dir.join("trace.csv");
     let out = wavesim()
         .args([
-            "--ranks", "6", "--steps", "5", "--inject", "2:0:5", "--quiet",
-            "--svg", svg.to_str().unwrap(),
-            "--csv", csv.to_str().unwrap(),
+            "--ranks",
+            "6",
+            "--steps",
+            "5",
+            "--inject",
+            "2:0:5",
+            "--quiet",
+            "--svg",
+            svg.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
@@ -52,7 +66,11 @@ fn writes_svg_and_csv_outputs() {
     let svg_text = std::fs::read_to_string(&svg).expect("svg written");
     assert!(svg_text.starts_with("<svg") && svg_text.trim_end().ends_with("</svg>"));
     let csv_text = std::fs::read_to_string(&csv).expect("csv written");
-    assert_eq!(csv_text.lines().count(), 6 * 5 + 1, "header + one row per phase");
+    assert_eq!(
+        csv_text.lines().count(),
+        6 * 5 + 1,
+        "header + one row per phase"
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 
@@ -62,9 +80,22 @@ fn dump_config_round_trips_through_config_flag() {
     let cfg_path = dir.join("cfg.json");
     let dump = wavesim()
         .args([
-            "--ranks", "7", "--steps", "4", "--texec-ms", "2",
-            "--protocol", "rendezvous", "--direction", "bi",
-            "--boundary", "periodic", "--inject", "3:1:4", "--seed", "9",
+            "--ranks",
+            "7",
+            "--steps",
+            "4",
+            "--texec-ms",
+            "2",
+            "--protocol",
+            "rendezvous",
+            "--direction",
+            "bi",
+            "--boundary",
+            "periodic",
+            "--inject",
+            "3:1:4",
+            "--seed",
+            "9",
             "--dump-config",
         ])
         .output()
@@ -75,9 +106,22 @@ fn dump_config_round_trips_through_config_flag() {
     // Run from flags and from the dumped config: identical summaries.
     let from_flags = wavesim()
         .args([
-            "--ranks", "7", "--steps", "4", "--texec-ms", "2",
-            "--protocol", "rendezvous", "--direction", "bi",
-            "--boundary", "periodic", "--inject", "3:1:4", "--seed", "9",
+            "--ranks",
+            "7",
+            "--steps",
+            "4",
+            "--texec-ms",
+            "2",
+            "--protocol",
+            "rendezvous",
+            "--direction",
+            "bi",
+            "--boundary",
+            "periodic",
+            "--inject",
+            "3:1:4",
+            "--seed",
+            "9",
         ])
         .output()
         .expect("binary runs");
@@ -86,7 +130,10 @@ fn dump_config_round_trips_through_config_flag() {
         .output()
         .expect("binary runs");
     assert!(from_config.status.success());
-    assert_eq!(from_flags.stdout, from_config.stdout, "config round trip must be exact");
+    assert_eq!(
+        from_flags.stdout, from_config.stdout,
+        "config round trip must be exact"
+    );
     std::fs::remove_dir_all(dir).ok();
 }
 

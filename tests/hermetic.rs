@@ -1,0 +1,131 @@
+//! Hermeticity guard: the workspace must have **zero external crate
+//! dependencies** so `cargo build && cargo test` work offline with an
+//! empty registry cache. This test walks every manifest in the workspace
+//! and fails if any `[dependencies]`-like section names a crate that is
+//! not an in-tree `path` dependency (directly or via `workspace = true`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The dependency-declaring TOML sections we police.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in fs::read_dir(&crates).expect("crates/ must exist") {
+        let manifest = entry.expect("readable dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    manifests.sort();
+    manifests
+}
+
+/// Section header line → the section name without brackets, if any.
+fn section_of(line: &str) -> Option<&str> {
+    let t = line.trim();
+    let inner = t.strip_prefix('[')?.strip_suffix(']')?;
+    Some(inner.trim_matches(|c| c == '[' || c == ']'))
+}
+
+#[test]
+fn every_dependency_is_an_in_tree_path() {
+    let mut offenders = Vec::new();
+    let manifests = workspace_manifests();
+    assert!(
+        manifests.len() >= 10,
+        "expected the umbrella + 10 crates, found {manifests:?}"
+    );
+    for manifest in &manifests {
+        let text = fs::read_to_string(manifest).expect("manifest readable");
+        let mut in_dep_section = false;
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = section_of(line) {
+                // `[target.'cfg(...)'.dependencies]` also counts.
+                in_dep_section = DEP_SECTIONS
+                    .iter()
+                    .any(|s| section == *s || section.ends_with(&format!(".{s}")));
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((key, spec)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            let spec = spec.trim();
+            let hermetic = if key.ends_with(".workspace") {
+                spec == "true"
+            } else {
+                spec.contains("path =") || spec.contains("workspace = true")
+            };
+            if !hermetic {
+                offenders.push(format!("{}:{}: {line}", manifest.display(), no + 1));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "non-hermetic dependencies found (every dep must be a path/workspace dep):\n{}",
+        offenders.join("\n")
+    );
+}
+
+/// The workspace dependency table itself must only point into `crates/`.
+#[test]
+fn workspace_dependency_table_points_into_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let mut in_table = false;
+    let mut paths = 0;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if let Some(section) = section_of(line) {
+            in_table = section == "workspace.dependencies";
+            continue;
+        }
+        if !in_table || line.is_empty() {
+            continue;
+        }
+        assert!(
+            line.contains("path = \"crates/"),
+            "workspace dependency does not point into crates/: {line}"
+        );
+        paths += 1;
+    }
+    assert_eq!(paths, 9, "expected exactly the 9 in-tree library crates");
+}
+
+/// No lockfile entry may reference a registry or git source: a hermetic
+/// lock has only unversioned-source (path) packages.
+#[test]
+fn lockfile_has_no_external_sources() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let lock = root.join("Cargo.lock");
+    let text = fs::read_to_string(&lock)
+        .expect("Cargo.lock must be committed for reproducible offline builds");
+    for (no, line) in text.lines().enumerate() {
+        assert!(
+            !line.trim_start().starts_with("source ="),
+            "Cargo.lock:{}: external source in lockfile: {line}",
+            no + 1
+        );
+    }
+    assert!(
+        text.contains("name = \"idle-waves\""),
+        "lockfile misses the umbrella crate"
+    );
+}

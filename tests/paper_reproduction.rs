@@ -32,8 +32,8 @@ fn claim_propagation_speed_model() {
             .inject(source, 0, MS.times(12));
         e = if rdv { e.rendezvous() } else { e.eager() };
         let wt = e.run();
-        let cmp = speed::compare_with_model(&wt, source, wt.default_threshold())
-            .expect("speed fit");
+        let cmp =
+            speed::compare_with_model(&wt, source, wt.default_threshold()).expect("speed fit");
         assert!(
             (cmp.ratio - 1.0).abs() < 0.1,
             "{dir:?} rdv={rdv} d={d}: ratio {}",
@@ -87,7 +87,9 @@ fn claim_nonlinear_cancellation() {
         .run();
     let th = wt.default_threshold();
     let profile = interaction::activity_profile(&wt, th);
-    let ext = profile.extinction_step.expect("equal waves must annihilate");
+    let ext = profile
+        .extinction_step
+        .expect("equal waves must annihilate");
     // Linear superposition would keep all four waves alive for the whole
     // periodic traversal (~16 steps); cancellation kills them after about
     // half the inter-source gap (~4 steps).
@@ -128,8 +130,14 @@ fn claim_decay_grows_with_noise_platform_independently() {
     // Platform independence: same order of magnitude on both systems.
     let (l0, h0) = medians[0];
     let (l1, h1) = medians[1];
-    assert!(h0 / h1 < 5.0 && h1 / h0 < 5.0, "high-noise decay differs: {h0} vs {h1}");
-    assert!(l0 / l1 < 8.0 && l1 / l0 < 8.0, "low-noise decay differs: {l0} vs {l1}");
+    assert!(
+        h0 / h1 < 5.0 && h1 / h0 < 5.0,
+        "high-noise decay differs: {h0} vs {h1}"
+    );
+    assert!(
+        l0 / l1 < 8.0 && l1 / l0 < 8.0,
+        "low-noise decay differs: {l0} vs {l1}"
+    );
 }
 
 /// Claim 5 (Fig. 9): enough fine-grained noise absorbs the idle wave —
@@ -146,7 +154,10 @@ fn claim_noise_eliminates_the_wave() {
     let seeds: Vec<u64> = (100..106).collect();
     let quiet = elimination::average_elimination(&base, 0.0, &seeds);
     let noisy = elimination::average_elimination(&base, 25.0, &seeds);
-    assert!(quiet.absorption_ratio > 0.9, "silent system must pay the full delay");
+    assert!(
+        quiet.absorption_ratio > 0.9,
+        "silent system must pay the full delay"
+    );
     assert!(
         noisy.absorption_ratio < 0.6,
         "noise must absorb most of the wave (got {})",
@@ -188,7 +199,12 @@ fn claim_stream_model_deviations() {
 #[test]
 fn claim_lbm_structure_formation() {
     let cfg = scenarios::LbmTimelineConfig {
-        decomp: idle_waves::lbm::LbmDecomposition { nx: 128, ny: 128, nz: 128, ranks: 20 },
+        decomp: idle_waves::lbm::LbmDecomposition {
+            nx: 128,
+            ny: 128,
+            nz: 128,
+            ranks: 20,
+        },
         nodes: 1,
         ppn: 20,
         core_bw_bps: 6.5e9,
@@ -207,7 +223,11 @@ fn claim_lbm_structure_formation() {
         tl.snapshots[2].amplitude
     );
     // Runtime stays within 15 % of the model.
-    assert!(tl.speedup_vs_model.abs() < 0.15, "deviation {}", tl.speedup_vs_model);
+    assert!(
+        tl.speedup_vs_model.abs() < 0.15,
+        "deviation {}",
+        tl.speedup_vs_model
+    );
 }
 
 /// Claim 8 (Fig. 3): the fitted noise presets reproduce the measured

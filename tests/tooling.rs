@@ -21,11 +21,14 @@ fn config_json_round_trip_reproduces_the_run() {
         .into_config();
     let original = idle_waves::mpisim::run(&cfg);
 
-    let json = serde_json::to_string(&cfg).expect("config serialises");
-    let mut back: SimConfig = serde_json::from_str(&json).expect("config parses");
-    back.injections.reindex();
+    let json = idle_waves::tracefmt::json::to_string(&cfg);
+    let back: SimConfig = idle_waves::tracefmt::json::from_str(&json).expect("config parses");
+    assert_eq!(cfg, back, "config must round-trip losslessly");
     let replayed = idle_waves::mpisim::run(&back);
-    assert_eq!(original, replayed, "a stored config must replay bit-exactly");
+    assert_eq!(
+        original, replayed,
+        "a stored config must replay bit-exactly"
+    );
 }
 
 #[test]
@@ -48,10 +51,8 @@ fn trace_exports_are_mutually_consistent() {
 
     // SVG and ASCII render the same run without panicking and show the
     // injected delay.
-    let svg = idle_waves::tracefmt::svg_timeline(
-        &wt.trace,
-        &idle_waves::tracefmt::SvgOptions::default(),
-    );
+    let svg =
+        idle_waves::tracefmt::svg_timeline(&wt.trace, &idle_waves::tracefmt::SvgOptions::default());
     assert!(svg.contains("#3465a4"), "delay colour missing");
     let ascii = ascii_timeline(&wt.trace, &AsciiOptions::default());
     assert!(ascii.contains('D'));
