@@ -31,8 +31,18 @@ pub fn render(tl: &LbmTimeline) -> String {
         &tl.snapshots
             .iter()
             .map(|s| {
-                let min = s.finish.iter().min().unwrap().as_secs_f64();
-                let max = s.finish.iter().max().unwrap().as_secs_f64();
+                let min = s
+                    .finish
+                    .iter()
+                    .min()
+                    .expect("snapshot covers at least one rank")
+                    .as_secs_f64();
+                let max = s
+                    .finish
+                    .iter()
+                    .max()
+                    .expect("snapshot covers at least one rank")
+                    .as_secs_f64();
                 vec![
                     s.step.to_string(),
                     format!("{:.3}", s.model.as_secs_f64()),

@@ -43,6 +43,10 @@ impl Scale {
 }
 
 /// Render a simple aligned table: a header and rows of equal length.
+///
+/// # Panics
+///
+/// If any row's length differs from the header's.
 pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {

@@ -52,6 +52,10 @@ impl ContinuumModel {
 
     /// Construct from an Eq. 2 speed and a measured decay rate (e.g. the
     /// median of a `decay::decay_at_level` row).
+    ///
+    /// # Panics
+    ///
+    /// If `decay_us_per_rank` is negative.
     pub fn with_decay(cfg: &mpisim::SimConfig, decay_us_per_rank: f64) -> Self {
         assert!(decay_us_per_rank >= 0.0, "decay cannot be negative");
         ContinuumModel {
@@ -62,6 +66,10 @@ impl ContinuumModel {
 
     /// Predicted amplitude after travelling `hops` ranks from an initial
     /// amplitude (linear decay, clamped at zero).
+    ///
+    /// # Panics
+    ///
+    /// If `hops` is negative.
     pub fn amplitude_after(&self, initial: SimDuration, hops: f64) -> SimDuration {
         assert!(hops >= 0.0, "hops cannot be negative");
         let lost = SimDuration::from_micros_f64(self.decay_us_per_rank * hops);
@@ -79,6 +87,10 @@ impl ContinuumModel {
 
     /// Predicted arrival time of the front at hop distance `hops`, for a
     /// wave launched at `injected_at`.
+    ///
+    /// # Panics
+    ///
+    /// If the model's speed is not positive.
     pub fn arrival(&self, injected_at: SimTime, hops: f64) -> SimTime {
         assert!(self.speed_ranks_per_sec > 0.0, "front must move");
         injected_at + SimDuration::from_secs_f64(hops / self.speed_ranks_per_sec)
@@ -108,6 +120,10 @@ impl ContinuumModel {
     /// Predicted extinction step of the Fig. 6 "equal injections" setup:
     /// waves from adjacent sources meet after half the source gap; the
     /// front advances `sigma·d` ranks per step.
+    ///
+    /// # Panics
+    ///
+    /// If `ranks_per_step` is zero.
     pub fn extinction_step_equal_sources(&self, gap_ranks: u32, ranks_per_step: u32) -> u32 {
         assert!(ranks_per_step >= 1);
         (gap_ranks / 2).div_ceil(ranks_per_step)

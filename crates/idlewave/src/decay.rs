@@ -76,6 +76,10 @@ pub struct DecayRow {
 /// per the scan. Runs whose wave is absorbed before three hops are
 /// counted as a decay rate equal to the initial amplitude per hop — the
 /// wave died "immediately", the strongest decay observable.
+///
+/// # Panics
+///
+/// If `seeds` is empty.
 pub fn decay_at_level(base: &WaveExperiment, e_percent: f64, seeds: &[u64]) -> DecayRow {
     assert!(!seeds.is_empty(), "need at least one seed");
     let source = wave_source(base);

@@ -29,6 +29,10 @@ pub struct EliminationResult {
 
 /// Run `base` (which must contain an injected delay) at noise level
 /// `e_percent`, with and without the injection, and report the excess.
+///
+/// # Panics
+///
+/// If `base` has no injected delay.
 pub fn measure_elimination(base: &WaveExperiment, e_percent: f64) -> EliminationResult {
     let injected = base.config().injections.max_duration();
     assert!(
@@ -63,6 +67,10 @@ pub fn elimination_scan(base: &WaveExperiment, levels: &[f64]) -> Vec<Eliminatio
 /// Like [`measure_elimination`] but averaged over independent seeds: the
 /// single-run excess is a difference of two noisy runtimes and carries
 /// run-to-run variance of the order of the noise itself.
+///
+/// # Panics
+///
+/// If `seeds` is empty or `base` has no injected delay.
 pub fn average_elimination(
     base: &WaveExperiment,
     e_percent: f64,

@@ -7,7 +7,7 @@
 //! result of a run is a [`WaveTrace`], which pairs the raw trace with the
 //! analytic baselines needed by all analyses.
 
-use mpisim::{nominal_comm_duration, nominal_step_duration, run, Protocol, SimConfig};
+use mpisim::{nominal_comm_duration, nominal_step_duration, run, Diagnostic, Protocol, SimConfig};
 use netmodel::{ClusterNetwork, Hockney, PointToPoint};
 use noise_model::{presets, DelayDistribution, InjectionPlan};
 use simdes::{SimDuration, SimTime};
@@ -128,8 +128,11 @@ impl WaveExperiment {
     }
 
     /// Inject exponential application noise at level `E` percent of the
-    /// current compute-phase duration (paper Eq. 3). Panics when the
-    /// execution model is not compute-bound, because `E` is defined
+    /// current compute-phase duration (paper Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// If the execution model is not compute-bound — `E` is defined
     /// relative to a fixed `T_exec`.
     pub fn noise_percent(mut self, e: f64) -> Self {
         let t_exec = match self.cfg.exec {
@@ -164,9 +167,28 @@ impl WaveExperiment {
         self.cfg
     }
 
+    /// Static analysis of the configuration as built so far, without
+    /// running anything: every `simcheck` diagnostic, including warnings
+    /// like the SC001 rendezvous wait-cycle and the SC008 truncated-wave
+    /// prediction.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        simcheck::analyze(&self.cfg)
+    }
+
     /// Run the experiment.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration fails the `simcheck` pre-check with
+    /// error-severity diagnostics.
     pub fn run(self) -> WaveTrace {
         WaveTrace::from_config(self.cfg)
+    }
+
+    /// Run the experiment, returning the analyzer's error diagnostics
+    /// instead of panicking on an invalid configuration.
+    pub fn try_run(self) -> Result<WaveTrace, Vec<Diagnostic>> {
+        WaveTrace::try_from_config(self.cfg)
     }
 }
 
@@ -185,7 +207,14 @@ pub struct WaveTrace {
 
 impl WaveTrace {
     /// Simulate `cfg` and wrap the result.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration fails the `simcheck` pre-check with
+    /// error-severity diagnostics; the panic message is the rendered
+    /// report. Use [`WaveTrace::try_from_config`] to handle them instead.
     pub fn from_config(cfg: SimConfig) -> Self {
+        simcheck::validate_strict(&cfg);
         let trace = run(&cfg);
         let baseline_comm = nominal_comm_duration(&cfg);
         let step_duration = nominal_step_duration(&cfg);
@@ -195,6 +224,19 @@ impl WaveTrace {
             baseline_comm,
             step_duration,
         }
+    }
+
+    /// Like [`WaveTrace::from_config`], but an invalid configuration comes
+    /// back as the analyzer's error diagnostics instead of a panic.
+    pub fn try_from_config(cfg: SimConfig) -> Result<Self, Vec<Diagnostic>> {
+        let errors: Vec<Diagnostic> = simcheck::analyze(&cfg)
+            .into_iter()
+            .filter(Diagnostic::is_error)
+            .collect();
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+        Ok(WaveTrace::from_config(cfg))
     }
 
     /// Idle time of `(rank, step)` beyond the communication baseline.
@@ -284,6 +326,38 @@ mod tests {
         assert_eq!(cfg.injections.delay_for(5, 0), SimDuration::from_millis(9));
         // E = 10 % of 1 ms = 100 us mean.
         assert_eq!(cfg.noise.mean(), SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn analyze_surfaces_the_wait_cycle_without_running() {
+        let warnings = WaveExperiment::flat_chain(8)
+            .direction(Direction::Bidirectional)
+            .boundary(Boundary::Periodic)
+            .rendezvous()
+            .analyze();
+        assert!(warnings.iter().any(|d| d.code == "SC001"), "{warnings:?}");
+    }
+
+    #[test]
+    fn try_run_reports_errors_instead_of_panicking() {
+        let mut cfg = WaveExperiment::flat_chain(8).into_config();
+        cfg.msg_bytes = 0;
+        let errors = WaveTrace::try_from_config(cfg).expect_err("must be invalid");
+        assert!(errors.iter().all(|d| d.is_error()));
+        assert!(errors.iter().any(|d| d.code == "SC004"), "{errors:?}");
+        // The happy path still works through the same gate.
+        let wt = WaveExperiment::flat_chain(4).steps(2).try_run();
+        assert!(wt.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "SC002")]
+    fn run_panics_with_the_rendered_report_on_invalid_configs() {
+        // d = 5 on an 8-rank periodic ring: partners alias (needs n > 2d).
+        let _ = WaveExperiment::flat_chain(8)
+            .boundary(Boundary::Periodic)
+            .distance(5)
+            .run();
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub fn sigma(direction: Direction, mode: Mode) -> u32 {
 }
 
 /// `v_silent` in ranks per second from explicit ingredients.
+///
+/// # Panics
+///
+/// If `sigma` is not 1 or 2, `distance` is zero, or the step period is.
 pub fn v_silent(sigma: u32, distance: u32, t_exec: SimDuration, t_comm: SimDuration) -> f64 {
     assert!(sigma == 1 || sigma == 2, "sigma must be 1 or 2");
     assert!(distance >= 1, "distance must be at least 1");

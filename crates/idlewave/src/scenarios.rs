@@ -92,6 +92,10 @@ impl StreamScalingConfig {
 
     /// Build the simulator configuration for `domains` memory domains
     /// (sockets for PPN = 20, nodes for PPN = 1).
+    ///
+    /// # Panics
+    ///
+    /// If `domains` is zero, or below two for the PPN = 1 ring.
     pub fn sim_config(&self, domains: u32) -> SimConfig {
         assert!(domains >= 1, "need at least one domain");
         let (ranks, nodes) = if self.ppn == 1 {

@@ -30,6 +30,10 @@ pub struct Component {
 ///
 /// An O(n²) direct transform: rank counts here are in the hundreds, and
 /// determinism and zero dependencies beat asymptotics.
+///
+/// # Panics
+///
+/// If the signal has fewer than four samples.
 pub fn rank_spectrum(signal: &[f64]) -> Vec<Component> {
     let n = signal.len();
     assert!(n >= 4, "need at least four ranks for a spectrum");

@@ -38,6 +38,10 @@ pub enum Walk {
 ///
 /// On a periodic chain the walk wraps around but stops before revisiting
 /// the source. The source itself is excluded (it is delayed, not idle).
+///
+/// # Panics
+///
+/// If `source` is not a rank of the trace.
 pub fn arrivals_from(
     wt: &WaveTrace,
     source: u32,

@@ -32,6 +32,10 @@ pub struct D3Q19 {
 impl D3Q19 {
     /// A quiescent fluid (ρ = 1, u = 0) in an `nx × ny × nz` periodic box
     /// with relaxation rate `omega` (0 < ω < 2 for stability).
+    ///
+    /// # Panics
+    ///
+    /// If any box dimension is below 2, or `omega` is outside `(0, 2)`.
     pub fn new(nx: usize, ny: usize, nz: usize, omega: f64) -> Self {
         assert!(
             nx >= 2 && ny >= 2 && nz >= 2,
@@ -128,6 +132,10 @@ impl D3Q19 {
 
     /// One fused stream-collide step with the output lattice split into
     /// contiguous z-slabs across `threads` scoped threads.
+    ///
+    /// # Panics
+    ///
+    /// If `threads` is zero.
     pub fn step_parallel(&mut self, threads: usize) {
         assert!(threads >= 1, "need at least one thread");
         if threads == 1 || self.nz < threads {

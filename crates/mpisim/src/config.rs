@@ -12,6 +12,8 @@ use simdes::SimDuration;
 use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
 use workload::{CommPattern, CommSchedule, ExecModel};
 
+use crate::diag::{self, Diagnostic};
+
 /// Message-passing protocol selection (paper Sec. II-C1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protocol {
@@ -153,50 +155,196 @@ impl SimConfig {
         self.network.ranks
     }
 
-    /// Validate cross-field invariants, panicking with a clear message on
-    /// violation. Called by the engine before running.
-    pub fn validate(&self) {
-        assert!(self.steps > 0, "need at least one step");
-        assert!(self.msg_bytes > 0, "zero-byte messages carry no dependency");
+    /// Field-level validity checks, reported as [`Diagnostic`]s instead of
+    /// panics. Covers everything the engine needs to be true before it can
+    /// run: scalar sanity (steps, message size, durations, bandwidths),
+    /// pattern/schedule feasibility, imbalance and injection ranges, and
+    /// noise-distribution parameters. The `simcheck` crate layers graph,
+    /// protocol, and speed-model analyses on top of this list.
+    pub fn check(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        if self.steps == 0 {
+            out.push(Diagnostic::error(
+                "SC004",
+                "steps",
+                self.steps,
+                "need at least one step",
+            ));
+        }
+        if self.msg_bytes == 0 {
+            out.push(Diagnostic::error(
+                "SC004",
+                "msg_bytes",
+                self.msg_bytes,
+                "zero-byte messages carry no dependency",
+            ));
+        }
+        match self.exec {
+            ExecModel::Compute { duration } => {
+                if duration.is_zero() {
+                    out.push(Diagnostic::warning(
+                        "SC004",
+                        "exec.duration",
+                        duration,
+                        "zero-length execution phases make the Eq. 2 speed model degenerate",
+                    ));
+                }
+            }
+            ExecModel::MemoryBound {
+                bytes,
+                core_bw_bps,
+                socket_bw_bps,
+            } => {
+                if bytes == 0 {
+                    out.push(Diagnostic::error(
+                        "SC004",
+                        "exec.bytes",
+                        bytes,
+                        "memory-bound phases need nonzero traffic",
+                    ));
+                }
+                for (field, bw) in [
+                    ("exec.core_bw_bps", core_bw_bps),
+                    ("exec.socket_bw_bps", socket_bw_bps),
+                ] {
+                    if !bw.is_finite() || bw <= 0.0 {
+                        out.push(Diagnostic::error(
+                            "SC004",
+                            field,
+                            bw,
+                            "bandwidths must be positive and finite",
+                        ));
+                    }
+                }
+            }
+        }
         match &self.schedule {
-            Some(sched) => assert_eq!(
-                sched.ranks(),
-                self.ranks(),
-                "schedule rank count does not match the job"
-            ),
+            Some(sched) => {
+                if sched.ranks() != self.ranks() {
+                    out.push(Diagnostic::error(
+                        "SC005",
+                        "schedule",
+                        sched.ranks(),
+                        format!(
+                            "schedule rank count does not match the job ({} vs {})",
+                            sched.ranks(),
+                            self.ranks()
+                        ),
+                    ));
+                }
+            }
             None => {
-                // Exercise the pattern for every rank so malformed configs
-                // fail fast rather than mid-run.
-                for r in 0..self.ranks() {
-                    let _ = self.pattern.send_partners(r, self.ranks());
-                    let _ = self.pattern.recv_partners(r, self.ranks());
+                if self.pattern.distance == 0 {
+                    out.push(Diagnostic::error(
+                        "SC002",
+                        "pattern.distance",
+                        self.pattern.distance,
+                        "distance must be >= 1",
+                    ));
+                } else {
+                    let feasible = match self.pattern.boundary {
+                        workload::Boundary::Periodic => self.ranks() > 2 * self.pattern.distance,
+                        workload::Boundary::Open => self.ranks() > self.pattern.distance,
+                    };
+                    if !feasible {
+                        out.push(Diagnostic::error(
+                            "SC002",
+                            "network.ranks",
+                            self.ranks(),
+                            format!(
+                                "{} ranks too few for distance {} with {:?} boundary",
+                                self.ranks(),
+                                self.pattern.distance,
+                                self.pattern.boundary
+                            ),
+                        ));
+                    }
                 }
             }
         }
         if !self.imbalance.is_empty() {
-            assert_eq!(
-                self.imbalance.len(),
-                self.ranks() as usize,
-                "imbalance vector must have one factor per rank"
-            );
-            assert!(
-                self.imbalance.iter().all(|&f| f.is_finite() && f > 0.0),
-                "imbalance factors must be positive and finite"
-            );
+            if self.imbalance.len() != self.ranks() as usize {
+                out.push(Diagnostic::error(
+                    "SC012",
+                    "imbalance",
+                    self.imbalance.len(),
+                    format!(
+                        "imbalance vector must have one factor per rank ({} factors, {} ranks)",
+                        self.imbalance.len(),
+                        self.ranks()
+                    ),
+                ));
+            }
+            for (i, &f) in self.imbalance.iter().enumerate() {
+                if !f.is_finite() || f <= 0.0 {
+                    out.push(Diagnostic::error(
+                        "SC012",
+                        format!("imbalance[{i}]"),
+                        f,
+                        "imbalance factors must be positive and finite",
+                    ));
+                }
+            }
         }
-        for inj in self.injections.injections() {
-            assert!(
-                inj.rank < self.ranks(),
-                "injection at rank {} but job has {} ranks",
-                inj.rank,
-                self.ranks()
-            );
-            assert!(
-                inj.step < self.steps,
-                "injection at step {} but run has {} steps",
-                inj.step,
-                self.steps
-            );
+        if let Err(why) = self.noise.check() {
+            out.push(Diagnostic::error(
+                "SC009",
+                "noise",
+                format!("{:?}", self.noise),
+                why,
+            ));
+        }
+        for (i, inj) in self.injections.injections().iter().enumerate() {
+            if inj.rank >= self.ranks() {
+                out.push(Diagnostic::error(
+                    "SC011",
+                    format!("injections[{i}].rank"),
+                    inj.rank,
+                    format!(
+                        "injection at rank {} but job has {} ranks",
+                        inj.rank,
+                        self.ranks()
+                    ),
+                ));
+            }
+            if inj.step >= self.steps {
+                out.push(Diagnostic::error(
+                    "SC011",
+                    format!("injections[{i}].step"),
+                    inj.step,
+                    format!(
+                        "injection at step {} but run has {} steps",
+                        inj.step, self.steps
+                    ),
+                ));
+            }
+            if inj.duration.is_zero() {
+                out.push(Diagnostic::note(
+                    "SC011",
+                    format!("injections[{i}].duration"),
+                    inj.duration,
+                    "zero-duration injection has no effect",
+                ));
+            }
+        }
+        out
+    }
+
+    /// Validate cross-field invariants, panicking with the rendered
+    /// [`Diagnostic`] report when any [`diag::Severity::Error`]-level
+    /// finding exists. Called by the engine before running; warnings and notes are
+    /// not fatal (query [`SimConfig::check`] to see them).
+    ///
+    /// # Panics
+    /// Panics when [`SimConfig::check`] reports at least one error.
+    pub fn validate(&self) {
+        let errors: Vec<Diagnostic> = self
+            .check()
+            .into_iter()
+            .filter(Diagnostic::is_error)
+            .collect();
+        if !errors.is_empty() {
+            panic!("invalid SimConfig:\n{}", diag::render_report(&errors));
         }
     }
 }
@@ -385,6 +533,83 @@ mod tests {
         let mut c = cfg();
         c.steps = 0;
         c.validate();
+    }
+
+    #[test]
+    fn check_is_empty_for_the_baseline() {
+        assert!(cfg().check().is_empty());
+    }
+
+    #[test]
+    fn check_reports_field_and_value_context() {
+        let mut c = cfg();
+        c.injections = InjectionPlan::single(99, 0, SimDuration::from_millis(1));
+        let diags = c.check();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SC011");
+        assert_eq!(diags[0].field, "injections[0].rank");
+        assert_eq!(diags[0].value, "99");
+        assert!(diags[0].is_error());
+        assert!(diags[0].to_string().contains("injections[0].rank = 99"));
+    }
+
+    #[test]
+    fn check_collects_multiple_findings() {
+        let mut c = cfg();
+        c.steps = 0;
+        c.msg_bytes = 0;
+        c.imbalance = vec![1.0, -2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let diags = c.check();
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"SC004"));
+        assert!(codes.contains(&"SC012"));
+        assert!(diags.iter().any(|d| d.field == "imbalance[1]"));
+        assert!(diags.len() >= 3);
+    }
+
+    #[test]
+    fn check_flags_infeasible_patterns_without_panicking() {
+        let mut c = cfg();
+        c.pattern.distance = 20; // 8 ranks, open boundary: infeasible
+        let diags = c.check();
+        assert!(diags.iter().any(|d| d.code == "SC002" && d.is_error()));
+        let mut z = cfg();
+        z.pattern.distance = 0;
+        assert!(z.check().iter().any(|d| d.code == "SC002"));
+    }
+
+    #[test]
+    fn check_flags_bad_noise_and_bandwidths() {
+        let mut c = cfg();
+        c.noise = DelayDistribution::Pareto {
+            scale: SimDuration::from_micros(1),
+            alpha: 0.5,
+            max: SimDuration::from_millis(1),
+        };
+        c.exec = workload::ExecModel::MemoryBound {
+            bytes: 1024,
+            core_bw_bps: f64::NAN,
+            socket_bw_bps: -1.0,
+        };
+        let diags = c.check();
+        assert!(diags.iter().any(|d| d.code == "SC009"));
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == "SC004" && d.field.contains("bw_bps"))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn zero_duration_injection_is_a_note_not_an_error() {
+        let mut c = cfg();
+        c.injections = InjectionPlan::single(1, 0, SimDuration::ZERO);
+        let diags = c.check();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Note);
+        c.validate(); // notes are not fatal
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Configuration diagnostics.
+//!
+//! A [`Diagnostic`] is one finding about a [`crate::SimConfig`]: a severity,
+//! a stable code (`SC001`…), a human-readable message, and span-like
+//! context naming the config field and offending value. The basic
+//! field-level checks live here (produced by [`crate::SimConfig::check`]);
+//! the `simcheck` crate layers graph, protocol, and speed-model analyses on
+//! top and re-exports these types.
+//!
+//! Diagnostic codes are documented in `docs/ANALYZER.md` at the workspace
+//! root.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: expected behaviour worth knowing about.
+    Note,
+    /// Suspicious but runnable: the simulation completes, results may not
+    /// mean what you think.
+    Warning,
+    /// The configuration is invalid; the engine refuses to run it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding about a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Stable code, e.g. `"SC001"` (see docs/ANALYZER.md).
+    pub code: &'static str,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// The config field the finding anchors to, e.g. `"injections[0].rank"`.
+    pub field: String,
+    /// Rendering of the offending value, e.g. `"99"`.
+    pub value: String,
+}
+
+impl Diagnostic {
+    /// Build a finding with full field/value context.
+    pub fn new(
+        severity: Severity,
+        code: &'static str,
+        field: impl Into<String>,
+        value: impl fmt::Display,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            field: field.into(),
+            value: value.to_string(),
+        }
+    }
+
+    /// An [`Severity::Error`] finding.
+    pub fn error(
+        code: &'static str,
+        field: impl Into<String>,
+        value: impl fmt::Display,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic::new(Severity::Error, code, field, value, message)
+    }
+
+    /// A [`Severity::Warning`] finding.
+    pub fn warning(
+        code: &'static str,
+        field: impl Into<String>,
+        value: impl fmt::Display,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic::new(Severity::Warning, code, field, value, message)
+    }
+
+    /// A [`Severity::Note`] finding.
+    pub fn note(
+        code: &'static str,
+        field: impl Into<String>,
+        value: impl fmt::Display,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic::new(Severity::Note, code, field, value, message)
+    }
+
+    /// `true` for [`Severity::Error`] findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} [{} = {}]",
+            self.severity, self.code, self.message, self.field, self.value
+        )
+    }
+}
+
+/// `true` when any finding is an error.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(Diagnostic::is_error)
+}
+
+/// Render findings as one line each, errors first (stable within a
+/// severity class). Empty input renders to an empty string.
+pub fn render_report(diags: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = diags.iter().collect();
+    sorted.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    let lines: Vec<String> = sorted.iter().map(|d| d.to_string()).collect();
+    lines.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_field_and_value() {
+        let d = Diagnostic::error("SC004", "steps", 0, "need at least one step");
+        assert_eq!(
+            d.to_string(),
+            "error[SC004]: need at least one step [steps = 0]"
+        );
+        assert!(d.is_error());
+    }
+
+    #[test]
+    fn severities_order_by_badness() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+    }
+
+    #[test]
+    fn report_sorts_errors_first_and_is_stable() {
+        let diags = vec![
+            Diagnostic::note("SC003", "pattern.boundary", "Open", "first note"),
+            Diagnostic::error("SC004", "steps", 0, "first error"),
+            Diagnostic::warning("SC006", "protocol", "Eager", "a warning"),
+            Diagnostic::error("SC005", "schedule", 4, "second error"),
+        ];
+        let report = render_report(&diags);
+        let lines: Vec<&str> = report.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("first error"));
+        assert!(lines[1].contains("second error"));
+        assert!(lines[2].contains("SC006"));
+        assert!(lines[3].contains("SC003"));
+        assert!(has_errors(&diags));
+        assert!(!has_errors(&diags[2..3]));
+    }
+
+    #[test]
+    fn empty_report_is_empty() {
+        assert_eq!(render_report(&[]), "");
+    }
+}

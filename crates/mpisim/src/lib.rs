@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod diag;
 mod engine;
 mod nominal;
 pub mod reference;
 
 pub use config::{Mode, NoisePlacement, Protocol, SimConfig};
+pub use diag::{Diagnostic, Severity};
 pub use engine::{run, Engine, RunStats};
 pub use nominal::{
     nominal_comm_duration, nominal_exec_duration, nominal_message_time, nominal_step_duration,

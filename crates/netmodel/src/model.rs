@@ -103,6 +103,10 @@ impl PointToPoint {
 
 impl Hockney {
     /// Convenience constructor from latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// If the bandwidth is not positive and finite.
     pub fn new(latency: SimDuration, bandwidth_bps: f64) -> Self {
         assert!(
             bandwidth_bps > 0.0 && bandwidth_bps.is_finite(),

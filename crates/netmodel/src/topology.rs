@@ -51,6 +51,10 @@ pub enum Domain {
 
 impl Machine {
     /// A machine with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// If any dimension is zero.
     pub fn new(cores_per_socket: u32, sockets_per_node: u32, nodes: u32) -> Self {
         assert!(
             cores_per_socket > 0 && sockets_per_node > 0 && nodes > 0,

@@ -89,6 +89,12 @@ pub enum DelayDistribution {
 
 impl DelayDistribution {
     /// Draw one delay.
+    ///
+    /// # Panics
+    ///
+    /// On parameter combinations that [`DelayDistribution::check`] rejects
+    /// (empty empirical sample set, inverted uniform bounds, Pareto
+    /// `alpha <= 1`).
     pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
         match *self {
             DelayDistribution::Empirical { ref samples } => {
@@ -138,6 +144,11 @@ impl DelayDistribution {
 
     /// Analytic mean of the distribution (exact except for the truncated
     /// exponential, where the clamped mean is computed in closed form).
+    ///
+    /// # Panics
+    ///
+    /// On parameter combinations that [`DelayDistribution::check`] rejects
+    /// (empty empirical sample set, Pareto `alpha <= 1`).
     pub fn mean(&self) -> SimDuration {
         match *self {
             DelayDistribution::Empirical { ref samples } => {
@@ -197,6 +208,28 @@ impl DelayDistribution {
             DelayDistribution::Constant(d) => d.is_zero(),
             DelayDistribution::Empirical { samples } => samples.iter().all(|&v| v == 0),
             _ => false,
+        }
+    }
+
+    /// Non-panicking parameter validation: `Err` describes the first
+    /// invalid parameter. [`DelayDistribution::sample`] asserts the same
+    /// conditions at draw time; this front-loads them so a config analyzer
+    /// can report the problem before a simulation starts.
+    pub fn check(&self) -> Result<(), String> {
+        match *self {
+            DelayDistribution::Empirical { ref samples } if samples.is_empty() => {
+                Err("empirical distribution with no samples".into())
+            }
+            DelayDistribution::Pareto { alpha, .. } if !(alpha > 1.0) => Err(format!(
+                "Pareto alpha must exceed 1 for a finite mean (alpha = {alpha})"
+            )),
+            DelayDistribution::Uniform { lo, hi } if lo > hi => {
+                Err(format!("uniform bounds inverted (lo = {lo} > hi = {hi})"))
+            }
+            DelayDistribution::Bimodal { p_second, .. } if !(0.0..=1.0).contains(&p_second) => Err(
+                format!("bimodal p_second must lie in [0, 1] (p_second = {p_second})"),
+            ),
+            _ => Ok(()),
         }
     }
 
@@ -466,6 +499,50 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(d.sample(&mut a), d.sample(&mut b));
         }
+    }
+
+    #[test]
+    fn check_accepts_valid_and_rejects_invalid_parameters() {
+        let us = SimDuration::from_micros;
+        assert!(DelayDistribution::None.check().is_ok());
+        assert!(DelayDistribution::Exponential { mean: us(3) }
+            .check()
+            .is_ok());
+        assert!(DelayDistribution::Uniform {
+            lo: us(1),
+            hi: us(2)
+        }
+        .check()
+        .is_ok());
+        let inverted = DelayDistribution::Uniform {
+            lo: us(5),
+            hi: us(2),
+        };
+        assert!(inverted.check().unwrap_err().contains("inverted"));
+        let heavy = DelayDistribution::Pareto {
+            scale: us(1),
+            alpha: 0.9,
+            max: us(100),
+        };
+        assert!(heavy.check().unwrap_err().contains("alpha"));
+        let nan_alpha = DelayDistribution::Pareto {
+            scale: us(1),
+            alpha: f64::NAN,
+            max: us(100),
+        };
+        assert!(nan_alpha.check().is_err());
+        let empty = DelayDistribution::Empirical {
+            samples: Vec::new(),
+        };
+        assert!(empty.check().unwrap_err().contains("no samples"));
+        let bad_mix = DelayDistribution::Bimodal {
+            first_mean: us(3),
+            first_max: us(30),
+            second_center: us(660),
+            second_halfwidth: us(40),
+            p_second: 1.5,
+        };
+        assert!(bad_mix.check().unwrap_err().contains("p_second"));
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Histogram {
 impl Histogram {
     /// Empty histogram with `bins` bins of width `bin_width`; samples at or
     /// beyond `bins · bin_width` land in the overflow bin.
+    ///
+    /// # Panics
+    ///
+    /// If `bin_width` is zero or `bins` is zero.
     pub fn new(bin_width: SimDuration, bins: usize) -> Self {
         assert!(!bin_width.is_zero(), "bin width must be positive");
         assert!(bins > 0, "need at least one bin");

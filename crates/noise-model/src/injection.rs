@@ -11,7 +11,7 @@
 //!   random durations (Fig. 6 a/b/c).
 
 use simdes::{SeedFactory, SimDuration};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tracefmt::json::{self, FromJson, Json, ToJson};
 
 /// One planned delay.
@@ -29,7 +29,7 @@ pub struct Injection {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct InjectionPlan {
     injections: Vec<Injection>,
-    index: HashMap<(u32, u32), SimDuration>,
+    index: BTreeMap<(u32, u32), SimDuration>,
 }
 
 impl InjectionPlan {
@@ -41,7 +41,7 @@ impl InjectionPlan {
     /// Build from an explicit list. Multiple injections at the same `(rank,
     /// step)` accumulate.
     pub fn from_list(list: Vec<Injection>) -> Self {
-        let mut index = HashMap::with_capacity(list.len());
+        let mut index = BTreeMap::new();
         for inj in &list {
             *index
                 .entry((inj.rank, inj.step))
@@ -64,6 +64,10 @@ impl InjectionPlan {
 
     /// Fig. 6(a): the same delay on local rank `local` of each of
     /// `sockets` sockets (with `per_socket` ranks per socket), at `step`.
+    ///
+    /// # Panics
+    ///
+    /// If `local >= per_socket`.
     pub fn per_socket_equal(
         sockets: u32,
         per_socket: u32,
@@ -84,6 +88,10 @@ impl InjectionPlan {
 
     /// Fig. 6(b): like [`InjectionPlan::per_socket_equal`] but the delay on
     /// odd sockets is half as long.
+    ///
+    /// # Panics
+    ///
+    /// If `local >= per_socket`.
     pub fn per_socket_half_on_odd(
         sockets: u32,
         per_socket: u32,
@@ -104,6 +112,10 @@ impl InjectionPlan {
 
     /// Fig. 6(c): a random delay, uniform on `[min, max]`, on the same
     /// local rank of each socket. Deterministic given the seed factory.
+    ///
+    /// # Panics
+    ///
+    /// If `local >= per_socket` or `min > max`.
     pub fn per_socket_random(
         sockets: u32,
         per_socket: u32,

@@ -63,11 +63,17 @@ pub fn silent() -> DelayDistribution {
 /// The paper's injected fine-grained application noise (Eq. 3): exponential
 /// with mean `E · T_exec`, where `e_percent` is E expressed in percent
 /// (the x-axis of Fig. 8).
+///
+/// # Panics
+///
+/// If `e_percent` is outside `[0, 1000]`.
 pub fn application_noise(e_percent: f64, t_exec: SimDuration) -> DelayDistribution {
     assert!(
         (0.0..=1000.0).contains(&e_percent),
         "noise level {e_percent}% out of range"
     );
+    // Exact zero means "noise disabled", not an approximate quantity.
+    // simlint: allow(float-cmp)
     if e_percent == 0.0 {
         return DelayDistribution::None;
     }

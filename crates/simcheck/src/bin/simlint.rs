@@ -1,0 +1,38 @@
+//! `simlint` — lint the workspace sources for simulation hygiene.
+//!
+//! Usage: `simlint [ROOT]` (default: current directory). Prints every
+//! unsuppressed violation as `path:line: [rule] snippet`, then a one-line
+//! JSON summary, and exits nonzero when violations remain. See
+//! `docs/ANALYZER.md` for the rule set and the
+//! `// simlint: allow(<rule>)` pragma.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root: PathBuf = std::env::args_os()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let report = match simcheck::lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("simlint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for violation in &report.violations {
+        println!("{violation}");
+    }
+    println!("{}", report.summary_json());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simlint: {} violation(s) in {} file(s); suppress intentional \
+             ones with `// simlint: allow(<rule>)`",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,124 @@
+//! Protocol-eligibility and boundary checks (SC003, SC006, SC007).
+
+use mpisim::{Diagnostic, Mode, Protocol, SimConfig};
+use workload::Boundary;
+
+/// The message mode the engine will actually use for every send: the
+/// protocol's size decision, downgraded to rendezvous when a finite eager
+/// buffer is too small to ever hold one message (the guaranteed
+/// footnote-1 fallback).
+pub(crate) fn effective_mode(cfg: &SimConfig) -> Mode {
+    match cfg.protocol.mode_for(cfg.msg_bytes) {
+        Mode::Rendezvous => Mode::Rendezvous,
+        Mode::Eager => match cfg.eager_buffer_bytes {
+            Some(cap) if cap < cfg.msg_bytes => Mode::Rendezvous,
+            _ => Mode::Eager,
+        },
+    }
+}
+
+pub(crate) fn protocol_checks(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
+    if cfg.protocol == Protocol::Eager && cfg.msg_bytes > Protocol::PAPER_EAGER_LIMIT {
+        out.push(Diagnostic::warning(
+            "SC006",
+            "protocol",
+            "Eager",
+            format!(
+                "forced eager for {}-byte messages above the {}-byte eager \
+                 threshold: a real MPI would switch to rendezvous here, so \
+                 measured wave speeds will not transfer to hardware",
+                cfg.msg_bytes,
+                Protocol::PAPER_EAGER_LIMIT
+            ),
+        ));
+    }
+    if let Some(cap) = cfg.eager_buffer_bytes {
+        if cfg.protocol.mode_for(cfg.msg_bytes) == Mode::Eager && cap < cfg.msg_bytes {
+            out.push(Diagnostic::warning(
+                "SC007",
+                "eager_buffer_bytes",
+                cap,
+                format!(
+                    "every {}-byte send overflows the {cap}-byte eager buffer \
+                     and falls back to rendezvous (paper footnote 1); \
+                     σ and the idle-wave speed change accordingly",
+                    cfg.msg_bytes
+                ),
+            ));
+        }
+    }
+    if cfg.schedule.is_none() && cfg.pattern.boundary == Boundary::Open {
+        let n = cfg.ranks();
+        let d = cfg.pattern.distance.min(n.saturating_sub(1));
+        out.push(Diagnostic::note(
+            "SC003",
+            "pattern.boundary",
+            "Open",
+            format!(
+                "open boundary: ranks 0..{d} and {}..{n} have clipped \
+                 partner sets, so idle waves die at the chain ends \
+                 (paper Fig. 5 a/c/e/g)",
+                n - d
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::presets;
+    use workload::{CommPattern, Direction};
+
+    fn base() -> SimConfig {
+        SimConfig::baseline(
+            presets::loggopsim_like(8),
+            CommPattern::next_neighbor(Direction::Unidirectional, Boundary::Periodic),
+            5,
+        )
+    }
+
+    #[test]
+    fn forced_eager_above_threshold_warns() {
+        let mut c = base();
+        c.protocol = Protocol::Eager;
+        c.msg_bytes = 1 << 20;
+        let mut out = Vec::new();
+        protocol_checks(&c, &mut out);
+        assert!(out.iter().any(|d| d.code == "SC006"));
+        // Auto protocol at the same size picks rendezvous by itself: clean.
+        c.protocol = Protocol::Auto {
+            eager_limit: Protocol::PAPER_EAGER_LIMIT,
+        };
+        out.clear();
+        protocol_checks(&c, &mut out);
+        assert!(out.iter().all(|d| d.code != "SC006"));
+    }
+
+    #[test]
+    fn undersized_eager_buffer_warns_and_downgrades_the_mode() {
+        let mut c = base();
+        c.eager_buffer_bytes = Some(100);
+        let mut out = Vec::new();
+        protocol_checks(&c, &mut out);
+        assert!(out.iter().any(|d| d.code == "SC007"));
+        assert_eq!(effective_mode(&c), Mode::Rendezvous);
+        // A buffer that fits one message is fine.
+        c.eager_buffer_bytes = Some(c.msg_bytes);
+        out.clear();
+        protocol_checks(&c, &mut out);
+        assert!(out.iter().all(|d| d.code != "SC007"));
+        assert_eq!(effective_mode(&c), Mode::Eager);
+    }
+
+    #[test]
+    fn open_boundary_gets_a_clipping_note() {
+        let mut c = base();
+        c.pattern.boundary = Boundary::Open;
+        let mut out = Vec::new();
+        protocol_checks(&c, &mut out);
+        let note = out.iter().find(|d| d.code == "SC003").expect("SC003 note");
+        assert_eq!(note.severity, mpisim::Severity::Note);
+        assert!(note.message.contains("die at the chain ends"));
+    }
+}

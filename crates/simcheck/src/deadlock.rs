@@ -1,0 +1,263 @@
+//! Rendezvous wait-cycle detection (SC001, SC010).
+//!
+//! The hazard: in rendezvous mode every send blocks on its receiver's CTS,
+//! and under the engine's head-of-line gating a receiver withholds all CTS
+//! while any of its own receives is unmatched. Ranks that *mutually*
+//! rendezvous-send to each other therefore form synchronization edges; a
+//! closed ring of such edges is the textbook message-passing deadlock —
+//! with blocking or synchronous sends (`MPI_Send` large-message semantics,
+//! `MPI_Ssend`) it hangs outright. The simulated engine survives it,
+//! because nonblocking `Waitall` semantics let the CTS gating resolve the
+//! ring dynamically, but that resolution is exactly what doubles the
+//! idle-wave speed (σ = 2 in Eq. 2) — so the analyzer reports the cycle as
+//! a warning naming the offending ranks.
+//!
+//! Detection: mutual rendezvous edges between chain neighbours always form
+//! a path; only the **periodic boundary** can close the path into a ring.
+//! So SC001 fires exactly when a wrap-around mutual edge (one whose
+//! endpoints are geometrically further apart than the pattern distance)
+//! connects two ranks already linked through non-wrap mutual edges. For
+//! the paper grid that is precisely {bidirectional × rendezvous ×
+//! periodic}: unidirectional patterns have no mutual edges, and open
+//! boundaries have no wrap edges.
+
+use mpisim::{Diagnostic, Mode, SimConfig};
+use workload::{Boundary, CommSchedule, Direction};
+
+use crate::checks::effective_mode;
+
+pub(crate) fn wait_cycle_checks(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
+    if effective_mode(cfg) != Mode::Rendezvous {
+        return;
+    }
+    match &cfg.schedule {
+        Some(sched) => schedule_mutual_note(sched, out),
+        None => pattern_wrap_cycle(cfg, out),
+    }
+}
+
+/// SC001 on the regular pattern: find a wrap-around mutual-rendezvous
+/// cycle and name its ranks.
+fn pattern_wrap_cycle(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
+    let n = cfg.ranks() as usize;
+    let d = cfg.pattern.distance as usize;
+    if cfg.pattern.direction != Direction::Bidirectional
+        || cfg.pattern.boundary != Boundary::Periodic
+    {
+        // Unidirectional patterns have no mutual sends (feasibility
+        // guarantees n > 2d, so r + k and r − k never alias); open
+        // boundaries have mutual paths but nothing to close them.
+        return;
+    }
+    // Mutual edges split into chain edges (|u − v| ≤ d) and wrap edges
+    // (reached through the periodic boundary). Connect ranks through
+    // chain edges, then look for a wrap edge inside one component.
+    let mut chain_adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut wrap_edges: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for &v in &cfg.pattern.send_partners(u as u32, n as u32) {
+            let v = v as usize;
+            if v <= u {
+                continue; // mutual edges are symmetric; visit each once
+            }
+            if v - u <= d {
+                chain_adj[u].push(v);
+                chain_adj[v].push(u);
+            } else {
+                wrap_edges.push((u, v));
+            }
+        }
+    }
+    for (u, v) in wrap_edges {
+        if let Some(path) = bfs_path(&chain_adj, u, v) {
+            // path: u → … → v through chain edges; the wrap edge v—u
+            // closes it. Report the ring starting at the lower rank.
+            let mut cycle = path;
+            cycle.push(u);
+            out.push(Diagnostic::warning(
+                "SC001",
+                "pattern",
+                format!(
+                    "{:?}/{:?}/d={}",
+                    cfg.pattern.direction, cfg.pattern.boundary, cfg.pattern.distance
+                ),
+                format!(
+                    "rendezvous wait-cycle: ranks {} close a synchronization \
+                     ring around the periodic boundary — a deadlock under \
+                     blocking or synchronous sends; the nonblocking engine \
+                     resolves it via CTS gating at the cost of doubled \
+                     idle-wave speed (σ = 2 in Eq. 2)",
+                    format_cycle(&cycle)
+                ),
+            ));
+            return; // one representative cycle is enough
+        }
+    }
+}
+
+/// SC010 on explicit schedules: geometric wrap analysis is undefined for
+/// arbitrary graphs, so just note the first mutual rendezvous exchange.
+fn schedule_mutual_note(sched: &CommSchedule, out: &mut Vec<Diagnostic>) {
+    for round in 0..sched.rounds_per_cycle() {
+        let g = sched.graph_for(round);
+        for u in 0..g.ranks() {
+            for &v in g.send_partners(u) {
+                if v > u && g.send_partners(v).contains(&u) {
+                    out.push(Diagnostic::note(
+                        "SC010",
+                        "schedule",
+                        format!("round {round}"),
+                        format!(
+                            "mutual rendezvous exchange between ranks {u} and \
+                             {v} in schedule round {round}: explicit schedules \
+                             get no geometric wait-cycle analysis — check \
+                             collective decompositions for synchronization \
+                             rings by hand"
+                        ),
+                    ));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Shortest path `from → … → to` over an undirected adjacency list, or
+/// `None` when disconnected. Deterministic: neighbours expand in
+/// insertion order.
+fn bfs_path(adj: &[Vec<usize>], from: usize, to: usize) -> Option<Vec<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; adj.len()];
+    let mut queue = std::collections::VecDeque::from([from]);
+    parent[from] = Some(from);
+    while let Some(v) = queue.pop_front() {
+        if v == to {
+            let mut path = vec![to];
+            let mut cur = to;
+            while cur != from {
+                cur = parent[cur].expect("visited vertices have parents");
+                path.push(cur);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &w in &adj[v] {
+            if parent[w].is_none() {
+                parent[w] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+    None
+}
+
+/// `0 -> 1 -> 2 -> … -> 0`, eliding the middle of very long rings.
+fn format_cycle(cycle: &[usize]) -> String {
+    let show = |r: &[usize]| {
+        r.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    };
+    if cycle.len() <= 14 {
+        show(cycle)
+    } else {
+        format!(
+            "{} -> ... -> {} ({} ranks)",
+            show(&cycle[..6]),
+            show(&cycle[cycle.len() - 6..]),
+            cycle.len() - 1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Protocol;
+    use netmodel::presets;
+    use workload::{CommGraph, CommPattern};
+
+    fn cfg(dir: Direction, bound: Boundary, d: u32, n: u32) -> SimConfig {
+        let mut c = SimConfig::baseline(
+            presets::loggopsim_like(n),
+            CommPattern {
+                direction: dir,
+                distance: d,
+                boundary: bound,
+            },
+            10,
+        );
+        c.protocol = Protocol::Rendezvous;
+        c
+    }
+
+    fn sc001(c: &SimConfig) -> Option<Diagnostic> {
+        let mut out = Vec::new();
+        wait_cycle_checks(c, &mut out);
+        out.into_iter().find(|d| d.code == "SC001")
+    }
+
+    #[test]
+    fn ring_cycle_walks_the_whole_chain_for_d1() {
+        let d = sc001(&cfg(Direction::Bidirectional, Boundary::Periodic, 1, 8))
+            .expect("SC001 expected");
+        assert!(
+            d.message
+                .contains("0 -> 1 -> 2 -> 3 -> 4 -> 5 -> 6 -> 7 -> 0"),
+            "{}",
+            d.message
+        );
+    }
+
+    #[test]
+    fn larger_distances_close_shorter_rings() {
+        let d = sc001(&cfg(Direction::Bidirectional, Boundary::Periodic, 3, 16))
+            .expect("SC001 expected");
+        // The wrap edge plus stride-3 chain edges closes in ~6 hops.
+        assert!(d.message.contains("deadlock"), "{}", d.message);
+    }
+
+    #[test]
+    fn long_rings_are_elided() {
+        let d = sc001(&cfg(Direction::Bidirectional, Boundary::Periodic, 1, 64))
+            .expect("SC001 expected");
+        assert!(d.message.contains("..."), "{}", d.message);
+        assert!(d.message.contains("(64 ranks)"), "{}", d.message);
+    }
+
+    #[test]
+    fn no_cycle_without_all_three_ingredients() {
+        assert!(sc001(&cfg(Direction::Bidirectional, Boundary::Open, 1, 8)).is_none());
+        assert!(sc001(&cfg(Direction::Unidirectional, Boundary::Periodic, 1, 8)).is_none());
+        assert!(sc001(&cfg(Direction::Unidirectional, Boundary::Periodic, 3, 16)).is_none());
+        let mut eager = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 8);
+        eager.protocol = Protocol::Eager;
+        assert!(sc001(&eager).is_none());
+    }
+
+    #[test]
+    fn schedules_get_the_sc010_note_instead() {
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 8);
+        c.schedule = Some(CommSchedule::hypercube_allreduce(8));
+        let mut out = Vec::new();
+        wait_cycle_checks(&c, &mut out);
+        assert!(out.iter().all(|d| d.code != "SC001"));
+        let note = out.iter().find(|d| d.code == "SC010").expect("SC010");
+        assert!(note.message.contains("mutual rendezvous"));
+    }
+
+    #[test]
+    fn uniform_ring_schedule_without_mutual_pairs_is_silent() {
+        let mut c = cfg(Direction::Unidirectional, Boundary::Periodic, 1, 4);
+        // 0→1→2→3→0: no mutual pairs.
+        c.schedule = Some(CommSchedule::uniform(CommGraph::from_sends(vec![
+            vec![1],
+            vec![2],
+            vec![3],
+            vec![0],
+        ])));
+        let mut out = Vec::new();
+        wait_cycle_checks(&c, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

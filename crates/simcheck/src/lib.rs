@@ -1,0 +1,180 @@
+//! # simcheck — static analysis for simulation setups
+//!
+//! Two layers:
+//!
+//! 1. **Config/model checking** — [`analyze`] inspects a
+//!    [`mpisim::SimConfig`] *before* any simulation runs and returns
+//!    [`Diagnostic`]s: field-level validity (via
+//!    [`mpisim::SimConfig::check`]), rendezvous wait-cycle detection on the
+//!    static send/recv dependency graph (`SC001`), protocol-eligibility
+//!    checks (`SC006`, `SC007`), boundary notes (`SC003`), and an Eq. 2
+//!    speed-model cross-check (`SC008`) that warns when the predicted idle
+//!    wave outruns the chain within the configured steps.
+//! 2. **Source linting** — the [`lint`] module and the `simlint` binary: a
+//!    hand-rolled, comment- and string-aware Rust lexer that scans the
+//!    workspace for determinism/hermeticity hazards (wall-clock reads,
+//!    hash-ordered collections, float equality, unchecked `unwrap`s, debug
+//!    macros, undocumented panicking public functions).
+//!
+//! Diagnostic codes and lint rules are documented in `docs/ANALYZER.md`.
+//! The [`Diagnostic`] type itself lives in [`mpisim::diag`] (so the engine
+//! can render the same diagnostics in its own error paths) and is
+//! re-exported here.
+
+#![warn(missing_docs)]
+
+mod checks;
+mod deadlock;
+pub mod lint;
+mod speed;
+
+use mpisim::SimConfig;
+
+pub use mpisim::diag::{has_errors, render_report};
+pub use mpisim::{Diagnostic, Severity};
+
+/// Statically analyze a configuration: field-level validity plus graph,
+/// protocol, and speed-model findings, errors first.
+///
+/// The deeper analyses (wait cycles, protocol eligibility, Eq. 2
+/// cross-check) only run when the field-level checks found no errors —
+/// they assume a structurally sound config.
+pub fn analyze(cfg: &SimConfig) -> Vec<Diagnostic> {
+    let mut out = cfg.check();
+    if !has_errors(&out) {
+        checks::protocol_checks(cfg, &mut out);
+        deadlock::wait_cycle_checks(cfg, &mut out);
+        speed::speed_checks(cfg, &mut out);
+    }
+    out.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    out
+}
+
+/// Panic with the rendered report when [`analyze`] finds error-level
+/// problems; warnings and notes pass silently. The backward-compatible
+/// strict path for callers that used the old panicking
+/// `SimConfig::validate`.
+///
+/// # Panics
+/// Panics when the config has at least one [`Severity::Error`] finding.
+pub fn validate_strict(cfg: &SimConfig) {
+    let errors: Vec<Diagnostic> = analyze(cfg).into_iter().filter(|d| d.is_error()).collect();
+    if !errors.is_empty() {
+        panic!("invalid SimConfig:\n{}", render_report(&errors));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netmodel::presets;
+    use simdes::SimDuration;
+    use workload::{Boundary, CommPattern, Direction};
+
+    fn cfg(dir: Direction, bound: Boundary, d: u32) -> SimConfig {
+        let net = presets::loggopsim_like(16);
+        SimConfig::baseline(
+            net,
+            CommPattern {
+                direction: dir,
+                distance: d,
+                boundary: bound,
+            },
+            20,
+        )
+    }
+
+    #[test]
+    fn bidirectional_rendezvous_periodic_ring_gets_sc001() {
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1);
+        c.protocol = mpisim::Protocol::Rendezvous;
+        let diags = analyze(&c);
+        let sc001: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "SC001").collect();
+        assert_eq!(sc001.len(), 1, "{diags:?}");
+        assert!(sc001[0].message.contains("deadlock"), "{}", sc001[0]);
+        assert!(
+            sc001[0].message.contains("0 -> 1 -> 2"),
+            "cycle not named: {}",
+            sc001[0]
+        );
+    }
+
+    #[test]
+    fn open_boundary_or_eager_or_unidirectional_get_no_sc001() {
+        for (dir, bound, rdv) in [
+            (Direction::Bidirectional, Boundary::Open, true),
+            (Direction::Unidirectional, Boundary::Periodic, true),
+            (Direction::Bidirectional, Boundary::Periodic, false),
+        ] {
+            let mut c = cfg(dir, bound, 2);
+            c.protocol = if rdv {
+                mpisim::Protocol::Rendezvous
+            } else {
+                mpisim::Protocol::Eager
+            };
+            let diags = analyze(&c);
+            assert!(
+                diags.iter().all(|d| d.code != "SC001"),
+                "{dir:?}/{bound:?}/rdv={rdv}: {diags:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_sort_first_and_suppress_deep_analyses() {
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1);
+        c.protocol = mpisim::Protocol::Rendezvous;
+        c.steps = 0;
+        let diags = analyze(&c);
+        assert!(diags[0].is_error());
+        assert!(
+            diags.iter().all(|d| d.code != "SC001"),
+            "deep analysis ran on a broken config: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn validate_strict_panics_only_on_errors() {
+        let mut warn_only = cfg(Direction::Bidirectional, Boundary::Periodic, 1);
+        warn_only.protocol = mpisim::Protocol::Rendezvous;
+        validate_strict(&warn_only); // SC001 is a warning: no panic
+
+        let mut broken = cfg(Direction::Unidirectional, Boundary::Open, 1);
+        broken.msg_bytes = 0;
+        let err = std::panic::catch_unwind(|| validate_strict(&broken))
+            .expect_err("zero-byte messages must fail strict validation");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("SC004"), "{msg}");
+        assert!(msg.contains("msg_bytes = 0"), "{msg}");
+    }
+
+    #[test]
+    fn eager_buffer_fallback_counts_as_rendezvous_for_sc001() {
+        // Nominally eager, but every message overflows the eager buffer and
+        // falls back to rendezvous — the wait-cycle risk comes back.
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1);
+        c.protocol = mpisim::Protocol::Eager;
+        c.msg_bytes = 8192;
+        c.eager_buffer_bytes = Some(1024);
+        let diags = analyze(&c);
+        assert!(diags.iter().any(|d| d.code == "SC007"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "SC001"), "{diags:?}");
+    }
+
+    #[test]
+    fn truncated_wave_warning_fires_for_long_quiet_runs() {
+        let mut c = cfg(Direction::Unidirectional, Boundary::Open, 1);
+        c.steps = 200; // wave exits a 16-rank chain in ~15 steps
+        c.injections = noise_model::InjectionPlan::single(8, 0, SimDuration::from_millis(9));
+        let diags = analyze(&c);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == "SC008" && d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+        // Short run: the wave is still traveling at the end — no warning.
+        c.steps = 5;
+        assert!(analyze(&c).iter().all(|d| d.code != "SC008"));
+    }
+}

@@ -1,0 +1,280 @@
+//! `simlint`: a hermetic source linter for simulation hygiene.
+//!
+//! Simulated time must be the *only* clock, results must not depend on
+//! hash iteration order, and library code must fail loudly with context —
+//! the linter enforces those conventions mechanically so figure
+//! reproductions stay deterministic. It is string-based on purpose: the
+//! workspace is hermetic (no syn/proc-macro dependencies), so a small
+//! comment/literal-aware lexer ([`lexer`]) masks out the places where rule
+//! substrings may legitimately appear, and the rules ([`rules::RULES`])
+//! scan the rest.
+//!
+//! Entry points: [`lint_source`] for one file, [`lint_workspace`] to walk
+//! a directory tree. The `simlint` binary wraps the latter.
+
+pub mod lexer;
+mod rules;
+
+pub use rules::RULES;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One rule hit that no pragma suppressed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path as given to the linter (workspace-relative when walking).
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule name, one of [`RULES`].
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// Aggregate result of a lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed rule hits, in (path, line) order.
+    pub violations: Vec<Violation>,
+    /// Hits silenced by `// simlint: allow(...)` pragmas.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Did the run finish without violations?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line machine-readable summary (tracefmt JSON).
+    pub fn summary_json(&self) -> String {
+        use tracefmt::Json;
+        let by_rule: Vec<(&str, Json)> = RULES
+            .iter()
+            .filter_map(|rule| {
+                let count = self.violations.iter().filter(|v| v.rule == *rule).count();
+                (count > 0).then_some((*rule, Json::UInt(count as u64)))
+            })
+            .collect();
+        Json::obj(vec![
+            ("tool", Json::Str("simlint".to_string())),
+            ("files_scanned", Json::UInt(self.files_scanned as u64)),
+            ("violations", Json::UInt(self.violations.len() as u64)),
+            ("suppressed", Json::UInt(self.suppressed as u64)),
+            ("by_rule", Json::obj(by_rule)),
+        ])
+        .dump()
+    }
+}
+
+/// Lint a single source string. `path_label` scopes the path-dependent
+/// rules (test/bench/example exemptions) and labels the findings.
+pub fn lint_source(path_label: &str, source: &str) -> (Vec<Violation>, usize) {
+    let lexed = lexer::lex(source);
+    let ctx = rules::FileContext::new(path_label, source, &lexed);
+    rules::check_file(&ctx)
+}
+
+/// Recursively lint every `.rs` file under `root`, skipping `target/` and
+/// VCS directories. Deterministic: files are visited in sorted order.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the directory walk or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = LintReport::default();
+    for rel in files {
+        let source = fs::read_to_string(root.join(&rel))?;
+        let label = rel.replace('\\', "/");
+        let (violations, suppressed) = lint_source(&label, &source);
+        report.files_scanned += 1;
+        report.suppressed += suppressed;
+        report.violations.extend(violations);
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .into_owned();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src)
+            .0
+            .into_iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn wall_clock_is_flagged_outside_the_harness() {
+        let src = "pub fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_hit("crates/x/src/lib.rs", src), ["wall-clock"]);
+        assert!(rules_hit("crates/bench/src/harness.rs", src).is_empty());
+        assert!(rules_hit("crates/x/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_outside_bench() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/x/src/lib.rs", src), ["hash-collections"]);
+        assert!(rules_hit("crates/bench/src/fig2.rs", src).is_empty());
+        // Identifier boundary: `MyHashMapLike` is not the std type.
+        assert!(rules_hit("crates/x/src/lib.rs", "type MyHashMapLike = ();\n").is_empty());
+    }
+
+    #[test]
+    fn float_comparisons_need_a_float_operand() {
+        assert_eq!(rules_hit("src/a.rs", "let b = x == 0.0;\n"), ["float-cmp"]);
+        assert_eq!(rules_hit("src/a.rs", "let b = 1.5 != y;\n"), ["float-cmp"]);
+        assert_eq!(
+            rules_hit("src/a.rs", "let b = x == f64::INFINITY;\n"),
+            ["float-cmp"]
+        );
+        assert!(rules_hit("src/a.rs", "let b = x == 3;\n").is_empty());
+        assert!(rules_hit("src/a.rs", "let b = x <= 0.5;\n").is_empty());
+        assert!(rules_hit("src/a.rs", "let c = |x| x + 1;\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_but_expect_is_fine() {
+        assert_eq!(rules_hit("src/a.rs", "v.last().unwrap();\n"), ["unwrap"]);
+        assert!(rules_hit("src/a.rs", "v.last().expect(\"nonempty\");\n").is_empty());
+    }
+
+    #[test]
+    fn debug_macros_flagged_even_in_tests() {
+        assert_eq!(rules_hit("tests/t.rs", "todo!()\n"), ["debug-macros"]);
+        assert_eq!(rules_hit("src/a.rs", "dbg!(x);\n"), ["debug-macros"]);
+        // … but `debug_assert!` must not match `assert!`-adjacent names.
+        assert!(rules_hit("src/a.rs", "my_todo!();\n").is_empty());
+    }
+
+    #[test]
+    fn panics_doc_requires_the_section() {
+        let bad = "pub fn f(x: u32) {\n    assert!(x > 0, \"x\");\n}\n";
+        assert_eq!(rules_hit("src/a.rs", bad), ["panics-doc"]);
+        let good = "/// Docs.\n///\n/// # Panics\n///\n/// When x is 0.\npub fn f(x: u32) {\n    assert!(x > 0, \"x\");\n}\n";
+        assert!(rules_hit("src/a.rs", good).is_empty());
+        // Attributes between docs and fn are skipped over.
+        let attr = "/// # Panics\n#[inline]\npub fn f(x: u32) { assert!(x > 0); }\n";
+        assert!(rules_hit("src/a.rs", attr).is_empty());
+        // Non-panicking pub fns need nothing.
+        assert!(rules_hit("src/a.rs", "pub fn g() -> u32 { 1 }\n").is_empty());
+        // Private fns need nothing either.
+        assert!(rules_hit("src/a.rs", "fn h(x: u32) { assert!(x > 0); }\n").is_empty());
+        // debug_assert! counts as assert! here? No: debug_assert is its own
+        // macro and is allowed (it compiles out in release).
+        assert!(rules_hit("src/a.rs", "pub fn k(x: u32) { debug_assert!(x > 0); }\n").is_empty());
+    }
+
+    #[test]
+    fn pragmas_suppress_same_line_and_next_line() {
+        let same = "let v = m.get(&k).unwrap(); // simlint: allow(unwrap)\n";
+        let (viol, supp) = lint_source("src/a.rs", same);
+        assert!(viol.is_empty());
+        assert_eq!(supp, 1);
+        let above = "// simlint: allow(unwrap)\nlet v = m.get(&k).unwrap();\n";
+        let (viol, supp) = lint_source("src/a.rs", above);
+        assert!(viol.is_empty());
+        assert_eq!(supp, 1);
+        // A pragma two lines up does not apply.
+        let far = "// simlint: allow(unwrap)\nlet a = 1;\nlet v = m.get(&k).unwrap();\n";
+        let (viol, _) = lint_source("src/a.rs", far);
+        assert_eq!(viol.len(), 1);
+        // Comma-separated rules.
+        let multi = "// simlint: allow(unwrap, wall-clock)\nlet t = Instant::now().unwrap();\n";
+        let (viol, supp) = lint_source("src/a.rs", multi);
+        assert!(viol.is_empty(), "{viol:?}");
+        assert_eq!(supp, 2);
+    }
+
+    #[test]
+    fn cfg_test_marks_the_rest_of_the_file_as_test_code() {
+        let src = "pub fn f() { v.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { v.unwrap(); }\n}\n";
+        let (viol, _) = lint_source("src/a.rs", src);
+        assert_eq!(viol.len(), 1);
+        assert_eq!(viol[0].line, 1);
+    }
+
+    #[test]
+    fn rule_substrings_inside_literals_and_comments_are_ignored() {
+        let src = "let s = \"call .unwrap() and Instant::now\"; // mentions dbg! too\n";
+        let (viol, _) = lint_source("src/a.rs", src);
+        assert!(viol.is_empty(), "{viol:?}");
+    }
+
+    #[test]
+    fn report_summary_is_machine_readable() {
+        let mut report = LintReport::default();
+        report.files_scanned = 3;
+        report.suppressed = 2;
+        report.violations.push(Violation {
+            path: "src/a.rs".into(),
+            line: 1,
+            rule: "unwrap",
+            snippet: "x.unwrap()".into(),
+        });
+        let json = report.summary_json();
+        assert!(json.contains("\"tool\":\"simlint\""), "{json}");
+        assert!(json.contains("\"violations\":1"), "{json}");
+        assert!(json.contains("\"unwrap\":1"), "{json}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn violation_display_is_path_line_rule_snippet() {
+        let v = Violation {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: "float-cmp",
+            snippet: "if a == 0.0 {".into(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "crates/x/src/lib.rs:7: [float-cmp] if a == 0.0 {"
+        );
+    }
+}

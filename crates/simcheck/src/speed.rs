@@ -1,0 +1,148 @@
+//! Eq. 2 speed-model cross-check (SC008).
+//!
+//! The paper's silent-system wave speed (Eq. 2):
+//!
+//! ```text
+//! v_silent = σ · d / (T_exec + T_comm)    [ranks per second]
+//! ```
+//!
+//! i.e. the wave front advances `σ · d` ranks per bulk-synchronous step,
+//! with σ = 2 only for bidirectional rendezvous communication. If an
+//! injected wave reaches the end of the chain (or, on a ring, its own
+//! antipode) well before the run's last step, figure-style analyses that
+//! fit speed or decay over the whole run see a *truncated* wave — the
+//! trailing steps carry no signal. SC008 warns about exactly that.
+
+use mpisim::{nominal_step_duration, Diagnostic, Mode, SimConfig};
+use workload::{Boundary, Direction};
+
+use crate::checks::effective_mode;
+
+pub(crate) fn speed_checks(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
+    if cfg.schedule.is_some() || cfg.injections.injections().is_empty() {
+        return; // σ/d/boundary semantics are undefined for explicit graphs
+    }
+    let sigma: u64 = if cfg.pattern.direction == Direction::Bidirectional
+        && effective_mode(cfg) == Mode::Rendezvous
+    {
+        2
+    } else {
+        1
+    };
+    let d = u64::from(cfg.pattern.distance);
+    let n = u64::from(cfg.ranks());
+    let t_step = nominal_step_duration(cfg).as_secs_f64();
+    let v_silent = if t_step > 0.0 {
+        sigma as f64 * d as f64 / t_step
+    } else {
+        f64::INFINITY
+    };
+    for (i, inj) in cfg.injections.injections().iter().enumerate() {
+        // Hops to the last rank the front still has to reach: the far
+        // chain end (open) or the antipode where the two fronts meet
+        // (periodic).
+        let hops = match cfg.pattern.boundary {
+            Boundary::Open => u64::from(inj.rank).max(n - 1 - u64::from(inj.rank)),
+            Boundary::Periodic => n / 2,
+        };
+        let steps_to_edge = hops.div_ceil(sigma * d);
+        let exit_step = u64::from(inj.step) + steps_to_edge;
+        // The last step index is steps − 1; a wave still crossing ranks
+        // there fills the whole run.
+        if exit_step + 1 < u64::from(cfg.steps) {
+            out.push(Diagnostic::warning(
+                "SC008",
+                format!("injections[{i}]"),
+                format!("rank {} step {}", inj.rank, inj.step),
+                format!(
+                    "Eq. 2 predicts this idle wave (v_silent = σ·d/(T_exec+T_comm) \
+                     = {v_silent:.0} ranks/s, σ = {sigma}, d = {d}) outruns the \
+                     chain by step {exit_step}, well before the run ends at step \
+                     {}: speed/decay fits over the remaining {} steps see a \
+                     truncated wave",
+                    cfg.steps,
+                    u64::from(cfg.steps) - exit_step
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Protocol;
+    use netmodel::presets;
+    use noise_model::InjectionPlan;
+    use simdes::SimDuration;
+    use workload::CommPattern;
+
+    fn cfg(dir: Direction, bound: Boundary, d: u32, steps: u32) -> SimConfig {
+        let mut c = SimConfig::baseline(
+            presets::loggopsim_like(16),
+            CommPattern {
+                direction: dir,
+                distance: d,
+                boundary: bound,
+            },
+            steps,
+        );
+        c.injections = InjectionPlan::single(8, 0, SimDuration::from_millis(9));
+        c
+    }
+
+    fn sc008(c: &SimConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        speed_checks(c, &mut out);
+        out.into_iter().filter(|d| d.code == "SC008").collect()
+    }
+
+    #[test]
+    fn no_injection_no_warning() {
+        let mut c = cfg(Direction::Unidirectional, Boundary::Open, 1, 100);
+        c.injections = InjectionPlan::none();
+        assert!(sc008(&c).is_empty());
+    }
+
+    #[test]
+    fn wave_that_fills_the_run_is_clean() {
+        // From rank 8 of 16, σ = d = 1: 8 hops, so 8 steps. steps = 9 keeps
+        // the wave alive to the end.
+        let c = cfg(Direction::Unidirectional, Boundary::Open, 1, 9);
+        assert!(sc008(&c).is_empty());
+    }
+
+    #[test]
+    fn wave_that_dies_early_warns_with_the_predicted_exit_step() {
+        let c = cfg(Direction::Unidirectional, Boundary::Open, 1, 40);
+        let w = sc008(&c);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].message.contains("by step 8"), "{}", w[0].message);
+        assert!(w[0].message.contains("truncated wave"), "{}", w[0].message);
+    }
+
+    #[test]
+    fn sigma_two_halves_the_exit_step() {
+        // Bidirectional rendezvous on a ring: σ = 2, antipode at 8 hops
+        // from anywhere → exit after ceil(8/2) = 4 steps.
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 6);
+        c.protocol = Protocol::Rendezvous;
+        let w = sc008(&c);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert!(w[0].message.contains("σ = 2"), "{}", w[0].message);
+        assert!(w[0].message.contains("by step 4"), "{}", w[0].message);
+        // Same config under eager: σ = 1, exit at step 8 ≥ steps 6: clean.
+        c.protocol = Protocol::Eager;
+        assert!(sc008(&c).is_empty());
+    }
+
+    #[test]
+    fn distance_scales_the_speed() {
+        // d = 4, σ = 1, far end 8 hops away → exit step 2.
+        let c = cfg(Direction::Unidirectional, Boundary::Open, 4, 10);
+        let w = sc008(&c);
+        assert_eq!(w.len(), 1);
+        assert!(w[0].message.contains("d = 4"), "{}", w[0].message);
+        assert!(w[0].message.contains("by step 2"), "{}", w[0].message);
+    }
+}

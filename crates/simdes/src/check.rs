@@ -127,9 +127,12 @@ fn env_u64(name: &str) -> Option<u64> {
 /// Run `property` against `cases` generated inputs (shrink-free).
 ///
 /// The case count is overridden globally by `SIMDES_CHECK_CASES`; the
-/// master seed (default 0) by `SIMDES_CHECK_SEED`. On failure the panic
-/// message names the property, the failing case index, and the derived
-/// case seed, then re-raises.
+/// master seed (default 0) by `SIMDES_CHECK_SEED`.
+///
+/// # Panics
+///
+/// When `property` fails a case: the panic message names the property,
+/// the failing case index, and the derived case seed, then re-raises.
 pub fn for_all(name: &str, cases: u32, property: impl Fn(&mut Gen)) {
     let cases = env_u64("SIMDES_CHECK_CASES")
         .map_or(cases, |c| c as u32)

@@ -22,11 +22,13 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod graph;
 mod queue;
 mod rng;
 pub mod stats;
 mod time;
 
+pub use graph::Digraph;
 pub use queue::EventQueue;
 pub use rng::{splitmix64, SeedFactory, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -87,12 +87,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LineFit> {
     let my = sy / nf;
     let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
     let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    // Exactly-zero variance (all points identical) is the degenerate case
+    // being guarded, so exact comparison is the correct test here.
+    // simlint: allow(float-cmp)
     if sxx == 0.0 {
         return None;
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let syy: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    // simlint: allow(float-cmp)
     let r2 = if syy == 0.0 {
         1.0
     } else {

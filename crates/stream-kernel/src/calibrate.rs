@@ -21,6 +21,11 @@ pub struct SaturationCurve {
 impl SaturationCurve {
     /// Measure triad bandwidth for each thread count in `threads`, using
     /// `len`-element arrays and `iters` sweeps per measurement.
+    ///
+    /// # Panics
+    ///
+    /// If `threads` is empty, or on the underlying triad kernels'
+    /// degenerate sizes (`len` zero or below a thread count).
     pub fn measure(threads: &[usize], len: usize, iters: u32) -> Self {
         assert!(!threads.is_empty(), "need at least one thread count");
         let points = threads

@@ -62,6 +62,10 @@ impl TriadScalingModel {
     }
 
     /// Execution-only time per traversal on `n` domains: `V_mem/(n·b_mem)`.
+    ///
+    /// # Panics
+    ///
+    /// If `n` is zero.
     pub fn exec_time(&self, n: u32) -> SimDuration {
         assert!(n > 0, "need at least one domain");
         SimDuration::from_secs_f64(self.vmem_bytes as f64 / (f64::from(n) * self.domain_bw_bps))

@@ -66,6 +66,10 @@ impl Trace {
     }
 
     /// The record for `(rank, step)`.
+    ///
+    /// # Panics
+    ///
+    /// If `rank` or `step` is out of range.
     pub fn record(&self, rank: u32, step: u32) -> &PhaseRecord {
         assert!(
             rank < self.ranks && step < self.steps,
@@ -75,6 +79,10 @@ impl Trace {
     }
 
     /// All records of one rank, in step order.
+    ///
+    /// # Panics
+    ///
+    /// If `rank` is out of range.
     pub fn rank_records(&self, rank: u32) -> &[PhaseRecord] {
         assert!(rank < self.ranks, "rank {rank} out of range");
         let s = self.steps as usize;

@@ -79,6 +79,10 @@ impl ExecModel {
 
     /// Per-rank memory bandwidth when `active` ranks on the socket execute
     /// concurrently (memory-bound model only).
+    ///
+    /// # Panics
+    ///
+    /// If `active` is zero on a memory-bound model.
     pub fn shared_rate_bps(&self, active: u32) -> f64 {
         match *self {
             ExecModel::Compute { .. } => f64::INFINITY,

@@ -35,7 +35,7 @@ impl CommGraph {
         assert!(n > 0, "empty graph");
         let mut recvs = vec![Vec::new(); sends.len()];
         for (r, targets) in sends.iter().enumerate() {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for &t in targets {
                 assert!(t < n, "rank {r} sends to out-of-range rank {t}");
                 assert!(t as usize != r, "rank {r} sends to itself");
@@ -73,6 +73,10 @@ impl CommGraph {
 
     /// One recursive-doubling stage: every rank exchanges with
     /// `rank XOR 2^stage`. Requires `ranks` to be a power of two.
+    ///
+    /// # Panics
+    /// Panics if `ranks` is not a power of two or `stage` addresses a bit
+    /// outside it.
     pub fn hypercube_stage(ranks: u32, stage: u32) -> Self {
         assert!(
             ranks.is_power_of_two(),
@@ -90,6 +94,9 @@ impl CommGraph {
     /// One binomial-tree *gather* round: at round `k`, ranks whose low
     /// `k+1` bits equal `2^k` send to the partner with that bit cleared
     /// (the classic MPI_Reduce tree; root is rank 0).
+    ///
+    /// # Panics
+    /// Panics if `round` is past the tree depth for `ranks`.
     pub fn binomial_gather_round(ranks: u32, round: u32) -> Self {
         assert!(
             1u32 << round < ranks.next_power_of_two(),
@@ -130,7 +137,7 @@ impl FromJson for CommGraph {
             return Err(json::JsonError("empty graph".into()));
         }
         for (r, targets) in sends.iter().enumerate() {
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for &t in targets {
                 if t >= n || t as usize == r || !seen.insert(t) {
                     return Err(json::JsonError(format!(
@@ -187,6 +194,9 @@ impl CommSchedule {
 
     /// A full recursive-doubling allreduce as a repeating super-step:
     /// `log₂(ranks)` hypercube stages per application iteration.
+    ///
+    /// # Panics
+    /// Panics unless `ranks` is a power of two and at least 2.
     pub fn hypercube_allreduce(ranks: u32) -> Self {
         assert!(
             ranks.is_power_of_two() && ranks >= 2,

@@ -22,7 +22,9 @@ use std::time::{Duration, Instant};
 /// elapsed wall time. The dependency chain defeats out-of-order overlap, so
 /// elapsed time is proportional to `n` on any hardware.
 pub fn dependent_divides(n: u64) -> Duration {
-    let start = Instant::now();
+    // Calibration kernels measure the host on purpose — real wall time is
+    // the quantity being calibrated, never simulated time.
+    let start = Instant::now(); // simlint: allow(wall-clock)
     let mut x = 1.000_000_1_f64;
     for _ in 0..n {
         // A divide whose result feeds the next divide; black_box prevents
@@ -34,6 +36,10 @@ pub fn dependent_divides(n: u64) -> Duration {
 }
 
 /// One STREAM-triad sweep: `a[i] = b[i] + s·c[i]`.
+///
+/// # Panics
+///
+/// If the three slices differ in length.
 pub fn triad(a: &mut [f64], b: &[f64], c: &[f64], s: f64) {
     assert!(
         a.len() == b.len() && b.len() == c.len(),
@@ -59,6 +65,10 @@ pub struct TriadTiming {
 
 /// Run `iters` triad sweeps over `len`-element arrays on one thread and
 /// report timing.
+///
+/// # Panics
+///
+/// If `len` or `iters` is zero.
 pub fn triad_timed(len: usize, iters: u32) -> TriadTiming {
     assert!(len > 0 && iters > 0, "triad_timed needs work");
     let b = vec![1.5_f64; len];
@@ -66,7 +76,7 @@ pub fn triad_timed(len: usize, iters: u32) -> TriadTiming {
     let mut a = vec![0.0_f64; len];
     // Warm-up sweep to fault in the pages.
     triad(&mut a, &b, &c, 3.0);
-    let start = Instant::now();
+    let start = Instant::now(); // simlint: allow(wall-clock)
     for _ in 0..iters {
         triad(black_box(&mut a), black_box(&b), black_box(&c), 3.0);
     }
@@ -79,6 +89,10 @@ pub fn triad_timed(len: usize, iters: u32) -> TriadTiming {
 /// shared-memory analogue of the paper's per-socket saturation experiment:
 /// on a machine with a memory-bandwidth ceiling, `bandwidth_bps` stops
 /// scaling once the ceiling is hit.
+///
+/// # Panics
+///
+/// If `threads` is zero or `len < threads`.
 pub fn triad_parallel(len: usize, iters: u32, threads: usize) -> TriadTiming {
     assert!(threads > 0, "need at least one thread");
     assert!(len >= threads, "fewer elements than threads");
@@ -87,7 +101,7 @@ pub fn triad_parallel(len: usize, iters: u32, threads: usize) -> TriadTiming {
     let mut a = vec![0.0_f64; len];
 
     let chunk = len.div_ceil(threads);
-    let start = Instant::now();
+    let start = Instant::now(); // simlint: allow(wall-clock)
     std::thread::scope(|scope| {
         for ((a_part, b_part), c_part) in a
             .chunks_mut(chunk)

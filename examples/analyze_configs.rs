@@ -1,0 +1,49 @@
+//! Static analysis of the paper's experimental grid, no simulation runs.
+//!
+//! `simcheck::analyze` inspects a `SimConfig` and reports diagnostics:
+//! errors for configurations the engine would reject, warnings for legal
+//! setups with known measurement hazards (the SC001 rendezvous wait-cycle,
+//! forced-eager oversized messages, waves that outrun the chain), and
+//! notes for expected behaviour worth knowing about. Run with
+//! `cargo run --example analyze_configs`.
+
+use idle_waves::prelude::*;
+
+fn main() {
+    println!("== the paper grid: direction x boundary x protocol, d = 1 ==\n");
+    for dir in [Direction::Unidirectional, Direction::Bidirectional] {
+        for bound in [Boundary::Open, Boundary::Periodic] {
+            for rdv in [false, true] {
+                let mut e = WaveExperiment::flat_chain(16)
+                    .direction(dir)
+                    .boundary(bound)
+                    .steps(8);
+                e = if rdv { e.rendezvous() } else { e.eager() };
+                let diags = e.analyze();
+                let label = format!(
+                    "{dir:?}/{bound:?}/{}",
+                    if rdv { "rendezvous" } else { "eager" }
+                );
+                if diags.is_empty() {
+                    println!("{label}: clean");
+                } else {
+                    println!("{label}:");
+                    for line in render_report(&diags).lines() {
+                        println!("  {line}");
+                    }
+                }
+                println!();
+            }
+        }
+    }
+
+    println!("== a broken configuration, caught before any simulation ==\n");
+    let mut cfg = WaveExperiment::flat_chain(8)
+        .boundary(Boundary::Periodic)
+        .distance(5) // needs more than 2d = 10 ranks on a ring
+        .into_config();
+    cfg.msg_bytes = 0;
+    let diags = analyze(&cfg);
+    assert!(has_errors(&diags));
+    println!("{}", render_report(&diags));
+}

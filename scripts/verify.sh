@@ -17,4 +17,7 @@ cargo build --release --workspace
 echo "== cargo test -q"
 cargo test -q --workspace
 
+echo "== simlint"
+cargo run -q --release -p simcheck --bin simlint .
+
 echo "verify: OK"

@@ -15,6 +15,7 @@
 //! | simulator | [`mpisim`] | eager/rendezvous MPI semantics, BSP driver |
 //! | traces | [`tracefmt`] | phase records, timelines, CSV |
 //! | **analysis** | [`idlewave`] | wave fronts, Eq. 2 speed model, decay, interaction |
+//! | static analysis | [`simcheck`] | config diagnostics (SC codes), `simlint` source linter |
 //! | substrates | [`stream`] (`stream-kernel`), [`lbm`] (`lbm-proxy`) | Fig. 1/2 application models |
 //!
 //! ## Quickstart
@@ -41,6 +42,7 @@ pub use lbm_proxy as lbm;
 pub use mpisim;
 pub use netmodel;
 pub use noise_model as noise;
+pub use simcheck;
 pub use simdes;
 pub use stream_kernel as stream;
 pub use tracefmt;
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use mpisim::{run, Protocol, SimConfig};
     pub use netmodel::{presets as machines, ClusterNetwork, Machine};
     pub use noise_model::{presets as noise_presets, DelayDistribution, InjectionPlan};
+    pub use simcheck::{analyze, has_errors, render_report, Diagnostic, Severity};
     pub use simdes::check::{for_all, Gen};
     pub use simdes::{SeedFactory, SimDuration, SimRng, SimTime};
     pub use tracefmt::json::{FromJson, Json, ToJson};

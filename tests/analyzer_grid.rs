@@ -1,0 +1,125 @@
+//! The analyzer against the paper's full experimental grid.
+//!
+//! Sweep protocol × direction × boundary × distance (1..=4), assert that
+//! `simcheck::analyze`:
+//!
+//! * reports the SC001 rendezvous wait-cycle for exactly the
+//!   {bidirectional × rendezvous × periodic} corner — statically, before
+//!   any simulation — and names the rank ring;
+//! * reports no error-severity diagnostics anywhere on the grid;
+//!
+//! and that every grid configuration then actually runs through the
+//! engine (the analyzer's "no errors" verdict is trustworthy).
+
+use idle_waves::prelude::*;
+use idle_waves::simcheck;
+
+const RANKS: u32 = 16;
+
+fn grid() -> Vec<(Direction, Boundary, u32, bool)> {
+    let mut out = Vec::new();
+    for dir in [Direction::Unidirectional, Direction::Bidirectional] {
+        for bound in [Boundary::Open, Boundary::Periodic] {
+            for d in 1..=4u32 {
+                for rdv in [false, true] {
+                    out.push((dir, bound, d, rdv));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn build(dir: Direction, bound: Boundary, d: u32, rdv: bool) -> WaveExperiment {
+    let e = WaveExperiment::flat_chain(RANKS)
+        .direction(dir)
+        .boundary(bound)
+        .distance(d)
+        .texec(SimDuration::from_millis(1))
+        .steps(6)
+        .inject(5, 0, SimDuration::from_millis(4));
+    if rdv {
+        e.rendezvous()
+    } else {
+        e.eager()
+    }
+}
+
+#[test]
+fn sc001_flags_exactly_the_bidirectional_rendezvous_periodic_corner() {
+    for (dir, bound, d, rdv) in grid() {
+        let diags = build(dir, bound, d, rdv).analyze();
+        let sc001: Vec<&Diagnostic> = diags.iter().filter(|x| x.code == "SC001").collect();
+        let expected = dir == Direction::Bidirectional && bound == Boundary::Periodic && rdv;
+        assert_eq!(
+            !sc001.is_empty(),
+            expected,
+            "{dir:?}/{bound:?}/d={d}/rdv={rdv}: {diags:?}"
+        );
+        if expected {
+            assert_eq!(sc001.len(), 1);
+            assert_eq!(sc001[0].severity, Severity::Warning);
+            assert!(
+                sc001[0].message.contains("deadlock"),
+                "{}",
+                sc001[0].message
+            );
+        }
+    }
+}
+
+#[test]
+fn the_whole_grid_is_error_free_and_runs() {
+    for (dir, bound, d, rdv) in grid() {
+        let diags = build(dir, bound, d, rdv).analyze();
+        assert!(
+            !has_errors(&diags),
+            "{dir:?}/{bound:?}/d={d}/rdv={rdv}:\n{}",
+            render_report(&diags)
+        );
+        // The engine must agree: every analyzer-clean config completes.
+        let wt = build(dir, bound, d, rdv)
+            .try_run()
+            .expect("analyzer-clean config must simulate");
+        assert_eq!(wt.trace.ranks(), RANKS);
+        assert_eq!(wt.trace.steps(), 6);
+    }
+}
+
+#[test]
+fn sc001_names_the_rank_ring_for_the_paper_shape() {
+    let diags = build(Direction::Bidirectional, Boundary::Periodic, 1, true).analyze();
+    let d = diags
+        .iter()
+        .find(|x| x.code == "SC001")
+        .expect("SC001 expected");
+    // d = 1 on 16 ranks: the ring is the whole chain, elided in the middle.
+    assert!(d.message.contains("0 -> 1 -> 2"), "{}", d.message);
+    assert!(d.message.contains("(16 ranks)"), "{}", d.message);
+}
+
+#[test]
+fn infeasible_distances_error_before_the_engine_would_assert() {
+    // A periodic ring needs n > 2d for distinct partners: d = 8 on 16.
+    let cfg = build(Direction::Unidirectional, Boundary::Periodic, 8, false).into_config();
+    let diags = simcheck::analyze(&cfg);
+    assert!(has_errors(&diags), "{diags:?}");
+    assert!(diags.iter().any(|x| x.code == "SC002"), "{diags:?}");
+}
+
+#[test]
+fn validate_strict_matches_analyze_verdicts() {
+    // Clean config: no panic.
+    simcheck::validate_strict(
+        &build(Direction::Unidirectional, Boundary::Open, 1, false).into_config(),
+    );
+    // Error config: panics with the rendered report.
+    let bad = build(Direction::Unidirectional, Boundary::Periodic, 8, false).into_config();
+    let caught = std::panic::catch_unwind(|| simcheck::validate_strict(&bad));
+    let msg = caught.expect_err("must panic");
+    let msg = msg
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic carries a String");
+    assert!(msg.contains("SC002"), "{msg}");
+}

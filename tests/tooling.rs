@@ -87,6 +87,26 @@ fn batch_spectrum_continuum_compose() {
 }
 
 #[test]
+fn the_workspace_is_simlint_clean() {
+    // The linter the CI runs must also pass from the test suite, so a
+    // regression is caught even where CI is not wired. CARGO_MANIFEST_DIR
+    // is the workspace root for the umbrella crate.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = idle_waves::simcheck::lint::lint_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "scan looks incomplete: {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.violations.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "simlint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
 fn wave_trace_accessors_are_consistent_with_raw_trace() {
     let wt: WaveTrace = WaveExperiment::flat_chain(8)
         .texec(MS)
