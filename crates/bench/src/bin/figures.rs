@@ -11,7 +11,7 @@
 //! the paper plots; EXPERIMENTS.md records the comparison against the
 //! published results.
 
-use bench::{ablations, eq2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scale};
+use bench::{ablations, chaos, eq2, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Scale};
 use std::time::Instant;
 
 fn main() {
@@ -68,6 +68,7 @@ fn main() {
         ("fig8", Box::new(|s| fig8::render(&fig8::generate(s)))),
         ("fig9", Box::new(|s| fig9::render(&fig9::generate(s)))),
         ("ablations", Box::new(ablations::render)),
+        ("chaos", Box::new(|s| chaos::render(&chaos::generate(s)))),
     ];
 
     for (name, gen) in sections {

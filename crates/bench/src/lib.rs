@@ -11,6 +11,7 @@
 //! reproduces the paper-scale sweep.
 
 pub mod ablations;
+pub mod chaos;
 pub mod eq2;
 pub mod fig1;
 pub mod fig2;

@@ -151,6 +151,14 @@ impl WaveExperiment {
         self
     }
 
+    /// Attach a fault plan: message drop/corruption with retransmission,
+    /// link degradation windows, rank stalls and crashes (see
+    /// `docs/FAULTS.md`).
+    pub fn faults(mut self, plan: mpisim::FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
     /// Set the master seed.
     pub fn seed(mut self, s: u64) -> Self {
         self.cfg.seed = s;
@@ -216,18 +224,12 @@ impl WaveTrace {
     pub fn from_config(cfg: SimConfig) -> Self {
         simcheck::validate_strict(&cfg);
         let trace = run(&cfg);
-        let baseline_comm = nominal_comm_duration(&cfg);
-        let step_duration = nominal_step_duration(&cfg);
-        WaveTrace {
-            cfg,
-            trace,
-            baseline_comm,
-            step_duration,
-        }
+        WaveTrace::wrap(cfg, trace)
     }
 
-    /// Like [`WaveTrace::from_config`], but an invalid configuration comes
-    /// back as the analyzer's error diagnostics instead of a panic.
+    /// Like [`WaveTrace::from_config`], but both an invalid configuration
+    /// and a run-time failure (deadlock/stall, `RT001`) come back as
+    /// diagnostics instead of a panic.
     pub fn try_from_config(cfg: SimConfig) -> Result<Self, Vec<Diagnostic>> {
         let errors: Vec<Diagnostic> = simcheck::analyze(&cfg)
             .into_iter()
@@ -236,7 +238,19 @@ impl WaveTrace {
         if !errors.is_empty() {
             return Err(errors);
         }
-        Ok(WaveTrace::from_config(cfg))
+        let trace = mpisim::try_run(&cfg).map_err(|e| e.into_diagnostics())?;
+        Ok(WaveTrace::wrap(cfg, trace))
+    }
+
+    fn wrap(cfg: SimConfig, trace: Trace) -> Self {
+        let baseline_comm = nominal_comm_duration(&cfg);
+        let step_duration = nominal_step_duration(&cfg);
+        WaveTrace {
+            cfg,
+            trace,
+            baseline_comm,
+            step_duration,
+        }
     }
 
     /// Idle time of `(rank, step)` beyond the communication baseline.
@@ -348,6 +362,31 @@ mod tests {
         // The happy path still works through the same gate.
         let wt = WaveExperiment::flat_chain(4).steps(2).try_run();
         assert!(wt.is_ok());
+    }
+
+    #[test]
+    fn try_run_reports_runtime_stalls_as_rt001_diagnostics() {
+        // A fail-stop crash passes static analysis (SC016 is a warning)
+        // but stalls the run; try_run must surface it as a value.
+        let errors = WaveExperiment::flat_chain(6)
+            .texec(SimDuration::from_millis(1))
+            .steps(4)
+            .faults(mpisim::FaultPlan::none().with_crash(2, 1, None))
+            .try_run()
+            .expect_err("fail-stop crash must stall");
+        assert!(errors.iter().any(|d| d.code == "RT001"), "{errors:?}");
+        assert!(
+            errors.iter().any(|d| d.message.contains("fail-stop")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn faults_builder_attaches_the_plan() {
+        let cfg = WaveExperiment::flat_chain(6)
+            .faults(mpisim::FaultPlan::none().with_drops(0.1, SimDuration::from_micros(500)))
+            .into_config();
+        assert!(!cfg.faults.is_empty());
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod model;
 pub mod scenarios;
 pub mod spectrum;
 pub mod speed;
+pub mod sweep;
 pub mod wavefront;
 
 pub use experiment::{WaveExperiment, WaveTrace};

@@ -1,0 +1,884 @@
+//! Supervised, crash-safe sweep execution.
+//!
+//! [`crate::batch`] fans independent simulations out over threads but
+//! propagates any failure: one panicking scenario kills a thousand-config
+//! sweep. This module is the hardened harness for chaos and fault-plan
+//! sweeps, where individual scenarios are *expected* to die:
+//!
+//! * every scenario attempt runs in an isolated worker thread with panic
+//!   capture;
+//! * a **deterministic sim-time watchdog** (an [`mpisim::RunLimits`]
+//!   budget derived from the scenario's nominal timing) catches runaway
+//!   simulations reproducibly, and a wall-clock timeout backstops the
+//!   watchdog against harness bugs;
+//! * transient failures are retried a bounded number of times;
+//! * every finished scenario is persisted immediately as one JSON line
+//!   (append + flush), so a crash of the sweep process itself loses at
+//!   most the scenarios still in flight; [`SweepOptions::resume`] reloads
+//!   the file and re-runs only scenarios without a persisted record.
+//!
+//! Scenario outcomes are values ([`ScenarioStatus`]), never panics; the
+//! sweep completes end-to-end regardless of what individual scenarios do.
+
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
+
+use mpisim::{nominal_step_duration, Engine, RunLimits, RunStats, SimConfig, SimError};
+use simdes::{SimDuration, SimTime};
+use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
+use tracefmt::Trace;
+
+/// Chaos knobs for exercising the supervisor itself: deliberate failure
+/// modes injected at the *harness* level (the fault plan inside
+/// [`SimConfig`] injects failures at the *simulation* level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Chaos {
+    /// Run the scenario normally.
+    #[default]
+    None,
+    /// Fail the first `n` attempts with a transient error, then succeed —
+    /// exercises the bounded-retry path.
+    FailAttempts(
+        /// Attempts that fail before the first success.
+        u32,
+    ),
+    /// Panic inside the worker on every attempt — exercises panic capture.
+    Panic,
+}
+
+/// One entry of a sweep: an id, a config, and optional harness overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique identifier, used as the resume key.
+    pub id: String,
+    /// The simulation to run.
+    pub config: SimConfig,
+    /// Harness-level chaos (defaults to [`Chaos::None`]).
+    pub chaos: Chaos,
+    /// Explicit sim-time watchdog budget; `None` derives one from the
+    /// scenario's nominal timing (see [`SweepOptions::watchdog_factor`]).
+    pub max_sim_time: Option<SimTime>,
+}
+
+impl Scenario {
+    /// A plain scenario with no chaos and a derived watchdog budget.
+    pub fn new(id: impl Into<String>, config: SimConfig) -> Self {
+        Scenario {
+            id: id.into(),
+            config,
+            chaos: Chaos::None,
+            max_sim_time: None,
+        }
+    }
+}
+
+/// Supervisor policy for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOptions {
+    /// Worker threads (supervision slots). Results do not depend on this.
+    pub threads: usize,
+    /// Extra attempts allowed after a transient failure or wall-clock
+    /// timeout. Deterministic failures (panic, stall, watchdog, invalid
+    /// config) are never retried.
+    pub retries: u32,
+    /// Wall-clock ceiling per attempt — the backstop behind the
+    /// deterministic sim-time watchdog. A timed-out attempt's thread is
+    /// abandoned (detached), not killed.
+    pub wall_timeout: Duration,
+    /// The derived sim-time budget is the scenario's nominal runtime
+    /// (steps, injections, rank faults, worst-case retransmission backoff)
+    /// times this factor.
+    pub watchdog_factor: f64,
+    /// Optional event-count budget forwarded to [`mpisim::RunLimits`].
+    pub max_events: Option<u64>,
+    /// Reload the output file and skip scenarios that already have a
+    /// persisted record (finished = any terminal status, success or not).
+    pub resume: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 4,
+            retries: 2,
+            wall_timeout: Duration::from_secs(30),
+            watchdog_factor: 64.0,
+            max_events: None,
+            resume: false,
+        }
+    }
+}
+
+/// Terminal outcome of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioStatus {
+    /// Completed with a full trace.
+    Ok,
+    /// Rejected by the analyzer before running.
+    Invalid,
+    /// The run stalled (deadlock, fail-stop crash, or lost transfers).
+    Stalled,
+    /// The deterministic sim-time or event budget tripped.
+    Watchdog,
+    /// The wall-clock backstop fired; the attempt was abandoned.
+    WallTimeout,
+    /// The worker panicked.
+    Panicked,
+    /// Transient failures exhausted the retry budget.
+    Transient,
+}
+
+impl ScenarioStatus {
+    /// Stable string form used in the persisted JSON records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScenarioStatus::Ok => "ok",
+            ScenarioStatus::Invalid => "invalid",
+            ScenarioStatus::Stalled => "stalled",
+            ScenarioStatus::Watchdog => "watchdog",
+            ScenarioStatus::WallTimeout => "wall-timeout",
+            ScenarioStatus::Panicked => "panic",
+            ScenarioStatus::Transient => "transient",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "ok" => ScenarioStatus::Ok,
+            "invalid" => ScenarioStatus::Invalid,
+            "stalled" => ScenarioStatus::Stalled,
+            "watchdog" => ScenarioStatus::Watchdog,
+            "wall-timeout" => ScenarioStatus::WallTimeout,
+            "panic" => ScenarioStatus::Panicked,
+            "transient" => ScenarioStatus::Transient,
+            _ => return None,
+        })
+    }
+}
+
+/// Compact numbers of a successful run — everything the sweep analyses
+/// need without persisting full traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Sim-time end of the run in nanoseconds (deterministic, unlike wall
+    /// clock).
+    pub runtime_ns: u64,
+    /// Events the engine delivered.
+    pub events: u64,
+    /// Messages transferred.
+    pub messages: u64,
+    /// Retransmitted copies (fault injection).
+    pub retransmissions: u64,
+    /// Dropped copies (fault injection).
+    pub dropped: u64,
+    /// Corrupted copies (fault injection).
+    pub corrupted: u64,
+    /// FNV-1a digest of the full trace ([`Trace::fingerprint`]) — equal
+    /// digests across runs prove bit-identical traces.
+    pub trace_fingerprint: u64,
+}
+
+impl RunSummary {
+    fn from_run(trace: &Trace, stats: &RunStats) -> Self {
+        RunSummary {
+            runtime_ns: trace.total_runtime().0,
+            events: stats.events,
+            messages: stats.messages,
+            retransmissions: stats.retransmissions,
+            dropped: stats.dropped_transfers,
+            corrupted: stats.corrupted_transfers,
+            trace_fingerprint: trace.fingerprint(),
+        }
+    }
+}
+
+/// The persisted record of one finished scenario — one JSON line in the
+/// sweep output file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario id (the resume key).
+    pub id: String,
+    /// Terminal status.
+    pub status: ScenarioStatus,
+    /// Attempts consumed (1 = first try succeeded or failed terminally).
+    pub attempts: u32,
+    /// Error detail for non-[`ScenarioStatus::Ok`] outcomes.
+    pub error: Option<String>,
+    /// Run numbers for [`ScenarioStatus::Ok`] outcomes.
+    pub summary: Option<RunSummary>,
+}
+
+impl ScenarioResult {
+    /// Did the scenario produce a trace?
+    pub fn is_ok(&self) -> bool {
+        self.status == ScenarioStatus::Ok
+    }
+}
+
+/// Everything a finished sweep knows, reassembled in scenario input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One record per scenario, in input order.
+    pub results: Vec<ScenarioResult>,
+    /// How many records were reloaded from a previous run (`--resume`)
+    /// instead of executed.
+    pub reused: usize,
+}
+
+impl SweepReport {
+    /// Scenarios that did not finish with a trace.
+    pub fn failures(&self) -> usize {
+        self.results.iter().filter(|r| !r.is_ok()).count()
+    }
+
+    /// Did every scenario produce a trace?
+    pub fn all_ok(&self) -> bool {
+        self.failures() == 0
+    }
+}
+
+/// Outcome of one attempt, produced inside the worker thread.
+enum Attempt {
+    Ok(Box<RunSummary>),
+    Invalid(String),
+    Stalled(String),
+    Watchdog(String),
+    Transient(String),
+    Panicked(String),
+}
+
+/// Run every scenario under supervision, persisting each finished record
+/// to `out_path` as a JSON line, and return the reassembled report.
+///
+/// Scenario outcomes (panics, stalls, watchdog trips, timeouts) are data,
+/// not errors: the `Err` path is reserved for harness-level I/O problems
+/// (unwritable output file, duplicate scenario ids).
+///
+/// # Panics
+/// Panics if `opts.threads` is zero.
+pub fn run_sweep(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    out_path: &Path,
+) -> io::Result<SweepReport> {
+    assert!(opts.threads >= 1, "need at least one supervisor thread");
+    let mut ids = std::collections::BTreeSet::new();
+    for s in scenarios {
+        if !ids.insert(s.id.as_str()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("duplicate scenario id '{}'", s.id),
+            ));
+        }
+    }
+
+    let previous = if opts.resume {
+        load_results(out_path)?
+    } else {
+        Vec::new()
+    };
+    let finished: std::collections::BTreeMap<&str, &ScenarioResult> =
+        previous.iter().map(|r| (r.id.as_str(), r)).collect();
+
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out_path)?;
+    // A crash mid-write can leave a torn final line with no newline;
+    // terminate it so the next appended record starts on a fresh line.
+    if std::fs::metadata(out_path)?.len() > 0 {
+        let text = std::fs::read_to_string(out_path)?;
+        if !text.ends_with('\n') {
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+    }
+    let sink = Mutex::new(file);
+
+    let todo: Vec<(usize, &Scenario)> = scenarios
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| !finished.contains_key(s.id.as_str()))
+        .collect();
+    let reused = scenarios.len() - todo.len();
+
+    let queue: Mutex<Vec<(usize, &Scenario)>> = Mutex::new(todo.into_iter().rev().collect());
+    let (tx, rx) = mpsc::channel::<(usize, io::Result<ScenarioResult>)>();
+    let threads = opts.threads.min(scenarios.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let sink = &sink;
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let job = queue.lock().expect("queue poisoned").pop();
+                match job {
+                    Some((idx, scenario)) => {
+                        let result = supervise(scenario, opts);
+                        let persisted = persist(sink, &result).map(|()| result);
+                        tx.send((idx, persisted)).expect("report receiver gone");
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<ScenarioResult>> = Vec::with_capacity(scenarios.len());
+    slots.resize_with(scenarios.len(), || None);
+    for (idx, r) in rx {
+        slots[idx] = Some(r?);
+    }
+    for (idx, s) in scenarios.iter().enumerate() {
+        if slots[idx].is_none() {
+            let prior = finished
+                .get(s.id.as_str())
+                .expect("scenario neither run nor reloaded");
+            slots[idx] = Some((*prior).clone());
+        }
+    }
+    Ok(SweepReport {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect(),
+        reused,
+    })
+}
+
+/// Supervise one scenario: bounded attempts, each in an isolated worker
+/// with panic capture and the wall-clock backstop.
+fn supervise(scenario: &Scenario, opts: &SweepOptions) -> ScenarioResult {
+    let limits = RunLimits {
+        max_sim_time: Some(sim_budget(scenario, opts)),
+        max_events: opts.max_events,
+    };
+    let mut attempts = 0u32;
+    loop {
+        let outcome = run_attempt(scenario, attempts, &limits, opts.wall_timeout);
+        attempts += 1;
+        let (status, error, summary) = match outcome {
+            Some(Attempt::Ok(summary)) => (ScenarioStatus::Ok, None, Some(*summary)),
+            Some(Attempt::Invalid(e)) => (ScenarioStatus::Invalid, Some(e), None),
+            Some(Attempt::Stalled(e)) => (ScenarioStatus::Stalled, Some(e), None),
+            Some(Attempt::Watchdog(e)) => (ScenarioStatus::Watchdog, Some(e), None),
+            Some(Attempt::Panicked(e)) => (ScenarioStatus::Panicked, Some(e), None),
+            Some(Attempt::Transient(e)) => {
+                if attempts <= opts.retries {
+                    continue;
+                }
+                (ScenarioStatus::Transient, Some(e), None)
+            }
+            None => {
+                if attempts <= opts.retries {
+                    continue;
+                }
+                (
+                    ScenarioStatus::WallTimeout,
+                    Some(format!(
+                        "attempt exceeded the {:?} wall-clock backstop",
+                        opts.wall_timeout
+                    )),
+                    None,
+                )
+            }
+        };
+        return ScenarioResult {
+            id: scenario.id.clone(),
+            status,
+            attempts,
+            error,
+            summary,
+        };
+    }
+}
+
+/// One isolated attempt. `None` means the wall-clock backstop fired and
+/// the worker thread was abandoned.
+fn run_attempt(
+    scenario: &Scenario,
+    attempt: u32,
+    limits: &RunLimits,
+    wall_timeout: Duration,
+) -> Option<Attempt> {
+    let cfg = scenario.config.clone();
+    let chaos = scenario.chaos;
+    let limits = *limits;
+    let (tx, rx) = mpsc::channel::<Attempt>();
+    std::thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            attempt_body(cfg, chaos, attempt, &limits)
+        }))
+        .unwrap_or_else(|payload| Attempt::Panicked(panic_text(payload.as_ref())));
+        // The receiver is gone iff the backstop already fired.
+        let _ = tx.send(outcome);
+    });
+    rx.recv_timeout(wall_timeout).ok()
+}
+
+/// The actual work of one attempt, run inside the isolated worker.
+fn attempt_body(cfg: SimConfig, chaos: Chaos, attempt: u32, limits: &RunLimits) -> Attempt {
+    match chaos {
+        Chaos::Panic => panic!("chaos: deliberate panic"),
+        Chaos::FailAttempts(n) if attempt < n => {
+            return Attempt::Transient(format!(
+                "chaos: transient failure on attempt {}",
+                attempt + 1
+            ));
+        }
+        _ => {}
+    }
+    let diags = simcheck::analyze(&cfg);
+    if simcheck::has_errors(&diags) {
+        let errors: Vec<_> = diags.into_iter().filter(|d| d.is_error()).collect();
+        return Attempt::Invalid(simcheck::render_report(&errors));
+    }
+    let engine = match Engine::try_new(cfg) {
+        Ok(e) => e,
+        Err(e) => return Attempt::Invalid(e.to_string()),
+    };
+    match engine.try_run_with_stats(limits) {
+        Ok((trace, stats)) => Attempt::Ok(Box::new(RunSummary::from_run(&trace, &stats))),
+        Err(e @ SimError::Stalled { .. }) => Attempt::Stalled(e.to_string()),
+        Err(e @ SimError::Watchdog { .. }) => Attempt::Watchdog(e.to_string()),
+        Err(e @ SimError::InvalidConfig(_)) => Attempt::Invalid(e.to_string()),
+    }
+}
+
+/// The deterministic sim-time budget for a scenario: its explicit
+/// `max_sim_time`, or the nominal runtime (steps plus every delay the
+/// fault plan and injections can add) times `watchdog_factor`.
+fn sim_budget(scenario: &Scenario, opts: &SweepOptions) -> SimTime {
+    if let Some(t) = scenario.max_sim_time {
+        return t;
+    }
+    let cfg = &scenario.config;
+    let steps = u64::from(cfg.steps.max(1));
+    let mut nominal = nominal_step_duration(cfg).times(steps);
+    nominal += cfg
+        .injections
+        .injections()
+        .iter()
+        .map(|i| i.duration)
+        .sum::<SimDuration>();
+    nominal += cfg.faults.total_rank_fault_delay();
+    if let Some(m) = cfg.faults.messages {
+        // Worst case, every step's messages serially exhaust the backoff.
+        nominal += m.max_extra_delay().times(steps);
+    }
+    nominal += cfg.noise.mean().times(steps.saturating_mul(2));
+    let budget = nominal.mul_f64(opts.watchdog_factor) + SimDuration::from_millis(1);
+    SimTime(budget.nanos())
+}
+
+/// Render a captured panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Append one record to the output file and flush it to disk before
+/// acknowledging — a crash after this point cannot lose the record.
+fn persist(sink: &Mutex<std::fs::File>, result: &ScenarioResult) -> io::Result<()> {
+    let line = json::to_string(result);
+    let mut file = sink.lock().expect("sink poisoned");
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()
+}
+
+/// Reload persisted records. Unparseable lines — e.g. a torn final line
+/// after a crash mid-write — are skipped, not fatal: their scenarios
+/// simply re-run.
+pub fn load_results(path: &Path) -> io::Result<Vec<ScenarioResult>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter_map(|line| json::from_str::<ScenarioResult>(line).ok())
+        .collect())
+}
+
+impl ToJson for Chaos {
+    fn to_json(&self) -> Json {
+        match *self {
+            Chaos::None => Json::Str("None".into()),
+            Chaos::FailAttempts(n) => Json::obj(vec![(
+                "FailAttempts",
+                Json::obj(vec![("attempts", n.to_json())]),
+            )]),
+            Chaos::Panic => Json::Str("Panic".into()),
+        }
+    }
+}
+
+impl FromJson for Chaos {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let (variant, p) = v.expect_variant()?;
+        match variant {
+            "None" => Ok(Chaos::None),
+            "Panic" => Ok(Chaos::Panic),
+            "FailAttempts" => Ok(Chaos::FailAttempts(u32::from_json(p.field("attempts")?)?)),
+            other => Err(json::JsonError(format!("unknown Chaos variant '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for Scenario {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("config", self.config.to_json()),
+            ("chaos", self.chaos.to_json()),
+            ("max_sim_time", self.max_sim_time.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Scenario {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(Scenario {
+            id: String::from_json(v.field("id")?)?,
+            config: SimConfig::from_json(v.field("config")?)?,
+            chaos: field_or_default(v, "chaos")?,
+            max_sim_time: field_or_default(v, "max_sim_time")?,
+        })
+    }
+}
+
+impl ToJson for RunSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("runtime_ns", self.runtime_ns.to_json()),
+            ("events", self.events.to_json()),
+            ("messages", self.messages.to_json()),
+            ("retransmissions", self.retransmissions.to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("corrupted", self.corrupted.to_json()),
+            ("trace_fingerprint", self.trace_fingerprint.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RunSummary {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(RunSummary {
+            runtime_ns: u64::from_json(v.field("runtime_ns")?)?,
+            events: u64::from_json(v.field("events")?)?,
+            messages: u64::from_json(v.field("messages")?)?,
+            retransmissions: u64::from_json(v.field("retransmissions")?)?,
+            dropped: u64::from_json(v.field("dropped")?)?,
+            corrupted: u64::from_json(v.field("corrupted")?)?,
+            trace_fingerprint: u64::from_json(v.field("trace_fingerprint")?)?,
+        })
+    }
+}
+
+impl ToJson for ScenarioStatus {
+    fn to_json(&self) -> Json {
+        Json::Str(self.as_str().to_string())
+    }
+}
+
+impl FromJson for ScenarioStatus {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let s = String::from_json(v)?;
+        ScenarioStatus::from_str(&s)
+            .ok_or_else(|| json::JsonError(format!("unknown scenario status '{s}'")))
+    }
+}
+
+impl ToJson for ScenarioResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("status", self.status.to_json()),
+            ("attempts", self.attempts.to_json()),
+            ("error", self.error.to_json()),
+            ("summary", self.summary.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScenarioResult {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(ScenarioResult {
+            id: String::from_json(v.field("id")?)?,
+            status: ScenarioStatus::from_json(v.field("status")?)?,
+            attempts: u32::from_json(v.field("attempts")?)?,
+            error: field_or_default(v, "error")?,
+            summary: field_or_default(v, "summary")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::WaveExperiment;
+    use mpisim::{FaultPlan, MessageFaults};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("idlewave-sweep-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    fn quick_cfg(seed: u64) -> SimConfig {
+        WaveExperiment::flat_chain(6)
+            .texec(SimDuration::from_millis(1))
+            .steps(4)
+            .seed(seed)
+            .into_config()
+    }
+
+    fn opts() -> SweepOptions {
+        SweepOptions {
+            threads: 3,
+            wall_timeout: Duration::from_secs(20),
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn chaos_sweep_completes_end_to_end() {
+        let out = tmp("chaos_end_to_end.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let mut invalid = quick_cfg(4);
+        invalid.msg_bytes = 0;
+        let mut stalling = quick_cfg(5);
+        stalling.faults = FaultPlan::none().with_crash(2, 1, None);
+        let scenarios = vec![
+            Scenario::new("plain", quick_cfg(1)),
+            Scenario {
+                id: "panics".into(),
+                config: quick_cfg(2),
+                chaos: Chaos::Panic,
+                max_sim_time: None,
+            },
+            Scenario {
+                id: "watchdogged".into(),
+                config: quick_cfg(3),
+                chaos: Chaos::None,
+                // 1 us sim budget: trips long before the 4-step run ends.
+                max_sim_time: Some(SimTime(1_000)),
+            },
+            Scenario {
+                id: "transient".into(),
+                config: quick_cfg(6),
+                chaos: Chaos::FailAttempts(2),
+                max_sim_time: None,
+            },
+            Scenario {
+                id: "invalid".into(),
+                config: invalid,
+                chaos: Chaos::None,
+                max_sim_time: None,
+            },
+            Scenario::new("stalls", stalling),
+        ];
+        let report = run_sweep(&scenarios, &opts(), &out).expect("sweep io");
+        assert_eq!(report.results.len(), 6);
+        assert_eq!(report.reused, 0);
+        let by_id = |id: &str| {
+            report
+                .results
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap_or_else(|| panic!("missing {id}"))
+        };
+        assert_eq!(by_id("plain").status, ScenarioStatus::Ok);
+        assert!(by_id("plain").summary.is_some());
+        assert_eq!(by_id("panics").status, ScenarioStatus::Panicked);
+        assert!(
+            by_id("panics")
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("deliberate panic")),
+            "{:?}",
+            by_id("panics")
+        );
+        assert_eq!(by_id("watchdogged").status, ScenarioStatus::Watchdog);
+        assert_eq!(by_id("transient").status, ScenarioStatus::Ok);
+        assert_eq!(by_id("transient").attempts, 3);
+        assert_eq!(by_id("invalid").status, ScenarioStatus::Invalid);
+        assert!(by_id("invalid")
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("SC004")));
+        assert_eq!(by_id("stalls").status, ScenarioStatus::Stalled);
+        assert!(by_id("stalls")
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("fail-stop")));
+        // Every record was persisted.
+        assert_eq!(load_results(&out).expect("readable").len(), 6);
+        assert_eq!(report.failures(), 4);
+    }
+
+    #[test]
+    fn transient_failures_exhaust_the_retry_budget() {
+        let out = tmp("transient_exhaust.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios = vec![Scenario {
+            id: "hopeless".into(),
+            config: quick_cfg(7),
+            chaos: Chaos::FailAttempts(99),
+            max_sim_time: None,
+        }];
+        let o = SweepOptions {
+            retries: 1,
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert_eq!(report.results[0].status, ScenarioStatus::Transient);
+        assert_eq!(report.results[0].attempts, 2);
+    }
+
+    #[test]
+    fn resume_skips_finished_scenarios_and_tolerates_torn_lines() {
+        let out = tmp("resume.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| Scenario::new(format!("s{i}"), quick_cfg(i)))
+            .collect();
+        // First pass: run only the first two scenarios.
+        let first = run_sweep(&scenarios[..2], &opts(), &out).expect("sweep io");
+        assert!(first.all_ok());
+        // Simulate a crash mid-write: append a torn line.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&out)
+                .expect("open");
+            f.write_all(b"{\"id\":\"s2\",\"stat").expect("torn write");
+        }
+        // Resume over the full set: s0/s1 reload, s2 (torn) and s3 run.
+        let resumed = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                resume: true,
+                ..opts()
+            },
+            &out,
+        )
+        .expect("sweep io");
+        assert_eq!(resumed.reused, 2);
+        assert_eq!(resumed.results.len(), 4);
+        assert!(resumed.all_ok());
+        // Nothing from the first pass was lost, and the re-run scenarios
+        // were appended after the torn line.
+        let ids: Vec<String> = load_results(&out)
+            .expect("readable")
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids.len(), 4, "{ids:?}");
+        for want in ["s0", "s1", "s2", "s3"] {
+            assert!(ids.iter().any(|i| i == want), "{want} missing: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn resume_preserves_prior_failures_without_rerunning_them() {
+        let out = tmp("resume_failures.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios = vec![Scenario {
+            id: "boom".into(),
+            config: quick_cfg(9),
+            chaos: Chaos::Panic,
+            max_sim_time: None,
+        }];
+        let first = run_sweep(&scenarios, &opts(), &out).expect("sweep io");
+        assert_eq!(first.results[0].status, ScenarioStatus::Panicked);
+        let resumed = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                resume: true,
+                ..opts()
+            },
+            &out,
+        )
+        .expect("sweep io");
+        assert_eq!(resumed.reused, 1);
+        assert_eq!(resumed.results[0].status, ScenarioStatus::Panicked);
+        // No duplicate record was appended.
+        assert_eq!(load_results(&out).expect("readable").len(), 1);
+    }
+
+    #[test]
+    fn fault_scenarios_fingerprint_identically_across_sweeps() {
+        let out_a = tmp("det_a.jsonl");
+        let out_b = tmp("det_b.jsonl");
+        let _ = std::fs::remove_file(&out_a);
+        let _ = std::fs::remove_file(&out_b);
+        let mut cfg = quick_cfg(11);
+        cfg.protocol = mpisim::Protocol::Rendezvous;
+        cfg.faults = FaultPlan::none().with_messages(MessageFaults {
+            drop_prob: 0.2,
+            rto: SimDuration::from_micros(50),
+            ..MessageFaults::default()
+        });
+        let scenarios = vec![Scenario::new("faulty", cfg)];
+        let one = SweepOptions {
+            threads: 1,
+            ..opts()
+        };
+        let a = run_sweep(&scenarios, &opts(), &out_a).expect("sweep io");
+        let b = run_sweep(&scenarios, &one, &out_b).expect("sweep io");
+        let fa = a.results[0].summary.expect("ok run").trace_fingerprint;
+        let fb = b.results[0].summary.expect("ok run").trace_fingerprint;
+        assert_eq!(fa, fb, "thread count changed a fault-injected trace");
+        assert!(a.results[0].summary.expect("ok").retransmissions > 0);
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let out = tmp("dupes.jsonl");
+        let scenarios = vec![
+            Scenario::new("same", quick_cfg(1)),
+            Scenario::new("same", quick_cfg(2)),
+        ];
+        let err = run_sweep(&scenarios, &opts(), &out).expect_err("duplicate ids");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn scenario_and_result_json_round_trip() {
+        let s = Scenario {
+            id: "rt".into(),
+            config: quick_cfg(3),
+            chaos: Chaos::FailAttempts(2),
+            max_sim_time: Some(SimTime(123)),
+        };
+        let back: Scenario = json::from_str(&json::to_string(&s)).expect("scenario");
+        assert_eq!(s, back);
+        let r = ScenarioResult {
+            id: "rt".into(),
+            status: ScenarioStatus::WallTimeout,
+            attempts: 3,
+            error: Some("slow".into()),
+            summary: None,
+        };
+        let back: ScenarioResult = json::from_str(&json::to_string(&r)).expect("result");
+        assert_eq!(r, back);
+        // A bare scenario omits chaos defaults cleanly.
+        let plain = Scenario::new("p", quick_cfg(1));
+        let back: Scenario = json::from_str(&json::to_string(&plain)).expect("plain");
+        assert_eq!(back.chaos, Chaos::None);
+    }
+}

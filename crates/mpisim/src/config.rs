@@ -13,6 +13,7 @@ use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
 use workload::{CommPattern, CommSchedule, ExecModel};
 
 use crate::diag::{self, Diagnostic};
+use crate::faults::FaultPlan;
 
 /// Message-passing protocol selection (paper Sec. II-C1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +120,10 @@ pub struct SimConfig {
     /// the paper classifies manifest per-phase load imbalance as an
     /// application-induced delay, Sec. II-A). Empty = perfectly balanced.
     pub imbalance: Vec<f64>,
+    /// Deterministic fault plan: message drop/corrupt with retransmission,
+    /// link degradation windows, rank stalls and crashes. Empty by default
+    /// (see [`crate::faults`]).
+    pub faults: FaultPlan,
     /// Master seed for all random streams.
     pub seed: u64,
 }
@@ -146,6 +151,7 @@ impl SimConfig {
             eager_buffer_bytes: None,
             serialize_sends: false,
             imbalance: Vec::new(),
+            faults: FaultPlan::none(),
             seed: 0x1D1E_4A7E, // "idle wave"
         }
     }
@@ -327,6 +333,7 @@ impl SimConfig {
                 ));
             }
         }
+        out.extend(self.faults.check(self.ranks(), self.steps));
         out
     }
 
@@ -440,6 +447,7 @@ impl ToJson for SimConfig {
             ("eager_buffer_bytes", self.eager_buffer_bytes.to_json()),
             ("serialize_sends", self.serialize_sends.to_json()),
             ("imbalance", self.imbalance.to_json()),
+            ("faults", self.faults.to_json()),
             ("seed", self.seed.to_json()),
         ])
     }
@@ -464,6 +472,7 @@ impl FromJson for SimConfig {
             eager_buffer_bytes: field_or_default(v, "eager_buffer_bytes")?,
             serialize_sends: field_or_default(v, "serialize_sends")?,
             imbalance: field_or_default(v, "imbalance")?,
+            faults: field_or_default(v, "faults")?,
             seed: u64::from_json(v.field("seed")?)?,
         })
     }
@@ -613,6 +622,14 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_findings_flow_through_check() {
+        let mut c = cfg();
+        c.faults = FaultPlan::none().with_stall(99, 0, SimDuration::from_millis(1));
+        let diags = c.check();
+        assert!(diags.iter().any(|d| d.code == "SC013" && d.is_error()));
+    }
+
+    #[test]
     fn json_round_trip() {
         let c = cfg();
         let json = tracefmt::json::to_string(&c);
@@ -638,6 +655,7 @@ mod tests {
                             | "imbalance"
                             | "noise_placement"
                             | "eager_buffer_bytes"
+                            | "faults"
                     )
                 })
                 .cloned()

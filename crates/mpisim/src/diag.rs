@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use tracefmt::json::{Json, ToJson};
+
 /// How bad a finding is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
@@ -113,6 +115,24 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+impl ToJson for Severity {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("severity", self.severity.to_json()),
+            ("code", Json::Str(self.code.to_string())),
+            ("message", Json::Str(self.message.clone())),
+            ("field", Json::Str(self.field.clone())),
+            ("value", Json::Str(self.value.clone())),
+        ])
+    }
+}
+
 /// `true` when any finding is an error.
 pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(Diagnostic::is_error)
@@ -169,5 +189,14 @@ mod tests {
     #[test]
     fn empty_report_is_empty() {
         assert_eq!(render_report(&[]), "");
+    }
+
+    #[test]
+    fn diagnostics_serialize_to_json_objects() {
+        let d = Diagnostic::warning("SC006", "protocol", "Eager", "odd choice");
+        let text = tracefmt::json::to_string(&d);
+        assert!(text.contains("\"severity\":\"warning\""), "{text}");
+        assert!(text.contains("\"code\":\"SC006\""), "{text}");
+        assert!(text.contains("\"field\":\"protocol\""), "{text}");
     }
 }

@@ -43,11 +43,15 @@
 // never iterated, so their nondeterministic order cannot leak into traces.
 use std::collections::{BTreeSet, HashMap, HashSet}; // simlint: allow(hash-collections)
 
+use netmodel::PointToPoint;
 use simdes::{EventQueue, SeedFactory, SimDuration, SimRng, SimTime};
 use tracefmt::{PhaseRecord, Trace};
 use workload::ExecModel;
 
 use crate::config::{Mode, NoisePlacement, SimConfig};
+use crate::diag;
+use crate::error::{RunLimits, SimError};
+use crate::faults::{CrashOutcome, Delivery};
 
 /// Events of the message-passing simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +109,9 @@ enum Phase {
     Computing,
     Waiting,
     Done,
+    /// Fail-stop crash (see [`crate::faults::RankFaultKind::Crash`]): the
+    /// rank never progresses again and its peers starve.
+    Crashed,
 }
 
 struct RankState {
@@ -135,6 +142,15 @@ pub struct RunStats {
     pub messages: u64,
     /// Sends that fell back from eager to rendezvous (finite buffers).
     pub eager_fallbacks: u64,
+    /// Extra copies sent after a drop or corruption (fault injection).
+    pub retransmissions: u64,
+    /// Transfer copies dropped in flight (fault injection).
+    pub dropped_transfers: u64,
+    /// Transfer copies delivered corrupt and rejected (fault injection).
+    pub corrupted_transfers: u64,
+    /// Transfers abandoned after the retry budget (fault injection); a
+    /// nonzero count means the run stalled.
+    pub lost_transfers: u64,
 }
 
 /// The simulation engine. Build with [`Engine::new`], run with
@@ -159,6 +175,15 @@ pub struct Engine {
     /// (only consulted when `cfg.serialize_sends` is on).
     nic_free: Vec<SimTime>,
     stats: RunStats,
+    /// Stream factory, kept for lazily created fault streams.
+    seeds: SeedFactory,
+    /// One RNG stream per directed link that has carried a faulted
+    /// transfer; keyed lookup only, never iterated.
+    fault_rngs: HashMap<(u32, u32), SimRng>, // simlint: allow(hash-collections)
+    /// Ranks taken down by a fail-stop crash.
+    crashed: Vec<u32>,
+    /// Human-readable log of transfers lost after the retry budget.
+    lost: Vec<String>,
 }
 
 impl Engine {
@@ -166,9 +191,20 @@ impl Engine {
     ///
     /// # Panics
     /// Panics with the rendered diagnostic report when
-    /// [`SimConfig::validate`] finds error-level problems.
+    /// [`SimConfig::validate`] finds error-level problems. Library code
+    /// should prefer [`Engine::try_new`].
     pub fn new(cfg: SimConfig) -> Self {
-        cfg.validate();
+        Engine::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Engine::new`]: returns [`SimError::InvalidConfig`] with
+    /// the rejecting diagnostics instead of panicking.
+    pub fn try_new(cfg: SimConfig) -> Result<Self, SimError> {
+        let diags = cfg.check();
+        if diag::has_errors(&diags) {
+            let errors = diags.into_iter().filter(|d| d.is_error()).collect();
+            return Err(SimError::InvalidConfig(errors));
+        }
         let seeds = SeedFactory::new(cfg.seed);
         let nranks = cfg.ranks();
         let ranks = (0..nranks)
@@ -189,7 +225,7 @@ impl Engine {
             .collect();
         let sockets = cfg.network.machine.total_sockets() as usize;
         let base_mode = cfg.protocol.mode_for(cfg.msg_bytes);
-        Engine {
+        Ok(Engine {
             q: EventQueue::with_capacity(4 * nranks as usize),
             ranks,
             early_rts: HashSet::new(),   // simlint: allow(hash-collections)
@@ -201,17 +237,31 @@ impl Engine {
             base_mode,
             nic_free: vec![SimTime::ZERO; nranks as usize],
             stats: RunStats::default(),
+            seeds,
+            fault_rngs: HashMap::new(), // simlint: allow(hash-collections)
+            crashed: Vec::new(),
+            lost: Vec::new(),
             cfg,
-        }
+        })
     }
 
     /// Run to completion and return the trace.
     ///
     /// # Panics
-    /// Panics on deadlock (event queue drained with unfinished ranks),
-    /// which always indicates an engine or configuration bug.
+    /// Panics on deadlock (event queue drained with unfinished ranks):
+    /// with an empty fault plan that always indicates an engine or
+    /// configuration bug; with faults it can also mean a fail-stop crash
+    /// or a lost transfer starved the run. Library code should prefer
+    /// [`Engine::try_run`].
     pub fn run(self) -> Trace {
         self.run_with_stats().0
+    }
+
+    /// Fallible [`Engine::run`] under optional [`RunLimits`] budgets:
+    /// deadlock and starvation become [`SimError::Stalled`], a tripped
+    /// budget becomes [`SimError::Watchdog`].
+    pub fn try_run(self, limits: &RunLimits) -> Result<Trace, SimError> {
+        Ok(self.try_run_with_stats(limits)?.0)
     }
 
     /// Run to completion, returning the trace together with resource
@@ -219,28 +269,61 @@ impl Engine {
     ///
     /// # Panics
     /// Panics on deadlock, like [`Engine::run`].
-    pub fn run_with_stats(mut self) -> (Trace, RunStats) {
+    pub fn run_with_stats(self) -> (Trace, RunStats) {
+        match self.try_run_with_stats(&RunLimits::none()) {
+            Ok(out) => out,
+            Err(SimError::Stalled {
+                done,
+                ranks,
+                report,
+            }) => panic!("simulation deadlocked with {done}/{ranks} ranks finished:\n{report}"),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Engine::run_with_stats`] under optional [`RunLimits`]
+    /// budgets. On success the trace covers every `(rank, step)` cell; on
+    /// failure the error describes which scenario pathology ended the run
+    /// (stall/starvation vs exceeded budget).
+    pub fn try_run_with_stats(mut self, limits: &RunLimits) -> Result<(Trace, RunStats), SimError> {
         let nranks = self.cfg.ranks();
         for r in 0..nranks {
             self.start_exec(r, SimTime::ZERO);
         }
         while let Some((now, ev)) = self.q.pop() {
             self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
+            if let Some(budget) = limits.max_sim_time {
+                if now > budget {
+                    return Err(SimError::Watchdog {
+                        at: now,
+                        events: self.q.delivered(),
+                        why: format!("sim time budget t = {budget} exceeded"),
+                    });
+                }
+            }
+            if let Some(max_events) = limits.max_events {
+                if self.q.delivered() > max_events {
+                    return Err(SimError::Watchdog {
+                        at: now,
+                        events: self.q.delivered(),
+                        why: format!("event budget {max_events} exceeded"),
+                    });
+                }
+            }
             self.dispatch(now, ev);
         }
         self.stats.events = self.q.delivered();
         if self.done_count != nranks {
-            panic!(
-                "simulation deadlocked with {}/{} ranks finished:\n{}",
-                self.done_count,
-                nranks,
-                self.deadlock_report()
-            );
+            return Err(SimError::Stalled {
+                done: self.done_count,
+                ranks: nranks,
+                report: self.deadlock_report(),
+            });
         }
-        (
+        Ok((
             Trace::from_records(nranks, self.cfg.steps, self.records),
             self.stats,
-        )
+        ))
     }
 
     /// Post-mortem for a drained event queue with unfinished ranks: build
@@ -277,21 +360,34 @@ impl Engine {
                 }
             }
         }
-        let cycle = match g.find_cycle() {
-            Some(c) => format!(
-                "wait-for cycle [SC001]: ranks {} (each waits on the next \
-                 for an RTS, CTS, or eager payload; simcheck::analyze flags \
-                 this statically)",
-                c.iter()
-                    .map(|v| v.to_string())
-                    .collect::<Vec<_>>()
-                    .join(" -> ")
-            ),
-            None => "no wait-for cycle among stuck ranks: an event was lost \
-                     (engine bug, not a configuration deadlock)"
-                .to_string(),
+        let verdict = if !self.crashed.is_empty() || !self.lost.is_empty() {
+            // Fault starvation explains the stall even when the surviving
+            // requests happen to form a ring — this is not an SC001
+            // configuration deadlock.
+            let mut causes: Vec<String> = self
+                .crashed
+                .iter()
+                .map(|r| format!("rank {r} crashed (fail-stop)"))
+                .collect();
+            causes.extend(self.lost.iter().cloned());
+            format!("injected faults starved the run ({})", causes.join("; "))
+        } else {
+            match g.find_cycle() {
+                Some(c) => format!(
+                    "wait-for cycle [SC001]: ranks {} (each waits on the next \
+                     for an RTS, CTS, or eager payload; simcheck::analyze flags \
+                     this statically)",
+                    c.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                ),
+                None => "no wait-for cycle among stuck ranks: an event was lost \
+                         (engine bug, not a configuration deadlock)"
+                    .to_string(),
+            }
         };
-        format!("{cycle}\n{}", stuck.join("\n"))
+        format!("{verdict}\n{}", stuck.join("\n"))
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
@@ -326,7 +422,24 @@ impl Engine {
 
     fn start_exec(&mut self, rank: u32, now: SimTime) {
         let step = self.ranks[rank as usize].step;
-        let injected = self.cfg.injections.delay_for(rank, step);
+        // Rank faults fold into the injected-delay bookkeeping: a stall
+        // and a recoverable crash outage both lengthen the execution phase
+        // exactly like a one-off injection, so every downstream analysis
+        // (wave speed, decay fits, trace records) sees them uniformly.
+        let mut injected =
+            self.cfg.injections.delay_for(rank, step) + self.cfg.faults.stall_for(rank, step);
+        match self.cfg.faults.crash_for(rank, step) {
+            Some(CrashOutcome::FailStop) => {
+                let st = &mut self.ranks[rank as usize];
+                st.phase = Phase::Crashed;
+                st.exec_start = now;
+                st.epoch += 1; // invalidate anything already scheduled
+                self.crashed.push(rank);
+                return;
+            }
+            Some(CrashOutcome::Recovers(outage)) => injected += outage,
+            None => {}
+        }
         let noise = self.sample_exec_noise(rank);
         let st = &mut self.ranks[rank as usize];
         st.phase = Phase::Computing;
@@ -480,29 +593,37 @@ impl Engine {
             }
             let state = match mode {
                 Mode::Eager => {
-                    self.stats.messages += 1;
-                    *self.outstanding_eager.entry((rank, dst)).or_insert(0) += self.cfg.msg_bytes;
-                    let arrive = self.launch_transfer(rank, dst, now);
-                    self.q.schedule_at(
-                        arrive,
-                        Ev::EagerArrive {
-                            src: rank,
-                            dst,
-                            step,
-                        },
-                    );
+                    // A buffered send completes locally even when every
+                    // copy is lost in flight: the *receiver* starves.
+                    if let Some(extra) = self.fault_delay(rank, dst, "eager payload", step) {
+                        self.stats.messages += 1;
+                        *self.outstanding_eager.entry((rank, dst)).or_insert(0) +=
+                            self.cfg.msg_bytes;
+                        let arrive = self.launch_transfer(rank, dst, now + extra);
+                        self.q.schedule_at(
+                            arrive,
+                            Ev::EagerArrive {
+                                src: rank,
+                                dst,
+                                step,
+                            },
+                        );
+                    }
                     ReqState::Complete
                 }
                 Mode::Rendezvous => {
-                    let dt = self.cfg.network.ctrl_latency(rank, dst);
-                    self.q.schedule_at(
-                        now + dt,
-                        Ev::RtsArrive {
-                            src: rank,
-                            dst,
-                            step,
-                        },
-                    );
+                    if let Some(extra) = self.fault_delay(rank, dst, "RTS", step) {
+                        let depart = now + extra;
+                        let dt = self.ctrl_latency_at(rank, dst, depart);
+                        self.q.schedule_at(
+                            depart + dt,
+                            Ev::RtsArrive {
+                                src: rank,
+                                dst,
+                                step,
+                            },
+                        );
+                    }
                     ReqState::Unmatched
                 }
             };
@@ -546,8 +667,77 @@ impl Engine {
         }
     }
 
-    fn transfer_duration(&mut self, a: u32, b: u32) -> SimDuration {
-        let base = self.cfg.network.transfer_time(a, b, self.cfg.msg_bytes);
+    /// The link model `a -> b` effective at `now`: the base topology link,
+    /// degraded by any active fault windows.
+    fn link_at(&self, a: u32, b: u32, now: SimTime) -> PointToPoint {
+        let link = self.cfg.network.link(a, b);
+        match self.cfg.faults.degradation_at(a, b, now) {
+            Some((lf, bf)) => link.degraded(lf, bf),
+            None => link,
+        }
+    }
+
+    /// Control-message latency `a -> b` for a packet departing at `now`.
+    fn ctrl_latency_at(&self, a: u32, b: u32, now: SimTime) -> SimDuration {
+        self.link_at(a, b, now).ctrl_latency()
+    }
+
+    /// Sample the message-fault fate of one transfer departing on the
+    /// directed link `src -> dst`. `Some(extra)` means a copy is
+    /// eventually delivered, departing `extra` accumulated retransmission
+    /// backoff later than the original send; `None` means every copy
+    /// failed — the transfer is lost, logged, and never scheduled, so the
+    /// requests depending on it starve and the run ends in
+    /// [`SimError::Stalled`].
+    fn fault_delay(&mut self, src: u32, dst: u32, what: &str, step: u32) -> Option<SimDuration> {
+        let Some(m) = self.cfg.faults.messages else {
+            return Some(SimDuration::ZERO);
+        };
+        if !m.is_active() {
+            return Some(SimDuration::ZERO);
+        }
+        let key = (src, dst);
+        if !self.fault_rngs.contains_key(&key) {
+            let nranks = u64::from(self.cfg.ranks());
+            let index = u64::from(src) * nranks + u64::from(dst);
+            self.fault_rngs
+                .insert(key, self.seeds.stream("fault-link", index));
+        }
+        let rng = self
+            .fault_rngs
+            .get_mut(&key)
+            .expect("fault stream inserted above");
+        let fate = m.sample_delivery(rng);
+        let (attempts, dropped, corrupted) = match fate {
+            Delivery::Delivered {
+                attempts,
+                dropped,
+                corrupted,
+                ..
+            }
+            | Delivery::Lost {
+                attempts,
+                dropped,
+                corrupted,
+            } => (attempts, dropped, corrupted),
+        };
+        self.stats.retransmissions += u64::from(attempts - 1);
+        self.stats.dropped_transfers += u64::from(dropped);
+        self.stats.corrupted_transfers += u64::from(corrupted);
+        match fate {
+            Delivery::Delivered { extra_delay, .. } => Some(extra_delay),
+            Delivery::Lost { attempts, .. } => {
+                self.stats.lost_transfers += 1;
+                self.lost.push(format!(
+                    "{what} {src} -> {dst} at step {step} lost after {attempts} attempts"
+                ));
+                None
+            }
+        }
+    }
+
+    fn transfer_duration(&mut self, a: u32, b: u32, now: SimTime) -> SimDuration {
+        let base = self.link_at(a, b, now).transfer_time(self.cfg.msg_bytes);
         match self.cfg.noise_placement {
             NoisePlacement::ExecOnly => base,
             NoisePlacement::ExecAndComm => {
@@ -567,11 +757,11 @@ impl Engine {
     /// back-to-back small messages cannot exceed the model's injection
     /// rate.
     fn launch_transfer(&mut self, from: u32, to: u32, now: SimTime) -> SimTime {
-        let dt = self.transfer_duration(from, to);
+        let dt = self.transfer_duration(from, to, now);
         if self.cfg.serialize_sends {
             let start = now.max(self.nic_free[from as usize]);
             let done = start + dt;
-            let gap = self.cfg.network.link(from, to).injection_gap();
+            let gap = self.link_at(from, to, now).injection_gap();
             self.nic_free[from as usize] = start + dt.max(gap);
             done
         } else {
@@ -608,15 +798,18 @@ impl Engine {
                         r.state = ReqState::InFlight;
                     }
                 }
-                let dt = self.cfg.network.ctrl_latency(rank, sender);
-                self.q.schedule_at(
-                    now + dt,
-                    Ev::CtsArrive {
-                        sender,
-                        receiver: rank,
-                        step,
-                    },
-                );
+                if let Some(extra) = self.fault_delay(rank, sender, "CTS", step) {
+                    let depart = now + extra;
+                    let dt = self.ctrl_latency_at(rank, sender, depart);
+                    self.q.schedule_at(
+                        depart + dt,
+                        Ev::CtsArrive {
+                            sender,
+                            receiver: rank,
+                            step,
+                        },
+                    );
+                }
             }
         }
         let complete = self.ranks[rank as usize]
@@ -690,16 +883,18 @@ impl Engine {
                 });
             req.state = ReqState::InFlight;
         }
-        self.stats.messages += 1;
-        let done = self.launch_transfer(sender, receiver, now);
-        self.q.schedule_at(
-            done,
-            Ev::XferDone {
-                sender,
-                receiver,
-                step,
-            },
-        );
+        if let Some(extra) = self.fault_delay(sender, receiver, "payload", step) {
+            self.stats.messages += 1;
+            let done = self.launch_transfer(sender, receiver, now + extra);
+            self.q.schedule_at(
+                done,
+                Ev::XferDone {
+                    sender,
+                    receiver,
+                    step,
+                },
+            );
+        }
     }
 
     fn on_eager(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
@@ -764,9 +959,22 @@ impl Engine {
 ///
 /// # Panics
 /// Panics when the config fails validation or the simulation deadlocks,
-/// like [`Engine::run`].
+/// like [`Engine::run`]. Library code should prefer [`try_run`].
 pub fn run(cfg: &SimConfig) -> Trace {
     Engine::new(cfg.clone()).run()
+}
+
+/// Fallible [`run`]: invalid configs, stalls/starvation, and deadlocks
+/// come back as [`SimError`] values instead of panics.
+pub fn try_run(cfg: &SimConfig) -> Result<Trace, SimError> {
+    try_run_with_limits(cfg, &RunLimits::none())
+}
+
+/// [`try_run`] under [`RunLimits`] budgets: the supervised sweep runner
+/// uses this to bound runaway scenarios deterministically in sim time
+/// before any wall-clock timeout has to fire.
+pub fn try_run_with_limits(cfg: &SimConfig, limits: &RunLimits) -> Result<Trace, SimError> {
+    Engine::try_new(cfg.clone())?.try_run(limits)
 }
 
 #[cfg(test)]
@@ -841,5 +1049,182 @@ mod tests {
             }];
         }
         assert!(e.deadlock_report().contains("no wait-for cycle"));
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    use crate::error::{RunLimits, SimError};
+    use crate::faults::{FaultPlan, LinkDegradation, MessageFaults};
+
+    fn fault_cfg(ranks: u32) -> SimConfig {
+        let net = presets::loggopsim_like(ranks);
+        let mut cfg = SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Periodic),
+            4,
+        );
+        cfg.protocol = crate::Protocol::Rendezvous;
+        cfg
+    }
+
+    #[test]
+    fn try_new_reports_invalid_configs_as_values() {
+        let mut cfg = fault_cfg(8);
+        cfg.steps = 0;
+        let Err(SimError::InvalidConfig(diags)) = Engine::try_new(cfg) else {
+            panic!("zero steps must be rejected");
+        };
+        assert!(diags.iter().any(|d| d.code == "SC004"));
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let cfg = fault_cfg(8);
+        let baseline = Engine::new(cfg.clone()).run();
+        let mut with_plan = cfg;
+        with_plan.faults = FaultPlan::none().with_messages(MessageFaults::default());
+        let (trace, stats) = Engine::new(with_plan)
+            .try_run_with_stats(&RunLimits::none())
+            .expect("lossless plan completes");
+        assert_eq!(baseline.total_runtime(), trace.total_runtime());
+        assert_eq!(stats.retransmissions, 0);
+        assert_eq!(stats.lost_transfers, 0);
+    }
+
+    #[test]
+    fn drops_cause_retransmissions_and_delay_the_run() {
+        let mut cfg = fault_cfg(8);
+        cfg.faults = FaultPlan::none().with_drops(0.3, SimDuration::from_micros(200));
+        let clean_finish = {
+            let mut c = cfg.clone();
+            c.faults = FaultPlan::none();
+            Engine::new(c).run().total_runtime()
+        };
+        let (trace, stats) = Engine::new(cfg)
+            .try_run_with_stats(&RunLimits::none())
+            .expect("30% drops with 16 retries must still complete");
+        assert!(stats.retransmissions > 0, "{stats:?}");
+        assert!(stats.dropped_transfers >= stats.retransmissions);
+        assert!(
+            trace.total_runtime() > clean_finish,
+            "retransmission backoff must cost sim time: {} vs {clean_finish}",
+            trace.total_runtime()
+        );
+    }
+
+    #[test]
+    fn certain_loss_stalls_with_a_fault_verdict() {
+        let mut cfg = fault_cfg(8);
+        cfg.faults = FaultPlan::none().with_messages(MessageFaults {
+            drop_prob: 1.0,
+            max_retries: 2,
+            ..MessageFaults::default()
+        });
+        let err = Engine::new(cfg)
+            .try_run_with_stats(&RunLimits::none())
+            .expect_err("guaranteed loss cannot complete");
+        let SimError::Stalled { done, report, .. } = err else {
+            panic!("expected a stall, got {err:?}");
+        };
+        assert_eq!(done, 0);
+        assert!(
+            report.contains("injected faults starved the run"),
+            "{report}"
+        );
+        assert!(report.contains("lost after 3 attempts"), "{report}");
+    }
+
+    #[test]
+    fn fail_stop_crash_stalls_and_names_the_rank() {
+        let mut cfg = fault_cfg(8);
+        cfg.faults = FaultPlan::none().with_crash(3, 1, None);
+        let err = Engine::new(cfg)
+            .try_run_with_stats(&RunLimits::none())
+            .expect_err("fail-stop starves the neighbours");
+        let SimError::Stalled { report, .. } = err else {
+            panic!("expected a stall, got {err:?}");
+        };
+        assert!(report.contains("rank 3 crashed (fail-stop)"), "{report}");
+    }
+
+    #[test]
+    fn recovering_crash_acts_like_an_injected_delay() {
+        let outage = SimDuration::from_millis(2);
+        let mut crash = fault_cfg(8);
+        crash.faults = FaultPlan::none().with_crash(3, 1, Some(outage));
+        let crash_trace = Engine::new(crash).run();
+        let mut inject = fault_cfg(8);
+        inject.injections = noise_model::InjectionPlan::single(3, 1, outage);
+        let inject_trace = Engine::new(inject).run();
+        assert_eq!(crash_trace.total_runtime(), inject_trace.total_runtime());
+    }
+
+    #[test]
+    fn stall_fault_matches_equal_injection() {
+        let d = SimDuration::from_millis(1);
+        let mut stall = fault_cfg(8);
+        stall.faults = FaultPlan::none().with_stall(2, 0, d);
+        let mut inject = fault_cfg(8);
+        inject.injections = noise_model::InjectionPlan::single(2, 0, d);
+        assert_eq!(
+            Engine::new(stall).run().total_runtime(),
+            Engine::new(inject).run().total_runtime()
+        );
+    }
+
+    #[test]
+    fn degradation_window_slows_only_transfers_inside_it() {
+        let mut cfg = fault_cfg(8);
+        let clean_finish = Engine::new(cfg.clone()).run().total_runtime();
+        // Degrade every link 10x across the whole run.
+        cfg.faults = FaultPlan::none().with_degradation(LinkDegradation {
+            from: SimTime::ZERO,
+            until: SimTime(u64::MAX),
+            link: None,
+            latency_factor: 10.0,
+            bandwidth_factor: 10.0,
+        });
+        let slow_finish = Engine::new(cfg.clone()).run().total_runtime();
+        assert!(
+            slow_finish > clean_finish,
+            "{slow_finish} vs {clean_finish}"
+        );
+        // A window that closes before the first communication phase (3 ms
+        // compute) never applies.
+        cfg.faults = FaultPlan::none().with_degradation(LinkDegradation {
+            from: SimTime::ZERO,
+            until: SimTime(1_000),
+            link: None,
+            latency_factor: 10.0,
+            bandwidth_factor: 10.0,
+        });
+        assert_eq!(Engine::new(cfg).run().total_runtime(), clean_finish);
+    }
+
+    #[test]
+    fn watchdog_budgets_trip_as_errors() {
+        let cfg = fault_cfg(8);
+        let err = Engine::new(cfg.clone())
+            .try_run_with_stats(&RunLimits::sim_time(SimTime(1_000)))
+            .expect_err("a 4-step run lasts far past 1 us");
+        assert!(matches!(err, SimError::Watchdog { .. }), "{err:?}");
+        let err = Engine::new(cfg)
+            .try_run_with_stats(&RunLimits::events(5))
+            .expect_err("a 4-step run takes more than 5 events");
+        let SimError::Watchdog { events, .. } = err else {
+            panic!("expected watchdog, got {err:?}");
+        };
+        assert!(events > 5);
+    }
+
+    #[test]
+    fn faulty_runs_are_bit_identical_across_reruns() {
+        let mut cfg = fault_cfg(8);
+        cfg.faults = FaultPlan::none()
+            .with_drops(0.25, SimDuration::from_micros(100))
+            .with_stall(1, 2, SimDuration::from_micros(300));
+        let a = Engine::new(cfg.clone()).run();
+        let b = Engine::new(cfg).run();
+        assert_eq!(a, b);
     }
 }

@@ -19,12 +19,18 @@
 mod config;
 pub mod diag;
 mod engine;
+mod error;
+pub mod faults;
 mod nominal;
 pub mod reference;
 
 pub use config::{Mode, NoisePlacement, Protocol, SimConfig};
 pub use diag::{Diagnostic, Severity};
-pub use engine::{run, Engine, RunStats};
+pub use engine::{run, try_run, try_run_with_limits, Engine, RunStats};
+pub use error::{RunLimits, SimError};
+pub use faults::{
+    CrashOutcome, Delivery, FaultPlan, LinkDegradation, MessageFaults, RankFault, RankFaultKind,
+};
 pub use nominal::{
     nominal_comm_duration, nominal_exec_duration, nominal_message_time, nominal_step_duration,
 };

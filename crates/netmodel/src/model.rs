@@ -86,6 +86,40 @@ impl PointToPoint {
         }
     }
 
+    /// A degraded copy of this link: latency terms are stretched by
+    /// `latency_factor`, effective bandwidth is divided by
+    /// `bandwidth_factor` (per-byte costs and the injection gap grow by
+    /// the same factor). Factors of 1.0 leave the link unchanged; the
+    /// fault-injection layer uses this to model a congested or flapping
+    /// link over a time window without mutating the base topology.
+    ///
+    /// # Panics
+    ///
+    /// If either factor is not positive and finite.
+    pub fn degraded(&self, latency_factor: f64, bandwidth_factor: f64) -> PointToPoint {
+        assert!(
+            latency_factor > 0.0 && latency_factor.is_finite(),
+            "latency factor must be positive and finite, got {latency_factor}"
+        );
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor.is_finite(),
+            "bandwidth factor must be positive and finite, got {bandwidth_factor}"
+        );
+        match self {
+            PointToPoint::Hockney(h) => PointToPoint::Hockney(Hockney {
+                latency: h.latency.mul_f64(latency_factor),
+                bandwidth_bps: h.bandwidth_bps / bandwidth_factor,
+            }),
+            PointToPoint::LogGops(l) => PointToPoint::LogGops(LogGops {
+                l: l.l.mul_f64(latency_factor),
+                o: l.o,
+                g: l.g.mul_f64(bandwidth_factor),
+                big_g_per_byte: l.big_g_per_byte * bandwidth_factor,
+                big_o_per_byte: l.big_o_per_byte,
+            }),
+        }
+    }
+
     /// Asymptotic bandwidth in bytes/s (useful for reporting).
     pub fn asymptotic_bandwidth_bps(&self) -> f64 {
         match self {
@@ -270,6 +304,45 @@ mod tests {
             assert!(t >= last);
             last = t;
         }
+    }
+
+    #[test]
+    fn degraded_hockney_scales_latency_and_bandwidth() {
+        let m = hockney_1us_1gbs().degraded(2.0, 4.0);
+        // Latency 1 us -> 2 us; bandwidth 1 GB/s -> 250 MB/s.
+        assert_eq!(m.ctrl_latency(), SimDuration::from_micros(2));
+        assert_eq!(
+            m.transfer_time(1000),
+            SimDuration::from_nanos(2_000 + 4_000)
+        );
+        // Unit factors are the identity.
+        assert_eq!(hockney_1us_1gbs().degraded(1.0, 1.0), hockney_1us_1gbs());
+    }
+
+    #[test]
+    fn degraded_loggops_scales_wire_terms_only() {
+        let base = LogGops {
+            l: SimDuration::from_micros(2),
+            o: SimDuration::from_nanos(500),
+            g: SimDuration::from_micros(1),
+            big_g_per_byte: 1e-9,
+            big_o_per_byte: 2e-9,
+        };
+        let d = PointToPoint::LogGops(base).degraded(3.0, 2.0);
+        let PointToPoint::LogGops(got) = d else {
+            panic!("degradation changed the model family");
+        };
+        assert_eq!(got.l, SimDuration::from_micros(6));
+        assert_eq!(got.o, base.o, "CPU overhead is not a wire property");
+        assert_eq!(got.g, SimDuration::from_micros(2));
+        assert!((got.big_g_per_byte - 2e-9).abs() < 1e-15);
+        assert!((got.big_o_per_byte - 2e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn degraded_rejects_nonpositive_factors() {
+        hockney_1us_1gbs().degraded(1.0, 0.0);
     }
 
     #[test]

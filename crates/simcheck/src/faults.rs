@@ -1,0 +1,208 @@
+//! Fault-plan feasibility analysis (`SC014`–`SC016`).
+//!
+//! [`mpisim::FaultPlan::check`] covers field-level validity (`SC013`);
+//! these deep checks need the rest of the config — link models, message
+//! size, nominal phase timing — so they live here:
+//!
+//! * `SC014` — the retransmission timeout is shorter than one payload
+//!   transfer time on the slowest link the job can use: the modeled
+//!   system would time out every copy before it could arrive, so the plan
+//!   is infeasible.
+//! * `SC015` — the drop/corrupt probabilities make per-transfer loss
+//!   certain (error) or likely enough that long sweeps will stall
+//!   (warning).
+//! * `SC016` — plan parts with predetermined or no effect: a fail-stop
+//!   crash (the run cannot complete), a degradation window that closes
+//!   before any transfer can depart, a rank fault scheduled after the
+//!   same rank's fail-stop crash.
+
+use mpisim::{nominal_exec_duration, Diagnostic, RankFaultKind, SimConfig};
+use simdes::SimDuration;
+
+/// Append fault-plan feasibility findings for `cfg` to `out`. Assumes the
+/// field-level checks (`SC013`) passed.
+pub(crate) fn fault_checks(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
+    let plan = &cfg.faults;
+    if let Some(m) = plan.messages {
+        if m.is_active() {
+            let models = cfg.network.models;
+            let slowest = [models.socket, models.node, models.network]
+                .iter()
+                .map(|p| p.transfer_time(cfg.msg_bytes))
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            if m.rto < slowest {
+                out.push(Diagnostic::error(
+                    "SC014",
+                    "faults.messages.rto",
+                    m.rto,
+                    format!(
+                        "retransmission timeout shorter than one {}-byte payload \
+                         transfer time ({slowest}): every copy would time out \
+                         before arriving",
+                        cfg.msg_bytes
+                    ),
+                ));
+            }
+            let p_fail = m.drop_prob + (1.0 - m.drop_prob) * m.corrupt_prob;
+            if p_fail >= 1.0 {
+                out.push(Diagnostic::error(
+                    "SC015",
+                    "faults.messages",
+                    format!("drop {} / corrupt {}", m.drop_prob, m.corrupt_prob),
+                    "every transfer copy fails: all transfers are lost and the \
+                     run is guaranteed to stall",
+                ));
+            } else {
+                let p_lost = p_fail.powi(m.max_retries as i32 + 1);
+                if p_lost >= 1e-6 {
+                    out.push(Diagnostic::warning(
+                        "SC015",
+                        "faults.messages",
+                        format!("per-transfer loss probability {p_lost:.2e}"),
+                        "transfers are likely to exhaust the retry budget; long \
+                         runs and sweeps will stall — raise max_retries or lower \
+                         the failure probabilities",
+                    ));
+                }
+            }
+        }
+    }
+    let first_comm = nominal_exec_duration(cfg);
+    for (i, d) in plan.degradations.iter().enumerate() {
+        if d.until.0 <= first_comm.nanos() {
+            out.push(Diagnostic::note(
+                "SC016",
+                format!("faults.degradations[{i}]"),
+                format!("[{}, {})", d.from, d.until),
+                format!(
+                    "window closes before the first transfer can depart \
+                     (nominal execution phase ends at {first_comm}): no effect"
+                ),
+            ));
+        }
+    }
+    for (i, f) in plan.rank_faults.iter().enumerate() {
+        if let RankFaultKind::Crash { outage: None } = f.kind {
+            out.push(Diagnostic::warning(
+                "SC016",
+                format!("faults.rank_faults[{i}]"),
+                format!("rank {} step {}", f.rank, f.step),
+                "fail-stop crash: the run cannot complete and will end in a \
+                 stall report (intended for chaos testing only)",
+            ));
+        }
+        let shadowed = plan.rank_faults.iter().any(|g| {
+            g.rank == f.rank
+                && g.step < f.step
+                && matches!(g.kind, RankFaultKind::Crash { outage: None })
+        });
+        if shadowed {
+            out.push(Diagnostic::note(
+                "SC016",
+                format!("faults.rank_faults[{i}]"),
+                format!("rank {} step {}", f.rank, f.step),
+                "unreachable: this rank fail-stops at an earlier step",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::{FaultPlan, LinkDegradation, MessageFaults};
+    use netmodel::presets;
+    use simdes::SimTime;
+    use workload::{Boundary, CommPattern, Direction};
+
+    fn cfg() -> SimConfig {
+        let net = presets::loggopsim_like(8);
+        SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Unidirectional, Boundary::Open),
+            10,
+        )
+    }
+
+    fn codes(cfg: &SimConfig) -> Vec<(&'static str, mpisim::Severity)> {
+        crate::analyze(cfg)
+            .into_iter()
+            .map(|d| (d.code, d.severity))
+            .collect()
+    }
+
+    #[test]
+    fn sound_plans_produce_no_findings() {
+        let mut c = cfg();
+        c.faults = FaultPlan::none().with_drops(0.01, SimDuration::from_millis(1));
+        assert!(
+            codes(&c)
+                .iter()
+                .all(|(code, _)| !code.starts_with("SC01") || *code == "SC010"),
+            "{:?}",
+            crate::analyze(&c)
+        );
+    }
+
+    #[test]
+    fn sc014_fires_when_rto_beats_the_transfer_time() {
+        let mut c = cfg();
+        c.msg_bytes = 1_000_000; // ~ms-scale transfer on the preset links
+        c.faults = FaultPlan::none().with_messages(MessageFaults {
+            drop_prob: 0.1,
+            rto: SimDuration::from_nanos(10),
+            ..MessageFaults::default()
+        });
+        let diags = crate::analyze(&c);
+        assert!(
+            diags.iter().any(|d| d.code == "SC014" && d.is_error()),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn sc015_grades_certain_vs_likely_loss() {
+        let mut c = cfg();
+        c.faults = FaultPlan::none().with_messages(MessageFaults {
+            drop_prob: 1.0,
+            ..MessageFaults::default()
+        });
+        assert!(
+            codes(&c).contains(&("SC015", mpisim::Severity::Error)),
+            "{:?}",
+            codes(&c)
+        );
+        c.faults = FaultPlan::none().with_messages(MessageFaults {
+            drop_prob: 0.9,
+            max_retries: 2,
+            ..MessageFaults::default()
+        });
+        assert!(
+            codes(&c).contains(&("SC015", mpisim::Severity::Warning)),
+            "{:?}",
+            codes(&c)
+        );
+    }
+
+    #[test]
+    fn sc016_flags_dead_windows_fail_stops_and_shadowed_faults() {
+        let mut c = cfg();
+        c.faults = FaultPlan::none()
+            .with_degradation(LinkDegradation {
+                from: SimTime::ZERO,
+                until: SimTime(10), // closes 10 ns in: before any comm phase
+                link: None,
+                latency_factor: 2.0,
+                bandwidth_factor: 2.0,
+            })
+            .with_crash(2, 1, None)
+            .with_stall(2, 5, SimDuration::from_millis(1));
+        let diags = crate::analyze(&c);
+        let sc016: Vec<_> = diags.iter().filter(|d| d.code == "SC016").collect();
+        assert_eq!(sc016.len(), 3, "{diags:?}");
+        assert!(sc016.iter().any(|d| d.message.contains("no effect")));
+        assert!(sc016.iter().any(|d| d.message.contains("fail-stop crash")));
+        assert!(sc016.iter().any(|d| d.message.contains("unreachable")));
+    }
+}

@@ -9,7 +9,10 @@
 //!    static send/recv dependency graph (`SC001`), protocol-eligibility
 //!    checks (`SC006`, `SC007`), boundary notes (`SC003`), and an Eq. 2
 //!    speed-model cross-check (`SC008`) that warns when the predicted idle
-//!    wave outruns the chain within the configured steps.
+//!    wave outruns the chain within the configured steps, and fault-plan
+//!    feasibility analysis (`SC013`–`SC016`: invalid plan fields,
+//!    retransmission timeouts shorter than a transfer, guaranteed or
+//!    likely transfer loss, dead windows and unreachable rank faults).
 //! 2. **Source linting** — the [`lint`] module and the `simlint` binary: a
 //!    hand-rolled, comment- and string-aware Rust lexer that scans the
 //!    workspace for determinism/hermeticity hazards (wall-clock reads,
@@ -25,6 +28,7 @@
 
 mod checks;
 mod deadlock;
+mod faults;
 pub mod lint;
 mod speed;
 
@@ -45,6 +49,7 @@ pub fn analyze(cfg: &SimConfig) -> Vec<Diagnostic> {
         checks::protocol_checks(cfg, &mut out);
         deadlock::wait_cycle_checks(cfg, &mut out);
         speed::speed_checks(cfg, &mut out);
+        faults::fault_checks(cfg, &mut out);
     }
     out.sort_by_key(|d| std::cmp::Reverse(d.severity));
     out

@@ -211,6 +211,18 @@ mod tests {
     }
 
     #[test]
+    fn process_exit_flagged_outside_bin_trees() {
+        let src = "fn die() { std::process::exit(1); }\n";
+        assert_eq!(rules_hit("crates/x/src/lib.rs", src), ["process-exit"]);
+        assert_eq!(rules_hit("src/lib.rs", src), ["process-exit"]);
+        // Binaries own the process and may set its exit status.
+        assert!(rules_hit("src/bin/wavesim.rs", src).is_empty());
+        assert!(rules_hit("crates/simcheck/src/bin/simlint.rs", src).is_empty());
+        // Test code is exempt like the other non-test rules.
+        assert!(rules_hit("crates/x/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
     fn pragmas_suppress_same_line_and_next_line() {
         let same = "let v = m.get(&k).unwrap(); // simlint: allow(unwrap)\n";
         let (viol, supp) = lint_source("src/a.rs", same);

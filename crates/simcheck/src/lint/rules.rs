@@ -11,6 +11,7 @@
 //! | `unwrap` | `.unwrap()` (use `.expect("why")`) | non-test code |
 //! | `debug-macros` | `todo!` / `dbg!` / `unimplemented!` | everywhere, tests included |
 //! | `panics-doc` | panicking `pub fn` without a `# Panics` doc section | non-test code |
+//! | `process-exit` | `process::exit` (bypasses destructors; return `ExitCode` from `main` instead) | non-test code outside `src/bin` directories |
 //!
 //! Suppress a finding with `// simlint: allow(<rule>)` on the same line or
 //! the line directly above; several rules may be comma-separated.
@@ -21,13 +22,14 @@ use super::lexer::Lexed;
 use super::Violation;
 
 /// All rule names, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "wall-clock",
     "hash-collections",
     "float-cmp",
     "unwrap",
     "debug-macros",
     "panics-doc",
+    "process-exit",
 ];
 
 /// One file prepared for rule checks.
@@ -156,6 +158,13 @@ pub(crate) fn check_file(ctx: &FileContext<'_>) -> (Vec<Violation>, usize) {
             || contains_macro(masked, "unimplemented")
         {
             ctx.hit("debug-macros", line, &mut out, &mut suppressed);
+        }
+        // Library code must not tear the process down: `process::exit`
+        // skips destructors (unflushed sweep results!) and robs callers of
+        // the chance to handle the failure. Binaries return an `ExitCode`
+        // from `main` instead; only `src/bin` trees are exempt.
+        if !test_code && !ctx.path.contains("src/bin/") && masked.contains("process::exit") {
+            ctx.hit("process-exit", line, &mut out, &mut suppressed);
         }
     }
     panics_doc(ctx, &mut out, &mut suppressed);

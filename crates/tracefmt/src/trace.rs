@@ -153,6 +153,35 @@ impl Trace {
             .min()
             .expect("non-empty trace")
     }
+
+    /// Content digest of the whole trace: FNV-1a over the shape and every
+    /// field of every record, in rank-major order. Two traces have equal
+    /// fingerprints iff they are bit-identical (modulo the 64-bit hash),
+    /// so sweep results can assert determinism across runs and machines
+    /// without persisting full traces.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(u64::from(self.ranks));
+        mix(u64::from(self.steps));
+        for r in &self.records {
+            mix(u64::from(r.rank));
+            mix(u64::from(r.step));
+            mix(r.exec_start.0);
+            mix(r.exec_end.0);
+            mix(r.comm_end.0);
+            mix(r.injected.0);
+            mix(r.noise.0);
+        }
+        h
+    }
 }
 
 impl ToJson for Trace {
@@ -302,6 +331,19 @@ mod tests {
         let json = json::to_string(&t);
         let back: Trace = json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let t = tiny();
+        assert_eq!(t.fingerprint(), tiny().fingerprint());
+        let mut recs: Vec<PhaseRecord> = t.iter().copied().collect();
+        recs[3].comm_end = SimTime(recs[3].comm_end.0 + 1);
+        let tweaked = Trace::from_records(2, 2, recs);
+        assert_ne!(t.fingerprint(), tweaked.fingerprint());
+        // A JSON round trip preserves the fingerprint exactly.
+        let back: Trace = json::from_str(&json::to_string(&t)).unwrap();
+        assert_eq!(t.fingerprint(), back.fingerprint());
     }
 
     #[test]

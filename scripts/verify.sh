@@ -14,8 +14,17 @@ cargo fmt --all --check
 echo "== cargo build --release"
 cargo build --release --workspace
 
-echo "== cargo test -q"
-cargo test -q --workspace
+# Wall-clock backstop for the test step: a hung test (deadlocked
+# scheduler, runaway sweep) should fail verification, not wedge it.
+# `timeout` is coreutils; fall back to an unguarded run where absent.
+if command -v timeout >/dev/null 2>&1; then
+    RUN_TESTS="timeout 1200 cargo test -q --workspace"
+else
+    RUN_TESTS="cargo test -q --workspace"
+fi
+
+echo "== cargo test -q (20 min wall-clock cap)"
+$RUN_TESTS
 
 echo "== simlint"
 cargo run -q --release -p simcheck --bin simlint .

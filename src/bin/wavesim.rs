@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! wavesim [OPTIONS]
+//! wavesim sweep --scenarios FILE --out FILE [SWEEP OPTIONS]
 //!
 //!   --ranks N               chain length (default 18)
 //!   --steps N               bulk-synchronous steps (default 20)
@@ -21,12 +22,29 @@
 //!   --svg FILE              write an SVG timeline
 //!   --csv FILE              write the per-phase trace as CSV
 //!   --quiet                 suppress the summary
+//!
+//! wavesim sweep — supervised chaos/fault sweep (see docs/FAULTS.md)
+//!
+//!   --scenarios FILE.json   JSON array of sweep scenarios (required)
+//!   --out FILE.jsonl        result file, one JSON record per scenario
+//!                           (required; appended to, crash-safe)
+//!   --resume                skip scenarios already recorded in --out
+//!   --threads N             supervisor threads (default 4)
+//!   --retries N             retry budget for transient failures (default 2)
+//!   --wall-timeout-ms N     wall-clock backstop per attempt (default 30000)
+//!   --watchdog-factor F     sim-time budget multiplier (default 64)
+//!   --max-events N          optional event-count budget
 //! ```
 //!
-//! Exit code 2 on usage errors.
+//! Exit codes: `0` success, `1` sweep finished but some scenarios failed,
+//! `2` usage errors, `3` invalid configuration or runtime failure — the
+//! latter also emits a single-line JSON error record on stderr:
+//! `{"tool":"wavesim","error":...,"diagnostics":[...]}`.
 
+use idle_waves::idlewave::sweep::{run_sweep, Scenario, SweepOptions};
 use idle_waves::idlewave::{model, speed, WaveExperiment, WaveTrace};
 use idle_waves::prelude::*;
+use idle_waves::tracefmt::json;
 use std::process::ExitCode;
 
 struct Args {
@@ -166,7 +184,123 @@ fn build_config(args: &Args) -> Result<SimConfig, String> {
     Ok(e.into_config())
 }
 
+/// Emit the machine-readable single-line error record on stderr.
+fn emit_error_record(error: &str, diagnostics: &[Diagnostic]) {
+    let record = Json::obj(vec![
+        ("tool", Json::Str("wavesim".into())),
+        ("error", Json::Str(error.into())),
+        (
+            "diagnostics",
+            Json::Array(diagnostics.iter().map(ToJson::to_json).collect()),
+        ),
+    ]);
+    eprintln!("{}", json::to_string(&record));
+}
+
+struct SweepArgs {
+    scenarios_path: Option<String>,
+    out_path: Option<String>,
+    opts: SweepOptions,
+    quiet: bool,
+}
+
+fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
+    let mut args = SweepArgs {
+        scenarios_path: None,
+        out_path: None,
+        opts: SweepOptions::default(),
+        quiet: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenarios" => args.scenarios_path = Some(value("--scenarios")?),
+            "--out" => args.out_path = Some(value("--out")?),
+            "--resume" => args.opts.resume = true,
+            "--threads" => args.opts.threads = parse(&value("--threads")?)?,
+            "--retries" => args.opts.retries = parse(&value("--retries")?)?,
+            "--wall-timeout-ms" => {
+                let ms: u64 = parse(&value("--wall-timeout-ms")?)?;
+                args.opts.wall_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--watchdog-factor" => args.opts.watchdog_factor = parse(&value("--watchdog-factor")?)?,
+            "--max-events" => args.opts.max_events = Some(parse(&value("--max-events")?)?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err("usage".into()),
+            other => return Err(format!("unknown sweep flag {other}")),
+        }
+    }
+    if args.opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn run_sweep_command(it: std::env::Args) -> ExitCode {
+    let args = match parse_sweep_args(it) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg == "usage" {
+                eprintln!("{}", SWEEP_USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("wavesim sweep: {msg}\n\n{SWEEP_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (Some(scenarios_path), Some(out_path)) = (&args.scenarios_path, &args.out_path) else {
+        eprintln!("wavesim sweep: --scenarios and --out are required\n\n{SWEEP_USAGE}");
+        return ExitCode::from(2);
+    };
+    let scenarios: Vec<Scenario> = match std::fs::read_to_string(scenarios_path)
+        .map_err(|e| format!("cannot read {scenarios_path}: {e}"))
+        .and_then(|text| json::from_str(&text).map_err(|e| format!("bad scenarios file: {}", e.0)))
+    {
+        Ok(s) => s,
+        Err(msg) => {
+            emit_error_record(&msg, &[]);
+            return ExitCode::from(3);
+        }
+    };
+    let report = match run_sweep(&scenarios, &args.opts, std::path::Path::new(out_path)) {
+        Ok(r) => r,
+        Err(e) => {
+            emit_error_record(&format!("sweep failed: {e}"), &[]);
+            return ExitCode::from(3);
+        }
+    };
+    if !args.quiet {
+        let ok = report.results.len() - report.failures();
+        println!(
+            "sweep: {} scenarios, {} ok, {} failed, {} reused from a previous run",
+            report.results.len(),
+            ok,
+            report.failures(),
+            report.reused
+        );
+        for r in report.results.iter().filter(|r| !r.is_ok()) {
+            println!(
+                "  {}: {} after {} attempt(s)",
+                r.id,
+                r.status.as_str(),
+                r.attempts
+            );
+        }
+    }
+    if report.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("sweep") {
+        let mut it = std::env::args();
+        let _ = it.next(); // argv[0]
+        let _ = it.next(); // "sweep"
+        return run_sweep_command(it);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -190,7 +324,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let wt = WaveTrace::from_config(cfg);
+    let wt = match WaveTrace::try_from_config(cfg) {
+        Ok(wt) => wt,
+        Err(diags) => {
+            emit_error_record("configuration rejected or run failed", &diags);
+            return ExitCode::from(3);
+        }
+    };
 
     if args.ascii {
         let opts = AsciiOptions {
@@ -252,4 +392,10 @@ const USAGE: &str = "usage: wavesim [--ranks N] [--steps N] [--texec-ms F] [--ms
                [--boundary open|periodic] [--distance N]
                [--inject R:S:MS]... [--noise-percent F] [--seed N]
                [--config FILE.json] [--dump-config]
-               [--ascii] [--svg FILE] [--csv FILE] [--quiet]";
+               [--ascii] [--svg FILE] [--csv FILE] [--quiet]
+       wavesim sweep --scenarios FILE --out FILE [options]  (see --help)";
+
+const SWEEP_USAGE: &str = "usage: wavesim sweep --scenarios FILE.json --out FILE.jsonl
+               [--resume] [--threads N] [--retries N]
+               [--wall-timeout-ms N] [--watchdog-factor F]
+               [--max-events N] [--quiet]";

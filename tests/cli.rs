@@ -158,3 +158,122 @@ fn help_prints_usage_and_succeeds() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }
+
+#[test]
+fn invalid_config_exits_3_with_a_json_error_record() {
+    let out = wavesim()
+        .args(["--ranks", "8", "--msg-bytes", "0", "--quiet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // One single-line machine-readable record, no panic backtrace.
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let record = idle_waves::tracefmt::json::Json::parse(stderr.trim()).expect("valid JSON");
+    let text = idle_waves::tracefmt::json::to_string(&record);
+    assert!(text.contains("\"tool\":\"wavesim\""), "{text}");
+    assert!(text.contains("SC004"), "{text}");
+}
+
+#[test]
+fn sweep_subcommand_runs_resumes_and_reports() {
+    let dir = tmpdir("sweep");
+    let scenarios_path = dir.join("scenarios.json");
+    let out_path = dir.join("results.jsonl");
+
+    // Build two scenarios around a dumped config: one sound, one chaos
+    // panic. Hand-assembling the JSON keeps this test independent of the
+    // library's serializer.
+    let dump = wavesim()
+        .args([
+            "--ranks",
+            "6",
+            "--steps",
+            "4",
+            "--texec-ms",
+            "1",
+            "--dump-config",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(dump.status.success());
+    let cfg = String::from_utf8_lossy(&dump.stdout);
+    let scenarios = format!(
+        "[{{\"id\":\"good\",\"config\":{cfg}}},\
+          {{\"id\":\"boom\",\"config\":{cfg},\"chaos\":\"Panic\"}}]"
+    );
+    std::fs::write(&scenarios_path, scenarios).expect("write scenarios");
+
+    let run = wavesim()
+        .args([
+            "sweep",
+            "--scenarios",
+            scenarios_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    // The panicking scenario fails, the sweep itself still completes.
+    assert_eq!(run.status.code(), Some(1), "{run:?}");
+    let stdout = String::from_utf8_lossy(&run.stdout);
+    assert!(stdout.contains("2 scenarios, 1 ok, 1 failed"), "{stdout}");
+    let results = std::fs::read_to_string(&out_path).expect("results written");
+    assert_eq!(results.lines().count(), 2);
+    assert!(results.contains("\"id\":\"good\""));
+    assert!(results.contains("\"status\":\"panic\""));
+
+    // Resume: both records exist, nothing re-runs, same exit code.
+    let resume = wavesim()
+        .args([
+            "sweep",
+            "--scenarios",
+            scenarios_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(resume.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&resume.stdout).contains("2 reused"),
+        "{resume:?}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&out_path)
+            .expect("results readable")
+            .lines()
+            .count(),
+        2,
+        "resume must not duplicate records"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn sweep_with_a_missing_scenarios_file_exits_3() {
+    let out = wavesim()
+        .args([
+            "sweep",
+            "--scenarios",
+            "/nonexistent.json",
+            "--out",
+            "/tmp/x.jsonl",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"tool\":\"wavesim\""), "{stderr}");
+}
+
+#[test]
+fn sweep_usage_errors_exit_2() {
+    let out = wavesim()
+        .args(["sweep", "--scenarios", "x.json"]) // missing --out
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
