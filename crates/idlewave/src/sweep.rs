@@ -15,21 +15,33 @@
 //! * every finished scenario is persisted immediately as one JSON line
 //!   (append + flush), so a crash of the sweep process itself loses at
 //!   most the scenarios still in flight; [`SweepOptions::resume`] reloads
-//!   the file and re-runs only scenarios without a persisted record.
+//!   the file and re-runs only scenarios without a persisted record;
+//! * with a [`SweepOptions::checkpoint_dir`], in-flight scenarios write
+//!   periodic [`mpisim::Snapshot`]s (atomic temp-file + rename), so a
+//!   resumed sweep continues a killed scenario *mid-run* instead of from
+//!   scratch — bit-identically, per the snapshot contract. Snapshots are
+//!   garbage-collected once their scenario has a terminal record.
+//!
+//! The output file starts with a header line recording each scenario's
+//! config fingerprint; `--resume` against a file produced by different
+//! configs is rejected instead of silently mixing results.
 //!
 //! Scenario outcomes are values ([`ScenarioStatus`]), never panics; the
 //! sweep completes end-to-end regardless of what individual scenarios do.
 
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
-use mpisim::{nominal_step_duration, Engine, RunLimits, RunStats, SimConfig, SimError};
+use mpisim::{
+    config_fingerprint, nominal_step_duration, CheckpointPolicy, Engine, RunLimits, RunStats,
+    SimConfig, SimError, Snapshot,
+};
 use simdes::{SimDuration, SimTime};
 use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
-use tracefmt::Trace;
+use tracefmt::{fnv1a_64, Trace};
 
 /// Chaos knobs for exercising the supervisor itself: deliberate failure
 /// modes injected at the *harness* level (the fault plan inside
@@ -76,7 +88,7 @@ impl Scenario {
 }
 
 /// Supervisor policy for one sweep.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepOptions {
     /// Worker threads (supervision slots). Results do not depend on this.
     pub threads: usize,
@@ -96,7 +108,16 @@ pub struct SweepOptions {
     pub max_events: Option<u64>,
     /// Reload the output file and skip scenarios that already have a
     /// persisted record (finished = any terminal status, success or not).
+    /// With a [`SweepOptions::checkpoint_dir`], unfinished scenarios with
+    /// a valid snapshot additionally resume mid-run from it.
     pub resume: bool,
+    /// Directory for mid-scenario [`mpisim::Snapshot`] files (created if
+    /// missing). `None` disables checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence forwarded to
+    /// [`mpisim::Engine::try_run_checkpointed`]. Ignored without a
+    /// [`SweepOptions::checkpoint_dir`].
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for SweepOptions {
@@ -108,6 +129,8 @@ impl Default for SweepOptions {
             watchdog_factor: 64.0,
             max_events: None,
             resume: false,
+            checkpoint_dir: None,
+            checkpoint: CheckpointPolicy::none(),
         }
     }
 }
@@ -209,6 +232,10 @@ pub struct ScenarioResult {
     pub error: Option<String>,
     /// Run numbers for [`ScenarioStatus::Ok`] outcomes.
     pub summary: Option<RunSummary>,
+    /// [`mpisim::config_fingerprint`] of the scenario's config at run
+    /// time, used by `--resume` to reject mixed-config sweep files.
+    /// `None` only on records persisted by pre-header versions.
+    pub config_fingerprint: Option<u64>,
 }
 
 impl ScenarioResult {
@@ -226,6 +253,9 @@ pub struct SweepReport {
     /// How many records were reloaded from a previous run (`--resume`)
     /// instead of executed.
     pub reused: usize,
+    /// Rendered pre-run warnings (e.g. `SC017`: a checkpoint cadence the
+    /// sim-time watchdog makes unreachable), one per affected scenario.
+    pub warnings: Vec<String>,
 }
 
 impl SweepReport {
@@ -274,8 +304,13 @@ pub fn run_sweep(
             ));
         }
     }
+    let fingerprints: Vec<u64> = scenarios
+        .iter()
+        .map(|s| config_fingerprint(&s.config))
+        .collect();
 
     let previous = if opts.resume {
+        validate_resume_configs(scenarios, &fingerprints, out_path)?;
         load_results(out_path)?
     } else {
         Vec::new()
@@ -287,16 +322,40 @@ pub fn run_sweep(
         .create(true)
         .append(true)
         .open(out_path)?;
-    // A crash mid-write can leave a torn final line with no newline;
-    // terminate it so the next appended record starts on a fresh line.
-    if std::fs::metadata(out_path)?.len() > 0 {
-        let text = std::fs::read_to_string(out_path)?;
-        if !text.ends_with('\n') {
+    if std::fs::metadata(out_path)?.len() == 0 {
+        // Fresh file: lead with the header line recording every scenario's
+        // config fingerprint, so a later --resume can detect mixed configs.
+        let header = header_json(scenarios, &fingerprints);
+        file.write_all(json::to_string(&header).as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+    } else {
+        // A crash mid-write can leave a torn final line with no newline;
+        // terminate it so the next appended record starts on a fresh line.
+        // Byte-level check: the torn line may end mid-UTF-8-codepoint, so
+        // the file is not necessarily valid UTF-8 here.
+        let bytes = std::fs::read(out_path)?;
+        if bytes.last() != Some(&b'\n') {
             file.write_all(b"\n")?;
             file.flush()?;
         }
     }
     let sink = Mutex::new(file);
+
+    let ckpt_dir = opts.checkpoint_dir.as_deref();
+    if let Some(dir) = ckpt_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut warnings = Vec::new();
+    if ckpt_dir.is_some() {
+        if let Some(interval) = opts.checkpoint.every_sim_time {
+            for s in scenarios {
+                for d in simcheck::checkpoint_checks(interval, sim_budget(s, opts)) {
+                    warnings.push(format!("scenario '{}': {d}", s.id));
+                }
+            }
+        }
+    }
 
     let todo: Vec<(usize, &Scenario)> = scenarios
         .iter()
@@ -318,7 +377,12 @@ pub fn run_sweep(
                 let job = queue.lock().expect("queue poisoned").pop();
                 match job {
                     Some((idx, scenario)) => {
-                        let result = supervise(scenario, opts);
+                        let ckpt = ckpt_dir.map(|dir| CkptPlan {
+                            path: snapshot_path(dir, &scenario.id),
+                            policy: opts.checkpoint,
+                            resume: opts.resume,
+                        });
+                        let result = supervise(scenario, opts, ckpt.as_ref());
                         let persisted = persist(sink, &result).map(|()| result);
                         tx.send((idx, persisted)).expect("report receiver gone");
                     }
@@ -342,25 +406,153 @@ pub fn run_sweep(
             slots[idx] = Some((*prior).clone());
         }
     }
+    if let Some(dir) = ckpt_dir {
+        // Every scenario now has a terminal record (fresh or reloaded), so
+        // its snapshot can never be resumed again: collect them all,
+        // including orphans left behind by records reloaded from previous
+        // runs. Best-effort — a surviving file only wastes disk.
+        for s in scenarios {
+            let _ = std::fs::remove_file(snapshot_path(dir, &s.id));
+        }
+    }
     Ok(SweepReport {
         results: slots
             .into_iter()
             .map(|s| s.expect("every slot filled"))
             .collect(),
         reused,
+        warnings,
     })
+}
+
+/// Mid-scenario checkpointing instructions for one scenario's attempts.
+#[derive(Debug, Clone)]
+struct CkptPlan {
+    path: PathBuf,
+    policy: CheckpointPolicy,
+    resume: bool,
+}
+
+/// The snapshot file for a scenario id: the id sanitised for the
+/// filesystem, plus an FNV tag of the raw id so distinct ids that
+/// sanitise identically ("a/b" vs "a_b") cannot share a file.
+fn snapshot_path(dir: &Path, id: &str) -> PathBuf {
+    let sanitized: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    dir.join(format!(
+        "{sanitized}-{:08x}.ckpt",
+        fnv1a_64(id.as_bytes()) as u32
+    ))
+}
+
+/// Version tag of the sweep-file header line.
+const SWEEP_FORMAT: u64 = 1;
+
+fn header_json(scenarios: &[Scenario], fingerprints: &[u64]) -> Json {
+    Json::obj(vec![
+        ("sweep_format", SWEEP_FORMAT.to_json()),
+        ("tool", Json::Str("wavesim-sweep".to_string())),
+        (
+            "configs",
+            Json::Object(
+                scenarios
+                    .iter()
+                    .zip(fingerprints)
+                    .map(|(s, &fp)| (s.id.clone(), fp.to_json()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Read the header line's id → config-fingerprint map, if the file exists
+/// and starts with a header (files from pre-header versions return
+/// `None` and are accepted as-is).
+fn load_header(path: &Path) -> io::Result<Option<Vec<(String, u64)>>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let first = bytes.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    let Ok(text) = std::str::from_utf8(first) else {
+        return Ok(None);
+    };
+    let Ok(v) = Json::parse(text) else {
+        return Ok(None);
+    };
+    if v.get("sweep_format").is_none() {
+        return Ok(None);
+    }
+    let Some(configs) = v.get("configs").and_then(|c| c.as_object()) else {
+        return Ok(None);
+    };
+    Ok(Some(
+        configs
+            .iter()
+            .filter_map(|(id, fp)| fp.as_u64().map(|f| (id.clone(), f)))
+            .collect(),
+    ))
+}
+
+/// Reject a `--resume` whose scenarios carry different configs than the
+/// ones recorded in the existing file (header line and per-record
+/// fingerprints). Scenarios the file has never seen are fine — resuming
+/// with a superset is supported.
+fn validate_resume_configs(
+    scenarios: &[Scenario],
+    fingerprints: &[u64],
+    out_path: &Path,
+) -> io::Result<()> {
+    let header = load_header(out_path)?;
+    let previous = load_results(out_path)?;
+    for (s, &fp) in scenarios.iter().zip(fingerprints) {
+        let recorded = header
+            .as_ref()
+            .and_then(|h| h.iter().find(|(id, _)| *id == s.id).map(|&(_, f)| f))
+            .or_else(|| {
+                previous
+                    .iter()
+                    .find(|r| r.id == s.id)
+                    .and_then(|r| r.config_fingerprint)
+            });
+        if let Some(old) = recorded {
+            if old != fp {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "resume config mismatch for scenario '{}': the existing \
+                         sweep file was produced with config fingerprint \
+                         {old:#018x}, this invocation's config has {fp:#018x}; \
+                         rerun against a fresh output file instead of mixing \
+                         results",
+                        s.id
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Supervise one scenario: bounded attempts, each in an isolated worker
 /// with panic capture and the wall-clock backstop.
-fn supervise(scenario: &Scenario, opts: &SweepOptions) -> ScenarioResult {
+fn supervise(scenario: &Scenario, opts: &SweepOptions, ckpt: Option<&CkptPlan>) -> ScenarioResult {
     let limits = RunLimits {
         max_sim_time: Some(sim_budget(scenario, opts)),
         max_events: opts.max_events,
     };
     let mut attempts = 0u32;
     loop {
-        let outcome = run_attempt(scenario, attempts, &limits, opts.wall_timeout);
+        let outcome = run_attempt(scenario, attempts, &limits, opts.wall_timeout, ckpt);
         attempts += 1;
         let (status, error, summary) = match outcome {
             Some(Attempt::Ok(summary)) => (ScenarioStatus::Ok, None, Some(*summary)),
@@ -394,6 +586,7 @@ fn supervise(scenario: &Scenario, opts: &SweepOptions) -> ScenarioResult {
             attempts,
             error,
             summary,
+            config_fingerprint: Some(config_fingerprint(&scenario.config)),
         };
     }
 }
@@ -405,14 +598,16 @@ fn run_attempt(
     attempt: u32,
     limits: &RunLimits,
     wall_timeout: Duration,
+    ckpt: Option<&CkptPlan>,
 ) -> Option<Attempt> {
     let cfg = scenario.config.clone();
     let chaos = scenario.chaos;
     let limits = *limits;
+    let ckpt = ckpt.cloned();
     let (tx, rx) = mpsc::channel::<Attempt>();
     std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            attempt_body(cfg, chaos, attempt, &limits)
+            attempt_body(cfg, chaos, attempt, &limits, ckpt.as_ref())
         }))
         .unwrap_or_else(|payload| Attempt::Panicked(panic_text(payload.as_ref())));
         // The receiver is gone iff the backstop already fired.
@@ -422,7 +617,13 @@ fn run_attempt(
 }
 
 /// The actual work of one attempt, run inside the isolated worker.
-fn attempt_body(cfg: SimConfig, chaos: Chaos, attempt: u32, limits: &RunLimits) -> Attempt {
+fn attempt_body(
+    cfg: SimConfig,
+    chaos: Chaos,
+    attempt: u32,
+    limits: &RunLimits,
+    ckpt: Option<&CkptPlan>,
+) -> Attempt {
     match chaos {
         Chaos::Panic => panic!("chaos: deliberate panic"),
         Chaos::FailAttempts(n) if attempt < n => {
@@ -438,16 +639,60 @@ fn attempt_body(cfg: SimConfig, chaos: Chaos, attempt: u32, limits: &RunLimits) 
         let errors: Vec<_> = diags.into_iter().filter(|d| d.is_error()).collect();
         return Attempt::Invalid(simcheck::render_report(&errors));
     }
-    let engine = match Engine::try_new(cfg) {
+    let engine = match restore_or_new(cfg, ckpt) {
         Ok(e) => e,
         Err(e) => return Attempt::Invalid(e.to_string()),
     };
-    match engine.try_run_with_stats(limits) {
+    let run = match ckpt {
+        Some(plan) if plan.policy.is_active() => {
+            let path = plan.path.clone();
+            let policy = plan.policy;
+            engine.try_run_checkpointed(limits, &policy, move |snap| {
+                // Best-effort: a full disk must not kill a healthy run.
+                let _ = write_snapshot_atomic(&path, snap);
+            })
+        }
+        _ => engine.try_run_with_stats(limits),
+    };
+    match run {
         Ok((trace, stats)) => Attempt::Ok(Box::new(RunSummary::from_run(&trace, &stats))),
         Err(e @ SimError::Stalled { .. }) => Attempt::Stalled(e.to_string()),
         Err(e @ SimError::Watchdog { .. }) => Attempt::Watchdog(e.to_string()),
-        Err(e @ SimError::InvalidConfig(_)) => Attempt::Invalid(e.to_string()),
+        Err(e @ (SimError::InvalidConfig(_) | SimError::Snapshot(_))) => {
+            Attempt::Invalid(e.to_string())
+        }
     }
+}
+
+/// Resume from the scenario's snapshot when one exists and is acceptable;
+/// otherwise build a fresh engine. Every rejection — torn file (`RT004`),
+/// foreign version (`RT003`), different config (`RT005`) — falls back to
+/// a from-scratch run: a snapshot is an optimisation, never a
+/// correctness requirement, and the trace fingerprint is identical either
+/// way.
+fn restore_or_new(cfg: SimConfig, ckpt: Option<&CkptPlan>) -> Result<Engine, SimError> {
+    if let Some(plan) = ckpt {
+        if plan.resume {
+            if let Ok(bytes) = std::fs::read(&plan.path) {
+                if let Ok(snap) = Snapshot::decode(&bytes) {
+                    if let Ok(engine) = Engine::restore(cfg.clone(), &snap) {
+                        return Ok(engine);
+                    }
+                }
+            }
+        }
+    }
+    Engine::try_new(cfg)
+}
+
+/// Write a snapshot atomically: encode to `<path with .tmp>`, fsync-free
+/// `rename` into place. Readers therefore only ever see a complete file;
+/// a crash mid-write leaves at worst a stale `.tmp` next to the previous
+/// complete snapshot.
+fn write_snapshot_atomic(path: &Path, snap: &Snapshot) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, snap.encode())?;
+    std::fs::rename(&tmp, path)
 }
 
 /// The deterministic sim-time budget for a scenario: its explicit
@@ -497,17 +742,21 @@ fn persist(sink: &Mutex<std::fs::File>, result: &ScenarioResult) -> io::Result<(
     file.flush()
 }
 
-/// Reload persisted records. Unparseable lines — e.g. a torn final line
-/// after a crash mid-write — are skipped, not fatal: their scenarios
-/// simply re-run.
+/// Reload persisted records. Unparseable lines are skipped, not fatal:
+/// their scenarios simply re-run. That covers the header line (not a
+/// record), a torn final line after a crash mid-write, and — because the
+/// file is read as bytes and each line checked for UTF-8 individually — a
+/// final line truncated *mid-UTF-8-codepoint*, which would make the whole
+/// file unreadable via `read_to_string`.
 pub fn load_results(path: &Path) -> io::Result<Vec<ScenarioResult>> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(e) => return Err(e),
     };
-    Ok(text
-        .lines()
+    Ok(bytes
+        .split(|&b| b == b'\n')
+        .filter_map(|line| std::str::from_utf8(line).ok())
         .filter_map(|line| json::from_str::<ScenarioResult>(line).ok())
         .collect())
 }
@@ -609,6 +858,7 @@ impl ToJson for ScenarioResult {
             ("attempts", self.attempts.to_json()),
             ("error", self.error.to_json()),
             ("summary", self.summary.to_json()),
+            ("config_fingerprint", self.config_fingerprint.to_json()),
         ])
     }
 }
@@ -621,6 +871,7 @@ impl FromJson for ScenarioResult {
             attempts: u32::from_json(v.field("attempts")?)?,
             error: field_or_default(v, "error")?,
             summary: field_or_default(v, "summary")?,
+            config_fingerprint: field_or_default(v, "config_fingerprint")?,
         })
     }
 }
@@ -858,6 +1109,158 @@ mod tests {
     }
 
     #[test]
+    fn oversized_checkpoint_interval_warns_sc017() {
+        let out = tmp("sc017.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let dir = tmp("sc017_snaps");
+        // 1 ms sim-time watchdog, 100 ms checkpoint cadence: the first
+        // snapshot can never fire.
+        let scenarios = vec![Scenario {
+            id: "unprotected".into(),
+            config: quick_cfg(1),
+            chaos: Chaos::None,
+            max_sim_time: Some(SimTime(1_000_000)),
+        }];
+        let o = SweepOptions {
+            checkpoint_dir: Some(dir),
+            checkpoint: CheckpointPolicy {
+                every_sim_time: Some(SimDuration::from_millis(100)),
+                every_events: None,
+            },
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert!(
+            report.warnings[0].contains("SC017"),
+            "{:?}",
+            report.warnings
+        );
+        assert!(
+            report.warnings[0].contains("'unprotected'"),
+            "{:?}",
+            report.warnings
+        );
+        // An event-count cadence has no sim-time hazard: no warning.
+        let o = SweepOptions {
+            checkpoint: CheckpointPolicy {
+                every_sim_time: None,
+                every_events: Some(1_000),
+            },
+            ..o
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn resume_with_changed_config_is_rejected() {
+        let out = tmp("resume_mismatch.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios = vec![Scenario::new("s", quick_cfg(1))];
+        run_sweep(&scenarios, &opts(), &out).expect("sweep io");
+        // Same id, different seed: the recorded fingerprint no longer
+        // matches, so blindly reusing the old record would mix results
+        // from two different experiments.
+        let changed = vec![Scenario::new("s", quick_cfg(2))];
+        let err = run_sweep(
+            &changed,
+            &SweepOptions {
+                resume: true,
+                ..opts()
+            },
+            &out,
+        )
+        .expect_err("config changed under resume");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("config fingerprint"), "{err}");
+        assert!(err.to_string().contains("'s'"), "{err}");
+    }
+
+    #[test]
+    fn resume_tolerates_a_line_torn_mid_codepoint() {
+        let out = tmp("resume_torn_utf8.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios: Vec<Scenario> = (0..2)
+            .map(|i| Scenario::new(format!("u{i}"), quick_cfg(i)))
+            .collect();
+        let first = run_sweep(&scenarios[..1], &opts(), &out).expect("sweep io");
+        assert!(first.all_ok());
+        // A crash mid-write can cut a record anywhere — including inside a
+        // multi-byte UTF-8 sequence. 0xE2 0x82 is a truncated '€'.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&out)
+                .expect("open");
+            f.write_all(b"{\"id\":\"u1\",\"error\":\"\xe2\x82")
+                .expect("torn write");
+        }
+        let resumed = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                resume: true,
+                ..opts()
+            },
+            &out,
+        )
+        .expect("resume must survive invalid UTF-8 in the torn tail");
+        assert_eq!(resumed.reused, 1);
+        assert!(resumed.all_ok());
+        assert_eq!(load_results(&out).expect("readable").len(), 2);
+    }
+
+    #[test]
+    fn mid_scenario_snapshot_resume_matches_uninterrupted_run() {
+        let dir = tmp("ckpt_resume_snaps");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = tmp("ckpt_resume.jsonl");
+        let ctrl = tmp("ckpt_resume_ctrl.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(&ctrl);
+        let mut cfg = quick_cfg(21);
+        cfg.protocol = mpisim::Protocol::Rendezvous;
+        let scenarios = vec![Scenario::new("mid", cfg.clone())];
+        // Uninterrupted control run.
+        let control = run_sweep(&scenarios, &opts(), &ctrl).expect("sweep io");
+        let want = control.results[0].summary.expect("ok").trace_fingerprint;
+        // Pre-seed the checkpoint dir with a mid-run snapshot, as if a
+        // previous sweep was killed after writing it.
+        let policy = CheckpointPolicy {
+            every_sim_time: None,
+            every_events: Some(25),
+        };
+        let mut first: Option<Snapshot> = None;
+        Engine::try_new(cfg)
+            .expect("valid config")
+            .try_run_checkpointed(&RunLimits::none(), &policy, |s| {
+                if first.is_none() {
+                    first = Some(s.clone());
+                }
+            })
+            .expect("run completes");
+        std::fs::create_dir_all(&dir).expect("snapshot dir");
+        let path = snapshot_path(&dir, "mid");
+        write_snapshot_atomic(&path, &first.expect("snapshot captured")).expect("seed snapshot");
+        let o = SweepOptions {
+            resume: true,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint: policy,
+            ..opts()
+        };
+        let resumed = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert!(resumed.all_ok());
+        assert_eq!(
+            resumed.results[0].summary.expect("ok").trace_fingerprint,
+            want,
+            "resuming from a mid-run snapshot changed the trace"
+        );
+        // The snapshot is garbage once its scenario has a durable record.
+        assert!(!path.exists(), "snapshot survived sweep completion");
+    }
+
+    #[test]
     fn scenario_and_result_json_round_trip() {
         let s = Scenario {
             id: "rt".into(),
@@ -873,6 +1276,7 @@ mod tests {
             attempts: 3,
             error: Some("slow".into()),
             summary: None,
+            config_fingerprint: Some(0xdead_beef),
         };
         let back: ScenarioResult = json::from_str(&json::to_string(&r)).expect("result");
         assert_eq!(r, back);

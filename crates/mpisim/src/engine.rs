@@ -52,10 +52,11 @@ use crate::config::{Mode, NoisePlacement, SimConfig};
 use crate::diag;
 use crate::error::{RunLimits, SimError};
 use crate::faults::{CrashOutcome, Delivery};
+use crate::snapshot::{CheckpointPolicy, Snapshot};
 
 /// Events of the message-passing simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
+pub(crate) enum Ev {
     /// A rank's execution phase ends (work + injected delay + noise done).
     ExecEnd { rank: u32, epoch: u64 },
     /// A memory-bound rank's injected delay ended; it starts contending
@@ -83,7 +84,7 @@ enum Ev {
 
 /// Lifecycle of one posted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ReqState {
+pub(crate) enum ReqState {
     /// Rendezvous recv without RTS, eager recv without data, rendezvous
     /// send without CTS: waiting on an external event.
     Unmatched,
@@ -97,15 +98,15 @@ enum ReqState {
 }
 
 #[derive(Debug, Clone, Copy)]
-struct Request {
-    peer: u32,
-    is_send: bool,
-    mode: Mode,
-    state: ReqState,
+pub(crate) struct Request {
+    pub(crate) peer: u32,
+    pub(crate) is_send: bool,
+    pub(crate) mode: Mode,
+    pub(crate) state: ReqState,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     Computing,
     Waiting,
     Done,
@@ -114,21 +115,22 @@ enum Phase {
     Crashed,
 }
 
-struct RankState {
-    phase: Phase,
-    step: u32,
-    reqs: Vec<Request>,
-    exec_start: SimTime,
-    exec_end: SimTime,
-    injected: SimDuration,
-    noise_amt: SimDuration,
-    epoch: u64,
+#[derive(Debug, Clone)]
+pub(crate) struct RankState {
+    pub(crate) phase: Phase,
+    pub(crate) step: u32,
+    pub(crate) reqs: Vec<Request>,
+    pub(crate) exec_start: SimTime,
+    pub(crate) exec_end: SimTime,
+    pub(crate) injected: SimDuration,
+    pub(crate) noise_amt: SimDuration,
+    pub(crate) epoch: u64,
     /// Memory-bound: bytes of phase traffic still to move.
-    remaining_bytes: f64,
+    pub(crate) remaining_bytes: f64,
     /// Memory-bound: last time `remaining_bytes` was integrated.
-    last_update: SimTime,
-    rng: SimRng,
-    comm_rng: SimRng,
+    pub(crate) last_update: SimTime,
+    pub(crate) rng: SimRng,
+    pub(crate) comm_rng: SimRng,
 }
 
 /// Resource statistics of a completed simulation.
@@ -156,34 +158,38 @@ pub struct RunStats {
 /// The simulation engine. Build with [`Engine::new`], run with
 /// [`Engine::run`] (or use the [`crate::run`] convenience function).
 pub struct Engine {
-    cfg: SimConfig,
-    q: EventQueue<Ev>,
-    ranks: Vec<RankState>,
+    pub(crate) cfg: SimConfig,
+    pub(crate) q: EventQueue<Ev>,
+    pub(crate) ranks: Vec<RankState>,
     /// RTS that arrived before the matching recv was posted.
-    early_rts: HashSet<(u32, u32, u32)>, // simlint: allow(hash-collections)
+    pub(crate) early_rts: HashSet<(u32, u32, u32)>, // simlint: allow(hash-collections)
     /// Eager payloads that arrived before the matching recv was posted.
-    early_eager: HashSet<(u32, u32, u32)>, // simlint: allow(hash-collections)
+    pub(crate) early_eager: HashSet<(u32, u32, u32)>, // simlint: allow(hash-collections)
     /// Unconsumed eager bytes per (src, dst), for the finite-buffer
     /// fallback.
-    outstanding_eager: HashMap<(u32, u32), u64>, // simlint: allow(hash-collections)
+    pub(crate) outstanding_eager: HashMap<(u32, u32), u64>, // simlint: allow(hash-collections)
     /// Ranks currently in the shared-bandwidth work segment, per socket.
-    socket_members: Vec<BTreeSet<u32>>,
-    records: Vec<PhaseRecord>,
-    done_count: u32,
-    base_mode: Mode,
+    pub(crate) socket_members: Vec<BTreeSet<u32>>,
+    pub(crate) records: Vec<PhaseRecord>,
+    pub(crate) done_count: u32,
+    pub(crate) base_mode: Mode,
     /// Per-rank time at which the rank's injection port is free again
     /// (only consulted when `cfg.serialize_sends` is on).
-    nic_free: Vec<SimTime>,
-    stats: RunStats,
+    pub(crate) nic_free: Vec<SimTime>,
+    pub(crate) stats: RunStats,
     /// Stream factory, kept for lazily created fault streams.
-    seeds: SeedFactory,
+    pub(crate) seeds: SeedFactory,
     /// One RNG stream per directed link that has carried a faulted
     /// transfer; keyed lookup only, never iterated.
-    fault_rngs: HashMap<(u32, u32), SimRng>, // simlint: allow(hash-collections)
+    pub(crate) fault_rngs: HashMap<(u32, u32), SimRng>, // simlint: allow(hash-collections)
     /// Ranks taken down by a fail-stop crash.
-    crashed: Vec<u32>,
+    pub(crate) crashed: Vec<u32>,
     /// Human-readable log of transfers lost after the retry budget.
-    lost: Vec<String>,
+    pub(crate) lost: Vec<String>,
+    /// Whether the initial `start_exec` round has run. A fresh engine has
+    /// not started; a restored one resumes mid-run and must not re-seed
+    /// the queue with step-0 executions.
+    pub(crate) started: bool,
 }
 
 impl Engine {
@@ -241,6 +247,7 @@ impl Engine {
             fault_rngs: HashMap::new(), // simlint: allow(hash-collections)
             crashed: Vec::new(),
             lost: Vec::new(),
+            started: false,
             cfg,
         })
     }
@@ -285,11 +292,41 @@ impl Engine {
     /// budgets. On success the trace covers every `(rank, step)` cell; on
     /// failure the error describes which scenario pathology ended the run
     /// (stall/starvation vs exceeded budget).
-    pub fn try_run_with_stats(mut self, limits: &RunLimits) -> Result<(Trace, RunStats), SimError> {
+    pub fn try_run_with_stats(self, limits: &RunLimits) -> Result<(Trace, RunStats), SimError> {
+        self.try_run_checkpointed(limits, &CheckpointPolicy::none(), |_| {})
+    }
+
+    /// [`Engine::try_run_with_stats`] with periodic checkpointing: whenever
+    /// the `policy` cadence comes due, a [`Snapshot`] of the paused engine
+    /// is captured and handed to `sink`. Snapshots are cut between event
+    /// deliveries, so resuming one replays the remaining schedule exactly —
+    /// the restored run's trace fingerprint is bit-identical to this run's.
+    ///
+    /// `sink` is infallible by design: checkpointing is best-effort and a
+    /// failed write must never abort a healthy simulation. Callers that do
+    /// I/O (the sweep runner) handle and log their own errors.
+    pub fn try_run_checkpointed<F>(
+        mut self,
+        limits: &RunLimits,
+        policy: &CheckpointPolicy,
+        mut sink: F,
+    ) -> Result<(Trace, RunStats), SimError>
+    where
+        F: FnMut(&Snapshot),
+    {
         let nranks = self.cfg.ranks();
-        for r in 0..nranks {
-            self.start_exec(r, SimTime::ZERO);
+        if !self.started {
+            self.started = true;
+            for r in 0..nranks {
+                self.start_exec(r, SimTime::ZERO);
+            }
         }
+        // Checkpoint cadence is measured from where *this* run started, so
+        // a restored engine checkpoints relative to its resume point. The
+        // counters are deliberately not part of the snapshot: checkpoint
+        // timing never feeds back into simulation state.
+        let mut last_ckpt_events = self.q.delivered();
+        let mut next_ckpt_time = policy.every_sim_time.map(|dt| self.q.now() + dt);
         while let Some((now, ev)) = self.q.pop() {
             self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
             if let Some(budget) = limits.max_sim_time {
@@ -311,6 +348,21 @@ impl Engine {
                 }
             }
             self.dispatch(now, ev);
+            let events_due = policy
+                .every_events
+                .is_some_and(|n| self.q.delivered() - last_ckpt_events >= n);
+            let time_due = next_ckpt_time.is_some_and(|t| now >= t);
+            if events_due || time_due {
+                last_ckpt_events = self.q.delivered();
+                if let (Some(dt), Some(t)) = (policy.every_sim_time, next_ckpt_time) {
+                    let mut next = t;
+                    while now >= next {
+                        next = next + dt;
+                    }
+                    next_ckpt_time = Some(next);
+                }
+                sink(&self.checkpoint());
+            }
         }
         self.stats.events = self.q.delivered();
         if self.done_count != nranks {

@@ -42,6 +42,13 @@ pub enum SimError {
         /// Which budget tripped, e.g. `"sim time budget 12ms exceeded"`.
         why: String,
     },
+    /// A checkpoint snapshot was rejected at decode or restore time:
+    /// unsupported version (`RT003`), torn/corrupt payload (`RT004`), or a
+    /// snapshot taken under a different configuration (`RT005`).
+    Snapshot(
+        /// The rejecting diagnostic, carrying the RT code and detail.
+        Diagnostic,
+    ),
 }
 
 impl SimError {
@@ -67,6 +74,7 @@ impl SimError {
                 format!("t = {at}, {events} events"),
                 why,
             )],
+            SimError::Snapshot(diag) => vec![diag],
         }
     }
 }
@@ -91,6 +99,7 @@ impl fmt::Display for SimError {
                     "watchdog tripped at t = {at} after {events} events: {why}"
                 )
             }
+            SimError::Snapshot(diag) => write!(f, "snapshot rejected: {diag}"),
         }
     }
 }

@@ -23,6 +23,7 @@ mod error;
 pub mod faults;
 mod nominal;
 pub mod reference;
+mod snapshot;
 
 pub use config::{Mode, NoisePlacement, Protocol, SimConfig};
 pub use diag::{Diagnostic, Severity};
@@ -35,3 +36,4 @@ pub use nominal::{
     nominal_comm_duration, nominal_exec_duration, nominal_message_time, nominal_step_duration,
 };
 pub use reference::reference_trace;
+pub use snapshot::{config_fingerprint, CheckpointPolicy, Snapshot, SNAPSHOT_VERSION};

@@ -1,6 +1,8 @@
-//! Protocol-eligibility and boundary checks (SC003, SC006, SC007).
+//! Protocol-eligibility and boundary checks (SC003, SC006, SC007) and the
+//! checkpoint-cadence feasibility check (SC017).
 
 use mpisim::{Diagnostic, Mode, Protocol, SimConfig};
+use simdes::{SimDuration, SimTime};
 use workload::Boundary;
 
 /// The message mode the engine will actually use for every send: the
@@ -64,6 +66,29 @@ pub(crate) fn protocol_checks(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// SC017: a time-based checkpoint cadence that lies beyond the
+/// deterministic sim-time watchdog budget can never fire — the watchdog
+/// aborts the run first, so the scenario silently gets no crash
+/// protection. The sweep runner calls this per scenario with its derived
+/// [`mpisim::RunLimits`] budget; the `wavesim` CLI surfaces the warnings.
+pub fn checkpoint_checks(interval: SimDuration, watchdog_budget: SimTime) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if interval.nanos() > watchdog_budget.0 {
+        out.push(Diagnostic::warning(
+            "SC017",
+            "checkpoint_every",
+            interval,
+            format!(
+                "checkpoint interval exceeds the sim-time watchdog budget \
+                 (t = {watchdog_budget}): the watchdog aborts the run before \
+                 the first checkpoint ever fires, so the scenario runs \
+                 without crash protection"
+            ),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,5 +145,22 @@ mod tests {
         let note = out.iter().find(|d| d.code == "SC003").expect("SC003 note");
         assert_eq!(note.severity, mpisim::Severity::Note);
         assert!(note.message.contains("die at the chain ends"));
+    }
+
+    #[test]
+    fn checkpoint_interval_past_the_watchdog_warns_sc017() {
+        let out = checkpoint_checks(SimDuration::from_millis(100), SimTime(1_000_000));
+        let w = out.iter().find(|d| d.code == "SC017").expect("SC017");
+        assert_eq!(w.severity, mpisim::Severity::Warning);
+        assert!(w.message.contains("watchdog"), "{w}");
+    }
+
+    #[test]
+    fn checkpoint_interval_inside_the_watchdog_is_silent() {
+        assert!(checkpoint_checks(SimDuration::from_micros(10), SimTime(1_000_000)).is_empty());
+        // Equal to the budget still fires once the clock *reaches* it.
+        assert!(
+            checkpoint_checks(SimDuration::from_nanos(1_000_000), SimTime(1_000_000)).is_empty()
+        );
     }
 }

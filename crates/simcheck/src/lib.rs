@@ -34,6 +34,7 @@ mod speed;
 
 use mpisim::SimConfig;
 
+pub use checks::checkpoint_checks;
 pub use mpisim::diag::{has_errors, render_report};
 pub use mpisim::{Diagnostic, Severity};
 

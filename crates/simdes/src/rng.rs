@@ -60,6 +60,28 @@ impl SimRng {
         }
     }
 
+    /// The raw xoshiro256++ state words, for checkpointing. Together with
+    /// [`SimRng::from_state`] this captures and restores the exact stream
+    /// position: a restored generator continues the identical sequence.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from state words captured with
+    /// [`SimRng::state`]. The all-zero state is degenerate for xoshiro
+    /// (the stream is stuck at zero) and is rejected.
+    ///
+    /// # Panics
+    /// Panics on the all-zero state, which [`SimRng::seed_from_u64`] can
+    /// never produce — seeing it means the snapshot is corrupt.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "all-zero xoshiro state: corrupt snapshot"
+        );
+        SimRng { s }
+    }
+
     /// The next uniformly distributed 64-bit word.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -261,6 +283,24 @@ mod tests {
     #[test]
     fn master_accessor() {
         assert_eq!(SeedFactory::new(7).master(), 7);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = SimRng::from_state(a.state());
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero xoshiro state")]
+    fn all_zero_state_is_rejected() {
+        SimRng::from_state([0; 4]);
     }
 
     #[test]

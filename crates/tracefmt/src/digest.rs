@@ -1,0 +1,89 @@
+//! FNV-1a digests.
+//!
+//! [`Trace::fingerprint`](crate::Trace::fingerprint) introduced a 64-bit
+//! FNV-1a digest to prove bit-identical traces across runs without
+//! persisting them. The checkpoint subsystem needs the same machinery for
+//! snapshot integrity footers and config fingerprints, so the hasher lives
+//! here as a small incremental type plus a one-shot helper.
+//!
+//! FNV-1a is not cryptographic: it detects torn writes, truncation, and
+//! accidental corruption, not adversarial tampering — exactly the failure
+//! modes crash-safe files have to survive.
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    h: u64,
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { h: Self::OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h ^= u64::from(b);
+            self.h = self.h.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Absorb one word as its 8 little-endian bytes (the mixing step
+    /// `Trace::fingerprint` has always used).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a digest of a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+        let mut w = Fnv64::new();
+        w.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(w.finish(), fnv1a_64(&[8, 7, 6, 5, 4, 3, 2, 1]));
+    }
+
+    #[test]
+    fn content_sensitive() {
+        assert_ne!(fnv1a_64(b"snapshot-a"), fnv1a_64(b"snapshot-b"));
+        assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+    }
+}

@@ -7,12 +7,14 @@
 
 #![warn(missing_docs)]
 
+pub mod digest;
 pub mod json;
 mod record;
 pub mod render;
 pub mod svg;
 mod trace;
 
+pub use digest::{fnv1a_64, Fnv64};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use record::PhaseRecord;
 pub use render::{activity_at, ascii_timeline, idle_csv, to_csv, Activity, AsciiOptions};

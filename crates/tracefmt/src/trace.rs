@@ -160,27 +160,19 @@ impl Trace {
     /// so sweep results can assert determinism across runs and machines
     /// without persisting full traces.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            for byte in v.to_le_bytes() {
-                h ^= u64::from(byte);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        mix(u64::from(self.ranks));
-        mix(u64::from(self.steps));
+        let mut h = crate::digest::Fnv64::new();
+        h.write_u64(u64::from(self.ranks));
+        h.write_u64(u64::from(self.steps));
         for r in &self.records {
-            mix(u64::from(r.rank));
-            mix(u64::from(r.step));
-            mix(r.exec_start.0);
-            mix(r.exec_end.0);
-            mix(r.comm_end.0);
-            mix(r.injected.0);
-            mix(r.noise.0);
+            h.write_u64(u64::from(r.rank));
+            h.write_u64(u64::from(r.step));
+            h.write_u64(r.exec_start.0);
+            h.write_u64(r.exec_end.0);
+            h.write_u64(r.comm_end.0);
+            h.write_u64(r.injected.0);
+            h.write_u64(r.noise.0);
         }
-        h
+        h.finish()
     }
 }
 

@@ -18,6 +18,12 @@
 //!   --seed N                master seed
 //!   --config FILE.json      load a full SimConfig (overrides the flags)
 //!   --dump-config           print the assembled config as JSON and exit
+//!   --checkpoint-dir DIR    write periodic snapshots to DIR/wavesim.ckpt
+//!   --checkpoint-every SPEC snapshot cadence: sim time ("50ms", "2s",
+//!                           "100us") or delivered events ("1000ev")
+//!   --restore FILE          resume from a snapshot file; uses the
+//!                           snapshot's embedded config unless --config
+//!                           is also given (a mismatch is RT005, exit 3)
 //!   --ascii                 print an ASCII timeline (default on a tty)
 //!   --svg FILE              write an SVG timeline
 //!   --csv FILE              write the per-phase trace as CSV
@@ -27,8 +33,15 @@
 //!
 //!   --scenarios FILE.json   JSON array of sweep scenarios (required)
 //!   --out FILE.jsonl        result file, one JSON record per scenario
-//!                           (required; appended to, crash-safe)
-//!   --resume                skip scenarios already recorded in --out
+//!                           (required; appended to, crash-safe, with a
+//!                           config-fingerprint header line)
+//!   --resume                skip scenarios already recorded in --out;
+//!                           rejects the file if the recorded config
+//!                           fingerprints no longer match (exit 3)
+//!   --checkpoint-dir DIR    per-scenario mid-run snapshots; with
+//!                           --resume, interrupted scenarios restart
+//!                           from their last snapshot
+//!   --checkpoint-every SPEC snapshot cadence (see above)
 //!   --threads N             supervisor threads (default 4)
 //!   --retries N             retry budget for transient failures (default 2)
 //!   --wall-timeout-ms N     wall-clock backstop per attempt (default 30000)
@@ -43,8 +56,10 @@
 
 use idle_waves::idlewave::sweep::{run_sweep, Scenario, SweepOptions};
 use idle_waves::idlewave::{model, speed, WaveExperiment, WaveTrace};
+use idle_waves::mpisim::{self, CheckpointPolicy, Engine, RunLimits, Snapshot};
 use idle_waves::prelude::*;
 use idle_waves::tracefmt::json;
+use std::path::Path;
 use std::process::ExitCode;
 
 struct Args {
@@ -61,6 +76,9 @@ struct Args {
     seed: Option<u64>,
     config_path: Option<String>,
     dump_config: bool,
+    checkpoint_dir: Option<String>,
+    checkpoint: CheckpointPolicy,
+    restore_path: Option<String>,
     ascii: bool,
     svg_path: Option<String>,
     csv_path: Option<String>,
@@ -83,6 +101,9 @@ impl Default for Args {
             seed: None,
             config_path: None,
             dump_config: false,
+            checkpoint_dir: None,
+            checkpoint: CheckpointPolicy::none(),
+            restore_path: None,
             ascii: false,
             svg_path: None,
             csv_path: None,
@@ -118,6 +139,11 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = Some(parse(&value("--seed")?)?),
             "--config" => args.config_path = Some(value("--config")?),
             "--dump-config" => args.dump_config = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-every" => {
+                args.checkpoint = parse_checkpoint_every(&value("--checkpoint-every")?)?;
+            }
+            "--restore" => args.restore_path = Some(value("--restore")?),
             "--ascii" => args.ascii = true,
             "--svg" => args.svg_path = Some(value("--svg")?),
             "--csv" => args.csv_path = Some(value("--csv")?),
@@ -128,6 +154,9 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if args.checkpoint.is_active() != args.checkpoint_dir.is_some() {
+        return Err("--checkpoint-dir and --checkpoint-every must be used together".into());
+    }
     Ok(args)
 }
 
@@ -136,6 +165,46 @@ where
     T::Err: std::fmt::Display,
 {
     s.parse().map_err(|e| format!("cannot parse '{s}': {e}"))
+}
+
+/// Parse a checkpoint cadence: a sim-time interval (`"50ms"`, `"2s"`,
+/// `"100us"`, `"250000ns"`) or a delivered-event count (`"1000ev"`).
+fn parse_checkpoint_every(spec: &str) -> Result<CheckpointPolicy, String> {
+    let s = spec.trim();
+    if let Some(n) = s.strip_suffix("ev") {
+        let events: u64 = parse(n.trim())?;
+        if events == 0 {
+            return Err("--checkpoint-every: the event count must be positive".into());
+        }
+        return Ok(CheckpointPolicy {
+            every_sim_time: None,
+            every_events: Some(events),
+        });
+    }
+    let (num, nanos_per_unit) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e9)
+    } else {
+        return Err(format!(
+            "--checkpoint-every: '{spec}' needs a unit suffix (ns|us|ms|s for sim time, ev for events)"
+        ));
+    };
+    let v: f64 = parse(num.trim())?;
+    let nanos = v * nanos_per_unit;
+    if !(nanos >= 1.0) || !nanos.is_finite() {
+        return Err(format!(
+            "--checkpoint-every: '{spec}' must be at least one nanosecond"
+        ));
+    }
+    Ok(CheckpointPolicy {
+        every_sim_time: Some(SimDuration::from_nanos(nanos.round() as u64)),
+        every_events: None,
+    })
 }
 
 fn build_config(args: &Args) -> Result<SimConfig, String> {
@@ -184,6 +253,83 @@ fn build_config(args: &Args) -> Result<SimConfig, String> {
     Ok(e.into_config())
 }
 
+enum RunError {
+    /// File-level problem: plain message, exit 2 like other I/O failures.
+    Io(String),
+    /// Config or snapshot rejected, or the run failed: JSON error record
+    /// with diagnostics on stderr, exit 3.
+    Rejected(Vec<Diagnostic>),
+}
+
+/// Run one simulation, honouring `--restore` and `--checkpoint-*`.
+///
+/// Without either, this is exactly [`WaveTrace::try_from_config`]. With
+/// `--restore`, the engine resumes from the snapshot (which embeds its
+/// config — `cfg` from the flags is only used when `--config` was given,
+/// and [`Engine::restore`] rejects a mismatch with `RT005`). With
+/// checkpointing, snapshots go to `DIR/wavesim.ckpt` via a temp-file +
+/// rename so a crash never leaves a torn file.
+fn run_single(args: &Args, cfg: SimConfig) -> Result<WaveTrace, RunError> {
+    if args.restore_path.is_none() && !args.checkpoint.is_active() {
+        return WaveTrace::try_from_config(cfg).map_err(RunError::Rejected);
+    }
+    let (cfg, engine) = match &args.restore_path {
+        Some(path) => {
+            let bytes = std::fs::read(path)
+                .map_err(|e| RunError::Io(format!("cannot read {path}: {e}")))?;
+            let snap =
+                Snapshot::decode(&bytes).map_err(|e| RunError::Rejected(e.into_diagnostics()))?;
+            let cfg = if args.config_path.is_some() {
+                cfg
+            } else {
+                snap.config().clone()
+            };
+            let engine = Engine::restore(cfg.clone(), &snap)
+                .map_err(|e| RunError::Rejected(e.into_diagnostics()))?;
+            (cfg, engine)
+        }
+        None => {
+            let errors: Vec<Diagnostic> = analyze(&cfg)
+                .into_iter()
+                .filter(Diagnostic::is_error)
+                .collect();
+            if !errors.is_empty() {
+                return Err(RunError::Rejected(errors));
+            }
+            let engine = Engine::try_new(cfg.clone())
+                .map_err(|e| RunError::Rejected(e.into_diagnostics()))?;
+            (cfg, engine)
+        }
+    };
+    let run = if args.checkpoint.is_active() {
+        let dir = args
+            .checkpoint_dir
+            .as_deref()
+            .expect("parse_args pairs the checkpoint flags");
+        std::fs::create_dir_all(dir)
+            .map_err(|e| RunError::Io(format!("cannot create {dir}: {e}")))?;
+        let ckpt = Path::new(dir).join("wavesim.ckpt");
+        engine.try_run_checkpointed(&RunLimits::none(), &args.checkpoint, |snap| {
+            let _ = write_snapshot_atomic(&ckpt, snap);
+        })
+    } else {
+        engine.try_run_with_stats(&RunLimits::none())
+    };
+    let (trace, _stats) = run.map_err(|e| RunError::Rejected(e.into_diagnostics()))?;
+    Ok(WaveTrace {
+        baseline_comm: mpisim::nominal_comm_duration(&cfg),
+        step_duration: mpisim::nominal_step_duration(&cfg),
+        cfg,
+        trace,
+    })
+}
+
+fn write_snapshot_atomic(path: &Path, snap: &Snapshot) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, snap.encode())?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Emit the machine-readable single-line error record on stderr.
 fn emit_error_record(error: &str, diagnostics: &[Diagnostic]) {
     let record = Json::obj(vec![
@@ -225,6 +371,12 @@ fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
             }
             "--watchdog-factor" => args.opts.watchdog_factor = parse(&value("--watchdog-factor")?)?,
             "--max-events" => args.opts.max_events = Some(parse(&value("--max-events")?)?),
+            "--checkpoint-dir" => {
+                args.opts.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
+            }
+            "--checkpoint-every" => {
+                args.opts.checkpoint = parse_checkpoint_every(&value("--checkpoint-every")?)?;
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err("usage".into()),
             other => return Err(format!("unknown sweep flag {other}")),
@@ -232,6 +384,9 @@ fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
     }
     if args.opts.threads == 0 {
         return Err("--threads must be at least 1".into());
+    }
+    if args.opts.checkpoint.is_active() && args.opts.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every needs --checkpoint-dir".into());
     }
     Ok(args)
 }
@@ -270,6 +425,9 @@ fn run_sweep_command(it: std::env::Args) -> ExitCode {
         }
     };
     if !args.quiet {
+        for w in &report.warnings {
+            eprintln!("wavesim sweep: warning: {w}");
+        }
         let ok = report.results.len() - report.failures();
         println!(
             "sweep: {} scenarios, {} ok, {} failed, {} reused from a previous run",
@@ -324,9 +482,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let wt = match WaveTrace::try_from_config(cfg) {
+    let wt = match run_single(&args, cfg) {
         Ok(wt) => wt,
-        Err(diags) => {
+        Err(RunError::Io(msg)) => {
+            eprintln!("wavesim: {msg}");
+            return ExitCode::from(2);
+        }
+        Err(RunError::Rejected(diags)) => {
             emit_error_record("configuration rejected or run failed", &diags);
             return ExitCode::from(3);
         }
@@ -392,10 +554,13 @@ const USAGE: &str = "usage: wavesim [--ranks N] [--steps N] [--texec-ms F] [--ms
                [--boundary open|periodic] [--distance N]
                [--inject R:S:MS]... [--noise-percent F] [--seed N]
                [--config FILE.json] [--dump-config]
+               [--checkpoint-dir DIR --checkpoint-every SPEC]
+               [--restore FILE.ckpt]
                [--ascii] [--svg FILE] [--csv FILE] [--quiet]
        wavesim sweep --scenarios FILE --out FILE [options]  (see --help)";
 
 const SWEEP_USAGE: &str = "usage: wavesim sweep --scenarios FILE.json --out FILE.jsonl
                [--resume] [--threads N] [--retries N]
                [--wall-timeout-ms N] [--watchdog-factor F]
-               [--max-events N] [--quiet]";
+               [--max-events N] [--quiet]
+               [--checkpoint-dir DIR] [--checkpoint-every SPEC]";

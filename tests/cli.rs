@@ -220,7 +220,9 @@ fn sweep_subcommand_runs_resumes_and_reports() {
     let stdout = String::from_utf8_lossy(&run.stdout);
     assert!(stdout.contains("2 scenarios, 1 ok, 1 failed"), "{stdout}");
     let results = std::fs::read_to_string(&out_path).expect("results written");
-    assert_eq!(results.lines().count(), 2);
+    // Header line with the config fingerprints, then one record each.
+    assert_eq!(results.lines().count(), 3);
+    assert!(results.starts_with("{\"sweep_format\":"), "{results}");
     assert!(results.contains("\"id\":\"good\""));
     assert!(results.contains("\"status\":\"panic\""));
 
@@ -246,8 +248,291 @@ fn sweep_subcommand_runs_resumes_and_reports() {
             .expect("results readable")
             .lines()
             .count(),
-        2,
+        3,
         "resume must not duplicate records"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn checkpoint_then_restore_reproduces_the_full_run() {
+    let dir = tmpdir("ckpt-restore");
+    let full_csv = dir.join("full.csv");
+    let resumed_csv = dir.join("resumed.csv");
+    let ckpt = dir.join("snaps").join("wavesim.ckpt");
+    // Checkpointed run: the last snapshot written mid-run stays on disk.
+    let run = wavesim()
+        .args([
+            "--ranks",
+            "10",
+            "--steps",
+            "8",
+            "--inject",
+            "3:1:5",
+            "--seed",
+            "7",
+            "--quiet",
+            "--checkpoint-dir",
+            dir.join("snaps").to_str().unwrap(),
+            "--checkpoint-every",
+            "50ev",
+            "--csv",
+            full_csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        run.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&run.stderr)
+    );
+    assert!(ckpt.exists(), "no snapshot was written");
+    assert!(
+        !ckpt.with_extension("tmp").exists(),
+        "temp file left behind by the atomic write"
+    );
+    // Restore from the snapshot: the completed trace must be identical
+    // to the uninterrupted run, down to the CSV bytes.
+    let restore = wavesim()
+        .args([
+            "--restore",
+            ckpt.to_str().unwrap(),
+            "--quiet",
+            "--csv",
+            resumed_csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        restore.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&restore.stderr)
+    );
+    assert_eq!(
+        std::fs::read(&full_csv).expect("full csv"),
+        std::fs::read(&resumed_csv).expect("resumed csv"),
+        "restored run diverged from the uninterrupted one"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn restore_with_a_mismatched_config_exits_3_with_rt005() {
+    let dir = tmpdir("ckpt-mismatch");
+    // Produce a snapshot with one config...
+    let run = wavesim()
+        .args([
+            "--ranks",
+            "8",
+            "--steps",
+            "6",
+            "--seed",
+            "1",
+            "--quiet",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "50ev",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(run.status.success());
+    // ...and a config file for a different one.
+    let dump = wavesim()
+        .args([
+            "--ranks",
+            "8",
+            "--steps",
+            "6",
+            "--seed",
+            "2",
+            "--dump-config",
+        ])
+        .output()
+        .expect("binary runs");
+    let cfg_path = dir.join("other.json");
+    std::fs::write(&cfg_path, &dump.stdout).expect("write config");
+    let out = wavesim()
+        .args([
+            "--restore",
+            dir.join("wavesim.ckpt").to_str().unwrap(),
+            "--config",
+            cfg_path.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"tool\":\"wavesim\""), "{stderr}");
+    assert!(stderr.contains("RT005"), "{stderr}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn sweep_resume_with_a_changed_config_exits_3() {
+    let dir = tmpdir("sweep-mismatch");
+    let scenarios_path = dir.join("scenarios.json");
+    let out_path = dir.join("results.jsonl");
+    let cfg_for = |seed: &str| {
+        let dump = wavesim()
+            .args([
+                "--ranks",
+                "6",
+                "--steps",
+                "4",
+                "--seed",
+                seed,
+                "--dump-config",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(dump.status.success());
+        String::from_utf8_lossy(&dump.stdout).into_owned()
+    };
+    let write_scenarios = |cfg: &str| {
+        std::fs::write(
+            &scenarios_path,
+            format!("[{{\"id\":\"only\",\"config\":{cfg}}}]"),
+        )
+        .expect("write scenarios");
+    };
+    write_scenarios(&cfg_for("1"));
+    let first = wavesim()
+        .args([
+            "sweep",
+            "--scenarios",
+            scenarios_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(first.status.success(), "{first:?}");
+    // Same scenario id, different seed: resuming against the old results
+    // file must refuse rather than silently mix two experiments.
+    write_scenarios(&cfg_for("2"));
+    let resume = wavesim()
+        .args([
+            "sweep",
+            "--scenarios",
+            scenarios_path.to_str().unwrap(),
+            "--out",
+            out_path.to_str().unwrap(),
+            "--resume",
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(resume.status.code(), Some(3), "{resume:?}");
+    let stderr = String::from_utf8_lossy(&resume.stderr);
+    assert!(stderr.contains("\"tool\":\"wavesim\""), "{stderr}");
+    assert!(stderr.contains("config fingerprint"), "{stderr}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn killed_sweep_resumes_to_the_same_results() {
+    use idle_waves::idlewave::sweep::load_results;
+
+    let dir = tmpdir("kill-resume");
+    let scenarios_path = dir.join("scenarios.json");
+    let killed_out = dir.join("killed.jsonl");
+    let control_out = dir.join("control.jsonl");
+    let snap_dir = dir.join("snaps");
+    // A deliberately long run so the kill lands mid-scenario.
+    let dump = wavesim()
+        .args([
+            "--ranks",
+            "40",
+            "--steps",
+            "400",
+            "--texec-ms",
+            "1",
+            "--inject",
+            "9:3:8",
+            "--seed",
+            "5",
+            "--dump-config",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(dump.status.success());
+    let cfg = String::from_utf8_lossy(&dump.stdout);
+    std::fs::write(
+        &scenarios_path,
+        format!("[{{\"id\":\"long\",\"config\":{cfg}}}]"),
+    )
+    .expect("write scenarios");
+
+    let sweep_args = |out: &std::path::Path| {
+        vec![
+            "sweep".to_string(),
+            "--scenarios".into(),
+            scenarios_path.to_str().unwrap().into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+            "--threads".into(),
+            "1".into(),
+            "--checkpoint-dir".into(),
+            snap_dir.to_str().unwrap().into(),
+            "--checkpoint-every".into(),
+            "500ev".into(),
+            "--quiet".into(),
+        ]
+    };
+
+    // Uninterrupted control run (its own snapshot dir stays clean: the
+    // sweep garbage-collects snapshots of completed scenarios).
+    let control = wavesim()
+        .args(sweep_args(&control_out))
+        .output()
+        .expect("binary runs");
+    assert!(control.status.success(), "{control:?}");
+
+    // Start the sweep, wait until it has written at least one snapshot
+    // (proof it is mid-scenario), then kill it without warning.
+    let mut child = wavesim()
+        .args(sweep_args(&killed_out))
+        .spawn()
+        .expect("binary starts");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let snapshot_seen = loop {
+        if std::fs::read_dir(&snap_dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false)
+        {
+            break true;
+        }
+        if child.try_wait().expect("poll child").is_some() || std::time::Instant::now() > deadline {
+            break false; // finished before we could kill it: resume is a no-op
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+    child.kill().ok();
+    child.wait().expect("reap child");
+
+    // Resume and compare against the control, record by record. Parsed
+    // comparison, not byte comparison: the killed file may legitimately
+    // carry a torn trailing line.
+    let resumed = wavesim()
+        .args(
+            sweep_args(&killed_out)
+                .into_iter()
+                .chain(["--resume".to_string()]),
+        )
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "{resumed:?}");
+    let got = load_results(&killed_out).expect("killed results readable");
+    let want = load_results(&control_out).expect("control results readable");
+    assert_eq!(got.len(), 1, "snapshot seen: {snapshot_seen}");
+    assert_eq!(got.len(), want.len());
+    assert_eq!(got[0].id, want[0].id);
+    assert_eq!(got[0].status, want[0].status);
+    assert_eq!(
+        got[0].summary.as_ref().map(|s| s.trace_fingerprint),
+        want[0].summary.as_ref().map(|s| s.trace_fingerprint),
+        "resumed sweep produced a different trace (snapshot seen: {snapshot_seen})"
     );
     std::fs::remove_dir_all(dir).ok();
 }
