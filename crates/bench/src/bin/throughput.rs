@@ -1,0 +1,124 @@
+//! Events/sec throughput benchmark — the committed `BENCH_*.json`
+//! trajectory's measurement tool.
+//!
+//! Usage:
+//!   cargo run --release -p bench --bin throughput
+//!       [--smoke]                  tiny step counts (CI smoke; default full)
+//!       [--label <text>]           report label (default "unlabelled")
+//!       [--iters <n>]              timed iterations per scenario (default 5)
+//!       [--out <path>]             write the schema'd JSON report
+//!       [--baseline <path>]        compare events/sec against a committed
+//!                                  BENCH_*.json; exit 2 on regression
+//!       [--max-regression <frac>]  regression threshold (default 0.30)
+//!   cargo run --release -p bench --bin throughput -- --check <path>...
+//!       validate files against the bench schema only (no benchmarking)
+//!
+//! Exit codes: 0 ok, 1 bad schema / bad usage, 2 performance regression.
+
+use bench::{throughput, Scale};
+use tracefmt::{json, ToJson};
+
+struct Args {
+    smoke: bool,
+    label: String,
+    iters: u32,
+    out: Option<String>,
+    baseline: Option<String>,
+    max_regression: f64,
+    check: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        label: "unlabelled".to_string(),
+        iters: 5,
+        out: None,
+        baseline: None,
+        max_regression: 0.30,
+        check: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--label" => args.label = value("--label")?,
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?;
+            }
+            "--check" => {
+                args.check.extend(it.by_ref());
+                if args.check.is_empty() {
+                    return Err("--check needs at least one file".to_string());
+                }
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn run() -> Result<(), (i32, String)> {
+    let args = parse_args().map_err(|e| (1, e))?;
+
+    if !args.check.is_empty() {
+        for path in &args.check {
+            let text = read(path).map_err(|e| (1, e))?;
+            let report = throughput::validate(&text).map_err(|e| (1, format!("{path}: {e}")))?;
+            println!(
+                "{path}: ok ({} scenarios, label '{}')",
+                report.scenarios.len(),
+                report.label
+            );
+        }
+        return Ok(());
+    }
+
+    let scale = if args.smoke {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let report = throughput::run_suite(scale, &args.label, args.iters, 1);
+    println!("\n{}", throughput::render(&report));
+
+    if let Some(path) = &args.out {
+        let text = format!("{}\n", json::to_string(&report.to_json()));
+        throughput::validate(&text).map_err(|e| (1, format!("emitted report invalid: {e}")))?;
+        std::fs::write(path, &text).map_err(|e| (1, format!("cannot write {path}: {e}")))?;
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = read(path).map_err(|e| (1, e))?;
+        let baseline = throughput::validate(&text).map_err(|e| (1, format!("{path}: {e}")))?;
+        let speedups = throughput::compare(&report, &baseline, args.max_regression)
+            .map_err(|e| (2, format!("regression vs {path} [{}]: {e}", baseline.label)))?;
+        for (name, ratio) in speedups {
+            println!("vs baseline [{}] {name}: {ratio:.2}x", baseline.label);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err((code, msg)) = run() {
+        eprintln!("throughput: {msg}");
+        // The bench tool's exit codes are part of the CI contract.
+        std::process::exit(code); // simlint: allow(process-exit)
+    }
+}

@@ -36,9 +36,22 @@ fn env_u32(name: &str, default: u32) -> u32 {
 
 /// Run `kernel` repeatedly, report min/mean/max wall time, and print a
 /// one-line summary labelled `name`.
-pub fn time_kernel(name: &str, mut kernel: impl FnMut()) -> KernelTiming {
+pub fn time_kernel(name: &str, kernel: impl FnMut()) -> KernelTiming {
     let iters = env_u32("BENCH_ITERS", 10);
     let warmup = env_u32("BENCH_WARMUP", 1);
+    time_kernel_n(name, iters, warmup, kernel)
+}
+
+/// [`time_kernel`] with explicit iteration counts instead of the
+/// `BENCH_ITERS`/`BENCH_WARMUP` environment knobs — for callers like the
+/// throughput bench whose iteration budget is part of their own CLI.
+pub fn time_kernel_n(
+    name: &str,
+    iters: u32,
+    warmup: u32,
+    mut kernel: impl FnMut(),
+) -> KernelTiming {
+    let iters = iters.max(1);
     for _ in 0..warmup {
         kernel();
     }

@@ -23,6 +23,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod throughput;
 
 /// How big to run a figure's experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,458 @@
+//! Events/sec throughput benchmark with a committed `BENCH_*.json`
+//! trajectory.
+//!
+//! The roadmap's raw-speed work needs a yardstick: this module times the
+//! engine end-to-end (construction + run) on the paper's Fig. 4 wave
+//! scenario scaled to 256 / 1024 / 4096 ranks, plus a fault-plan variant
+//! that exercises the retransmission path, and reports **simulation
+//! events per wall-clock second**. The `throughput` binary writes the
+//! results as a schema'd `BENCH_<n>.json` (via `tracefmt::json`, like
+//! every other artefact in the tree); the repository commits one such
+//! file per engine generation so every later PR can show — and CI can
+//! guard — the performance trajectory.
+//!
+//! Determinism contract: each scenario's `fingerprint` field is the
+//! [`tracefmt::Trace::fingerprint`] of a full-trace run, so two BENCH
+//! files with equal fingerprints measured *the same simulation* — an
+//! engine rewrite that gets faster while changing behaviour is caught by
+//! comparing fingerprints across the committed history (and by the
+//! golden-figure tests, which pin the same scenarios numerically).
+
+use std::time::Duration;
+
+use mpisim::{try_run_summary_pooled, Engine, EnginePools, RunLimits, RunSummary, SimConfig};
+use simdes::SimDuration;
+use tracefmt::json::{self, FromJson, Json, JsonError, ToJson};
+
+use crate::harness;
+use crate::Scale;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "wavesim-bench";
+/// Schema version; bump on any field change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Injection rank of the wave scenarios (the paper delays rank 5).
+pub const SOURCE: u32 = 5;
+
+/// The Fig. 4 wave scenario scaled to `ranks` ranks: eager
+/// unidirectional open chain, 3 ms compute phases, one 4.5 `T_exec`
+/// delay at rank 5 in step 0. This exact config is also pinned by the
+/// fingerprint-only golden in `tests/golden_figures.rs`, so the bench
+/// target scenario cannot drift silently.
+pub fn wave_config(ranks: u32, steps: u32) -> SimConfig {
+    let texec = SimDuration::from_millis(3);
+    idlewave::WaveExperiment::flat_chain(ranks)
+        .texec(texec)
+        .steps(steps)
+        .inject(SOURCE, 0, texec.mul_f64(4.5))
+        .into_config()
+}
+
+/// The wave scenario with message-drop faults (5 % drops, 200 µs RTO):
+/// times the retransmission and fault-RNG machinery on top of the wave.
+pub fn faulty_wave_config(ranks: u32, steps: u32) -> SimConfig {
+    let mut cfg = wave_config(ranks, steps);
+    cfg.faults = mpisim::FaultPlan::none().with_drops(0.05, SimDuration::from_micros(200));
+    cfg
+}
+
+/// One named benchmark scenario.
+pub struct Scenario {
+    /// Stable name, used to match scenarios across BENCH files.
+    pub name: &'static str,
+    /// The configuration to simulate.
+    pub cfg: SimConfig,
+}
+
+/// The benchmark suite at a given scale. Smoke keeps the rank counts
+/// (per-event cost depends on scale) but shrinks the step counts so CI
+/// finishes in seconds.
+pub fn scenarios(scale: Scale) -> Vec<Scenario> {
+    let steps = |full: u32| scale.pick(full, 4);
+    vec![
+        Scenario {
+            name: "wave-256",
+            cfg: wave_config(256, steps(128)),
+        },
+        Scenario {
+            name: "wave-1024",
+            cfg: wave_config(1024, steps(64)),
+        },
+        Scenario {
+            name: "wave-4096",
+            cfg: wave_config(4096, steps(24)),
+        },
+        Scenario {
+            name: "wave-1024-faults",
+            cfg: faulty_wave_config(1024, steps(24)),
+        },
+    ]
+}
+
+/// Measured result of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name (see [`scenarios`]).
+    pub name: String,
+    /// Rank count of the simulated job.
+    pub ranks: u32,
+    /// Bulk-synchronous step count.
+    pub steps: u32,
+    /// Events the queue delivered in one run.
+    pub events: u64,
+    /// Timed iterations behind the numbers below.
+    pub iters: u32,
+    /// Fastest end-to-end run, nanoseconds.
+    pub min_ns: u64,
+    /// Mean end-to-end run, nanoseconds.
+    pub mean_ns: u64,
+    /// `events / (min_ns / 1e9)` — the headline metric.
+    pub events_per_sec: f64,
+    /// `Trace::fingerprint` of the scenario's full trace.
+    pub fingerprint: u64,
+}
+
+/// A full benchmark report: what `BENCH_<n>.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Human label for the engine generation (e.g. "pre-calendar-queue").
+    pub label: String,
+    /// One entry per scenario, in suite order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// Run one simulation in pooled summary mode, returning how many events
+/// it pumped and the run's record digest. This is the timed kernel:
+/// engine construction (from pooled buffers), the event loop, and the
+/// streamed summary fold (the cheapest mode the engine offers).
+fn run_once(cfg: &SimConfig, pools: &mut EnginePools) -> (u64, u64) {
+    let (summary, stats) = try_run_summary_pooled(cfg, &RunLimits::none(), pools)
+        .unwrap_or_else(|e| panic!("bench run: {e}"));
+    std::hint::black_box(summary.total_runtime());
+    (stats.events, summary.digest)
+}
+
+/// Time one scenario: a full-trace run first for the fingerprint and
+/// event count, then `iters` timed end-to-end pooled summary runs.
+///
+/// # Panics
+/// Panics when the scenario's config fails validation, a run stalls, or
+/// the timed runs disagree with the reference run's event count or
+/// record digest — any of these means the benchmark itself is broken.
+pub fn run_scenario(s: &Scenario, iters: u32, warmup: u32) -> ScenarioResult {
+    let (trace, stats) = Engine::try_new(s.cfg.clone())
+        .unwrap_or_else(|e| panic!("bench config {}: {e}", s.name))
+        .try_run_with_stats(&RunLimits::none())
+        .unwrap_or_else(|e| panic!("bench run {}: {e}", s.name));
+    let events = stats.events;
+    let reference_digest = RunSummary::of_trace(&trace).digest;
+    let mut pools = EnginePools::new();
+    let mut counted = 0u64;
+    let mut digest = 0u64;
+    let timing = harness::time_kernel_n(s.name, iters, warmup, || {
+        (counted, digest) = run_once(&s.cfg, &mut pools);
+    });
+    assert_eq!(
+        counted, events,
+        "{}: timed runs delivered a different event count than the \
+         full-trace run — the engine is nondeterministic",
+        s.name
+    );
+    assert_eq!(
+        digest, reference_digest,
+        "{}: summary-mode record digest diverged from the full trace — \
+         the timed kernel simulates something else",
+        s.name
+    );
+    ScenarioResult {
+        name: s.name.to_string(),
+        ranks: s.cfg.ranks(),
+        steps: s.cfg.steps,
+        events,
+        iters: timing.iters,
+        min_ns: duration_ns(timing.min),
+        mean_ns: duration_ns(timing.mean),
+        events_per_sec: events_per_sec(events, timing.min),
+        fingerprint: trace.fingerprint(),
+    }
+}
+
+/// Run the whole suite at `scale`.
+pub fn run_suite(scale: Scale, label: &str, iters: u32, warmup: u32) -> BenchReport {
+    BenchReport {
+        label: label.to_string(),
+        scenarios: scenarios(scale)
+            .iter()
+            .map(|s| run_scenario(s, iters, warmup))
+            .collect(),
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn events_per_sec(events: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    events as f64 / secs
+}
+
+impl ToJson for ScenarioResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("ranks", self.ranks.to_json()),
+            ("steps", self.steps.to_json()),
+            ("events", self.events.to_json()),
+            ("iters", self.iters.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("events_per_sec", self.events_per_sec.to_json()),
+            ("fingerprint", self.fingerprint.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScenarioResult {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(ScenarioResult {
+            name: String::from_json(v.field("name")?)?,
+            ranks: u32::from_json(v.field("ranks")?)?,
+            steps: u32::from_json(v.field("steps")?)?,
+            events: u64::from_json(v.field("events")?)?,
+            iters: u32::from_json(v.field("iters")?)?,
+            min_ns: u64::from_json(v.field("min_ns")?)?,
+            mean_ns: u64::from_json(v.field("mean_ns")?)?,
+            events_per_sec: f64::from_json(v.field("events_per_sec")?)?,
+            fingerprint: u64::from_json(v.field("fingerprint")?)?,
+        })
+    }
+}
+
+impl ToJson for BenchReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", SCHEMA.to_json()),
+            ("version", SCHEMA_VERSION.to_json()),
+            ("label", self.label.to_json()),
+            ("scenarios", self.scenarios.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BenchReport {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        let schema = String::from_json(v.field("schema")?)?;
+        if schema != SCHEMA {
+            return Err(JsonError(format!(
+                "not a {SCHEMA} report (schema field is '{schema}')"
+            )));
+        }
+        let version = u64::from_json(v.field("version")?)?;
+        if version != SCHEMA_VERSION {
+            return Err(JsonError(format!(
+                "unsupported bench schema version {version} (this build reads {SCHEMA_VERSION})"
+            )));
+        }
+        Ok(BenchReport {
+            label: String::from_json(v.field("label")?)?,
+            scenarios: Vec::<ScenarioResult>::from_json(v.field("scenarios")?)?,
+        })
+    }
+}
+
+/// Parse and semantically validate an encoded report: schema and version
+/// match, at least one scenario, and every scenario's numbers are
+/// internally consistent (positive counts, `events_per_sec` within 1 %
+/// of `events / min_ns`).
+pub fn validate(text: &str) -> Result<BenchReport, String> {
+    let report: BenchReport = json::from_str(text).map_err(|e| e.to_string())?;
+    if report.scenarios.is_empty() {
+        return Err("report has no scenarios".to_string());
+    }
+    for s in &report.scenarios {
+        if s.name.is_empty() {
+            return Err("a scenario has an empty name".to_string());
+        }
+        if s.ranks == 0 || s.steps == 0 || s.events == 0 || s.iters == 0 || s.min_ns == 0 {
+            return Err(format!("scenario '{}' has a zero-valued field", s.name));
+        }
+        if s.mean_ns < s.min_ns {
+            return Err(format!("scenario '{}': mean_ns < min_ns", s.name));
+        }
+        let derived = s.events as f64 / (s.min_ns as f64 / 1e9);
+        let err = (s.events_per_sec - derived).abs() / derived.max(1.0);
+        if !(s.events_per_sec.is_finite() && err < 0.01) {
+            return Err(format!(
+                "scenario '{}': events_per_sec {} inconsistent with events/min_ns {derived}",
+                s.name, s.events_per_sec
+            ));
+        }
+    }
+    let mut names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    if names.len() != report.scenarios.len() {
+        return Err("duplicate scenario names in report".to_string());
+    }
+    Ok(report)
+}
+
+/// Compare `current` against a committed `baseline`: every scenario the
+/// two share must not have regressed by more than `max_regression`
+/// (0.30 = fail when events/sec drops below 70 % of the baseline).
+/// Returns the per-scenario speedups on success.
+pub fn compare(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    max_regression: f64,
+) -> Result<Vec<(String, f64)>, String> {
+    let mut speedups = Vec::new();
+    let mut shared = 0;
+    for b in &baseline.scenarios {
+        let Some(c) = current.scenarios.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        shared += 1;
+        let ratio = c.events_per_sec / b.events_per_sec;
+        if ratio < 1.0 - max_regression {
+            return Err(format!(
+                "scenario '{}' regressed: {:.0} events/s vs baseline {:.0} \
+                 ({:.1}% of baseline, threshold {:.0}%)",
+                b.name,
+                c.events_per_sec,
+                b.events_per_sec,
+                ratio * 100.0,
+                (1.0 - max_regression) * 100.0
+            ));
+        }
+        speedups.push((b.name.clone(), ratio));
+    }
+    if shared == 0 {
+        return Err("current and baseline reports share no scenario names".to_string());
+    }
+    Ok(speedups)
+}
+
+/// Render a report as an aligned table (for the binary's stdout).
+pub fn render(report: &BenchReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .scenarios
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.ranks.to_string(),
+                s.steps.to_string(),
+                s.events.to_string(),
+                format!("{:.3}", s.min_ns as f64 / 1e6),
+                format!("{:.0}", s.events_per_sec),
+                format!("{:#018x}", s.fingerprint),
+            ]
+        })
+        .collect();
+    format!(
+        "throughput [{}]\n{}",
+        report.label,
+        crate::table(
+            &[
+                "scenario",
+                "ranks",
+                "steps",
+                "events",
+                "min [ms]",
+                "events/s",
+                "trace fingerprint",
+            ],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> BenchReport {
+        let s = Scenario {
+            name: "wave-tiny",
+            cfg: wave_config(16, 3),
+        };
+        BenchReport {
+            label: "test".to_string(),
+            scenarios: vec![run_scenario(&s, 1, 0)],
+        }
+    }
+
+    #[test]
+    fn suite_covers_the_documented_scales() {
+        let names: Vec<_> = scenarios(Scale::Quick).iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            vec!["wave-256", "wave-1024", "wave-4096", "wave-1024-faults"]
+        );
+        let ranks: Vec<_> = scenarios(Scale::Quick)
+            .iter()
+            .map(|s| s.cfg.ranks())
+            .collect();
+        assert_eq!(ranks, vec![256, 1024, 4096, 1024]);
+    }
+
+    #[test]
+    fn report_round_trips_and_validates() {
+        let report = tiny_report();
+        let text = json::to_string(&report.to_json());
+        let back = validate(&text).expect("own report validates");
+        assert_eq!(back, report);
+        assert!(render(&report).contains("wave-tiny"));
+    }
+
+    #[test]
+    fn validate_rejects_tampered_reports() {
+        let report = tiny_report();
+        // Wrong schema name.
+        let text = json::to_string(&report.to_json()).replace(SCHEMA, "other-bench");
+        assert!(validate(&text).is_err());
+        // Inconsistent events_per_sec.
+        let mut broken = report.clone();
+        broken.scenarios[0].events_per_sec *= 3.0;
+        assert!(validate(&json::to_string(&broken.to_json())).is_err());
+        // Future version.
+        let text =
+            json::to_string(&report.to_json()).replacen("\"version\":1", "\"version\":999", 1);
+        assert!(validate(&text).is_err());
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_passes_speedups() {
+        let report = tiny_report();
+        let mut faster = report.clone();
+        faster.scenarios[0].events_per_sec *= 2.0;
+        let speedups = compare(&faster, &report, 0.30).expect("2x speedup is not a regression");
+        assert!((speedups[0].1 - 2.0).abs() < 1e-9);
+        let mut slower = report.clone();
+        slower.scenarios[0].events_per_sec *= 0.5;
+        assert!(compare(&slower, &report, 0.30).is_err());
+        let mut renamed = report.clone();
+        renamed.scenarios[0].name = "unrelated".to_string();
+        assert!(compare(&renamed, &report, 0.30).is_err());
+    }
+
+    #[test]
+    fn timed_runs_match_the_fingerprint_run() {
+        // run_scenario itself asserts event-count equality between the
+        // full-trace and summary-mode runs; exercise it end to end.
+        let s = Scenario {
+            name: "wave-check",
+            cfg: faulty_wave_config(12, 3),
+        };
+        let r = run_scenario(&s, 2, 0);
+        assert!(r.events > 0);
+        assert!(r.events_per_sec > 0.0);
+        assert_ne!(r.fingerprint, 0);
+    }
+}

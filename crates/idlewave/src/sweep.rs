@@ -32,11 +32,12 @@
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use mpisim::{
-    config_fingerprint, nominal_step_duration, CheckpointPolicy, Engine, RunLimits, RunStats,
+    config_fingerprint, nominal_step_duration, try_run_checkpointed_pooled,
+    try_run_with_stats_pooled, CheckpointPolicy, Engine, EnginePools, RunLimits, RunStats,
     SimConfig, SimError, Snapshot,
 };
 use simdes::{SimDuration, SimTime};
@@ -373,20 +374,27 @@ pub fn run_sweep(
             let queue = &queue;
             let sink = &sink;
             let tx = tx.clone();
-            scope.spawn(move || loop {
-                let job = queue.lock().expect("queue poisoned").pop();
-                match job {
-                    Some((idx, scenario)) => {
-                        let ckpt = ckpt_dir.map(|dir| CkptPlan {
-                            path: snapshot_path(dir, &scenario.id),
-                            policy: opts.checkpoint,
-                            resume: opts.resume,
-                        });
-                        let result = supervise(scenario, opts, ckpt.as_ref());
-                        let persisted = persist(sink, &result).map(|()| result);
-                        tx.send((idx, persisted)).expect("report receiver gone");
+            scope.spawn(move || {
+                // One engine-buffer pool per supervision slot: every
+                // scenario this worker runs draws its large allocations
+                // from it, so a sweep of same-shape scenarios allocates
+                // once per worker instead of once per attempt.
+                let pool: PoolSlot = Arc::new(Mutex::new(None));
+                loop {
+                    let job = queue.lock().expect("queue poisoned").pop();
+                    match job {
+                        Some((idx, scenario)) => {
+                            let ckpt = ckpt_dir.map(|dir| CkptPlan {
+                                path: snapshot_path(dir, &scenario.id),
+                                policy: opts.checkpoint,
+                                resume: opts.resume,
+                            });
+                            let result = supervise(scenario, opts, ckpt.as_ref(), &pool);
+                            let persisted = persist(sink, &result).map(|()| result);
+                            tx.send((idx, persisted)).expect("report receiver gone");
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }
@@ -424,6 +432,14 @@ pub fn run_sweep(
         warnings,
     })
 }
+
+/// A supervision slot's shared engine-buffer pool. Attempt threads take
+/// the pools out under a brief lock before the run and put them back
+/// after — the lock is never held across a run, so an attempt abandoned
+/// by the wall-clock backstop simply walks off with that pool instance
+/// (freed when its thread eventually dies) and the next attempt warms up
+/// a fresh one.
+type PoolSlot = Arc<Mutex<Option<EnginePools>>>;
 
 /// Mid-scenario checkpointing instructions for one scenario's attempts.
 #[derive(Debug, Clone)]
@@ -545,14 +561,19 @@ fn validate_resume_configs(
 
 /// Supervise one scenario: bounded attempts, each in an isolated worker
 /// with panic capture and the wall-clock backstop.
-fn supervise(scenario: &Scenario, opts: &SweepOptions, ckpt: Option<&CkptPlan>) -> ScenarioResult {
+fn supervise(
+    scenario: &Scenario,
+    opts: &SweepOptions,
+    ckpt: Option<&CkptPlan>,
+    pool: &PoolSlot,
+) -> ScenarioResult {
     let limits = RunLimits {
         max_sim_time: Some(sim_budget(scenario, opts)),
         max_events: opts.max_events,
     };
     let mut attempts = 0u32;
     loop {
-        let outcome = run_attempt(scenario, attempts, &limits, opts.wall_timeout, ckpt);
+        let outcome = run_attempt(scenario, attempts, &limits, opts.wall_timeout, ckpt, pool);
         attempts += 1;
         let (status, error, summary) = match outcome {
             Some(Attempt::Ok(summary)) => (ScenarioStatus::Ok, None, Some(*summary)),
@@ -599,15 +620,17 @@ fn run_attempt(
     limits: &RunLimits,
     wall_timeout: Duration,
     ckpt: Option<&CkptPlan>,
+    pool: &PoolSlot,
 ) -> Option<Attempt> {
     let cfg = scenario.config.clone();
     let chaos = scenario.chaos;
     let limits = *limits;
     let ckpt = ckpt.cloned();
+    let pool = Arc::clone(pool);
     let (tx, rx) = mpsc::channel::<Attempt>();
     std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            attempt_body(cfg, chaos, attempt, &limits, ckpt.as_ref())
+            attempt_body(cfg, chaos, attempt, &limits, ckpt.as_ref(), &pool)
         }))
         .unwrap_or_else(|payload| Attempt::Panicked(panic_text(payload.as_ref())));
         // The receiver is gone iff the backstop already fired.
@@ -623,6 +646,7 @@ fn attempt_body(
     attempt: u32,
     limits: &RunLimits,
     ckpt: Option<&CkptPlan>,
+    pool: &PoolSlot,
 ) -> Attempt {
     match chaos {
         Chaos::Panic => panic!("chaos: deliberate panic"),
@@ -639,11 +663,43 @@ fn attempt_body(
         let errors: Vec<_> = diags.into_iter().filter(|d| d.is_error()).collect();
         return Attempt::Invalid(simcheck::render_report(&errors));
     }
-    let engine = match restore_or_new(cfg, ckpt) {
-        Ok(e) => e,
-        Err(e) => return Attempt::Invalid(e.to_string()),
-    };
+    // A mid-run resume rebuilds its engine from the snapshot, not the
+    // pool; only fresh runs draw their buffers from the slot's pool.
+    if let Some(engine) = try_restore(&cfg, ckpt) {
+        return classify(run_restored(engine, limits, ckpt));
+    }
+    let mut pools = pool
+        .lock()
+        .expect("pool poisoned")
+        .take()
+        .unwrap_or_else(EnginePools::new);
     let run = match ckpt {
+        Some(plan) if plan.policy.is_active() => {
+            let path = plan.path.clone();
+            try_run_checkpointed_pooled(
+                &cfg,
+                limits,
+                &plan.policy,
+                move |snap| {
+                    // Best-effort: a full disk must not kill a healthy run.
+                    let _ = write_snapshot_atomic(&path, snap);
+                },
+                &mut pools,
+            )
+        }
+        _ => try_run_with_stats_pooled(&cfg, limits, &mut pools),
+    };
+    *pool.lock().expect("pool poisoned") = Some(pools);
+    classify(run)
+}
+
+/// Finish a snapshot-restored engine (unpooled — see [`attempt_body`]).
+fn run_restored(
+    engine: Engine,
+    limits: &RunLimits,
+    ckpt: Option<&CkptPlan>,
+) -> Result<(Trace, RunStats), SimError> {
+    match ckpt {
         Some(plan) if plan.policy.is_active() => {
             let path = plan.path.clone();
             let policy = plan.policy;
@@ -653,7 +709,11 @@ fn attempt_body(
             })
         }
         _ => engine.try_run_with_stats(limits),
-    };
+    }
+}
+
+/// Map a run's result to an attempt outcome.
+fn classify(run: Result<(Trace, RunStats), SimError>) -> Attempt {
     match run {
         Ok((trace, stats)) => Attempt::Ok(Box::new(RunSummary::from_run(&trace, &stats))),
         Err(e @ SimError::Stalled { .. }) => Attempt::Stalled(e.to_string()),
@@ -664,25 +724,19 @@ fn attempt_body(
     }
 }
 
-/// Resume from the scenario's snapshot when one exists and is acceptable;
-/// otherwise build a fresh engine. Every rejection — torn file (`RT004`),
-/// foreign version (`RT003`), different config (`RT005`) — falls back to
-/// a from-scratch run: a snapshot is an optimisation, never a
-/// correctness requirement, and the trace fingerprint is identical either
-/// way.
-fn restore_or_new(cfg: SimConfig, ckpt: Option<&CkptPlan>) -> Result<Engine, SimError> {
-    if let Some(plan) = ckpt {
-        if plan.resume {
-            if let Ok(bytes) = std::fs::read(&plan.path) {
-                if let Ok(snap) = Snapshot::decode(&bytes) {
-                    if let Ok(engine) = Engine::restore(cfg.clone(), &snap) {
-                        return Ok(engine);
-                    }
-                }
-            }
-        }
+/// Resume from the scenario's snapshot when one exists and is acceptable.
+/// Every rejection — torn file (`RT004`), foreign version (`RT003`),
+/// different config (`RT005`) — falls back to a from-scratch run (`None`):
+/// a snapshot is an optimisation, never a correctness requirement, and
+/// the trace fingerprint is identical either way.
+fn try_restore(cfg: &SimConfig, ckpt: Option<&CkptPlan>) -> Option<Engine> {
+    let plan = ckpt?;
+    if !plan.resume {
+        return None;
     }
-    Engine::try_new(cfg)
+    let bytes = std::fs::read(&plan.path).ok()?;
+    let snap = Snapshot::decode(&bytes).ok()?;
+    Engine::restore(cfg.clone(), &snap).ok()
 }
 
 /// Write a snapshot atomically: encode to `<path with .tmp>`, fsync-free
@@ -978,6 +1032,30 @@ mod tests {
         // Every record was persisted.
         assert_eq!(load_results(&out).expect("readable").len(), 6);
         assert_eq!(report.failures(), 4);
+    }
+
+    /// Attempts in one supervision slot share the slot's [`EnginePools`]:
+    /// after the two-run warmup (run 1 sizes every pooled buffer, run 2
+    /// settles the calendar queue's swap-shuffled segment capacities),
+    /// further same-shape scenarios through the same slot allocate
+    /// nothing new.
+    #[test]
+    fn attempts_reuse_the_slot_pool_across_scenarios() {
+        let pool: PoolSlot = Arc::new(Mutex::new(None));
+        let limits = RunLimits::none();
+        let mut grows = Vec::new();
+        for seed in 0..6u64 {
+            match attempt_body(quick_cfg(seed), Chaos::None, 0, &limits, None, &pool) {
+                Attempt::Ok(_) => {}
+                _ => panic!("attempt for seed {seed} did not succeed"),
+            }
+            let slot = pool.lock().expect("pool lock");
+            grows.push(slot.as_ref().expect("pools returned to the slot").grows());
+        }
+        assert!(
+            grows[1..].iter().all(|&g| g == grows[1]),
+            "the pool must stop growing after the two-run warmup: {grows:?}"
+        );
     }
 
     #[test]

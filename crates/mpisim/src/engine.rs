@@ -38,15 +38,28 @@
 //!
 //! Everything is deterministic: integer-nanosecond timestamps, FIFO tie
 //! breaking, per-rank RNG streams derived from the master seed.
+//!
+//! ## Hot-path layout (see docs/PERF.md)
+//!
+//! Per-rank dynamic state lives in [`Ranks`], a structure-of-arrays: the
+//! event loop touches one or two fields of many ranks, so parallel `Vec`s
+//! keep those accesses dense where an array-of-structs would drag the
+//! whole 150-byte record through the cache per touch. Derived lookups that
+//! never change during a run — communication partners ([`PartnerCsr`]),
+//! per-domain link costs ([`LinkCache`]), per-rank execution times — are
+//! precomputed at construction so the per-event work is a handful of array
+//! index operations. Everything per-step that needs heap space (request
+//! lists, partner scratch, CTS scratch) is reused across steps and, via
+//! [`EnginePools`], across whole runs.
 
-// The hash containers below are membership sets / lookup maps that are
-// never iterated, so their nondeterministic order cannot leak into traces.
-use std::collections::{BTreeSet, HashMap, HashSet}; // simlint: allow(hash-collections)
+// The hash containers below are membership maps that are never iterated,
+// so their nondeterministic order cannot leak into traces.
+use std::collections::{BTreeSet, HashMap}; // simlint: allow(hash-collections)
 
-use netmodel::PointToPoint;
+use netmodel::{Domain, PointToPoint};
 use simdes::{EventQueue, SeedFactory, SimDuration, SimRng, SimTime};
 use tracefmt::{PhaseRecord, Trace};
-use workload::ExecModel;
+use workload::{CommPattern, ExecModel};
 
 use crate::config::{Mode, NoisePlacement, SimConfig};
 use crate::diag;
@@ -105,6 +118,110 @@ pub(crate) struct Request {
     pub(crate) state: ReqState,
 }
 
+/// Number of [`Request`] slots stored inline in [`ReqSlots`]. Next-neighbor
+/// patterns post at most two receives and two sends per step, so four slots
+/// cover every stencil config without touching the heap.
+const REQ_INLINE: usize = 4;
+
+/// A rank's posted requests for the current step. The inline array keeps
+/// the whole list (plus its length) on the rank's own cache line — the
+/// request-matching scans in the message handlers are the hottest reads in
+/// the engine, and a per-rank `Vec` would put them behind a second
+/// dependent pointer chase. Wider communication graphs (schedules, dense
+/// stencils) spill to a heap vector that keeps its capacity across steps.
+#[derive(Debug, Clone)]
+pub(crate) struct ReqSlots {
+    len: u32,
+    inline: [Request; REQ_INLINE],
+    spill: Vec<Request>,
+}
+
+impl Default for ReqSlots {
+    fn default() -> Self {
+        const EMPTY: Request = Request {
+            peer: 0,
+            is_send: false,
+            mode: Mode::Eager,
+            state: ReqState::Complete,
+        };
+        ReqSlots {
+            len: 0,
+            inline: [EMPTY; REQ_INLINE],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl ReqSlots {
+    pub(crate) fn from_slice(reqs: &[Request]) -> Self {
+        let mut s = ReqSlots::default();
+        for &r in reqs {
+            s.push(r);
+        }
+        s
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    pub(crate) fn reserve(&mut self, n: usize) {
+        if n > REQ_INLINE {
+            self.spill.reserve(n.saturating_sub(self.spill.len()));
+        }
+    }
+
+    /// Heap capacity only; the inline slots are part of the struct.
+    fn spill_capacity(&self) -> usize {
+        self.spill.capacity()
+    }
+
+    pub(crate) fn push(&mut self, r: Request) {
+        let n = self.len as usize;
+        if n < REQ_INLINE {
+            self.inline[n] = r;
+        } else {
+            if n == REQ_INLINE {
+                // First spill: migrate the inline slots so the whole list
+                // lives in one place and `as_slice` stays contiguous.
+                self.spill.clear();
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(r);
+        }
+        self.len += 1;
+    }
+
+    pub(crate) fn as_slice(&self) -> &[Request] {
+        if self.len as usize <= REQ_INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [Request] {
+        if self.len as usize <= REQ_INLINE {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, Request> {
+        self.as_slice().iter()
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> std::slice::IterMut<'_, Request> {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Phase {
     Computing,
@@ -115,6 +232,11 @@ pub(crate) enum Phase {
     Crashed,
 }
 
+/// One rank's dynamic state as a single record — the snapshot interchange
+/// form. The engine itself stores this state as structure-of-arrays
+/// ([`Ranks`]); `RankState` survives as the unit the checkpoint format
+/// serializes, keeping the on-disk schema independent of the in-memory
+/// layout.
 #[derive(Debug, Clone)]
 pub(crate) struct RankState {
     pub(crate) phase: Phase,
@@ -131,6 +253,268 @@ pub(crate) struct RankState {
     pub(crate) last_update: SimTime,
     pub(crate) rng: SimRng,
     pub(crate) comm_rng: SimRng,
+}
+
+/// Per-rank dynamic state, structure-of-arrays. Index `r` across every
+/// vector is rank `r`'s state; [`Ranks::state_of`]/[`Ranks::from_states`]
+/// convert to and from the [`RankState`] snapshot interchange form.
+#[derive(Debug)]
+pub(crate) struct Ranks {
+    pub(crate) phase: Vec<Phase>,
+    pub(crate) step: Vec<u32>,
+    pub(crate) reqs: Vec<ReqSlots>,
+    pub(crate) exec_start: Vec<SimTime>,
+    pub(crate) exec_end: Vec<SimTime>,
+    pub(crate) injected: Vec<SimDuration>,
+    pub(crate) noise_amt: Vec<SimDuration>,
+    pub(crate) epoch: Vec<u64>,
+    pub(crate) remaining_bytes: Vec<f64>,
+    pub(crate) last_update: Vec<SimTime>,
+    pub(crate) rng: Vec<SimRng>,
+    pub(crate) comm_rng: Vec<SimRng>,
+}
+
+impl Ranks {
+    fn new(nranks: u32, seeds: &SeedFactory, reqs: Vec<ReqSlots>) -> Self {
+        let n = nranks as usize;
+        let mut reqs = reqs;
+        reqs.iter_mut().for_each(ReqSlots::clear);
+        reqs.resize_with(n, ReqSlots::default);
+        reqs.truncate(n);
+        Ranks {
+            phase: vec![Phase::Computing; n],
+            step: vec![0; n],
+            reqs,
+            exec_start: vec![SimTime::ZERO; n],
+            exec_end: vec![SimTime::ZERO; n],
+            injected: vec![SimDuration::ZERO; n],
+            noise_amt: vec![SimDuration::ZERO; n],
+            epoch: vec![0; n],
+            remaining_bytes: vec![0.0; n],
+            last_update: vec![SimTime::ZERO; n],
+            rng: (0..nranks)
+                .map(|r| seeds.stream("exec-noise", u64::from(r)))
+                .collect(),
+            comm_rng: (0..nranks)
+                .map(|r| seeds.stream("comm-noise", u64::from(r)))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.phase.len()
+    }
+
+    /// Rank `r`'s state gathered into the snapshot interchange record.
+    pub(crate) fn state_of(&self, r: usize) -> RankState {
+        RankState {
+            phase: self.phase[r],
+            step: self.step[r],
+            reqs: self.reqs[r].as_slice().to_vec(),
+            exec_start: self.exec_start[r],
+            exec_end: self.exec_end[r],
+            injected: self.injected[r],
+            noise_amt: self.noise_amt[r],
+            epoch: self.epoch[r],
+            remaining_bytes: self.remaining_bytes[r],
+            last_update: self.last_update[r],
+            rng: self.rng[r].clone(),
+            comm_rng: self.comm_rng[r].clone(),
+        }
+    }
+
+    /// Scatter snapshot records back into the SoA layout.
+    pub(crate) fn from_states(states: &[RankState]) -> Self {
+        Ranks {
+            phase: states.iter().map(|s| s.phase).collect(),
+            step: states.iter().map(|s| s.step).collect(),
+            reqs: states
+                .iter()
+                .map(|s| ReqSlots::from_slice(&s.reqs))
+                .collect(),
+            exec_start: states.iter().map(|s| s.exec_start).collect(),
+            exec_end: states.iter().map(|s| s.exec_end).collect(),
+            injected: states.iter().map(|s| s.injected).collect(),
+            noise_amt: states.iter().map(|s| s.noise_amt).collect(),
+            epoch: states.iter().map(|s| s.epoch).collect(),
+            remaining_bytes: states.iter().map(|s| s.remaining_bytes).collect(),
+            last_update: states.iter().map(|s| s.last_update).collect(),
+            rng: states.iter().map(|s| s.rng.clone()).collect(),
+            comm_rng: states.iter().map(|s| s.comm_rng.clone()).collect(),
+        }
+    }
+}
+
+/// Early-arrival set (RTS or eager payloads that beat the matching recv
+/// post), stored per destination rank. The per-`dst` lists are almost
+/// always empty and never hold more than a rank's in-degree, so a linear
+/// scan beats hashing the `(src, dst, step)` triple — membership updates
+/// sit on the per-message hot path.
+#[derive(Debug)]
+pub(crate) struct EarlySet {
+    per_dst: Vec<Vec<(u32, u32)>>,
+}
+
+impl EarlySet {
+    fn new(nranks: usize) -> Self {
+        EarlySet {
+            per_dst: vec![Vec::new(); nranks],
+        }
+    }
+
+    fn insert(&mut self, src: u32, dst: u32, step: u32) {
+        let v = &mut self.per_dst[dst as usize];
+        // Set semantics: a duplicate arrival is recorded once.
+        if !v.contains(&(src, step)) {
+            v.push((src, step));
+        }
+    }
+
+    fn remove(&mut self, src: u32, dst: u32, step: u32) -> bool {
+        let v = &mut self.per_dst[dst as usize];
+        match v.iter().position(|&e| e == (src, step)) {
+            Some(i) => {
+                v.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All entries as `(src, dst, step)` triples in canonical sorted
+    /// order — the form the snapshot schema stores.
+    pub(crate) fn entries_sorted(&self) -> Vec<(u32, u32, u32)> {
+        let mut out: Vec<(u32, u32, u32)> = self
+            .per_dst
+            .iter()
+            .enumerate()
+            .flat_map(|(dst, v)| v.iter().map(move |&(src, step)| (src, dst as u32, step)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    pub(crate) fn from_entries(nranks: usize, entries: &[(u32, u32, u32)]) -> Self {
+        let mut set = EarlySet::new(nranks);
+        for &(src, dst, step) in entries {
+            set.insert(src, dst, step);
+        }
+        set
+    }
+}
+
+/// Per-rank communication partners in compressed sparse row form, built
+/// once at construction for pattern-driven runs (a [`CommPattern`]'s
+/// partner queries allocate a fresh `Vec` per call — off the hot path).
+/// Schedule-driven runs read the schedule's own per-step graphs instead.
+#[derive(Debug)]
+struct PartnerCsr {
+    recv_off: Vec<u32>,
+    recv: Vec<u32>,
+    send_off: Vec<u32>,
+    send: Vec<u32>,
+}
+
+impl PartnerCsr {
+    fn build(pattern: &CommPattern, nranks: u32) -> Self {
+        let mut recv_off = Vec::with_capacity(nranks as usize + 1);
+        let mut send_off = Vec::with_capacity(nranks as usize + 1);
+        let mut recv = Vec::new();
+        let mut send = Vec::new();
+        recv_off.push(0);
+        send_off.push(0);
+        for r in 0..nranks {
+            recv.extend(pattern.recv_partners(r, nranks));
+            send.extend(pattern.send_partners(r, nranks));
+            recv_off.push(recv.len() as u32);
+            send_off.push(send.len() as u32);
+        }
+        PartnerCsr {
+            recv_off,
+            recv,
+            send_off,
+            send,
+        }
+    }
+
+    #[inline]
+    fn recv_of(&self, r: u32) -> &[u32] {
+        &self.recv[self.recv_off[r as usize] as usize..self.recv_off[r as usize + 1] as usize]
+    }
+
+    #[inline]
+    fn send_of(&self, r: u32) -> &[u32] {
+        &self.send[self.send_off[r as usize] as usize..self.send_off[r as usize + 1] as usize]
+    }
+}
+
+/// Per-domain link costs, precomputed when no degradation windows exist:
+/// with a static topology every transfer cost depends only on which of
+/// the three domains (socket / node / network) the pair spans, so the
+/// LogGOPS/Hockney arithmetic runs three times at construction instead of
+/// once per message.
+#[derive(Debug, Clone, Copy)]
+struct LinkCache {
+    xfer: [SimDuration; 3],
+    ctrl: [SimDuration; 3],
+    gap: [SimDuration; 3],
+}
+
+const DOMAIN_ORDER: [Domain; 3] = [Domain::Socket, Domain::Node, Domain::Network];
+
+/// Trace retention policy of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Retain every [`PhaseRecord`] and build a full [`Trace`] — required
+    /// for checkpointing and all figure analyses.
+    Full,
+    /// Stream records into a [`RunSummary`] (count, order-insensitive
+    /// digest, per-rank finish times) without retaining them — O(ranks)
+    /// memory instead of O(ranks × steps), for throughput benchmarking
+    /// and bulk sweeps that only need aggregate results.
+    Summary,
+}
+
+/// Aggregate result of a [`TraceMode::Summary`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Ranks in the run.
+    pub ranks: u32,
+    /// Steps in the run.
+    pub steps: u32,
+    /// Phase records streamed through (always `ranks × steps` for a
+    /// completed run).
+    pub records: u64,
+    /// Order-insensitive digest: the wrapping sum of every record's
+    /// [`PhaseRecord::digest`]. Equal to the same fold over a full run's
+    /// trace iff the two runs produced bit-identical records.
+    pub digest: u64,
+    /// Per-rank time of the final step's communication-phase end.
+    pub finish: Vec<SimTime>,
+}
+
+impl RunSummary {
+    /// Wall-clock time at which the whole run finished (slowest rank).
+    pub fn total_runtime(&self) -> SimTime {
+        self.finish.iter().copied().max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// The summary a [`TraceMode::Summary`] run of the same scenario
+    /// would produce, folded from a full trace. The bridge the tests use
+    /// to prove summary mode loses nothing but the per-record detail.
+    pub fn of_trace(t: &Trace) -> RunSummary {
+        let mut digest = 0u64;
+        for r in t.iter() {
+            digest = digest.wrapping_add(r.digest());
+        }
+        RunSummary {
+            ranks: t.ranks(),
+            steps: t.steps(),
+            records: u64::from(t.ranks()) * u64::from(t.steps()),
+            digest,
+            finish: (0..t.ranks()).map(|r| t.finish_time(r)).collect(),
+        }
+    }
 }
 
 /// Resource statistics of a completed simulation.
@@ -155,18 +539,91 @@ pub struct RunStats {
     pub lost_transfers: u64,
 }
 
+/// Reusable allocations for engines run back to back — the event queue,
+/// record buffer, per-rank request lists, and scratch vectors survive
+/// across runs, so a pooled engine of the same shape stops allocating
+/// after its first run. Build one with [`EnginePools::new`], hand it to
+/// [`Engine::try_new_pooled`] (or the `*_pooled` run helpers), and give
+/// the buffers back with [`Engine::recycle`].
+#[derive(Debug)]
+pub struct EnginePools {
+    q: EventQueue<Ev>,
+    records: Vec<PhaseRecord>,
+    reqs: Vec<ReqSlots>,
+    scratch_recv: Vec<u32>,
+    scratch_send: Vec<u32>,
+    scratch_cts: Vec<u32>,
+    /// Highest total capacity (entries across all pooled buffers) ever
+    /// returned by a recycle.
+    watermark: usize,
+    grows: u64,
+    runs: u64,
+}
+
+impl EnginePools {
+    /// Empty pools; the first run's allocations become the baseline.
+    pub fn new() -> Self {
+        EnginePools {
+            q: EventQueue::new(),
+            records: Vec::new(),
+            reqs: Vec::new(),
+            scratch_recv: Vec::new(),
+            scratch_send: Vec::new(),
+            scratch_cts: Vec::new(),
+            watermark: 0,
+            grows: 0,
+            runs: 0,
+        }
+    }
+
+    /// Number of recycles in which some pooled buffer had grown past the
+    /// previous capacity watermark. After the first run of a given
+    /// scenario shape, this must stay constant — the allocation-stability
+    /// contract the pooling tests assert.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Number of runs recycled into this pool.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Total pooled capacity, in buffer entries.
+    fn capacity(&self) -> usize {
+        self.q.capacity()
+            + self.records.capacity()
+            + self.reqs.capacity()
+            + self
+                .reqs
+                .iter()
+                .map(ReqSlots::spill_capacity)
+                .sum::<usize>()
+            + self.scratch_recv.capacity()
+            + self.scratch_send.capacity()
+            + self.scratch_cts.capacity()
+    }
+}
+
+impl Default for EnginePools {
+    fn default() -> Self {
+        EnginePools::new()
+    }
+}
+
 /// The simulation engine. Build with [`Engine::new`], run with
 /// [`Engine::run`] (or use the [`crate::run`] convenience function).
 pub struct Engine {
     pub(crate) cfg: SimConfig,
     pub(crate) q: EventQueue<Ev>,
-    pub(crate) ranks: Vec<RankState>,
+    pub(crate) ranks: Ranks,
     /// RTS that arrived before the matching recv was posted.
-    pub(crate) early_rts: HashSet<(u32, u32, u32)>, // simlint: allow(hash-collections)
+    pub(crate) early_rts: EarlySet,
     /// Eager payloads that arrived before the matching recv was posted.
-    pub(crate) early_eager: HashSet<(u32, u32, u32)>, // simlint: allow(hash-collections)
+    pub(crate) early_eager: EarlySet,
     /// Unconsumed eager bytes per (src, dst), for the finite-buffer
-    /// fallback.
+    /// fallback. Only maintained when a buffer capacity is configured
+    /// (`track_eager`); keyed lookup only, never iterated.
     pub(crate) outstanding_eager: HashMap<(u32, u32), u64>, // simlint: allow(hash-collections)
     /// Ranks currently in the shared-bandwidth work segment, per socket.
     pub(crate) socket_members: Vec<BTreeSet<u32>>,
@@ -190,6 +647,41 @@ pub struct Engine {
     /// not started; a restored one resumes mid-run and must not re-seed
     /// the queue with step-0 executions.
     pub(crate) started: bool,
+    // ---- derived caches, rebuilt from `cfg` and never snapshotted ----
+    pub(crate) mode: TraceMode,
+    /// Maintain `outstanding_eager`? Only when a finite eager buffer can
+    /// actually force a fallback.
+    track_eager: bool,
+    /// Any stalls/crashes in the fault plan at all?
+    has_rank_faults: bool,
+    /// Per rank: does the injection plan target it anywhere?
+    has_inj: Vec<bool>,
+    /// Compute model: per-rank work time with imbalance applied.
+    base_exec: Vec<SimDuration>,
+    /// Memory-bound model: per-rank phase bytes with imbalance applied.
+    base_bytes: Vec<f64>,
+    rank_node: Vec<u32>,
+    rank_socket: Vec<u32>,
+    link_cache: Option<LinkCache>,
+    csr: Option<PartnerCsr>,
+    // Request-progress counters, always derivable from `ranks.reqs` (and
+    // recomputed from them on restore). They make the per-event `service`
+    // check three integer compares instead of two request scans:
+    /// Per rank: posted receives still in [`ReqState::Unmatched`] — the
+    /// head-of-line CTS gate is `unmatched_recvs == 0`.
+    unmatched_recvs: Vec<u32>,
+    /// Per rank: receives in [`ReqState::MatchedNoCts`] awaiting a CTS
+    /// grant; the grant scan only runs when this is nonzero.
+    gated_cts: Vec<u32>,
+    /// Per rank: requests not yet [`ReqState::Complete`] — the step
+    /// finishes when this hits zero.
+    incomplete: Vec<u32>,
+    scratch_recv: Vec<u32>,
+    scratch_send: Vec<u32>,
+    scratch_cts: Vec<u32>,
+    summary_records: u64,
+    summary_digest: u64,
+    finish: Vec<SimTime>,
 }
 
 impl Engine {
@@ -211,45 +703,151 @@ impl Engine {
             let errors = diags.into_iter().filter(|d| d.is_error()).collect();
             return Err(SimError::InvalidConfig(errors));
         }
+        Ok(Engine::scaffold(cfg, None))
+    }
+
+    /// [`Engine::try_new`] drawing its large allocations from `pools`
+    /// instead of the allocator. [`Engine::recycle`] (or the `*_pooled`
+    /// run helpers, which call it) gives them back afterwards.
+    pub fn try_new_pooled(cfg: SimConfig, pools: &mut EnginePools) -> Result<Self, SimError> {
+        let diags = cfg.check();
+        if diag::has_errors(&diags) {
+            let errors = diags.into_iter().filter(|d| d.is_error()).collect();
+            return Err(SimError::InvalidConfig(errors));
+        }
+        Ok(Engine::scaffold(cfg, Some(pools)))
+    }
+
+    /// Build an engine in the fresh (pre-run) state with every derived
+    /// cache computed from a validated `cfg`. `restore` overwrites the
+    /// dynamic state afterwards; `try_new` uses it as-is.
+    pub(crate) fn scaffold(cfg: SimConfig, pools: Option<&mut EnginePools>) -> Self {
         let seeds = SeedFactory::new(cfg.seed);
         let nranks = cfg.ranks();
-        let ranks = (0..nranks)
-            .map(|r| RankState {
-                phase: Phase::Computing,
-                step: 0,
-                reqs: Vec::new(),
-                exec_start: SimTime::ZERO,
-                exec_end: SimTime::ZERO,
-                injected: SimDuration::ZERO,
-                noise_amt: SimDuration::ZERO,
-                epoch: 0,
-                remaining_bytes: 0.0,
-                last_update: SimTime::ZERO,
-                rng: seeds.stream("exec-noise", u64::from(r)),
-                comm_rng: seeds.stream("comm-noise", u64::from(r)),
-            })
-            .collect();
+        let n = nranks as usize;
+        // Take reusable buffers out of the pool (fresh Vecs otherwise).
+        let (mut q, records, reqs, scratch_recv, scratch_send, scratch_cts) = match pools {
+            Some(p) => (
+                std::mem::take(&mut p.q),
+                std::mem::take(&mut p.records),
+                std::mem::take(&mut p.reqs),
+                std::mem::take(&mut p.scratch_recv),
+                std::mem::take(&mut p.scratch_send),
+                std::mem::take(&mut p.scratch_cts),
+            ),
+            None => (
+                EventQueue::with_capacity(4 * n),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            ),
+        };
+        q.reset();
+        let ranks = Ranks::new(nranks, &seeds, reqs);
         let sockets = cfg.network.machine.total_sockets() as usize;
         let base_mode = cfg.protocol.mode_for(cfg.msg_bytes);
-        Ok(Engine {
-            q: EventQueue::with_capacity(4 * nranks as usize),
+        let mut has_inj = vec![false; n];
+        for inj in cfg.injections.injections() {
+            if let Some(f) = has_inj.get_mut(inj.rank as usize) {
+                *f = true;
+            }
+        }
+        let (base_exec, base_bytes) = {
+            let factor = |r: usize| cfg.imbalance.get(r).copied().unwrap_or(1.0);
+            match cfg.exec {
+                ExecModel::Compute { duration } => (
+                    (0..n).map(|r| duration.mul_f64(factor(r))).collect(),
+                    Vec::new(),
+                ),
+                ExecModel::MemoryBound { bytes, .. } => (
+                    Vec::new(),
+                    (0..n).map(|r| bytes as f64 * factor(r)).collect(),
+                ),
+            }
+        };
+        let rank_node: Vec<u32> = (0..nranks).map(|r| cfg.network.locate(r).node).collect();
+        let rank_socket: Vec<u32> = (0..nranks).map(|r| cfg.network.socket_of(r)).collect();
+        let link_cache = if cfg.faults.degradations.is_empty() {
+            let model = |d: Domain| -> PointToPoint { cfg.network.models.for_domain(d) };
+            Some(LinkCache {
+                xfer: DOMAIN_ORDER.map(|d| model(d).transfer_time(cfg.msg_bytes)),
+                ctrl: DOMAIN_ORDER.map(|d| model(d).ctrl_latency()),
+                gap: DOMAIN_ORDER.map(|d| model(d).injection_gap()),
+            })
+        } else {
+            None
+        };
+        let csr = if cfg.schedule.is_none() {
+            Some(PartnerCsr::build(&cfg.pattern, nranks))
+        } else {
+            None
+        };
+        let track_eager = cfg.eager_buffer_bytes.is_some();
+        let has_rank_faults = !cfg.faults.rank_faults.is_empty();
+        Engine {
+            cfg,
+            q,
             ranks,
-            early_rts: HashSet::new(),   // simlint: allow(hash-collections)
-            early_eager: HashSet::new(), // simlint: allow(hash-collections)
+            early_rts: EarlySet::new(n),
+            early_eager: EarlySet::new(n),
             outstanding_eager: HashMap::new(), // simlint: allow(hash-collections)
             socket_members: vec![BTreeSet::new(); sockets],
-            records: Vec::with_capacity(nranks as usize * cfg.steps as usize),
+            records,
             done_count: 0,
             base_mode,
-            nic_free: vec![SimTime::ZERO; nranks as usize],
+            nic_free: vec![SimTime::ZERO; n],
             stats: RunStats::default(),
             seeds,
             fault_rngs: HashMap::new(), // simlint: allow(hash-collections)
             crashed: Vec::new(),
             lost: Vec::new(),
             started: false,
-            cfg,
-        })
+            mode: TraceMode::Full,
+            track_eager,
+            has_rank_faults,
+            has_inj,
+            base_exec,
+            base_bytes,
+            rank_node,
+            rank_socket,
+            link_cache,
+            csr,
+            unmatched_recvs: vec![0; n],
+            gated_cts: vec![0; n],
+            incomplete: vec![0; n],
+            scratch_recv,
+            scratch_send,
+            scratch_cts,
+            summary_records: 0,
+            summary_digest: 0,
+            finish: vec![SimTime::ZERO; n],
+        }
+    }
+
+    /// Return every pooled buffer to `pools` for the next run, updating
+    /// the capacity watermark and grow counter.
+    pub fn recycle(mut self, pools: &mut EnginePools) {
+        self.q.reset();
+        self.records.clear();
+        let mut reqs = self.ranks.reqs;
+        reqs.iter_mut().for_each(ReqSlots::clear);
+        self.scratch_recv.clear();
+        self.scratch_send.clear();
+        self.scratch_cts.clear();
+        pools.q = self.q;
+        pools.records = self.records;
+        pools.reqs = reqs;
+        pools.scratch_recv = self.scratch_recv;
+        pools.scratch_send = self.scratch_send;
+        pools.scratch_cts = self.scratch_cts;
+        let cap = pools.capacity();
+        if pools.runs > 0 && cap > pools.watermark {
+            pools.grows += 1;
+        }
+        pools.watermark = pools.watermark.max(cap);
+        pools.runs += 1;
     }
 
     /// Run to completion and return the trace.
@@ -296,6 +894,42 @@ impl Engine {
         self.try_run_checkpointed(limits, &CheckpointPolicy::none(), |_| {})
     }
 
+    /// Run to completion in [`TraceMode::Summary`]: phase records are
+    /// folded into a [`RunSummary`] as they complete instead of being
+    /// retained, so memory stays O(ranks) regardless of step count. The
+    /// summary's digest equals [`RunSummary::of_trace`] of the full-mode
+    /// trace of the same scenario iff the runs are bit-identical.
+    ///
+    /// # Panics
+    /// Panics when called on a restored (already started) engine: the
+    /// records completed before the snapshot cut are gone, so a summary
+    /// resumed mid-run would silently miss them.
+    pub fn try_run_summary(
+        mut self,
+        limits: &RunLimits,
+    ) -> Result<(RunSummary, RunStats), SimError> {
+        assert!(
+            !self.started,
+            "summary mode must start from a fresh engine, not a restored one"
+        );
+        self.mode = TraceMode::Summary;
+        self.run_loop(limits, &CheckpointPolicy::none(), &mut |_| {})?;
+        Ok(self.take_summary())
+    }
+
+    fn take_summary(&mut self) -> (RunSummary, RunStats) {
+        (
+            RunSummary {
+                ranks: self.cfg.ranks(),
+                steps: self.cfg.steps,
+                records: self.summary_records,
+                digest: self.summary_digest,
+                finish: std::mem::take(&mut self.finish),
+            },
+            self.stats,
+        )
+    }
+
     /// [`Engine::try_run_with_stats`] with periodic checkpointing: whenever
     /// the `policy` cadence comes due, a [`Snapshot`] of the paused engine
     /// is captured and handed to `sink`. Snapshots are cut between event
@@ -314,54 +948,93 @@ impl Engine {
     where
         F: FnMut(&Snapshot),
     {
+        self.run_loop(limits, policy, &mut sink)?;
+        let trace = Trace::from_records(
+            self.cfg.ranks(),
+            self.cfg.steps,
+            std::mem::take(&mut self.records),
+        );
+        Ok((trace, self.stats))
+    }
+
+    /// The event loop proper: drain the queue, dispatching every event,
+    /// until the run completes, a budget trips, or the queue starves.
+    fn run_loop<F>(
+        &mut self,
+        limits: &RunLimits,
+        policy: &CheckpointPolicy,
+        sink: &mut F,
+    ) -> Result<(), SimError>
+    where
+        F: FnMut(&Snapshot),
+    {
         let nranks = self.cfg.ranks();
+        if self.mode == TraceMode::Full {
+            // Reserve the full record budget up front (outside the timed
+            // construction path, retained across pooled reuse).
+            let want = nranks as usize * self.cfg.steps as usize;
+            self.records
+                .reserve(want.saturating_sub(self.records.len()));
+        }
         if !self.started {
             self.started = true;
             for r in 0..nranks {
                 self.start_exec(r, SimTime::ZERO);
             }
         }
-        // Checkpoint cadence is measured from where *this* run started, so
-        // a restored engine checkpoints relative to its resume point. The
-        // counters are deliberately not part of the snapshot: checkpoint
-        // timing never feeds back into simulation state.
-        let mut last_ckpt_events = self.q.delivered();
-        let mut next_ckpt_time = policy.every_sim_time.map(|dt| self.q.now() + dt);
-        while let Some((now, ev)) = self.q.pop() {
-            self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
-            if let Some(budget) = limits.max_sim_time {
-                if now > budget {
-                    return Err(SimError::Watchdog {
-                        at: now,
-                        events: self.q.delivered(),
-                        why: format!("sim time budget t = {budget} exceeded"),
-                    });
-                }
+        let plain =
+            limits.max_sim_time.is_none() && limits.max_events.is_none() && !policy.is_active();
+        if plain {
+            // Budget- and checkpoint-free fast path: nothing between
+            // pop and dispatch but the peak-queue statistic.
+            while let Some((now, ev)) = self.q.pop() {
+                self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
+                self.dispatch(now, ev);
             }
-            if let Some(max_events) = limits.max_events {
-                if self.q.delivered() > max_events {
-                    return Err(SimError::Watchdog {
-                        at: now,
-                        events: self.q.delivered(),
-                        why: format!("event budget {max_events} exceeded"),
-                    });
-                }
-            }
-            self.dispatch(now, ev);
-            let events_due = policy
-                .every_events
-                .is_some_and(|n| self.q.delivered() - last_ckpt_events >= n);
-            let time_due = next_ckpt_time.is_some_and(|t| now >= t);
-            if events_due || time_due {
-                last_ckpt_events = self.q.delivered();
-                if let (Some(dt), Some(t)) = (policy.every_sim_time, next_ckpt_time) {
-                    let mut next = t;
-                    while now >= next {
-                        next = next + dt;
+        } else {
+            // Checkpoint cadence is measured from where *this* run
+            // started, so a restored engine checkpoints relative to its
+            // resume point. The counters are deliberately not part of the
+            // snapshot: checkpoint timing never feeds back into
+            // simulation state.
+            let mut last_ckpt_events = self.q.delivered();
+            let mut next_ckpt_time = policy.every_sim_time.map(|dt| self.q.now() + dt);
+            while let Some((now, ev)) = self.q.pop() {
+                self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
+                if let Some(budget) = limits.max_sim_time {
+                    if now > budget {
+                        return Err(SimError::Watchdog {
+                            at: now,
+                            events: self.q.delivered(),
+                            why: format!("sim time budget t = {budget} exceeded"),
+                        });
                     }
-                    next_ckpt_time = Some(next);
                 }
-                sink(&self.checkpoint());
+                if let Some(max_events) = limits.max_events {
+                    if self.q.delivered() > max_events {
+                        return Err(SimError::Watchdog {
+                            at: now,
+                            events: self.q.delivered(),
+                            why: format!("event budget {max_events} exceeded"),
+                        });
+                    }
+                }
+                self.dispatch(now, ev);
+                let events_due = policy
+                    .every_events
+                    .is_some_and(|n| self.q.delivered() - last_ckpt_events >= n);
+                let time_due = next_ckpt_time.is_some_and(|t| now >= t);
+                if events_due || time_due {
+                    last_ckpt_events = self.q.delivered();
+                    if let (Some(dt), Some(t)) = (policy.every_sim_time, next_ckpt_time) {
+                        let mut next = t;
+                        while now >= next {
+                            next = next + dt;
+                        }
+                        next_ckpt_time = Some(next);
+                    }
+                    sink(&self.checkpoint());
+                }
             }
         }
         self.stats.events = self.q.delivered();
@@ -372,10 +1045,7 @@ impl Engine {
                 report: self.deadlock_report(),
             });
         }
-        Ok((
-            Trace::from_records(nranks, self.cfg.steps, self.records),
-            self.stats,
-        ))
+        Ok(())
     }
 
     /// Post-mortem for a drained event queue with unfinished ranks: build
@@ -388,18 +1058,19 @@ impl Engine {
         let mut g = simdes::Digraph::new(nranks);
         let mut stuck = Vec::new();
         for r in 0..nranks {
-            let s = &self.ranks[r];
-            if s.phase == Phase::Done {
+            if self.ranks.phase[r] == Phase::Done {
                 continue;
             }
             stuck.push(format!(
                 "rank {r}: step {} phase {:?} reqs {:?}",
-                s.step, s.phase, s.reqs
+                self.ranks.step[r],
+                self.ranks.phase[r],
+                self.ranks.reqs[r].as_slice()
             ));
-            if s.phase != Phase::Waiting {
+            if self.ranks.phase[r] != Phase::Waiting {
                 continue;
             }
-            for req in &s.reqs {
+            for req in self.ranks.reqs[r].iter() {
                 let blocked_on_peer = match (req.is_send, req.state) {
                     // Posted recv with no RTS / eager payload from the peer.
                     (false, ReqState::Unmatched) => true,
@@ -445,13 +1116,13 @@ impl Engine {
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::ExecEnd { rank, epoch } => {
-                if self.ranks[rank as usize].epoch == epoch {
+                if self.ranks.epoch[rank as usize] == epoch {
                     self.on_exec_end(rank, now);
                 }
             }
             Ev::WorkStart { rank } => self.on_work_start(rank, now),
             Ev::WorkEnd { rank, epoch } => {
-                if self.ranks[rank as usize].epoch == epoch {
+                if self.ranks.epoch[rank as usize] == epoch {
                     self.on_work_end(rank, now);
                 }
             }
@@ -473,46 +1144,46 @@ impl Engine {
     // ---- execution phase ------------------------------------------------
 
     fn start_exec(&mut self, rank: u32, now: SimTime) {
-        let step = self.ranks[rank as usize].step;
+        let ri = rank as usize;
+        let step = self.ranks.step[ri];
         // Rank faults fold into the injected-delay bookkeeping: a stall
         // and a recoverable crash outage both lengthen the execution phase
         // exactly like a one-off injection, so every downstream analysis
         // (wave speed, decay fits, trace records) sees them uniformly.
-        let mut injected =
-            self.cfg.injections.delay_for(rank, step) + self.cfg.faults.stall_for(rank, step);
-        match self.cfg.faults.crash_for(rank, step) {
-            Some(CrashOutcome::FailStop) => {
-                let st = &mut self.ranks[rank as usize];
-                st.phase = Phase::Crashed;
-                st.exec_start = now;
-                st.epoch += 1; // invalidate anything already scheduled
-                self.crashed.push(rank);
-                return;
-            }
-            Some(CrashOutcome::Recovers(outage)) => injected += outage,
-            None => {}
+        // Both lookups scan plan vectors, so they are gated on cheap
+        // "anything there at all?" flags computed at construction.
+        let mut injected = SimDuration::ZERO;
+        if self.has_inj[ri] {
+            injected = injected + self.cfg.injections.delay_for(rank, step);
         }
-        let noise = self.sample_exec_noise(rank);
-        let st = &mut self.ranks[rank as usize];
-        st.phase = Phase::Computing;
-        st.exec_start = now;
-        st.injected = injected;
-        st.noise_amt = noise;
-        st.epoch += 1;
-        let factor = self
-            .cfg
-            .imbalance
-            .get(rank as usize)
-            .copied()
-            .unwrap_or(1.0);
+        if self.has_rank_faults {
+            injected = injected + self.cfg.faults.stall_for(rank, step);
+            match self.cfg.faults.crash_for(rank, step) {
+                Some(CrashOutcome::FailStop) => {
+                    self.ranks.phase[ri] = Phase::Crashed;
+                    self.ranks.exec_start[ri] = now;
+                    self.ranks.epoch[ri] += 1; // invalidate anything already scheduled
+                    self.crashed.push(rank);
+                    return;
+                }
+                Some(CrashOutcome::Recovers(outage)) => injected += outage,
+                None => {}
+            }
+        }
+        let noise = self.cfg.noise.sample(&mut self.ranks.rng[ri]);
+        self.ranks.phase[ri] = Phase::Computing;
+        self.ranks.exec_start[ri] = now;
+        self.ranks.injected[ri] = injected;
+        self.ranks.noise_amt[ri] = noise;
+        self.ranks.epoch[ri] += 1;
         match self.cfg.exec {
-            ExecModel::Compute { duration } => {
-                let total = injected + duration.mul_f64(factor) + noise;
-                let epoch = st.epoch;
+            ExecModel::Compute { .. } => {
+                let total = injected + self.base_exec[ri] + noise;
+                let epoch = self.ranks.epoch[ri];
                 self.q.schedule_at(now + total, Ev::ExecEnd { rank, epoch });
             }
-            ExecModel::MemoryBound { bytes, .. } => {
-                st.remaining_bytes = bytes as f64 * factor;
+            ExecModel::MemoryBound { .. } => {
+                self.ranks.remaining_bytes[ri] = self.base_bytes[ri];
                 // The injected delay stalls the core *before* the memory
                 // work (matches how the paper draws delay bars), and a
                 // stalled core does not contend for bandwidth.
@@ -521,29 +1192,24 @@ impl Engine {
         }
     }
 
-    fn sample_exec_noise(&mut self, rank: u32) -> SimDuration {
-        let st = &mut self.ranks[rank as usize];
-        self.cfg.noise.sample(&mut st.rng)
-    }
-
     fn on_work_start(&mut self, rank: u32, now: SimTime) {
-        let socket = self.cfg.network.socket_of(rank) as usize;
+        let socket = self.rank_socket[rank as usize] as usize;
         self.integrate_socket(socket, now);
-        self.ranks[rank as usize].last_update = now;
+        self.ranks.last_update[rank as usize] = now;
         self.socket_members[socket].insert(rank);
         self.reschedule_socket(socket, now);
     }
 
     fn on_work_end(&mut self, rank: u32, now: SimTime) {
-        let socket = self.cfg.network.socket_of(rank) as usize;
+        let socket = self.rank_socket[rank as usize] as usize;
         self.integrate_socket(socket, now);
         self.socket_members[socket].remove(&rank);
         self.reschedule_socket(socket, now);
         // Trailing noise is serial (OS interference, not memory traffic).
-        let st = &mut self.ranks[rank as usize];
-        st.epoch += 1;
-        let epoch = st.epoch;
-        let noise = st.noise_amt;
+        let ri = rank as usize;
+        self.ranks.epoch[ri] += 1;
+        let epoch = self.ranks.epoch[ri];
+        let noise = self.ranks.noise_amt[ri];
         self.q.schedule_at(now + noise, Ev::ExecEnd { rank, epoch });
     }
 
@@ -555,12 +1221,13 @@ impl Engine {
             return;
         }
         let rate = self.cfg.exec.shared_rate_bps(n);
-        let members: Vec<u32> = self.socket_members[socket].iter().copied().collect();
-        for m in members {
-            let st = &mut self.ranks[m as usize];
-            let dt = now.saturating_since(st.last_update).as_secs_f64();
-            st.remaining_bytes = (st.remaining_bytes - dt * rate).max(0.0);
-            st.last_update = now;
+        for &m in &self.socket_members[socket] {
+            let mi = m as usize;
+            let dt = now
+                .saturating_since(self.ranks.last_update[mi])
+                .as_secs_f64();
+            self.ranks.remaining_bytes[mi] = (self.ranks.remaining_bytes[mi] - dt * rate).max(0.0);
+            self.ranks.last_update[mi] = now;
         }
     }
 
@@ -571,16 +1238,15 @@ impl Engine {
             return;
         }
         let rate = self.cfg.exec.shared_rate_bps(n);
-        let members: Vec<u32> = self.socket_members[socket].iter().copied().collect();
-        for m in members {
-            let st = &mut self.ranks[m as usize];
-            st.epoch += 1;
-            let finish = now + SimDuration::from_secs_f64(st.remaining_bytes / rate);
+        for &m in &self.socket_members[socket] {
+            let mi = m as usize;
+            self.ranks.epoch[mi] += 1;
+            let finish = now + SimDuration::from_secs_f64(self.ranks.remaining_bytes[mi] / rate);
             self.q.schedule_at(
                 finish,
                 Ev::WorkEnd {
                     rank: m,
-                    epoch: st.epoch,
+                    epoch: self.ranks.epoch[mi],
                 },
             );
         }
@@ -589,56 +1255,94 @@ impl Engine {
     // ---- communication phase --------------------------------------------
 
     fn on_exec_end(&mut self, rank: u32, now: SimTime) {
-        let nranks = self.cfg.ranks();
-        let step = self.ranks[rank as usize].step;
-        self.ranks[rank as usize].exec_end = now;
-        self.ranks[rank as usize].phase = Phase::Waiting;
+        let ri = rank as usize;
+        self.ranks.exec_end[ri] = now;
+        self.ranks.phase[ri] = Phase::Waiting;
 
         // Post all receives, then all sends (Isend/Irecv then Waitall).
-        let (recv_partners, send_partners) = match &self.cfg.schedule {
-            Some(sched) => {
+        if let Some(csr) = self.csr.take() {
+            // No schedule: the partner lists live in the CSR, moved out
+            // of the engine for the duration of the call so the posting
+            // loops can mutate the engine without copying the slices.
+            self.post_requests(rank, now, csr.recv_of(rank), csr.send_of(rank));
+            self.csr = Some(csr);
+        } else {
+            // Schedule path: the graph borrow cannot outlive the posting
+            // loops' mutations, so partners go through reusable scratch
+            // buffers.
+            let mut recv_buf = std::mem::take(&mut self.scratch_recv);
+            let mut send_buf = std::mem::take(&mut self.scratch_send);
+            recv_buf.clear();
+            send_buf.clear();
+            {
+                let step = self.ranks.step[ri];
+                let sched = self
+                    .cfg
+                    .schedule
+                    .as_ref()
+                    .expect("partner CSR is built whenever there is no schedule");
                 let g = sched.graph_for(step);
-                (
-                    g.recv_partners(rank).to_vec(),
-                    g.send_partners(rank).to_vec(),
-                )
+                recv_buf.extend_from_slice(g.recv_partners(rank));
+                send_buf.extend_from_slice(g.send_partners(rank));
             }
-            None => (
-                self.cfg.pattern.recv_partners(rank, nranks),
-                self.cfg.pattern.send_partners(rank, nranks),
-            ),
-        };
-        let mut reqs = Vec::with_capacity(recv_partners.len() + send_partners.len());
+            self.post_requests(rank, now, &recv_buf, &send_buf);
+            self.scratch_recv = recv_buf;
+            self.scratch_send = send_buf;
+        }
+        self.service(rank, now);
+    }
 
-        for src in recv_partners {
+    /// Post this step's receive and send requests for `rank` and fire the
+    /// protocol's opening messages (eager payloads or RTS).
+    fn post_requests(&mut self, rank: u32, now: SimTime, recvs: &[u32], sends: &[u32]) {
+        let ri = rank as usize;
+        let step = self.ranks.step[ri];
+        let mut reqs = std::mem::take(&mut self.ranks.reqs[ri]);
+        debug_assert!(reqs.is_empty(), "requests from the previous step leaked");
+        reqs.reserve(recvs.len() + sends.len());
+        let mut n_unmatched = 0u32;
+        let mut n_gated = 0u32;
+        let mut n_incomplete = 0u32;
+
+        for &src in recvs {
             let mut req = Request {
                 peer: src,
                 is_send: false,
                 mode: self.base_mode,
                 state: ReqState::Unmatched,
             };
-            let key = (src, rank, step);
             match self.base_mode {
                 Mode::Eager => {
-                    if self.early_eager.remove(&key) {
+                    if self.early_eager.remove(src, rank, step) {
                         self.consume_eager(src, rank);
                         req.state = ReqState::Complete;
-                    } else if self.early_rts.remove(&key) {
+                    } else if self.early_rts.remove(src, rank, step) {
                         // The sender fell back to rendezvous (full buffer).
                         req.mode = Mode::Rendezvous;
                         req.state = ReqState::MatchedNoCts;
                     }
                 }
                 Mode::Rendezvous => {
-                    if self.early_rts.remove(&key) {
+                    if self.early_rts.remove(src, rank, step) {
                         req.state = ReqState::MatchedNoCts;
                     }
                 }
             }
+            match req.state {
+                ReqState::Unmatched => {
+                    n_unmatched += 1;
+                    n_incomplete += 1;
+                }
+                ReqState::MatchedNoCts => {
+                    n_gated += 1;
+                    n_incomplete += 1;
+                }
+                ReqState::InFlight | ReqState::Complete => {}
+            }
             reqs.push(req);
         }
 
-        for dst in send_partners {
+        for &dst in sends {
             let mode = self.effective_send_mode(rank, dst);
             if self.base_mode == Mode::Eager && mode == Mode::Rendezvous {
                 self.stats.eager_fallbacks += 1;
@@ -649,8 +1353,10 @@ impl Engine {
                     // copy is lost in flight: the *receiver* starves.
                     if let Some(extra) = self.fault_delay(rank, dst, "eager payload", step) {
                         self.stats.messages += 1;
-                        *self.outstanding_eager.entry((rank, dst)).or_insert(0) +=
-                            self.cfg.msg_bytes;
+                        if self.track_eager {
+                            *self.outstanding_eager.entry((rank, dst)).or_insert(0) +=
+                                self.cfg.msg_bytes;
+                        }
                         let arrive = self.launch_transfer(rank, dst, now + extra);
                         self.q.schedule_at(
                             arrive,
@@ -676,6 +1382,7 @@ impl Engine {
                             },
                         );
                     }
+                    n_incomplete += 1;
                     ReqState::Unmatched
                 }
             };
@@ -687,8 +1394,10 @@ impl Engine {
             });
         }
 
-        self.ranks[rank as usize].reqs = reqs;
-        self.service(rank, now);
+        self.ranks.reqs[ri] = reqs;
+        self.unmatched_recvs[ri] = n_unmatched;
+        self.gated_cts[ri] = n_gated;
+        self.incomplete[ri] = n_incomplete;
     }
 
     /// Eager unless the message would overflow the destination buffer.
@@ -714,13 +1423,31 @@ impl Engine {
     }
 
     fn consume_eager(&mut self, src: u32, dst: u32) {
+        if !self.track_eager {
+            return;
+        }
         if let Some(v) = self.outstanding_eager.get_mut(&(src, dst)) {
             *v = v.saturating_sub(self.cfg.msg_bytes);
         }
     }
 
+    /// Which cached-link domain the pair `a -> b` spans: 0 socket, 1 node,
+    /// 2 network (matches [`DOMAIN_ORDER`]).
+    #[inline]
+    fn domain_idx(&self, a: u32, b: u32) -> usize {
+        debug_assert_ne!(a, b, "self-message on rank {a}");
+        if self.rank_node[a as usize] != self.rank_node[b as usize] {
+            2
+        } else if self.rank_socket[a as usize] != self.rank_socket[b as usize] {
+            1
+        } else {
+            0
+        }
+    }
+
     /// The link model `a -> b` effective at `now`: the base topology link,
-    /// degraded by any active fault windows.
+    /// degraded by any active fault windows. Slow path — callers consult
+    /// the [`LinkCache`] first when no degradations exist.
     fn link_at(&self, a: u32, b: u32, now: SimTime) -> PointToPoint {
         let link = self.cfg.network.link(a, b);
         match self.cfg.faults.degradation_at(a, b, now) {
@@ -731,7 +1458,10 @@ impl Engine {
 
     /// Control-message latency `a -> b` for a packet departing at `now`.
     fn ctrl_latency_at(&self, a: u32, b: u32, now: SimTime) -> SimDuration {
-        self.link_at(a, b, now).ctrl_latency()
+        match &self.link_cache {
+            Some(c) => c.ctrl[self.domain_idx(a, b)],
+            None => self.link_at(a, b, now).ctrl_latency(),
+        }
     }
 
     /// Sample the message-fault fate of one transfer departing on the
@@ -749,16 +1479,12 @@ impl Engine {
             return Some(SimDuration::ZERO);
         }
         let key = (src, dst);
-        if !self.fault_rngs.contains_key(&key) {
-            let nranks = u64::from(self.cfg.ranks());
+        let nranks = u64::from(self.cfg.ranks());
+        let seeds = &self.seeds;
+        let rng = self.fault_rngs.entry(key).or_insert_with(|| {
             let index = u64::from(src) * nranks + u64::from(dst);
-            self.fault_rngs
-                .insert(key, self.seeds.stream("fault-link", index));
-        }
-        let rng = self
-            .fault_rngs
-            .get_mut(&key)
-            .expect("fault stream inserted above");
+            seeds.stream("fault-link", index)
+        });
         let fate = m.sample_delivery(rng);
         let (attempts, dropped, corrupted) = match fate {
             Delivery::Delivered {
@@ -789,14 +1515,14 @@ impl Engine {
     }
 
     fn transfer_duration(&mut self, a: u32, b: u32, now: SimTime) -> SimDuration {
-        let base = self.link_at(a, b, now).transfer_time(self.cfg.msg_bytes);
+        let base = match &self.link_cache {
+            Some(c) => c.xfer[self.domain_idx(a, b)],
+            None => self.link_at(a, b, now).transfer_time(self.cfg.msg_bytes),
+        };
         match self.cfg.noise_placement {
             NoisePlacement::ExecOnly => base,
             NoisePlacement::ExecAndComm => {
-                let extra = {
-                    let st = &mut self.ranks[a as usize];
-                    self.cfg.noise.sample(&mut st.comm_rng)
-                };
+                let extra = self.cfg.noise.sample(&mut self.ranks.comm_rng[a as usize]);
                 base + extra
             }
         }
@@ -813,7 +1539,10 @@ impl Engine {
         if self.cfg.serialize_sends {
             let start = now.max(self.nic_free[from as usize]);
             let done = start + dt;
-            let gap = self.link_at(from, to, now).injection_gap();
+            let gap = match &self.link_cache {
+                Some(c) => c.gap[self.domain_idx(from, to)],
+                None => self.link_at(from, to, now).injection_gap(),
+            };
             self.nic_free[from as usize] = start + dt.max(gap);
             done
         } else {
@@ -824,70 +1553,116 @@ impl Engine {
     /// Drive a waiting rank forward: issue gated CTS messages and detect
     /// Waitall completion.
     fn service(&mut self, rank: u32, now: SimTime) {
-        if self.ranks[rank as usize].phase != Phase::Waiting {
+        let ri = rank as usize;
+        if self.ranks.phase[ri] != Phase::Waiting {
             return;
         }
         // Head-of-line CTS gating: grant CTS only when no posted receive is
-        // still unmatched (see module docs).
-        let all_recvs_matched = self.ranks[rank as usize]
-            .reqs
-            .iter()
-            .filter(|r| !r.is_send)
-            .all(|r| r.state != ReqState::Unmatched);
-        if all_recvs_matched {
-            let step = self.ranks[rank as usize].step;
-            let to_cts: Vec<u32> = self.ranks[rank as usize]
-                .reqs
-                .iter()
-                .filter(|r| {
-                    !r.is_send && r.mode == Mode::Rendezvous && r.state == ReqState::MatchedNoCts
-                })
-                .map(|r| r.peer)
-                .collect();
-            for sender in to_cts {
-                for r in &mut self.ranks[rank as usize].reqs {
-                    if !r.is_send && r.peer == sender && r.state == ReqState::MatchedNoCts {
-                        r.state = ReqState::InFlight;
-                    }
-                }
-                if let Some(extra) = self.fault_delay(rank, sender, "CTS", step) {
-                    let depart = now + extra;
-                    let dt = self.ctrl_latency_at(rank, sender, depart);
-                    self.q.schedule_at(
-                        depart + dt,
-                        Ev::CtsArrive {
-                            sender,
-                            receiver: rank,
-                            step,
-                        },
-                    );
-                }
-            }
+        // still unmatched (see module docs). The counters are maintained at
+        // every request state transition, so the common case is three
+        // integer compares with no request scan.
+        if self.unmatched_recvs[ri] == 0 && self.gated_cts[ri] > 0 {
+            self.issue_cts(rank, now);
         }
-        let complete = self.ranks[rank as usize]
-            .reqs
-            .iter()
-            .all(|r| r.state == ReqState::Complete);
-        if complete {
+        if self.incomplete[ri] == 0 {
             self.finish_step(rank, now);
         }
     }
 
+    /// Grant every gated CTS: flip `MatchedNoCts` receives to `InFlight`
+    /// and schedule one CTS control message per matched receive. Duplicate
+    /// same-peer receives each send their own CTS (with their own
+    /// fault-RNG draw), matching the request-matching order exactly.
+    fn issue_cts(&mut self, rank: u32, now: SimTime) {
+        let ri = rank as usize;
+        let step = self.ranks.step[ri];
+        let mut reqs = std::mem::take(&mut self.ranks.reqs[ri]);
+        let mut cts = std::mem::take(&mut self.scratch_cts);
+        cts.clear();
+        cts.extend(
+            reqs.iter()
+                .filter(|r| {
+                    !r.is_send && r.mode == Mode::Rendezvous && r.state == ReqState::MatchedNoCts
+                })
+                .map(|r| r.peer),
+        );
+        for &sender in &cts {
+            for r in reqs.iter_mut() {
+                if !r.is_send && r.peer == sender && r.state == ReqState::MatchedNoCts {
+                    r.state = ReqState::InFlight;
+                    self.gated_cts[ri] -= 1;
+                }
+            }
+            if let Some(extra) = self.fault_delay(rank, sender, "CTS", step) {
+                let depart = now + extra;
+                let dt = self.ctrl_latency_at(rank, sender, depart);
+                self.q.schedule_at(
+                    depart + dt,
+                    Ev::CtsArrive {
+                        sender,
+                        receiver: rank,
+                        step,
+                    },
+                );
+            }
+        }
+        self.scratch_cts = cts;
+        self.ranks.reqs[ri] = reqs;
+    }
+
+    /// Recompute the request-progress counters from `ranks.reqs`. Called
+    /// after a snapshot restore, where requests are rebuilt wholesale
+    /// rather than via the incremental transitions that normally maintain
+    /// the counters.
+    pub(crate) fn recount_requests(&mut self) {
+        for ri in 0..self.ranks.len() {
+            let mut unmatched = 0u32;
+            let mut gated = 0u32;
+            let mut incomplete = 0u32;
+            for r in self.ranks.reqs[ri].iter() {
+                if r.state != ReqState::Complete {
+                    incomplete += 1;
+                }
+                if !r.is_send {
+                    match r.state {
+                        ReqState::Unmatched => unmatched += 1,
+                        ReqState::MatchedNoCts => gated += 1,
+                        ReqState::InFlight | ReqState::Complete => {}
+                    }
+                }
+            }
+            self.unmatched_recvs[ri] = unmatched;
+            self.gated_cts[ri] = gated;
+            self.incomplete[ri] = incomplete;
+        }
+    }
+
     fn finish_step(&mut self, rank: u32, now: SimTime) {
-        let st = &mut self.ranks[rank as usize];
-        self.records.push(PhaseRecord {
+        let ri = rank as usize;
+        debug_assert_eq!(self.incomplete[ri], 0);
+        debug_assert_eq!(self.unmatched_recvs[ri], 0);
+        debug_assert_eq!(self.gated_cts[ri], 0);
+        let rec = PhaseRecord {
             rank,
-            step: st.step,
-            exec_start: st.exec_start,
-            exec_end: st.exec_end,
+            step: self.ranks.step[ri],
+            exec_start: self.ranks.exec_start[ri],
+            exec_end: self.ranks.exec_end[ri],
             comm_end: now,
-            injected: st.injected,
-            noise: st.noise_amt,
-        });
-        st.reqs.clear();
-        st.step += 1;
-        if st.step == self.cfg.steps {
-            st.phase = Phase::Done;
+            injected: self.ranks.injected[ri],
+            noise: self.ranks.noise_amt[ri],
+        };
+        match self.mode {
+            TraceMode::Full => self.records.push(rec),
+            TraceMode::Summary => {
+                self.summary_records += 1;
+                self.summary_digest = self.summary_digest.wrapping_add(rec.digest());
+                self.finish[ri] = now;
+            }
+        }
+        self.ranks.reqs[ri].clear();
+        self.ranks.step[ri] += 1;
+        if self.ranks.step[ri] == self.cfg.steps {
+            self.ranks.phase[ri] = Phase::Done;
             self.done_count += 1;
         } else {
             self.start_exec(rank, now);
@@ -895,14 +1670,10 @@ impl Engine {
     }
 
     fn on_rts(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
-        let matched = {
-            let st = &self.ranks[dst as usize];
-            st.phase == Phase::Waiting && st.step == step
-        };
+        let di = dst as usize;
+        let matched = self.ranks.phase[di] == Phase::Waiting && self.ranks.step[di] == step;
         if matched {
-            let st = &mut self.ranks[dst as usize];
-            let req = st
-                .reqs
+            let req = self.ranks.reqs[di]
                 .iter_mut()
                 .find(|r| !r.is_send && r.peer == src && r.state == ReqState::Unmatched)
                 .unwrap_or_else(|| {
@@ -912,22 +1683,23 @@ impl Engine {
             // the sender's buffer overflowed.
             req.mode = Mode::Rendezvous;
             req.state = ReqState::MatchedNoCts;
+            self.unmatched_recvs[di] -= 1;
+            self.gated_cts[di] += 1;
             self.service(dst, now);
         } else {
             debug_assert!(
-                self.ranks[dst as usize].step <= step,
+                self.ranks.step[di] <= step,
                 "RTS for a step the receiver already completed"
             );
-            self.early_rts.insert((src, dst, step));
+            self.early_rts.insert(src, dst, step);
         }
     }
 
     fn on_cts(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
         {
-            let st = &mut self.ranks[sender as usize];
-            debug_assert_eq!(st.step, step, "CTS for a foreign step");
-            let req = st
-                .reqs
+            let si = sender as usize;
+            debug_assert_eq!(self.ranks.step[si], step, "CTS for a foreign step");
+            let req = self.ranks.reqs[si]
                 .iter_mut()
                 .find(|r| r.is_send && r.peer == receiver && r.state == ReqState::Unmatched)
                 .unwrap_or_else(|| {
@@ -950,57 +1722,51 @@ impl Engine {
     }
 
     fn on_eager(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
-        let matched = {
-            let st = &self.ranks[dst as usize];
-            st.phase == Phase::Waiting && st.step == step
-        };
+        let di = dst as usize;
+        let matched = self.ranks.phase[di] == Phase::Waiting && self.ranks.step[di] == step;
         if matched {
-            {
-                let st = &mut self.ranks[dst as usize];
-                let req = st
-                    .reqs
-                    .iter_mut()
-                    .find(|r| {
-                        !r.is_send
-                            && r.peer == src
-                            && r.mode == Mode::Eager
-                            && r.state == ReqState::Unmatched
-                    })
-                    .unwrap_or_else(|| {
-                        panic!("rank {dst} step {step}: eager data from {src} has no matching recv")
-                    });
-                req.state = ReqState::Complete;
-            }
+            let req = self.ranks.reqs[di]
+                .iter_mut()
+                .find(|r| {
+                    !r.is_send
+                        && r.peer == src
+                        && r.mode == Mode::Eager
+                        && r.state == ReqState::Unmatched
+                })
+                .unwrap_or_else(|| {
+                    panic!("rank {dst} step {step}: eager data from {src} has no matching recv")
+                });
+            req.state = ReqState::Complete;
+            self.unmatched_recvs[di] -= 1;
+            self.incomplete[di] -= 1;
             self.consume_eager(src, dst);
             self.service(dst, now);
         } else {
             debug_assert!(
-                self.ranks[dst as usize].step <= step,
+                self.ranks.step[di] <= step,
                 "eager data for a step the receiver already completed"
             );
-            self.early_eager.insert((src, dst, step));
+            self.early_eager.insert(src, dst, step);
         }
     }
 
     fn on_xfer_done(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
         {
-            let st = &mut self.ranks[sender as usize];
-            let req = st
-                .reqs
+            let req = self.ranks.reqs[sender as usize]
                 .iter_mut()
                 .find(|r| r.is_send && r.peer == receiver && r.state == ReqState::InFlight)
                 .expect("transfer completion without in-flight send");
             req.state = ReqState::Complete;
+            self.incomplete[sender as usize] -= 1;
         }
         {
-            let st = &mut self.ranks[receiver as usize];
-            debug_assert_eq!(st.step, step);
-            let req = st
-                .reqs
+            debug_assert_eq!(self.ranks.step[receiver as usize], step);
+            let req = self.ranks.reqs[receiver as usize]
                 .iter_mut()
                 .find(|r| !r.is_send && r.peer == sender && r.state == ReqState::InFlight)
                 .expect("transfer completion without in-flight recv");
             req.state = ReqState::Complete;
+            self.incomplete[receiver as usize] -= 1;
         }
         self.service(sender, now);
         self.service(receiver, now);
@@ -1029,6 +1795,81 @@ pub fn try_run_with_limits(cfg: &SimConfig, limits: &RunLimits) -> Result<Trace,
     Engine::try_new(cfg.clone())?.try_run(limits)
 }
 
+/// Full-trace run drawing and returning all large allocations from
+/// `pools`: run `n` scenarios of the same shape through one pool and only
+/// the first allocates.
+pub fn try_run_with_stats_pooled(
+    cfg: &SimConfig,
+    limits: &RunLimits,
+    pools: &mut EnginePools,
+) -> Result<(Trace, RunStats), SimError> {
+    let mut e = Engine::try_new_pooled(cfg.clone(), pools)?;
+    match e.run_loop(limits, &CheckpointPolicy::none(), &mut |_| {}) {
+        Ok(()) => {
+            let trace = Trace::from_record_buffer(e.cfg.ranks(), e.cfg.steps, &mut e.records);
+            let stats = e.stats;
+            e.recycle(pools);
+            Ok((trace, stats))
+        }
+        Err(err) => {
+            e.recycle(pools);
+            Err(err)
+        }
+    }
+}
+
+/// [`Engine::try_run_checkpointed`] drawing and returning all large
+/// allocations from `pools`: the sweep runner's per-worker path, so a
+/// supervisor thread churning through hundreds of scenarios reuses one
+/// set of buffers instead of reallocating per attempt.
+pub fn try_run_checkpointed_pooled<F>(
+    cfg: &SimConfig,
+    limits: &RunLimits,
+    policy: &CheckpointPolicy,
+    mut sink: F,
+    pools: &mut EnginePools,
+) -> Result<(Trace, RunStats), SimError>
+where
+    F: FnMut(&Snapshot),
+{
+    let mut e = Engine::try_new_pooled(cfg.clone(), pools)?;
+    match e.run_loop(limits, policy, &mut sink) {
+        Ok(()) => {
+            let trace = Trace::from_record_buffer(e.cfg.ranks(), e.cfg.steps, &mut e.records);
+            let stats = e.stats;
+            e.recycle(pools);
+            Ok((trace, stats))
+        }
+        Err(err) => {
+            e.recycle(pools);
+            Err(err)
+        }
+    }
+}
+
+/// [`Engine::try_run_summary`] drawing and returning all large
+/// allocations from `pools` — the throughput benchmark's measurement
+/// kernel: O(ranks) memory, no per-run allocation churn.
+pub fn try_run_summary_pooled(
+    cfg: &SimConfig,
+    limits: &RunLimits,
+    pools: &mut EnginePools,
+) -> Result<(RunSummary, RunStats), SimError> {
+    let mut e = Engine::try_new_pooled(cfg.clone(), pools)?;
+    e.mode = TraceMode::Summary;
+    match e.run_loop(limits, &CheckpointPolicy::none(), &mut |_| {}) {
+        Ok(()) => {
+            let out = e.take_summary();
+            e.recycle(pools);
+            Ok(out)
+        }
+        Err(err) => {
+            e.recycle(pools);
+            Err(err)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1054,14 +1895,13 @@ mod tests {
     fn deadlock_report_names_the_rank_cycle() {
         let mut e = engine(4);
         for r in 0..4usize {
-            let st = &mut e.ranks[r];
-            st.phase = Phase::Waiting;
-            st.reqs = vec![Request {
+            e.ranks.phase[r] = Phase::Waiting;
+            e.ranks.reqs[r] = ReqSlots::from_slice(&[Request {
                 peer: ((r + 1) % 4) as u32,
                 is_send: true,
                 mode: Mode::Rendezvous,
                 state: ReqState::Unmatched,
-            }];
+            }]);
         }
         let report = e.deadlock_report();
         assert!(report.contains("wait-for cycle [SC001]"), "{report}");
@@ -1073,15 +1913,15 @@ mod tests {
     fn deadlock_report_without_a_cycle_points_at_the_engine() {
         let mut e = engine(4);
         // One rank stuck on a completed peer: no cycle — a lost event.
-        e.ranks[1].phase = Phase::Waiting;
-        e.ranks[1].reqs = vec![Request {
+        e.ranks.phase[1] = Phase::Waiting;
+        e.ranks.reqs[1] = ReqSlots::from_slice(&[Request {
             peer: 2,
             is_send: false,
             mode: Mode::Eager,
             state: ReqState::Unmatched,
-        }];
+        }]);
         for r in [0usize, 2, 3] {
-            e.ranks[r].phase = Phase::Done;
+            e.ranks.phase[r] = Phase::Done;
         }
         let report = e.deadlock_report();
         assert!(report.contains("no wait-for cycle"), "{report}");
@@ -1092,15 +1932,29 @@ mod tests {
     fn completed_eager_sends_do_not_count_as_blocking() {
         let mut e = engine(4);
         for r in 0..4usize {
-            e.ranks[r].phase = Phase::Waiting;
-            e.ranks[r].reqs = vec![Request {
+            e.ranks.phase[r] = Phase::Waiting;
+            e.ranks.reqs[r] = ReqSlots::from_slice(&[Request {
                 peer: ((r + 1) % 4) as u32,
                 is_send: true,
                 mode: Mode::Eager,
                 state: ReqState::Complete,
-            }];
+            }]);
         }
         assert!(e.deadlock_report().contains("no wait-for cycle"));
+    }
+
+    #[test]
+    fn early_set_has_set_semantics_and_canonical_entries() {
+        let mut s = EarlySet::new(4);
+        s.insert(1, 2, 0);
+        s.insert(1, 2, 0); // duplicate collapses
+        s.insert(3, 2, 1);
+        s.insert(0, 1, 5);
+        assert_eq!(s.entries_sorted(), vec![(0, 1, 5), (1, 2, 0), (3, 2, 1)]);
+        assert!(s.remove(1, 2, 0));
+        assert!(!s.remove(1, 2, 0), "set semantics: one entry to remove");
+        let round = EarlySet::from_entries(4, &s.entries_sorted());
+        assert_eq!(round.entries_sorted(), s.entries_sorted());
     }
 
     // ---- fault injection -------------------------------------------------
@@ -1278,5 +2132,78 @@ mod tests {
         let a = Engine::new(cfg.clone()).run();
         let b = Engine::new(cfg).run();
         assert_eq!(a, b);
+    }
+
+    // ---- summary mode and pooling ---------------------------------------
+
+    #[test]
+    fn summary_run_matches_the_full_trace_fold() {
+        let mut cfg = fault_cfg(8);
+        cfg.faults = FaultPlan::none().with_drops(0.2, SimDuration::from_micros(150));
+        let (trace, full_stats) = Engine::new(cfg.clone())
+            .try_run_with_stats(&RunLimits::none())
+            .expect("completes");
+        let (summary, sum_stats) = Engine::new(cfg)
+            .try_run_summary(&RunLimits::none())
+            .expect("completes");
+        assert_eq!(summary, RunSummary::of_trace(&trace));
+        assert_eq!(summary.total_runtime(), trace.total_runtime());
+        assert_eq!(full_stats, sum_stats);
+    }
+
+    #[test]
+    fn pooled_runs_are_bit_identical_and_stop_allocating() {
+        let cfg = fault_cfg(8);
+        let baseline = Engine::new(cfg.clone()).run();
+        let mut pools = EnginePools::new();
+        let mut fingerprints = Vec::new();
+        let mut grows_per_run = Vec::new();
+        for _ in 0..5 {
+            let (trace, _) =
+                try_run_with_stats_pooled(&cfg, &RunLimits::none(), &mut pools).expect("completes");
+            fingerprints.push(trace.fingerprint());
+            grows_per_run.push(pools.grows());
+        }
+        assert!(
+            fingerprints.iter().all(|&f| f == baseline.fingerprint()),
+            "pooled runs must be bit-identical to fresh runs"
+        );
+        assert_eq!(pools.runs(), 5);
+        // Runs 3..5 must reuse the pooled capacity exactly; the first two
+        // runs are warmup (run 1 sizes the buffers, run 2 settles the
+        // calendar queue's swap-shuffled segment capacities).
+        assert_eq!(
+            grows_per_run[4], grows_per_run[1],
+            "same-shape reruns must reuse the pooled capacity"
+        );
+    }
+
+    #[test]
+    fn pooled_summary_runs_match_and_stop_allocating() {
+        let cfg = fault_cfg(8);
+        let reference = RunSummary::of_trace(&Engine::new(cfg.clone()).run());
+        let mut pools = EnginePools::new();
+        // Two-run warmup: the first run sizes every pooled buffer, and the
+        // second settles the calendar queue's segment capacities, which the
+        // zero-copy bucket-to-run swaps shuffle between segments.
+        let grows_after_warmup;
+        {
+            for _ in 0..2 {
+                let (s, _) = try_run_summary_pooled(&cfg, &RunLimits::none(), &mut pools)
+                    .expect("completes");
+                assert_eq!(s, reference);
+            }
+            grows_after_warmup = pools.grows();
+        }
+        for _ in 0..4 {
+            let (s, _) =
+                try_run_summary_pooled(&cfg, &RunLimits::none(), &mut pools).expect("completes");
+            assert_eq!(s, reference);
+        }
+        assert_eq!(
+            pools.grows(),
+            grows_after_warmup,
+            "allocation counts must be stable after the two-run warmup"
+        );
     }
 }

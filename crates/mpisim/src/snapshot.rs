@@ -40,15 +40,15 @@
 //! * `RT005` — the snapshot is intact but was taken under a *different*
 //!   configuration than the caller is restoring into.
 
-use std::collections::{BTreeSet, HashMap, HashSet}; // simlint: allow(hash-collections)
-
-use simdes::{EventQueue, SeedFactory, SimDuration, SimRng, SimTime};
+use simdes::{EventQueue, SimDuration, SimRng, SimTime};
 use tracefmt::json;
 use tracefmt::{fnv1a_64, FromJson, Json, PhaseRecord, ToJson};
 
 use crate::config::{Mode, SimConfig};
 use crate::diag::Diagnostic;
-use crate::engine::{Engine, Ev, Phase, RankState, ReqState, Request, RunStats};
+use crate::engine::{
+    EarlySet, Engine, Ev, Phase, RankState, Ranks, ReqState, Request, RunStats, TraceMode,
+};
 use crate::error::SimError;
 
 /// Format version written into every snapshot body. Bump on any change to
@@ -121,10 +121,8 @@ impl Snapshot {
     /// sorted into canonical order here so encoding is deterministic: the
     /// same engine state always produces byte-identical snapshot files.
     pub fn capture(engine: &Engine) -> Self {
-        let mut early_rts: Vec<_> = engine.early_rts.iter().copied().collect();
-        early_rts.sort_unstable();
-        let mut early_eager: Vec<_> = engine.early_eager.iter().copied().collect();
-        early_eager.sort_unstable();
+        let early_rts = engine.early_rts.entries_sorted();
+        let early_eager = engine.early_eager.entries_sorted();
         let mut outstanding_eager: Vec<_> = engine
             .outstanding_eager
             .iter()
@@ -149,7 +147,9 @@ impl Snapshot {
                 .into_iter()
                 .map(|(t, seq, ev)| (t, seq, *ev))
                 .collect(),
-            ranks: engine.ranks.iter().map(RankState::clone).collect(),
+            ranks: (0..engine.ranks.len())
+                .map(|r| engine.ranks.state_of(r))
+                .collect(),
             early_rts,
             early_eager,
             outstanding_eager,
@@ -458,7 +458,15 @@ impl Engine {
     /// Capture a [`Snapshot`] of the engine's full state. Meaningful at
     /// any point between event deliveries; [`Engine::try_run_checkpointed`]
     /// calls this on the [`CheckpointPolicy`] cadence.
+    ///
+    /// # Panics
+    /// Panics on a [`TraceMode::Summary`] engine: summary mode discards
+    /// the completed records a resumable snapshot must carry.
     pub fn checkpoint(&self) -> Snapshot {
+        assert!(
+            self.mode == TraceMode::Full,
+            "cannot checkpoint a summary-mode run: completed records are not retained"
+        );
         Snapshot::capture(self)
     }
 
@@ -493,44 +501,40 @@ impl Engine {
         // always valid, but `restore` is also the last line of defence for
         // snapshots assembled by future decoders.
         snap.validate()?;
-        let q = EventQueue::restore(snap.now, snap.next_seq, snap.delivered, snap.events.clone());
-        let base_mode = cfg.protocol.mode_for(cfg.msg_bytes);
-        let seeds = SeedFactory::new(cfg.seed);
-        let mut early_rts = HashSet::new(); // simlint: allow(hash-collections)
-        early_rts.extend(snap.early_rts.iter().copied());
-        let mut early_eager = HashSet::new(); // simlint: allow(hash-collections)
-        early_eager.extend(snap.early_eager.iter().copied());
-        let mut outstanding_eager = HashMap::new(); // simlint: allow(hash-collections)
-        outstanding_eager.extend(snap.outstanding_eager.iter().map(|&(s, d, b)| ((s, d), b)));
-        let mut fault_rngs = HashMap::new(); // simlint: allow(hash-collections)
-        fault_rngs.extend(
-            snap.fault_rngs
-                .iter()
-                .map(|&(s, d, st)| ((s, d), SimRng::from_state(st))),
-        );
-        Ok(Engine {
-            q,
-            ranks: snap.ranks.iter().map(RankState::clone).collect(),
-            early_rts,
-            early_eager,
-            outstanding_eager,
-            socket_members: snap
-                .socket_members
-                .iter()
-                .map(|s| s.iter().copied().collect::<BTreeSet<u32>>())
-                .collect(),
-            records: snap.records.clone(),
-            done_count: snap.done_count,
-            base_mode,
-            nic_free: snap.nic_free.clone(),
-            stats: snap.stats,
-            seeds,
-            fault_rngs,
-            crashed: snap.crashed.clone(),
-            lost: snap.lost.clone(),
-            started: snap.started,
-            cfg,
-        })
+        // Scaffold rebuilds every derived cache (partner CSR, link costs,
+        // base execution times) from the — already equality-checked —
+        // config, then the snapshot's dynamic state overwrites the fresh
+        // defaults.
+        let mut e = Engine::scaffold(cfg, None);
+        let n = snap.ranks.len();
+        e.q = EventQueue::restore(snap.now, snap.next_seq, snap.delivered, snap.events.clone());
+        e.ranks = Ranks::from_states(&snap.ranks);
+        e.early_rts = EarlySet::from_entries(n, &snap.early_rts);
+        e.early_eager = EarlySet::from_entries(n, &snap.early_eager);
+        e.outstanding_eager = snap
+            .outstanding_eager
+            .iter()
+            .map(|&(s, d, b)| ((s, d), b))
+            .collect();
+        e.socket_members = snap
+            .socket_members
+            .iter()
+            .map(|s| s.iter().copied().collect())
+            .collect();
+        e.records = snap.records.clone();
+        e.done_count = snap.done_count;
+        e.nic_free = snap.nic_free.clone();
+        e.stats = snap.stats;
+        e.fault_rngs = snap
+            .fault_rngs
+            .iter()
+            .map(|&(s, d, st)| ((s, d), SimRng::from_state(st)))
+            .collect();
+        e.crashed = snap.crashed.clone();
+        e.lost = snap.lost.clone();
+        e.started = snap.started;
+        e.recount_requests();
+        Ok(e)
     }
 }
 

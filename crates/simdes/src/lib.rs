@@ -29,6 +29,6 @@ pub mod stats;
 mod time;
 
 pub use graph::Digraph;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, HeapQueue};
 pub use rng::{splitmix64, SeedFactory, SimRng};
 pub use time::{SimDuration, SimTime};

@@ -1,12 +1,21 @@
 //! Deterministic event queue.
 //!
-//! A thin wrapper around [`std::collections::BinaryHeap`] that delivers
-//! events in non-decreasing timestamp order and breaks timestamp ties by
-//! insertion order (FIFO). The FIFO tie-break is load-bearing: delay
-//! propagation experiments schedule many events at exactly the same
-//! nanosecond (all ranks finish their first execution phase together), and a
-//! heap without a tie-break would make run-to-run event order depend on heap
-//! internals, destroying reproducibility.
+//! [`EventQueue`] is a calendar queue (R. Brown, CACM 1988) tuned for the
+//! near-monotone timestamp distributions a discrete-event simulation
+//! produces: most events are scheduled a short, similar distance into the
+//! future, so hashing them into an array of time buckets makes both
+//! `schedule` and `pop` amortized O(1) where a binary heap pays O(log n)
+//! per operation with poor cache behaviour. The original heap-backed
+//! implementation survives as [`HeapQueue`] — same API, same delivery
+//! contract — and serves as the oracle the property tests compare the
+//! calendar against (see `docs/PERF.md`).
+//!
+//! Both queues deliver events in non-decreasing timestamp order and break
+//! timestamp ties by insertion order (FIFO). The FIFO tie-break is
+//! load-bearing: delay propagation experiments schedule many events at
+//! exactly the same nanosecond (all ranks finish their first execution
+//! phase together), and a queue without a tie-break would make run-to-run
+//! event order depend on container internals, destroying reproducibility.
 //!
 //! The queue is generic over the event payload `E`; the simulation layer on
 //! top (e.g. `mpisim`) defines its own event enum and drives the loop:
@@ -28,13 +37,382 @@
 //! }
 //! assert_eq!(seen, vec![(10, Ev::Ping(1)), (10, Ev::Ping(2)), (50, Ev::Stop)]);
 //! ```
+//!
+//! ## Calendar layout
+//!
+//! Pending events live in one of three places:
+//!
+//! * the **run** — the sorted contents of the bucket currently being
+//!   drained. `pop` is a `pop_front`; a bucket becomes the run by
+//!   `mem::swap`, so entries are never copied between segments. An event
+//!   scheduled into the active bucket is spliced in by binary search,
+//!   which for the dominant "schedule slightly later than everything
+//!   else at this timestamp" case is an O(1) push at the back.
+//! * the **year** — `NUM_BUCKETS` unsorted buckets covering
+//!   `[year_base, year_base + NUM_BUCKETS << shift)`; bucket `i` holds
+//!   events with `(t - year_base) >> shift == i`. A bucket is sorted once,
+//!   when it becomes the run. Bucket width is a power of two so the bucket
+//!   index is a shift, not a division.
+//! * the **overflow** — events past the end of the year, kept unsorted.
+//!   When the year drains, the calendar reseeds: the new `year_base` and
+//!   `shift` are derived from the overflow's actual min/max timestamps
+//!   plus headroom (see [`RESEED_HEADROOM`]), so every overflowed event
+//!   lands inside the new year and each event is redistributed at most
+//!   once per wait.
+//!
+//! Delivery order is fully determined by `(time, seq)`, so none of this
+//! layout is observable: `pending` returns the same sorted view the heap
+//! produced, and `restore` accepts it, which is what keeps snapshots
+//! bit-identical across the two implementations.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::{SimDuration, SimTime};
 
-/// An event scheduled on the queue. Ordered for a *max*-heap, so the
+/// Number of buckets in a calendar year. After a reseed the year spans
+/// the pending-event window, so the expected bucket population is
+/// `len / NUM_BUCKETS`; 1024 keeps buckets at a handful of events for
+/// cluster-scale runs (thousands of in-flight events), which makes the
+/// per-bucket sort trivial and run splices rare, while an empty-bucket
+/// scan over the directory stays cheap relative to the events it yields.
+const NUM_BUCKETS: usize = 1024;
+
+/// Initial bucket shift (width `1 << 16` ns ≈ 65 µs) before the first
+/// reseed has seen real timestamps. Any value is correct — events that
+/// miss the initial year overflow and trigger a reseed on first pop.
+const INITIAL_SHIFT: u32 = 16;
+
+/// Extra bucket-shift added at reseed, making the year span about
+/// `2^RESEED_HEADROOM` times the overflow's observed window. A steady
+/// simulation schedules a fixed lookahead (the execution phase) into the
+/// future, so a year fitted exactly to one window sends most of the
+/// *next* window's events through the overflow again; headroom keeps the
+/// common schedule inside the year at the cost of proportionally fuller
+/// buckets. Measured on the Fig. 4 wave workload, fuller buckets lose
+/// more (longer active-run splices) than the avoided overflow trips
+/// gain, so the headroom is zero; the knob is kept because distributions
+/// with a wider lookahead spread want it.
+const RESEED_HEADROOM: u32 = 0;
+
+type Entry<E> = (SimTime, u64, E);
+
+/// A deterministic future-event list (calendar queue).
+///
+/// Tracks the current simulation time: `pop` advances the clock to the
+/// timestamp of the delivered event. Scheduling in the past panics — a
+/// causality violation is always a bug in the model, never recoverable.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Sorted contents of bucket `cur`, drained from the front.
+    run: VecDeque<Entry<E>>,
+    /// The year's buckets; only indices `> cur` still hold events.
+    /// `VecDeque` like the run, so a bucket can *become* the run by
+    /// allocation swap instead of an entry-by-entry copy.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Events at or past the end of the current year.
+    overflow: Vec<Entry<E>>,
+    /// Start of the current year. Invariant outside `pop`:
+    /// `year_base <= now`, so bucket indices never underflow.
+    year_base: u64,
+    /// log2 of the bucket width in nanoseconds.
+    shift: u32,
+    /// Index of the bucket the run was loaded from.
+    cur: usize,
+    len: usize,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Empty queue with pre-allocated capacity for `cap` pending events.
+    ///
+    /// The capacity is a floor for the run and overflow segments; year
+    /// buckets grow on demand and, like the other segments, keep their
+    /// capacity across [`EventQueue::clear`], so a pooled queue reused
+    /// across runs of the same shape stops allocating after the first.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, VecDeque::new);
+        EventQueue {
+            run: VecDeque::with_capacity(cap),
+            buckets,
+            overflow: Vec::with_capacity(cap),
+            year_base: 0,
+            shift: INITIAL_SHIFT,
+            cur: 0,
+            len: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulation time (timestamp of the last delivered event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// The sequence number the next scheduled event will receive.
+    ///
+    /// Restoring this counter exactly (via [`EventQueue::restore`]) is
+    /// what makes a resumed run break timestamp ties identically to the
+    /// uninterrupted one.
+    #[inline]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Pending events in delivery order as `(time, seq, payload)`.
+    ///
+    /// The calendar's internal arrangement is irrelevant: delivery order
+    /// is fully determined by the `(time, seq)` pairs, so this sorted view
+    /// (plus the clock counters) is a complete snapshot of the queue.
+    pub fn pending(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut entries: Vec<(SimTime, u64, &E)> = self
+            .run
+            .iter()
+            .chain(self.buckets.iter().flatten())
+            .chain(self.overflow.iter())
+            .map(|(t, s, p)| (*t, *s, p))
+            .collect();
+        entries.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        entries
+    }
+
+    /// Rebuild a queue from a snapshot taken with [`EventQueue::pending`]
+    /// and the `now`/`next_seq`/`delivered` counters. Delivery order and
+    /// all future sequence numbers are bit-identical to the original.
+    ///
+    /// # Panics
+    /// Panics when an entry contradicts the counters (a timestamp before
+    /// `now` or a sequence number at or past `next_seq`) — callers
+    /// deserializing untrusted snapshots must validate first.
+    pub fn restore(
+        now: SimTime,
+        next_seq: u64,
+        delivered: u64,
+        entries: Vec<(SimTime, u64, E)>,
+    ) -> Self {
+        let mut q = Self::with_capacity(entries.len());
+        q.now = now;
+        q.next_seq = next_seq;
+        q.popped = delivered;
+        q.year_base = now.0;
+        for (time, seq, payload) in entries {
+            assert!(
+                time >= now,
+                "snapshot event at {time:?} is before the restored clock {now:?}"
+            );
+            assert!(
+                seq < next_seq,
+                "snapshot event seq {seq} is not below next_seq {next_seq}"
+            );
+            q.insert(time, seq, payload);
+        }
+        q
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current simulation time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {at:?} but now is {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.insert(at, seq, payload);
+    }
+
+    /// Schedule `payload` after a relative delay from the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, payload);
+    }
+
+    /// Place an entry into the run, a year bucket, or the overflow.
+    /// Callers guarantee `at >= self.now`, which with the `year_base <=
+    /// now` invariant puts the bucket index at or past `cur`.
+    fn insert(&mut self, at: SimTime, seq: u64, payload: E) {
+        let idx = ((at.0 - self.year_base) >> self.shift) as usize;
+        debug_assert!(idx >= self.cur, "insert into an already-drained bucket");
+        if idx >= NUM_BUCKETS {
+            self.overflow.push((at, seq, payload));
+        } else if idx == self.cur {
+            // Splice into the active run. `seq` is larger than every seq
+            // already queued, so for the dominant "same or later
+            // timestamp" case the entry belongs at the back — check that
+            // first and skip the binary search entirely.
+            match self.run.back() {
+                Some(&(t, s, _)) if (t, s) > (at, seq) => {
+                    let pos = self.run.partition_point(|&(t, s, _)| (t, s) < (at, seq));
+                    self.run.insert(pos, (at, seq, payload));
+                }
+                _ => self.run.push_back((at, seq, payload)),
+            }
+        } else {
+            self.buckets[idx].push_back((at, seq, payload));
+        }
+        self.len += 1;
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(&(t, _, _)) = self.run.front() {
+            return Some(t);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        for b in &self.buckets[self.cur + 1..] {
+            if !b.is_empty() {
+                return b.iter().map(|&(t, _, _)| t).min();
+            }
+        }
+        self.overflow.iter().map(|&(t, _, _)| t).min()
+    }
+
+    /// Deliver the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            if let Some((t, _, payload)) = self.run.pop_front() {
+                debug_assert!(t >= self.now, "calendar returned an event from the past");
+                self.now = t;
+                self.popped += 1;
+                self.len -= 1;
+                return Some((t, payload));
+            }
+            if self.len == 0 {
+                return None;
+            }
+            // Advance to the next non-empty bucket of the year and make it
+            // the run by swapping allocations — entries are sorted exactly
+            // once and never copied between segments. The spent run
+            // allocation is handed back to the bucket.
+            if let Some(i) = (self.cur + 1..NUM_BUCKETS).find(|&i| !self.buckets[i].is_empty()) {
+                self.cur = i;
+                std::mem::swap(&mut self.run, &mut self.buckets[i]);
+                self.run
+                    .make_contiguous()
+                    .sort_unstable_by_key(|&(t, s, _)| (t, s));
+            } else {
+                self.reseed();
+            }
+        }
+    }
+
+    /// The year is drained but the overflow is not: start a new year whose
+    /// base and bucket width are fitted to the overflow's actual time
+    /// span (plus [`RESEED_HEADROOM`]), then redistribute. The minimum
+    /// timestamp lands in bucket 0 and the maximum in a bucket below
+    /// `NUM_BUCKETS` by construction.
+    fn reseed(&mut self) {
+        debug_assert!(!self.overflow.is_empty(), "reseed with nothing pending");
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &(t, _, _) in &self.overflow {
+            min = min.min(t.0);
+            max = max.max(t.0);
+        }
+        let span = max - min;
+        let mut shift = 0u32;
+        while (span >> shift) >= NUM_BUCKETS as u64 {
+            shift += 1;
+        }
+        shift += RESEED_HEADROOM;
+        self.year_base = min;
+        self.shift = shift;
+        self.cur = 0;
+        let mut items = std::mem::take(&mut self.overflow);
+        for (t, s, p) in items.drain(..) {
+            let idx = ((t.0 - min) >> shift) as usize;
+            self.buckets[idx].push_back((t, s, p));
+        }
+        self.overflow = items; // hand the (now empty) allocation back
+                               // Load bucket 0 — non-empty, it holds the minimum — as the run.
+        std::mem::swap(&mut self.run, &mut self.buckets[0]);
+        self.run
+            .make_contiguous()
+            .sort_unstable_by_key(|&(t, s, _)| (t, s));
+    }
+
+    /// Drop all pending events (the clock is left untouched). All segment
+    /// capacities are retained, so a pooled queue can be reused without
+    /// reallocating.
+    pub fn clear(&mut self) {
+        self.run.clear();
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.year_base = self.now.0;
+        self.shift = INITIAL_SHIFT;
+        self.cur = 0;
+        self.len = 0;
+    }
+
+    /// Reset to the fresh-queue state — clock at t = 0, counters zeroed,
+    /// nothing pending — while retaining every segment's capacity.
+    /// [`EventQueue::clear`] plus counter reset: this is what lets an
+    /// engine pool hand the same queue allocation to run after run.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.now = SimTime::ZERO;
+        self.next_seq = 0;
+        self.popped = 0;
+        self.year_base = 0;
+    }
+
+    /// Bytes of pending-event capacity currently held across all segments,
+    /// in units of entries. Pool bookkeeping uses this to detect regrowth
+    /// across runs; it is not part of the snapshot state.
+    pub fn capacity(&self) -> usize {
+        self.run.capacity()
+            + self.overflow.capacity()
+            + self.buckets.iter().map(VecDeque::capacity).sum::<usize>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The original heap-backed queue, kept as the property-test oracle.
+// ---------------------------------------------------------------------------
+
+/// An event scheduled on the heap queue. Ordered for a *max*-heap, so the
 /// comparison is reversed: smaller `(time, seq)` pairs compare greater.
 struct Scheduled<E> {
     time: SimTime,
@@ -63,28 +441,29 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic future-event list.
+/// The original [`std::collections::BinaryHeap`]-backed event queue.
 ///
-/// Tracks the current simulation time: `pop` advances the clock to the
-/// timestamp of the delivered event. Scheduling in the past panics — a
-/// causality violation is always a bug in the model, never recoverable.
-pub struct EventQueue<E> {
+/// Same API and delivery contract as [`EventQueue`]; kept in-tree as the
+/// oracle the calendar queue's property tests compare against (a heap
+/// with an explicit `(time, seq)` order is easy to audit). Not used on
+/// the simulation hot path.
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Empty queue with the clock at t = 0.
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
@@ -92,55 +471,32 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Empty queue with pre-allocated capacity for `cap` pending events.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            popped: 0,
-        }
-    }
-
     /// Current simulation time (timestamp of the last delivered event).
-    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Number of events waiting in the queue.
-    #[inline]
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
     /// `true` if no events are pending.
-    #[inline]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
     /// Total number of events delivered so far.
-    #[inline]
     pub fn delivered(&self) -> u64 {
         self.popped
     }
 
     /// The sequence number the next scheduled event will receive.
-    ///
-    /// Restoring this counter exactly (via [`EventQueue::restore`]) is
-    /// what makes a resumed run break timestamp ties identically to the
-    /// uninterrupted one.
-    #[inline]
     pub fn next_seq(&self) -> u64 {
         self.next_seq
     }
 
     /// Pending events in delivery order as `(time, seq, payload)`.
-    ///
-    /// The heap's internal arrangement is irrelevant: delivery order is
-    /// fully determined by the `(time, seq)` pairs, so this sorted view
-    /// (plus the clock counters) is a complete snapshot of the queue.
     pub fn pending(&self) -> Vec<(SimTime, u64, &E)> {
         let mut entries: Vec<(SimTime, u64, &E)> = self
             .heap
@@ -151,14 +507,11 @@ impl<E> EventQueue<E> {
         entries
     }
 
-    /// Rebuild a queue from a snapshot taken with [`EventQueue::pending`]
-    /// and the `now`/`next_seq`/`delivered` counters. Delivery order and
-    /// all future sequence numbers are bit-identical to the original.
+    /// Rebuild a queue from a snapshot taken with [`HeapQueue::pending`].
     ///
     /// # Panics
-    /// Panics when an entry contradicts the counters (a timestamp before
-    /// `now` or a sequence number at or past `next_seq`) — callers
-    /// deserializing untrusted snapshots must validate first.
+    /// Panics when an entry contradicts the counters, exactly like
+    /// [`EventQueue::restore`].
     pub fn restore(
         now: SimTime,
         next_seq: u64,
@@ -177,7 +530,7 @@ impl<E> EventQueue<E> {
             );
             heap.push(Scheduled { time, seq, payload });
         }
-        EventQueue {
+        HeapQueue {
             heap,
             next_seq,
             now,
@@ -305,6 +658,22 @@ mod tests {
     }
 
     #[test]
+    fn peek_reaches_future_buckets_and_overflow() {
+        let mut q = EventQueue::new();
+        // Far apart: after the first pop these straddle year boundaries.
+        q.schedule_at(SimTime(10), 1u8);
+        q.schedule_at(SimTime(1 << 30), 2u8);
+        q.schedule_at(SimTime(1 << 40), 3u8);
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(1 << 30)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime(1 << 40)));
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
     fn delivered_counts_pops() {
         let mut q = EventQueue::new();
         for i in 0..5 {
@@ -323,6 +692,25 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime(5));
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut q = EventQueue::with_capacity(64);
+        for i in 0..1000u64 {
+            q.schedule_at(SimTime(i * 1000), i);
+        }
+        for _ in 0..500 {
+            q.pop();
+        }
+        let cap = q.capacity();
+        q.clear();
+        assert_eq!(q.capacity(), cap, "clear must not shed capacity");
+        // A same-shape refill must not grow the arena further.
+        for i in 0..1000u64 {
+            q.schedule_at(q.now() + SimDuration(i * 1000), i);
+        }
+        assert!(q.capacity() <= cap, "reuse after clear regrew the arena");
     }
 
     #[test]
@@ -383,5 +771,122 @@ mod tests {
             }
         }
         assert!(count > 10);
+    }
+
+    // ---- calendar vs heap oracle -------------------------------------
+
+    use crate::check::{for_all, Gen};
+
+    /// One randomized command for the paired-queue drivers.
+    enum Op {
+        /// Schedule at `now + offset` (offset 0 exercises ties).
+        Schedule { offset: u64 },
+        /// Pop once from both queues and compare.
+        Pop,
+        /// Snapshot both queues via `pending` and rebuild via `restore`.
+        RoundTrip,
+    }
+
+    fn gen_ops(g: &mut Gen) -> Vec<Op> {
+        g.vec(1, 400, |g| {
+            match g.u32(0, 9) {
+                // Weighted towards schedules so queues grow deep; offsets
+                // mix exact ties (0), tiny steps, and year-crossing jumps.
+                0..=4 => Op::Schedule {
+                    offset: match g.u32(0, 3) {
+                        0 => 0,
+                        1 => g.u64(1, 100),
+                        2 => g.u64(100, 1 << 20),
+                        _ => g.u64(1 << 20, 1 << 44),
+                    },
+                },
+                5..=7 => Op::Pop,
+                _ => Op::RoundTrip,
+            }
+        })
+    }
+
+    /// Run one op sequence against both implementations, comparing every
+    /// observable: delivery `(time, payload)`, clock, length, counters,
+    /// and the full sorted `pending` view.
+    fn run_paired(g: &mut Gen) {
+        let mut cal: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        let mut payload = 0u64;
+        for op in gen_ops(g) {
+            match op {
+                Op::Schedule { offset } => {
+                    // Out-of-order inserts: the offset stream is random,
+                    // so later schedules frequently target earlier times
+                    // than events already queued.
+                    let at = cal.now() + SimDuration(offset);
+                    assert_eq!(cal.next_seq(), heap.next_seq());
+                    cal.schedule_at(at, payload);
+                    heap.schedule_at(at, payload);
+                    payload += 1;
+                }
+                Op::Pop => {
+                    assert_eq!(cal.pop(), heap.pop(), "delivery diverged");
+                    assert_eq!(cal.now(), heap.now());
+                }
+                Op::RoundTrip => {
+                    let entries: Vec<(SimTime, u64, u64)> =
+                        cal.pending().iter().map(|&(t, s, &p)| (t, s, p)).collect();
+                    let oracle: Vec<(SimTime, u64, u64)> =
+                        heap.pending().iter().map(|&(t, s, &p)| (t, s, p)).collect();
+                    assert_eq!(entries, oracle, "pending views diverged");
+                    cal = EventQueue::restore(cal.now(), cal.next_seq(), cal.delivered(), entries);
+                    heap =
+                        HeapQueue::restore(heap.now(), heap.next_seq(), heap.delivered(), oracle);
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.is_empty(), heap.is_empty());
+            assert_eq!(cal.delivered(), heap.delivered());
+            assert_eq!(cal.peek_time(), heap.peek_time());
+        }
+        // Drain fully: the tails must be identical too.
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b, "tail delivery diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_matches_heap_oracle_under_random_schedules() {
+        for_all("calendar-vs-heap", 300, run_paired);
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_massed_ties_across_years() {
+        // The wave pattern distilled: huge tie batches at a common time,
+        // each delivery scheduling follow-ups one "exec phase" ahead, so
+        // every batch lives a year past the previous one.
+        for_all("calendar-vs-heap-waves", 30, |g| {
+            let mut cal: EventQueue<u64> = EventQueue::new();
+            let mut heap: HeapQueue<u64> = HeapQueue::new();
+            let ranks = g.u64(2, 300);
+            let phase = g.u64(1, 3_000_000);
+            let jitter = g.u64(0, 300);
+            for r in 0..ranks {
+                cal.schedule_at(SimTime(phase), r);
+                heap.schedule_at(SimTime(phase), r);
+            }
+            let steps = g.u64(1, 6);
+            let horizon = SimTime(phase * (steps + 1));
+            loop {
+                let (a, b) = (cal.pop(), heap.pop());
+                assert_eq!(a, b);
+                let Some((t, r)) = a else { break };
+                if t < horizon {
+                    let next = t + SimDuration(phase + (r * jitter) % (jitter + 1));
+                    cal.schedule_at(next, r);
+                    heap.schedule_at(next, r);
+                }
+            }
+        });
     }
 }

@@ -56,6 +56,33 @@ impl PhaseRecord {
     pub fn idle_beyond(&self, baseline: SimDuration) -> SimDuration {
         self.comm_duration().saturating_sub(baseline)
     }
+
+    /// A cheap 64-bit mix of every field. Two records have equal digests
+    /// iff they are bit-identical (modulo the 64-bit hash). Summary-mode
+    /// runs fold these into an order-insensitive run digest instead of
+    /// retaining the records, so the mixer is a handful of multiply/shift
+    /// rounds rather than a byte-wise FNV pass — it sits on the engine's
+    /// per-step hot path.
+    pub fn digest(&self) -> u64 {
+        // One rotate-xor-multiply fold per word keeps every input bit in
+        // play, and a single splitmix64 finalizer at the end provides the
+        // avalanche; that is six multiplies total instead of two per word.
+        let mut h = 0x9e37_79b9_7f4a_7c15_u64;
+        for w in [
+            (u64::from(self.rank) << 32) | u64::from(self.step),
+            self.exec_start.0,
+            self.exec_end.0,
+            self.comm_end.0,
+            self.injected.0,
+            self.noise.0,
+        ] {
+            h = (h.rotate_left(13) ^ w).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+        // splitmix64 finalizer: full avalanche in three rounds.
+        h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
 }
 
 impl ToJson for PhaseRecord {

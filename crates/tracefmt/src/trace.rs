@@ -55,6 +55,17 @@ impl Trace {
         }
     }
 
+    /// [`Trace::from_records`] for pooled engines: drains `records`,
+    /// leaving the caller's (empty) buffer and its capacity behind for
+    /// reuse by the next run. The trace owns a fresh exact-size
+    /// allocation either way.
+    ///
+    /// # Panics
+    /// Panics under the same coverage rules as [`Trace::from_records`].
+    pub fn from_record_buffer(ranks: u32, steps: u32, records: &mut Vec<PhaseRecord>) -> Self {
+        Trace::from_records(ranks, steps, records.drain(..).collect())
+    }
+
     /// Number of ranks.
     pub fn ranks(&self) -> u32 {
         self.ranks

@@ -29,4 +29,21 @@ $RUN_TESTS
 echo "== simlint"
 cargo run -q --release -p simcheck --bin simlint .
 
+# Bench smoke: validate every committed BENCH_*.json against the report
+# schema, then run the suite at smoke scale (full rank counts, tiny step
+# counts) and gate events/sec against BENCH_0.json — the committed
+# pre-optimization floor. Smoke-scale throughput sits at ~3x that floor,
+# so the 30% regression threshold has headroom for container noise while
+# still catching any change that drags the engine back toward the
+# pre-calendar-queue cost profile. (Comparing smoke numbers against the
+# latest full-scale BENCH entry would be apples-to-oranges: short smoke
+# runs amortize engine construction over far fewer events.)
+echo "== bench schema check (BENCH_*.json)"
+cargo run -q --release -p bench --bin throughput -- --check BENCH_*.json
+
+echo "== bench smoke (regression gate vs BENCH_0.json)"
+cargo run -q --release -p bench --bin throughput -- \
+    --smoke --iters 3 --label verify-smoke \
+    --baseline BENCH_0.json --max-regression 0.30
+
 echo "verify: OK"

@@ -94,6 +94,64 @@ fn restore_matches_uninterrupted_run_for_any_cut_point() {
     });
 }
 
+/// Random cut points over a *calendar-scale* run: at 96 ranks with a 3 ms
+/// execution phase, the engine's calendar queue holds events spread across
+/// the active run, future year buckets, and the overflow segment (each
+/// step schedules a full execution phase ahead — past the fitted year), so
+/// the snapshot's `pending` view and `EventQueue::restore` are exercised
+/// over every segment of a partially drained calendar, not just a handful
+/// of heap entries. Resume must stay bit-identical regardless of which
+/// segment each pending event sat in.
+#[test]
+fn calendar_queue_cuts_resume_bit_identically_at_scale() {
+    for_all("calendar cuts resume bit-identically", 12, |g: &mut Gen| {
+        let ranks = 96;
+        let cfg = WaveExperiment::flat_chain(ranks)
+            .texec(SimDuration::from_millis(3))
+            .steps(5)
+            .inject(g.u32(0, ranks - 1), 0, SimDuration::from_millis(13))
+            .seed(g.any_u64())
+            .into_config();
+        // Cuts land anywhere in the run, including mid-generation where
+        // a tie batch is half delivered and the rest still queued.
+        let cut = g.u64(1, u64::from(ranks) * 8);
+        let (full, snap) = run_with_cut(&cfg, cut);
+        let Some(snap) = snap else { return };
+        let decoded = Snapshot::decode(snap.encode().as_bytes()).expect("own encoding decodes");
+        let resumed = Engine::restore(cfg, &decoded)
+            .expect("valid snapshot")
+            .run();
+        assert_eq!(
+            resumed.fingerprint(),
+            full.fingerprint(),
+            "fingerprint diverged after resuming at cut {cut}"
+        );
+        assert_eq!(resumed, full, "trace diverged after resuming at cut {cut}");
+    });
+}
+
+/// Splicing the body of one run's snapshot with the footer of another —
+/// the realistic "restored the wrong file half" corruption — must be
+/// rejected as RT004 (digest mismatch), not silently restored.
+#[test]
+fn cross_restore_corruption_is_rejected_as_rt004() {
+    let mut g = Gen::from_seed(0x5EED5);
+    let cfg_a = random_config(&mut g);
+    let cfg_b = random_config(&mut g);
+    let (_, snap_a) = run_with_cut(&cfg_a, 8);
+    let (_, snap_b) = run_with_cut(&cfg_b, 8);
+    let text_a = snap_a.expect("snapshot captured").encode();
+    let text_b = snap_b.expect("snapshot captured").encode();
+    let body_a = text_a.split('\n').next().expect("body line");
+    let footer_b = text_b.split('\n').nth(1).expect("footer line");
+    let spliced = format!("{body_a}\n{footer_b}\n");
+    assert_eq!(
+        rejection_code(Snapshot::decode(spliced.as_bytes()).unwrap_err()),
+        "RT004",
+        "a snapshot body under another run's footer must fail the digest check"
+    );
+}
+
 #[test]
 fn restored_runs_are_identical_across_threads() {
     let mut g = Gen::from_seed(0xC4EC4);

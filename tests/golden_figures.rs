@@ -18,7 +18,7 @@
 //! prints every table as Rust literals ready to paste back into this
 //! file.
 
-use bench::{fig4, fig6, fig7, fig8, Scale};
+use bench::{fig4, fig6, fig7, fig8, throughput, Scale};
 
 /// Tolerance for millisecond-valued times: goldens are stored at 0.1 µs
 /// print precision, so even a microsecond-level behavioural shift in the
@@ -79,6 +79,34 @@ fn fig4_basic_propagation_matches_golden() {
         assert_close(a.amplitude.as_millis_f64(), idle_ms, MS_TOL, "amplitude");
     }
     assert_close(f.speed_ratio, FIG4_SPEED_RATIO, 1e-6, "Eq. 2 speed ratio");
+}
+
+// ------------------------------------------------- Fig. 4 at 1024 ranks
+
+/// `Trace::fingerprint` of the 1024-rank Fig. 4 wave — the throughput
+/// bench's optimization target scenario (`BENCH_*.json`, wave-1024).
+/// Fingerprint-only rather than a full arrival table to keep the repo
+/// small; any behavioural change to the engine, event queue, RNG
+/// streams, or trace recording at this scale trips it.
+const FIG4_WAVE_1024_FINGERPRINT: u64 = 0x722a9d145052dda4;
+
+#[test]
+fn fig4_wave_1024_fingerprint_matches_golden() {
+    let cfg = throughput::wave_config(1024, 64);
+    let trace = mpisim::try_run(&cfg).expect("wave-1024 config is valid and completes");
+    if regen() {
+        println!(
+            "const FIG4_WAVE_1024_FINGERPRINT: u64 = {:#018x};",
+            trace.fingerprint()
+        );
+        return;
+    }
+    assert_eq!(
+        trace.fingerprint(),
+        FIG4_WAVE_1024_FINGERPRINT,
+        "1024-rank wave trace drifted (fingerprint {:#018x})",
+        trace.fingerprint()
+    );
 }
 
 // ---------------------------------------------------------------- Fig. 6
