@@ -302,6 +302,43 @@ pub fn validate(text: &str) -> Result<BenchReport, String> {
     Ok(report)
 }
 
+/// Calibration lookup for the static budget analyzer
+/// (`simcheck::budget::budget_calibrated`): the events/sec of the
+/// report's scenario whose rank count is nearest `ranks` — per-event
+/// cost depends on scale, so the closest measured job is the best
+/// predictor. Ties go to the larger scenario. `None` when no scenario
+/// has a positive throughput.
+pub fn events_per_sec_for(report: &BenchReport, ranks: u32) -> Option<f64> {
+    report
+        .scenarios
+        .iter()
+        .filter(|s| s.events_per_sec > 0.0)
+        .min_by_key(|s| (s.ranks.abs_diff(ranks), std::cmp::Reverse(s.ranks)))
+        .map(|s| s.events_per_sec)
+}
+
+/// The most recent committed bench trajectory file in `dir`: the
+/// `BENCH_<n>.json` with the highest `n` (each engine generation commits
+/// the next number). `None` when the directory holds none.
+pub fn latest_bench_file(dir: &std::path::Path) -> Option<std::path::PathBuf> {
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        let n: Option<u64> = path
+            .file_name()
+            .and_then(|s| s.to_str())
+            .and_then(|name| name.strip_prefix("BENCH_"))
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse().ok());
+        if let Some(n) = n {
+            if best.as_ref().map_or(true, |(b, _)| n > *b) {
+                best = Some((n, path));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
 /// Compare `current` against a committed `baseline`: every scenario the
 /// two share must not have regressed by more than `max_regression`
 /// (0.30 = fail when events/sec drops below 70 % of the baseline).
@@ -386,6 +423,62 @@ mod tests {
             label: "test".to_string(),
             scenarios: vec![run_scenario(&s, 1, 0)],
         }
+    }
+
+    #[test]
+    fn calibration_picks_the_nearest_rank_count() {
+        fn entry(name: &str, ranks: u32, eps: f64) -> ScenarioResult {
+            ScenarioResult {
+                name: name.to_string(),
+                ranks,
+                steps: 8,
+                events: 1000,
+                iters: 1,
+                min_ns: 1000,
+                mean_ns: 1000,
+                events_per_sec: eps,
+                fingerprint: 1,
+            }
+        }
+        let report = BenchReport {
+            label: "cal".to_string(),
+            scenarios: vec![
+                entry("wave-256", 256, 6e6),
+                entry("wave-1024", 1024, 5e6),
+                entry("wave-4096", 4096, 4e6),
+            ],
+        };
+        assert_eq!(events_per_sec_for(&report, 200), Some(6e6));
+        assert_eq!(events_per_sec_for(&report, 1024), Some(5e6));
+        assert_eq!(events_per_sec_for(&report, 100_000), Some(4e6));
+        // Equidistant between 256 and 1024: the larger scenario wins.
+        assert_eq!(events_per_sec_for(&report, 640), Some(5e6));
+        let empty = BenchReport {
+            label: "none".to_string(),
+            scenarios: Vec::new(),
+        };
+        assert_eq!(events_per_sec_for(&empty, 64), None);
+    }
+
+    #[test]
+    fn latest_bench_file_picks_the_highest_generation() {
+        let dir = std::env::temp_dir().join("bench-latest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        for name in ["BENCH_0.json", "BENCH_2.json", "BENCH_10.json", "notes.md"] {
+            std::fs::write(dir.join(name), b"{}").expect("write");
+        }
+        let latest = latest_bench_file(&dir).expect("bench files present");
+        assert_eq!(latest.file_name().unwrap(), "BENCH_10.json");
+        // The committed repository trajectory is discoverable the same way.
+        let repo = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(std::path::Path::parent)
+            .expect("workspace root");
+        let committed = latest_bench_file(repo).expect("committed BENCH files");
+        let report = validate(&std::fs::read_to_string(&committed).expect("readable"))
+            .expect("committed bench file validates");
+        assert!(events_per_sec_for(&report, 1024).is_some());
     }
 
     #[test]

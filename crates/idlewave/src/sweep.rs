@@ -12,6 +12,13 @@
 //!   simulations reproducibly, and a wall-clock timeout backstops the
 //!   watchdog against harness bugs;
 //! * transient failures are retried a bounded number of times;
+//! * a **pre-flight budget pass** ([`simcheck::budget`]) warns on
+//!   duplicated config fingerprints (`SC020`) and, with
+//!   [`SweepOptions::budget`], records scenarios whose predicted event
+//!   count is already over budget (`SC018`) as
+//!   [`ScenarioStatus::OverBudget`] without running them; the same pass
+//!   sizes every supervision slot's [`mpisim::EnginePools`] so pooled
+//!   runs allocate nothing beyond the predicted budget from run 1;
 //! * every finished scenario is persisted immediately as one JSON line
 //!   (append + flush), so a crash of the sweep process itself loses at
 //!   most the scenarios still in flight; [`SweepOptions::resume`] reloads
@@ -36,9 +43,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use mpisim::{
-    config_fingerprint, nominal_step_duration, try_run_checkpointed_pooled,
-    try_run_with_stats_pooled, CheckpointPolicy, Engine, EnginePools, RunLimits, RunStats,
-    SimConfig, SimError, Snapshot,
+    config_fingerprint, try_run_checkpointed_pooled, try_run_with_stats_pooled, CheckpointPolicy,
+    Engine, EnginePools, PoolBudget, RunLimits, RunStats, SimConfig, SimError, Snapshot,
 };
 use simdes::{SimDuration, SimTime};
 use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
@@ -60,6 +66,10 @@ pub enum Chaos {
     ),
     /// Panic inside the worker on every attempt — exercises panic capture.
     Panic,
+    /// Sleep this long inside the attempt *while holding the slot's
+    /// engine-buffer pool* — exercises the wall-clock backstop and the
+    /// stranded-pool replacement.
+    Hang(Duration),
 }
 
 /// One entry of a sweep: an id, a config, and optional harness overrides.
@@ -107,6 +117,12 @@ pub struct SweepOptions {
     pub watchdog_factor: f64,
     /// Optional event-count budget forwarded to [`mpisim::RunLimits`].
     pub max_events: Option<u64>,
+    /// Maximum *predicted* events per scenario: the pre-flight budget
+    /// pass records scenarios over this ceiling as
+    /// [`ScenarioStatus::OverBudget`] (`SC018`) without running them.
+    /// Independent of [`SweepOptions::max_events`], which aborts a
+    /// simulation already running. `None` disables the gate.
+    pub budget: Option<u64>,
     /// Reload the output file and skip scenarios that already have a
     /// persisted record (finished = any terminal status, success or not).
     /// With a [`SweepOptions::checkpoint_dir`], unfinished scenarios with
@@ -129,6 +145,7 @@ impl Default for SweepOptions {
             wall_timeout: Duration::from_secs(30),
             watchdog_factor: 64.0,
             max_events: None,
+            budget: None,
             resume: false,
             checkpoint_dir: None,
             checkpoint: CheckpointPolicy::none(),
@@ -143,6 +160,9 @@ pub enum ScenarioStatus {
     Ok,
     /// Rejected by the analyzer before running.
     Invalid,
+    /// Rejected by the pre-flight budget pass (`SC018`): predicted events
+    /// exceed [`SweepOptions::budget`]. Never attempted.
+    OverBudget,
     /// The run stalled (deadlock, fail-stop crash, or lost transfers).
     Stalled,
     /// The deterministic sim-time or event budget tripped.
@@ -161,6 +181,7 @@ impl ScenarioStatus {
         match self {
             ScenarioStatus::Ok => "ok",
             ScenarioStatus::Invalid => "invalid",
+            ScenarioStatus::OverBudget => "over-budget",
             ScenarioStatus::Stalled => "stalled",
             ScenarioStatus::Watchdog => "watchdog",
             ScenarioStatus::WallTimeout => "wall-timeout",
@@ -173,6 +194,7 @@ impl ScenarioStatus {
         Some(match s {
             "ok" => ScenarioStatus::Ok,
             "invalid" => ScenarioStatus::Invalid,
+            "over-budget" => ScenarioStatus::OverBudget,
             "stalled" => ScenarioStatus::Stalled,
             "watchdog" => ScenarioStatus::Watchdog,
             "wall-timeout" => ScenarioStatus::WallTimeout,
@@ -358,12 +380,64 @@ pub fn run_sweep(
         }
     }
 
+    // Pre-flight budget pass: one static analysis per scenario feeds the
+    // suite-level duplicate check (SC020), the --budget gate (SC018), and
+    // the shared buffer shape every supervision slot pre-sizes from.
+    let ids: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
+    for d in simcheck::budget::duplicate_fingerprint_checks(&ids, &fingerprints) {
+        warnings.push(d.to_string());
+    }
+    let mut preflight: Vec<Option<ScenarioResult>> = Vec::with_capacity(scenarios.len());
+    preflight.resize_with(scenarios.len(), || None);
+    let mut pool_budget = PoolBudget {
+        ranks: 0,
+        steps: 0,
+        peak_queue: 0,
+        requests_per_rank: 0,
+        trace_records: 0,
+    };
+    let gates = simcheck::budget::Budgets {
+        max_events: opts.budget,
+        ..Default::default()
+    };
+    for (i, s) in scenarios.iter().enumerate() {
+        let report = simcheck::budget::budget(&s.config);
+        pool_budget = max_pool_budget(pool_budget, report.pool);
+        if finished.contains_key(s.id.as_str()) {
+            continue;
+        }
+        let sc018: Vec<_> = simcheck::budget::budget_checks(&s.config, &report, &gates)
+            .into_iter()
+            .filter(|d| d.code == "SC018")
+            .collect();
+        if sc018.is_empty() {
+            continue;
+        }
+        for d in &sc018 {
+            warnings.push(format!("scenario '{}': {d}", s.id));
+        }
+        preflight[i] = Some(ScenarioResult {
+            id: s.id.clone(),
+            status: ScenarioStatus::OverBudget,
+            attempts: 0,
+            error: Some(simcheck::render_report(&sc018)),
+            summary: None,
+            config_fingerprint: Some(fingerprints[i]),
+        });
+    }
+    for r in preflight.iter().flatten() {
+        persist(&sink, r)?;
+    }
+
     let todo: Vec<(usize, &Scenario)> = scenarios
         .iter()
         .enumerate()
-        .filter(|(_, s)| !finished.contains_key(s.id.as_str()))
+        .filter(|(i, s)| !finished.contains_key(s.id.as_str()) && preflight[*i].is_none())
         .collect();
-    let reused = scenarios.len() - todo.len();
+    let reused = scenarios
+        .iter()
+        .filter(|s| finished.contains_key(s.id.as_str()))
+        .count();
 
     let queue: Mutex<Vec<(usize, &Scenario)>> = Mutex::new(todo.into_iter().rev().collect());
     let (tx, rx) = mpsc::channel::<(usize, io::Result<ScenarioResult>)>();
@@ -375,11 +449,13 @@ pub fn run_sweep(
             let sink = &sink;
             let tx = tx.clone();
             scope.spawn(move || {
-                // One engine-buffer pool per supervision slot: every
-                // scenario this worker runs draws its large allocations
-                // from it, so a sweep of same-shape scenarios allocates
-                // once per worker instead of once per attempt.
-                let pool: PoolSlot = Arc::new(Mutex::new(None));
+                // One engine-buffer pool per supervision slot, pre-sized
+                // to the elementwise-max predicted shape across the whole
+                // suite: every scenario this worker runs draws its large
+                // allocations from it and stays inside the budget, so a
+                // sweep allocates once per worker instead of once per
+                // attempt — settled from run 1, no warmup runs.
+                let pool = pool_slot(pool_budget);
                 loop {
                     let job = queue.lock().expect("queue poisoned").pop();
                     match job {
@@ -408,10 +484,10 @@ pub fn run_sweep(
     }
     for (idx, s) in scenarios.iter().enumerate() {
         if slots[idx].is_none() {
-            let prior = finished
-                .get(s.id.as_str())
-                .expect("scenario neither run nor reloaded");
-            slots[idx] = Some((*prior).clone());
+            slots[idx] = preflight[idx]
+                .take()
+                .or_else(|| finished.get(s.id.as_str()).map(|prior| (*prior).clone()));
+            assert!(slots[idx].is_some(), "scenario neither run nor reloaded");
         }
     }
     if let Some(dir) = ckpt_dir {
@@ -435,11 +511,44 @@ pub fn run_sweep(
 
 /// A supervision slot's shared engine-buffer pool. Attempt threads take
 /// the pools out under a brief lock before the run and put them back
-/// after — the lock is never held across a run, so an attempt abandoned
-/// by the wall-clock backstop simply walks off with that pool instance
-/// (freed when its thread eventually dies) and the next attempt warms up
-/// a fresh one.
-type PoolSlot = Arc<Mutex<Option<EnginePools>>>;
+/// after — the lock is never held across a run. An attempt abandoned by
+/// the wall-clock backstop walks off with the pool instance it took; the
+/// backstop immediately installs a fresh budget-sized replacement and
+/// bumps the generation counter, so the abandoned thread's eventual
+/// put-back is recognised as stale and discarded instead of clobbering
+/// the replacement. Long sweeps therefore keep pooling across timeouts
+/// instead of silently degrading to unpooled runs.
+struct PoolState {
+    /// Bumped whenever the backstop abandons an attempt; a put-back from
+    /// an older generation is dropped.
+    gen: u64,
+    /// The shape fresh and replacement pools are sized from.
+    budget: PoolBudget,
+    pool: Option<EnginePools>,
+}
+
+type PoolSlot = Arc<Mutex<PoolState>>;
+
+/// A slot holding a freshly budget-sized pool.
+fn pool_slot(budget: PoolBudget) -> PoolSlot {
+    Arc::new(Mutex::new(PoolState {
+        gen: 0,
+        budget,
+        pool: Some(EnginePools::with_budget(&budget)),
+    }))
+}
+
+/// Elementwise maximum of two pool shapes: a slot sized to the max fits
+/// every scenario in the sweep without growing.
+fn max_pool_budget(a: PoolBudget, b: PoolBudget) -> PoolBudget {
+    PoolBudget {
+        ranks: a.ranks.max(b.ranks),
+        steps: a.steps.max(b.steps),
+        peak_queue: a.peak_queue.max(b.peak_queue),
+        requests_per_rank: a.requests_per_rank.max(b.requests_per_rank),
+        trace_records: a.trace_records.max(b.trace_records),
+    }
+}
 
 /// Mid-scenario checkpointing instructions for one scenario's attempts.
 #[derive(Debug, Clone)]
@@ -626,17 +735,31 @@ fn run_attempt(
     let chaos = scenario.chaos;
     let limits = *limits;
     let ckpt = ckpt.cloned();
-    let pool = Arc::clone(pool);
+    let worker_pool = Arc::clone(pool);
     let (tx, rx) = mpsc::channel::<Attempt>();
     std::thread::spawn(move || {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            attempt_body(cfg, chaos, attempt, &limits, ckpt.as_ref(), &pool)
+            attempt_body(cfg, chaos, attempt, &limits, ckpt.as_ref(), &worker_pool)
         }))
         .unwrap_or_else(|payload| Attempt::Panicked(panic_text(payload.as_ref())));
         // The receiver is gone iff the backstop already fired.
         let _ = tx.send(outcome);
     });
-    rx.recv_timeout(wall_timeout).ok()
+    match rx.recv_timeout(wall_timeout) {
+        Ok(outcome) => Some(outcome),
+        Err(_) => {
+            // The abandoned thread walked off with the slot's pool (or is
+            // about to put it back). Invalidate its generation so a late
+            // put-back is discarded, and refill an emptied slot with a
+            // fresh budget-sized pool so later attempts keep pooling.
+            let mut slot = pool.lock().expect("pool poisoned");
+            slot.gen += 1;
+            if slot.pool.is_none() {
+                slot.pool = Some(EnginePools::with_budget(&slot.budget));
+            }
+            None
+        }
+    }
 }
 
 /// The actual work of one attempt, run inside the isolated worker.
@@ -668,11 +791,21 @@ fn attempt_body(
     if let Some(engine) = try_restore(&cfg, ckpt) {
         return classify(run_restored(engine, limits, ckpt));
     }
-    let mut pools = pool
-        .lock()
-        .expect("pool poisoned")
-        .take()
-        .unwrap_or_else(EnginePools::new);
+    let (gen, mut pools) = {
+        let mut slot = pool.lock().expect("pool poisoned");
+        let gen = slot.gen;
+        let budget = slot.budget;
+        let pools = slot
+            .pool
+            .take()
+            .unwrap_or_else(|| EnginePools::with_budget(&budget));
+        (gen, pools)
+    };
+    if let Chaos::Hang(d) = chaos {
+        // Deliberately outlast the wall-clock backstop while holding the
+        // slot's pool — the stranded-pool scenario.
+        std::thread::sleep(d);
+    }
     let run = match ckpt {
         Some(plan) if plan.policy.is_active() => {
             let path = plan.path.clone();
@@ -689,7 +822,14 @@ fn attempt_body(
         }
         _ => try_run_with_stats_pooled(&cfg, limits, &mut pools),
     };
-    *pool.lock().expect("pool poisoned") = Some(pools);
+    {
+        let mut slot = pool.lock().expect("pool poisoned");
+        if slot.gen == gen {
+            slot.pool = Some(pools);
+        }
+        // else: the backstop abandoned this attempt and already installed
+        // a replacement — this pool is stale, drop it.
+    }
     classify(run)
 }
 
@@ -750,27 +890,23 @@ fn write_snapshot_atomic(path: &Path, snap: &Snapshot) -> io::Result<()> {
 }
 
 /// The deterministic sim-time budget for a scenario: its explicit
-/// `max_sim_time`, or the nominal runtime (steps plus every delay the
-/// fault plan and injections can add) times `watchdog_factor`.
+/// `max_sim_time`, or the budget analyzer's predicted runtime
+/// ([`simcheck::budget::BudgetReport::sim_time_predicted`]) plus the
+/// worst-case allowances the central estimate deliberately leaves out,
+/// times `watchdog_factor`.
 fn sim_budget(scenario: &Scenario, opts: &SweepOptions) -> SimTime {
     if let Some(t) = scenario.max_sim_time {
         return t;
     }
     let cfg = &scenario.config;
     let steps = u64::from(cfg.steps.max(1));
-    let mut nominal = nominal_step_duration(cfg).times(steps);
-    nominal += cfg
-        .injections
-        .injections()
-        .iter()
-        .map(|i| i.duration)
-        .sum::<SimDuration>();
-    nominal += cfg.faults.total_rank_fault_delay();
+    let mut nominal = simcheck::budget::budget(cfg).sim_time_predicted;
     if let Some(m) = cfg.faults.messages {
         // Worst case, every step's messages serially exhaust the backoff.
         nominal += m.max_extra_delay().times(steps);
     }
-    nominal += cfg.noise.mean().times(steps.saturating_mul(2));
+    // The prediction carries one helping of mean noise; budget a second.
+    nominal += cfg.noise.mean().times(steps);
     let budget = nominal.mul_f64(opts.watchdog_factor) + SimDuration::from_millis(1);
     SimTime(budget.nanos())
 }
@@ -824,6 +960,10 @@ impl ToJson for Chaos {
                 Json::obj(vec![("attempts", n.to_json())]),
             )]),
             Chaos::Panic => Json::Str("Panic".into()),
+            Chaos::Hang(d) => Json::obj(vec![(
+                "Hang",
+                Json::obj(vec![("nanos", (d.as_nanos() as u64).to_json())]),
+            )]),
         }
     }
 }
@@ -835,6 +975,9 @@ impl FromJson for Chaos {
             "None" => Ok(Chaos::None),
             "Panic" => Ok(Chaos::Panic),
             "FailAttempts" => Ok(Chaos::FailAttempts(u32::from_json(p.field("attempts")?)?)),
+            "Hang" => Ok(Chaos::Hang(Duration::from_nanos(u64::from_json(
+                p.field("nanos")?,
+            )?))),
             other => Err(json::JsonError(format!("unknown Chaos variant '{other}'"))),
         }
     }
@@ -1034,27 +1177,68 @@ mod tests {
         assert_eq!(report.failures(), 4);
     }
 
-    /// Attempts in one supervision slot share the slot's [`EnginePools`]:
-    /// after the two-run warmup (run 1 sizes every pooled buffer, run 2
-    /// settles the calendar queue's swap-shuffled segment capacities),
-    /// further same-shape scenarios through the same slot allocate
-    /// nothing new.
+    /// Attempts in one supervision slot share the slot's [`EnginePools`],
+    /// pre-sized from the budget analyzer's predicted shape: same-shape
+    /// scenarios through the same slot never allocate beyond the budget —
+    /// settled from run 1, no warmup runs.
     #[test]
     fn attempts_reuse_the_slot_pool_across_scenarios() {
-        let pool: PoolSlot = Arc::new(Mutex::new(None));
+        let pool = pool_slot(simcheck::budget::budget(&quick_cfg(0)).pool);
         let limits = RunLimits::none();
-        let mut grows = Vec::new();
         for seed in 0..6u64 {
             match attempt_body(quick_cfg(seed), Chaos::None, 0, &limits, None, &pool) {
                 Attempt::Ok(_) => {}
                 _ => panic!("attempt for seed {seed} did not succeed"),
             }
             let slot = pool.lock().expect("pool lock");
-            grows.push(slot.as_ref().expect("pools returned to the slot").grows());
+            let pools = slot.pool.as_ref().expect("pools returned to the slot");
+            assert_eq!(
+                pools.grows(),
+                0,
+                "a budget-sized pool grew on seed {seed} (run {})",
+                pools.runs()
+            );
         }
-        assert!(
-            grows[1..].iter().all(|&g| g == grows[1]),
-            "the pool must stop growing after the two-run warmup: {grows:?}"
+    }
+
+    /// A wall-timeout-abandoned attempt walks off with the slot's pool;
+    /// the backstop must install a fresh budget-sized replacement and the
+    /// abandoned thread's late put-back must be discarded, not clobber it.
+    #[test]
+    fn wall_timeout_replaces_the_stranded_pool() {
+        let pool = pool_slot(simcheck::budget::budget(&quick_cfg(0)).pool);
+        let limits = RunLimits::none();
+        let scenario = Scenario {
+            id: "hangs".into(),
+            config: quick_cfg(0),
+            chaos: Chaos::Hang(Duration::from_millis(400)),
+            max_sim_time: None,
+        };
+        let outcome = run_attempt(
+            &scenario,
+            0,
+            &limits,
+            Duration::from_millis(20),
+            None,
+            &pool,
+        );
+        assert!(outcome.is_none(), "the backstop must fire");
+        {
+            let slot = pool.lock().expect("pool lock");
+            assert_eq!(slot.gen, 1, "abandonment must invalidate the generation");
+            let pools = slot.pool.as_ref().expect("slot refilled with a fresh pool");
+            assert_eq!(pools.runs(), 0, "the replacement pool is fresh");
+        }
+        // Wait out the abandoned thread (400 ms hang plus a short run),
+        // then confirm its stale put-back was discarded: the replacement
+        // would show runs() >= 1 if the stale pool had clobbered it.
+        std::thread::sleep(Duration::from_millis(1500));
+        let slot = pool.lock().expect("pool lock");
+        let pools = slot.pool.as_ref().expect("replacement must stay in place");
+        assert_eq!(
+            pools.runs(),
+            0,
+            "the abandoned attempt's stale pool clobbered the replacement"
         );
     }
 
@@ -1229,6 +1413,80 @@ mod tests {
         };
         let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
         assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn over_budget_scenarios_are_gated_without_running() {
+        let out = tmp("budget_gate.jsonl");
+        let _ = std::fs::remove_file(&out);
+        // quick_cfg: 6 ranks x 4 steps, eager chain -> exactly 44 events.
+        // The pricey variant runs 64 steps -> 704 predicted events.
+        let pricey = WaveExperiment::flat_chain(6)
+            .texec(SimDuration::from_millis(1))
+            .steps(64)
+            .seed(2)
+            .into_config();
+        let scenarios = vec![
+            Scenario::new("cheap", quick_cfg(1)),
+            Scenario::new("pricey", pricey),
+        ];
+        let o = SweepOptions {
+            budget: Some(100),
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        let cheap = &report.results[0];
+        let pricey = &report.results[1];
+        assert_eq!(cheap.status, ScenarioStatus::Ok);
+        assert_eq!(pricey.status, ScenarioStatus::OverBudget);
+        assert_eq!(pricey.attempts, 0, "a gated scenario must never run");
+        assert!(
+            pricey
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("SC018") && e.contains("budget")),
+            "{pricey:?}"
+        );
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("SC018") && w.contains("'pricey'")),
+            "{:?}",
+            report.warnings
+        );
+        // The gate record is persisted like any terminal record and is
+        // honoured on resume instead of re-gating or re-running.
+        assert_eq!(load_results(&out).expect("readable").len(), 2);
+        let resumed =
+            run_sweep(&scenarios, &SweepOptions { resume: true, ..o }, &out).expect("sweep io");
+        assert_eq!(resumed.reused, 2);
+        assert_eq!(resumed.results[1].status, ScenarioStatus::OverBudget);
+        assert_eq!(load_results(&out).expect("readable").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_configs_warn_sc020() {
+        let out = tmp("sc020.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios = vec![
+            Scenario::new("first", quick_cfg(1)),
+            Scenario::new("copy", quick_cfg(1)),
+            Scenario::new("different", quick_cfg(2)),
+        ];
+        let report = run_sweep(&scenarios, &opts(), &out).expect("sweep io");
+        assert!(report.all_ok(), "duplicates still run");
+        let sc020: Vec<&String> = report
+            .warnings
+            .iter()
+            .filter(|w| w.contains("SC020"))
+            .collect();
+        assert_eq!(sc020.len(), 1, "{:?}", report.warnings);
+        assert!(
+            sc020[0].contains("first") && sc020[0].contains("copy"),
+            "{}",
+            sc020[0]
+        );
     }
 
     #[test]

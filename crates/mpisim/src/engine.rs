@@ -560,6 +560,44 @@ pub struct EnginePools {
     runs: u64,
 }
 
+/// Predicted buffer shape for one scenario, the contract between a static
+/// analyzer and [`EnginePools::with_budget`]. Plain data on purpose: the
+/// prediction math lives outside this crate (`simcheck::budget` derives a
+/// `PoolBudget` from a `SimConfig`), and the engine only consumes the
+/// numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolBudget {
+    /// Ranks in the scenario (sizes request lists and scratch vectors).
+    pub ranks: u32,
+    /// Bulk-synchronous steps (with `ranks`, sizes the trace buffer).
+    pub steps: u32,
+    /// Predicted peak event-queue occupancy.
+    pub peak_queue: usize,
+    /// Worst-case posted requests on any one rank in any one step.
+    pub requests_per_rank: usize,
+    /// Phase records a full-trace run retains (`ranks * steps`); zero for
+    /// summary-only pools.
+    pub trace_records: usize,
+}
+
+impl PoolBudget {
+    /// Estimated peak resident bytes of a pool sized to this budget. An
+    /// estimate, not an accounting identity: the calendar queue's year
+    /// buckets and allocator rounding add real but bounded overhead on
+    /// top of it.
+    pub fn bytes(&self) -> u64 {
+        let n = self.ranks as usize;
+        let entry = std::mem::size_of::<(SimTime, u64, Ev)>();
+        let spill =
+            self.requests_per_rank.saturating_sub(REQ_INLINE) * std::mem::size_of::<Request>() * n;
+        let fixed = n * (std::mem::size_of::<ReqSlots>() + 3 * std::mem::size_of::<u32>());
+        (self.peak_queue * entry
+            + self.trace_records * std::mem::size_of::<PhaseRecord>()
+            + spill
+            + fixed) as u64
+    }
+}
+
 impl EnginePools {
     /// Empty pools; the first run's allocations become the baseline.
     pub fn new() -> Self {
@@ -574,6 +612,40 @@ impl EnginePools {
             grows: 0,
             runs: 0,
         }
+    }
+
+    /// Pools pre-sized from a static [`PoolBudget`], so the first run
+    /// already finds every buffer at capacity and the grow counter stays
+    /// at zero from run 1 — no warmup runs. Unlike [`EnginePools::new`],
+    /// the budget (not the first run) sets the capacity watermark, so an
+    /// under-predicted budget shows up as `grows() > 0` immediately.
+    pub fn with_budget(budget: &PoolBudget) -> Self {
+        let n = budget.ranks as usize;
+        let mut reqs: Vec<ReqSlots> = Vec::with_capacity(n);
+        reqs.resize_with(n, ReqSlots::default);
+        for r in &mut reqs {
+            r.reserve(budget.requests_per_rank);
+        }
+        let mut pools = EnginePools {
+            q: EventQueue::with_capacity(budget.peak_queue),
+            records: Vec::with_capacity(budget.trace_records),
+            reqs,
+            scratch_recv: Vec::with_capacity(n),
+            scratch_send: Vec::with_capacity(n),
+            scratch_cts: Vec::with_capacity(n),
+            watermark: 0,
+            grows: 0,
+            runs: 0,
+        };
+        // The calendar queue spreads pending events over year buckets and
+        // swaps bucket allocations into the run segment during pops, so a
+        // settled queue carries more total segment capacity than its peak
+        // occupancy. Grant that headroom up front; the watermark is the
+        // budget's promise, and `recycle` charges a grow the moment a run
+        // exceeds it.
+        let bucket_slack = 4 * budget.peak_queue + 16 * 1024;
+        pools.watermark = pools.capacity() + bucket_slack;
+        pools
     }
 
     /// Number of recycles in which some pooled buffer had grown past the
@@ -843,7 +915,10 @@ impl Engine {
         pools.scratch_send = self.scratch_send;
         pools.scratch_cts = self.scratch_cts;
         let cap = pools.capacity();
-        if pools.runs > 0 && cap > pools.watermark {
+        // A fresh pool's first run sets the baseline; a budgeted pool
+        // (nonzero watermark before any run) is held to its budget from
+        // run 1.
+        if (pools.runs > 0 || pools.watermark > 0) && cap > pools.watermark {
             pools.grows += 1;
         }
         pools.watermark = pools.watermark.max(cap);
@@ -2151,27 +2226,62 @@ mod tests {
         assert_eq!(full_stats, sum_stats);
     }
 
+    /// A generous hand-built budget for the `fault_cfg` shapes; the exact
+    /// per-config prediction lives in `simcheck::budget` (which this crate
+    /// cannot depend on) and is drift-tested at the workspace level.
+    fn test_budget(cfg: &SimConfig, trace: bool) -> PoolBudget {
+        let n = cfg.ranks();
+        PoolBudget {
+            ranks: n,
+            steps: cfg.steps,
+            peak_queue: 8 * n as usize,
+            requests_per_rank: 4,
+            trace_records: if trace {
+                n as usize * cfg.steps as usize
+            } else {
+                0
+            },
+        }
+    }
+
     #[test]
     fn pooled_runs_are_bit_identical_and_stop_allocating() {
         let cfg = fault_cfg(8);
         let baseline = Engine::new(cfg.clone()).run();
-        let mut pools = EnginePools::new();
+        let mut pools = EnginePools::with_budget(&test_budget(&cfg, true));
         let mut fingerprints = Vec::new();
-        let mut grows_per_run = Vec::new();
         for _ in 0..5 {
             let (trace, _) =
                 try_run_with_stats_pooled(&cfg, &RunLimits::none(), &mut pools).expect("completes");
             fingerprints.push(trace.fingerprint());
-            grows_per_run.push(pools.grows());
+            // Budget-driven pre-sizing: every run, including the first,
+            // fits inside the budgeted watermark. No warmup runs.
+            assert_eq!(
+                pools.grows(),
+                0,
+                "a budgeted pool must settle on run 1 (run {})",
+                pools.runs()
+            );
         }
         assert!(
             fingerprints.iter().all(|&f| f == baseline.fingerprint()),
             "pooled runs must be bit-identical to fresh runs"
         );
         assert_eq!(pools.runs(), 5);
-        // Runs 3..5 must reuse the pooled capacity exactly; the first two
-        // runs are warmup (run 1 sizes the buffers, run 2 settles the
-        // calendar queue's swap-shuffled segment capacities).
+    }
+
+    #[test]
+    fn unbudgeted_pools_keep_the_first_run_baseline_contract() {
+        let cfg = fault_cfg(8);
+        let mut pools = EnginePools::new();
+        let mut grows_per_run = Vec::new();
+        for _ in 0..5 {
+            let (_, _) =
+                try_run_with_stats_pooled(&cfg, &RunLimits::none(), &mut pools).expect("completes");
+            grows_per_run.push(pools.grows());
+        }
+        // Without a budget the first run sets the baseline and run 2 may
+        // settle swap-shuffled queue segments; runs 3..5 must be stable.
         assert_eq!(
             grows_per_run[4], grows_per_run[1],
             "same-shape reruns must reuse the pooled capacity"
@@ -2182,28 +2292,48 @@ mod tests {
     fn pooled_summary_runs_match_and_stop_allocating() {
         let cfg = fault_cfg(8);
         let reference = RunSummary::of_trace(&Engine::new(cfg.clone()).run());
-        let mut pools = EnginePools::new();
-        // Two-run warmup: the first run sizes every pooled buffer, and the
-        // second settles the calendar queue's segment capacities, which the
-        // zero-copy bucket-to-run swaps shuffle between segments.
-        let grows_after_warmup;
-        {
-            for _ in 0..2 {
-                let (s, _) = try_run_summary_pooled(&cfg, &RunLimits::none(), &mut pools)
-                    .expect("completes");
-                assert_eq!(s, reference);
-            }
-            grows_after_warmup = pools.grows();
-        }
-        for _ in 0..4 {
+        // Summary pools retain no trace records.
+        let mut pools = EnginePools::with_budget(&test_budget(&cfg, false));
+        for _ in 0..6 {
             let (s, _) =
                 try_run_summary_pooled(&cfg, &RunLimits::none(), &mut pools).expect("completes");
             assert_eq!(s, reference);
+            assert_eq!(
+                pools.grows(),
+                0,
+                "a budgeted summary pool must settle on run 1 (run {})",
+                pools.runs()
+            );
         }
-        assert_eq!(
-            pools.grows(),
-            grows_after_warmup,
-            "allocation counts must be stable after the two-run warmup"
+    }
+
+    #[test]
+    fn pool_budget_byte_estimates_scale_with_the_shape() {
+        let small = PoolBudget {
+            ranks: 8,
+            steps: 4,
+            peak_queue: 64,
+            requests_per_rank: 4,
+            trace_records: 32,
+        };
+        let big = PoolBudget {
+            ranks: 1024,
+            steps: 40,
+            peak_queue: 8192,
+            requests_per_rank: 8,
+            trace_records: 1024 * 40,
+        };
+        assert!(small.bytes() > 0);
+        assert!(
+            big.bytes() > small.bytes(),
+            "budget byte estimates must grow with the predicted shape"
         );
+        // Spilled request lists (beyond the four inline slots) cost heap
+        // bytes; a wider schedule must never estimate cheaper.
+        let wide = PoolBudget {
+            requests_per_rank: 32,
+            ..small
+        };
+        assert!(wide.bytes() > small.bytes());
     }
 }

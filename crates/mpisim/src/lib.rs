@@ -29,7 +29,7 @@ pub use config::{Mode, NoisePlacement, Protocol, SimConfig};
 pub use diag::{Diagnostic, Severity};
 pub use engine::{
     run, try_run, try_run_checkpointed_pooled, try_run_summary_pooled, try_run_with_limits,
-    try_run_with_stats_pooled, Engine, EnginePools, RunStats, RunSummary, TraceMode,
+    try_run_with_stats_pooled, Engine, EnginePools, PoolBudget, RunStats, RunSummary, TraceMode,
 };
 pub use error::{RunLimits, SimError};
 pub use faults::{

@@ -12,14 +12,22 @@
 //! idle-wave speed (σ = 2 in Eq. 2) — so the analyzer reports the cycle as
 //! a warning naming the offending ranks.
 //!
-//! Detection: mutual rendezvous edges between chain neighbours always form
-//! a path; only the **periodic boundary** can close the path into a ring.
-//! So SC001 fires exactly when a wrap-around mutual edge (one whose
-//! endpoints are geometrically further apart than the pattern distance)
-//! connects two ranks already linked through non-wrap mutual edges. For
-//! the paper grid that is precisely {bidirectional × rendezvous ×
-//! periodic}: unidirectional patterns have no mutual edges, and open
-//! boundaries have no wrap edges.
+//! Detection, regular patterns: mutual rendezvous edges between chain
+//! neighbours always form a path; only the **periodic boundary** can close
+//! the path into a ring. So SC001 fires exactly when a wrap-around mutual
+//! edge (one whose endpoints are geometrically further apart than the
+//! pattern distance) connects two ranks already linked through non-wrap
+//! mutual edges. For the paper grid that is precisely {bidirectional ×
+//! rendezvous × periodic}: unidirectional patterns have no mutual edges,
+//! and open boundaries have no wrap edges.
+//!
+//! Detection, explicit schedules: no geometry to lean on, so SC001 runs
+//! real cycle detection instead — per schedule round, collect the mutual
+//! rendezvous edges and probe each one for an alternative mutual path
+//! between its endpoints; any such path closes a synchronization ring of
+//! three or more ranks. Isolated mutual pairs (a collective's pairwise
+//! exchange stages, e.g. hypercube allreduce) are not rings — they get the
+//! SC010 note.
 
 use mpisim::{Diagnostic, Mode, SimConfig};
 use workload::{Boundary, CommSchedule, Direction};
@@ -31,7 +39,7 @@ pub(crate) fn wait_cycle_checks(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
         return;
     }
     match &cfg.schedule {
-        Some(sched) => schedule_mutual_note(sched, out),
+        Some(sched) => schedule_wait_cycles(sched, out),
         None => pattern_wrap_cycle(cfg, out),
     }
 }
@@ -95,30 +103,67 @@ fn pattern_wrap_cycle(cfg: &SimConfig, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// SC010 on explicit schedules: geometric wrap analysis is undefined for
-/// arbitrary graphs, so just note the first mutual rendezvous exchange.
-fn schedule_mutual_note(sched: &CommSchedule, out: &mut Vec<Diagnostic>) {
+/// SC001 on explicit schedules: per round, build the undirected graph of
+/// mutual rendezvous edges and probe each edge for an alternative mutual
+/// path between its endpoints — any such path closes a synchronization
+/// ring of three or more ranks, which is named exactly. Rounds with only
+/// isolated mutual pairs (no ring anywhere in the cycle) keep the SC010
+/// note on the first pair.
+fn schedule_wait_cycles(sched: &CommSchedule, out: &mut Vec<Diagnostic>) {
+    let mut first_mutual: Option<(u32, u32, u32)> = None; // (round, u, v)
     for round in 0..sched.rounds_per_cycle() {
         let g = sched.graph_for(round);
+        let n = g.ranks() as usize;
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut edges: Vec<(usize, usize)> = Vec::new();
         for u in 0..g.ranks() {
             for &v in g.send_partners(u) {
                 if v > u && g.send_partners(v).contains(&u) {
-                    out.push(Diagnostic::note(
-                        "SC010",
-                        "schedule",
-                        format!("round {round}"),
-                        format!(
-                            "mutual rendezvous exchange between ranks {u} and \
-                             {v} in schedule round {round}: explicit schedules \
-                             get no geometric wait-cycle analysis — check \
-                             collective decompositions for synchronization \
-                             rings by hand"
-                        ),
-                    ));
-                    return;
+                    adj[u as usize].push(v as usize);
+                    adj[v as usize].push(u as usize);
+                    edges.push((u as usize, v as usize));
+                    if first_mutual.is_none() {
+                        first_mutual = Some((round, u, v));
+                    }
                 }
             }
         }
+        for &(u, v) in &edges {
+            // Drop the probed edge; any remaining mutual path u → … → v
+            // plus the edge itself is a ring of at least three ranks.
+            let mut pruned = adj.clone();
+            pruned[u].retain(|&w| w != v);
+            pruned[v].retain(|&w| w != u);
+            if let Some(mut cycle) = bfs_path(&pruned, u, v) {
+                cycle.push(u);
+                out.push(Diagnostic::warning(
+                    "SC001",
+                    "schedule",
+                    format!("round {round}"),
+                    format!(
+                        "rendezvous wait-cycle: ranks {} close a synchronization \
+                         ring in schedule round {round} — a deadlock under \
+                         blocking or synchronous sends; the nonblocking engine \
+                         resolves it via CTS gating at the cost of doubled \
+                         idle-wave speed (σ = 2 in Eq. 2)",
+                        format_cycle(&cycle)
+                    ),
+                ));
+                return; // one representative cycle is enough
+            }
+        }
+    }
+    if let Some((round, u, v)) = first_mutual {
+        out.push(Diagnostic::note(
+            "SC010",
+            "schedule",
+            format!("round {round}"),
+            format!(
+                "mutual rendezvous exchange between ranks {u} and {v} in \
+                 schedule round {round}: pairwise synchronization only — \
+                 cycle detection found no closed wait ring in any round"
+            ),
+        ));
     }
 }
 
@@ -237,13 +282,80 @@ mod tests {
 
     #[test]
     fn schedules_get_the_sc010_note_instead() {
+        // Hypercube allreduce stages are perfect matchings: every round is
+        // isolated mutual pairs, so real cycle detection finds no ring and
+        // the note survives the generalization.
         let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 8);
         c.schedule = Some(CommSchedule::hypercube_allreduce(8));
         let mut out = Vec::new();
         wait_cycle_checks(&c, &mut out);
-        assert!(out.iter().all(|d| d.code != "SC001"));
+        assert!(out.iter().all(|d| d.code != "SC001"), "{out:?}");
         let note = out.iter().find(|d| d.code == "SC010").expect("SC010");
         assert!(note.message.contains("mutual rendezvous"));
+        assert!(note.message.contains("no closed wait ring"), "{}", note);
+    }
+
+    #[test]
+    fn mutual_ring_schedule_triggers_sc001_with_the_exact_cycle() {
+        // Hand-built 4-ring where every rank mutually exchanges with both
+        // neighbours: 0↔1↔2↔3↔0. The geometric analyzer cannot see this
+        // (it special-cases the regular pattern); the schedule path must
+        // name the ring exactly.
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 4);
+        c.schedule = Some(CommSchedule::uniform(CommGraph::from_sends(vec![
+            vec![1, 3],
+            vec![0, 2],
+            vec![1, 3],
+            vec![0, 2],
+        ])));
+        let mut out = Vec::new();
+        wait_cycle_checks(&c, &mut out);
+        let w = out.iter().find(|d| d.code == "SC001").expect("SC001");
+        assert_eq!(w.severity, mpisim::Severity::Warning);
+        assert!(w.message.contains("deadlock"), "{}", w.message);
+        assert!(
+            w.message.contains("0 -> 3 -> 2 -> 1 -> 0"),
+            "cycle not named: {}",
+            w.message
+        );
+        assert!(out.iter().all(|d| d.code != "SC010"), "{out:?}");
+    }
+
+    #[test]
+    fn acyclic_mutual_schedule_stays_free_of_sc001() {
+        // A mutual-exchange tree (0↔1, 0↔2, 1↔3): pairwise blocking edges
+        // but no closed ring — SC001 must stay silent; the pairs only rate
+        // the SC010 note.
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 4);
+        c.schedule = Some(CommSchedule::uniform(CommGraph::from_sends(vec![
+            vec![1, 2],
+            vec![0, 3],
+            vec![0],
+            vec![1],
+        ])));
+        let mut out = Vec::new();
+        wait_cycle_checks(&c, &mut out);
+        assert!(out.iter().all(|d| d.code != "SC001"), "{out:?}");
+        assert!(
+            out.iter().all(|d| d.severity == mpisim::Severity::Note),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn cross_round_pairs_do_not_fake_a_ring() {
+        // Round 0 exchanges 0↔1, round 1 exchanges 1↔2, round 2 exchanges
+        // 2↔0: each round is a single mutual pair, and rounds synchronize
+        // independently — no ring.
+        let mut c = cfg(Direction::Bidirectional, Boundary::Periodic, 1, 3);
+        c.schedule = Some(CommSchedule::cyclic(vec![
+            CommGraph::from_sends(vec![vec![1], vec![0], vec![]]),
+            CommGraph::from_sends(vec![vec![], vec![2], vec![1]]),
+            CommGraph::from_sends(vec![vec![2], vec![], vec![0]]),
+        ]));
+        let mut out = Vec::new();
+        wait_cycle_checks(&c, &mut out);
+        assert!(out.iter().all(|d| d.code != "SC001"), "{out:?}");
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!    feasibility analysis (`SC013`–`SC016`: invalid plan fields,
 //!    retransmission timeouts shorter than a transfer, guaranteed or
 //!    likely transfer loss, dead windows and unreachable rank faults).
+//!    The [`budget`] module extends the static pass to *cost* prediction:
+//!    [`budget::BudgetReport`] forecasts events, queue occupancy, memory,
+//!    simulated time and calibrated wall time from the config alone, with
+//!    budget-gate diagnostics `SC018`–`SC024` and the sweep-suite
+//!    duplicate-fingerprint check `SC020`.
 //! 2. **Source linting** — the [`lint`] module and the `simlint` binary: a
 //!    hand-rolled, comment- and string-aware Rust lexer that scans the
 //!    workspace for determinism/hermeticity hazards (wall-clock reads,
@@ -26,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 mod checks;
 mod deadlock;
 mod faults;
@@ -34,6 +40,7 @@ mod speed;
 
 use mpisim::SimConfig;
 
+pub use budget::{BudgetReport, Budgets, WavePrediction};
 pub use checks::checkpoint_checks;
 pub use mpisim::diag::{has_errors, render_report};
 pub use mpisim::{Diagnostic, Severity};

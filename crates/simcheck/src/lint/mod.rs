@@ -179,6 +179,39 @@ mod tests {
     }
 
     #[test]
+    fn float_order_flags_partial_cmp_unwrap_everywhere() {
+        // Tests are NOT exempt: result ordering feeds golden comparisons.
+        let src = "let o = a.partial_cmp(&b).unwrap();\n";
+        assert_eq!(rules_hit("crates/x/tests/t.rs", src), ["float-order"]);
+        // Non-test code stacks with the generic unwrap rule.
+        assert_eq!(rules_hit("src/a.rs", src), ["float-order", "unwrap"]);
+        // `.expect` documents the finiteness assumption and passes.
+        let expect = "let o = a.partial_cmp(&b).expect(\"finite\");\n";
+        assert!(rules_hit("crates/x/tests/t.rs", expect).is_empty());
+        // Implementing PartialOrd is not a violation.
+        let imp = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n";
+        assert!(rules_hit("src/a.rs", imp).is_empty());
+    }
+
+    #[test]
+    fn float_order_flags_unstable_sorts_keyed_through_partial_cmp() {
+        let one_line = "v.sort_unstable_by(|a, b| a.partial_cmp(b).expect(\"finite\"));\n";
+        assert_eq!(rules_hit("tests/t.rs", one_line), ["float-order"]);
+        // The comparator closure may be rustfmt-wrapped onto later lines.
+        let wrapped = "v.sort_unstable_by(|a, b| {\n    a.partial_cmp(b).expect(\"finite\")\n});\n";
+        assert_eq!(rules_hit("tests/t.rs", wrapped), ["float-order"]);
+        // Integer-keyed unstable sorts and `total_cmp` are the blessed forms.
+        assert!(rules_hit("tests/t.rs", "v.sort_unstable_by_key(|&(t, s)| (t, s));\n").is_empty());
+        assert!(rules_hit("tests/t.rs", "v.sort_unstable_by(|a, b| a.total_cmp(b));\n").is_empty());
+        // The pragma acknowledges a proven-finite ordering.
+        let allowed =
+            "// simlint: allow(float-order)\nv.sort_unstable_by(|a, b| a.partial_cmp(b).expect(\"finite\"));\n";
+        let (viol, supp) = lint_source("tests/t.rs", allowed);
+        assert!(viol.is_empty(), "{viol:?}");
+        assert_eq!(supp, 1);
+    }
+
+    #[test]
     fn unwrap_flagged_but_expect_is_fine() {
         assert_eq!(rules_hit("src/a.rs", "v.last().unwrap();\n"), ["unwrap"]);
         assert!(rules_hit("src/a.rs", "v.last().expect(\"nonempty\");\n").is_empty());

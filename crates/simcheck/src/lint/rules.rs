@@ -8,6 +8,7 @@
 //! | `wall-clock` | `Instant::now` / `SystemTime::now` | non-test code outside `crates/bench/src/harness.rs` |
 //! | `hash-collections` | `HashMap` / `HashSet` | non-test code in simulation crates (everything but `crates/bench`) |
 //! | `float-cmp` | `==` / `!=` with a float-literal operand | non-test code |
+//! | `float-order` | `partial_cmp(..).unwrap()` / `sort_unstable_by` keyed through `partial_cmp` (use `total_cmp` or `.expect("why")`) | everywhere, tests included |
 //! | `unwrap` | `.unwrap()` (use `.expect("why")`) | non-test code |
 //! | `debug-macros` | `todo!` / `dbg!` / `unimplemented!` | everywhere, tests included |
 //! | `panics-doc` | panicking `pub fn` without a `# Panics` doc section | non-test code |
@@ -22,10 +23,11 @@ use super::lexer::Lexed;
 use super::Violation;
 
 /// All rule names, in reporting order.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "wall-clock",
     "hash-collections",
     "float-cmp",
+    "float-order",
     "unwrap",
     "debug-macros",
     "panics-doc",
@@ -150,6 +152,23 @@ pub(crate) fn check_file(ctx: &FileContext<'_>) -> (Vec<Violation>, usize) {
         if !test_code && float_comparison(masked) {
             ctx.hit("float-cmp", line, &mut out, &mut suppressed);
         }
+        // Float ordering must be total and explicit: `partial_cmp(..)
+        // .unwrap()` panics the moment a NaN sneaks in, and an unstable
+        // sort keyed through `partial_cmp` leans on an order that does
+        // not exist for all inputs. Reach for `total_cmp`, or assert
+        // finiteness via `.expect("why")` — sweeps and tests included,
+        // since result ordering feeds golden comparisons.
+        if partial_cmp_unwrap(masked) {
+            ctx.hit("float-order", line, &mut out, &mut suppressed);
+        } else if masked.contains("sort_unstable_by") {
+            let window_end = (idx + 3).min(ctx.lexed.masked_lines.len());
+            if ctx.lexed.masked_lines[idx..window_end]
+                .iter()
+                .any(|l| l.contains("partial_cmp"))
+            {
+                ctx.hit("float-order", line, &mut out, &mut suppressed);
+            }
+        }
         if !test_code && masked.contains(".unwrap()") {
             ctx.hit("unwrap", line, &mut out, &mut suppressed);
         }
@@ -210,6 +229,12 @@ fn contains_macro(line: &str, name: &str) -> bool {
 
 fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// `partial_cmp` with `.unwrap()` chained later on the same line.
+fn partial_cmp_unwrap(line: &str) -> bool {
+    line.find("partial_cmp")
+        .is_some_and(|at| line[at..].contains(".unwrap()"))
 }
 
 /// `==` or `!=` with a float literal (or `f32::`/`f64::` constant) on

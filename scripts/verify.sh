@@ -29,6 +29,37 @@ $RUN_TESTS
 echo "== simlint"
 cargo run -q --release -p simcheck --bin simlint .
 
+# Static budget analysis: run `wavesim analyze` over the committed
+# example configs and the bench wave scenarios, check the report schema,
+# and diff the single-line JSON against the committed goldens. The
+# goldens are uncalibrated (no --calibrate), so they only change when
+# the prediction model itself changes — never when a BENCH file is
+# recommitted. The wave-1024 golden's predicted event count is the
+# committed BENCH_1.json measured count (131008): drift here means the
+# analyzer and the engine disagree about what a run costs.
+echo "== wavesim analyze (schema + goldens)"
+analyze_golden() {
+    name="$1"; shift
+    out=$(./target/release/wavesim analyze "$@" 2>/dev/null)
+    case "$out" in
+    '{"schema":"budget-report-v1",'*) ;;
+    *)
+        echo "analyze $name: report does not match schema budget-report-v1" >&2
+        exit 1
+        ;;
+    esac
+    printf '%s\n' "$out" | diff -u "tests/goldens/analyze/$name.json" - || {
+        echo "analyze $name: drift from committed golden" >&2
+        exit 1
+    }
+}
+analyze_golden fig4-quick --config examples/configs/fig4-quick.json
+analyze_golden rendezvous-ring --config examples/configs/rendezvous-ring.json
+analyze_golden noisy-decay --config examples/configs/noisy-decay.json
+analyze_golden wave-256 --ranks 256 --steps 128 --inject 5:0:13.5
+analyze_golden wave-1024 --ranks 1024 --steps 64 --inject 5:0:13.5
+analyze_golden wave-4096 --ranks 4096 --steps 24 --inject 5:0:13.5
+
 # Bench smoke: validate every committed BENCH_*.json against the report
 # schema, then run the suite at smoke scale (full rank counts, tiny step
 # counts) and gate events/sec against BENCH_0.json — the committed

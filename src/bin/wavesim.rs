@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! wavesim [OPTIONS]
+//! wavesim analyze [OPTIONS] [ANALYZE OPTIONS]
 //! wavesim sweep --scenarios FILE --out FILE [SWEEP OPTIONS]
 //!
 //!   --ranks N               chain length (default 18)
@@ -29,6 +30,19 @@
 //!   --csv FILE              write the per-phase trace as CSV
 //!   --quiet                 suppress the summary
 //!
+//! wavesim analyze — static budget analysis (no simulation; see
+//! docs/ANALYZER.md for the report schema and SC018–SC024)
+//!
+//!   accepts every config flag above (or --config FILE.json) and prints
+//!   the predicted budget report as single-line JSON on stdout
+//!   --calibrate BENCH.json  read an events/sec calibration from a
+//!                           committed wavesim-bench report (nearest rank
+//!                           count wins) and predict wall time
+//!   --budget N              gate: predicted events over N is SC018,
+//!                           exit 1
+//!   --max-bytes N           gate: predicted peak memory over N bytes is
+//!                           SC023, exit 1
+//!
 //! wavesim sweep — supervised chaos/fault sweep (see docs/FAULTS.md)
 //!
 //!   --scenarios FILE.json   JSON array of sweep scenarios (required)
@@ -46,7 +60,11 @@
 //!   --retries N             retry budget for transient failures (default 2)
 //!   --wall-timeout-ms N     wall-clock backstop per attempt (default 30000)
 //!   --watchdog-factor F     sim-time budget multiplier (default 64)
-//!   --max-events N          optional event-count budget
+//!   --max-events N          optional event-count budget (aborts a
+//!                           running simulation)
+//!   --budget N              pre-flight gate: scenarios whose *predicted*
+//!                           event count exceeds N are recorded as
+//!                           over-budget (SC018) without running
 //! ```
 //!
 //! Exit codes: `0` success, `1` sweep finished but some scenarios failed,
@@ -112,9 +130,8 @@ impl Default for Args {
     }
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(mut it: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -371,6 +388,7 @@ fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
             }
             "--watchdog-factor" => args.opts.watchdog_factor = parse(&value("--watchdog-factor")?)?,
             "--max-events" => args.opts.max_events = Some(parse(&value("--max-events")?)?),
+            "--budget" => args.opts.budget = Some(parse(&value("--budget")?)?),
             "--checkpoint-dir" => {
                 args.opts.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
             }
@@ -452,14 +470,148 @@ fn run_sweep_command(it: std::env::Args) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("sweep") {
-        let mut it = std::env::args();
-        let _ = it.next(); // argv[0]
-        let _ = it.next(); // "sweep"
-        return run_sweep_command(it);
+/// `wavesim analyze` — run the static budget analyzer on a config and
+/// print the [`simcheck::budget::BudgetReport`] as single-line JSON.
+/// Never simulates; exit 3 on an invalid config (same error record as a
+/// run), exit 1 when a `--budget`/`--max-bytes` gate trips.
+fn run_analyze_command(it: std::env::Args) -> ExitCode {
+    // Split off the analyze-only flags, hand the rest to the normal
+    // config-flag parser.
+    let mut rest: Vec<String> = Vec::new();
+    let mut calibrate: Option<String> = None;
+    let mut budget: Option<String> = None;
+    let mut max_bytes: Option<String> = None;
+    let mut it = it;
+    let parsed = loop {
+        let Some(flag) = it.next() else {
+            break Ok(());
+        };
+        let target = match flag.as_str() {
+            "--calibrate" => &mut calibrate,
+            "--budget" => &mut budget,
+            "--max-bytes" => &mut max_bytes,
+            "--help" | "-h" => break Err("usage".to_string()),
+            _ => {
+                rest.push(flag);
+                continue;
+            }
+        };
+        match it.next() {
+            Some(v) => *target = Some(v),
+            None => break Err(format!("{flag} needs a value")),
+        }
+    };
+    let args = parsed.and_then(|()| parse_args(rest.into_iter()));
+    let args = match args {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg == "usage" {
+                eprintln!("{}", ANALYZE_USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("wavesim analyze: {msg}\n\n{ANALYZE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let gates = {
+        let parse_opt = |v: &Option<String>| -> Result<Option<u64>, String> {
+            v.as_deref().map(parse).transpose()
+        };
+        match (parse_opt(&budget), parse_opt(&max_bytes)) {
+            (Ok(max_events), Ok(max_bytes)) => idle_waves::simcheck::budget::Budgets {
+                max_events,
+                max_bytes,
+                ..Default::default()
+            },
+            (Err(msg), _) | (_, Err(msg)) => {
+                eprintln!("wavesim analyze: {msg}\n\n{ANALYZE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let cfg = match build_config(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("wavesim analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let errors: Vec<Diagnostic> = analyze(&cfg)
+        .into_iter()
+        .filter(Diagnostic::is_error)
+        .collect();
+    if !errors.is_empty() {
+        emit_error_record("configuration rejected", &errors);
+        return ExitCode::from(3);
     }
-    let args = match parse_args() {
+    let report = match &calibrate {
+        Some(path) => match load_calibration(path, cfg.ranks()) {
+            Ok(eps) => idle_waves::simcheck::budget::budget_calibrated(&cfg, eps),
+            Err(msg) => {
+                eprintln!("wavesim analyze: {msg}");
+                return ExitCode::from(2);
+            }
+        },
+        None => idle_waves::simcheck::budget::budget(&cfg),
+    };
+    println!("{}", json::to_string(&report));
+    let diags = idle_waves::simcheck::budget::budget_checks(&cfg, &report, &gates);
+    for d in &diags {
+        eprintln!("wavesim analyze: {d}");
+    }
+    // Only the explicit caps fail the command; the advisory notes and
+    // model warnings (SC019/SC021/SC022/SC024) are stderr-only.
+    if diags.iter().any(|d| d.code == "SC018" || d.code == "SC023") {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Pull an events/sec calibration out of a committed `BENCH_*.json`
+/// (schema `wavesim-bench`): the scenario whose rank count is nearest
+/// the analyzed job's, ties to the larger scenario. Parsed with
+/// `tracefmt::json` — the bench crate itself is not a `wavesim`
+/// dependency.
+fn load_calibration(path: &str, ranks: u32) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("bad bench report {path}: {}", e.0))?;
+    if v.get("schema").and_then(Json::as_str) != Some("wavesim-bench") {
+        return Err(format!("{path} is not a wavesim-bench report"));
+    }
+    let scenarios = v
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path} has no scenarios array"))?;
+    scenarios
+        .iter()
+        .filter_map(|s| {
+            let r = s.get("ranks").and_then(Json::as_u64)?;
+            let eps = s.get("events_per_sec").and_then(Json::as_f64)?;
+            (eps > 0.0).then_some((r, eps))
+        })
+        .min_by_key(|&(r, _)| (r.abs_diff(u64::from(ranks)), std::cmp::Reverse(r)))
+        .map(|(_, eps)| eps)
+        .ok_or_else(|| format!("{path} has no usable events_per_sec entries"))
+}
+
+fn main() -> ExitCode {
+    match std::env::args().nth(1).as_deref() {
+        Some("sweep") => {
+            let mut it = std::env::args();
+            let _ = it.next(); // argv[0]
+            let _ = it.next(); // "sweep"
+            return run_sweep_command(it);
+        }
+        Some("analyze") => {
+            let mut it = std::env::args();
+            let _ = it.next(); // argv[0]
+            let _ = it.next(); // "analyze"
+            return run_analyze_command(it);
+        }
+        _ => {}
+    }
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {
             if msg == "usage" {
@@ -557,10 +709,18 @@ const USAGE: &str = "usage: wavesim [--ranks N] [--steps N] [--texec-ms F] [--ms
                [--checkpoint-dir DIR --checkpoint-every SPEC]
                [--restore FILE.ckpt]
                [--ascii] [--svg FILE] [--csv FILE] [--quiet]
+       wavesim analyze [config flags] [--calibrate BENCH.json]
+               [--budget N] [--max-bytes N]
        wavesim sweep --scenarios FILE --out FILE [options]  (see --help)";
+
+const ANALYZE_USAGE: &str = "usage: wavesim analyze [config flags — see wavesim --help]
+               [--config FILE.json] [--calibrate BENCH.json]
+               [--budget N] [--max-bytes N]
+prints the static budget report (schema budget-report-v1) as single-line
+JSON on stdout; --budget/--max-bytes gates exit 1 on SC018/SC023";
 
 const SWEEP_USAGE: &str = "usage: wavesim sweep --scenarios FILE.json --out FILE.jsonl
                [--resume] [--threads N] [--retries N]
                [--wall-timeout-ms N] [--watchdog-factor F]
-               [--max-events N] [--quiet]
+               [--max-events N] [--budget N] [--quiet]
                [--checkpoint-dir DIR] [--checkpoint-every SPEC]";

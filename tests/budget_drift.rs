@@ -1,0 +1,136 @@
+//! Prediction-drift tests for the static budget analyzer.
+//!
+//! `simcheck::budget` forecasts a run's total event count from the
+//! config alone; these tests hold the forecast to the engine's actual
+//! `RunStats` across every golden-figure scenario (Fig. 4/6/7/8) and
+//! the committed bench trajectory, so the static model can never
+//! silently rot:
+//!
+//! * when the report claims `events_exact`, the prediction must EQUAL
+//!   the delivered event count;
+//! * otherwise (memory-bound bookkeeping, active message faults) it
+//!   must land within ±10 %.
+
+use bench::{fig4, fig6, fig7, throughput, Scale};
+use idle_waves::idlewave::WaveExperiment;
+use idle_waves::mpisim::{Engine, RunLimits, SimConfig};
+use idle_waves::netmodel::presets;
+use idle_waves::simcheck::budget;
+use simdes::SimDuration;
+use workload::{Boundary, Direction};
+
+/// Deliver every event of `cfg` and return the engine's own count.
+fn actual_events(cfg: &SimConfig) -> u64 {
+    let (_trace, stats) = Engine::try_new(cfg.clone())
+        .expect("valid config")
+        .try_run_with_stats(&RunLimits::none())
+        .expect("run completes");
+    stats.events
+}
+
+/// The drift contract: exact when claimed exact, ±10 % always.
+fn assert_prediction(label: &str, cfg: &SimConfig) {
+    let report = budget::budget(cfg);
+    let actual = actual_events(cfg);
+    if report.events_exact {
+        assert_eq!(
+            report.events_predicted, actual,
+            "{label}: the analyzer claims exactness but drifted"
+        );
+    }
+    let predicted = report.events_predicted as f64;
+    let lo = actual as f64 * 0.9;
+    let hi = actual as f64 * 1.1;
+    assert!(
+        (lo..=hi).contains(&predicted),
+        "{label}: predicted {predicted} events, actual {actual} (±10% is {lo}..{hi})"
+    );
+}
+
+#[test]
+fn fig4_basic_propagation_events_are_predicted_exactly() {
+    let f = fig4::generate(Scale::Quick);
+    assert_prediction("fig4", &f.wt.cfg);
+}
+
+#[test]
+fn fig6_interaction_variants_are_predicted_exactly() {
+    for v in fig6::generate(Scale::Quick) {
+        assert_prediction(&format!("fig6 {}", v.label), &v.wt.cfg);
+    }
+}
+
+#[test]
+fn fig7_rendezvous_panels_are_predicted_exactly() {
+    for p in fig7::generate(Scale::Quick) {
+        assert_prediction(&format!("fig7 {}", p.label), &p.wt.cfg);
+    }
+}
+
+#[test]
+fn fig8_decay_scan_scenarios_are_predicted_exactly() {
+    // Mirror of bench::fig8::generate at Quick scale: 24 ranks, 40
+    // steps, the three systems, one representative noise level and seed
+    // (noise perturbs timing, never the event count).
+    let systems = vec![
+        (
+            "InfiniBand",
+            idle_waves::netmodel::ClusterNetwork::flat(24, presets::emmy_models().network),
+        ),
+        (
+            "Omni-Path",
+            idle_waves::netmodel::ClusterNetwork::flat(24, presets::meggie_models().network),
+        ),
+        ("Simulated", presets::loggopsim_like(24)),
+    ];
+    for (label, net) in systems {
+        let cfg = WaveExperiment::on_network(net)
+            .direction(Direction::Unidirectional)
+            .boundary(Boundary::Periodic)
+            .msg_bytes(8192)
+            .texec(SimDuration::from_millis(3))
+            .inject(2, 0, SimDuration::from_millis(90))
+            .steps(40)
+            .noise_percent(6.0)
+            .seed(1)
+            .into_config();
+        assert_prediction(&format!("fig8 {label}"), &cfg);
+    }
+}
+
+#[test]
+fn committed_bench_trajectory_matches_the_predictions() {
+    // The committed BENCH_*.json files record the real delivered event
+    // counts of the throughput scenarios; the analyzer must reproduce
+    // them from the configs alone. This pins the prediction against
+    // numbers measured on a different machine in a different session.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = throughput::latest_bench_file(root).expect("committed BENCH files");
+    let text = std::fs::read_to_string(&path).expect("readable bench file");
+    let report = throughput::validate(&text).expect("committed bench file validates");
+    for s in &report.scenarios {
+        let cfg = if s.name.ends_with("-faults") {
+            throughput::faulty_wave_config(s.ranks, s.steps)
+        } else {
+            throughput::wave_config(s.ranks, s.steps)
+        };
+        let predicted = budget::budget(&cfg);
+        if predicted.events_exact {
+            assert_eq!(
+                predicted.events_predicted, s.events,
+                "{}: committed event count drifted from the prediction",
+                s.name
+            );
+        } else {
+            let p = predicted.events_predicted as f64;
+            let lo = s.events as f64 * 0.9;
+            let hi = s.events as f64 * 1.1;
+            assert!(
+                (lo..=hi).contains(&p),
+                "{}: predicted {p}, committed {} (±10% is {lo}..{hi})",
+                s.name,
+                s.events
+            );
+        }
+    }
+}

@@ -107,6 +107,31 @@ fn the_workspace_is_simlint_clean() {
 }
 
 #[test]
+fn committed_analyze_goldens_match_the_prediction() {
+    // scripts/verify.sh diffs `wavesim analyze` output against the
+    // goldens under tests/goldens/analyze/; this test pins the same
+    // contract through the library API, so `cargo test` alone catches
+    // drift between the budget model and the committed reports.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    for name in ["fig4-quick", "rendezvous-ring", "noisy-decay"] {
+        let cfg_text = std::fs::read_to_string(root.join(format!("examples/configs/{name}.json")))
+            .expect("committed example config");
+        let cfg: SimConfig =
+            idle_waves::tracefmt::json::from_str(&cfg_text).expect("example config parses");
+        let report = idle_waves::simcheck::budget::budget(&cfg);
+        let golden =
+            std::fs::read_to_string(root.join(format!("tests/goldens/analyze/{name}.json")))
+                .expect("committed analyze golden");
+        assert_eq!(
+            idle_waves::tracefmt::json::to_string(&report),
+            golden.trim(),
+            "{name}: analyze golden drifted — regenerate with \
+             `wavesim analyze --config examples/configs/{name}.json`"
+        );
+    }
+}
+
+#[test]
 fn wave_trace_accessors_are_consistent_with_raw_trace() {
     let wt: WaveTrace = WaveExperiment::flat_chain(8)
         .texec(MS)
