@@ -17,11 +17,23 @@
 //! engine rewrite that gets faster while changing behaviour is caught by
 //! comparing fingerprints across the committed history (and by the
 //! golden-figure tests, which pin the same scenarios numerically).
+//!
+//! Since the work-stealing sweep fabric landed, the report also carries a
+//! `sweeps` section ([`SweepResult`]): whole `idlewave::sweep::run_sweep`
+//! suites timed end-to-end — **scenarios per second** through the fabric,
+//! measured cold (every scenario simulated) and warm (every scenario
+//! served from the result cache). Each entry pins the FNV-1a digest of
+//! the merged report bytes, and the timing loop asserts the bytes are
+//! identical across iterations and across cold/warm, so the trajectory
+//! file doubles as a determinism witness for the fabric. Older BENCH
+//! files without the section still parse (`sweeps` defaults to empty).
 
 use std::time::Duration;
 
+use idlewave::sweep::{run_sweep, SweepOptions, SweepReport};
 use mpisim::{try_run_summary_pooled, Engine, EnginePools, RunLimits, RunSummary, SimConfig};
 use simdes::SimDuration;
+use tracefmt::fnv1a_64;
 use tracefmt::json::{self, FromJson, Json, JsonError, ToJson};
 
 use crate::harness;
@@ -120,6 +132,38 @@ pub struct BenchReport {
     pub label: String,
     /// One entry per scenario, in suite order.
     pub scenarios: Vec<ScenarioResult>,
+    /// Sweep-fabric measurements ([`run_sweeps`]); empty in BENCH files
+    /// written before the fabric existed.
+    pub sweeps: Vec<SweepResult>,
+}
+
+/// Measured result of one sweep-fabric run: a whole scenario suite
+/// pushed through `idlewave::sweep::run_sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// `sweep-cold` (every scenario simulated) or `sweep-warm` (every
+    /// scenario served from the result cache).
+    pub name: String,
+    /// Scenarios in the swept suite.
+    pub scenarios: u32,
+    /// Fabric worker count.
+    pub threads: u32,
+    /// Result-shard count.
+    pub shards: u32,
+    /// Timed iterations behind the numbers below.
+    pub iters: u32,
+    /// Fastest end-to-end sweep, nanoseconds.
+    pub min_ns: u64,
+    /// Mean end-to-end sweep, nanoseconds.
+    pub mean_ns: u64,
+    /// `scenarios / (min_ns / 1e9)` — the fabric's headline metric.
+    pub scenarios_per_sec: f64,
+    /// Cache hits per run (0 when cold, `scenarios` when warm).
+    pub cache_hits: u64,
+    /// FNV-1a digest of the merged report bytes — identical between the
+    /// cold and warm rows of the same generation, and comparable across
+    /// BENCH files to catch fabric rewrites that change results.
+    pub report_fnv: u64,
 }
 
 /// Run one simulation in pooled summary mode, returning how many events
@@ -173,12 +217,13 @@ pub fn run_scenario(s: &Scenario, iters: u32, warmup: u32) -> ScenarioResult {
         iters: timing.iters,
         min_ns: duration_ns(timing.min),
         mean_ns: duration_ns(timing.mean),
-        events_per_sec: events_per_sec(events, timing.min),
+        events_per_sec: per_sec(events, timing.min),
         fingerprint: trace.fingerprint(),
     }
 }
 
-/// Run the whole suite at `scale`.
+/// Run the whole suite at `scale`: the engine scenarios plus the
+/// sweep-fabric measurements.
 pub fn run_suite(scale: Scale, label: &str, iters: u32, warmup: u32) -> BenchReport {
     BenchReport {
         label: label.to_string(),
@@ -186,19 +231,125 @@ pub fn run_suite(scale: Scale, label: &str, iters: u32, warmup: u32) -> BenchRep
             .iter()
             .map(|s| run_scenario(s, iters, warmup))
             .collect(),
+        sweeps: run_sweeps(scale, iters, warmup),
     }
+}
+
+/// The sweep-fabric benchmark suite: many small distinct-seed wave jobs,
+/// sized so the fabric's per-scenario overhead (work dealing, shard
+/// sinks, cache probes, merge) is a visible share of the total.
+pub fn sweep_suite(scale: Scale) -> Vec<idlewave::sweep::Scenario> {
+    let n = scale.pick(64, 6);
+    let steps = scale.pick(16, 4);
+    (0..n)
+        .map(|i| {
+            let cfg = idlewave::WaveExperiment::flat_chain(48)
+                .texec(SimDuration::from_micros(500))
+                .steps(steps)
+                .seed(0x5eed_0000 + i as u64)
+                .into_config();
+            idlewave::sweep::Scenario::new(format!("point-{i:03}"), cfg)
+        })
+        .collect()
+}
+
+/// Time the sweep fabric end-to-end, cold then warm: `sweep-cold`
+/// removes the result cache before every run so each scenario is
+/// simulated; `sweep-warm` primes the cache once and then serves every
+/// scenario from it. Both rows assert the merged report bytes are
+/// bit-identical across iterations and to each other — the published
+/// number always measures the deterministic fabric, never a lucky race.
+///
+/// # Panics
+/// Panics when a sweep fails, a run's cache counters disagree with the
+/// cold/warm contract, or the merged reports diverge.
+pub fn run_sweeps(scale: Scale, iters: u32, warmup: u32) -> Vec<SweepResult> {
+    let suite = sweep_suite(scale);
+    let n = suite.len();
+    let threads = 4usize;
+    // Unique per call: concurrent callers (parallel tests) must not
+    // share sweep outputs or cache directories.
+    static CALL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let call = CALL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("wavesim-bench-sweep-{}-{call}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("bench sweep dir: {e}"));
+    let out = dir.join("sweep.jsonl");
+    let cache = dir.join("cache");
+    let opts = SweepOptions {
+        threads,
+        shards: Some(threads),
+        cache_dir: Some(cache.clone()),
+        ..SweepOptions::default()
+    };
+    let run = |label: &str| -> SweepReport {
+        run_sweep(&suite, &opts, &out).unwrap_or_else(|e| panic!("bench {label} sweep: {e}"))
+    };
+    let digest_out = || fnv1a_64(&std::fs::read(&out).unwrap_or_else(|e| panic!("merged: {e}")));
+
+    let mut fnv: Option<u64> = None;
+    let mut check = |label: &str, report: &SweepReport, want_hits: usize| {
+        assert!(report.all_ok(), "bench {label} sweep failed: {report:?}");
+        assert_eq!(
+            report.cache_hits, want_hits,
+            "bench {label} sweep broke the cold/warm cache contract"
+        );
+        let d = digest_out();
+        if let Some(prev) = fnv {
+            assert_eq!(
+                prev, d,
+                "bench {label} sweep produced a different merged report — \
+                 the fabric is nondeterministic"
+            );
+        }
+        fnv = Some(d);
+    };
+
+    let cold = harness::time_kernel_n("sweep-cold", iters, warmup, || {
+        let _ = std::fs::remove_dir_all(&cache);
+        let report = run("cold");
+        check("cold", &report, 0);
+    });
+
+    // Prime the cache, then every timed run is all hits.
+    let _ = std::fs::remove_dir_all(&cache);
+    check("prime", &run("prime"), 0);
+    let warm = harness::time_kernel_n("sweep-warm", iters, warmup, || {
+        let report = run("warm");
+        check("warm", &report, n);
+    });
+
+    let fnv = fnv.expect("at least one sweep ran");
+    let _ = std::fs::remove_dir_all(&dir);
+    let row = |name: &str, timing: &harness::KernelTiming, hits: u64| SweepResult {
+        name: name.to_string(),
+        scenarios: n as u32,
+        threads: threads as u32,
+        shards: threads as u32,
+        iters: timing.iters,
+        min_ns: duration_ns(timing.min),
+        mean_ns: duration_ns(timing.mean),
+        scenarios_per_sec: per_sec(n as u64, timing.min),
+        cache_hits: hits,
+        report_fnv: fnv,
+    };
+    vec![
+        row("sweep-cold", &cold, 0),
+        row("sweep-warm", &warm, n as u64),
+    ]
 }
 
 fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
-fn events_per_sec(events: u64, elapsed: Duration) -> f64 {
+fn per_sec(count: u64, elapsed: Duration) -> f64 {
     let secs = elapsed.as_secs_f64();
     if secs <= 0.0 {
         return 0.0;
     }
-    events as f64 / secs
+    count as f64 / secs
 }
 
 impl ToJson for ScenarioResult {
@@ -233,6 +384,40 @@ impl FromJson for ScenarioResult {
     }
 }
 
+impl ToJson for SweepResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("scenarios", self.scenarios.to_json()),
+            ("threads", self.threads.to_json()),
+            ("shards", self.shards.to_json()),
+            ("iters", self.iters.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("scenarios_per_sec", self.scenarios_per_sec.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("report_fnv", self.report_fnv.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepResult {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(SweepResult {
+            name: String::from_json(v.field("name")?)?,
+            scenarios: u32::from_json(v.field("scenarios")?)?,
+            threads: u32::from_json(v.field("threads")?)?,
+            shards: u32::from_json(v.field("shards")?)?,
+            iters: u32::from_json(v.field("iters")?)?,
+            min_ns: u64::from_json(v.field("min_ns")?)?,
+            mean_ns: u64::from_json(v.field("mean_ns")?)?,
+            scenarios_per_sec: f64::from_json(v.field("scenarios_per_sec")?)?,
+            cache_hits: u64::from_json(v.field("cache_hits")?)?,
+            report_fnv: u64::from_json(v.field("report_fnv")?)?,
+        })
+    }
+}
+
 impl ToJson for BenchReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -240,6 +425,7 @@ impl ToJson for BenchReport {
             ("version", SCHEMA_VERSION.to_json()),
             ("label", self.label.to_json()),
             ("scenarios", self.scenarios.to_json()),
+            ("sweeps", self.sweeps.to_json()),
         ])
     }
 }
@@ -261,6 +447,8 @@ impl FromJson for BenchReport {
         Ok(BenchReport {
             label: String::from_json(v.field("label")?)?,
             scenarios: Vec::<ScenarioResult>::from_json(v.field("scenarios")?)?,
+            // Absent in BENCH files written before the sweep fabric.
+            sweeps: json::field_or_default(v, "sweeps")?,
         })
     }
 }
@@ -298,6 +486,32 @@ pub fn validate(text: &str) -> Result<BenchReport, String> {
     names.dedup();
     if names.len() != report.scenarios.len() {
         return Err("duplicate scenario names in report".to_string());
+    }
+    for s in &report.sweeps {
+        if s.name.is_empty() {
+            return Err("a sweep row has an empty name".to_string());
+        }
+        if s.scenarios == 0 || s.threads == 0 || s.shards == 0 || s.iters == 0 || s.min_ns == 0 {
+            return Err(format!("sweep row '{}' has a zero-valued field", s.name));
+        }
+        if s.mean_ns < s.min_ns {
+            return Err(format!("sweep row '{}': mean_ns < min_ns", s.name));
+        }
+        let derived = s.scenarios as f64 / (s.min_ns as f64 / 1e9);
+        let err = (s.scenarios_per_sec - derived).abs() / derived.max(1.0);
+        if !(s.scenarios_per_sec.is_finite() && err < 0.01) {
+            return Err(format!(
+                "sweep row '{}': scenarios_per_sec {} inconsistent with scenarios/min_ns {derived}",
+                s.name, s.scenarios_per_sec
+            ));
+        }
+    }
+    if report
+        .sweeps
+        .windows(2)
+        .any(|w| w[0].report_fnv != w[1].report_fnv)
+    {
+        return Err("sweep rows disagree on the merged-report digest".to_string());
     }
     Ok(report)
 }
@@ -372,6 +586,26 @@ pub fn compare(
     if shared == 0 {
         return Err("current and baseline reports share no scenario names".to_string());
     }
+    // Sweep rows joined the trajectory later; compare whatever the two
+    // reports share, with no minimum (pre-fabric baselines have none).
+    for b in &baseline.sweeps {
+        let Some(c) = current.sweeps.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        let ratio = c.scenarios_per_sec / b.scenarios_per_sec;
+        if ratio < 1.0 - max_regression {
+            return Err(format!(
+                "sweep row '{}' regressed: {:.0} scenarios/s vs baseline {:.0} \
+                 ({:.1}% of baseline, threshold {:.0}%)",
+                b.name,
+                c.scenarios_per_sec,
+                b.scenarios_per_sec,
+                ratio * 100.0,
+                (1.0 - max_regression) * 100.0
+            ));
+        }
+        speedups.push((b.name.clone(), ratio));
+    }
     Ok(speedups)
 }
 
@@ -392,7 +626,7 @@ pub fn render(report: &BenchReport) -> String {
             ]
         })
         .collect();
-    format!(
+    let mut out = format!(
         "throughput [{}]\n{}",
         report.label,
         crate::table(
@@ -407,7 +641,40 @@ pub fn render(report: &BenchReport) -> String {
             ],
             &rows,
         )
-    )
+    );
+    if !report.sweeps.is_empty() {
+        let sweep_rows: Vec<Vec<String>> = report
+            .sweeps
+            .iter()
+            .map(|s| {
+                vec![
+                    s.name.clone(),
+                    s.scenarios.to_string(),
+                    s.threads.to_string(),
+                    s.shards.to_string(),
+                    format!("{:.3}", s.min_ns as f64 / 1e6),
+                    format!("{:.0}", s.scenarios_per_sec),
+                    s.cache_hits.to_string(),
+                    format!("{:#018x}", s.report_fnv),
+                ]
+            })
+            .collect();
+        out.push_str("\nsweep fabric\n");
+        out.push_str(&crate::table(
+            &[
+                "sweep",
+                "scenarios",
+                "threads",
+                "shards",
+                "min [ms]",
+                "scenarios/s",
+                "hits",
+                "report fnv",
+            ],
+            &sweep_rows,
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -422,6 +689,7 @@ mod tests {
         BenchReport {
             label: "test".to_string(),
             scenarios: vec![run_scenario(&s, 1, 0)],
+            sweeps: run_sweeps(Scale::Quick, 1, 0),
         }
     }
 
@@ -447,6 +715,7 @@ mod tests {
                 entry("wave-1024", 1024, 5e6),
                 entry("wave-4096", 4096, 4e6),
             ],
+            sweeps: Vec::new(),
         };
         assert_eq!(events_per_sec_for(&report, 200), Some(6e6));
         assert_eq!(events_per_sec_for(&report, 1024), Some(5e6));
@@ -456,6 +725,7 @@ mod tests {
         let empty = BenchReport {
             label: "none".to_string(),
             scenarios: Vec::new(),
+            sweeps: Vec::new(),
         };
         assert_eq!(events_per_sec_for(&empty, 64), None);
     }
@@ -533,6 +803,22 @@ mod tests {
         let mut renamed = report.clone();
         renamed.scenarios[0].name = "unrelated".to_string();
         assert!(compare(&renamed, &report, 0.30).is_err());
+    }
+
+    #[test]
+    fn sweep_rows_obey_the_cold_warm_contract() {
+        let rows = run_sweeps(Scale::Quick, 1, 0);
+        assert_eq!(rows.len(), 2);
+        let n = sweep_suite(Scale::Quick).len() as u64;
+        let (cold, warm) = (&rows[0], &rows[1]);
+        assert_eq!(cold.name, "sweep-cold");
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(warm.name, "sweep-warm");
+        assert_eq!(warm.cache_hits, n);
+        // run_sweeps itself asserts the merged bytes never changed; the
+        // published rows must carry that shared digest.
+        assert_eq!(cold.report_fnv, warm.report_fnv);
+        assert!(cold.scenarios_per_sec > 0.0 && warm.scenarios_per_sec > 0.0);
     }
 
     #[test]

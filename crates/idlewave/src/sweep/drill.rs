@@ -1,0 +1,490 @@
+//! The self-chaos drill: the sweep fabric attacking itself.
+//!
+//! `wavesim sweep --drill` runs a fixed eight-scenario suite once,
+//! undisturbed, to establish a control report — then re-runs it under
+//! every failure mode the fabric claims to survive, asserting after each
+//! that the merged report is **bit-identical** to the control:
+//!
+//! 1. `control` — the undisturbed run; every later phase is compared
+//!    against its merged bytes.
+//! 2. `worker-kills` — [`super::FabricChaos`] retires two of the four
+//!    workers mid-sweep; survivors steal the orphaned work.
+//! 3. `torn-lines` — a fabricated crash site: shard files holding a few
+//!    finished records, one record torn mid-line, and one record planted
+//!    with a status string from a "newer version"; `--resume` must repair,
+//!    warn, and re-run.
+//! 4. `sigkill` — a real `wavesim sweep` child process is SIGKILLed while
+//!    shards and checkpoints are being written, then resumed in-process.
+//!    Skipped (as passed) when no executable is supplied — library tests
+//!    have no `wavesim` binary to spawn.
+//! 5. `cache-cold` — a fresh verified result cache fills: every scenario
+//!    is a miss, none a hit.
+//! 6. `cache-corrupt` — one entry bit-flipped, one truncated, one planted
+//!    with a different config behind the right fingerprint: all three are
+//!    quarantined and re-simulated, the other five serve as hits, and the
+//!    pre-flight names the collision (`SC027`).
+//! 7. `cache-warm` — the repaired cache serves the entire suite: eight
+//!    hits, zero misses, zero quarantines — zero re-simulations, verified
+//!    by the counters, not by timing.
+//!
+//! The drill is wired into `scripts/verify.sh` and CI; `docs/SWEEP.md`
+//! describes the phases and what a failure of each one means.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use mpisim::{config_fingerprint, FaultPlan, MessageFaults, Protocol};
+use simdes::SimDuration;
+use tracefmt::json;
+
+use super::{cache, fabric::FabricChaos, run_sweep, shard, Scenario, SweepOptions, SweepReport};
+use crate::experiment::WaveExperiment;
+
+/// How to run the drill.
+#[derive(Debug, Clone)]
+pub struct DrillOptions {
+    /// Scratch directory for reports, shards, checkpoints, and the cache
+    /// (created if missing; reused state is deleted first).
+    pub dir: PathBuf,
+    /// The `wavesim` executable the SIGKILL phase spawns and kills. With
+    /// `None` that phase is skipped (and says so).
+    pub exe: Option<PathBuf>,
+    /// Fabric workers per phase.
+    pub threads: usize,
+}
+
+impl DrillOptions {
+    /// Drill in `dir` with four workers and no child executable.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DrillOptions {
+            dir: dir.into(),
+            exe: None,
+            threads: 4,
+        }
+    }
+}
+
+/// One phase's verdict.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// Phase name (stable, scriptable).
+    pub name: &'static str,
+    /// Did the phase's assertions hold?
+    pub passed: bool,
+    /// Human-readable evidence: what was injected and what was observed.
+    pub detail: String,
+}
+
+/// Everything the drill observed.
+#[derive(Debug, Clone)]
+pub struct DrillReport {
+    /// Phase verdicts in execution order.
+    pub phases: Vec<PhaseOutcome>,
+}
+
+impl DrillReport {
+    /// Did every phase pass?
+    pub fn passed(&self) -> bool {
+        self.phases.iter().all(|p| p.passed)
+    }
+}
+
+/// The fixed drill suite: eight clean, cache-eligible scenarios with
+/// pairwise-distinct config fingerprints, the heaviest last so a SIGKILL
+/// lands while work is still in flight.
+fn drill_scenarios() -> Vec<Scenario> {
+    let chain = |ranks: u32, steps: u32, seed: u64| {
+        WaveExperiment::flat_chain(ranks)
+            .texec(SimDuration::from_micros(200))
+            .steps(steps)
+            .seed(seed)
+            .into_config()
+    };
+    let mut rendezvous = chain(10, 5, 3);
+    rendezvous.protocol = Protocol::Rendezvous;
+    let mut faulty = chain(8, 6, 6);
+    faulty.protocol = Protocol::Rendezvous;
+    faulty.faults = FaultPlan::none().with_messages(MessageFaults {
+        drop_prob: 0.1,
+        rto: SimDuration::from_micros(50),
+        ..MessageFaults::default()
+    });
+    vec![
+        Scenario::new("eager-6", chain(6, 4, 1)),
+        Scenario::new("eager-8", chain(8, 6, 2)),
+        Scenario::new("rendezvous-10", rendezvous),
+        Scenario::new("eager-12", chain(12, 8, 4)),
+        Scenario::new("eager-16", chain(16, 6, 5)),
+        Scenario::new("faulty-8", faulty),
+        Scenario::new("eager-24", chain(24, 10, 7)),
+        Scenario::new("heavy-192", chain(192, 48, 8)),
+    ]
+}
+
+/// Run the full drill. `Err` is reserved for scratch-directory I/O
+/// trouble; injected faults that the fabric fails to absorb show up as
+/// failed phases in the report, not errors.
+pub fn run_drill(opts: &DrillOptions) -> io::Result<DrillReport> {
+    std::fs::create_dir_all(&opts.dir)?;
+    let scenarios = drill_scenarios();
+    let base = SweepOptions {
+        threads: opts.threads.max(1),
+        shards: Some(4),
+        fsync: true,
+        wall_timeout: Duration::from_secs(60),
+        ..SweepOptions::default()
+    };
+    let mut phases = Vec::new();
+
+    // Phase 1: the undisturbed control run everything is measured against.
+    let control_out = fresh_out(&opts.dir, "control.jsonl")?;
+    let control = run_sweep(&scenarios, &base, &control_out)?;
+    if !control.all_ok() {
+        phases.push(PhaseOutcome {
+            name: "control",
+            passed: false,
+            detail: format!(
+                "the undisturbed control run failed {} scenario(s); \
+                 nothing to compare against",
+                control.failures()
+            ),
+        });
+        return Ok(DrillReport { phases });
+    }
+    phases.push(PhaseOutcome {
+        name: "control",
+        passed: true,
+        detail: format!(
+            "{} scenarios completed clean; merged report established",
+            control.results.len()
+        ),
+    });
+
+    // Phase 2: retire half the workers mid-sweep.
+    let out = fresh_out(&opts.dir, "worker-kills.jsonl")?;
+    let chaotic = SweepOptions {
+        fabric_chaos: FabricChaos {
+            kill_workers: vec![(1, 1), (2, 0)],
+        },
+        ..base.clone()
+    };
+    let report = run_sweep(&scenarios, &chaotic, &out)?;
+    let identical = same_bytes(&out, &control_out)?;
+    phases.push(PhaseOutcome {
+        name: "worker-kills",
+        passed: identical && report.retired_workers == 2,
+        detail: format!(
+            "killed workers 2 (immediately) and 1 (after one item): \
+             {} retired, merged report {}",
+            report.retired_workers,
+            verdict(identical)
+        ),
+    });
+
+    // Phase 3: a fabricated crash site with torn and foreign records.
+    let out = fresh_out(&opts.dir, "torn-lines.jsonl")?;
+    plant_crash_site(&out, &control)?;
+    let resume = SweepOptions {
+        resume: true,
+        ..base.clone()
+    };
+    let report = run_sweep(&scenarios, &resume, &out)?;
+    let identical = same_bytes(&out, &control_out)?;
+    let warned = report
+        .warnings
+        .iter()
+        .any(|w| w.contains("unknown status 'from-the-future'"));
+    phases.push(PhaseOutcome {
+        name: "torn-lines",
+        passed: identical && warned && report.reused == 2,
+        detail: format!(
+            "resumed over 2 intact, 1 torn, and 1 future-status record: \
+             {} reused, future record {}, merged report {}",
+            report.reused,
+            if warned {
+                "surfaced as a warning"
+            } else {
+                "NOT surfaced"
+            },
+            verdict(identical)
+        ),
+    });
+
+    // Phase 4: SIGKILL a real child process mid-shard, resume in-process.
+    phases.push(match &opts.exe {
+        Some(exe) => sigkill_phase(&opts.dir, exe, &scenarios, &base, &control_out)?,
+        None => PhaseOutcome {
+            name: "sigkill",
+            passed: true,
+            detail: "skipped: no wavesim executable supplied".to_string(),
+        },
+    });
+
+    // Phase 5: fill a cold cache.
+    let cache_dir = opts.dir.join("cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cached = SweepOptions {
+        cache_dir: Some(cache_dir.clone()),
+        ..base.clone()
+    };
+    let out = fresh_out(&opts.dir, "cache-cold.jsonl")?;
+    let report = run_sweep(&scenarios, &cached, &out)?;
+    let identical = same_bytes(&out, &control_out)?;
+    phases.push(PhaseOutcome {
+        name: "cache-cold",
+        passed: identical && report.cache_misses == scenarios.len() && report.cache_hits == 0,
+        detail: format!(
+            "cold cache: {} misses, {} hits, merged report {}",
+            report.cache_misses,
+            report.cache_hits,
+            verdict(identical)
+        ),
+    });
+
+    // Phase 6: corrupt three entries three different ways.
+    let tampered = tamper_with_cache(&cache_dir, &scenarios, &control)?;
+    let out = fresh_out(&opts.dir, "cache-corrupt.jsonl")?;
+    let report = run_sweep(&scenarios, &cached, &out)?;
+    let identical = same_bytes(&out, &control_out)?;
+    let collision_named = report.warnings.iter().any(|w| w.contains("SC027"));
+    phases.push(PhaseOutcome {
+        name: "cache-corrupt",
+        passed: identical
+            && report.cache_quarantined == tampered
+            && report.cache_hits == scenarios.len() - tampered
+            && report.cache_misses == 0
+            && collision_named,
+        detail: format!(
+            "bit-flipped, truncated, and collision-planted entries: \
+             {} quarantined, {} hits, {} misses, SC027 {}, merged report {}",
+            report.cache_quarantined,
+            report.cache_hits,
+            report.cache_misses,
+            if collision_named {
+                "named the collision"
+            } else {
+                "MISSING"
+            },
+            verdict(identical)
+        ),
+    });
+
+    // Phase 7: the repaired cache serves everything — zero re-simulations.
+    let out = fresh_out(&opts.dir, "cache-warm.jsonl")?;
+    let report = run_sweep(&scenarios, &cached, &out)?;
+    let identical = same_bytes(&out, &control_out)?;
+    phases.push(PhaseOutcome {
+        name: "cache-warm",
+        passed: identical
+            && report.cache_hits == scenarios.len()
+            && report.cache_misses == 0
+            && report.cache_quarantined == 0,
+        detail: format!(
+            "warm cache: {} hits, {} misses, {} quarantined — zero \
+             re-simulations, merged report {}",
+            report.cache_hits,
+            report.cache_misses,
+            report.cache_quarantined,
+            verdict(identical)
+        ),
+    });
+
+    Ok(DrillReport { phases })
+}
+
+/// An output path with no leftover state from a previous drill: the
+/// merged report, manifest, and any shard files are removed.
+fn fresh_out(dir: &Path, name: &str) -> io::Result<PathBuf> {
+    let out = dir.join(name);
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(shard::manifest_path(&out));
+    for f in shard::existing_shard_files(&out)? {
+        let _ = std::fs::remove_file(f);
+    }
+    Ok(out)
+}
+
+fn same_bytes(a: &Path, b: &Path) -> io::Result<bool> {
+    Ok(std::fs::read(a)? == std::fs::read(b)?)
+}
+
+fn verdict(identical: bool) -> &'static str {
+    if identical {
+        "bit-identical to the control"
+    } else {
+        "DIVERGED from the control"
+    }
+}
+
+/// Fabricate what a crashed sweep leaves behind for `out`: shard 0 holds
+/// the finished records of scenarios 0 and 4 (their home shard under 4
+/// shards) plus a record torn mid-line; shard 1 holds a parseable record
+/// whose status string comes from a "newer version".
+fn plant_crash_site(out: &Path, control: &SweepReport) -> io::Result<()> {
+    let mut shard0 = String::new();
+    shard0.push_str(&json::to_string(&control.results[0]));
+    shard0.push('\n');
+    shard0.push_str(&json::to_string(&control.results[4]));
+    shard0.push('\n');
+    let torn = json::to_string(&control.results[3]);
+    shard0.push_str(&torn[..torn.len() / 2]); // no newline: torn mid-write
+    std::fs::write(shard::shard_path(out, 0), shard0)?;
+    let planted = format!(
+        "{{\"id\":\"{}\",\"status\":\"from-the-future\",\"attempts\":1}}\n",
+        control.results[1].id
+    );
+    std::fs::write(shard::shard_path(out, 1), planted)
+}
+
+/// Corrupt three cache entries three different ways; returns how many
+/// entries were tampered with (what the quarantine counter must read).
+fn tamper_with_cache(
+    cache_dir: &Path,
+    scenarios: &[Scenario],
+    control: &SweepReport,
+) -> io::Result<usize> {
+    let cache = cache::ResultCache::open(cache_dir)
+        .map_err(|e| io::Error::other(format!("drill cache dir vanished: {e}")))?;
+    // A single flipped bit.
+    let flipped = cache.entry_path(config_fingerprint(&scenarios[0].config));
+    let mut bytes = std::fs::read(&flipped)?;
+    bytes[16] ^= 0x08;
+    std::fs::write(&flipped, &bytes)?;
+    // A write torn halfway through.
+    let torn = cache.entry_path(config_fingerprint(&scenarios[1].config));
+    let bytes = std::fs::read(&torn)?;
+    std::fs::write(&torn, &bytes[..bytes.len() / 2])?;
+    // A verified entry storing a *different* config behind the right
+    // fingerprint — an FNV collision, as planted by a buggy tool.
+    let fp = config_fingerprint(&scenarios[2].config);
+    let foreign = json::to_string(&scenarios[3].config);
+    let summary = control.results[3]
+        .summary
+        .ok_or_else(|| io::Error::other("control result missing a summary"))?;
+    cache
+        .store(&foreign, fp, 1, &summary)
+        .map_err(io::Error::other)?;
+    Ok(3)
+}
+
+/// Spawn a real `wavesim sweep` child against a fresh output, SIGKILL it
+/// once shards or checkpoints prove it is mid-sweep, then resume
+/// in-process and compare against the control.
+fn sigkill_phase(
+    dir: &Path,
+    exe: &Path,
+    scenarios: &[Scenario],
+    base: &SweepOptions,
+    control_out: &Path,
+) -> io::Result<PhaseOutcome> {
+    let out = fresh_out(dir, "sigkill.jsonl")?;
+    let ckpt_dir = dir.join("sigkill-ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let scenarios_file = dir.join("sigkill-scenarios.json");
+    {
+        let mut f = std::fs::File::create(&scenarios_file)?;
+        f.write_all(json::to_string(&scenarios.to_vec()).as_bytes())?;
+    }
+    let mut child = std::process::Command::new(exe)
+        .arg("sweep")
+        .args(["--scenarios"])
+        .arg(&scenarios_file)
+        .args(["--out"])
+        .arg(&out)
+        .args(["--threads", &base.threads.to_string()])
+        .args(["--shards", "4", "--fsync", "--quiet"])
+        .args(["--checkpoint-dir"])
+        .arg(&ckpt_dir)
+        .args(["--checkpoint-every", "500ev"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()?;
+    // Wait — bounded, no wall-clock reads — until the child demonstrably
+    // has work in flight: a non-empty shard file or a snapshot on disk.
+    let mut saw_progress = false;
+    for _ in 0..1200 {
+        let shard_bytes: u64 = shard::existing_shard_files(&out)?
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum();
+        let snapshots = std::fs::read_dir(&ckpt_dir).map(|d| d.count()).unwrap_or(0);
+        if shard_bytes > 0 || snapshots > 0 {
+            saw_progress = true;
+            break;
+        }
+        if child.try_wait()?.is_some() {
+            break; // finished before we could kill it — resume still must agree
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill()?; // SIGKILL: no cleanup, shards stay torn
+    let _ = child.wait();
+    let resume = SweepOptions {
+        resume: true,
+        checkpoint_dir: Some(ckpt_dir),
+        checkpoint: mpisim::CheckpointPolicy {
+            every_sim_time: None,
+            every_events: Some(500),
+        },
+        ..base.clone()
+    };
+    let report = run_sweep(scenarios, &resume, &out)?;
+    let identical = same_bytes(&out, control_out)?;
+    Ok(PhaseOutcome {
+        name: "sigkill",
+        passed: identical && report.all_ok(),
+        detail: format!(
+            "SIGKILLed the child {} and resumed: {} reused, {} re-run, \
+             merged report {}",
+            if saw_progress {
+                "mid-sweep"
+            } else {
+                "(it may have finished first)"
+            },
+            report.reused,
+            report.results.len() - report.reused,
+            verdict(identical)
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full in-process drill (SIGKILL phase skipped: the test binary
+    /// is not `wavesim`). This is the satellite of record for "the drill
+    /// passes" — CI additionally runs it through the binary with the
+    /// SIGKILL phase live.
+    #[test]
+    fn the_drill_passes_in_process() {
+        let dir = std::env::temp_dir().join("idlewave-drill-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_drill(&DrillOptions::new(&dir)).expect("drill io");
+        for p in &report.phases {
+            eprintln!("phase {}: {} — {}", p.name, p.passed, p.detail);
+        }
+        assert!(report.passed(), "{:?}", report.phases);
+        assert_eq!(report.phases.len(), 7, "all phases must report");
+        assert!(report.phases[3].detail.contains("skipped"));
+    }
+
+    #[test]
+    fn drill_scenarios_are_distinct_and_cacheable() {
+        let scenarios = drill_scenarios();
+        assert_eq!(scenarios.len(), 8);
+        let mut fps: Vec<u64> = scenarios
+            .iter()
+            .map(|s| config_fingerprint(&s.config))
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), 8, "duplicate fingerprints break hit counting");
+        for s in &scenarios {
+            assert_eq!(s.chaos, super::super::Chaos::None);
+            assert!(s.max_sim_time.is_none());
+        }
+    }
+}

@@ -1,44 +1,78 @@
-//! Supervised, crash-safe sweep execution.
+//! Supervised, crash-safe sweep execution on a work-stealing fabric.
 //!
 //! [`crate::batch`] fans independent simulations out over threads but
 //! propagates any failure: one panicking scenario kills a thousand-config
 //! sweep. This module is the hardened harness for chaos and fault-plan
-//! sweeps, where individual scenarios are *expected* to die:
+//! sweeps, where individual scenarios — and the harness itself — are
+//! *expected* to die:
 //!
+//! * scenarios are dealt into **sharded work-stealing deques**
+//!   ([`fabric`]): a fixed worker pool drains home shards and steals
+//!   across them, results reassemble by input index, so steal order can
+//!   never change the merged report; a worker that dies is retired and
+//!   its queued work redistributed — if every worker retires, the
+//!   supervisor drains the fabric inline, so a sweep degrades instead of
+//!   deadlocking ([`SweepReport::retired_workers`] counts the losses);
 //! * every scenario attempt runs in an isolated worker thread with panic
 //!   capture;
 //! * a **deterministic sim-time watchdog** (an [`mpisim::RunLimits`]
 //!   budget derived from the scenario's nominal timing) catches runaway
 //!   simulations reproducibly, and a wall-clock timeout backstops the
 //!   watchdog against harness bugs;
-//! * transient failures are retried a bounded number of times;
-//! * a **pre-flight budget pass** ([`simcheck::budget`]) warns on
-//!   duplicated config fingerprints (`SC020`) and, with
-//!   [`SweepOptions::budget`], records scenarios whose predicted event
+//! * transient failures are retried a bounded number of times with
+//!   **capped exponential backoff** ([`SweepOptions::retry_backoff`]);
+//! * a **pre-flight pass** warns on duplicated config fingerprints
+//!   (`SC020`), retry policies the sweep wall budget can never honour
+//!   (`SC025`, [`SweepOptions::max_wall`]), unusable cache directories
+//!   (`SC026`) and cache fingerprint collisions (`SC027`), and — with
+//!   [`SweepOptions::budget`] — records scenarios whose predicted event
 //!   count is already over budget (`SC018`) as
 //!   [`ScenarioStatus::OverBudget`] without running them; the same pass
-//!   sizes every supervision slot's [`mpisim::EnginePools`] so pooled
-//!   runs allocate nothing beyond the predicted budget from run 1;
-//! * every finished scenario is persisted immediately as one JSON line
-//!   (append + flush), so a crash of the sweep process itself loses at
-//!   most the scenarios still in flight; [`SweepOptions::resume`] reloads
-//!   the file and re-runs only scenarios without a persisted record;
+//!   sizes every worker's [`mpisim::EnginePools`] so pooled runs
+//!   allocate nothing beyond the predicted budget from run 1;
+//! * every finished scenario is persisted immediately to its **per-shard
+//!   JSONL sink** ([`shard`]: append + flush, opt-in fsync, torn-line
+//!   repair), so a crash of the sweep process itself loses at most the
+//!   scenarios still in flight; on completion the shards are **merged
+//!   atomically** into the final report at `out_path` (header line plus
+//!   one record per scenario in input order) and deleted.
+//!   [`SweepOptions::resume`] reloads the merged report overlaid with
+//!   any surviving shard files and re-runs only scenarios without a
+//!   persisted record;
+//! * a **verified result cache** ([`SweepOptions::cache_dir`]) serves
+//!   clean scenarios whose config fingerprint was already simulated —
+//!   byte-identically to the original record; entries carry FNV-1a
+//!   integrity footers, and torn, bit-flipped, or colliding entries are
+//!   quarantined and re-simulated, never trusted
+//!   ([`SweepReport::cache_hits`] / [`SweepReport::cache_quarantined`]);
 //! * with a [`SweepOptions::checkpoint_dir`], in-flight scenarios write
 //!   periodic [`mpisim::Snapshot`]s (atomic temp-file + rename), so a
 //!   resumed sweep continues a killed scenario *mid-run* instead of from
 //!   scratch — bit-identically, per the snapshot contract. Snapshots are
 //!   garbage-collected once their scenario has a terminal record.
 //!
-//! The output file starts with a header line recording each scenario's
-//! config fingerprint; `--resume` against a file produced by different
-//! configs is rejected instead of silently mixing results.
+//! The suite's config fingerprints are recorded in a manifest before any
+//! scenario runs (and in the merged report's header line); `--resume`
+//! against files produced by different configs is rejected instead of
+//! silently mixing results.
 //!
 //! Scenario outcomes are values ([`ScenarioStatus`]), never panics; the
-//! sweep completes end-to-end regardless of what individual scenarios do.
+//! sweep completes end-to-end regardless of what individual scenarios —
+//! or the fabric's own workers — do. The [`drill`] module turns that
+//! claim into a self-test: `wavesim sweep --drill` kills workers,
+//! SIGKILLs the process mid-shard, tears result lines, and bit-flips
+//! cache entries, then asserts the merged report is bit-identical to an
+//! undisturbed control run (see `docs/SWEEP.md`).
 
-use std::io::{self, Write};
+mod cache;
+pub mod drill;
+mod fabric;
+mod shard;
+
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
@@ -50,9 +84,13 @@ use simdes::{SimDuration, SimTime};
 use tracefmt::json::{self, field_or_default, FromJson, Json, ToJson};
 use tracefmt::{fnv1a_64, Trace};
 
+pub use fabric::FabricChaos;
+pub use shard::load_results;
+
 /// Chaos knobs for exercising the supervisor itself: deliberate failure
-/// modes injected at the *harness* level (the fault plan inside
-/// [`SimConfig`] injects failures at the *simulation* level).
+/// modes injected at the *scenario* level (the fault plan inside
+/// [`SimConfig`] injects failures at the *simulation* level, and
+/// [`FabricChaos`] at the *worker* level above this).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Chaos {
     /// Run the scenario normally.
@@ -103,14 +141,27 @@ impl Scenario {
 pub struct SweepOptions {
     /// Worker threads (supervision slots). Results do not depend on this.
     pub threads: usize,
+    /// Work-queue/result-file shards; `None` uses one per worker thread.
+    /// Results do not depend on this either — a scenario's shard is a
+    /// pure function of its input index.
+    pub shards: Option<usize>,
     /// Extra attempts allowed after a transient failure or wall-clock
     /// timeout. Deterministic failures (panic, stall, watchdog, invalid
     /// config) are never retried.
     pub retries: u32,
+    /// Base delay of the capped exponential backoff between retry
+    /// attempts (doubled per attempt, capped at 2 s). Zero disables
+    /// backoff.
+    pub retry_backoff: Duration,
     /// Wall-clock ceiling per attempt — the backstop behind the
     /// deterministic sim-time watchdog. A timed-out attempt's thread is
     /// abandoned (detached), not killed.
     pub wall_timeout: Duration,
+    /// Advisory wall-clock budget for the *whole sweep*: pre-flight warns
+    /// (`SC025`) when the worst-case retry schedule cannot fit in it, so
+    /// a retry policy that can never be exercised is caught before any
+    /// cycles are spent. `None` disables the check.
+    pub max_wall: Option<Duration>,
     /// The derived sim-time budget is the scenario's nominal runtime
     /// (steps, injections, rank faults, worst-case retransmission backoff)
     /// times this factor.
@@ -123,11 +174,21 @@ pub struct SweepOptions {
     /// Independent of [`SweepOptions::max_events`], which aborts a
     /// simulation already running. `None` disables the gate.
     pub budget: Option<u64>,
-    /// Reload the output file and skip scenarios that already have a
-    /// persisted record (finished = any terminal status, success or not).
-    /// With a [`SweepOptions::checkpoint_dir`], unfinished scenarios with
-    /// a valid snapshot additionally resume mid-run from it.
+    /// Reload the merged report (and any surviving shard files) and skip
+    /// scenarios that already have a persisted record (finished = any
+    /// terminal status, success or not). With a
+    /// [`SweepOptions::checkpoint_dir`], unfinished scenarios with a
+    /// valid snapshot additionally resume mid-run from it.
     pub resume: bool,
+    /// Directory of the verified result cache: clean scenarios whose
+    /// config fingerprint already has a verified entry are served from it
+    /// byte-identically instead of re-simulated; corrupt or colliding
+    /// entries are quarantined and re-simulated. `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Fsync every persisted record (and not just flush it): survives
+    /// OS-level crashes, at a per-record cost. The self-chaos drill runs
+    /// with this on.
+    pub fsync: bool,
     /// Directory for mid-scenario [`mpisim::Snapshot`] files (created if
     /// missing). `None` disables checkpointing entirely.
     pub checkpoint_dir: Option<PathBuf>,
@@ -135,20 +196,29 @@ pub struct SweepOptions {
     /// [`mpisim::Engine::try_run_checkpointed`]. Ignored without a
     /// [`SweepOptions::checkpoint_dir`].
     pub checkpoint: CheckpointPolicy,
+    /// Deterministic worker-level chaos for the self-chaos drill and
+    /// fabric tests (defaults to none).
+    pub fabric_chaos: FabricChaos,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
             threads: 4,
+            shards: None,
             retries: 2,
+            retry_backoff: Duration::from_millis(10),
             wall_timeout: Duration::from_secs(30),
+            max_wall: None,
             watchdog_factor: 64.0,
             max_events: None,
             budget: None,
             resume: false,
+            cache_dir: None,
+            fsync: false,
             checkpoint_dir: None,
             checkpoint: CheckpointPolicy::none(),
+            fabric_chaos: FabricChaos::none(),
         }
     }
 }
@@ -276,9 +346,22 @@ pub struct SweepReport {
     /// How many records were reloaded from a previous run (`--resume`)
     /// instead of executed.
     pub reused: usize,
-    /// Rendered pre-run warnings (e.g. `SC017`: a checkpoint cadence the
-    /// sim-time watchdog makes unreachable), one per affected scenario.
+    /// Rendered pre-run and runtime warnings (`SC017`/`SC020`/`SC025`/
+    /// `SC026`/`SC027`, undecodable resume records, quarantined cache
+    /// entries), one per incident.
     pub warnings: Vec<String>,
+    /// Scenarios served byte-identically from the verified result cache
+    /// instead of simulated.
+    pub cache_hits: usize,
+    /// Cache-eligible scenarios that had no entry and were simulated
+    /// (and stored, when they completed cleanly).
+    pub cache_misses: usize,
+    /// Cache entries that failed integrity or config verification, were
+    /// quarantined, and re-simulated.
+    pub cache_quarantined: usize,
+    /// Fabric workers that died ([`FabricChaos`] or sink I/O failure)
+    /// and had their queued work redistributed.
+    pub retired_workers: usize,
 }
 
 impl SweepReport {
@@ -303,8 +386,31 @@ enum Attempt {
     Panicked(String),
 }
 
-/// Run every scenario under supervision, persisting each finished record
-/// to `out_path` as a JSON line, and return the reassembled report.
+/// Shared per-sweep counters the workers bump.
+#[derive(Default)]
+struct Counters {
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    quarantined: AtomicUsize,
+    retired: AtomicUsize,
+}
+
+/// Everything a worker needs to run one scenario, shared across the
+/// fabric.
+struct RunCtx<'a> {
+    opts: &'a SweepOptions,
+    ckpt_dir: Option<&'a Path>,
+    cache: Option<&'a cache::ResultCache>,
+    config_jsons: &'a [String],
+    fingerprints: &'a [u64],
+    counters: &'a Counters,
+    warnings: &'a Mutex<Vec<String>>,
+}
+
+/// Run every scenario on the work-stealing fabric, persisting each
+/// finished record to its shard sink the moment it completes, and merge
+/// everything atomically into the final report at `out_path` (header
+/// line plus one record per scenario in input order).
 ///
 /// Scenario outcomes (panics, stalls, watchdog trips, timeouts) are data,
 /// not errors: the `Err` path is reserved for harness-level I/O problems
@@ -327,49 +433,45 @@ pub fn run_sweep(
             ));
         }
     }
+    let config_jsons: Vec<String> = scenarios
+        .iter()
+        .map(|s| json::to_string(&s.config))
+        .collect();
     let fingerprints: Vec<u64> = scenarios
         .iter()
         .map(|s| config_fingerprint(&s.config))
         .collect();
 
+    let mut warnings = Vec::new();
     let previous = if opts.resume {
         validate_resume_configs(scenarios, &fingerprints, out_path)?;
-        load_results(out_path)?
+        let (records, load_warnings) = shard::load_previous(out_path)?;
+        warnings.extend(load_warnings);
+        records
     } else {
+        // A fresh run must not inherit fabric droppings from an earlier
+        // crashed run against the same path.
+        let _ = std::fs::remove_file(shard::manifest_path(out_path));
+        for stale in shard::existing_shard_files(out_path)? {
+            let _ = std::fs::remove_file(stale);
+        }
         Vec::new()
     };
     let finished: std::collections::BTreeMap<&str, &ScenarioResult> =
         previous.iter().map(|r| (r.id.as_str(), r)).collect();
 
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out_path)?;
-    if std::fs::metadata(out_path)?.len() == 0 {
-        // Fresh file: lead with the header line recording every scenario's
-        // config fingerprint, so a later --resume can detect mixed configs.
-        let header = header_json(scenarios, &fingerprints);
-        file.write_all(json::to_string(&header).as_bytes())?;
-        file.write_all(b"\n")?;
-        file.flush()?;
-    } else {
-        // A crash mid-write can leave a torn final line with no newline;
-        // terminate it so the next appended record starts on a fresh line.
-        // Byte-level check: the torn line may end mid-UTF-8-codepoint, so
-        // the file is not necessarily valid UTF-8 here.
-        let bytes = std::fs::read(out_path)?;
-        if bytes.last() != Some(&b'\n') {
-            file.write_all(b"\n")?;
-            file.flush()?;
-        }
-    }
-    let sink = Mutex::new(file);
+    // The manifest carries the suite's config fingerprints from before
+    // the first scenario runs until the merge replaces it with the
+    // header line of the final report — so a resume after a crash at
+    // *any* point can validate configs.
+    let header = header_json(scenarios, &fingerprints);
+    let manifest = shard::manifest_path(out_path);
+    shard::write_atomic(&manifest, &format!("{}\n", json::to_string(&header)))?;
 
     let ckpt_dir = opts.checkpoint_dir.as_deref();
     if let Some(dir) = ckpt_dir {
         std::fs::create_dir_all(dir)?;
     }
-    let mut warnings = Vec::new();
     if ckpt_dir.is_some() {
         if let Some(interval) = opts.checkpoint.every_sim_time {
             for s in scenarios {
@@ -379,6 +481,41 @@ pub fn run_sweep(
             }
         }
     }
+    if let Some(max_wall) = opts.max_wall {
+        for d in simcheck::sweep_policy_checks(
+            scenarios.len(),
+            opts.threads,
+            opts.retries,
+            opts.wall_timeout,
+            max_wall,
+        ) {
+            warnings.push(d.to_string());
+        }
+    }
+
+    // The verified result cache: an unusable directory degrades to an
+    // uncached sweep (SC026) instead of failing mid-run; verified
+    // entries that store a different config are named up front (SC027).
+    let cache = match &opts.cache_dir {
+        Some(dir) => match cache::ResultCache::open(dir) {
+            Ok(c) => {
+                let entries = scenarios
+                    .iter()
+                    .zip(&config_jsons)
+                    .zip(&fingerprints)
+                    .map(|((s, cfg), &fp)| (s.id.as_str(), cfg.as_str(), fp));
+                for (id, fp) in c.collisions(entries) {
+                    warnings.push(simcheck::cache_fingerprint_collision(&id, fp).to_string());
+                }
+                Some(c)
+            }
+            Err(e) => {
+                warnings.push(simcheck::cache_dir_unwritable(dir, &e).to_string());
+                None
+            }
+        },
+        None => None,
+    };
 
     // Pre-flight budget pass: one static analysis per scenario feeds the
     // suite-level duplicate check (SC020), the --budget gate (SC018), and
@@ -425,52 +562,90 @@ pub fn run_sweep(
             config_fingerprint: Some(fingerprints[i]),
         });
     }
-    for r in preflight.iter().flatten() {
-        persist(&sink, r)?;
+
+    // The sharded sinks: a scenario's shard is its input index mod the
+    // shard count, independent of which worker runs it.
+    let nshards = opts.shards.unwrap_or(opts.threads).max(1);
+    let mut sinks: Vec<Mutex<shard::ShardSink>> = Vec::with_capacity(nshards);
+    for k in 0..nshards {
+        sinks.push(Mutex::new(shard::ShardSink::open(
+            &shard::shard_path(out_path, k),
+            opts.fsync,
+        )?));
+    }
+    for (i, r) in preflight.iter().enumerate() {
+        if let Some(r) = r {
+            sinks[i % nshards]
+                .lock()
+                .expect("sink poisoned")
+                .persist(r)?;
+        }
     }
 
-    let todo: Vec<(usize, &Scenario)> = scenarios
-        .iter()
-        .enumerate()
-        .filter(|(i, s)| !finished.contains_key(s.id.as_str()) && preflight[*i].is_none())
-        .collect();
+    let queues = fabric::ShardQueues::new(nshards);
+    for (idx, s) in scenarios.iter().enumerate() {
+        if !finished.contains_key(s.id.as_str()) && preflight[idx].is_none() {
+            queues.push(fabric::WorkItem { idx, scenario: s });
+        }
+    }
     let reused = scenarios
         .iter()
         .filter(|s| finished.contains_key(s.id.as_str()))
         .count();
 
-    let queue: Mutex<Vec<(usize, &Scenario)>> = Mutex::new(todo.into_iter().rev().collect());
-    let (tx, rx) = mpsc::channel::<(usize, io::Result<ScenarioResult>)>();
-    let threads = opts.threads.min(scenarios.len().max(1));
+    let counters = Counters::default();
+    let runtime_warnings = Mutex::new(Vec::new());
+    let ctx = RunCtx {
+        opts,
+        ckpt_dir,
+        cache: cache.as_ref(),
+        config_jsons: &config_jsons,
+        fingerprints: &fingerprints,
+        counters: &counters,
+        warnings: &runtime_warnings,
+    };
 
+    let threads = opts.threads.min(scenarios.len().max(1));
+    let (tx, rx) = mpsc::channel::<(usize, io::Result<ScenarioResult>)>();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let queue = &queue;
-            let sink = &sink;
+        for w in 0..threads {
+            let queues = &queues;
+            let sinks = &sinks;
+            let ctx = &ctx;
             let tx = tx.clone();
             scope.spawn(move || {
-                // One engine-buffer pool per supervision slot, pre-sized
-                // to the elementwise-max predicted shape across the whole
-                // suite: every scenario this worker runs draws its large
+                // One engine-buffer pool per worker, pre-sized to the
+                // elementwise-max predicted shape across the whole suite:
+                // every scenario this worker runs draws its large
                 // allocations from it and stays inside the budget, so a
                 // sweep allocates once per worker instead of once per
                 // attempt — settled from run 1, no warmup runs.
                 let pool = pool_slot(pool_budget);
+                let mut done = 0usize;
                 loop {
-                    let job = queue.lock().expect("queue poisoned").pop();
-                    match job {
-                        Some((idx, scenario)) => {
-                            let ckpt = ckpt_dir.map(|dir| CkptPlan {
-                                path: snapshot_path(dir, &scenario.id),
-                                policy: opts.checkpoint,
-                                resume: opts.resume,
-                            });
-                            let result = supervise(scenario, opts, ckpt.as_ref(), &pool);
-                            let persisted = persist(sink, &result).map(|()| result);
-                            tx.send((idx, persisted)).expect("report receiver gone");
-                        }
-                        None => break,
+                    if ctx.opts.fabric_chaos.kills(w, done) {
+                        ctx.counters.retired.fetch_add(1, Ordering::Relaxed);
+                        break;
                     }
+                    let Some(item) = queues.next_for(w) else {
+                        break;
+                    };
+                    let result = run_one(ctx, item.scenario, item.idx, &pool);
+                    let persisted = sinks[queues.shard_of(item.idx)]
+                        .lock()
+                        .expect("sink poisoned")
+                        .persist(&result)
+                        .map(|()| result);
+                    let poisoned = persisted.is_err();
+                    tx.send((item.idx, persisted))
+                        .expect("report receiver gone");
+                    if poisoned {
+                        // A sink this worker cannot write to poisons it:
+                        // retire and let the survivors take the queue.
+                        ctx.counters.retired.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                    done += 1;
                 }
             });
         }
@@ -482,6 +657,22 @@ pub fn run_sweep(
     for (idx, r) in rx {
         slots[idx] = Some(r?);
     }
+    // Graceful degradation: if chaos (or I/O trouble) retired every
+    // worker with work still queued, the supervisor thread drains the
+    // leftovers inline — slower, never deadlocked, never incomplete.
+    let leftovers = queues.drain_leftovers();
+    if !leftovers.is_empty() {
+        let pool = pool_slot(pool_budget);
+        for item in leftovers {
+            let result = run_one(&ctx, item.scenario, item.idx, &pool);
+            sinks[queues.shard_of(item.idx)]
+                .lock()
+                .expect("sink poisoned")
+                .persist(&result)?;
+            slots[item.idx] = Some(result);
+        }
+    }
+
     for (idx, s) in scenarios.iter().enumerate() {
         if slots[idx].is_none() {
             slots[idx] = preflight[idx]
@@ -490,6 +681,15 @@ pub fn run_sweep(
             assert!(slots[idx].is_some(), "scenario neither run nor reloaded");
         }
     }
+    let results: Vec<ScenarioResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect();
+
+    // Compact the shards into the final report — header plus records in
+    // input order, atomically — and clean up the manifest and shards.
+    shard::merge(out_path, &header, &results)?;
+
     if let Some(dir) = ckpt_dir {
         // Every scenario now has a terminal record (fresh or reloaded), so
         // its snapshot can never be resumed again: collect them all,
@@ -499,14 +699,78 @@ pub fn run_sweep(
             let _ = std::fs::remove_file(snapshot_path(dir, &s.id));
         }
     }
+    let mut runtime = runtime_warnings
+        .into_inner()
+        .expect("warnings lock poisoned");
+    runtime.sort();
+    warnings.extend(runtime);
     Ok(SweepReport {
-        results: slots
-            .into_iter()
-            .map(|s| s.expect("every slot filled"))
-            .collect(),
+        results,
         reused,
         warnings,
+        cache_hits: counters.hits.load(Ordering::Relaxed),
+        cache_misses: counters.misses.load(Ordering::Relaxed),
+        cache_quarantined: counters.quarantined.load(Ordering::Relaxed),
+        retired_workers: counters.retired.load(Ordering::Relaxed),
     })
+}
+
+/// Run one scenario to a terminal record: serve it from the verified
+/// cache when eligible, otherwise supervise a real run (and store clean
+/// completions back into the cache).
+fn run_one(ctx: &RunCtx<'_>, scenario: &Scenario, idx: usize, pool: &PoolSlot) -> ScenarioResult {
+    let fp = ctx.fingerprints[idx];
+    // Cache eligibility: the entry key is the config fingerprint and
+    // nothing else, so anything that makes the outcome depend on more
+    // than the config — harness chaos, a per-scenario watchdog override,
+    // a run-aborting event cap — opts the scenario out.
+    let cacheable = ctx.cache.is_some()
+        && scenario.chaos == Chaos::None
+        && scenario.max_sim_time.is_none()
+        && ctx.opts.max_events.is_none();
+    if cacheable {
+        let cache = ctx.cache.expect("cacheable implies a cache");
+        match cache.lookup(&ctx.config_jsons[idx], fp) {
+            cache::Lookup::Hit { attempts, summary } => {
+                ctx.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return ScenarioResult {
+                    id: scenario.id.clone(),
+                    status: ScenarioStatus::Ok,
+                    attempts,
+                    error: None,
+                    summary: Some(summary),
+                    config_fingerprint: Some(fp),
+                };
+            }
+            cache::Lookup::Quarantined(reason) => {
+                ctx.counters.quarantined.fetch_add(1, Ordering::Relaxed);
+                ctx.warnings
+                    .lock()
+                    .expect("warnings lock poisoned")
+                    .push(format!(
+                        "scenario '{}': cache entry {fp:#018x} quarantined ({reason}); \
+                         re-simulating",
+                        scenario.id
+                    ));
+            }
+            cache::Lookup::Miss => {
+                ctx.counters.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let ckpt = ctx.ckpt_dir.map(|dir| CkptPlan {
+        path: snapshot_path(dir, &scenario.id),
+        policy: ctx.opts.checkpoint,
+        resume: ctx.opts.resume,
+    });
+    let result = supervise(scenario, ctx.opts, ckpt.as_ref(), pool);
+    if cacheable && result.status == ScenarioStatus::Ok {
+        if let (Some(cache), Some(summary)) = (ctx.cache, result.summary) {
+            // Best-effort: a full disk must not fail an earned result.
+            let _ = cache.store(&ctx.config_jsons[idx], fp, result.attempts, &summary);
+        }
+    }
+    result
 }
 
 /// A supervision slot's shared engine-buffer pool. Attempt threads take
@@ -598,9 +862,9 @@ fn header_json(scenarios: &[Scenario], fingerprints: &[u64]) -> Json {
     ])
 }
 
-/// Read the header line's id → config-fingerprint map, if the file exists
-/// and starts with a header (files from pre-header versions return
-/// `None` and are accepted as-is).
+/// Read a header line's id → config-fingerprint map from `path`, if the
+/// file exists and starts with a header (files from pre-header versions
+/// return `None` and are accepted as-is).
 fn load_header(path: &Path) -> io::Result<Option<Vec<(String, u64)>>> {
     let bytes = match std::fs::read(path) {
         Ok(b) => b,
@@ -628,17 +892,26 @@ fn load_header(path: &Path) -> io::Result<Option<Vec<(String, u64)>>> {
     ))
 }
 
+/// The recorded header for `out`: the merged report's first line when one
+/// exists, else the manifest a crashed run left behind.
+fn load_any_header(out: &Path) -> io::Result<Option<Vec<(String, u64)>>> {
+    if let Some(h) = load_header(out)? {
+        return Ok(Some(h));
+    }
+    load_header(&shard::manifest_path(out))
+}
+
 /// Reject a `--resume` whose scenarios carry different configs than the
-/// ones recorded in the existing file (header line and per-record
-/// fingerprints). Scenarios the file has never seen are fine — resuming
-/// with a superset is supported.
+/// ones recorded in the existing files (header/manifest line and
+/// per-record fingerprints). Scenarios the files have never seen are
+/// fine — resuming with a superset is supported.
 fn validate_resume_configs(
     scenarios: &[Scenario],
     fingerprints: &[u64],
     out_path: &Path,
 ) -> io::Result<()> {
-    let header = load_header(out_path)?;
-    let previous = load_results(out_path)?;
+    let header = load_any_header(out_path)?;
+    let (previous, _) = shard::load_previous(out_path)?;
     for (s, &fp) in scenarios.iter().zip(fingerprints) {
         let recorded = header
             .as_ref()
@@ -669,7 +942,8 @@ fn validate_resume_configs(
 }
 
 /// Supervise one scenario: bounded attempts, each in an isolated worker
-/// with panic capture and the wall-clock backstop.
+/// with panic capture and the wall-clock backstop, with capped
+/// exponential backoff between retries.
 fn supervise(
     scenario: &Scenario,
     opts: &SweepOptions,
@@ -692,12 +966,14 @@ fn supervise(
             Some(Attempt::Panicked(e)) => (ScenarioStatus::Panicked, Some(e), None),
             Some(Attempt::Transient(e)) => {
                 if attempts <= opts.retries {
+                    backoff_sleep(opts.retry_backoff, attempts);
                     continue;
                 }
                 (ScenarioStatus::Transient, Some(e), None)
             }
             None => {
                 if attempts <= opts.retries {
+                    backoff_sleep(opts.retry_backoff, attempts);
                     continue;
                 }
                 (
@@ -719,6 +995,20 @@ fn supervise(
             config_fingerprint: Some(config_fingerprint(&scenario.config)),
         };
     }
+}
+
+/// Ceiling of the capped exponential retry backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Sleep `base × 2^(attempt-1)`, capped at [`BACKOFF_CAP`] — attempt 1
+/// waits `base`, attempt 2 twice that, and so on. Zero base disables
+/// backoff entirely.
+fn backoff_sleep(base: Duration, attempt: u32) {
+    if base.is_zero() {
+        return;
+    }
+    let factor = 1u32 << attempt.saturating_sub(1).min(16);
+    std::thread::sleep(base.saturating_mul(factor).min(BACKOFF_CAP));
 }
 
 /// One isolated attempt. `None` means the wall-clock backstop fired and
@@ -920,35 +1210,6 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "panic with non-string payload".to_string()
     }
-}
-
-/// Append one record to the output file and flush it to disk before
-/// acknowledging — a crash after this point cannot lose the record.
-fn persist(sink: &Mutex<std::fs::File>, result: &ScenarioResult) -> io::Result<()> {
-    let line = json::to_string(result);
-    let mut file = sink.lock().expect("sink poisoned");
-    file.write_all(line.as_bytes())?;
-    file.write_all(b"\n")?;
-    file.flush()
-}
-
-/// Reload persisted records. Unparseable lines are skipped, not fatal:
-/// their scenarios simply re-run. That covers the header line (not a
-/// record), a torn final line after a crash mid-write, and — because the
-/// file is read as bytes and each line checked for UTF-8 individually — a
-/// final line truncated *mid-UTF-8-codepoint*, which would make the whole
-/// file unreadable via `read_to_string`.
-pub fn load_results(path: &Path) -> io::Result<Vec<ScenarioResult>> {
-    let bytes = match std::fs::read(path) {
-        Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    };
-    Ok(bytes
-        .split(|&b| b == b'\n')
-        .filter_map(|line| std::str::from_utf8(line).ok())
-        .filter_map(|line| json::from_str::<ScenarioResult>(line).ok())
-        .collect())
 }
 
 impl ToJson for Chaos {
@@ -1172,7 +1433,7 @@ mod tests {
             .error
             .as_deref()
             .is_some_and(|e| e.contains("fail-stop")));
-        // Every record was persisted.
+        // Every record was persisted, and the shards were compacted away.
         assert_eq!(load_results(&out).expect("readable").len(), 6);
         assert_eq!(report.failures(), 4);
     }
@@ -1254,11 +1515,37 @@ mod tests {
         }];
         let o = SweepOptions {
             retries: 1,
+            retry_backoff: Duration::from_millis(1),
             ..opts()
         };
         let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
         assert_eq!(report.results[0].status, ScenarioStatus::Transient);
         assert_eq!(report.results[0].attempts, 2);
+    }
+
+    #[test]
+    fn backoff_doubles_from_base_and_respects_the_cap() {
+        // No sleeping in this test: just the arithmetic via the clamp.
+        assert_eq!(
+            Duration::from_millis(10)
+                .saturating_mul(1 << 0)
+                .min(BACKOFF_CAP),
+            Duration::from_millis(10)
+        );
+        assert_eq!(
+            Duration::from_millis(10)
+                .saturating_mul(1 << 3)
+                .min(BACKOFF_CAP),
+            Duration::from_millis(80)
+        );
+        assert_eq!(
+            Duration::from_millis(500)
+                .saturating_mul(1 << 4)
+                .min(BACKOFF_CAP),
+            BACKOFF_CAP
+        );
+        // And the zero base disables the sleep entirely (returns at once).
+        backoff_sleep(Duration::ZERO, 30);
     }
 
     #[test]
@@ -1293,8 +1580,8 @@ mod tests {
         assert_eq!(resumed.reused, 2);
         assert_eq!(resumed.results.len(), 4);
         assert!(resumed.all_ok());
-        // Nothing from the first pass was lost, and the re-run scenarios
-        // were appended after the torn line.
+        // Nothing from the first pass was lost, and the merged report
+        // holds every record exactly once.
         let ids: Vec<String> = load_results(&out)
             .expect("readable")
             .into_iter()
@@ -1490,6 +1777,33 @@ mod tests {
     }
 
     #[test]
+    fn infeasible_retry_policy_warns_sc025() {
+        let out = tmp("sc025.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios = vec![Scenario::new("s", quick_cfg(1))];
+        // One scenario, 30 s per attempt, 2 retries: worst case 90 s
+        // against a 10 s sweep budget — the retries are decorative.
+        let o = SweepOptions {
+            max_wall: Some(Duration::from_secs(10)),
+            wall_timeout: Duration::from_secs(30),
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert!(
+            report.warnings.iter().any(|w| w.contains("SC025")),
+            "{:?}",
+            report.warnings
+        );
+        // A feasible budget is silent.
+        let o = SweepOptions {
+            max_wall: Some(Duration::from_secs(600)),
+            ..o
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
     fn resume_with_changed_config_is_rejected() {
         let out = tmp("resume_mismatch.jsonl");
         let _ = std::fs::remove_file(&out);
@@ -1594,6 +1908,293 @@ mod tests {
         );
         // The snapshot is garbage once its scenario has a durable record.
         assert!(!path.exists(), "snapshot survived sweep completion");
+    }
+
+    #[test]
+    fn killed_workers_retire_and_survivors_finish_the_sweep() {
+        let ctrl = tmp("kills_ctrl.jsonl");
+        let out = tmp("kills.jsonl");
+        let _ = std::fs::remove_file(&ctrl);
+        let _ = std::fs::remove_file(&out);
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| Scenario::new(format!("k{i}"), quick_cfg(i)))
+            .collect();
+        let control = run_sweep(&scenarios, &opts(), &ctrl).expect("sweep io");
+        assert!(control.all_ok());
+        assert_eq!(control.retired_workers, 0);
+        // Kill worker 2 before it takes any work and worker 1 after its
+        // first item: worker 0 (and briefly 1) carry the whole fabric.
+        let chaotic = SweepOptions {
+            fabric_chaos: FabricChaos {
+                kill_workers: vec![(1, 1), (2, 0)],
+            },
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &chaotic, &out).expect("sweep io");
+        assert!(report.all_ok());
+        assert_eq!(report.retired_workers, 2);
+        assert_eq!(
+            std::fs::read(&out).expect("chaos report"),
+            std::fs::read(&ctrl).expect("control report"),
+            "worker kills changed the merged report"
+        );
+    }
+
+    #[test]
+    fn all_workers_killed_drains_the_fabric_inline() {
+        let ctrl = tmp("drain_ctrl.jsonl");
+        let out = tmp("drain.jsonl");
+        let _ = std::fs::remove_file(&ctrl);
+        let _ = std::fs::remove_file(&out);
+        let scenarios: Vec<Scenario> = (0..5)
+            .map(|i| Scenario::new(format!("d{i}"), quick_cfg(i)))
+            .collect();
+        let control = run_sweep(&scenarios, &opts(), &ctrl).expect("sweep io");
+        // Every worker dies before taking work: nothing runs on the
+        // fabric, everything drains inline — degraded, never deadlocked.
+        let chaotic = SweepOptions {
+            fabric_chaos: FabricChaos {
+                kill_workers: vec![(0, 0), (1, 0), (2, 0)],
+            },
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &chaotic, &out).expect("sweep io");
+        assert!(report.all_ok());
+        assert_eq!(report.retired_workers, 3);
+        assert_eq!(report.results.len(), 5);
+        assert_eq!(
+            std::fs::read(&out).expect("chaos report"),
+            std::fs::read(&ctrl).expect("control report"),
+            "inline drain changed the merged report"
+        );
+        assert_eq!(control.results, report.results);
+    }
+
+    #[test]
+    fn merge_compacts_the_manifest_and_shards_away() {
+        let out = tmp("compact.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios: Vec<Scenario> = (0..5)
+            .map(|i| Scenario::new(format!("c{i}"), quick_cfg(i)))
+            .collect();
+        let o = SweepOptions {
+            shards: Some(2),
+            ..opts()
+        };
+        run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert!(out.exists());
+        assert!(
+            !shard::manifest_path(&out).exists(),
+            "manifest must be compacted away"
+        );
+        assert!(
+            shard::existing_shard_files(&out)
+                .expect("listable")
+                .is_empty(),
+            "shard files must be compacted away"
+        );
+        // The merged report: header first, then records in input order.
+        let text = std::fs::read_to_string(&out).expect("report");
+        let mut lines = text.lines();
+        assert!(
+            lines
+                .next()
+                .expect("header")
+                .starts_with("{\"sweep_format\":"),
+            "{text}"
+        );
+        let ids: Vec<String> = load_results(&out)
+            .expect("readable")
+            .into_iter()
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, vec!["c0", "c1", "c2", "c3", "c4"]);
+    }
+
+    #[test]
+    fn unknown_status_records_warn_and_rerun_instead_of_vanishing() {
+        let out = tmp("future_status.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_file(shard::manifest_path(&out));
+        for f in shard::existing_shard_files(&out).expect("listable") {
+            let _ = std::fs::remove_file(f);
+        }
+        let scenarios = vec![Scenario::new("fut", quick_cfg(1))];
+        // A crashed sweep left a shard record written by a newer version:
+        // parseable JSON, unknown status string.
+        std::fs::write(
+            shard::shard_path(&out, 0),
+            "{\"id\":\"fut\",\"status\":\"from-the-future\",\"attempts\":1}\n",
+        )
+        .expect("plant record");
+        let report = run_sweep(
+            &scenarios,
+            &SweepOptions {
+                resume: true,
+                ..opts()
+            },
+            &out,
+        )
+        .expect("sweep io");
+        // The record was surfaced, not silently dropped — and the
+        // scenario re-ran to a terminal record this version understands.
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("'fut'") && w.contains("unknown status 'from-the-future'")),
+            "{:?}",
+            report.warnings
+        );
+        assert_eq!(report.reused, 0);
+        assert!(report.all_ok());
+        assert_eq!(load_results(&out).expect("readable").len(), 1);
+    }
+
+    #[test]
+    fn cache_serves_warm_reruns_byte_identically() {
+        let cache_dir = tmp("cache_warm_dir");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cold_out = tmp("cache_cold.jsonl");
+        let warm_out = tmp("cache_warm.jsonl");
+        let _ = std::fs::remove_file(&cold_out);
+        let _ = std::fs::remove_file(&warm_out);
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| Scenario::new(format!("w{i}"), quick_cfg(i)))
+            .collect();
+        let o = SweepOptions {
+            cache_dir: Some(cache_dir.clone()),
+            ..opts()
+        };
+        let cold = run_sweep(&scenarios, &o, &cold_out).expect("sweep io");
+        assert!(cold.all_ok());
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.cache_misses, 4);
+        assert_eq!(cold.cache_quarantined, 0);
+        // Warm rerun against a fresh output file: zero re-simulations,
+        // bit-identical merged report.
+        let warm = run_sweep(&scenarios, &o, &warm_out).expect("sweep io");
+        assert!(warm.all_ok());
+        assert_eq!(warm.cache_hits, 4);
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_quarantined, 0);
+        assert_eq!(
+            std::fs::read(&cold_out).expect("cold"),
+            std::fs::read(&warm_out).expect("warm"),
+            "a cache-served sweep must be bit-identical to the computed one"
+        );
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_quarantined_and_resimulated() {
+        let cache_dir = tmp("cache_corrupt_dir");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cold_out = tmp("cache_corrupt_cold.jsonl");
+        let rerun_out = tmp("cache_corrupt_rerun.jsonl");
+        let _ = std::fs::remove_file(&cold_out);
+        let _ = std::fs::remove_file(&rerun_out);
+        let scenarios: Vec<Scenario> = (0..3)
+            .map(|i| Scenario::new(format!("q{i}"), quick_cfg(i)))
+            .collect();
+        let o = SweepOptions {
+            cache_dir: Some(cache_dir.clone()),
+            ..opts()
+        };
+        run_sweep(&scenarios, &o, &cold_out).expect("sweep io");
+        // Bit-flip the first scenario's entry.
+        let cache = cache::ResultCache::open(&cache_dir).expect("cache dir");
+        let victim = cache.entry_path(config_fingerprint(&scenarios[0].config));
+        let mut bytes = std::fs::read(&victim).expect("entry");
+        bytes[12] ^= 0x01;
+        std::fs::write(&victim, &bytes).expect("corrupt");
+        let rerun = run_sweep(&scenarios, &o, &rerun_out).expect("sweep io");
+        assert!(rerun.all_ok());
+        assert_eq!(rerun.cache_quarantined, 1);
+        assert_eq!(rerun.cache_hits, 2);
+        assert_eq!(rerun.cache_misses, 0);
+        assert!(
+            rerun
+                .warnings
+                .iter()
+                .any(|w| w.contains("'q0'") && w.contains("quarantined")),
+            "{:?}",
+            rerun.warnings
+        );
+        assert_eq!(
+            std::fs::read(&cold_out).expect("cold"),
+            std::fs::read(&rerun_out).expect("rerun"),
+            "quarantine-and-resimulate must reproduce the original report"
+        );
+    }
+
+    #[test]
+    fn unusable_cache_dir_degrades_to_uncached_with_sc026() {
+        let blocked = tmp("cache_blocked_dir");
+        let _ = std::fs::remove_dir_all(&blocked);
+        std::fs::write(&blocked, b"a file where the dir should be").expect("blocker");
+        let out = tmp("cache_blocked.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios = vec![Scenario::new("b", quick_cfg(1))];
+        let o = SweepOptions {
+            cache_dir: Some(blocked),
+            ..opts()
+        };
+        let report = run_sweep(&scenarios, &o, &out).expect("sweep io");
+        assert!(report.all_ok(), "the sweep itself must still succeed");
+        assert_eq!(report.cache_hits + report.cache_misses, 0, "uncached");
+        assert!(
+            report.warnings.iter().any(|w| w.contains("SC026")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn planted_cache_collisions_warn_sc027_and_resimulate() {
+        let cache_dir = tmp("cache_collision_dir");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cold_out = tmp("cache_collision_cold.jsonl");
+        let rerun_out = tmp("cache_collision_rerun.jsonl");
+        let _ = std::fs::remove_file(&cold_out);
+        let _ = std::fs::remove_file(&rerun_out);
+        let scenarios = vec![Scenario::new("col", quick_cfg(1))];
+        let o = SweepOptions {
+            cache_dir: Some(cache_dir.clone()),
+            ..opts()
+        };
+        run_sweep(&scenarios, &o, &cold_out).expect("sweep io");
+        // Plant a *verified* entry that stores a different config behind
+        // this scenario's fingerprint: the integrity footer checks out,
+        // the payload is for something else entirely.
+        let cache = cache::ResultCache::open(&cache_dir).expect("cache dir");
+        let fp = config_fingerprint(&scenarios[0].config);
+        let other = json::to_string(&quick_cfg(2));
+        let summary = RunSummary {
+            runtime_ns: 1,
+            events: 1,
+            messages: 1,
+            retransmissions: 0,
+            dropped: 0,
+            corrupted: 0,
+            trace_fingerprint: 1,
+        };
+        cache.store(&other, fp, 1, &summary).expect("plant");
+        let rerun = run_sweep(&scenarios, &o, &rerun_out).expect("sweep io");
+        assert!(rerun.all_ok());
+        assert_eq!(rerun.cache_quarantined, 1);
+        assert!(
+            rerun
+                .warnings
+                .iter()
+                .any(|w| w.contains("SC027") && w.contains("'col'")),
+            "{:?}",
+            rerun.warnings
+        );
+        assert_eq!(
+            std::fs::read(&cold_out).expect("cold"),
+            std::fs::read(&rerun_out).expect("rerun"),
+            "a planted collision must not change the merged report"
+        );
     }
 
     #[test]

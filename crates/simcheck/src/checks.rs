@@ -1,5 +1,10 @@
-//! Protocol-eligibility and boundary checks (SC003, SC006, SC007) and the
-//! checkpoint-cadence feasibility check (SC017).
+//! Protocol-eligibility and boundary checks (SC003, SC006, SC007), the
+//! checkpoint-cadence feasibility check (SC017), the sweep retry-policy
+//! feasibility check (SC025), and the sweep cache pre-flight diagnostics
+//! (SC026, SC027).
+
+use std::path::Path;
+use std::time::Duration;
 
 use mpisim::{Diagnostic, Mode, Protocol, SimConfig};
 use simdes::{SimDuration, SimTime};
@@ -89,6 +94,87 @@ pub fn checkpoint_checks(interval: SimDuration, watchdog_budget: SimTime) -> Vec
     out
 }
 
+/// SC025: a sweep retry policy that can never be exercised. The sweep
+/// supervisor's worst case per scenario is `(retries + 1)` attempts, each
+/// ending at the `wall_timeout` backstop; with `threads` supervision slots
+/// the suite's worst-case wall time is
+/// `ceil(scenarios / threads) × (retries + 1) × wall_timeout`. When that
+/// exceeds the sweep's declared total wall budget, the retry policy is
+/// decorative — the budget expires before the configured retries could
+/// ever run, so a flaky suite fails on wall time while appearing to have
+/// retry protection.
+pub fn sweep_policy_checks(
+    scenarios: usize,
+    threads: usize,
+    retries: u32,
+    wall_timeout: Duration,
+    max_wall: Duration,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if scenarios == 0 || wall_timeout.is_zero() {
+        return out;
+    }
+    let per_slot = scenarios.div_ceil(threads.max(1)) as u32;
+    let worst = wall_timeout
+        .saturating_mul(retries + 1)
+        .saturating_mul(per_slot);
+    if worst > max_wall {
+        out.push(Diagnostic::warning(
+            "SC025",
+            "retries",
+            retries,
+            format!(
+                "the retry policy can never be exercised: {scenarios} scenario(s) \
+                 over {} slot(s) at {retries} retries x {:?} wall timeout add up \
+                 to a {:?} worst case, beyond the {:?} sweep wall budget — raise \
+                 the budget, lower the retries, or shorten the per-attempt timeout",
+                threads.max(1),
+                wall_timeout,
+                worst,
+                max_wall
+            ),
+        ));
+    }
+    out
+}
+
+/// SC026: the sweep's result-cache directory cannot be created or written.
+/// The sweep degrades to uncached execution — correct but slower, and warm
+/// reruns silently lose their speedup, so the condition is surfaced up
+/// front rather than discovered from timing.
+pub fn cache_dir_unwritable(dir: &Path, error: &str) -> Diagnostic {
+    Diagnostic::warning(
+        "SC026",
+        "cache_dir",
+        dir.display(),
+        format!(
+            "the result-cache directory is unusable ({error}): the sweep \
+             runs uncached — every scenario re-simulates, warm reruns get \
+             no speedup"
+        ),
+    )
+}
+
+/// SC027: a verified cache entry stores a *different* config behind this
+/// scenario's fingerprint — an FNV collision, or an entry planted by a
+/// buggy tool. The run-time lookup quarantines and re-simulates such
+/// entries; this pre-flight warning names the scenario before any cycles
+/// are spent, since a colliding fingerprint also means the scenario can
+/// never be cached.
+pub fn cache_fingerprint_collision(id: &str, fingerprint: u64) -> Diagnostic {
+    Diagnostic::warning(
+        "SC027",
+        "config_fingerprint",
+        format!("{fingerprint:#018x}"),
+        format!(
+            "scenario '{id}': the cache entry for this config fingerprint \
+             verifies but stores a different config (FNV collision or \
+             planted entry); the entry will be quarantined and the scenario \
+             re-simulated every run — it cannot benefit from the cache"
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +239,43 @@ mod tests {
         let w = out.iter().find(|d| d.code == "SC017").expect("SC017");
         assert_eq!(w.severity, mpisim::Severity::Warning);
         assert!(w.message.contains("watchdog"), "{w}");
+    }
+
+    #[test]
+    fn infeasible_retry_policy_warns_sc025() {
+        // 100 scenarios over 4 slots, 2 retries at 30 s each: worst case
+        // 25 x 3 x 30 s = 2250 s against a 600 s budget.
+        let out = sweep_policy_checks(100, 4, 2, Duration::from_secs(30), Duration::from_secs(600));
+        let w = out.iter().find(|d| d.code == "SC025").expect("SC025");
+        assert_eq!(w.severity, mpisim::Severity::Warning);
+        assert!(w.message.contains("never be exercised"), "{w}");
+        // A generous budget is silent.
+        assert!(sweep_policy_checks(
+            100,
+            4,
+            2,
+            Duration::from_secs(30),
+            Duration::from_secs(3000)
+        )
+        .is_empty());
+        // Degenerate inputs never warn (or divide by zero).
+        assert!(sweep_policy_checks(0, 4, 2, Duration::from_secs(30), Duration::ZERO).is_empty());
+        assert!(sweep_policy_checks(10, 0, 2, Duration::ZERO, Duration::ZERO).is_empty());
+    }
+
+    #[test]
+    fn cache_diagnostics_carry_their_codes_and_context() {
+        let d = cache_dir_unwritable(Path::new("/tmp/cache"), "permission denied");
+        assert_eq!(d.code, "SC026");
+        assert_eq!(d.severity, mpisim::Severity::Warning);
+        assert!(d.message.contains("permission denied"), "{d}");
+        assert!(d.message.contains("uncached"), "{d}");
+
+        let d = cache_fingerprint_collision("chain-12", 0xdead_beef);
+        assert_eq!(d.code, "SC027");
+        assert_eq!(d.severity, mpisim::Severity::Warning);
+        assert!(d.message.contains("chain-12"), "{d}");
+        assert!(d.message.contains("quarantined"), "{d}");
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!    [`budget::BudgetReport`] forecasts events, queue occupancy, memory,
 //!    simulated time and calibrated wall time from the config alone, with
 //!    budget-gate diagnostics `SC018`–`SC024` and the sweep-suite
-//!    duplicate-fingerprint check `SC020`.
+//!    duplicate-fingerprint check `SC020`. Sweep-harness policy checks
+//!    live in this crate too: retry-policy feasibility (`SC025`,
+//!    [`sweep_policy_checks`]) and result-cache pre-flight diagnostics
+//!    (`SC026` [`cache_dir_unwritable`], `SC027`
+//!    [`cache_fingerprint_collision`]).
 //! 2. **Source linting** — the [`lint`] module and the `simlint` binary: a
 //!    hand-rolled, comment- and string-aware Rust lexer that scans the
 //!    workspace for determinism/hermeticity hazards (wall-clock reads,
@@ -41,7 +45,9 @@ mod speed;
 use mpisim::SimConfig;
 
 pub use budget::{BudgetReport, Budgets, WavePrediction};
-pub use checks::checkpoint_checks;
+pub use checks::{
+    cache_dir_unwritable, cache_fingerprint_collision, checkpoint_checks, sweep_policy_checks,
+};
 pub use mpisim::diag::{has_errors, render_report};
 pub use mpisim::{Diagnostic, Severity};
 

@@ -58,6 +58,54 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h.finish()
 }
 
+/// Encode a single-line document with an FNV-1a integrity footer — the
+/// two-line layout the checkpoint snapshots established:
+///
+/// ```text
+/// <body>
+/// {"<footer_key>":<fnv1a of the body bytes>}
+/// ```
+///
+/// `body` must not contain a newline (the footer split point); the sweep
+/// result cache and other crash-safe single-record files build on this.
+pub fn encode_footered(body: &str, footer_key: &str) -> String {
+    debug_assert!(!body.contains('\n'), "footered body must be one line");
+    format!(
+        "{body}\n{{\"{footer_key}\":{}}}\n",
+        fnv1a_64(body.as_bytes())
+    )
+}
+
+/// Split and verify a footered document, returning the body text.
+///
+/// Works on raw bytes so torn files that are not valid UTF-8 still fail
+/// with a reason instead of panicking. Every failure mode — missing
+/// footer, malformed footer, digest mismatch, non-UTF-8 body — returns a
+/// human-readable reason; callers decide whether that means quarantine
+/// (result cache) or a rejection diagnostic (snapshots).
+pub fn decode_footered<'a>(bytes: &'a [u8], footer_key: &str) -> Result<&'a str, String> {
+    let Some(split) = bytes.iter().position(|&b| b == b'\n') else {
+        return Err("missing integrity footer (no newline): the write was torn".to_string());
+    };
+    let body_bytes = &bytes[..split];
+    let footer = std::str::from_utf8(&bytes[split + 1..])
+        .map_err(|e| format!("integrity footer is not UTF-8: {e}"))?;
+    let footer = footer.trim_end();
+    let want: u64 = footer
+        .strip_prefix(&format!("{{\"{footer_key}\":"))
+        .and_then(|rest| rest.strip_suffix('}'))
+        .and_then(|digits| digits.parse().ok())
+        .ok_or_else(|| format!("integrity footer lacks a {footer_key} field: '{footer}'"))?;
+    let got = fnv1a_64(body_bytes);
+    if got != want {
+        return Err(format!(
+            "integrity digest mismatch (expected {want:#018x}, found {got:#018x}): \
+             the file is torn or corrupt"
+        ));
+    }
+    std::str::from_utf8(body_bytes).map_err(|e| format!("body is not UTF-8: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +133,42 @@ mod tests {
     fn content_sensitive() {
         assert_ne!(fnv1a_64(b"snapshot-a"), fnv1a_64(b"snapshot-b"));
         assert_ne!(fnv1a_64(b"ab"), fnv1a_64(b"ba"));
+    }
+
+    #[test]
+    fn footered_round_trip() {
+        let doc = encode_footered("{\"a\":1}", "cache_digest");
+        assert_eq!(doc.lines().count(), 2);
+        assert_eq!(
+            decode_footered(doc.as_bytes(), "cache_digest").expect("own encoding decodes"),
+            "{\"a\":1}"
+        );
+    }
+
+    #[test]
+    fn footered_rejects_corruption() {
+        let doc = encode_footered("{\"a\":1}", "k");
+        // Bit-flip in the body: digest mismatch.
+        let mut flipped = doc.clone().into_bytes();
+        flipped[2] ^= 0x40;
+        assert!(decode_footered(&flipped, "k")
+            .expect_err("flip detected")
+            .contains("digest mismatch"));
+        // Truncation before the newline: no footer at all.
+        assert!(decode_footered(&doc.as_bytes()[..5], "k")
+            .expect_err("truncation detected")
+            .contains("torn"));
+        // Truncation inside the footer.
+        assert!(decode_footered(&doc.as_bytes()[..doc.len() - 3], "k")
+            .expect_err("torn footer detected")
+            .contains("lacks a k field"));
+        // Wrong footer key.
+        assert!(decode_footered(doc.as_bytes(), "other").is_err());
+        // Body torn mid-UTF-8-codepoint must error, not panic.
+        let multi = encode_footered("{\"s\":\"€\"}", "k");
+        let cut = multi.find('\n').expect("newline") - 1;
+        let mut torn = multi.as_bytes()[..cut].to_vec();
+        torn.extend_from_slice(&multi.as_bytes()[multi.find('\n').expect("newline")..]);
+        assert!(decode_footered(&torn, "k").is_err());
     }
 }

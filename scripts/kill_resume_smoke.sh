@@ -1,10 +1,17 @@
 #!/usr/bin/env sh
-# Kill-and-resume smoke test for the checkpoint/restart subsystem
-# (docs/CHECKPOINT.md): run a sweep, SIGKILL it mid-scenario, resume it,
-# and require the final results to be identical — record for record,
-# trace fingerprint for trace fingerprint — to an uninterrupted control
-# run. Exercises the real binary and the real filesystem, the two
-# things unit tests fake.
+# Multi-shard chaos drill for the sweep fabric (docs/SWEEP.md) and the
+# checkpoint/restart subsystem (docs/CHECKPOINT.md), exercising the real
+# binary and the real filesystem — the two things unit tests fake.
+#
+# Part 1 (kill/resume): run a multi-shard checkpointing sweep, SIGKILL
+# it mid-scenario, resume it, and require the final results to be
+# identical — record for record, trace fingerprint for trace
+# fingerprint — to an uninterrupted control run.
+#
+# Part 2 (self-chaos drill): `wavesim sweep --drill` — worker kills, a
+# mid-shard SIGKILL of a child process, torn result lines, and
+# bit-flipped cache entries, each phase asserting the merged report is
+# bit-identical to an undisturbed control.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,33 +27,56 @@ fi
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/kill-resume-smoke.XXXXXX")
 trap 'rm -rf "$WORK"' EXIT INT TERM
 
-# One deliberately long scenario so the kill lands mid-run.
+# A multi-shard suite: several quick scenarios spread across the shards
+# plus one deliberately long one so the kill lands mid-run.
 "$WAVESIM" --ranks 40 --steps 400 --texec-ms 1 --inject 9:3:8 --seed 5 \
-    --dump-config > "$WORK/cfg.json"
-printf '[{"id":"long","config":%s}]\n' "$(cat "$WORK/cfg.json")" \
-    > "$WORK/scenarios.json"
+    --dump-config > "$WORK/long.json"
+for seed in 11 12 13 14 15; do
+    "$WAVESIM" --ranks 12 --steps 6 --texec-ms 1 --seed "$seed" \
+        --dump-config > "$WORK/quick-$seed.json"
+done
+{
+    printf '[{"id":"long","config":%s}' "$(cat "$WORK/long.json")"
+    for seed in 11 12 13 14 15; do
+        printf ',{"id":"quick-%s","config":%s}' \
+            "$seed" "$(cat "$WORK/quick-$seed.json")"
+    done
+    printf ']\n'
+} > "$WORK/scenarios.json"
 
 sweep() {
     # $1 = results file, then any extra flags.
     out=$1; shift
     "$WAVESIM" sweep --scenarios "$WORK/scenarios.json" --out "$out" \
-        --threads 1 --checkpoint-dir "$WORK/snaps" --checkpoint-every 500ev \
+        --threads 4 --shards 4 --fsync \
+        --checkpoint-dir "$WORK/snaps" --checkpoint-every 500ev \
         --quiet "$@"
 }
 
-echo "== control run (uninterrupted)"
+echo "== control run (uninterrupted, 4 workers / 4 shards)"
 sweep "$WORK/control.jsonl"
 
 echo "== victim run (killed mid-scenario)"
-sweep "$WORK/killed.jsonl" &
+# `exec` in the async subshell makes $! the wavesim process itself —
+# backgrounding a function would background a *subshell*, and SIGKILLing
+# that leaves the wavesim grandchild alive to race the resume run on the
+# same result files.
+(
+    exec "$WAVESIM" sweep --scenarios "$WORK/scenarios.json" \
+        --out "$WORK/killed.jsonl" \
+        --threads 4 --shards 4 --fsync \
+        --checkpoint-dir "$WORK/snaps" --checkpoint-every 500ev \
+        --quiet
+) &
 VICTIM=$!
-# Kill as soon as the first snapshot proves the scenario is mid-run; if
+# Kill as soon as the first snapshot proves a scenario is mid-run; if
 # the run wins the race and finishes first, resume degrades to a no-op
 # reuse and the comparison below still must hold.
 i=0
-while [ "$i" -lt 2000 ]; do
+while [ "$i" -lt 400 ]; do
     if [ -n "$(ls "$WORK/snaps" 2>/dev/null)" ]; then break; fi
     if ! kill -0 "$VICTIM" 2>/dev/null; then break; fi
+    sleep 0.01 2>/dev/null || sleep 1
     i=$((i + 1))
 done
 kill -9 "$VICTIM" 2>/dev/null || true
@@ -56,11 +86,14 @@ echo "== resume"
 sweep "$WORK/killed.jsonl" --resume
 
 # Compare id/status/fingerprint per record. Only complete lines (ending
-# in '}') count: the header has no fingerprint and a torn tail from the
-# kill has no closing brace. `sort -u` collapses the rare duplicate when
-# the kill lands between a record's write and its flush.
+# in '}') count: the header has no fingerprint and a torn shard tail
+# from the kill has no closing brace. `sort -u` collapses the rare
+# duplicate when the kill lands between a record's write and its flush.
 extract() {
-    grep '}$' "$1" | grep '"trace_fingerprint"' | while IFS= read -r line; do
+    for f in "$1" "$1".shard-*.jsonl; do
+        [ -f "$f" ] || continue
+        grep '}$' "$f" | grep '"trace_fingerprint"'
+    done | while IFS= read -r line; do
         printf '%s %s %s\n' \
             "$(printf '%s' "$line" | grep -o '"id":"[^"]*"')" \
             "$(printf '%s' "$line" | grep -o '"status":"[^"]*"')" \
@@ -75,3 +108,16 @@ if ! diff -u "$WORK/control.key" "$WORK/killed.key"; then
     exit 1
 fi
 echo "kill-resume smoke: OK"
+
+# After the merge the shard files and manifest must be compacted away —
+# a clean tree is part of the contract (docs/SWEEP.md).
+leftovers=$(ls "$WORK"/killed.jsonl.shard-*.jsonl "$WORK"/killed.jsonl.manifest \
+    2>/dev/null || true)
+if [ -n "$leftovers" ]; then
+    echo "kill-resume smoke: FAIL — merge left shard droppings: $leftovers"
+    exit 1
+fi
+
+echo "== self-chaos drill (wavesim sweep --drill)"
+"$WAVESIM" sweep --drill --drill-dir "$WORK/drill"
+echo "chaos drill: OK"

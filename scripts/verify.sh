@@ -77,4 +77,12 @@ cargo run -q --release -p bench --bin throughput -- \
     --smoke --iters 3 --label verify-smoke \
     --baseline BENCH_0.json --max-regression 0.30
 
+# Multi-shard chaos drill (docs/SWEEP.md): SIGKILL a sharded sweep
+# mid-scenario and resume it, then run the self-chaos drill — worker
+# kills, a child SIGKILLed mid-shard, torn result lines, corrupted cache
+# entries — asserting the merged report stays bit-identical to an
+# undisturbed control throughout.
+echo "== sweep chaos drill (kill/resume + wavesim sweep --drill)"
+./scripts/kill_resume_smoke.sh
+
 echo "verify: OK"

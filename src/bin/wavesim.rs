@@ -43,28 +43,54 @@
 //!   --max-bytes N           gate: predicted peak memory over N bytes is
 //!                           SC023, exit 1
 //!
-//! wavesim sweep — supervised chaos/fault sweep (see docs/FAULTS.md)
+//! wavesim sweep — supervised chaos/fault sweep on the work-stealing
+//! fabric (see docs/SWEEP.md and docs/FAULTS.md)
 //!
 //!   --scenarios FILE.json   JSON array of sweep scenarios (required)
-//!   --out FILE.jsonl        result file, one JSON record per scenario
-//!                           (required; appended to, crash-safe, with a
-//!                           config-fingerprint header line)
-//!   --resume                skip scenarios already recorded in --out;
-//!                           rejects the file if the recorded config
-//!                           fingerprints no longer match (exit 3)
+//!   --out FILE.jsonl        merged report: a config-fingerprint header
+//!                           line plus one JSON record per scenario in
+//!                           input order, written atomically on completion
+//!                           (required); while running, records live in
+//!                           crash-safe per-shard files next to it
+//!   --resume                skip scenarios already recorded in --out or
+//!                           its surviving shard files; rejects the files
+//!                           if the recorded config fingerprints no longer
+//!                           match (exit 3)
 //!   --checkpoint-dir DIR    per-scenario mid-run snapshots; with
 //!                           --resume, interrupted scenarios restart
 //!                           from their last snapshot
 //!   --checkpoint-every SPEC snapshot cadence (see above)
-//!   --threads N             supervisor threads (default 4)
+//!   --threads N             fabric worker threads (default 4)
+//!   --shards N              work-queue/result-file shards (default: one
+//!                           per worker thread; never changes results)
 //!   --retries N             retry budget for transient failures (default 2)
+//!   --retry-backoff-ms N    base of the capped exponential backoff
+//!                           between retries (default 10, 0 disables)
 //!   --wall-timeout-ms N     wall-clock backstop per attempt (default 30000)
+//!   --max-wall-ms N         advisory whole-sweep wall budget: warns
+//!                           (SC025) when the worst-case retry schedule
+//!                           cannot fit in it
 //!   --watchdog-factor F     sim-time budget multiplier (default 64)
 //!   --max-events N          optional event-count budget (aborts a
 //!                           running simulation)
 //!   --budget N              pre-flight gate: scenarios whose *predicted*
 //!                           event count exceeds N are recorded as
 //!                           over-budget (SC018) without running
+//!   --cache-dir DIR         verified result cache: clean scenarios whose
+//!                           config fingerprint already has a verified
+//!                           entry are served byte-identically instead of
+//!                           re-simulated; corrupt or colliding entries
+//!                           are quarantined and re-simulated (SC026,
+//!                           SC027)
+//!   --fsync                 fsync every persisted record (crash-safe
+//!                           against OS-level failures, slower)
+//!   --drill                 run the self-chaos drill instead of a sweep:
+//!                           kill workers, SIGKILL a child mid-shard,
+//!                           tear result lines, bit-flip cache entries,
+//!                           and assert the merged report stays
+//!                           bit-identical to an undisturbed control run
+//!   --drill-dir DIR         scratch directory for the drill (default: a
+//!                           temp directory)
 //! ```
 //!
 //! Exit codes: `0` success, `1` sweep finished but some scenarios failed,
@@ -72,6 +98,7 @@
 //! latter also emits a single-line JSON error record on stderr:
 //! `{"tool":"wavesim","error":...,"diagnostics":[...]}`.
 
+use idle_waves::idlewave::sweep::drill::{run_drill, DrillOptions};
 use idle_waves::idlewave::sweep::{run_sweep, Scenario, SweepOptions};
 use idle_waves::idlewave::{model, speed, WaveExperiment, WaveTrace};
 use idle_waves::mpisim::{self, CheckpointPolicy, Engine, RunLimits, Snapshot};
@@ -365,6 +392,8 @@ struct SweepArgs {
     out_path: Option<String>,
     opts: SweepOptions,
     quiet: bool,
+    drill: bool,
+    drill_dir: Option<String>,
 }
 
 fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
@@ -373,6 +402,8 @@ fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
         out_path: None,
         opts: SweepOptions::default(),
         quiet: false,
+        drill: false,
+        drill_dir: None,
     };
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -381,20 +412,33 @@ fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
             "--out" => args.out_path = Some(value("--out")?),
             "--resume" => args.opts.resume = true,
             "--threads" => args.opts.threads = parse(&value("--threads")?)?,
+            "--shards" => args.opts.shards = Some(parse(&value("--shards")?)?),
             "--retries" => args.opts.retries = parse(&value("--retries")?)?,
+            "--retry-backoff-ms" => {
+                let ms: u64 = parse(&value("--retry-backoff-ms")?)?;
+                args.opts.retry_backoff = std::time::Duration::from_millis(ms);
+            }
             "--wall-timeout-ms" => {
                 let ms: u64 = parse(&value("--wall-timeout-ms")?)?;
                 args.opts.wall_timeout = std::time::Duration::from_millis(ms);
             }
+            "--max-wall-ms" => {
+                let ms: u64 = parse(&value("--max-wall-ms")?)?;
+                args.opts.max_wall = Some(std::time::Duration::from_millis(ms));
+            }
             "--watchdog-factor" => args.opts.watchdog_factor = parse(&value("--watchdog-factor")?)?,
             "--max-events" => args.opts.max_events = Some(parse(&value("--max-events")?)?),
             "--budget" => args.opts.budget = Some(parse(&value("--budget")?)?),
+            "--cache-dir" => args.opts.cache_dir = Some(value("--cache-dir")?.into()),
+            "--fsync" => args.opts.fsync = true,
             "--checkpoint-dir" => {
                 args.opts.checkpoint_dir = Some(value("--checkpoint-dir")?.into());
             }
             "--checkpoint-every" => {
                 args.opts.checkpoint = parse_checkpoint_every(&value("--checkpoint-every")?)?;
             }
+            "--drill" => args.drill = true,
+            "--drill-dir" => args.drill_dir = Some(value("--drill-dir")?),
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Err("usage".into()),
             other => return Err(format!("unknown sweep flag {other}")),
@@ -403,10 +447,61 @@ fn parse_sweep_args(mut it: std::env::Args) -> Result<SweepArgs, String> {
     if args.opts.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    if args.opts.shards == Some(0) {
+        return Err("--shards must be at least 1".into());
+    }
     if args.opts.checkpoint.is_active() && args.opts.checkpoint_dir.is_none() {
         return Err("--checkpoint-every needs --checkpoint-dir".into());
     }
+    if args.drill_dir.is_some() && !args.drill {
+        return Err("--drill-dir needs --drill".into());
+    }
     Ok(args)
+}
+
+/// `wavesim sweep --drill` — the fabric's self-chaos drill: kill workers,
+/// SIGKILL a child sweep mid-shard, tear result lines, bit-flip cache
+/// entries, and assert the merged report stays bit-identical to an
+/// undisturbed control run. Exit 0 when every phase passes, 1 otherwise.
+fn run_drill_command(args: &SweepArgs) -> ExitCode {
+    let dir = args
+        .drill_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("wavesim-drill"));
+    let opts = DrillOptions {
+        dir,
+        // This very binary is the child the SIGKILL phase murders.
+        exe: std::env::current_exe().ok(),
+        threads: args.opts.threads,
+    };
+    let report = match run_drill(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            emit_error_record(&format!("drill failed: {e}"), &[]);
+            return ExitCode::from(3);
+        }
+    };
+    if !args.quiet {
+        for p in &report.phases {
+            println!(
+                "drill {:13} {} — {}",
+                p.name,
+                if p.passed { "pass" } else { "FAIL" },
+                p.detail
+            );
+        }
+        println!(
+            "drill: {}/{} phases passed",
+            report.phases.iter().filter(|p| p.passed).count(),
+            report.phases.len()
+        );
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn run_sweep_command(it: std::env::Args) -> ExitCode {
@@ -421,6 +516,9 @@ fn run_sweep_command(it: std::env::Args) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.drill {
+        return run_drill_command(&args);
+    }
     let (Some(scenarios_path), Some(out_path)) = (&args.scenarios_path, &args.out_path) else {
         eprintln!("wavesim sweep: --scenarios and --out are required\n\n{SWEEP_USAGE}");
         return ExitCode::from(2);
@@ -454,6 +552,18 @@ fn run_sweep_command(it: std::env::Args) -> ExitCode {
             report.failures(),
             report.reused
         );
+        if args.opts.cache_dir.is_some() {
+            println!(
+                "cache: {} hits, {} misses, {} quarantined",
+                report.cache_hits, report.cache_misses, report.cache_quarantined
+            );
+        }
+        if report.retired_workers > 0 {
+            println!(
+                "fabric: {} worker(s) retired, work redistributed",
+                report.retired_workers
+            );
+        }
         for r in report.results.iter().filter(|r| !r.is_ok()) {
             println!(
                 "  {}: {} after {} attempt(s)",
@@ -720,7 +830,10 @@ prints the static budget report (schema budget-report-v1) as single-line
 JSON on stdout; --budget/--max-bytes gates exit 1 on SC018/SC023";
 
 const SWEEP_USAGE: &str = "usage: wavesim sweep --scenarios FILE.json --out FILE.jsonl
-               [--resume] [--threads N] [--retries N]
-               [--wall-timeout-ms N] [--watchdog-factor F]
-               [--max-events N] [--budget N] [--quiet]
-               [--checkpoint-dir DIR] [--checkpoint-every SPEC]";
+               [--resume] [--threads N] [--shards N]
+               [--retries N] [--retry-backoff-ms N]
+               [--wall-timeout-ms N] [--max-wall-ms N]
+               [--watchdog-factor F] [--max-events N] [--budget N]
+               [--cache-dir DIR] [--fsync] [--quiet]
+               [--checkpoint-dir DIR] [--checkpoint-every SPEC]
+       wavesim sweep --drill [--drill-dir DIR] [--threads N] [--quiet]";

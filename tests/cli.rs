@@ -562,3 +562,85 @@ fn sweep_usage_errors_exit_2() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn sweep_drill_passes_all_phases() {
+    let dir = tmpdir("drill");
+    let out = wavesim()
+        .args(["sweep", "--drill", "--drill-dir", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "drill failed:\n{stdout}\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("7/7 phases passed"), "{stdout}");
+    // The SIGKILL phase must have run for real — the binary spawns
+    // itself as the child, so it is never skipped here.
+    assert!(stdout.contains("drill sigkill"), "{stdout}");
+    assert!(!stdout.contains("skipped"), "{stdout}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn sweep_cache_serves_warm_reruns() {
+    let dir = tmpdir("sweep-cache");
+    let scenarios_path = dir.join("scenarios.json");
+    let cold_out = dir.join("cold.jsonl");
+    let warm_out = dir.join("warm.jsonl");
+    let cache_dir = dir.join("cache");
+    let dump = wavesim()
+        .args([
+            "--ranks",
+            "6",
+            "--steps",
+            "4",
+            "--texec-ms",
+            "1",
+            "--dump-config",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(dump.status.success());
+    let cfg = String::from_utf8_lossy(&dump.stdout);
+    std::fs::write(
+        &scenarios_path,
+        format!("[{{\"id\":\"only\",\"config\":{cfg}}}]"),
+    )
+    .expect("write scenarios");
+    let common = [
+        "sweep",
+        "--scenarios",
+        scenarios_path.to_str().unwrap(),
+        "--cache-dir",
+        cache_dir.to_str().unwrap(),
+    ];
+    let cold = wavesim()
+        .args(common)
+        .args(["--out", cold_out.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(cold.status.success(), "{cold:?}");
+    assert!(
+        String::from_utf8_lossy(&cold.stdout).contains("cache: 0 hits, 1 misses"),
+        "{cold:?}"
+    );
+    let warm = wavesim()
+        .args(common)
+        .args(["--out", warm_out.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(warm.status.success(), "{warm:?}");
+    assert!(
+        String::from_utf8_lossy(&warm.stdout).contains("cache: 1 hits, 0 misses"),
+        "{warm:?}"
+    );
+    assert_eq!(
+        std::fs::read(&cold_out).expect("cold"),
+        std::fs::read(&warm_out).expect("warm"),
+        "cache-served report must be bit-identical"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
