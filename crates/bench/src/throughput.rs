@@ -28,8 +28,13 @@
 //! file doubles as a determinism witness for the fabric. Older BENCH
 //! files without the section still parse (`sweeps` defaults to empty).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
+use idlewave::serve::client::{loadgen_scenarios, ServeClient};
+use idlewave::serve::protocol::{Reply, Request};
+use idlewave::serve::{run_serve, ServeOptions};
 use idlewave::sweep::{run_sweep, SweepOptions, SweepReport};
 use mpisim::{try_run_summary_pooled, Engine, EnginePools, RunLimits, RunSummary, SimConfig};
 use simdes::SimDuration;
@@ -135,6 +140,40 @@ pub struct BenchReport {
     /// Sweep-fabric measurements ([`run_sweeps`]); empty in BENCH files
     /// written before the fabric existed.
     pub sweeps: Vec<SweepResult>,
+    /// Scenario-service measurements ([`run_serves`]); empty in BENCH
+    /// files written before `wavesim serve` existed.
+    pub serve: Vec<ServeResult>,
+}
+
+/// Measured result of one scenario-service run: a request population
+/// submitted over TCP to an in-process `wavesim serve` instance and
+/// every terminal record read back — **requests per second** through the
+/// full wire path (framing, admission, journal, fabric, reply stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResult {
+    /// `serve-cold` (no result cache, every request simulated) or
+    /// `serve-warm` (a primed cache serves every request with zero
+    /// re-simulations, asserted via the service counters).
+    pub name: String,
+    /// Requests per timed run.
+    pub requests: u32,
+    /// Service worker threads.
+    pub threads: u32,
+    /// Timed iterations behind the numbers below.
+    pub iters: u32,
+    /// Fastest submit-to-last-record run, nanoseconds.
+    pub min_ns: u64,
+    /// Mean submit-to-last-record run, nanoseconds.
+    pub mean_ns: u64,
+    /// `requests / (min_ns / 1e9)` — the service's headline metric.
+    pub requests_per_sec: f64,
+    /// Cache hits per run (0 when cold, `requests` when warm).
+    pub cache_hits: u64,
+    /// FNV-1a digest of the sorted terminal-record bytes — identical
+    /// between the cold and warm rows of the same generation, and
+    /// comparable across BENCH files to catch service rewrites that
+    /// change results.
+    pub result_fnv: u64,
 }
 
 /// Measured result of one sweep-fabric run: a whole scenario suite
@@ -232,6 +271,7 @@ pub fn run_suite(scale: Scale, label: &str, iters: u32, warmup: u32) -> BenchRep
             .map(|s| run_scenario(s, iters, warmup))
             .collect(),
         sweeps: run_sweeps(scale, iters, warmup),
+        serve: run_serves(scale, iters, warmup),
     }
 }
 
@@ -340,6 +380,161 @@ pub fn run_sweeps(scale: Scale, iters: u32, warmup: u32) -> Vec<SweepResult> {
     ]
 }
 
+/// The serve benchmark population: the deterministic loadgen scenarios,
+/// sized so the wire path (framing, admission, journal append, reply
+/// stream) is a visible share of each request.
+pub fn serve_suite(scale: Scale) -> Vec<idlewave::sweep::Scenario> {
+    loadgen_scenarios(scale.pick(48, 6) as usize, 16, scale.pick(16, 4))
+}
+
+/// Submit the whole suite over one connection and read every terminal
+/// record back, returning the FNV-1a digest of the sorted record bytes.
+fn serve_round(addr: &str, suite: &[idlewave::sweep::Scenario]) -> u64 {
+    let mut client = ServeClient::connect(addr).unwrap_or_else(|e| panic!("bench connect: {e}"));
+    for s in suite {
+        client
+            .send(&Request::Submit(Box::new(s.clone())))
+            .unwrap_or_else(|e| panic!("bench submit: {e}"));
+    }
+    let mut records = Vec::new();
+    while records.len() < suite.len() {
+        match client.next_reply() {
+            Ok(Reply::Accepted { .. }) => {}
+            Ok(Reply::Result { record }) => records.push(record),
+            Ok(other) => panic!("bench serve: unexpected reply {other:?}"),
+            Err(e) => panic!("bench serve: reply stream failed: {e}"),
+        }
+    }
+    records.sort_by(|a, b| a.id.cmp(&b.id));
+    let mut bytes = Vec::new();
+    for r in &records {
+        assert_eq!(
+            r.status,
+            idlewave::sweep::ScenarioStatus::Ok,
+            "bench serve: request '{}' did not complete clean: {r:?}",
+            r.id
+        );
+        bytes.extend_from_slice(json::to_string(&r.to_json()).as_bytes());
+        bytes.push(b'\n');
+    }
+    fnv1a_64(&bytes)
+}
+
+/// Time the scenario service end-to-end, cold then warm: `serve-cold`
+/// runs without a result cache so every request is simulated;
+/// `serve-warm` primes a cache once and then serves every request from
+/// it, asserted through the service's own hit/miss counters. Both rows
+/// assert the terminal-record bytes are bit-identical across iterations
+/// and to each other — the published number always measures the
+/// deterministic service, never a lucky race.
+///
+/// # Panics
+/// Panics when the service fails to start, a request does not complete
+/// clean, the warm row re-simulates, or the record bytes diverge.
+pub fn run_serves(scale: Scale, iters: u32, warmup: u32) -> Vec<ServeResult> {
+    let suite = serve_suite(scale);
+    let n = suite.len();
+    let threads = 4usize;
+    static CALL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let call = CALL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("wavesim-bench-serve-{}-{call}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let start = |opts: ServeOptions| {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let (tx, rx) = mpsc::channel();
+        let join = std::thread::spawn(move || {
+            run_serve(&opts, &flag, |addr| {
+                let _ = tx.send(addr.to_string());
+            })
+        });
+        let addr = rx
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|e| panic!("bench serve never became ready: {e}"));
+        (addr, shutdown, join)
+    };
+    let stop = |shutdown: Arc<AtomicBool>, join: std::thread::JoinHandle<_>| {
+        shutdown.store(true, Ordering::SeqCst);
+        let report: std::io::Result<idlewave::serve::ServeReport> = join
+            .join()
+            .unwrap_or_else(|_| panic!("bench serve panicked"));
+        report.unwrap_or_else(|e| panic!("bench serve failed: {e}"))
+    };
+
+    let mut fnv: Option<u64> = None;
+    let mut check = |label: &str, d: u64| {
+        if let Some(prev) = fnv {
+            assert_eq!(
+                prev, d,
+                "bench {label} serve produced different records — \
+                 the service is nondeterministic"
+            );
+        }
+        fnv = Some(d);
+    };
+
+    // Cold: no cache configured, so every request simulates.
+    let (addr, shutdown, join) = start(ServeOptions {
+        dir: dir.join("cold"),
+        threads,
+        queue_cap: n.max(1),
+        ..ServeOptions::default()
+    });
+    let cold = harness::time_kernel_n("serve-cold", iters, warmup, || {
+        check("cold", serve_round(&addr, &suite));
+    });
+    let report = stop(shutdown, join);
+    assert_eq!(
+        report.stats.cache_hits, 0,
+        "bench cold serve hit a cache that should not exist"
+    );
+
+    // Warm: prime the cache once, then every timed round is all hits.
+    let (addr, shutdown, join) = start(ServeOptions {
+        dir: dir.join("warm"),
+        threads,
+        queue_cap: n.max(1),
+        cache_dir: Some(dir.join("cache")),
+        ..ServeOptions::default()
+    });
+    check("prime", serve_round(&addr, &suite));
+    let mut rounds = 0u64;
+    let warm = harness::time_kernel_n("serve-warm", iters, warmup, || {
+        check("warm", serve_round(&addr, &suite));
+        rounds += 1;
+    });
+    let report = stop(shutdown, join);
+    assert_eq!(
+        report.stats.cache_misses, n as u64,
+        "bench warm serve re-simulated after the priming round"
+    );
+    assert_eq!(
+        report.stats.cache_hits,
+        rounds * n as u64,
+        "bench warm serve broke the cold/warm cache contract"
+    );
+
+    let fnv = fnv.expect("at least one serve round ran");
+    let _ = std::fs::remove_dir_all(&dir);
+    let row = |name: &str, timing: &harness::KernelTiming, hits: u64| ServeResult {
+        name: name.to_string(),
+        requests: n as u32,
+        threads: threads as u32,
+        iters: timing.iters,
+        min_ns: duration_ns(timing.min),
+        mean_ns: duration_ns(timing.mean),
+        requests_per_sec: per_sec(n as u64, timing.min),
+        cache_hits: hits,
+        result_fnv: fnv,
+    };
+    vec![
+        row("serve-cold", &cold, 0),
+        row("serve-warm", &warm, n as u64),
+    ]
+}
+
 fn duration_ns(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
@@ -418,6 +613,38 @@ impl FromJson for SweepResult {
     }
 }
 
+impl ToJson for ServeResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("requests", self.requests.to_json()),
+            ("threads", self.threads.to_json()),
+            ("iters", self.iters.to_json()),
+            ("min_ns", self.min_ns.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("requests_per_sec", self.requests_per_sec.to_json()),
+            ("cache_hits", self.cache_hits.to_json()),
+            ("result_fnv", self.result_fnv.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ServeResult {
+    fn from_json(v: &Json) -> json::Result<Self> {
+        Ok(ServeResult {
+            name: String::from_json(v.field("name")?)?,
+            requests: u32::from_json(v.field("requests")?)?,
+            threads: u32::from_json(v.field("threads")?)?,
+            iters: u32::from_json(v.field("iters")?)?,
+            min_ns: u64::from_json(v.field("min_ns")?)?,
+            mean_ns: u64::from_json(v.field("mean_ns")?)?,
+            requests_per_sec: f64::from_json(v.field("requests_per_sec")?)?,
+            cache_hits: u64::from_json(v.field("cache_hits")?)?,
+            result_fnv: u64::from_json(v.field("result_fnv")?)?,
+        })
+    }
+}
+
 impl ToJson for BenchReport {
     fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -426,6 +653,7 @@ impl ToJson for BenchReport {
             ("label", self.label.to_json()),
             ("scenarios", self.scenarios.to_json()),
             ("sweeps", self.sweeps.to_json()),
+            ("serve", self.serve.to_json()),
         ])
     }
 }
@@ -449,6 +677,8 @@ impl FromJson for BenchReport {
             scenarios: Vec::<ScenarioResult>::from_json(v.field("scenarios")?)?,
             // Absent in BENCH files written before the sweep fabric.
             sweeps: json::field_or_default(v, "sweeps")?,
+            // Absent in BENCH files written before the scenario service.
+            serve: json::field_or_default(v, "serve")?,
         })
     }
 }
@@ -512,6 +742,32 @@ pub fn validate(text: &str) -> Result<BenchReport, String> {
         .any(|w| w[0].report_fnv != w[1].report_fnv)
     {
         return Err("sweep rows disagree on the merged-report digest".to_string());
+    }
+    for s in &report.serve {
+        if s.name.is_empty() {
+            return Err("a serve row has an empty name".to_string());
+        }
+        if s.requests == 0 || s.threads == 0 || s.iters == 0 || s.min_ns == 0 {
+            return Err(format!("serve row '{}' has a zero-valued field", s.name));
+        }
+        if s.mean_ns < s.min_ns {
+            return Err(format!("serve row '{}': mean_ns < min_ns", s.name));
+        }
+        let derived = s.requests as f64 / (s.min_ns as f64 / 1e9);
+        let err = (s.requests_per_sec - derived).abs() / derived.max(1.0);
+        if !(s.requests_per_sec.is_finite() && err < 0.01) {
+            return Err(format!(
+                "serve row '{}': requests_per_sec {} inconsistent with requests/min_ns {derived}",
+                s.name, s.requests_per_sec
+            ));
+        }
+    }
+    if report
+        .serve
+        .windows(2)
+        .any(|w| w[0].result_fnv != w[1].result_fnv)
+    {
+        return Err("serve rows disagree on the record digest".to_string());
     }
     Ok(report)
 }
@@ -606,6 +862,26 @@ pub fn compare(
         }
         speedups.push((b.name.clone(), ratio));
     }
+    // Serve rows joined the trajectory with the scenario service; like
+    // sweep rows, compare whatever the two reports share.
+    for b in &baseline.serve {
+        let Some(c) = current.serve.iter().find(|c| c.name == b.name) else {
+            continue;
+        };
+        let ratio = c.requests_per_sec / b.requests_per_sec;
+        if ratio < 1.0 - max_regression {
+            return Err(format!(
+                "serve row '{}' regressed: {:.0} requests/s vs baseline {:.0} \
+                 ({:.1}% of baseline, threshold {:.0}%)",
+                b.name,
+                c.requests_per_sec,
+                b.requests_per_sec,
+                ratio * 100.0,
+                (1.0 - max_regression) * 100.0
+            ));
+        }
+        speedups.push((b.name.clone(), ratio));
+    }
     Ok(speedups)
 }
 
@@ -674,6 +950,36 @@ pub fn render(report: &BenchReport) -> String {
             &sweep_rows,
         ));
     }
+    if !report.serve.is_empty() {
+        let serve_rows: Vec<Vec<String>> = report
+            .serve
+            .iter()
+            .map(|s| {
+                vec![
+                    s.name.clone(),
+                    s.requests.to_string(),
+                    s.threads.to_string(),
+                    format!("{:.3}", s.min_ns as f64 / 1e6),
+                    format!("{:.0}", s.requests_per_sec),
+                    s.cache_hits.to_string(),
+                    format!("{:#018x}", s.result_fnv),
+                ]
+            })
+            .collect();
+        out.push_str("\nscenario service\n");
+        out.push_str(&crate::table(
+            &[
+                "serve",
+                "requests",
+                "threads",
+                "min [ms]",
+                "requests/s",
+                "hits",
+                "result fnv",
+            ],
+            &serve_rows,
+        ));
+    }
     out
 }
 
@@ -690,6 +996,7 @@ mod tests {
             label: "test".to_string(),
             scenarios: vec![run_scenario(&s, 1, 0)],
             sweeps: run_sweeps(Scale::Quick, 1, 0),
+            serve: run_serves(Scale::Quick, 1, 0),
         }
     }
 
@@ -716,6 +1023,7 @@ mod tests {
                 entry("wave-4096", 4096, 4e6),
             ],
             sweeps: Vec::new(),
+            serve: Vec::new(),
         };
         assert_eq!(events_per_sec_for(&report, 200), Some(6e6));
         assert_eq!(events_per_sec_for(&report, 1024), Some(5e6));
@@ -726,6 +1034,7 @@ mod tests {
             label: "none".to_string(),
             scenarios: Vec::new(),
             sweeps: Vec::new(),
+            serve: Vec::new(),
         };
         assert_eq!(events_per_sec_for(&empty, 64), None);
     }
@@ -819,6 +1128,23 @@ mod tests {
         // published rows must carry that shared digest.
         assert_eq!(cold.report_fnv, warm.report_fnv);
         assert!(cold.scenarios_per_sec > 0.0 && warm.scenarios_per_sec > 0.0);
+    }
+
+    #[test]
+    fn serve_rows_obey_the_cold_warm_contract() {
+        let rows = run_serves(Scale::Quick, 1, 0);
+        assert_eq!(rows.len(), 2);
+        let n = serve_suite(Scale::Quick).len() as u64;
+        let (cold, warm) = (&rows[0], &rows[1]);
+        assert_eq!(cold.name, "serve-cold");
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(warm.name, "serve-warm");
+        assert_eq!(warm.cache_hits, n);
+        // run_serves itself asserts the record bytes never changed and
+        // that the warm rounds were all hits; the published rows must
+        // carry that shared digest.
+        assert_eq!(cold.result_fnv, warm.result_fnv);
+        assert!(cold.requests_per_sec > 0.0 && warm.requests_per_sec > 0.0);
     }
 
     #[test]

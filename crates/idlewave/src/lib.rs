@@ -47,6 +47,7 @@ pub mod hierarchy;
 pub mod interaction;
 pub mod model;
 pub mod scenarios;
+pub mod serve;
 pub mod spectrum;
 pub mod speed;
 pub mod sweep;

@@ -1,0 +1,776 @@
+//! The serve self-chaos drill: the service attacking itself.
+//!
+//! `wavesim serve --drill` establishes an undisturbed control run of a
+//! fixed six-submission suite, then re-runs the suite under every
+//! failure mode the robustness envelope claims to survive, asserting
+//! after each phase that every completed submission's result record is
+//! **byte-identical** to the control's:
+//!
+//! 1. `control` — a healthy server runs the suite once; its record
+//!    bytes are the yardstick for every later phase.
+//! 2. `admission` — an invalid config and an over-budget config are
+//!    refused with SC diagnostics (`SC004`/`SC018`, summarised by
+//!    `SC028`) without costing a worker; a valid submission on the same
+//!    connection still completes identically.
+//! 3. `overload` — one worker, a one-slot queue, and a three-connection
+//!    burst: submissions are shed with `overloaded` + retry-after
+//!    (`SC029`), the clients' jittered retries absorb the shedding, and
+//!    the completed records still match the control.
+//! 4. `malformed` — garbage JSON, an oversized line, and an unknown
+//!    record type each get a structured `error` reply; the connection
+//!    and server keep serving identically.
+//! 5. `isolation` — a scenario that panics inside the worker becomes a
+//!    `panic` record (not a dead server), and a client that disconnects
+//!    mid-stream has its queued jobs cancelled while everything else
+//!    keeps running; resubmission completes identically.
+//! 6. `drain` — a `drain` request (the request-shaped twin of SIGTERM)
+//!    stops admissions, every in-flight job finishes and flushes, and
+//!    the server exits cleanly with identical records.
+//! 7. `sigkill-recovery` — a real `wavesim serve` child is SIGKILLed
+//!    mid-suite; a restart over the same directory replays the journal,
+//!    re-runs the pending jobs, and serves all six records identically
+//!    over `query`. Skipped (as passed) when no executable is supplied.
+//! 8. `cache-warm` — with a shared result cache, a repeat of the whole
+//!    suite is served from verified cache entries: six hits, zero new
+//!    misses, zero re-simulations, identical bytes.
+//!
+//! The drill reuses the sweep drill's report types so the CLI prints
+//! both the same way; `scripts/verify.sh` and CI run it through the
+//! binary with the SIGKILL phase live.
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use tracefmt::json::{self, Json};
+
+use super::client::{loadgen_scenarios, ServeClient};
+use super::protocol::{Reply, Request};
+use super::{run_serve, ServeOptions, ServeReport};
+use crate::sweep::drill::{DrillReport, PhaseOutcome};
+use crate::sweep::{Chaos, Scenario, ScenarioResult, ScenarioStatus};
+
+/// How to run the serve drill.
+#[derive(Debug, Clone)]
+pub struct ServeDrillOptions {
+    /// Scratch directory for journals and the cache (created if missing;
+    /// reused state is deleted first).
+    pub dir: PathBuf,
+    /// The `wavesim` executable the SIGKILL phase spawns and kills. With
+    /// `None` that phase is skipped (and says so).
+    pub exe: Option<PathBuf>,
+}
+
+impl ServeDrillOptions {
+    /// Drill in `dir` with no child executable.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ServeDrillOptions {
+            dir: dir.into(),
+            exe: None,
+        }
+    }
+}
+
+/// The fixed six-submission drill suite — the deterministic loadgen
+/// population, so the child-process phase can regenerate it bit-for-bit.
+fn drill_suite() -> Vec<Scenario> {
+    loadgen_scenarios(6, 6, 4)
+}
+
+/// A deliberate blocker: hangs inside the single worker for a known
+/// interval, so the isolation phase can orphan the queue behind it
+/// without racing a real simulation's runtime.
+fn blocker_scenario() -> Scenario {
+    let mut s = drill_suite().remove(0);
+    s.id = "blocker".to_string();
+    s.chaos = Chaos::Hang(Duration::from_millis(1500));
+    s
+}
+
+/// An in-process server plus the handles to stop it.
+struct TestServer {
+    addr: String,
+    shutdown: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<io::Result<ServeReport>>,
+}
+
+impl TestServer {
+    fn start(opts: ServeOptions) -> io::Result<TestServer> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let (tx, rx) = mpsc::channel();
+        let join = std::thread::spawn(move || {
+            run_serve(&opts, &flag, |addr| {
+                let _ = tx.send(addr.to_string());
+            })
+        });
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(addr) => Ok(TestServer {
+                addr,
+                shutdown,
+                join,
+            }),
+            Err(_) => {
+                shutdown.store(true, Ordering::SeqCst);
+                match join.join() {
+                    Ok(Err(e)) => Err(e),
+                    _ => Err(io::Error::other("server never reported ready")),
+                }
+            }
+        }
+    }
+
+    fn stop(self) -> io::Result<ServeReport> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join
+            .join()
+            .map_err(|_| io::Error::other("server thread panicked"))?
+    }
+}
+
+/// Submit `scenarios` over one connection and collect their terminal
+/// records (sorted by id), failing on any non-accept reply.
+fn submit_all(addr: &str, scenarios: &[Scenario]) -> io::Result<Vec<ScenarioResult>> {
+    let mut client = ServeClient::connect(addr)?;
+    for s in scenarios {
+        client.send(&Request::Submit(Box::new(s.clone())))?;
+    }
+    let mut results = Vec::new();
+    while results.len() < scenarios.len() {
+        match client.next_reply()? {
+            Reply::Accepted { .. } => {}
+            Reply::Result { record } => results.push(record),
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected reply during a clean submit: {other:?}"
+                )))
+            }
+        }
+    }
+    results.sort_by(|a, b| a.id.cmp(&b.id));
+    Ok(results)
+}
+
+/// Record bytes keyed by id — the unit of the byte-identity assertions.
+fn record_bytes(results: &[ScenarioResult]) -> BTreeMap<String, String> {
+    results
+        .iter()
+        .map(|r| (r.id.clone(), json::to_string(r)))
+        .collect()
+}
+
+fn verdict(identical: bool) -> &'static str {
+    if identical {
+        "records bit-identical to the control"
+    } else {
+        "records DIVERGED from the control"
+    }
+}
+
+/// Poll `probe` (about every 10 ms, bounded) until it returns true.
+fn wait_until(tries: usize, mut probe: impl FnMut() -> bool) -> bool {
+    for _ in 0..tries {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Run the full serve drill. `Err` is reserved for scratch-directory and
+/// harness I/O trouble; failure modes the service fails to absorb show
+/// up as failed phases in the report, not errors.
+pub fn run_drill(opts: &ServeDrillOptions) -> io::Result<DrillReport> {
+    let _ = std::fs::remove_dir_all(&opts.dir);
+    std::fs::create_dir_all(&opts.dir)?;
+    let suite = drill_suite();
+    let base = ServeOptions {
+        dir: opts.dir.join("control"),
+        threads: 2,
+        queue_cap: 16,
+        fsync: true,
+        ..ServeOptions::default()
+    };
+    let mut phases = Vec::new();
+
+    // Phase 1: the undisturbed control run everything is measured against.
+    let server = TestServer::start(base.clone())?;
+    let results = submit_all(&server.addr, &suite)?;
+    server.stop()?;
+    let control = record_bytes(&results);
+    let all_ok = results.iter().all(|r| r.status == ScenarioStatus::Ok);
+    if !(all_ok && control.len() == suite.len()) {
+        phases.push(PhaseOutcome {
+            name: "control",
+            passed: false,
+            detail: format!(
+                "the undisturbed control run produced {} clean record(s) of {}; \
+                 nothing to compare against",
+                results
+                    .iter()
+                    .filter(|r| r.status == ScenarioStatus::Ok)
+                    .count(),
+                suite.len()
+            ),
+        });
+        return Ok(DrillReport { phases });
+    }
+    phases.push(PhaseOutcome {
+        name: "control",
+        passed: true,
+        detail: format!(
+            "{} submissions completed clean; control records established",
+            control.len()
+        ),
+    });
+
+    phases.push(admission_phase(opts, &suite, &control)?);
+    phases.push(overload_phase(opts, &control)?);
+    phases.push(malformed_phase(opts, &suite, &control)?);
+    phases.push(isolation_phase(opts, &suite, &control)?);
+    phases.push(drain_phase(opts, &suite, &control)?);
+    phases.push(match &opts.exe {
+        Some(exe) => sigkill_phase(opts, exe, &suite, &control)?,
+        None => PhaseOutcome {
+            name: "sigkill-recovery",
+            passed: true,
+            detail: "skipped: no wavesim executable supplied".to_string(),
+        },
+    });
+    phases.push(cache_warm_phase(opts, &suite, &control)?);
+
+    Ok(DrillReport { phases })
+}
+
+/// Phase 2: admission control refuses bad and over-budget configs with
+/// SC diagnostics, and keeps serving good ones.
+fn admission_phase(
+    opts: &ServeDrillOptions,
+    suite: &[Scenario],
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("admission"),
+        threads: 1,
+        // A budget every drill scenario exceeds, so the gate is visible.
+        admission_budget: Some(1),
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let mut client = ServeClient::connect(&server.addr)?;
+
+    // An analyzably-invalid config: zero-byte messages.
+    let mut invalid = suite[0].clone();
+    invalid.id = "invalid".to_string();
+    invalid.config.msg_bytes = 0;
+    client.send(&Request::Submit(Box::new(invalid)))?;
+    let invalid_ok = match client.next_reply()? {
+        Reply::Rejected { diagnostics, .. } => {
+            let codes: Vec<&str> = diagnostics
+                .iter()
+                .filter_map(|d| d.get("code").and_then(Json::as_str))
+                .collect();
+            codes.contains(&"SC004") && codes.last() == Some(&"SC028")
+        }
+        _ => false,
+    };
+
+    // A clean config over the service's admission budget.
+    client.send(&Request::Submit(Box::new(suite[1].clone())))?;
+    let budget_ok = match client.next_reply()? {
+        Reply::Rejected { diagnostics, .. } => diagnostics
+            .iter()
+            .any(|d| d.get("code").and_then(Json::as_str) == Some("SC018")),
+        _ => false,
+    };
+    drop(client);
+    server.stop()?;
+
+    // A budget-free server still completes the same submission identically.
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("admission-pass"),
+        threads: 1,
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let results = submit_all(&server.addr, &suite[..1])?;
+    server.stop()?;
+    let identical = record_bytes(&results)
+        .iter()
+        .all(|(id, bytes)| control.get(id) == Some(bytes));
+    Ok(PhaseOutcome {
+        name: "admission",
+        passed: invalid_ok && budget_ok && identical,
+        detail: format!(
+            "invalid config {} (SC004+SC028), over-budget config {} (SC018), \
+             clean resubmission {}",
+            refused(invalid_ok),
+            refused(budget_ok),
+            verdict(identical)
+        ),
+    })
+}
+
+fn refused(ok: bool) -> &'static str {
+    if ok {
+        "refused with diagnostics"
+    } else {
+        "NOT refused as expected"
+    }
+}
+
+/// Phase 3: a one-worker, one-slot server under a three-connection burst
+/// sheds load explicitly and still converges to the control records.
+fn overload_phase(
+    opts: &ServeDrillOptions,
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("overload"),
+        threads: 1,
+        queue_cap: 1,
+        retry_after: Duration::from_millis(25),
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let report = super::client::run_loadgen(&super::client::LoadgenOptions {
+        addr: server.addr.clone(),
+        requests: 6,
+        connections: 3,
+        ranks: 6,
+        steps: 4,
+        ..super::client::LoadgenOptions::default()
+    })?;
+    let server_report = server.stop()?;
+    let identical = record_bytes(&report.results)
+        .iter()
+        .all(|(id, bytes)| control.get(id) == Some(bytes))
+        && report.results.len() == control.len();
+    let shed = server_report.stats.shed;
+    Ok(PhaseOutcome {
+        name: "overload",
+        passed: identical && shed > 0 && report.overload_retries == shed,
+        detail: format!(
+            "1 worker / 1 queue slot under a 3-connection burst: {} submissions \
+             shed with retry-after, {} client retries absorbed them, {}",
+            shed,
+            report.overload_retries,
+            verdict(identical)
+        ),
+    })
+}
+
+/// Phase 4: protocol garbage gets structured `error` replies and the
+/// connection keeps serving.
+fn malformed_phase(
+    opts: &ServeDrillOptions,
+    suite: &[Scenario],
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("malformed"),
+        threads: 1,
+        max_line_bytes: 4096,
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let mut client = ServeClient::connect(&server.addr)?;
+    let mut errors = Vec::new();
+    for bad in [
+        "{oops".to_string(),
+        format!("{{\"type\":\"submit\",\"pad\":\"{}\"}}", "x".repeat(8192)),
+        "{\"type\":\"frobnicate\"}".to_string(),
+    ] {
+        client.send_raw(&bad)?;
+        match client.next_reply()? {
+            Reply::Error { error } => errors.push(error),
+            other => {
+                return Err(io::Error::other(format!(
+                    "expected an error reply to garbage, got {other:?}"
+                )))
+            }
+        }
+    }
+    let errors_ok = errors.len() == 3
+        && errors[0].contains("malformed JSON")
+        && errors[1].contains("line exceeds")
+        && errors[2].contains("unknown record type");
+    // The same connection still serves a clean submission.
+    client.send(&Request::Submit(Box::new(suite[0].clone())))?;
+    let mut result = None;
+    while result.is_none() {
+        match client.next_reply()? {
+            Reply::Accepted { .. } => {}
+            Reply::Result { record } => result = Some(record),
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected reply after garbage: {other:?}"
+                )))
+            }
+        }
+    }
+    drop(client);
+    server.stop()?;
+    let record = result.expect("loop exits with a record");
+    let identical = control.get(&record.id) == Some(&json::to_string(&record));
+    Ok(PhaseOutcome {
+        name: "malformed",
+        passed: errors_ok && identical,
+        detail: format!(
+            "garbage, oversized, and unknown lines {} structured error replies; \
+             the same connection then completed a submission, {}",
+            if errors_ok {
+                "all drew"
+            } else {
+                "did NOT all draw"
+            },
+            verdict(identical)
+        ),
+    })
+}
+
+/// Phase 5: a panicking job is a record, not a dead server; a mid-stream
+/// disconnect cancels the orphaned queue and nothing else.
+fn isolation_phase(
+    opts: &ServeDrillOptions,
+    suite: &[Scenario],
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("isolation"),
+        threads: 1,
+        queue_cap: 16,
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+
+    // A worker panic must come back as a `panic` record.
+    let mut panicker = suite[0].clone();
+    panicker.id = "panicker".to_string();
+    panicker.chaos = Chaos::Panic;
+    let mut client = ServeClient::connect(&server.addr)?;
+    client.send(&Request::Submit(Box::new(panicker)))?;
+    let panic_ok = loop {
+        match client.next_reply()? {
+            Reply::Accepted { .. } => {}
+            Reply::Result { record } => break record.status == ScenarioStatus::Panicked,
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected reply to the panicking job: {other:?}"
+                )))
+            }
+        }
+    };
+
+    // Block the single worker with a hanging job, queue the suite behind
+    // it, then vanish: the queued suite is orphaned and cancelled.
+    let mut doomed = ServeClient::connect(&server.addr)?;
+    doomed.send(&Request::Submit(Box::new(blocker_scenario())))?;
+    match doomed.next_reply()? {
+        Reply::Accepted { .. } => {}
+        other => return Err(io::Error::other(format!("blocker not accepted: {other:?}"))),
+    }
+    let inflight = wait_until(600, || {
+        client
+            .stats()
+            .map(|s| s.inflight == 1 && s.queued == 0)
+            .unwrap_or(false)
+    });
+    if !inflight {
+        return Err(io::Error::other("the blocker never reached a worker"));
+    }
+    for s in suite {
+        doomed.send(&Request::Submit(Box::new(s.clone())))?;
+        match doomed.next_reply()? {
+            Reply::Accepted { .. } => {}
+            other => return Err(io::Error::other(format!("suite not accepted: {other:?}"))),
+        }
+    }
+    drop(doomed); // mid-stream disconnect: six queued jobs orphaned
+    let drained = wait_until(6000, || {
+        client
+            .stats()
+            .map(|s| s.queued == 0 && s.inflight == 0)
+            .unwrap_or(false)
+    });
+    if !drained {
+        return Err(io::Error::other("the orphaned queue never drained"));
+    }
+    let stats = client.stats()?;
+    let cancelled = stats.cancelled;
+    let alive = client.ping(42)? == 42;
+
+    // The server is intact: resubmitting the suite completes identically.
+    let results = submit_all(&server.addr, suite)?;
+    server.stop()?;
+    let identical = record_bytes(&results)
+        .iter()
+        .all(|(id, bytes)| control.get(id) == Some(bytes))
+        && results.len() == suite.len();
+    Ok(PhaseOutcome {
+        name: "isolation",
+        passed: panic_ok && alive && cancelled == suite.len() as u64 && identical,
+        detail: format!(
+            "worker panic {} a panic record; disconnect orphaned the queue \
+             ({cancelled} job(s) cancelled, server {}); resubmission {}",
+            if panic_ok { "became" } else { "did NOT become" },
+            if alive { "still answering" } else { "DEAD" },
+            verdict(identical)
+        ),
+    })
+}
+
+/// Phase 6: a `drain` request finishes and flushes everything already
+/// admitted, then the server exits cleanly.
+fn drain_phase(
+    opts: &ServeDrillOptions,
+    suite: &[Scenario],
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("drain"),
+        threads: 2,
+        queue_cap: 16,
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let mut client = ServeClient::connect(&server.addr)?;
+    for s in suite {
+        client.send(&Request::Submit(Box::new(s.clone())))?;
+    }
+    client.send(&Request::Drain)?;
+    // The reply stream now interleaves accepts, the draining ack, and
+    // every admitted job's result — all of which must still arrive.
+    // One connection processes requests in order, so all six submits are
+    // admitted before the drain is handled.
+    let mut results = Vec::new();
+    let mut saw_draining = false;
+    let mut accepted = 0usize;
+    while results.len() < suite.len() || !saw_draining {
+        match client.next_reply()? {
+            Reply::Accepted { .. } => accepted += 1,
+            Reply::Draining => saw_draining = true,
+            Reply::Result { record } => results.push(record),
+            Reply::Rejected { id, error, .. } => {
+                return Err(io::Error::other(format!(
+                    "'{id}' rejected mid-drain: {error}"
+                )))
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "unexpected reply mid-drain: {other:?}"
+                )))
+            }
+        }
+    }
+    drop(client);
+    let report = server.stop()?;
+    results.sort_by(|a, b| a.id.cmp(&b.id));
+    let identical = record_bytes(&results)
+        .iter()
+        .all(|(id, bytes)| control.get(id) == Some(bytes))
+        && results.len() == accepted;
+    Ok(PhaseOutcome {
+        name: "drain",
+        passed: identical && saw_draining && report.stats.draining && accepted == suite.len(),
+        detail: format!(
+            "drain after {} accepts: ack {}, all in-flight work finished \
+             before exit, {}",
+            accepted,
+            if saw_draining { "received" } else { "MISSING" },
+            verdict(identical)
+        ),
+    })
+}
+
+/// Phase 7: SIGKILL a real child server mid-suite, restart over the same
+/// directory, and read all six records back over `query`.
+fn sigkill_phase(
+    opts: &ServeDrillOptions,
+    exe: &Path,
+    suite: &[Scenario],
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let dir = opts.dir.join("sigkill");
+    let mut child = std::process::Command::new(exe)
+        .arg("serve")
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "1",
+            "--fsync",
+            "--quiet",
+        ])
+        .args(["--dir"])
+        .arg(&dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| io::Error::other("no child stdout"))?;
+    let mut ready = String::new();
+    BufReader::new(stdout).read_line(&mut ready)?;
+    let addr = Json::parse(ready.trim())
+        .ok()
+        .and_then(|v| v.get("addr").and_then(Json::as_str).map(str::to_string))
+        .ok_or_else(|| io::Error::other(format!("unparseable ready line: {ready:?}")))?;
+
+    // Park the child's single worker on the blocker first so the suite is
+    // provably still pending when the SIGKILL lands — the real jobs are
+    // fast enough to outrun a naive "kill mid-flight" race.
+    let mut client = ServeClient::connect(&addr)?;
+    client.send(&Request::Submit(Box::new(blocker_scenario())))?;
+    for s in suite {
+        client.send(&Request::Submit(Box::new(s.clone())))?;
+    }
+    // Read until every submit is acknowledged. Results may interleave with
+    // later accepts — that is fine, the journal still holds them; only a
+    // rejection or shed is a phase failure.
+    let mut accepted = 0;
+    while accepted < suite.len() + 1 {
+        match client.next_reply()? {
+            Reply::Accepted { .. } => accepted += 1,
+            Reply::Result { .. } => {}
+            other => {
+                return Err(io::Error::other(format!(
+                    "child refused a submit: {other:?}"
+                )))
+            }
+        }
+    }
+    // Every job is journaled (accept follows the durable append), and the
+    // worker is hanging on the blocker. SIGKILL: no drain, no cleanup —
+    // the journal is the truth.
+    let journal = dir.join("journal.jsonl");
+    let done_lines = || -> usize {
+        std::fs::read_to_string(&journal)
+            .map(|s| s.lines().filter(|l| l.contains("\"done\"")).count())
+            .unwrap_or(0)
+    };
+    child.kill()?;
+    let _ = child.wait();
+    drop(client);
+    let killed_done = done_lines();
+
+    // Restart in-process over the same directory and query everything.
+    let server = TestServer::start(ServeOptions {
+        dir: dir.clone(),
+        threads: 1,
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let mut client = ServeClient::connect(&server.addr)?;
+    let mut results = Vec::new();
+    for s in suite {
+        let mut polls = 0;
+        loop {
+            match client.query(&s.id)? {
+                Some(record) => {
+                    results.push(record);
+                    break;
+                }
+                None if polls < 1200 => {
+                    polls += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                None => return Err(io::Error::other(format!("'{}' never recovered", s.id))),
+            }
+        }
+    }
+    drop(client);
+    let report = server.stop()?;
+    results.sort_by(|a, b| a.id.cmp(&b.id));
+    let identical = record_bytes(&results)
+        .iter()
+        .all(|(id, bytes)| control.get(id) == Some(bytes))
+        && results.len() == suite.len();
+    Ok(PhaseOutcome {
+        name: "sigkill-recovery",
+        passed: identical && killed_done < suite.len(),
+        detail: format!(
+            "SIGKILLed the child with its worker parked on a blocker \
+             ({killed_done}/{} journaled done), restart recovered {} pending \
+             job(s) and served every record over query, {}",
+            suite.len(),
+            report.stats.recovered,
+            verdict(identical)
+        ),
+    })
+}
+
+/// Phase 8: a warm shared cache serves the repeated suite with zero
+/// re-simulations.
+fn cache_warm_phase(
+    opts: &ServeDrillOptions,
+    suite: &[Scenario],
+    control: &BTreeMap<String, String>,
+) -> io::Result<PhaseOutcome> {
+    let cache_dir = opts.dir.join("cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = TestServer::start(ServeOptions {
+        dir: opts.dir.join("cache-serve"),
+        threads: 2,
+        cache_dir: Some(cache_dir),
+        fsync: true,
+        ..ServeOptions::default()
+    })?;
+    let cold = submit_all(&server.addr, suite)?;
+    let warm = submit_all(&server.addr, suite)?;
+    let report = server.stop()?;
+    let identical = record_bytes(&cold)
+        .iter()
+        .chain(record_bytes(&warm).iter())
+        .all(|(id, bytes)| control.get(id) == Some(bytes));
+    let counters_ok = report.stats.cache_misses == suite.len() as u64
+        && report.stats.cache_hits == suite.len() as u64;
+    Ok(PhaseOutcome {
+        name: "cache-warm",
+        passed: identical && counters_ok,
+        detail: format!(
+            "cold pass {} misses / warm pass {} hits — zero re-simulations on \
+             repeat, verified by the counters; both passes {}",
+            report.stats.cache_misses,
+            report.stats.cache_hits,
+            verdict(identical)
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full in-process serve drill (SIGKILL phase skipped: the test
+    /// binary is not `wavesim`). CI additionally runs it through the
+    /// binary with the SIGKILL phase live.
+    #[test]
+    fn the_serve_drill_passes_in_process() {
+        let dir = std::env::temp_dir().join("idlewave-serve-drill-test");
+        let report = run_drill(&ServeDrillOptions::new(&dir)).expect("drill io");
+        for p in &report.phases {
+            eprintln!("phase {}: {} — {}", p.name, p.passed, p.detail);
+        }
+        assert!(report.passed(), "{:?}", report.phases);
+        assert_eq!(report.phases.len(), 8, "all phases must report");
+        assert!(report.phases[6].detail.contains("skipped"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_drill_suite_is_the_deterministic_loadgen_population() {
+        let suite = drill_suite();
+        assert_eq!(suite.len(), 6);
+        assert_eq!(suite, loadgen_scenarios(6, 6, 4));
+        for s in &suite {
+            assert_eq!(s.chaos, Chaos::None, "the suite must be cache-eligible");
+            assert!(s.max_sim_time.is_none());
+        }
+    }
+}

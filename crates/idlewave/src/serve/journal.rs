@@ -1,0 +1,357 @@
+//! The crash-safe job journal behind `wavesim serve`.
+//!
+//! One append-only JSONL file (`journal.jsonl` in the serve directory)
+//! records the service's durable state transitions: a `job` line when a
+//! submission is admitted (written *before* the client sees `accepted`,
+//! so an acknowledged job can never be lost), and a `done` line when it
+//! reaches a terminal record. Replaying the file yields exactly the
+//! restart obligations: jobs without a `done` are pending and re-run —
+//! bit-identically, because the simulator is deterministic — and
+//! completed records are kept addressable for `query`.
+//!
+//! The same torn-write discipline as the sweep's shard sinks
+//! (`sweep::shard`): append + flush (optionally fsync) per line, tail
+//! repair through the open handle on reopen, and byte-safe lenient
+//! replay. On top of that, every line carries an FNV-1a digest of its
+//! record — the journal's per-line version of the footer-verified
+//! snapshot documents — so a half-flushed or bit-damaged line is
+//! *detected* and skipped with a warning instead of silently decoding to
+//! garbage.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use tracefmt::fnv1a_64;
+use tracefmt::json::{self, FromJson, Json, ToJson};
+
+use crate::sweep::{Scenario, ScenarioResult};
+
+/// Version tag on every journal line.
+pub(crate) const JOURNAL_FORMAT: u64 = 1;
+
+/// One durable state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JournalRecord {
+    /// A submission passed admission under this job number.
+    Job {
+        /// Monotonic job number.
+        job: u64,
+        /// The admitted scenario.
+        scenario: Scenario,
+    },
+    /// The job reached a terminal record.
+    Done {
+        /// The job number from the matching [`JournalRecord::Job`] line.
+        job: u64,
+        /// The terminal record, byte-identical to a sweep's.
+        result: ScenarioResult,
+    },
+}
+
+impl JournalRecord {
+    fn rec_json(&self) -> Json {
+        match self {
+            JournalRecord::Job { job, scenario } => Json::obj(vec![
+                ("type", Json::Str("job".into())),
+                ("job", job.to_json()),
+                ("scenario", scenario.to_json()),
+            ]),
+            JournalRecord::Done { job, result } => Json::obj(vec![
+                ("type", Json::Str("done".into())),
+                ("job", job.to_json()),
+                ("result", result.to_json()),
+            ]),
+        }
+    }
+
+    fn from_rec_json(v: &Json) -> json::Result<JournalRecord> {
+        let ty = v.field("type")?.expect_str()?;
+        let job = v.field("job")?.expect_u64()?;
+        Ok(match ty {
+            "job" => JournalRecord::Job {
+                job,
+                scenario: Scenario::from_json(v.field("scenario")?)?,
+            },
+            "done" => JournalRecord::Done {
+                job,
+                result: ScenarioResult::from_json(v.field("result")?)?,
+            },
+            other => return Err(json::JsonError(format!("unknown journal record '{other}'"))),
+        })
+    }
+}
+
+/// What a replay of the journal found.
+#[derive(Debug, Default)]
+pub(crate) struct Recovery {
+    /// Admitted jobs without a `done` line, in job order: the restart
+    /// obligations.
+    pub pending: Vec<(u64, Scenario)>,
+    /// Terminal records, in completion order (later lines win on id).
+    pub completed: Vec<ScenarioResult>,
+    /// The next unused job number.
+    pub next_job: u64,
+    /// Lines that were skipped (torn tail, digest mismatch, unknown
+    /// future record) — surfaced, never silently dropped.
+    pub warnings: Vec<String>,
+}
+
+/// The open append handle.
+pub(crate) struct Journal {
+    file: std::fs::File,
+    fsync: bool,
+}
+
+impl Journal {
+    /// Open (or create) `dir/journal.jsonl`, repair a torn tail through
+    /// the open handle, and replay the surviving lines.
+    pub(crate) fn open(dir: &Path, fsync: bool) -> io::Result<(Journal, Recovery)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("journal.jsonl");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+            file.write_all(b"\n")?;
+            file.flush()?;
+        }
+        let recovery = replay(&bytes, &path);
+        Ok((Journal { file, fsync }, recovery))
+    }
+
+    /// Append one record, flushed (and optionally fsynced) before the
+    /// caller acknowledges anything downstream of it.
+    pub(crate) fn append(&mut self, record: &JournalRecord) -> io::Result<()> {
+        let rec = record.rec_json();
+        let digest = fnv1a_64(rec.dump().as_bytes());
+        let line = Json::obj(vec![
+            ("journal_format", JOURNAL_FORMAT.to_json()),
+            ("digest", digest.to_json()),
+            ("rec", rec),
+        ]);
+        self.file.write_all(line.dump().as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        if self.fsync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Lenient, digest-checking replay of the journal bytes.
+fn replay(bytes: &[u8], path: &Path) -> Recovery {
+    let mut rec = Recovery::default();
+    let mut jobs: Vec<(u64, Scenario)> = Vec::new();
+    let mut done: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for (lineno, line) in bytes.split(|&b| b == b'\n').enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        // A torn tail may be cut mid-UTF-8-codepoint or mid-JSON: both
+        // are expected crash artifacts, skipped without a warning only
+        // when they cannot even be framed.
+        let Ok(text) = std::str::from_utf8(line) else {
+            rec.warnings
+                .push(skipped(path, lineno, "not UTF-8 (torn tail)"));
+            continue;
+        };
+        let Ok(v) = Json::parse(text) else {
+            rec.warnings
+                .push(skipped(path, lineno, "unparseable (torn tail)"));
+            continue;
+        };
+        let (Some(digest), Some(body)) = (v.get("digest").and_then(Json::as_u64), v.get("rec"))
+        else {
+            rec.warnings
+                .push(skipped(path, lineno, "missing digest or rec"));
+            continue;
+        };
+        if fnv1a_64(body.dump().as_bytes()) != digest {
+            rec.warnings.push(skipped(path, lineno, "digest mismatch"));
+            continue;
+        }
+        match JournalRecord::from_rec_json(body) {
+            Ok(JournalRecord::Job { job, scenario }) => {
+                rec.next_job = rec.next_job.max(job + 1);
+                jobs.push((job, scenario));
+            }
+            Ok(JournalRecord::Done { job, result }) => {
+                rec.next_job = rec.next_job.max(job + 1);
+                done.insert(job);
+                rec.completed.push(result);
+            }
+            Err(e) => rec.warnings.push(skipped(path, lineno, &e.0)),
+        }
+    }
+    jobs.sort_by_key(|&(job, _)| job);
+    rec.pending = jobs
+        .into_iter()
+        .filter(|(job, _)| !done.contains(job))
+        .collect();
+    rec
+}
+
+fn skipped(path: &Path, lineno: usize, why: &str) -> String {
+    format!(
+        "journal {} line {}: skipped — {why}",
+        path.display(),
+        lineno + 1
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::ScenarioStatus;
+    use mpisim::SimConfig;
+    use netmodel::presets;
+    use std::path::PathBuf;
+    use workload::{Boundary, CommPattern, Direction};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wavesim-journal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn scenario(id: &str) -> Scenario {
+        Scenario::new(
+            id,
+            SimConfig::baseline(
+                presets::loggopsim_like(4),
+                CommPattern::next_neighbor(Direction::Unidirectional, Boundary::Periodic),
+                3,
+            ),
+        )
+    }
+
+    fn result(id: &str) -> ScenarioResult {
+        ScenarioResult {
+            id: id.into(),
+            status: ScenarioStatus::Ok,
+            attempts: 1,
+            error: None,
+            summary: None,
+            config_fingerprint: Some(1),
+        }
+    }
+
+    #[test]
+    fn replay_separates_pending_from_completed() {
+        let dir = tmp("replay");
+        {
+            let (mut j, rec) = Journal::open(&dir, false).expect("open");
+            assert_eq!(rec.next_job, 0);
+            j.append(&JournalRecord::Job {
+                job: 0,
+                scenario: scenario("a"),
+            })
+            .expect("append");
+            j.append(&JournalRecord::Job {
+                job: 1,
+                scenario: scenario("b"),
+            })
+            .expect("append");
+            j.append(&JournalRecord::Done {
+                job: 0,
+                result: result("a"),
+            })
+            .expect("append");
+        }
+        let (_, rec) = Journal::open(&dir, false).expect("reopen");
+        assert_eq!(rec.next_job, 2);
+        assert_eq!(rec.completed.len(), 1);
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].0, 1);
+        assert_eq!(rec.pending[0].1.id, "b");
+        assert!(rec.warnings.is_empty(), "{:?}", rec.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tails_and_bit_damage_are_skipped_with_warnings() {
+        let dir = tmp("torn");
+        {
+            let (mut j, _) = Journal::open(&dir, false).expect("open");
+            j.append(&JournalRecord::Job {
+                job: 0,
+                scenario: scenario("a"),
+            })
+            .expect("append");
+            j.append(&JournalRecord::Done {
+                job: 0,
+                result: result("a"),
+            })
+            .expect("append");
+        }
+        let path = dir.join("journal.jsonl");
+        let mut bytes = std::fs::read(&path).expect("read back");
+        // Flip one content byte of the *done* line so its digest fails,
+        // then append a torn half-line with an invalid UTF-8 tail.
+        let second_line = bytes.iter().position(|&b| b == b'\n').expect("newline") + 1;
+        let flip = second_line
+            + bytes[second_line..]
+                .windows(4)
+                .position(|w| w == b"\"ok\"")
+                .expect("status text")
+            + 1;
+        bytes[flip] ^= 0x20;
+        bytes.extend(b"{\"journal_format\":1,\"digest\":9,\"rec\"\xff");
+        std::fs::write(&path, bytes).expect("rewrite");
+
+        let (_, rec) = Journal::open(&dir, false).expect("reopen");
+        // The damaged done line is ignored, so job 0 is pending again —
+        // re-running it is always safe (determinism) and never wrong.
+        assert_eq!(rec.pending.len(), 1, "{:?}", rec.warnings);
+        assert!(rec.completed.is_empty());
+        assert!(
+            rec.warnings.iter().any(|w| w.contains("digest mismatch")),
+            "{:?}",
+            rec.warnings
+        );
+        assert!(
+            rec.warnings.iter().any(|w| w.contains("torn tail")),
+            "{:?}",
+            rec.warnings
+        );
+        // The reopen newline-terminated the torn tail: the next append
+        // starts on a fresh line and replays cleanly.
+        let (mut j, _) = Journal::open(&dir, false).expect("third open");
+        j.append(&JournalRecord::Done {
+            job: 0,
+            result: result("a"),
+        })
+        .expect("append after repair");
+        let (_, rec) = Journal::open(&dir, false).expect("fourth open");
+        assert!(rec.pending.is_empty());
+        assert_eq!(rec.completed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_before_job_is_tolerated() {
+        // The worker may journal `done` concurrently with nothing else —
+        // a future version interleaving differently must still replay.
+        let dir = tmp("order");
+        {
+            let (mut j, _) = Journal::open(&dir, false).expect("open");
+            j.append(&JournalRecord::Done {
+                job: 5,
+                result: result("z"),
+            })
+            .expect("append");
+        }
+        let (_, rec) = Journal::open(&dir, false).expect("reopen");
+        assert!(rec.pending.is_empty());
+        assert_eq!(rec.completed.len(), 1);
+        assert_eq!(rec.next_job, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -64,7 +64,7 @@
 //! cache entries, then asserts the merged report is bit-identical to an
 //! undisturbed control run (see `docs/SWEEP.md`).
 
-mod cache;
+pub(crate) mod cache;
 pub mod drill;
 mod fabric;
 mod shard;
@@ -72,7 +72,7 @@ mod shard;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
@@ -243,6 +243,11 @@ pub enum ScenarioStatus {
     Panicked,
     /// Transient failures exhausted the retry budget.
     Transient,
+    /// The job was cancelled before it ran — `wavesim serve` records this
+    /// for jobs orphaned by a client disconnect, so a restart never
+    /// re-runs work nobody is waiting for. The sweep fabric itself never
+    /// produces it.
+    Cancelled,
 }
 
 impl ScenarioStatus {
@@ -257,6 +262,7 @@ impl ScenarioStatus {
             ScenarioStatus::WallTimeout => "wall-timeout",
             ScenarioStatus::Panicked => "panic",
             ScenarioStatus::Transient => "transient",
+            ScenarioStatus::Cancelled => "cancelled",
         }
     }
 
@@ -270,6 +276,7 @@ impl ScenarioStatus {
             "wall-timeout" => ScenarioStatus::WallTimeout,
             "panic" => ScenarioStatus::Panicked,
             "transient" => ScenarioStatus::Transient,
+            "cancelled" => ScenarioStatus::Cancelled,
             _ => return None,
         })
     }
@@ -341,7 +348,9 @@ impl ScenarioResult {
 /// Everything a finished sweep knows, reassembled in scenario input order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
-    /// One record per scenario, in input order.
+    /// One record per scenario, in input order. An
+    /// [interrupted](SweepReport::interrupted) sweep carries only the
+    /// scenarios that reached a terminal record before the stop.
     pub results: Vec<ScenarioResult>,
     /// How many records were reloaded from a previous run (`--resume`)
     /// instead of executed.
@@ -362,6 +371,12 @@ pub struct SweepReport {
     /// Fabric workers that died ([`FabricChaos`] or sink I/O failure)
     /// and had their queued work redistributed.
     pub retired_workers: usize,
+    /// The sweep stopped early on a [`run_sweep_interruptible`] stop
+    /// request (SIGTERM/SIGINT in the CLI): in-flight scenarios finished
+    /// and were flushed to their shard sinks, undealt ones were left
+    /// untouched, and the shards + manifest were kept on disk so a
+    /// `--resume` run completes the suite.
+    pub interrupted: bool,
 }
 
 impl SweepReport {
@@ -422,6 +437,25 @@ pub fn run_sweep(
     scenarios: &[Scenario],
     opts: &SweepOptions,
     out_path: &Path,
+) -> io::Result<SweepReport> {
+    run_sweep_interruptible(scenarios, opts, out_path, &AtomicBool::new(false))
+}
+
+/// [`run_sweep`] with a cooperative stop flag, polled between scenarios:
+/// once `stop` is set, workers finish (and persist) the scenario they are
+/// on, deal no new ones, and the fabric returns early with
+/// [`SweepReport::interrupted`] set instead of merging a partial report.
+/// The shard sinks and manifest stay on disk, so a later `--resume` run
+/// picks up exactly where the stop landed. The CLI wires SIGTERM/SIGINT
+/// to this flag.
+///
+/// # Panics
+/// Panics if `opts.threads` is zero.
+pub fn run_sweep_interruptible(
+    scenarios: &[Scenario],
+    opts: &SweepOptions,
+    out_path: &Path,
+    stop: &AtomicBool,
 ) -> io::Result<SweepReport> {
     assert!(opts.threads >= 1, "need at least one supervisor thread");
     let mut ids = std::collections::BTreeSet::new();
@@ -627,6 +661,12 @@ pub fn run_sweep(
                         ctx.counters.retired.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
+                    // A stop request lands *between* scenarios: the one in
+                    // flight was persisted by the previous iteration, the
+                    // rest stay queued for a --resume run.
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
                     let Some(item) = queues.next_for(w) else {
                         break;
                     };
@@ -660,8 +700,10 @@ pub fn run_sweep(
     // Graceful degradation: if chaos (or I/O trouble) retired every
     // worker with work still queued, the supervisor thread drains the
     // leftovers inline — slower, never deadlocked, never incomplete.
+    // Not on a stop request, though: then the leftovers are exactly the
+    // scenarios a --resume run is supposed to pick up.
     let leftovers = queues.drain_leftovers();
-    if !leftovers.is_empty() {
+    if !leftovers.is_empty() && !stop.load(Ordering::SeqCst) {
         let pool = pool_slot(pool_budget);
         for item in leftovers {
             let result = run_one(&ctx, item.scenario, item.idx, &pool);
@@ -673,30 +715,37 @@ pub fn run_sweep(
         }
     }
 
+    let stopped = stop.load(Ordering::SeqCst);
+    let mut interrupted = false;
     for (idx, s) in scenarios.iter().enumerate() {
         if slots[idx].is_none() {
             slots[idx] = preflight[idx]
                 .take()
                 .or_else(|| finished.get(s.id.as_str()).map(|prior| (*prior).clone()));
-            assert!(slots[idx].is_some(), "scenario neither run nor reloaded");
+            if slots[idx].is_none() {
+                assert!(stopped, "scenario neither run nor reloaded");
+                interrupted = true;
+            }
         }
     }
-    let results: Vec<ScenarioResult> = slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect();
+    let results: Vec<ScenarioResult> = slots.into_iter().flatten().collect();
 
-    // Compact the shards into the final report — header plus records in
-    // input order, atomically — and clean up the manifest and shards.
-    shard::merge(out_path, &header, &results)?;
+    if !interrupted {
+        // Compact the shards into the final report — header plus records
+        // in input order, atomically — and clean up the manifest and
+        // shards. An interrupted sweep skips this: the shards and
+        // manifest *are* its clean resumable state.
+        shard::merge(out_path, &header, &results)?;
 
-    if let Some(dir) = ckpt_dir {
-        // Every scenario now has a terminal record (fresh or reloaded), so
-        // its snapshot can never be resumed again: collect them all,
-        // including orphans left behind by records reloaded from previous
-        // runs. Best-effort — a surviving file only wastes disk.
-        for s in scenarios {
-            let _ = std::fs::remove_file(snapshot_path(dir, &s.id));
+        if let Some(dir) = ckpt_dir {
+            // Every scenario now has a terminal record (fresh or
+            // reloaded), so its snapshot can never be resumed again:
+            // collect them all, including orphans left behind by records
+            // reloaded from previous runs. Best-effort — a surviving
+            // file only wastes disk.
+            for s in scenarios {
+                let _ = std::fs::remove_file(snapshot_path(dir, &s.id));
+            }
         }
     }
     let mut runtime = runtime_warnings
@@ -712,6 +761,7 @@ pub fn run_sweep(
         cache_misses: counters.misses.load(Ordering::Relaxed),
         cache_quarantined: counters.quarantined.load(Ordering::Relaxed),
         retired_workers: counters.retired.load(Ordering::Relaxed),
+        interrupted,
     })
 }
 
@@ -782,7 +832,7 @@ fn run_one(ctx: &RunCtx<'_>, scenario: &Scenario, idx: usize, pool: &PoolSlot) -
 /// put-back is recognised as stale and discarded instead of clobbering
 /// the replacement. Long sweeps therefore keep pooling across timeouts
 /// instead of silently degrading to unpooled runs.
-struct PoolState {
+pub(crate) struct PoolState {
     /// Bumped whenever the backstop abandons an attempt; a put-back from
     /// an older generation is dropped.
     gen: u64,
@@ -791,10 +841,10 @@ struct PoolState {
     pool: Option<EnginePools>,
 }
 
-type PoolSlot = Arc<Mutex<PoolState>>;
+pub(crate) type PoolSlot = Arc<Mutex<PoolState>>;
 
 /// A slot holding a freshly budget-sized pool.
-fn pool_slot(budget: PoolBudget) -> PoolSlot {
+pub(crate) fn pool_slot(budget: PoolBudget) -> PoolSlot {
     Arc::new(Mutex::new(PoolState {
         gen: 0,
         budget,
@@ -804,7 +854,7 @@ fn pool_slot(budget: PoolBudget) -> PoolSlot {
 
 /// Elementwise maximum of two pool shapes: a slot sized to the max fits
 /// every scenario in the sweep without growing.
-fn max_pool_budget(a: PoolBudget, b: PoolBudget) -> PoolBudget {
+pub(crate) fn max_pool_budget(a: PoolBudget, b: PoolBudget) -> PoolBudget {
     PoolBudget {
         ranks: a.ranks.max(b.ranks),
         steps: a.steps.max(b.steps),
@@ -814,9 +864,30 @@ fn max_pool_budget(a: PoolBudget, b: PoolBudget) -> PoolBudget {
     }
 }
 
+/// Grow a slot's pool to (at least) `want` before a job that needs more
+/// than the slot currently holds — `wavesim serve` cannot pre-size
+/// against a known suite the way a sweep can, so its workers grow their
+/// slot monotonically as bigger submissions arrive. The generation is
+/// bumped so an abandoned attempt's late put-back of the *old* pool is
+/// discarded. No-op when the slot already fits.
+pub(crate) fn ensure_pool_budget(slot: &PoolSlot, want: PoolBudget) {
+    let mut s = slot.lock().expect("pool poisoned");
+    let grown = max_pool_budget(s.budget, want);
+    let fits = grown.ranks == s.budget.ranks
+        && grown.steps == s.budget.steps
+        && grown.peak_queue == s.budget.peak_queue
+        && grown.requests_per_rank == s.budget.requests_per_rank
+        && grown.trace_records == s.budget.trace_records;
+    if !fits {
+        s.gen += 1;
+        s.budget = grown;
+        s.pool = Some(EnginePools::with_budget(&grown));
+    }
+}
+
 /// Mid-scenario checkpointing instructions for one scenario's attempts.
 #[derive(Debug, Clone)]
-struct CkptPlan {
+pub(crate) struct CkptPlan {
     path: PathBuf,
     policy: CheckpointPolicy,
     resume: bool,
@@ -944,7 +1015,7 @@ fn validate_resume_configs(
 /// Supervise one scenario: bounded attempts, each in an isolated worker
 /// with panic capture and the wall-clock backstop, with capped
 /// exponential backoff between retries.
-fn supervise(
+pub(crate) fn supervise(
     scenario: &Scenario,
     opts: &SweepOptions,
     ckpt: Option<&CkptPlan>,
@@ -954,6 +1025,10 @@ fn supervise(
         max_sim_time: Some(sim_budget(scenario, opts)),
         max_events: opts.max_events,
     };
+    // Per-scenario jitter salt: scenarios that hit the same transient at
+    // the same moment (a shared sink hiccup, a brownout) de-synchronize
+    // their retries instead of stampeding back in lockstep.
+    let salt = fnv1a_64(scenario.id.as_bytes());
     let mut attempts = 0u32;
     loop {
         let outcome = run_attempt(scenario, attempts, &limits, opts.wall_timeout, ckpt, pool);
@@ -966,14 +1041,14 @@ fn supervise(
             Some(Attempt::Panicked(e)) => (ScenarioStatus::Panicked, Some(e), None),
             Some(Attempt::Transient(e)) => {
                 if attempts <= opts.retries {
-                    backoff_sleep(opts.retry_backoff, attempts);
+                    backoff_sleep(opts.retry_backoff, attempts, salt);
                     continue;
                 }
                 (ScenarioStatus::Transient, Some(e), None)
             }
             None => {
                 if attempts <= opts.retries {
-                    backoff_sleep(opts.retry_backoff, attempts);
+                    backoff_sleep(opts.retry_backoff, attempts, salt);
                     continue;
                 }
                 (
@@ -1000,15 +1075,28 @@ fn supervise(
 /// Ceiling of the capped exponential retry backoff.
 const BACKOFF_CAP: Duration = Duration::from_secs(2);
 
-/// Sleep `base × 2^(attempt-1)`, capped at [`BACKOFF_CAP`] — attempt 1
-/// waits `base`, attempt 2 twice that, and so on. Zero base disables
+/// Deterministic jitter factor in `[0.5, 1.5)` for retry `attempt` of the
+/// scenario salted with `salt`: the same (salt, attempt) pair always
+/// jitters identically — results and attempt counts cannot depend on it,
+/// only the sleep's wall-clock length does — but different scenarios
+/// spread across the whole window instead of thundering back together.
+fn backoff_jitter(salt: u64, attempt: u32) -> f64 {
+    let bits = simdes::splitmix64(salt ^ (u64::from(attempt) << 32 | 0x9e37_79b9));
+    // Top 53 bits → uniform in [0, 1), the standard float construction.
+    0.5 + (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Sleep `base × 2^(attempt-1)`, capped at [`BACKOFF_CAP`], then scaled
+/// by the deterministic per-scenario jitter — attempt 1 waits about
+/// `base`, attempt 2 about twice that, and so on. Zero base disables
 /// backoff entirely.
-fn backoff_sleep(base: Duration, attempt: u32) {
+fn backoff_sleep(base: Duration, attempt: u32, salt: u64) {
     if base.is_zero() {
         return;
     }
     let factor = 1u32 << attempt.saturating_sub(1).min(16);
-    std::thread::sleep(base.saturating_mul(factor).min(BACKOFF_CAP));
+    let nominal = base.saturating_mul(factor).min(BACKOFF_CAP);
+    std::thread::sleep(nominal.mul_f64(backoff_jitter(salt, attempt)));
 }
 
 /// One isolated attempt. `None` means the wall-clock backstop fired and
@@ -1545,7 +1633,35 @@ mod tests {
             BACKOFF_CAP
         );
         // And the zero base disables the sleep entirely (returns at once).
-        backoff_sleep(Duration::ZERO, 30);
+        backoff_sleep(Duration::ZERO, 30, 0);
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_spread() {
+        // Same (salt, attempt) always jitters identically …
+        assert_eq!(
+            backoff_jitter(42, 1).to_bits(),
+            backoff_jitter(42, 1).to_bits()
+        );
+        // … inside [0.5, 1.5) …
+        let mut seen = Vec::new();
+        for salt in 0..64u64 {
+            for attempt in 1..4u32 {
+                let j = backoff_jitter(fnv1a_64(&salt.to_le_bytes()), attempt);
+                assert!((0.5..1.5).contains(&j), "jitter {j} out of range");
+                seen.push(j.to_bits());
+            }
+        }
+        // … and actually spread: distinct scenarios must not collapse
+        // onto one factor, or the herd thunders after all.
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() > 100, "only {} distinct factors", seen.len());
+        // Different attempts of the *same* scenario differ too.
+        assert_ne!(
+            backoff_jitter(7, 1).to_bits(),
+            backoff_jitter(7, 2).to_bits()
+        );
     }
 
     #[test]
@@ -2221,5 +2337,41 @@ mod tests {
         let plain = Scenario::new("p", quick_cfg(1));
         let back: Scenario = json::from_str(&json::to_string(&plain)).expect("plain");
         assert_eq!(back.chaos, Chaos::None);
+    }
+
+    #[test]
+    fn a_stop_request_interrupts_resumably_and_resume_completes_the_suite() {
+        let out = tmp("interrupt.jsonl");
+        let _ = std::fs::remove_file(&out);
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| Scenario::new(format!("s{i}"), quick_cfg(i)))
+            .collect();
+        let control =
+            run_sweep(&scenarios, &opts(), &tmp("interrupt-control.jsonl")).expect("control sweep");
+
+        // A stop flag raised before the workers start is the extreme
+        // case: nothing dealt, everything left for the resume.
+        let stop = AtomicBool::new(true);
+        let report =
+            run_sweep_interruptible(&scenarios, &opts(), &out, &stop).expect("interrupted sweep");
+        assert!(report.interrupted);
+        assert!(report.results.len() < scenarios.len());
+        // The resumable state survived: the manifest is still there and
+        // the final report was *not* merged.
+        assert!(shard::manifest_path(&out).exists(), "manifest kept");
+
+        let mut resume_opts = opts();
+        resume_opts.resume = true;
+        let resumed = run_sweep(&scenarios, &resume_opts, &out).expect("resume sweep");
+        assert!(!resumed.interrupted);
+        assert_eq!(resumed.results.len(), scenarios.len());
+        for (c, r) in control.results.iter().zip(&resumed.results) {
+            assert_eq!(
+                c.summary, r.summary,
+                "resumed result differs for '{}'",
+                c.id
+            );
+        }
+        assert!(!shard::manifest_path(&out).exists(), "manifest compacted");
     }
 }

@@ -1,7 +1,8 @@
 //! Protocol-eligibility and boundary checks (SC003, SC006, SC007), the
 //! checkpoint-cadence feasibility check (SC017), the sweep retry-policy
-//! feasibility check (SC025), and the sweep cache pre-flight diagnostics
-//! (SC026, SC027).
+//! feasibility check (SC025), the sweep cache pre-flight diagnostics
+//! (SC026, SC027), and the `wavesim serve` admission diagnostics
+//! (SC028, SC029).
 
 use std::path::Path;
 use std::time::Duration;
@@ -175,6 +176,43 @@ pub fn cache_fingerprint_collision(id: &str, fingerprint: u64) -> Diagnostic {
     )
 }
 
+/// SC028: a `wavesim serve` submission failed admission control — the
+/// analyzer found errors, or the static budget pass predicted a cost over
+/// the service's admission ceiling. Emitted as the summary line of a
+/// `rejected` reply, on top of the specific diagnostics that caused it,
+/// so a client (or a log reader) sees *that* the request was refused
+/// before any worker spent cycles on it and *why*.
+pub fn serve_rejected(id: &str, reasons: usize) -> Diagnostic {
+    Diagnostic::error(
+        "SC028",
+        "scenario",
+        id,
+        format!(
+            "submission '{id}' rejected by admission control ({reasons} \
+             diagnostic(s)): the scenario never reached the job queue and \
+             cost no worker time — fix the config (or raise the service's \
+             admission budget) and resubmit"
+        ),
+    )
+}
+
+/// SC029: the `wavesim serve` job queue is full and the submission was
+/// load-shed. The service prefers an explicit, immediate `overloaded`
+/// reply over unbounded queue growth; the hint tells a well-behaved
+/// client how long to back off before retrying.
+pub fn serve_overloaded(queued: usize, capacity: usize, retry_after: Duration) -> Diagnostic {
+    Diagnostic::warning(
+        "SC029",
+        "queue",
+        format!("{queued}/{capacity}"),
+        format!(
+            "job queue at capacity ({queued} of {capacity} slots): the \
+             submission was shed, not queued — retry after {retry_after:?} \
+             (with jitter) or spread the load across more service instances"
+        ),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +314,22 @@ mod tests {
         assert_eq!(d.severity, mpisim::Severity::Warning);
         assert!(d.message.contains("chain-12"), "{d}");
         assert!(d.message.contains("quarantined"), "{d}");
+    }
+
+    #[test]
+    fn serve_diagnostics_carry_their_codes_and_hints() {
+        let d = serve_rejected("chain-12", 2);
+        assert_eq!(d.code, "SC028");
+        assert_eq!(d.severity, mpisim::Severity::Error);
+        assert!(d.message.contains("chain-12"), "{d}");
+        assert!(d.message.contains("admission"), "{d}");
+
+        let d = serve_overloaded(64, 64, Duration::from_millis(250));
+        assert_eq!(d.code, "SC029");
+        assert_eq!(d.severity, mpisim::Severity::Warning);
+        assert!(d.message.contains("shed"), "{d}");
+        assert!(d.message.contains("retry after"), "{d}");
+        assert!(d.value.contains("64/64"), "{d}");
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!    live in this crate too: retry-policy feasibility (`SC025`,
 //!    [`sweep_policy_checks`]) and result-cache pre-flight diagnostics
 //!    (`SC026` [`cache_dir_unwritable`], `SC027`
-//!    [`cache_fingerprint_collision`]).
+//!    [`cache_fingerprint_collision`]), as do the `wavesim serve`
+//!    admission diagnostics: `SC028` ([`serve_rejected`], a submission
+//!    refused by admission control) and `SC029` ([`serve_overloaded`],
+//!    a load-shed submission with a retry-after hint).
 //! 2. **Source linting** — the [`lint`] module and the `simlint` binary: a
 //!    hand-rolled, comment- and string-aware Rust lexer that scans the
 //!    workspace for determinism/hermeticity hazards (wall-clock reads,
@@ -46,7 +49,8 @@ use mpisim::SimConfig;
 
 pub use budget::{BudgetReport, Budgets, WavePrediction};
 pub use checks::{
-    cache_dir_unwritable, cache_fingerprint_collision, checkpoint_checks, sweep_policy_checks,
+    cache_dir_unwritable, cache_fingerprint_collision, checkpoint_checks, serve_overloaded,
+    serve_rejected, sweep_policy_checks,
 };
 pub use mpisim::diag::{has_errors, render_report};
 pub use mpisim::{Diagnostic, Severity};

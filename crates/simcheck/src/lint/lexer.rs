@@ -138,8 +138,18 @@ pub fn lex(source: &str) -> Lexed {
             }
             State::Str => {
                 if c == '\\' {
-                    mask.push_str("  ");
-                    i += 2; // skip the escaped char (may step past EOL-escape)
+                    mask.push(' ');
+                    // The escaped character may itself be a newline (a
+                    // string line-continuation): it still ends a source
+                    // line, so it must flush like any other `\n` or the
+                    // masked lines drift out of register with the raw
+                    // file and every line-indexed rule misfires.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        flush_line!();
+                    } else if chars.get(i + 1).is_some() {
+                        mask.push(' ');
+                    }
+                    i += 2;
                 } else if c == '"' {
                     mask.push('"');
                     state = State::Code;
@@ -311,6 +321,22 @@ mod tests {
         let l = lex(src);
         assert_eq!(l.masked_lines.len(), 7);
         assert!(l.masked_lines[6].contains("end"));
+    }
+
+    #[test]
+    fn string_line_continuations_keep_lines_in_register() {
+        // A `\` at end of line inside a string literal continues the
+        // string on the next line. The escaped newline must still flush,
+        // or every line after it is shifted — `panics_doc` once flagged a
+        // documented fn three lines below its own `/// # Panics` because
+        // of exactly this drift.
+        let src = "let s = \"first \\\n    second\";\nafter()";
+        let l = lex(src);
+        assert_eq!(l.masked_lines.len(), 3);
+        assert!(!l.masked_lines[0].contains("first"));
+        assert!(!l.masked_lines[1].contains("second"));
+        assert!(l.masked_lines[1].contains('"'));
+        assert!(l.masked_lines[2].contains("after()"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ mod record;
 pub mod render;
 pub mod svg;
 mod trace;
+pub mod wire;
 
 pub use digest::{fnv1a_64, Fnv64};
 pub use json::{FromJson, Json, JsonError, ToJson};

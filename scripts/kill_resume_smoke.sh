@@ -118,6 +118,46 @@ if [ -n "$leftovers" ]; then
     exit 1
 fi
 
+# Part 3 (graceful interrupt): the same victim pattern, but SIGTERM —
+# the sweep must stop dealing work, flush its sinks, exit 4 (or 0 if it
+# won the race), and resume to results identical to the control.
+echo "== victim run (SIGTERM mid-scenario)"
+rm -rf "$WORK/snaps"
+(
+    exec "$WAVESIM" sweep --scenarios "$WORK/scenarios.json" \
+        --out "$WORK/termed.jsonl" \
+        --threads 4 --shards 4 --fsync \
+        --checkpoint-dir "$WORK/snaps" --checkpoint-every 500ev \
+        --quiet
+) &
+VICTIM=$!
+i=0
+while [ "$i" -lt 400 ]; do
+    if [ -n "$(ls "$WORK/snaps" 2>/dev/null)" ]; then break; fi
+    if ! kill -0 "$VICTIM" 2>/dev/null; then break; fi
+    sleep 0.01 2>/dev/null || sleep 1
+    i=$((i + 1))
+done
+kill -TERM "$VICTIM" 2>/dev/null || true
+RC=0
+wait "$VICTIM" || RC=$?
+case "$RC" in
+0 | 4) ;;
+*)
+    echo "kill-resume smoke: FAIL — SIGTERM exit code $RC (want 0 or 4)"
+    exit 1
+    ;;
+esac
+
+echo "== resume after SIGTERM"
+sweep "$WORK/termed.jsonl" --resume
+extract "$WORK/termed.jsonl" > "$WORK/termed.key"
+if ! diff -u "$WORK/control.key" "$WORK/termed.key"; then
+    echo "kill-resume smoke: FAIL — SIGTERM-resumed results differ from control"
+    exit 1
+fi
+echo "sigterm-resume smoke: OK"
+
 echo "== self-chaos drill (wavesim sweep --drill)"
 "$WAVESIM" sweep --drill --drill-dir "$WORK/drill"
 echo "chaos drill: OK"

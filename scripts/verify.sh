@@ -85,4 +85,11 @@ cargo run -q --release -p bench --bin throughput -- \
 echo "== sweep chaos drill (kill/resume + wavesim sweep --drill)"
 ./scripts/kill_resume_smoke.sh
 
+# Scenario-service smoke (docs/SERVE.md): loadgen through a real server,
+# SIGTERM drain + restart + query-back, SIGKILL + journal recovery, and
+# the serve self-chaos drill — every phase asserting the records stay
+# byte-identical to an undisturbed control.
+echo "== serve smoke (drain/restart + SIGKILL recovery + wavesim serve --drill)"
+./scripts/serve_smoke.sh
+
 echo "verify: OK"

@@ -91,15 +91,62 @@
 //!                           bit-identical to an undisturbed control run
 //!   --drill-dir DIR         scratch directory for the drill (default: a
 //!                           temp directory)
+//!
+//! wavesim serve — a hardened, crash-recoverable scenario service over
+//! line-delimited JSON (see docs/SERVE.md): admission control with SC
+//! diagnostics, a bounded job queue with explicit load shedding,
+//! per-request deadlines, per-connection isolation, graceful
+//! SIGTERM/SIGINT drain, and a digest-verified job journal that lets a
+//! SIGKILLed server re-run its pending jobs on restart, bit-identically
+//!
+//!   --addr HOST:PORT        bind address (default 127.0.0.1:0; the bound
+//!                           address is printed as a ready record)
+//!   --dir DIR               service state directory holding the journal
+//!                           (default wavesim-serve)
+//!   --threads N             worker threads (default 4)
+//!   --queue-cap N           job-queue bound; beyond it submissions are
+//!                           shed with an overloaded reply (default 64)
+//!   --retry-after-ms N      retry hint sent with overloaded replies
+//!   --deadline-ms N         per-attempt wall-clock deadline (default 30000)
+//!   --retries N             retry budget for transient failures
+//!   --retry-backoff-ms N    base of the jittered exponential backoff
+//!   --watchdog-factor F     sim-time budget multiplier (default 64)
+//!   --admission-budget N    reject submissions whose *predicted* events
+//!                           exceed N (SC018/SC028) without running them
+//!   --cache-dir DIR         verified result cache shared with sweep
+//!   --fsync                 fsync journal lines (crash-safe against
+//!                           OS-level failures)
+//!   --max-line-bytes N      per-request line bound (default 1 MiB)
+//!   --drill                 run the serve self-chaos drill instead:
+//!                           overload, malformed input, worker panics,
+//!                           disconnects, drain, SIGKILL + journal
+//!                           recovery, warm cache — each phase asserting
+//!                           byte-identity against an undisturbed control
+//!
+//! wavesim loadgen — deterministic client for a serve instance
+//!
+//!   --addr HOST:PORT        server address (required)
+//!   --requests N            total requests (default 12)
+//!   --connections N         concurrent connections (default 3)
+//!   --ranks N / --steps N   shape of the generated scenarios
+//!   --out FILE.jsonl        write collected records sorted by id
+//!   --query                 poll query for the same ids instead of
+//!                           submitting (read results after a restart)
+//!   --max-retries N         bound on overload retries / query polls
 //! ```
 //!
-//! Exit codes: `0` success, `1` sweep finished but some scenarios failed,
-//! `2` usage errors, `3` invalid configuration or runtime failure — the
-//! latter also emits a single-line JSON error record on stderr:
-//! `{"tool":"wavesim","error":...,"diagnostics":[...]}`.
+//! Exit codes: `0` success, `1` sweep finished but some scenarios failed
+//! (or a drill phase failed), `2` usage errors, `3` invalid configuration
+//! or runtime failure — the latter also emits a single-line JSON error
+//! record on stderr: `{"tool":"wavesim","error":...,"diagnostics":[...]}`
+//! — and `4` sweep interrupted by SIGTERM/SIGINT with resumable state.
 
+use idle_waves::idlewave::serve::client::{run_loadgen, LoadgenOptions};
+use idle_waves::idlewave::serve::drill::{run_drill as run_serve_drill, ServeDrillOptions};
+use idle_waves::idlewave::serve::signals::install_term_handler;
+use idle_waves::idlewave::serve::{run_serve, ServeOptions};
 use idle_waves::idlewave::sweep::drill::{run_drill, DrillOptions};
-use idle_waves::idlewave::sweep::{run_sweep, Scenario, SweepOptions};
+use idle_waves::idlewave::sweep::{run_sweep_interruptible, Scenario, SweepOptions};
 use idle_waves::idlewave::{model, speed, WaveExperiment, WaveTrace};
 use idle_waves::mpisim::{self, CheckpointPolicy, Engine, RunLimits, Snapshot};
 use idle_waves::prelude::*;
@@ -533,13 +580,19 @@ fn run_sweep_command(it: std::env::Args) -> ExitCode {
             return ExitCode::from(3);
         }
     };
-    let report = match run_sweep(&scenarios, &args.opts, std::path::Path::new(out_path)) {
-        Ok(r) => r,
-        Err(e) => {
-            emit_error_record(&format!("sweep failed: {e}"), &[]);
-            return ExitCode::from(3);
-        }
-    };
+    // A first SIGTERM/SIGINT requests a graceful stop: the fabric stops
+    // dealing work, finishes and flushes what is in flight, and keeps the
+    // shards and manifest for `--resume`.
+    let stop = install_term_handler();
+    let report =
+        match run_sweep_interruptible(&scenarios, &args.opts, std::path::Path::new(out_path), stop)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                emit_error_record(&format!("sweep failed: {e}"), &[]);
+                return ExitCode::from(3);
+            }
+        };
     if !args.quiet {
         for w in &report.warnings {
             eprintln!("wavesim sweep: warning: {w}");
@@ -572,6 +625,17 @@ fn run_sweep_command(it: std::env::Args) -> ExitCode {
                 r.attempts
             );
         }
+    }
+    if report.interrupted {
+        if !args.quiet {
+            println!(
+                "sweep: interrupted by a termination signal after {} of {} \
+                 scenario(s); in-flight work was flushed — rerun with --resume",
+                report.results.len(),
+                scenarios.len()
+            );
+        }
+        return ExitCode::from(4);
     }
     if report.all_ok() {
         ExitCode::SUCCESS
@@ -705,6 +769,238 @@ fn load_calibration(path: &str, ranks: u32) -> Result<f64, String> {
         .ok_or_else(|| format!("{path} has no usable events_per_sec entries"))
 }
 
+struct ServeArgs {
+    opts: ServeOptions,
+    quiet: bool,
+    drill: bool,
+    drill_dir: Option<String>,
+}
+
+fn parse_serve_args(mut it: std::env::Args) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        opts: ServeOptions::default(),
+        quiet: false,
+        drill: false,
+        drill_dir: None,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.opts.addr = value("--addr")?,
+            "--dir" => args.opts.dir = value("--dir")?.into(),
+            "--threads" => args.opts.threads = parse(&value("--threads")?)?,
+            "--queue-cap" => args.opts.queue_cap = parse(&value("--queue-cap")?)?,
+            "--retry-after-ms" => {
+                let ms: u64 = parse(&value("--retry-after-ms")?)?;
+                args.opts.retry_after = std::time::Duration::from_millis(ms);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = parse(&value("--deadline-ms")?)?;
+                args.opts.deadline = std::time::Duration::from_millis(ms);
+            }
+            "--retries" => args.opts.retries = parse(&value("--retries")?)?,
+            "--retry-backoff-ms" => {
+                let ms: u64 = parse(&value("--retry-backoff-ms")?)?;
+                args.opts.retry_backoff = std::time::Duration::from_millis(ms);
+            }
+            "--watchdog-factor" => args.opts.watchdog_factor = parse(&value("--watchdog-factor")?)?,
+            "--admission-budget" => {
+                args.opts.admission_budget = Some(parse(&value("--admission-budget")?)?);
+            }
+            "--cache-dir" => args.opts.cache_dir = Some(value("--cache-dir")?.into()),
+            "--fsync" => args.opts.fsync = true,
+            "--max-line-bytes" => args.opts.max_line_bytes = parse(&value("--max-line-bytes")?)?,
+            "--drill" => args.drill = true,
+            "--drill-dir" => args.drill_dir = Some(value("--drill-dir")?),
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Err("usage".into()),
+            other => return Err(format!("unknown serve flag {other}")),
+        }
+    }
+    if args.opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if args.opts.queue_cap == 0 {
+        return Err("--queue-cap must be at least 1".into());
+    }
+    if args.opts.max_line_bytes == 0 {
+        return Err("--max-line-bytes must be at least 1".into());
+    }
+    if args.drill_dir.is_some() && !args.drill {
+        return Err("--drill-dir needs --drill".into());
+    }
+    Ok(args)
+}
+
+/// `wavesim serve --drill` — the service's self-chaos drill: overload,
+/// malformed input, worker panics, mid-stream disconnects, drain, a
+/// SIGKILLed child recovered from its journal, and a warm cache, each
+/// phase asserting byte-identity against an undisturbed control run.
+/// Exit 0 when every phase passes, 1 otherwise.
+fn run_serve_drill_command(args: &ServeArgs) -> ExitCode {
+    let dir = args
+        .drill_dir
+        .clone()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("wavesim-serve-drill"));
+    let opts = ServeDrillOptions {
+        dir,
+        // This very binary is the child the SIGKILL phase murders.
+        exe: std::env::current_exe().ok(),
+    };
+    let report = match run_serve_drill(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            emit_error_record(&format!("serve drill failed: {e}"), &[]);
+            return ExitCode::from(3);
+        }
+    };
+    if !args.quiet {
+        for p in &report.phases {
+            println!(
+                "drill {:16} {} — {}",
+                p.name,
+                if p.passed { "pass" } else { "FAIL" },
+                p.detail
+            );
+        }
+        println!(
+            "drill: {}/{} phases passed",
+            report.phases.iter().filter(|p| p.passed).count(),
+            report.phases.len()
+        );
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn run_serve_command(it: std::env::Args) -> ExitCode {
+    let args = match parse_serve_args(it) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg == "usage" {
+                eprintln!("{}", SERVE_USAGE);
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("wavesim serve: {msg}\n\n{SERVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.drill {
+        return run_serve_drill_command(&args);
+    }
+    // SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+    // and journal everything admitted, then exit 0.
+    let shutdown = install_term_handler();
+    let report = run_serve(&args.opts, shutdown, |addr| {
+        // The ready record is the service's one line of protocol on
+        // stdout: scripts parse the bound (possibly ephemeral) address
+        // from it.
+        let ready = Json::obj(vec![
+            ("type", Json::Str("ready".into())),
+            ("addr", Json::Str(addr.to_string())),
+        ]);
+        println!("{}", json::to_string(&ready));
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+    });
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            emit_error_record(&format!("serve failed: {e}"), &[]);
+            return ExitCode::from(3);
+        }
+    };
+    if !args.quiet {
+        for w in &report.warnings {
+            eprintln!("wavesim serve: warning: {w}");
+        }
+        let s = &report.stats;
+        println!(
+            "serve: drained clean — {} accepted, {} completed, {} cancelled, \
+             {} rejected, {} shed, {} recovered, cache {}/{} hits/misses",
+            s.accepted,
+            s.completed,
+            s.cancelled,
+            s.rejected,
+            s.shed,
+            s.recovered,
+            s.cache_hits,
+            s.cache_misses
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_loadgen_command(it: std::env::Args) -> ExitCode {
+    let mut it = it;
+    let mut opts = LoadgenOptions::default();
+    let mut quiet = false;
+    let parsed = loop {
+        let Some(flag) = it.next() else {
+            break Ok(());
+        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        let step = match flag.as_str() {
+            "--addr" => value("--addr").map(|v| opts.addr = v),
+            "--requests" => value("--requests").and_then(|v| parse(&v).map(|n| opts.requests = n)),
+            "--connections" => {
+                value("--connections").and_then(|v| parse(&v).map(|n| opts.connections = n))
+            }
+            "--ranks" => value("--ranks").and_then(|v| parse(&v).map(|n| opts.ranks = n)),
+            "--steps" => value("--steps").and_then(|v| parse(&v).map(|n| opts.steps = n)),
+            "--out" => value("--out").map(|v| opts.out = Some(v.into())),
+            "--query" => {
+                opts.query = true;
+                Ok(())
+            }
+            "--max-retries" => {
+                value("--max-retries").and_then(|v| parse(&v).map(|n| opts.max_retries = n))
+            }
+            "--quiet" => {
+                quiet = true;
+                Ok(())
+            }
+            "--help" | "-h" => break Err("usage".to_string()),
+            other => break Err(format!("unknown loadgen flag {other}")),
+        };
+        if let Err(msg) = step {
+            break Err(msg);
+        }
+    };
+    if let Err(msg) = parsed {
+        if msg == "usage" {
+            eprintln!("{}", LOADGEN_USAGE);
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("wavesim loadgen: {msg}\n\n{LOADGEN_USAGE}");
+        return ExitCode::from(2);
+    }
+    if opts.addr.is_empty() {
+        eprintln!("wavesim loadgen: --addr is required\n\n{LOADGEN_USAGE}");
+        return ExitCode::from(2);
+    }
+    if opts.requests == 0 {
+        eprintln!("wavesim loadgen: --requests must be at least 1\n\n{LOADGEN_USAGE}");
+        return ExitCode::from(2);
+    }
+    match run_loadgen(&opts) {
+        Ok(report) => {
+            if !quiet {
+                println!("{}", json::to_string(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            emit_error_record(&format!("loadgen failed: {e}"), &[]);
+            ExitCode::from(3)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("sweep") => {
@@ -718,6 +1014,18 @@ fn main() -> ExitCode {
             let _ = it.next(); // argv[0]
             let _ = it.next(); // "analyze"
             return run_analyze_command(it);
+        }
+        Some("serve") => {
+            let mut it = std::env::args();
+            let _ = it.next(); // argv[0]
+            let _ = it.next(); // "serve"
+            return run_serve_command(it);
+        }
+        Some("loadgen") => {
+            let mut it = std::env::args();
+            let _ = it.next(); // argv[0]
+            let _ = it.next(); // "loadgen"
+            return run_loadgen_command(it);
         }
         _ => {}
     }
@@ -821,7 +1129,9 @@ const USAGE: &str = "usage: wavesim [--ranks N] [--steps N] [--texec-ms F] [--ms
                [--ascii] [--svg FILE] [--csv FILE] [--quiet]
        wavesim analyze [config flags] [--calibrate BENCH.json]
                [--budget N] [--max-bytes N]
-       wavesim sweep --scenarios FILE --out FILE [options]  (see --help)";
+       wavesim sweep --scenarios FILE --out FILE [options]  (see --help)
+       wavesim serve [--addr HOST:PORT] [--dir DIR] [options] (see --help)
+       wavesim loadgen --addr HOST:PORT [options]            (see --help)";
 
 const ANALYZE_USAGE: &str = "usage: wavesim analyze [config flags — see wavesim --help]
                [--config FILE.json] [--calibrate BENCH.json]
@@ -836,4 +1146,25 @@ const SWEEP_USAGE: &str = "usage: wavesim sweep --scenarios FILE.json --out FILE
                [--watchdog-factor F] [--max-events N] [--budget N]
                [--cache-dir DIR] [--fsync] [--quiet]
                [--checkpoint-dir DIR] [--checkpoint-every SPEC]
-       wavesim sweep --drill [--drill-dir DIR] [--threads N] [--quiet]";
+       wavesim sweep --drill [--drill-dir DIR] [--threads N] [--quiet]
+exit codes: 0 all ok, 1 some scenarios failed, 2 usage, 3 runtime error,
+4 interrupted by SIGTERM/SIGINT (state flushed; rerun with --resume)";
+
+const SERVE_USAGE: &str = "usage: wavesim serve [--addr HOST:PORT] [--dir DIR] [--threads N]
+               [--queue-cap N] [--retry-after-ms N] [--deadline-ms N]
+               [--retries N] [--retry-backoff-ms N] [--watchdog-factor F]
+               [--admission-budget N] [--cache-dir DIR] [--fsync]
+               [--max-line-bytes N] [--quiet]
+       wavesim serve --drill [--drill-dir DIR] [--quiet]
+a crash-recoverable scenario service over line-delimited JSON (see
+docs/SERVE.md): prints a {\"type\":\"ready\",\"addr\":...} record once
+listening; SIGTERM/SIGINT drain gracefully and exit 0; a SIGKILLed
+server re-runs its journaled pending jobs on restart, bit-identically";
+
+const LOADGEN_USAGE: &str = "usage: wavesim loadgen --addr HOST:PORT [--requests N]
+               [--connections N] [--ranks N] [--steps N] [--out FILE.jsonl]
+               [--query] [--max-retries N] [--quiet]
+drives a wavesim serve instance with a deterministic request population
+and writes the collected terminal records sorted by id — two runs against
+equivalent servers are byte-comparable; --query polls the same ids over
+query instead of submitting (for reading results back after a restart)";

@@ -644,3 +644,257 @@ fn sweep_cache_serves_warm_reruns() {
     );
     std::fs::remove_dir_all(dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// wavesim serve — error paths, isolation, and drain (docs/SERVE.md).
+// ---------------------------------------------------------------------------
+
+/// A spawned `wavesim serve` child that is SIGKILLed if a test panics
+/// before its graceful shutdown, so failed assertions never leak servers.
+struct ServeChild(std::process::Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
+}
+
+impl ServeChild {
+    /// SIGTERM the server and wait for it; returns the exit code.
+    fn terminate(mut self) -> Option<i32> {
+        Command::new("kill")
+            .args(["-TERM", &self.0.id().to_string()])
+            .status()
+            .expect("kill runs");
+        let status = self.0.wait().expect("reap server");
+        // Disarm the drop guard's second wait.
+        let code = status.code();
+        std::mem::forget(self);
+        code
+    }
+}
+
+/// Start `wavesim serve` on an ephemeral port with `extra` flags and
+/// return the child plus the address from its ready record.
+fn spawn_serve(dir: &std::path::Path, extra: &[&str]) -> (ServeChild, String) {
+    use std::io::BufRead;
+    let mut child = wavesim()
+        .args(["serve", "--addr", "127.0.0.1:0", "--quiet", "--dir"])
+        .arg(dir)
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let stdout = child.stdout.take().expect("server stdout");
+    let mut ready = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut ready)
+        .expect("ready record");
+    let addr = ready
+        .split("\"addr\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or_else(|| panic!("unparseable ready record: {ready:?}"))
+        .to_string();
+    (ServeChild(child), addr)
+}
+
+#[test]
+fn serve_replies_with_structured_errors_and_keeps_serving() {
+    use idle_waves::idlewave::serve::client::ServeClient;
+    use idle_waves::idlewave::serve::protocol::Reply;
+
+    let dir = tmpdir("serve-errors");
+    let (server, addr) = spawn_serve(&dir.join("state"), &["--max-line-bytes", "1024"]);
+    let mut client = ServeClient::connect(&addr).expect("connect");
+
+    // Three broken requests on one connection: each draws a structured
+    // error reply, and the connection stays up throughout.
+    let mut error = |line: &str| -> String {
+        client.send_raw(line).expect("send");
+        match client.next_reply().expect("reply") {
+            Reply::Error { error } => error,
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    };
+    assert!(error("{oops").contains("malformed JSON"));
+    assert!(error(&format!("{{\"pad\":\"{}\"}}", "x".repeat(2048))).contains("line exceeds"));
+    assert!(error("{\"type\":\"frobnicate\"}").contains("unknown record type 'frobnicate'"));
+
+    // The same connection still answers real requests.
+    assert_eq!(client.ping(7).expect("ping"), 7);
+    drop(client);
+    assert_eq!(server.terminate(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn serve_survives_a_mid_line_disconnect() {
+    use idle_waves::idlewave::serve::client::ServeClient;
+    use std::io::Write;
+
+    let dir = tmpdir("serve-disconnect");
+    let (server, addr) = spawn_serve(&dir.join("state"), &[]);
+
+    // Half a line, no newline, then a hard disconnect.
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(b"{\"type\":\"submit\",\"scenario\":{")
+        .expect("half line");
+    drop(raw);
+
+    // The server must keep serving fresh connections.
+    let mut client = ServeClient::connect(&addr).expect("reconnect");
+    assert_eq!(client.ping(42).expect("ping"), 42);
+    drop(client);
+    assert_eq!(server.terminate(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn serve_completes_work_then_drains_on_sigterm() {
+    use idle_waves::idlewave::serve::client::{loadgen_scenarios, ServeClient};
+    use idle_waves::idlewave::serve::protocol::{Reply, Request};
+    use idle_waves::idlewave::sweep::ScenarioStatus;
+
+    let dir = tmpdir("serve-drain");
+    let (server, addr) = spawn_serve(&dir.join("state"), &["--threads", "1"]);
+    let mut client = ServeClient::connect(&addr).expect("connect");
+    let scenario = loadgen_scenarios(1, 4, 2).remove(0);
+    client
+        .send(&Request::Submit(Box::new(scenario.clone())))
+        .expect("submit");
+    let record = loop {
+        match client.next_reply().expect("reply") {
+            Reply::Accepted { id, .. } => assert_eq!(id, scenario.id),
+            Reply::Result { record } => break record,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    };
+    assert_eq!(record.status, ScenarioStatus::Ok, "{record:?}");
+    drop(client);
+    assert_eq!(server.terminate(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    let out = wavesim()
+        .args(["serve", "--threads", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = wavesim()
+        .args(["loadgen", "--requests", "3"]) // missing --addr
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn interrupted_sweep_exits_4_and_resumes_to_the_control() {
+    use idle_waves::idlewave::sweep::load_results;
+
+    let dir = tmpdir("sigterm-resume");
+    let scenarios_path = dir.join("scenarios.json");
+    let interrupted_out = dir.join("interrupted.jsonl");
+    let control_out = dir.join("control.jsonl");
+    let snap_dir = dir.join("snaps");
+    let dump = wavesim()
+        .args([
+            "--ranks",
+            "40",
+            "--steps",
+            "400",
+            "--texec-ms",
+            "1",
+            "--inject",
+            "9:3:8",
+            "--seed",
+            "5",
+            "--dump-config",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(dump.status.success());
+    let cfg = String::from_utf8_lossy(&dump.stdout);
+    std::fs::write(
+        &scenarios_path,
+        format!("[{{\"id\":\"long\",\"config\":{cfg}}}]"),
+    )
+    .expect("write scenarios");
+
+    let sweep_args = |out: &std::path::Path| {
+        vec![
+            "sweep".to_string(),
+            "--scenarios".into(),
+            scenarios_path.to_str().unwrap().into(),
+            "--out".into(),
+            out.to_str().unwrap().into(),
+            "--threads".into(),
+            "1".into(),
+            "--checkpoint-dir".into(),
+            snap_dir.to_str().unwrap().into(),
+            "--checkpoint-every".into(),
+            "500ev".into(),
+            "--quiet".into(),
+        ]
+    };
+
+    let control = wavesim()
+        .args(sweep_args(&control_out))
+        .output()
+        .expect("binary runs");
+    assert!(control.status.success(), "{control:?}");
+
+    // Start the sweep, wait until it is provably mid-scenario, then send
+    // SIGTERM — the graceful path, unlike the SIGKILL test above.
+    let mut child = wavesim()
+        .args(sweep_args(&interrupted_out))
+        .spawn()
+        .expect("binary starts");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        if std::fs::read_dir(&snap_dir)
+            .map(|d| d.count() > 0)
+            .unwrap_or(false)
+        {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() || std::time::Instant::now() > deadline {
+            break; // finished before the signal: resume is a no-op below
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    let status = child.wait().expect("reap child");
+    assert!(
+        matches!(status.code(), Some(0) | Some(4)),
+        "graceful interrupt must exit 0 (finished) or 4 (resumable), got {status:?}"
+    );
+
+    let resumed = wavesim()
+        .args(
+            sweep_args(&interrupted_out)
+                .into_iter()
+                .chain(["--resume".to_string()]),
+        )
+        .output()
+        .expect("binary runs");
+    assert!(resumed.status.success(), "{resumed:?}");
+    let got = load_results(&interrupted_out).expect("interrupted results readable");
+    let want = load_results(&control_out).expect("control results readable");
+    assert_eq!(got.len(), want.len());
+    assert_eq!(got[0].id, want[0].id);
+    assert_eq!(got[0].status, want[0].status);
+    assert_eq!(
+        got[0].summary.as_ref().map(|s| s.trace_fingerprint),
+        want[0].summary.as_ref().map(|s| s.trace_fingerprint),
+        "resumed sweep produced a different trace than the control"
+    );
+    std::fs::remove_dir_all(dir).ok();
+}
