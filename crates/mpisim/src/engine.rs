@@ -54,7 +54,7 @@
 
 // The hash containers below are membership maps that are never iterated,
 // so their nondeterministic order cannot leak into traces.
-use std::collections::{BTreeSet, HashMap}; // simlint: allow(hash-collections)
+use std::collections::{BTreeSet, HashMap, VecDeque}; // simlint: allow(hash-collections)
 
 use netmodel::{Domain, PointToPoint};
 use simdes::{EventQueue, SeedFactory, SimDuration, SimRng, SimTime};
@@ -66,6 +66,8 @@ use crate::diag;
 use crate::error::{RunLimits, SimError};
 use crate::faults::{CrashOutcome, Delivery};
 use crate::snapshot::{CheckpointPolicy, Snapshot};
+
+mod dispatch;
 
 /// Events of the message-passing simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -448,6 +450,115 @@ impl PartnerCsr {
     }
 }
 
+/// Whether `cfg` can take the engine's fused fast path (`run_fused`).
+///
+/// The fused path collapses each (rank, step) cell's compute → post →
+/// match → complete event chain into one macro-step, which is only sound
+/// when every decision along that chain is statically determined:
+///
+/// * static partner lists (a `schedule` interposes a per-step graph),
+/// * a `Compute` execution model (memory-bound work times depend on who
+///   else occupies the socket at the time),
+/// * pure eager protocol with an unbounded buffer (rendezvous and the
+///   finite-buffer fallback gate progress on the receiver),
+/// * unserialized sends (the NIC port serializes across steps),
+/// * noise on the execution phase only (comm noise draws from a
+///   per-transfer RNG stream whose draw order the fused cascade does not
+///   preserve),
+/// * and no fault plan of any kind (faults reroute steps dynamically).
+///
+/// Eligibility is necessary but not sufficient: the engine additionally
+/// requires the pattern's send/recv lists to be duals of each other
+/// ([`FusedPlan::build`]), and budgeted, checkpointed, and restored runs
+/// always take the general event loop regardless — see `run_loop`.
+pub fn fused_path_eligible(cfg: &SimConfig) -> bool {
+    cfg.schedule.is_none()
+        && matches!(cfg.exec, ExecModel::Compute { .. })
+        && cfg.protocol.mode_for(cfg.msg_bytes) == Mode::Eager
+        && cfg.eager_buffer_bytes.is_none()
+        && !cfg.serialize_sends
+        && matches!(cfg.noise_placement, NoisePlacement::ExecOnly)
+        && cfg.faults.is_empty()
+}
+
+/// Precomputed plan for the fused fast path: for every send slot of the
+/// [`PartnerCsr`], the receiver-side recv slot ("edge") its payload lands
+/// in and the static transfer cost of the link. Built once at
+/// construction iff the config is [`fused_path_eligible`] and the
+/// pattern's send/recv lists are duals.
+struct FusedPlan {
+    /// Edge id (index into `PartnerCsr::recv`) per `PartnerCsr::send` slot.
+    send_edge: Vec<u32>,
+    /// Static payload transfer duration per `PartnerCsr::send` slot.
+    send_cost: Vec<SimDuration>,
+}
+
+impl FusedPlan {
+    /// Pair every send slot with the recv slot it feeds. Returns `None`
+    /// when the pattern is not a send/recv duality (some recv is never
+    /// fed, some send has no home, or a rank messages itself) — the fused
+    /// path's per-edge arrival FIFOs only line up under that bijection,
+    /// so such patterns take the general event loop.
+    fn build(
+        csr: &PartnerCsr,
+        nranks: u32,
+        links: &LinkCache,
+        rank_node: &[u32],
+        rank_socket: &[u32],
+    ) -> Option<FusedPlan> {
+        let mut claimed = vec![false; csr.recv.len()];
+        let mut send_edge = Vec::with_capacity(csr.send.len());
+        let mut send_cost = Vec::with_capacity(csr.send.len());
+        for src in 0..nranks {
+            for &dst in csr.send_of(src) {
+                if src == dst {
+                    return None;
+                }
+                let base = csr.recv_off[dst as usize] as usize;
+                // Duplicate same-peer recvs each claim their own slot, in
+                // posting order — the same order the event path's request
+                // matching consumes them.
+                let slot = csr
+                    .recv_of(dst)
+                    .iter()
+                    .enumerate()
+                    .position(|(i, &peer)| peer == src && !claimed[base + i])?;
+                claimed[base + slot] = true;
+                send_edge.push((base + slot) as u32);
+                // Same domain classification as `Engine::domain_idx`,
+                // which does not exist yet while the plan is being built.
+                let dom = if rank_node[src as usize] != rank_node[dst as usize] {
+                    2
+                } else if rank_socket[src as usize] != rank_socket[dst as usize] {
+                    1
+                } else {
+                    0
+                };
+                send_cost.push(links.xfer[dom]);
+            }
+        }
+        claimed.iter().all(|&c| c).then_some(FusedPlan {
+            send_edge,
+            send_cost,
+        })
+    }
+}
+
+/// Working state of one fused cascade, bundled so the begin/advance
+/// helpers stay within a sane argument count.
+struct FusedCursor {
+    /// One FIFO of pending arrival times per recv slot: an undelayed
+    /// sender can run several steps ahead of a delayed receiver, one
+    /// entry per step of lead. Arrival times on one edge are monotone
+    /// (the sender's exec_end only grows), so FIFO pop order is step
+    /// order — mirroring the event path's per-step tag matching.
+    arrivals: Vec<VecDeque<SimTime>>,
+    /// Stack of ranks whose pending arrivals may now complete their step.
+    work: Vec<u32>,
+    /// Worklist membership, to dedup pushes.
+    queued: Vec<bool>,
+}
+
 /// Per-domain link costs, precomputed when no degradation windows exist:
 /// with a static topology every transfer cost depends only on which of
 /// the three domains (socket / node / network) the pair spans, so the
@@ -754,6 +865,18 @@ pub struct Engine {
     summary_records: u64,
     summary_digest: u64,
     finish: Vec<SimTime>,
+    /// Calendar events the fused fast path advanced past without
+    /// delivering. `RunStats::events` reports `q.delivered() + elided` so
+    /// the event count stays a property of the scenario, not of the path
+    /// that ran it (the budget analyzer's predictions pin this).
+    elided: u64,
+    /// Fused fast-path plan; `Some` iff the config is
+    /// [`fused_path_eligible`] and the pattern passed the duality check.
+    /// Never snapshotted: restored engines resume on the general path.
+    fused: Option<FusedPlan>,
+    /// Scratch for batching a handler's event emissions into one
+    /// [`EventQueue::push_batch`] splice; always drained after use.
+    batch: Vec<(SimTime, Ev)>,
 }
 
 impl Engine {
@@ -858,6 +981,12 @@ impl Engine {
         };
         let track_eager = cfg.eager_buffer_bytes.is_some();
         let has_rank_faults = !cfg.faults.rank_faults.is_empty();
+        let fused = match (&csr, &link_cache) {
+            (Some(csr), Some(links)) if fused_path_eligible(&cfg) => {
+                FusedPlan::build(csr, nranks, links, &rank_node, &rank_socket)
+            }
+            _ => None,
+        };
         Engine {
             cfg,
             q,
@@ -895,6 +1024,9 @@ impl Engine {
             summary_records: 0,
             summary_digest: 0,
             finish: vec![SimTime::ZERO; n],
+            elided: 0,
+            fused,
+            batch: Vec::new(),
         }
     }
 
@@ -1051,21 +1183,31 @@ impl Engine {
             self.records
                 .reserve(want.saturating_sub(self.records.len()));
         }
-        if !self.started {
-            self.started = true;
-            for r in 0..nranks {
-                self.start_exec(r, SimTime::ZERO);
-            }
-        }
         let plain =
             limits.max_sim_time.is_none() && limits.max_events.is_none() && !policy.is_active();
-        if plain {
-            // Budget- and checkpoint-free fast path: nothing between
-            // pop and dispatch but the peak-queue statistic.
-            while let Some((now, ev)) = self.q.pop() {
-                self.stats.peak_queue = self.stats.peak_queue.max(self.q.len() + 1);
-                self.dispatch(now, ev);
+        if !self.started {
+            self.started = true;
+            if plain && self.fused.is_some() {
+                // Fused fast path: eligible config, fresh engine, and no
+                // budget or checkpoint cadence to observe — advance whole
+                // steps without the calendar. Budgeted, checkpointed, and
+                // restored runs (`started` already set) always replay
+                // through the general event loop, which is what makes
+                // resuming a snapshot bit-identical regardless of which
+                // path produced it.
+                self.run_fused();
+            } else {
+                for r in 0..nranks {
+                    self.start_exec(r, SimTime::ZERO);
+                }
             }
+        }
+        if plain {
+            // Budget- and checkpoint-free fast path: nothing between pop
+            // and dispatch but the peak-queue statistic, with the
+            // handlers monomorphized for the run's protocol and trace
+            // mode. A no-op after `run_fused` (the queue stays empty).
+            dispatch::pump_plain(self);
         } else {
             // Checkpoint cadence is measured from where *this* run
             // started, so a restored engine checkpoints relative to its
@@ -1112,7 +1254,7 @@ impl Engine {
                 }
             }
         }
-        self.stats.events = self.q.delivered();
+        self.stats.events = self.q.delivered() + self.elided;
         if self.done_count != nranks {
             return Err(SimError::Stalled {
                 done: self.done_count,
@@ -1121,6 +1263,156 @@ impl Engine {
             });
         }
         Ok(())
+    }
+
+    /// Drive a fusion-eligible run to completion without the calendar.
+    ///
+    /// [`fused_path_eligible`] pins every decision the event loop would
+    /// otherwise make dynamically: every execution phase is `Compute`,
+    /// every send is eager and completes at post, every transfer cost is
+    /// the static per-domain link cost, and no fault can reroute a step.
+    /// Under those rules a step's completion time is a pure function of
+    /// its inputs — `comm_end(r, k) = max(exec_end(r, k), arrival time of
+    /// every step-k payload)` — so the run is a data-flow relaxation over
+    /// the (rank, step) grid, processed with a worklist instead of a
+    /// calendar. Per-rank RNG streams make the injection/noise draws
+    /// independent of cross-rank event order, and the event path's FIFO
+    /// (time, seq) tie-break resolves same-time arrivals to the same
+    /// `max()`, so the cascade reproduces the event loop's trace bit for
+    /// bit (held to by the golden figures and tests/fused_reference.rs).
+    ///
+    /// Every calendar event the event path would have delivered — one
+    /// `ExecEnd` per (rank, step) plus one `EagerArrive` per payload — is
+    /// counted in `elided` instead, keeping `RunStats::events` exact for
+    /// the budget analyzer.
+    fn run_fused(&mut self) {
+        let plan = self.fused.take().expect("run_fused needs a fused plan");
+        let csr = self.csr.take().expect("fused runs are pattern-driven");
+        let nranks = self.cfg.ranks();
+        let steps = self.cfg.steps;
+        let mut cur = FusedCursor {
+            arrivals: vec![VecDeque::new(); csr.recv.len()],
+            work: Vec::with_capacity(nranks as usize),
+            // Every rank starts on the worklist, so begin-step wakes
+            // cannot double-push during seeding.
+            queued: vec![true; nranks as usize],
+        };
+        for r in 0..nranks {
+            self.fused_begin_step(r, SimTime::ZERO, &csr, &plan, &mut cur);
+        }
+        cur.work.extend(0..nranks);
+        while let Some(r) = cur.work.pop() {
+            cur.queued[r as usize] = false;
+            self.fused_advance(r, steps, &csr, &plan, &mut cur);
+        }
+        self.csr = Some(csr);
+        self.fused = Some(plan);
+    }
+
+    /// Begin `rank`'s next step at `now` on the fused path: the same
+    /// injection lookup and noise draw as `start_exec` (stream-for-stream,
+    /// so the draws are bit-identical), then post the step's eager sends
+    /// as per-edge arrival times instead of calendar events.
+    fn fused_begin_step(
+        &mut self,
+        rank: u32,
+        now: SimTime,
+        csr: &PartnerCsr,
+        plan: &FusedPlan,
+        cur: &mut FusedCursor,
+    ) {
+        let ri = rank as usize;
+        let step = self.ranks.step[ri];
+        let mut injected = SimDuration::ZERO;
+        if self.has_inj[ri] {
+            injected = injected + self.cfg.injections.delay_for(rank, step);
+        }
+        let noise = self.cfg.noise.sample(&mut self.ranks.rng[ri]);
+        self.ranks.phase[ri] = Phase::Waiting;
+        self.ranks.exec_start[ri] = now;
+        self.ranks.injected[ri] = injected;
+        self.ranks.noise_amt[ri] = noise;
+        self.ranks.epoch[ri] += 1;
+        let exec_end = now + injected + self.base_exec[ri] + noise;
+        self.ranks.exec_end[ri] = exec_end;
+        self.elided += 1; // the ExecEnd the event path would deliver
+        let base = csr.send_off[ri] as usize;
+        for (j, &dst) in csr.send_of(rank).iter().enumerate() {
+            let slot = base + j;
+            self.stats.messages += 1;
+            self.elided += 1; // the EagerArrive the event path would deliver
+            cur.arrivals[plan.send_edge[slot] as usize].push_back(exec_end + plan.send_cost[slot]);
+            let di = dst as usize;
+            if !cur.queued[di] {
+                cur.queued[di] = true;
+                cur.work.push(dst);
+            }
+        }
+    }
+
+    /// Complete as many consecutive steps of `rank` as its pending
+    /// arrivals allow, streaming one trace/summary record per completed
+    /// step and re-posting the next step's sends each time.
+    fn fused_advance(
+        &mut self,
+        rank: u32,
+        steps: u32,
+        csr: &PartnerCsr,
+        plan: &FusedPlan,
+        cur: &mut FusedCursor,
+    ) {
+        let ri = rank as usize;
+        let rbase = csr.recv_off[ri] as usize;
+        let nrecv = csr.recv_of(rank).len();
+        loop {
+            if self.ranks.phase[ri] != Phase::Waiting {
+                return; // already Done; a straggler wake-up
+            }
+            if (rbase..rbase + nrecv).any(|e| cur.arrivals[e].is_empty()) {
+                return; // some partner has not reached this step yet
+            }
+            let mut comm_end = self.ranks.exec_end[ri];
+            for e in rbase..rbase + nrecv {
+                let t = cur.arrivals[e].pop_front().expect("checked non-empty");
+                if t > comm_end {
+                    comm_end = t;
+                }
+            }
+            let step = self.ranks.step[ri];
+            match self.mode {
+                TraceMode::Full => self.records.push(PhaseRecord {
+                    rank,
+                    step,
+                    exec_start: self.ranks.exec_start[ri],
+                    exec_end: self.ranks.exec_end[ri],
+                    comm_end,
+                    injected: self.ranks.injected[ri],
+                    noise: self.ranks.noise_amt[ri],
+                }),
+                TraceMode::Summary => {
+                    self.summary_records += 1;
+                    self.summary_digest =
+                        self.summary_digest
+                            .wrapping_add(PhaseRecord::digest_of_parts(
+                                rank,
+                                step,
+                                self.ranks.exec_start[ri],
+                                self.ranks.exec_end[ri],
+                                comm_end,
+                                self.ranks.injected[ri],
+                                self.ranks.noise_amt[ri],
+                            ));
+                    self.finish[ri] = comm_end;
+                }
+            }
+            self.ranks.step[ri] = step + 1;
+            if step + 1 == steps {
+                self.ranks.phase[ri] = Phase::Done;
+                self.done_count += 1;
+                return;
+            }
+            self.fused_begin_step(rank, comm_end, csr, plan, cur);
+        }
     }
 
     /// Post-mortem for a drained event queue with unfinished ranks: build
@@ -1188,11 +1480,17 @@ impl Engine {
         format!("{verdict}\n{}", stuck.join("\n"))
     }
 
+    /// General-spec dispatch for the budgeted/checkpointed loop, which
+    /// cannot pin the protocol or trace mode at compile time.
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        self.dispatch_ev::<dispatch::General>(now, ev);
+    }
+
+    fn dispatch_ev<S: dispatch::Spec>(&mut self, now: SimTime, ev: Ev) {
         match ev {
             Ev::ExecEnd { rank, epoch } => {
                 if self.ranks.epoch[rank as usize] == epoch {
-                    self.on_exec_end(rank, now);
+                    self.on_exec_end::<S>(rank, now);
                 }
             }
             Ev::WorkStart { rank } => self.on_work_start(rank, now),
@@ -1201,18 +1499,18 @@ impl Engine {
                     self.on_work_end(rank, now);
                 }
             }
-            Ev::RtsArrive { src, dst, step } => self.on_rts(src, dst, step, now),
+            Ev::RtsArrive { src, dst, step } => self.on_rts::<S>(src, dst, step, now),
             Ev::CtsArrive {
                 sender,
                 receiver,
                 step,
-            } => self.on_cts(sender, receiver, step, now),
-            Ev::EagerArrive { src, dst, step } => self.on_eager(src, dst, step, now),
+            } => self.on_cts::<S>(sender, receiver, step, now),
+            Ev::EagerArrive { src, dst, step } => self.on_eager::<S>(src, dst, step, now),
             Ev::XferDone {
                 sender,
                 receiver,
                 step,
-            } => self.on_xfer_done(sender, receiver, step, now),
+            } => self.on_xfer_done::<S>(sender, receiver, step, now),
         }
     }
 
@@ -1329,7 +1627,7 @@ impl Engine {
 
     // ---- communication phase --------------------------------------------
 
-    fn on_exec_end(&mut self, rank: u32, now: SimTime) {
+    fn on_exec_end<S: dispatch::Spec>(&mut self, rank: u32, now: SimTime) {
         let ri = rank as usize;
         self.ranks.exec_end[ri] = now;
         self.ranks.phase[ri] = Phase::Waiting;
@@ -1339,7 +1637,7 @@ impl Engine {
             // No schedule: the partner lists live in the CSR, moved out
             // of the engine for the duration of the call so the posting
             // loops can mutate the engine without copying the slices.
-            self.post_requests(rank, now, csr.recv_of(rank), csr.send_of(rank));
+            self.post_requests::<S>(rank, now, csr.recv_of(rank), csr.send_of(rank));
             self.csr = Some(csr);
         } else {
             // Schedule path: the graph borrow cannot outlive the posting
@@ -1360,16 +1658,26 @@ impl Engine {
                 recv_buf.extend_from_slice(g.recv_partners(rank));
                 send_buf.extend_from_slice(g.send_partners(rank));
             }
-            self.post_requests(rank, now, &recv_buf, &send_buf);
+            self.post_requests::<S>(rank, now, &recv_buf, &send_buf);
             self.scratch_recv = recv_buf;
             self.scratch_send = send_buf;
         }
-        self.service(rank, now);
+        self.service::<S>(rank, now);
     }
 
     /// Post this step's receive and send requests for `rank` and fire the
     /// protocol's opening messages (eager payloads or RTS).
-    fn post_requests(&mut self, rank: u32, now: SimTime, recvs: &[u32], sends: &[u32]) {
+    ///
+    /// The pure-protocol specs skip the early-set probes for messages the
+    /// protocol can never produce (see [`dispatch::Spec`]); the general
+    /// spec keeps the runtime `base_mode` branches.
+    fn post_requests<S: dispatch::Spec>(
+        &mut self,
+        rank: u32,
+        now: SimTime,
+        recvs: &[u32],
+        sends: &[u32],
+    ) {
         let ri = rank as usize;
         let step = self.ranks.step[ri];
         let mut reqs = std::mem::take(&mut self.ranks.reqs[ri]);
@@ -1386,20 +1694,32 @@ impl Engine {
                 mode: self.base_mode,
                 state: ReqState::Unmatched,
             };
-            match self.base_mode {
-                Mode::Eager => {
-                    if self.early_eager.remove(src, rank, step) {
-                        self.consume_eager(src, rank);
-                        req.state = ReqState::Complete;
-                    } else if self.early_rts.remove(src, rank, step) {
-                        // The sender fell back to rendezvous (full buffer).
-                        req.mode = Mode::Rendezvous;
-                        req.state = ReqState::MatchedNoCts;
-                    }
+            if S::PURE_EAGER {
+                // No fallback exists, so the only possible early match is
+                // an eager payload, and there is no buffer accounting.
+                if self.early_eager.remove(src, rank, step) {
+                    req.state = ReqState::Complete;
                 }
-                Mode::Rendezvous => {
-                    if self.early_rts.remove(src, rank, step) {
-                        req.state = ReqState::MatchedNoCts;
+            } else if S::PURE_RDVZ {
+                if self.early_rts.remove(src, rank, step) {
+                    req.state = ReqState::MatchedNoCts;
+                }
+            } else {
+                match self.base_mode {
+                    Mode::Eager => {
+                        if self.early_eager.remove(src, rank, step) {
+                            self.consume_eager(src, rank);
+                            req.state = ReqState::Complete;
+                        } else if self.early_rts.remove(src, rank, step) {
+                            // The sender fell back to rendezvous (full buffer).
+                            req.mode = Mode::Rendezvous;
+                            req.state = ReqState::MatchedNoCts;
+                        }
+                    }
+                    Mode::Rendezvous => {
+                        if self.early_rts.remove(src, rank, step) {
+                            req.state = ReqState::MatchedNoCts;
+                        }
                     }
                 }
             }
@@ -1417,8 +1737,18 @@ impl Engine {
             reqs.push(req);
         }
 
+        // Emissions collect into the batch scratch and splice into the
+        // calendar in one sorted pass (`push_batch`) after the loop.
+        let mut batch = std::mem::take(&mut self.batch);
+        debug_assert!(batch.is_empty(), "emission batch leaked");
         for &dst in sends {
-            let mode = self.effective_send_mode(rank, dst);
+            let mode = if S::PURE_EAGER {
+                Mode::Eager
+            } else if S::PURE_RDVZ {
+                Mode::Rendezvous
+            } else {
+                self.effective_send_mode(rank, dst)
+            };
             if self.base_mode == Mode::Eager && mode == Mode::Rendezvous {
                 self.stats.eager_fallbacks += 1;
             }
@@ -1433,14 +1763,14 @@ impl Engine {
                                 self.cfg.msg_bytes;
                         }
                         let arrive = self.launch_transfer(rank, dst, now + extra);
-                        self.q.schedule_at(
+                        batch.push((
                             arrive,
                             Ev::EagerArrive {
                                 src: rank,
                                 dst,
                                 step,
                             },
-                        );
+                        ));
                     }
                     ReqState::Complete
                 }
@@ -1448,14 +1778,14 @@ impl Engine {
                     if let Some(extra) = self.fault_delay(rank, dst, "RTS", step) {
                         let depart = now + extra;
                         let dt = self.ctrl_latency_at(rank, dst, depart);
-                        self.q.schedule_at(
+                        batch.push((
                             depart + dt,
                             Ev::RtsArrive {
                                 src: rank,
                                 dst,
                                 step,
                             },
-                        );
+                        ));
                     }
                     n_incomplete += 1;
                     ReqState::Unmatched
@@ -1468,6 +1798,8 @@ impl Engine {
                 state,
             });
         }
+        self.q.push_batch(&mut batch);
+        self.batch = batch;
 
         self.ranks.reqs[ri] = reqs;
         self.unmatched_recvs[ri] = n_unmatched;
@@ -1627,7 +1959,7 @@ impl Engine {
 
     /// Drive a waiting rank forward: issue gated CTS messages and detect
     /// Waitall completion.
-    fn service(&mut self, rank: u32, now: SimTime) {
+    fn service<S: dispatch::Spec>(&mut self, rank: u32, now: SimTime) {
         let ri = rank as usize;
         if self.ranks.phase[ri] != Phase::Waiting {
             return;
@@ -1635,12 +1967,13 @@ impl Engine {
         // Head-of-line CTS gating: grant CTS only when no posted receive is
         // still unmatched (see module docs). The counters are maintained at
         // every request state transition, so the common case is three
-        // integer compares with no request scan.
-        if self.unmatched_recvs[ri] == 0 && self.gated_cts[ri] > 0 {
+        // integer compares with no request scan — and a pure-eager run can
+        // never gate a CTS at all.
+        if !S::PURE_EAGER && self.unmatched_recvs[ri] == 0 && self.gated_cts[ri] > 0 {
             self.issue_cts(rank, now);
         }
         if self.incomplete[ri] == 0 {
-            self.finish_step(rank, now);
+            self.finish_step::<S>(rank, now);
         }
     }
 
@@ -1661,6 +1994,8 @@ impl Engine {
                 })
                 .map(|r| r.peer),
         );
+        let mut batch = std::mem::take(&mut self.batch);
+        debug_assert!(batch.is_empty(), "emission batch leaked");
         for &sender in &cts {
             for r in reqs.iter_mut() {
                 if !r.is_send && r.peer == sender && r.state == ReqState::MatchedNoCts {
@@ -1671,16 +2006,18 @@ impl Engine {
             if let Some(extra) = self.fault_delay(rank, sender, "CTS", step) {
                 let depart = now + extra;
                 let dt = self.ctrl_latency_at(rank, sender, depart);
-                self.q.schedule_at(
+                batch.push((
                     depart + dt,
                     Ev::CtsArrive {
                         sender,
                         receiver: rank,
                         step,
                     },
-                );
+                ));
             }
         }
+        self.q.push_batch(&mut batch);
+        self.batch = batch;
         self.scratch_cts = cts;
         self.ranks.reqs[ri] = reqs;
     }
@@ -1712,31 +2049,42 @@ impl Engine {
         }
     }
 
-    fn finish_step(&mut self, rank: u32, now: SimTime) {
+    fn finish_step<S: dispatch::Spec>(&mut self, rank: u32, now: SimTime) {
         let ri = rank as usize;
         debug_assert_eq!(self.incomplete[ri], 0);
         debug_assert_eq!(self.unmatched_recvs[ri], 0);
         debug_assert_eq!(self.gated_cts[ri], 0);
-        let rec = PhaseRecord {
-            rank,
-            step: self.ranks.step[ri],
-            exec_start: self.ranks.exec_start[ri],
-            exec_end: self.ranks.exec_end[ri],
-            comm_end: now,
-            injected: self.ranks.injected[ri],
-            noise: self.ranks.noise_amt[ri],
-        };
-        match self.mode {
-            TraceMode::Full => self.records.push(rec),
+        let step = self.ranks.step[ri];
+        // The trace-mode branch folds away under the specialized specs.
+        match S::TRACE.unwrap_or(self.mode) {
+            TraceMode::Full => self.records.push(PhaseRecord {
+                rank,
+                step,
+                exec_start: self.ranks.exec_start[ri],
+                exec_end: self.ranks.exec_end[ri],
+                comm_end: now,
+                injected: self.ranks.injected[ri],
+                noise: self.ranks.noise_amt[ri],
+            }),
             TraceMode::Summary => {
                 self.summary_records += 1;
-                self.summary_digest = self.summary_digest.wrapping_add(rec.digest());
+                self.summary_digest =
+                    self.summary_digest
+                        .wrapping_add(PhaseRecord::digest_of_parts(
+                            rank,
+                            step,
+                            self.ranks.exec_start[ri],
+                            self.ranks.exec_end[ri],
+                            now,
+                            self.ranks.injected[ri],
+                            self.ranks.noise_amt[ri],
+                        ));
                 self.finish[ri] = now;
             }
         }
         self.ranks.reqs[ri].clear();
-        self.ranks.step[ri] += 1;
-        if self.ranks.step[ri] == self.cfg.steps {
+        self.ranks.step[ri] = step + 1;
+        if step + 1 == self.cfg.steps {
             self.ranks.phase[ri] = Phase::Done;
             self.done_count += 1;
         } else {
@@ -1744,7 +2092,8 @@ impl Engine {
         }
     }
 
-    fn on_rts(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
+    fn on_rts<S: dispatch::Spec>(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
+        debug_assert!(!S::PURE_EAGER, "RTS delivered on a pure-eager run");
         let di = dst as usize;
         let matched = self.ranks.phase[di] == Phase::Waiting && self.ranks.step[di] == step;
         if matched {
@@ -1760,7 +2109,7 @@ impl Engine {
             req.state = ReqState::MatchedNoCts;
             self.unmatched_recvs[di] -= 1;
             self.gated_cts[di] += 1;
-            self.service(dst, now);
+            self.service::<S>(dst, now);
         } else {
             debug_assert!(
                 self.ranks.step[di] <= step,
@@ -1770,7 +2119,8 @@ impl Engine {
         }
     }
 
-    fn on_cts(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
+    fn on_cts<S: dispatch::Spec>(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
+        debug_assert!(!S::PURE_EAGER, "CTS delivered on a pure-eager run");
         {
             let si = sender as usize;
             debug_assert_eq!(self.ranks.step[si], step, "CTS for a foreign step");
@@ -1796,7 +2146,11 @@ impl Engine {
         }
     }
 
-    fn on_eager(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
+    fn on_eager<S: dispatch::Spec>(&mut self, src: u32, dst: u32, step: u32, now: SimTime) {
+        debug_assert!(
+            !S::PURE_RDVZ,
+            "eager payload delivered on a pure-rendezvous run"
+        );
         let di = dst as usize;
         let matched = self.ranks.phase[di] == Phase::Waiting && self.ranks.step[di] == step;
         if matched {
@@ -1805,7 +2159,8 @@ impl Engine {
                 .find(|r| {
                     !r.is_send
                         && r.peer == src
-                        && r.mode == Mode::Eager
+                        // On a pure-eager run every recv is eager-mode.
+                        && (S::PURE_EAGER || r.mode == Mode::Eager)
                         && r.state == ReqState::Unmatched
                 })
                 .unwrap_or_else(|| {
@@ -1814,8 +2169,11 @@ impl Engine {
             req.state = ReqState::Complete;
             self.unmatched_recvs[di] -= 1;
             self.incomplete[di] -= 1;
-            self.consume_eager(src, dst);
-            self.service(dst, now);
+            if !S::PURE_EAGER {
+                // Pure-eager runs have no finite buffer to account for.
+                self.consume_eager(src, dst);
+            }
+            self.service::<S>(dst, now);
         } else {
             debug_assert!(
                 self.ranks.step[di] <= step,
@@ -1825,7 +2183,14 @@ impl Engine {
         }
     }
 
-    fn on_xfer_done(&mut self, sender: u32, receiver: u32, step: u32, now: SimTime) {
+    fn on_xfer_done<S: dispatch::Spec>(
+        &mut self,
+        sender: u32,
+        receiver: u32,
+        step: u32,
+        now: SimTime,
+    ) {
+        debug_assert!(!S::PURE_EAGER, "rendezvous transfer on a pure-eager run");
         {
             let req = self.ranks.reqs[sender as usize]
                 .iter_mut()
@@ -1843,8 +2208,8 @@ impl Engine {
             req.state = ReqState::Complete;
             self.incomplete[receiver as usize] -= 1;
         }
-        self.service(sender, now);
-        self.service(receiver, now);
+        self.service::<S>(sender, now);
+        self.service::<S>(receiver, now);
     }
 }
 
@@ -2305,6 +2670,93 @@ mod tests {
                 pools.runs()
             );
         }
+    }
+
+    // ---- fused fast path -------------------------------------------------
+
+    /// An eligible scenario with everything the fused path must get
+    /// bit-identical: a one-off injection, exponential noise drawn from
+    /// the per-rank streams, and per-rank imbalance.
+    fn fused_cfg(ranks: u32) -> SimConfig {
+        let net = presets::loggopsim_like(ranks);
+        let mut cfg = SimConfig::baseline(
+            net,
+            CommPattern::next_neighbor(Direction::Bidirectional, Boundary::Periodic),
+            6,
+        );
+        cfg.protocol = crate::Protocol::Eager;
+        cfg.injections = noise_model::InjectionPlan::single(2, 1, SimDuration::from_millis(9));
+        cfg.noise = noise_model::DelayDistribution::Exponential {
+            mean: SimDuration::from_micros(40),
+        };
+        cfg.imbalance = (0..ranks).map(|r| 1.0 + 0.01 * f64::from(r % 3)).collect();
+        cfg
+    }
+
+    #[test]
+    fn fused_eligibility_tracks_the_dynamic_features() {
+        let cfg = fused_cfg(8);
+        assert!(fused_path_eligible(&cfg));
+        assert!(Engine::new(cfg.clone()).fused.is_some());
+
+        let mut rdvz = cfg.clone();
+        rdvz.protocol = crate::Protocol::Rendezvous;
+        assert!(!fused_path_eligible(&rdvz));
+
+        let mut buffered = cfg.clone();
+        buffered.eager_buffer_bytes = Some(1 << 20);
+        assert!(!fused_path_eligible(&buffered));
+
+        let mut serialized = cfg.clone();
+        serialized.serialize_sends = true;
+        assert!(!fused_path_eligible(&serialized));
+
+        let mut comm_noise = cfg.clone();
+        comm_noise.noise_placement = NoisePlacement::ExecAndComm;
+        assert!(!fused_path_eligible(&comm_noise));
+
+        let mut faulty = cfg;
+        faulty.faults = FaultPlan::none().with_drops(0.05, SimDuration::from_micros(100));
+        assert!(!fused_path_eligible(&faulty));
+    }
+
+    #[test]
+    fn fused_path_is_bit_identical_to_the_general_loop() {
+        let cfg = fused_cfg(8);
+        // Plain run: takes the fused path (no calendar traffic at all).
+        let (fused, fused_stats) = Engine::new(cfg.clone()).run_with_stats();
+        assert_eq!(fused_stats.peak_queue, 0, "fused runs skip the calendar");
+        // An event budget (far above the real count) forces the general
+        // loop without perturbing it.
+        let (general, general_stats) = Engine::new(cfg.clone())
+            .try_run_with_stats(&RunLimits::events(1_000_000))
+            .expect("completes");
+        assert!(
+            general_stats.peak_queue > 0,
+            "general loop uses the calendar"
+        );
+        assert_eq!(fused, general, "fused trace must be bit-identical");
+        assert_eq!(
+            fused_stats.events, general_stats.events,
+            "elided events must keep the semantic count"
+        );
+        assert_eq!(fused_stats.messages, general_stats.messages);
+
+        // Summary mode folds the same records on both paths.
+        let (summary, _) = Engine::new(cfg)
+            .try_run_summary(&RunLimits::none())
+            .expect("completes");
+        assert_eq!(summary, RunSummary::of_trace(&fused));
+    }
+
+    #[test]
+    fn fused_path_matches_the_reference_recurrence() {
+        let cfg = fused_cfg(12);
+        assert!(crate::reference::supports(&cfg));
+        assert_eq!(
+            Engine::new(cfg.clone()).run(),
+            crate::reference::reference_trace(&cfg)
+        );
     }
 
     #[test]

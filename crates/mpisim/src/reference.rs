@@ -46,6 +46,23 @@ use workload::ExecModel;
 
 use crate::config::{Mode, NoisePlacement, SimConfig};
 
+/// Whether `cfg` falls inside the recurrence's closed-form domain, so
+/// callers (the fused-vs-reference property suite) can gate oracle
+/// comparisons on it instead of discovering the domain through
+/// [`reference_trace`]'s panics.
+///
+/// Mirrors the assertions in [`reference_trace`], plus the fault plan:
+/// the recurrence does not model faults at all, so any active fault
+/// silently diverges rather than panicking.
+pub fn supports(cfg: &SimConfig) -> bool {
+    matches!(cfg.exec, ExecModel::Compute { .. })
+        && cfg.schedule.is_none()
+        && cfg.eager_buffer_bytes.is_none()
+        && !cfg.serialize_sends
+        && cfg.noise_placement == NoisePlacement::ExecOnly
+        && cfg.faults.is_empty()
+}
+
 /// Evaluate the max-plus recurrence for `cfg` and return the trace.
 ///
 /// # Panics

@@ -29,8 +29,8 @@
 //! the report as single-line JSON for CI golden diffs.
 
 use mpisim::{
-    config_fingerprint, nominal_exec_duration, nominal_step_duration, Diagnostic, Mode, PoolBudget,
-    SimConfig,
+    config_fingerprint, fused_path_eligible, nominal_exec_duration, nominal_step_duration,
+    Diagnostic, Mode, PoolBudget, SimConfig,
 };
 use simdes::{SimDuration, SimTime};
 use tracefmt::json::{Json, ToJson};
@@ -86,6 +86,16 @@ pub struct BudgetReport {
     /// message faults, no fail-stop crash, no finite eager buffer that
     /// could dynamically overflow) or an estimate.
     pub events_exact: bool,
+    /// Of `events_predicted`, how many the calendar queue actually
+    /// delivers. Zero when the plain run takes the fused fast path (the
+    /// whole cascade is computed without touching the calendar, and every
+    /// event is counted as elided); equal to `events_predicted` otherwise.
+    /// Budgeted, checkpointed, and restored runs always deliver the full
+    /// count regardless.
+    pub events_delivered_predicted: u64,
+    /// Whether [`mpisim::fused_path_eligible`] holds, i.e. a plain
+    /// un-budgeted run of this config skips the event loop entirely.
+    pub fused: bool,
     /// Predicted peak event-queue occupancy (a safe upper estimate, used
     /// to pre-size the calendar queue).
     pub peak_queue_predicted: u64,
@@ -198,6 +208,11 @@ fn predict(cfg: &SimConfig, events_per_sec: Option<f64>) -> BudgetReport {
     };
 
     let events_predicted = n * steps + messages_total * events_per_message + mb_events;
+    // Fused runs compute the cascade directly: nothing passes through the
+    // calendar queue, so the queue delivers zero events (the semantic
+    // count above still holds — the engine reports delivered + elided).
+    let fused = fused_path_eligible(cfg);
+    let events_delivered_predicted = if fused { 0 } else { events_predicted };
     let events_exact = !cfg.exec.is_memory_bound()
         && !cfg.faults.messages.is_some_and(|m| m.is_active())
         && !cfg
@@ -251,6 +266,8 @@ fn predict(cfg: &SimConfig, events_per_sec: Option<f64>) -> BudgetReport {
         messages_total,
         events_predicted,
         events_exact,
+        events_delivered_predicted,
+        fused,
         peak_queue_predicted,
         pool,
         pool_bytes_predicted: pool.bytes(),
@@ -483,6 +500,11 @@ impl ToJson for BudgetReport {
             ("events_predicted", Json::UInt(self.events_predicted)),
             ("events_exact", Json::Bool(self.events_exact)),
             (
+                "events_delivered_predicted",
+                Json::UInt(self.events_delivered_predicted),
+            ),
+            ("fused", Json::Bool(self.fused)),
+            (
                 "peak_queue_predicted",
                 Json::UInt(self.peak_queue_predicted),
             ),
@@ -608,6 +630,28 @@ mod tests {
     }
 
     #[test]
+    fn fused_runs_predict_zero_delivered_events() {
+        // The plain eager chain fuses: the calendar never sees an event,
+        // but the semantic count (delivered + elided) stays exact.
+        let cfg = chain(10, 8);
+        let r = budget(&cfg);
+        assert!(r.fused);
+        assert_eq!(r.events_delivered_predicted, 0);
+        let (_, stats) = mpisim::Engine::new(cfg)
+            .try_run_with_stats(&RunLimits::none())
+            .unwrap();
+        assert_eq!(stats.peak_queue, 0, "fused runs skip the calendar");
+        assert_eq!(stats.events, r.events_predicted);
+
+        // Rendezvous is outside the fused domain: everything is delivered.
+        let mut rdvz = chain(10, 8);
+        rdvz.protocol = Protocol::Rendezvous;
+        let r = budget(&rdvz);
+        assert!(!r.fused);
+        assert_eq!(r.events_delivered_predicted, r.events_predicted);
+    }
+
+    #[test]
     fn budgeted_pools_sized_from_the_report_settle_on_run_1() {
         let cfg = chain(16, 10);
         let r = budget(&cfg);
@@ -730,6 +774,8 @@ mod tests {
             "messages_total",
             "events_predicted",
             "events_exact",
+            "events_delivered_predicted",
+            "fused",
             "peak_queue_predicted",
             "pool_bytes_predicted",
             "trace_bytes_predicted",

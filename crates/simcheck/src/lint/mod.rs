@@ -256,6 +256,37 @@ mod tests {
     }
 
     #[test]
+    fn mode_matches_in_inline_handlers_are_confined_to_dispatch() {
+        let bad = "#[inline]\nfn on_eager(&mut self) {\n    match self.base_mode {\n        Mode::Eager => {}\n        Mode::Rendezvous => {}\n    }\n}\n";
+        assert_eq!(
+            rules_hit("crates/mpisim/src/engine.rs", bad),
+            ["mode-match-in-inline-handler"]
+        );
+        // The dispatch module is the one sanctioned place for the branch.
+        assert!(rules_hit("crates/mpisim/src/engine/dispatch.rs", bad).is_empty());
+        // Cold (non-inline) fns may still branch — the general path does.
+        let cold = "fn effective(&self) -> Mode {\n    match self.base_mode {\n        Mode::Eager => Mode::Eager,\n        m => m,\n    }\n}\n";
+        assert!(rules_hit("crates/mpisim/src/engine.rs", cold).is_empty());
+        // Matching on something other than a mode is fine when inlined.
+        let other = "#[inline]\nfn f(x: u32) -> u32 {\n    match x {\n        0 => 1,\n        _ => 2,\n    }\n}\n";
+        assert!(rules_hit("src/a.rs", other).is_empty());
+        // `#[inline(always)]` counts, attributes in between are walked,
+        // and plain `mode` bindings are caught too.
+        let always = "#[inline(always)]\n#[must_use]\nfn g(mode: Mode) -> u32 {\n    match mode {\n        _ => 0,\n    }\n}\n";
+        assert_eq!(
+            rules_hit("crates/mpisim/src/engine.rs", always),
+            ["mode-match-in-inline-handler"]
+        );
+        // Tests are exempt like the other non-test rules.
+        assert!(rules_hit("crates/mpisim/tests/t.rs", bad).is_empty());
+        // The pragma records a reviewed exception.
+        let allowed = "#[inline]\nfn h(&mut self) {\n    // simlint: allow(mode-match-in-inline-handler)\n    match self.base_mode {\n        _ => {}\n    }\n}\n";
+        let (viol, supp) = lint_source("crates/mpisim/src/engine.rs", allowed);
+        assert!(viol.is_empty(), "{viol:?}");
+        assert_eq!(supp, 1);
+    }
+
+    #[test]
     fn pragmas_suppress_same_line_and_next_line() {
         let same = "let v = m.get(&k).unwrap(); // simlint: allow(unwrap)\n";
         let (viol, supp) = lint_source("src/a.rs", same);

@@ -13,6 +13,7 @@
 //! | `debug-macros` | `todo!` / `dbg!` / `unimplemented!` | everywhere, tests included |
 //! | `panics-doc` | panicking `pub fn` without a `# Panics` doc section | non-test code |
 //! | `process-exit` | `process::exit` (bypasses destructors; return `ExitCode` from `main` instead) | non-test code outside `src/bin` directories |
+//! | `mode-match-in-inline-handler` | `match` on a `Mode` scrutinee inside an `#[inline]` fn (protocol decisions belong in the dispatch specialization, picked once per run) | non-test code outside `engine/dispatch.rs` |
 //!
 //! Suppress a finding with `// simlint: allow(<rule>)` on the same line or
 //! the line directly above; several rules may be comma-separated.
@@ -23,7 +24,7 @@ use super::lexer::Lexed;
 use super::Violation;
 
 /// All rule names, in reporting order.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "wall-clock",
     "hash-collections",
     "float-cmp",
@@ -32,6 +33,7 @@ pub const RULES: [&str; 8] = [
     "debug-macros",
     "panics-doc",
     "process-exit",
+    "mode-match-in-inline-handler",
 ];
 
 /// One file prepared for rule checks.
@@ -187,6 +189,7 @@ pub(crate) fn check_file(ctx: &FileContext<'_>) -> (Vec<Violation>, usize) {
         }
     }
     panics_doc(ctx, &mut out, &mut suppressed);
+    mode_match_in_inline(ctx, &mut out, &mut suppressed);
     (out, suppressed)
 }
 
@@ -332,6 +335,57 @@ fn panics_doc(ctx: &FileContext<'_>, out: &mut Vec<Violation>, suppressed: &mut 
         }
         ctx.hit("panics-doc", line, out, suppressed);
     }
+}
+
+/// The `mode-match-in-inline-handler` rule: an `#[inline]`-marked fn —
+/// the marker the engine puts on its per-event hot handlers — must not
+/// re-decide the protocol at runtime. A `match` on a `Mode`-typed
+/// scrutinee belongs in `engine/dispatch.rs`, where the specialization
+/// is selected once per run and the per-event branches fold away.
+fn mode_match_in_inline(ctx: &FileContext<'_>, out: &mut Vec<Violation>, suppressed: &mut usize) {
+    if ctx.path.ends_with("engine/dispatch.rs") {
+        return;
+    }
+    let lines = &ctx.lexed.masked_lines;
+    for (idx, masked) in lines.iter().enumerate() {
+        if !masked.trim_start().starts_with("#[inline") {
+            continue;
+        }
+        // Walk over any further attributes and (masked-out) doc comments
+        // to the fn this attribute decorates.
+        let Some(fn_idx) = (idx + 1..lines.len()).find(|&j| {
+            let t = lines[j].trim_start();
+            !(t.is_empty() || t.starts_with("#["))
+        }) else {
+            continue;
+        };
+        if find_word(&lines[fn_idx], "fn").is_none() {
+            continue;
+        }
+        let Some((body_start, body_end)) = fn_body_span(lines, fn_idx) else {
+            continue;
+        };
+        for (body_idx, body_line) in lines[body_start..=body_end].iter().enumerate() {
+            let line = body_start + body_idx + 1;
+            if ctx.in_test_code(line) || !match_on_mode(body_line) {
+                continue;
+            }
+            ctx.hit("mode-match-in-inline-handler", line, out, suppressed);
+        }
+    }
+}
+
+/// A `match` whose scrutinee (the text before the arm block opens)
+/// mentions a `Mode`-typed value: the `Mode` type itself, a `mode`
+/// binding, or a `*_mode` field.
+fn match_on_mode(line: &str) -> bool {
+    let Some(at) = find_word(line, "match") else {
+        return false;
+    };
+    let scrutinee = line[at + "match".len()..].split('{').next().unwrap_or("");
+    scrutinee
+        .split(|c: char| !is_ident_char(c))
+        .any(|tok| tok == "Mode" || tok == "mode" || tok.ends_with("_mode"))
 }
 
 /// A line declaring a public function: `pub fn`, `pub const fn`,

@@ -265,6 +265,42 @@ impl<E> EventQueue<E> {
         self.schedule_at(at, payload);
     }
 
+    /// Schedule a handler's whole emission in one call, draining `batch`.
+    ///
+    /// Delivery-equivalent to stably sorting the batch by time and then
+    /// calling [`EventQueue::schedule_at`] once per entry: entries at the
+    /// same timestamp keep their emission order, and every batched event
+    /// is delivered before anything scheduled later at the same time.
+    /// (Sequence numbers are assigned in sorted order, so the snapshot
+    /// `pending` view may permute seqs *within* the batch relative to a
+    /// sequential caller — delivery order is unaffected, because batch
+    /// seqs only break ties against each other and the sort already fixed
+    /// that order.)
+    ///
+    /// Sorting first pays once per batch instead of once per event: the
+    /// causality check runs against the batch minimum only, and entries
+    /// aimed at the active run arrive in splice order, so all but the
+    /// first hit the append fast path instead of a binary search each.
+    ///
+    /// # Panics
+    /// Panics if any entry is before the current simulation time.
+    pub fn push_batch(&mut self, batch: &mut Vec<(SimTime, E)>) {
+        // Stable: same-time entries keep their emission order.
+        batch.sort_by_key(|&(t, _)| t);
+        if let Some(&(min, _)) = batch.first() {
+            assert!(
+                min >= self.now,
+                "causality violation: batching an event at {min:?} but now is {:?}",
+                self.now
+            );
+        }
+        for (at, payload) in batch.drain(..) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.insert(at, seq, payload);
+        }
+    }
+
     /// Place an entry into the run, a year bucket, or the overflow.
     /// Callers guarantee `at >= self.now`, which with the `year_base <=
     /// now` invariant puts the bucket index at or past `cur`.
@@ -563,6 +599,21 @@ impl<E> HeapQueue<E> {
         self.schedule_at(at, payload);
     }
 
+    /// Batch insert with the same contract as
+    /// [`EventQueue::push_batch`]: a stable sort by time followed by one
+    /// `schedule_at` per entry. The heap gains nothing from batching; the
+    /// method exists so the oracle defines the batch semantics the
+    /// calendar is property-tested against.
+    ///
+    /// # Panics
+    /// Panics if any entry is before the current simulation time.
+    pub fn push_batch(&mut self, batch: &mut Vec<(SimTime, E)>) {
+        batch.sort_by_key(|&(t, _)| t);
+        for (at, payload) in batch.drain(..) {
+            self.schedule_at(at, payload);
+        }
+    }
+
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.time)
@@ -643,6 +694,66 @@ mod tests {
         q.schedule_at(SimTime(10), 2);
         let (t, e) = q.pop().unwrap();
         assert_eq!((t, e), (SimTime(10), 2));
+    }
+
+    #[test]
+    fn push_batch_sorts_and_keeps_tie_emission_order() {
+        let mut q = EventQueue::new();
+        let mut batch = vec![
+            (SimTime(30), "late"),
+            (SimTime(10), "tie-1"),
+            (SimTime(20), "mid"),
+            (SimTime(10), "tie-2"),
+        ];
+        q.push_batch(&mut batch);
+        assert!(
+            batch.is_empty(),
+            "push_batch must drain the caller's buffer"
+        );
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["tie-1", "tie-2", "mid", "late"]);
+    }
+
+    #[test]
+    fn push_batch_interleaves_with_single_schedules_fifo() {
+        // A batched tie is delivered before a later single schedule at the
+        // same time, and after an earlier one — seq order across calls.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(10), "before");
+        q.push_batch(&mut vec![(SimTime(10), "batched"), (SimTime(5), "early")]);
+        q.schedule_at(SimTime(10), "after");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["early", "before", "batched", "after"]);
+    }
+
+    #[test]
+    fn push_batch_spans_run_year_and_overflow() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 0u64);
+        q.pop(); // the run is now live at bucket 0
+        q.push_batch(&mut vec![
+            (SimTime(1 << 40), 3), // overflow
+            (SimTime(2), 1),       // active run
+            (SimTime(1 << 18), 2), // a later year bucket
+        ]);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![
+                (SimTime(2), 1),
+                (SimTime(1 << 18), 2),
+                (SimTime(1 << 40), 3)
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn push_batch_rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(100), ());
+        q.pop();
+        q.push_batch(&mut vec![(SimTime(200), ()), (SimTime(50), ())]);
     }
 
     #[test]
@@ -781,26 +892,36 @@ mod tests {
     enum Op {
         /// Schedule at `now + offset` (offset 0 exercises ties).
         Schedule { offset: u64 },
+        /// `push_batch` of several offsets in one call — unsorted, with
+        /// deliberate intra-batch ties and year-crossing spreads.
+        Batch { offsets: Vec<u64> },
         /// Pop once from both queues and compare.
         Pop,
         /// Snapshot both queues via `pending` and rebuild via `restore`.
         RoundTrip,
     }
 
+    fn gen_offset(g: &mut Gen) -> u64 {
+        match g.u32(0, 3) {
+            0 => 0,
+            1 => g.u64(1, 100),
+            2 => g.u64(100, 1 << 20),
+            _ => g.u64(1 << 20, 1 << 44),
+        }
+    }
+
     fn gen_ops(g: &mut Gen) -> Vec<Op> {
         g.vec(1, 400, |g| {
-            match g.u32(0, 9) {
+            match g.u32(0, 11) {
                 // Weighted towards schedules so queues grow deep; offsets
                 // mix exact ties (0), tiny steps, and year-crossing jumps.
                 0..=4 => Op::Schedule {
-                    offset: match g.u32(0, 3) {
-                        0 => 0,
-                        1 => g.u64(1, 100),
-                        2 => g.u64(100, 1 << 20),
-                        _ => g.u64(1 << 20, 1 << 44),
-                    },
+                    offset: gen_offset(g),
                 },
-                5..=7 => Op::Pop,
+                5..=6 => Op::Batch {
+                    offsets: g.vec(0, 12, gen_offset),
+                },
+                7..=9 => Op::Pop,
                 _ => Op::RoundTrip,
             }
         })
@@ -824,6 +945,22 @@ mod tests {
                     cal.schedule_at(at, payload);
                     heap.schedule_at(at, payload);
                     payload += 1;
+                }
+                Op::Batch { offsets } => {
+                    let now = cal.now();
+                    let mut a: Vec<(SimTime, u64)> = offsets
+                        .iter()
+                        .map(|&off| {
+                            payload += 1;
+                            (now + SimDuration(off), payload - 1)
+                        })
+                        .collect();
+                    let mut b = a.clone();
+                    assert_eq!(cal.next_seq(), heap.next_seq());
+                    cal.push_batch(&mut a);
+                    heap.push_batch(&mut b);
+                    assert!(a.is_empty() && b.is_empty(), "push_batch must drain");
+                    assert_eq!(cal.next_seq(), heap.next_seq());
                 }
                 Op::Pop => {
                     assert_eq!(cal.pop(), heap.pop(), "delivery diverged");

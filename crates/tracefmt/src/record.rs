@@ -63,18 +63,45 @@ impl PhaseRecord {
     /// retaining the records, so the mixer is a handful of multiply/shift
     /// rounds rather than a byte-wise FNV pass — it sits on the engine's
     /// per-step hot path.
+    #[inline]
     pub fn digest(&self) -> u64 {
+        Self::digest_of_parts(
+            self.rank,
+            self.step,
+            self.exec_start,
+            self.exec_end,
+            self.comm_end,
+            self.injected,
+            self.noise,
+        )
+    }
+
+    /// [`PhaseRecord::digest`] computed straight from the fields, without
+    /// materializing a record. Summary-mode folds sit on the engine's
+    /// per-step hot path and already hold every field in scalar form;
+    /// this skips the struct round-trip. Bit-identical to `digest()` by
+    /// construction (the method delegates here).
+    #[inline]
+    pub fn digest_of_parts(
+        rank: u32,
+        step: u32,
+        exec_start: SimTime,
+        exec_end: SimTime,
+        comm_end: SimTime,
+        injected: SimDuration,
+        noise: SimDuration,
+    ) -> u64 {
         // One rotate-xor-multiply fold per word keeps every input bit in
         // play, and a single splitmix64 finalizer at the end provides the
         // avalanche; that is six multiplies total instead of two per word.
         let mut h = 0x9e37_79b9_7f4a_7c15_u64;
         for w in [
-            (u64::from(self.rank) << 32) | u64::from(self.step),
-            self.exec_start.0,
-            self.exec_end.0,
-            self.comm_end.0,
-            self.injected.0,
-            self.noise.0,
+            (u64::from(rank) << 32) | u64::from(step),
+            exec_start.0,
+            exec_end.0,
+            comm_end.0,
+            injected.0,
+            noise.0,
         ] {
             h = (h.rotate_left(13) ^ w).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         }
@@ -135,6 +162,29 @@ mod tests {
         assert_eq!(r.exec_duration(), SimDuration(3_000));
         assert_eq!(r.comm_duration(), SimDuration(500));
         assert_eq!(r.work_duration(), SimDuration(2_400));
+    }
+
+    #[test]
+    fn digest_of_parts_matches_the_struct_digest() {
+        // The committed BENCH digests pin this value; the scalar form
+        // must be the same hash, bit for bit.
+        let r = rec();
+        assert_eq!(
+            r.digest(),
+            PhaseRecord::digest_of_parts(
+                r.rank,
+                r.step,
+                r.exec_start,
+                r.exec_end,
+                r.comm_end,
+                r.injected,
+                r.noise
+            )
+        );
+        assert_eq!(rec().digest(), rec().digest(), "digest must be pure");
+        let mut other = rec();
+        other.comm_end = SimTime(4_501);
+        assert_ne!(r.digest(), other.digest());
     }
 
     #[test]

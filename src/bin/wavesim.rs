@@ -37,7 +37,9 @@
 //!   the predicted budget report as single-line JSON on stdout
 //!   --calibrate BENCH.json  read an events/sec calibration from a
 //!                           committed wavesim-bench report (nearest rank
-//!                           count wins) and predict wall time
+//!                           count wins) and predict wall time; the
+//!                           literal value `auto` picks the latest
+//!                           committed BENCH_<n>.json generation
 //!   --budget N              gate: predicted events over N is SC018,
 //!                           exit 1
 //!   --max-bytes N           gate: predicted peak memory over N bytes is
@@ -746,8 +748,18 @@ fn run_analyze_command(it: std::env::Args) -> ExitCode {
 /// (schema `wavesim-bench`): the scenario whose rank count is nearest
 /// the analyzed job's, ties to the larger scenario. Parsed with
 /// `tracefmt::json` — the bench crate itself is not a `wavesim`
-/// dependency.
+/// dependency. `--calibrate auto` resolves the latest committed
+/// trajectory file (`BENCH_<n>.json` with the highest `n`) from the
+/// current directory, so callers track engine generations without
+/// editing their command lines.
 fn load_calibration(path: &str, ranks: u32) -> Result<f64, String> {
+    let resolved = if path == "auto" {
+        latest_bench_path(std::path::Path::new("."))
+            .ok_or("no BENCH_*.json found in the current directory for --calibrate auto")?
+    } else {
+        path.to_string()
+    };
+    let path = resolved.as_str();
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v = Json::parse(&text).map_err(|e| format!("bad bench report {path}: {}", e.0))?;
     if v.get("schema").and_then(Json::as_str) != Some("wavesim-bench") {
@@ -767,6 +779,27 @@ fn load_calibration(path: &str, ranks: u32) -> Result<f64, String> {
         .min_by_key(|&(r, _)| (r.abs_diff(u64::from(ranks)), std::cmp::Reverse(r)))
         .map(|(_, eps)| eps)
         .ok_or_else(|| format!("{path} has no usable events_per_sec entries"))
+}
+
+/// The committed bench trajectory file with the highest generation
+/// number: `BENCH_<n>.json` for the largest `n` in `dir`. Mirrors
+/// `bench::throughput::latest_bench_file` without taking the dependency.
+fn latest_bench_path(dir: &std::path::Path) -> Option<String> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let n: Option<u64> = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse().ok());
+        if let Some(n) = n {
+            if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                best = Some((n, entry.path().to_string_lossy().into_owned()));
+            }
+        }
+    }
+    best.map(|(_, p)| p)
 }
 
 struct ServeArgs {
@@ -1134,10 +1167,11 @@ const USAGE: &str = "usage: wavesim [--ranks N] [--steps N] [--texec-ms F] [--ms
        wavesim loadgen --addr HOST:PORT [options]            (see --help)";
 
 const ANALYZE_USAGE: &str = "usage: wavesim analyze [config flags — see wavesim --help]
-               [--config FILE.json] [--calibrate BENCH.json]
+               [--config FILE.json] [--calibrate BENCH.json|auto]
                [--budget N] [--max-bytes N]
 prints the static budget report (schema budget-report-v1) as single-line
-JSON on stdout; --budget/--max-bytes gates exit 1 on SC018/SC023";
+JSON on stdout; --calibrate auto uses the latest committed BENCH_<n>.json;
+--budget/--max-bytes gates exit 1 on SC018/SC023";
 
 const SWEEP_USAGE: &str = "usage: wavesim sweep --scenarios FILE.json --out FILE.jsonl
                [--resume] [--threads N] [--shards N]

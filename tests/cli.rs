@@ -153,6 +153,59 @@ fn bad_flags_exit_with_code_2() {
 }
 
 #[test]
+fn analyze_calibrate_auto_tracks_the_latest_committed_bench() {
+    // `auto` resolves BENCH_<n>.json with the highest n from the current
+    // directory — run from the workspace root where they are committed.
+    let out = wavesim()
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .args([
+            "analyze",
+            "--ranks",
+            "64",
+            "--steps",
+            "8",
+            "--calibrate",
+            "auto",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\":\"budget-report-v1\""), "{text}");
+    assert!(
+        !text.contains("\"events_per_sec\":null"),
+        "auto calibration must fill in the wall-time prediction: {text}"
+    );
+    // Resolution matches the bench crate's own latest-generation rule.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let latest = bench::throughput::latest_bench_file(root).expect("committed BENCH files present");
+    let report = bench::throughput::validate(&std::fs::read_to_string(&latest).expect("readable"))
+        .expect("valid committed bench report");
+    let eps = bench::throughput::events_per_sec_for(&report, 64).expect("usable scenario");
+    assert!(
+        text.contains(&format!("\"events_per_sec\":{eps:?}")),
+        "expected calibration {eps} from {latest:?} in: {text}"
+    );
+
+    // In a directory without BENCH files, `auto` is a usage error.
+    let out = wavesim()
+        .current_dir(tmpdir("no-bench"))
+        .args(["analyze", "--ranks", "8", "--calibrate", "auto"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no BENCH_"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn help_prints_usage_and_succeeds() {
     let out = wavesim().arg("--help").output().expect("binary runs");
     assert!(out.status.success());
